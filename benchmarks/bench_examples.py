@@ -1,0 +1,69 @@
+"""E13 and friends: cross-example costs — UML2RDBMS, dbview, strings.
+
+One benchmark per non-Composers executable example so the whole
+catalogue's restoration costs appear in one report.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalogue.misc import dirtree_bx, roman_bx
+from repro.catalogue.strings import ComposerLinesLens
+from repro.catalogue.uml2rdbms import uml2rdbms_bx
+
+
+def test_uml2rdbms_bwd(benchmark):
+    bx = uml2rdbms_bx()
+    rng = random.Random(11)
+    diagram = bx.left_space.sample(rng)
+    schema = bx.right_space.sample(rng)
+    repaired = benchmark(bx.bwd, diagram, schema)
+    assert bx.consistent(repaired, schema)
+
+
+def test_uml2rdbms_inheritance_bwd(benchmark):
+    bx = uml2rdbms_bx(with_inheritance=True)
+    rng = random.Random(12)
+    diagram = bx.left_space.sample(rng)
+    schema = bx.right_space.sample(rng)
+    repaired = benchmark(bx.bwd, diagram, schema)
+    assert bx.consistent(repaired, schema)
+
+
+def test_string_lens_put_large(benchmark):
+    """Resourceful alignment over a 500-line composers file."""
+    lens = ComposerLinesLens()
+    rng = random.Random(13)
+    names = [f"Composer{i:04d}" for i in range(500)]
+    source = tuple(f"{name}, 1900-1980, British" for name in names)
+    view = lens.get(source)
+    shuffled = list(view)
+    rng.shuffle(shuffled)
+    merged = benchmark(lens.put, tuple(shuffled), source)
+    assert len(merged) == 500
+    assert all("1900-1980" in line for line in merged)
+
+
+def test_roman_round_trip(benchmark):
+    bx = roman_bx()
+
+    def sweep():
+        return [bx.bwd(0, bx.fwd(number, "")) for number in
+                range(1, 1000, 37)]
+
+    values = benchmark(sweep)
+    assert values == list(range(1, 1000, 37))
+
+
+def test_dirtree_round_trip(benchmark):
+    bx = dirtree_bx()
+    rng = random.Random(14)
+    tree = bx.left_space.sample(rng)
+
+    def round_trip():
+        return bx.bwd(tree, bx.fwd(tree, ()))
+
+    assert benchmark(round_trip) == tree

@@ -1,0 +1,45 @@
+"""E3–E6: cost of the mechanised reviewer (property verification).
+
+Regenerates the paper's §4 property table by timing the randomized
+verification of each claim on the Composers bx, plus the full
+verify-claims pass an entry review would run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import composers_bx, composers_entry
+from repro.core.laws import CheckConfig, verify_property_claims
+from repro.core.properties import (
+    Correct,
+    Hippocratic,
+    SimplyMatching,
+    Undoable,
+)
+
+TRIALS = 100
+
+
+@pytest.fixture(scope="module")
+def bx():
+    return composers_bx().checked()
+
+
+@pytest.mark.parametrize("prop,expected_pass", [
+    (Correct(), True),          # E3
+    (Hippocratic(), True),      # E4
+    (Undoable(), False),        # E5: must find the counterexample
+    (SimplyMatching(), True),   # E6
+], ids=["correct", "hippocratic", "undoable", "simply-matching"])
+def test_property_check(benchmark, bx, prop, expected_pass):
+    result = benchmark(prop.check, bx, TRIALS, 7)
+    assert result.passed == expected_pass, result.describe()
+
+
+def test_full_claim_verification(benchmark, bx):
+    """The whole §4 claims table, as a reviewer would run it."""
+    claims = composers_entry().claimed_properties()
+    report = benchmark(verify_property_claims, composers_bx(), claims,
+                       CheckConfig(trials=TRIALS, seed=7))
+    assert report.all_passed, report.summary()

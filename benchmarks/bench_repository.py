@@ -1,0 +1,83 @@
+"""E1/E10/E11: repository operation costs — template validation,
+store round trips, versioned retrieval, search, citation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue import builtin_catalogue, populate_store
+from repro.catalogue.composers import composers_entry
+from repro.repository.citation import archive_manuscript, cite_entry
+from repro.repository.entry import ExampleEntry
+from repro.repository.search import SearchIndex
+from repro.repository.store import FileStore, MemoryStore
+from repro.repository.validation import validate_entry
+from repro.repository.versioning import Version
+
+
+@pytest.fixture(scope="module")
+def populated_memory():
+    store = MemoryStore()
+    populate_store(store)
+    return store
+
+
+def test_template_validation(benchmark):
+    entry = composers_entry()
+    report = benchmark(validate_entry, entry)
+    assert report.ok
+
+
+def test_entry_serialisation_round_trip(benchmark):
+    entry = composers_entry()
+
+    def round_trip():
+        return ExampleEntry.from_dict(entry.to_dict())
+
+    assert benchmark(round_trip) == entry
+
+
+def test_file_store_write_and_read(benchmark, tmp_path_factory):
+    entry = composers_entry()
+    counter = [0]
+
+    def write_read():
+        counter[0] += 1
+        store = FileStore(tmp_path_factory.mktemp(f"s{counter[0]}"))
+        store.add(entry)
+        return store.get(entry.identifier)
+
+    assert benchmark(write_read) == entry
+
+
+def test_versioned_history_retrieval(benchmark, populated_memory):
+    store = MemoryStore()
+    entry = composers_entry()
+    store.add(entry)
+    for minor in range(2, 30):
+        store.add_version(entry.with_version(Version(0, minor)))
+
+    old = benchmark(store.get, "composers", Version(0, 1))
+    assert old.version == Version(0, 1)
+
+
+def test_search_index_build(benchmark, populated_memory):
+    index = benchmark(lambda: SearchIndex().build(populated_memory))
+    assert len(index) == len(builtin_catalogue())
+
+
+def test_search_query(benchmark, populated_memory):
+    index = SearchIndex().build(populated_memory)
+    hits = benchmark(index.search, "composers nationality list")
+    assert hits
+
+
+def test_citation_and_archive(benchmark, populated_memory):
+    def cite_all():
+        texts = [cite_entry(populated_memory.get(identifier))
+                 for identifier in populated_memory.identifiers()]
+        manuscript = archive_manuscript(populated_memory)
+        return texts, manuscript
+
+    texts, manuscript = benchmark(cite_all)
+    assert manuscript["entry_count"] == len(texts)

@@ -1,0 +1,66 @@
+"""E14 / COMPOSERS-BENCH: restoration cost scaling (the benchmark entry).
+
+Regenerates the scaling series: forward and backward Composers
+restoration at model sizes 10/100/1000, plus an interactive edit
+session.  Restoration is set/dict-based, so the expected shape is
+near-linear in model size; the assertion at the bottom of each run is
+consistency, so a benchmark cannot silently measure a broken operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import composers_bx
+from repro.harness.generators import (
+    consistent_composer_pair,
+    random_pair_edit_script,
+)
+
+SIZES = (10, 100, 1000)
+
+
+@pytest.fixture(scope="module")
+def bx():
+    return composers_bx()
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fwd_restoration_scaling(benchmark, bx, size):
+    left, right = consistent_composer_pair(size, seed=1)
+    perturbed = random_pair_edit_script(right, max(size // 10, 1),
+                                        seed=1).apply(right)
+    result = benchmark(bx.fwd, left, perturbed)
+    assert bx.consistent(left, result)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bwd_restoration_scaling(benchmark, bx, size):
+    left, right = consistent_composer_pair(size, seed=2)
+    perturbed = random_pair_edit_script(right, max(size // 10, 1),
+                                        seed=2).apply(right)
+    result = benchmark(bx.bwd, left, perturbed)
+    assert bx.consistent(result, perturbed)
+
+
+@pytest.mark.parametrize("size", (10, 100))
+def test_edit_session(benchmark, bx, size):
+    """An interactive session: restore after every one of 20 edits."""
+    left0, right0 = consistent_composer_pair(size, seed=3)
+    script = random_pair_edit_script(right0, 20, seed=3)
+
+    def session():
+        left, right = left0, right0
+        for edit in script.edits:
+            right = edit.apply(right)
+            left = bx.bwd(left, right)
+        return left, right
+
+    left, right = benchmark(session)
+    assert bx.consistent(left, right)
+
+
+def test_consistency_check_scaling(benchmark, bx):
+    """consistency itself is the hot path of hippocraticness checks."""
+    left, right = consistent_composer_pair(1000, seed=4)
+    assert benchmark(bx.consistent, left, right)

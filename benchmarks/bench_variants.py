@@ -1,0 +1,71 @@
+"""E9 ablation: what each §4 variant choice costs.
+
+The variants differ in restoration policy, not asymptotics; this bench
+makes the constant factors visible (key-on-name pays a dict build;
+alphabetic insertion pays repeated scans; the remembering lens pays
+complement maintenance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import (
+    CanonicalOrderComposersBx,
+    KeyOnNameComposersBx,
+    RememberingComposersLens,
+    composers_bx,
+    composers_bx_with_position,
+)
+from repro.harness.generators import (
+    consistent_composer_pair,
+    random_pair_edit_script,
+)
+
+SIZE = 200
+
+
+def perturbed_pair(seed: int):
+    left, right = consistent_composer_pair(SIZE, seed=seed)
+    script = random_pair_edit_script(right, 20, seed=seed)
+    return left, script.apply(right)
+
+
+@pytest.mark.parametrize("factory,name", [
+    (lambda: composers_bx(), "base-end"),
+    (lambda: composers_bx_with_position("front"), "front"),
+    (lambda: composers_bx_with_position("alphabetic"), "alphabetic"),
+    (lambda: CanonicalOrderComposersBx(), "canonical-order"),
+], ids=["base-end", "front", "alphabetic", "canonical-order"])
+def test_fwd_variant_cost(benchmark, factory, name):
+    bx = factory()
+    left, right = perturbed_pair(5)
+    result = benchmark(bx.fwd, left, right)
+    assert bx.consistent(left, result)
+
+
+def test_key_on_name_bwd_cost(benchmark):
+    """Name-keyed repair on name-keyed models of comparable size."""
+    bx = KeyOnNameComposersBx()
+    import random
+    rng = random.Random(6)
+    left = bx.left_space.sample(rng)
+    right = bx.right_space.sample(rng)
+    result = benchmark(bx.bwd, left, right)
+    assert bx.consistent(result, right)
+
+
+def test_remembering_lens_session_cost(benchmark):
+    """putl/putr round trips with a growing complement."""
+    lens = RememberingComposersLens()
+    left, right = consistent_composer_pair(50, seed=7)
+
+    def session():
+        listing, complement = lens.putr(left, lens.missing())
+        shrunk = listing[: len(listing) // 2]
+        _model, complement = lens.putl(shrunk, complement)
+        model, complement = lens.putl(listing, complement)
+        return model
+
+    model = benchmark(session)
+    assert model == left  # memory restored every composer

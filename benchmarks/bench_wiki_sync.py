@@ -1,0 +1,57 @@
+"""E12: the §5.4 wiki-sync bx — render, parse, and full round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue import builtin_catalogue
+from repro.catalogue.composers import composers_entry
+from repro.repository.export import render_markdown, render_wikidot
+from repro.repository.wiki_sync import (
+    WikiSyncLens,
+    normalise_entry,
+    parse_wikidot,
+)
+
+
+@pytest.fixture(scope="module")
+def entry():
+    return normalise_entry(composers_entry())
+
+
+def test_render_wikidot(benchmark, entry):
+    page = benchmark(render_wikidot, entry)
+    assert page.startswith("+ COMPOSERS")
+
+
+def test_render_markdown(benchmark, entry):
+    text = benchmark(render_markdown, entry)
+    assert text.startswith("# COMPOSERS")
+
+
+def test_parse_wikidot(benchmark, entry):
+    page = render_wikidot(entry)
+    fields = benchmark(parse_wikidot, page)
+    assert fields["title"] == "COMPOSERS"
+
+
+def test_lens_round_trip(benchmark, entry):
+    lens = WikiSyncLens()
+
+    def round_trip():
+        return lens.put(lens.get(entry), entry)
+
+    assert benchmark(round_trip) == entry
+
+
+def test_whole_catalogue_sync(benchmark):
+    """Sync every built-in entry: the §5.4 local-copy maintenance job."""
+    lens = WikiSyncLens()
+    entries = [normalise_entry(example.entry())
+               for example in builtin_catalogue()]
+
+    def sync_all():
+        return [lens.put(lens.get(entry), entry) for entry in entries]
+
+    synced = benchmark(sync_all)
+    assert synced == entries

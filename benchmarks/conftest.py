@@ -1,0 +1,16 @@
+"""Benchmark suite configuration (pytest-benchmark)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-large", action="store_true", default=False,
+        help="include the largest (slow) scaling sizes")
+
+
+@pytest.fixture(scope="session")
+def large_sizes(request) -> bool:
+    return request.config.getoption("--bench-large")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The §5.1 curation workflow, end to end, on a file-backed repository.
+
+Run with::
+
+    python examples/curation_workflow.py
+
+Plays out the three-level curatorial structure: a member submits a new
+example, another member comments, a reviewer approves it to version 1.0,
+and the full version history remains addressable — then cites both the
+provisional and the reviewed versions, which differ, as §5.2 requires.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.repository.citation import cite_entry
+from repro.repository.curation import CuratedRepository, Role, User
+from repro.repository.entry import (
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    RestorationSpec,
+)
+from repro.repository.store import FileStore
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+
+def celsius_entry() -> ExampleEntry:
+    """A new example a community member might contribute."""
+    return ExampleEntry(
+        title="TEMPERATURES",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=("Celsius and Fahrenheit readings of the same "
+                  "thermometer, kept consistent in both directions."),
+        models=(ModelDescription("C", "A temperature in Celsius."),
+                ModelDescription("F", "A temperature in Fahrenheit.")),
+        consistency="f == c * 9/5 + 32.",
+        restoration=RestorationSpec(
+            combined="Each side determines the other; convert."),
+        properties=(PropertyClaim("correct"),
+                    PropertyClaim("hippocratic"),
+                    PropertyClaim("undoable")),
+        variants=(),
+        discussion=("A bijection; included as the smallest possible "
+                    "precise entry."),
+        authors=("Mia",),
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        repo = CuratedRepository(FileStore(root))
+
+        mia = User("Mia", Role.MEMBER)
+        bob = User("Bob", Role.MEMBER)
+        rex = User("Rex", Role.REVIEWER)
+
+        # A member submits; the entry enters as provisional 0.x.
+        entry = repo.submit(mia, celsius_entry())
+        print(f"submitted {entry.identifier!r} at version {entry.version} "
+              f"({repo.review_status(entry.identifier)})")
+
+        # Anyone with an account can comment.
+        repo.comment(bob, "temperatures", "2014-03-28",
+                     "State the rounding convention?")
+        print("Bob commented:",
+              repo.get("temperatures").comments[-1].text)
+
+        # The author revises in response; versions move linearly.
+        current = repo.get("temperatures")
+        revised = current.with_version(Version(0, 2))
+        revised = revised.__class__.from_dict({
+            **revised.to_dict(),
+            "consistency": "f == c * 9/5 + 32, both exact rationals.",
+        })
+        repo.revise(mia, revised)
+        print(f"Mia revised to {repo.get('temperatures').version}")
+
+        # A reviewer (not an author) approves: 1.0, reviewer credited.
+        approved = repo.approve(rex, "temperatures")
+        print(f"Rex approved: version {approved.version}, reviewers "
+              f"{approved.reviewers}")
+
+        # Old references still work (§5.2).
+        history = repo.store.versions("temperatures")
+        print("stored versions:", ", ".join(str(v) for v in history))
+        original = repo.get("temperatures", Version(0, 1))
+        print("v0.1 consistency text:", original.consistency)
+
+        # Citations pin the exact version.
+        print("\ncite the provisional version:")
+        print(" ", cite_entry(original))
+        print("cite the reviewed version:")
+        print(" ", cite_entry(approved))
+
+
+if __name__ == "__main__":
+    main()

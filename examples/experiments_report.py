@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md claims tables from a live run.
+
+Run with::
+
+    python examples/experiments_report.py
+
+Prints, for every executable catalogue entry, the claim-vs-measured
+table (E3–E6 and siblings), the E9 variants matrix, and the E1
+template summary — the non-timing half of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.catalogue import builtin_catalogue
+from repro.catalogue.composers import (
+    CanonicalOrderComposersBx,
+    KeyOnNameComposersBx,
+    composers_bx,
+    composers_bx_with_position,
+)
+from repro.core.laws import CheckConfig, check_bx_properties
+from repro.harness.reporting import claims_table, text_table
+from repro.repository.template import TEMPLATE
+from repro.repository.validation import validate_entry
+
+CONFIG = CheckConfig(trials=250, seed=7)
+
+
+def report_template() -> None:
+    print("== E1: the §3 template ==")
+    rows = [(spec.display_name, "required" if spec.required else "optional")
+            for spec in TEMPLATE]
+    print(text_table(("field", "status"), rows))
+
+
+def report_claims() -> None:
+    print("\n== E3-E6 and siblings: entry claims vs measurement ==")
+    for example in builtin_catalogue():
+        if not example.has_bx():
+            continue
+        print(f"\n-- {example.name} --")
+        print(claims_table(example.verify_claims(CONFIG)))
+
+
+def report_variants() -> None:
+    print("\n== E9: Composers variants matrix ==")
+    rows = []
+    for bx in (composers_bx(),
+               composers_bx_with_position("front"),
+               composers_bx_with_position("alphabetic"),
+               CanonicalOrderComposersBx(),
+               KeyOnNameComposersBx()):
+        report = check_bx_properties(bx, config=CONFIG)
+        status = {r.law: r.status.value for r in report.results}
+        rows.append((bx.name, status["correct"], status["hippocratic"],
+                     status["undoable"], status["simply matching"]))
+    print(text_table(("variant", "correct", "hippocratic", "undoable",
+                      "simply matching"), rows))
+
+
+def report_validation() -> None:
+    print("\n== entry validation across the catalogue ==")
+    rows = []
+    for example in builtin_catalogue():
+        report = validate_entry(example.entry())
+        rows.append((example.name,
+                     "ok" if report.ok else f"{len(report.errors)} errors",
+                     len(report.warnings)))
+    print(text_table(("entry", "validation", "warnings"), rows))
+
+
+def main() -> None:
+    report_template()
+    report_validation()
+    report_claims()
+    report_variants()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""E9 in action: how each §4 variant choice changes observable behaviour.
+
+Run with::
+
+    python examples/variant_explorer.py
+
+Prints a behaviour matrix over the Composers variants — the paper's
+three variant questions plus the canonical-order cautionary tale and
+the remembering (complement-carrying) lens — with the property profile
+of each measured by the law harness.
+"""
+
+from __future__ import annotations
+
+from repro.catalogue.composers import (
+    CanonicalOrderComposersBx,
+    KeyOnNameComposersBx,
+    RememberingComposersLens,
+    composers_bx,
+    composers_bx_with_position,
+    make_composer,
+)
+from repro.core.laws import CheckConfig, check_bx_properties
+from repro.harness.reporting import text_table
+
+
+def property_matrix() -> None:
+    variants = [
+        composers_bx(),
+        composers_bx_with_position("front"),
+        composers_bx_with_position("alphabetic"),
+        CanonicalOrderComposersBx(),
+        KeyOnNameComposersBx(),
+    ]
+    config = CheckConfig(trials=250, seed=1)
+    rows = []
+    for bx in variants:
+        report = check_bx_properties(bx, config=config)
+        status = {r.law: r.status.value for r in report.results}
+        rows.append((bx.name, status["correct"], status["hippocratic"],
+                     status["undoable"], status["simply matching"]))
+    print(text_table(
+        ("variant", "correct", "hippocratic", "undoable",
+         "simply matching"), rows))
+
+
+def britten_story() -> None:
+    """The paper's Britten, British / Britten, English question."""
+    print("\n--- the Britten question (modify or create?) ---")
+    model = frozenset({make_composer("Britten", "1913-1976", "British")})
+    listing = (("Britten", "English"),)
+
+    base = composers_bx()
+    (replaced,) = base.bwd(model, listing)
+    print(f"base bx creates a new composer: dates {replaced.dates}")
+
+    keyed = KeyOnNameComposersBx()
+    (modified,) = keyed.bwd(model, listing)
+    print(f"name-keyed bx modifies in place: dates {modified.dates}")
+
+
+def remembering_story() -> None:
+    """The Discussion's delete/re-add scenario, with and without memory."""
+    print("\n--- undoability: state-based vs complement-carrying ---")
+    britten = make_composer("Britten", "1913-1976", "English")
+    model = frozenset({britten})
+    listing = (("Britten", "English"),)
+
+    base = composers_bx()
+    lost = base.bwd(base.bwd(model, ()), listing)
+    (reborn,) = lost
+    print(f"state-based after delete/re-add: dates {reborn.dates}")
+
+    lens = RememberingComposersLens()
+    synced, complement = lens.putr(model, lens.missing())
+    _gone, complement = lens.putl((), complement)
+    restored, _complement = lens.putl(synced, complement)
+    (kept,) = restored
+    print(f"remembering lens after delete/re-add: dates {kept.dates}")
+
+
+def main() -> None:
+    print("--- property matrix across Composers variants ---")
+    property_matrix()
+    britten_story()
+    remembering_story()
+
+
+if __name__ == "__main__":
+    main()

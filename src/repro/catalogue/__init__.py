@@ -1,0 +1,21 @@
+"""The example catalogue: curated entries paired with executable bx.
+
+COMPOSERS (the paper's §4 instance, with every variant),
+COMPOSERS-STRING (the Boomerang original), UML2RDBMS (the notorious
+one), DBVIEW (relational lenses), plus bijection, tree, sketch and
+benchmark entries — the "broad church" of §2.
+"""
+
+from repro.catalogue.base import CatalogueExample
+from repro.catalogue.collection import (
+    builtin_catalogue,
+    catalogue_example,
+    populate_store,
+)
+
+__all__ = [
+    "CatalogueExample",
+    "builtin_catalogue",
+    "catalogue_example",
+    "populate_store",
+]

@@ -1,0 +1,81 @@
+"""Catalogue examples: a repository entry paired with executable artefacts.
+
+The paper separates an example's curated *description* (the template
+entry) from its *artefacts* ("executable code, proof scripts, sample
+inputs and outputs").  A :class:`CatalogueExample` bundles both: the
+:class:`~repro.repository.entry.ExampleEntry` and the executable bx
+implementations, so that
+
+* the repository can be populated from the catalogue
+  (:func:`repro.catalogue.collection.populate_store`), and
+* every entry's property claims can be verified against its primary
+  artefact (:meth:`CatalogueExample.verify_claims` — the mechanised
+  reviewer of experiments E3–E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.bx import Bx
+from repro.core.laws import CheckConfig, CheckReport, verify_property_claims
+from repro.repository.entry import ExampleEntry
+
+__all__ = ["CatalogueExample"]
+
+
+@dataclass(frozen=True)
+class CatalogueExample:
+    """One catalogue item: entry plus executable artefacts.
+
+    Attributes:
+        entry_factory: builds the repository entry (fresh each call, so
+            curation workflows cannot alias catalogue state).
+        bx_factory: builds the primary state-based bx artefact, or None
+            for entries whose artefacts are not state-based (sketches).
+        extra_artefacts: named factories for further executables
+            (variants, lenses), keyed by a short label.
+    """
+
+    name: str
+    entry_factory: Callable[[], ExampleEntry]
+    bx_factory: Callable[[], Bx] | None = None
+    extra_artefacts: dict[str, Callable[[], Any]] = field(
+        default_factory=dict)
+
+    def entry(self) -> ExampleEntry:
+        """A fresh copy of the repository entry."""
+        return self.entry_factory()
+
+    def bx(self) -> Bx:
+        """A fresh instance of the primary bx artefact."""
+        if self.bx_factory is None:
+            raise ValueError(
+                f"catalogue example {self.name!r} has no executable bx")
+        return self.bx_factory()
+
+    def has_bx(self) -> bool:
+        return self.bx_factory is not None
+
+    def artefact(self, label: str) -> Any:
+        """Instantiate a named extra artefact."""
+        try:
+            factory = self.extra_artefacts[label]
+        except KeyError:
+            known = ", ".join(sorted(self.extra_artefacts))
+            raise KeyError(
+                f"{self.name!r} has no artefact {label!r}; "
+                f"known: {known}") from None
+        return factory()
+
+    def verify_claims(self, config: CheckConfig | None = None
+                      ) -> CheckReport:
+        """Check the entry's property claims against the primary bx.
+
+        Claims the library cannot check (no registered checker, or the
+        bx lacks the needed protocol) come back SKIPPED, mirroring a
+        human reviewer abstaining.
+        """
+        return verify_property_claims(
+            self.bx(), self.entry().claimed_properties(), config=config)

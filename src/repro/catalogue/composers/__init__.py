@@ -1,0 +1,41 @@
+"""COMPOSERS: the paper's §4 worked example, in full.
+
+The base state-based bx (:mod:`repro.catalogue.composers.bx`), its model
+spaces (:mod:`repro.catalogue.composers.models`), the executable variants
+(:mod:`repro.catalogue.composers.variants`), and the repository entry
+transcribing the paper's text (:mod:`repro.catalogue.composers.entry`).
+"""
+
+from repro.catalogue.composers.bx import ComposersBx, composers_bx
+from repro.catalogue.composers.entry import composers_entry
+from repro.catalogue.composers.models import (
+    COMPOSER_TYPE,
+    UNKNOWN_DATES,
+    composer_set_space,
+    make_composer,
+    pair_list_space,
+    pair_of,
+    pairs_of_model,
+)
+from repro.catalogue.composers.variants import (
+    CanonicalOrderComposersBx,
+    KeyOnNameComposersBx,
+    PositionComposersBx,
+    RememberingComposersLens,
+    composers_bx_with_date_policy,
+    composers_bx_with_position,
+    copy_namesake_dates_policy,
+    epoch_dates_policy,
+    unknown_dates_policy,
+)
+
+__all__ = [
+    "ComposersBx", "composers_bx", "composers_entry",
+    "COMPOSER_TYPE", "UNKNOWN_DATES", "make_composer",
+    "composer_set_space", "pair_list_space", "pair_of", "pairs_of_model",
+    "PositionComposersBx", "CanonicalOrderComposersBx",
+    "KeyOnNameComposersBx", "RememberingComposersLens",
+    "composers_bx_with_position", "composers_bx_with_date_policy",
+    "unknown_dates_policy", "epoch_dates_policy",
+    "copy_namesake_dates_policy",
+]

@@ -1,0 +1,114 @@
+"""The COMPOSERS bx, exactly as specified in §4 of the paper.
+
+Consistency
+-----------
+"Models m and n are consistent if they embody the same set of (name,
+nationality) pairs": every composer in ``m`` has a matching entry in ``n``
+and vice versa — i.e. the two derived pair *sets* are equal.
+
+Forward restoration (``fwd(m, n)``)
+-----------------------------------
+* delete from ``n`` any entry with no matching composer in ``m``;
+* append at the end of ``n`` one entry for each pair derivable from ``m``
+  but not already present, the appended block "in alphabetical order by
+  name, and within name, by nationality; no duplicates should be added
+  (even if there are several composers in m with the same name and
+  nationality)".
+
+Backward restoration (``bwd(m, n)``)
+------------------------------------
+* delete from ``m`` any composer with no matching entry in ``n``;
+* add a new composer for each pair occurring in ``n`` but not derivable
+  from ``m``; "the dates of any newly added composer should be
+  ????-????".
+
+Properties (§4, verified by experiments E3–E6): Correct, Hippocratic,
+**not** Undoable, Simply matching.  The class implements the
+:class:`~repro.core.properties.MatchingKeys` protocol with key
+``(name, nationality)``, which is what the simply-matching check uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.bx import Bx
+from repro.models.lists import append_sorted_block, stable_delete
+from repro.models.records import Record
+from repro.catalogue.composers.models import (
+    UNKNOWN_DATES,
+    composer_set_space,
+    raw_composer,
+    pair_list_space,
+    pair_of,
+    pairs_of_model,
+)
+
+__all__ = ["ComposersBx", "composers_bx"]
+
+
+class ComposersBx(Bx):
+    """The base (symmetric, state-based) Composers bx of §4."""
+
+    def __init__(self, max_model_size: int = 6) -> None:
+        self.name = "composers"
+        self.left_space = composer_set_space(max_size=max_model_size)
+        self.right_space = pair_list_space(max_length=max_model_size + 2)
+
+    # ------------------------------------------------------------------
+    # Consistency.
+    # ------------------------------------------------------------------
+
+    def consistent(self, left: frozenset, right: tuple) -> bool:
+        return pairs_of_model(left) == set(right)
+
+    # ------------------------------------------------------------------
+    # Restoration.
+    # ------------------------------------------------------------------
+
+    def fwd(self, left: frozenset, right: tuple) -> tuple:
+        authoritative = pairs_of_model(left)
+        kept = stable_delete(right, lambda pair: pair in authoritative)
+        missing = authoritative - set(kept)
+        # Alphabetical by name, then nationality; a pair sorts exactly so.
+        return append_sorted_block(kept, missing)
+
+    def bwd(self, left: frozenset, right: tuple) -> frozenset:
+        authoritative = set(right)
+        kept = {composer for composer in left
+                if pair_of(composer) in authoritative}
+        derivable = {pair_of(composer) for composer in kept}
+        added = {raw_composer(name, UNKNOWN_DATES, nationality)
+                 for name, nationality in authoritative - derivable}
+        return frozenset(kept | added)
+
+    # ------------------------------------------------------------------
+    # Defaults (synchronising from scratch).
+    # ------------------------------------------------------------------
+
+    def default_left(self) -> frozenset:
+        return frozenset()
+
+    def default_right(self) -> tuple:
+        return ()
+
+    # ------------------------------------------------------------------
+    # MatchingKeys protocol: restoration matches on (name, nationality).
+    # ------------------------------------------------------------------
+
+    def items_left(self, left: frozenset) -> Iterable[Record]:
+        return left
+
+    def items_right(self, right: tuple) -> Iterable[tuple[str, str]]:
+        return right
+
+    def key_left(self, item: Record) -> tuple[str, str]:
+        return pair_of(item)
+
+    def key_right(self, item: tuple[str, str]) -> tuple[str, str]:
+        return item
+
+
+def composers_bx(max_model_size: int = 6) -> ComposersBx:
+    """Factory for the base Composers bx (stable public name)."""
+    return ComposersBx(max_model_size=max_model_size)

@@ -1,0 +1,163 @@
+"""The COMPOSERS repository entry — the paper's §4 instance, as data.
+
+This transcribes the paper's worked example into an
+:class:`~repro.repository.entry.ExampleEntry`, field for field: version
+0.1, type PRECISE, the two models, the consistency relation, forward and
+backward restoration, the four property claims (Correct, Hippocratic,
+**Not** undoable, Simply matching), the three variant questions, the
+undoability discussion, the two references (Stevens GTTSE 2008; the
+Boomerang POPL 2008 original), authors, and the paper's literal "None
+yet" reviewer/comment state — here, empty tuples, which render as "None
+yet" (experiment E2 compares the rendering against the paper).
+
+Artefact pointers link the entry to this library's executable
+implementations, exactly the "auxiliary materials" role §1 proposes.
+"""
+
+from __future__ import annotations
+
+from repro.repository.entry import (
+    Artefact,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+__all__ = ["composers_entry"]
+
+
+def composers_entry() -> ExampleEntry:
+    """The §4 COMPOSERS entry (version 0.1, unreviewed, PRECISE)."""
+    return ExampleEntry(
+        title="COMPOSERS",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=(
+            "This example stands for many cases where two slightly, but "
+            "significantly, different representations of the same real "
+            "world data are needed. The definition of consistency is "
+            "easy, but there is a choice of ways to restore consistency."),
+        models=(
+            ModelDescription(
+                "M",
+                "A model m in M comprises a set of (unrelated) objects "
+                "of class Composer, representing musical composers, each "
+                "with a name, dates and nationality.",
+                metamodel=("class Composer:\n"
+                           "    name: string\n"
+                           "    dates: string\n"
+                           "    nationality: string")),
+            ModelDescription(
+                "N",
+                "A model n in N is an ordered list of pairs, each "
+                "comprising a name and a nationality.",
+                metamodel="N = list of (name: string, nationality: string)"),
+        ),
+        consistency=(
+            "Models m and n are consistent if they embody the same set "
+            "of (name, nationality) pairs. That is, both: (i) for every "
+            "composer in m, there is at least one entry in the list n "
+            "with the same name and nationality; and (ii) for every "
+            "entry in n, there is at least one element of m with the "
+            "same name and nationality (there may be many such, each "
+            "with distinct dates)."),
+        restoration=RestorationSpec(
+            forward=(
+                "Produce a modified version of n by: deleting from n any "
+                "entry for which there is no element of m with the same "
+                "name and nationality; adding at the end of n an entry "
+                "comprising each (name, nationality) pair derivable from "
+                "an element of m but not already occurring in n. Such "
+                "additional entries should be in alphabetical order by "
+                "name, and within name, by nationality; no duplicates "
+                "should be added (even if there are several composers in "
+                "m with the same name and nationality)."),
+            backward=(
+                "Produce a modified version of m by: deleting from m any "
+                "composer for which there is no entry in n with the same "
+                "name and nationality; adding to m a new composer for "
+                "each (name, nationality) pair that occurs in n but is "
+                "not derivable from an element already occurring in m. "
+                "The dates of any newly added composer should be "
+                "????-????.")),
+        properties=(
+            PropertyClaim("correct", holds=True),
+            PropertyClaim("hippocratic", holds=True),
+            PropertyClaim("undoable", holds=False),
+            PropertyClaim("simply matching", holds=True),
+        ),
+        variants=(
+            Variant(
+                "Modify or create on mismatch",
+                "Do we ever modify the name and/or nationality of an "
+                "existing composer, or do we create a new composer in "
+                "the event of any mismatch? E.g. if one side has "
+                "Britten, British and the other has Britten, English, "
+                "does consistency restoration involve changing one of "
+                "the nationalities, or adding a second Britten? Of "
+                "course, if name is a key in the models then there is "
+                "no choice."),
+            Variant(
+                "Insert position in n",
+                "Where in the list n is a new composer added? Choices "
+                "include: at the beginning; at the end. We might "
+                "consider an alphabetically determined position, but "
+                "note that the user is not constrained to add composers "
+                "in alphabetical order, and we fail hippocraticness if "
+                "we choose to reorder when nothing at all need be "
+                "changed. It therefore seems unlikely that changing the "
+                "order of user-added composers will be wanted."),
+            Variant(
+                "Dates for new composers",
+                "What dates are used for a newly added composer in m?"),
+        ),
+        discussion=(
+            "This has been used as an example of why undoability is too "
+            "strong. Consider a composer currently present (just once) "
+            "in both of a consistent pair of models. If we delete it "
+            "from n, and enforce consistency on m, the representation "
+            "of the composer in m, including this composer's dates, is "
+            "lost. If we now restore it to n and re-enforce consistency "
+            "on m, then the absence of any extra information besides "
+            "the models means that the dates cannot be restored, so m "
+            "cannot return to exactly its original state."),
+        references=(
+            Reference(
+                "Perdita Stevens, \"A Landscape of Bidirectional Model "
+                "Transformations\", in Generative and Transformational "
+                "Techniques in Software Engineering II, 2008, Springer "
+                "LNCS 5235, pp408-424.",
+                doi="10.1007/978-3-540-75209-7_1",
+                note="this version"),
+            Reference(
+                "Aaron Bohannon, J. Nathan Foster, Benjamin C. Pierce, "
+                "Alexandre Pilkiewicz, and Alan Schmitt. \"Boomerang: "
+                "Resourceful Lenses for String Data\". In ACM "
+                "SIGPLAN-SIGACT Symposium on Principles of Programming "
+                "Languages (POPL), San Francisco, California, January "
+                "2008.",
+                doi="10.1145/1328438.1328487",
+                note="original asymmetric variant"),
+        ),
+        authors=("Perdita Stevens", "James McKinna", "James Cheney"),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("base bx", "code",
+                     "repro.catalogue.composers.bx.composers_bx",
+                     "the state-based bx exactly as specified"),
+            Artefact("variants", "code",
+                     "repro.catalogue.composers.variants",
+                     "executable renderings of each variation point"),
+            Artefact("remembering lens", "code",
+                     "repro.catalogue.composers.variants."
+                     "RememberingComposersLens",
+                     "symmetric lens whose complement restores deleted "
+                     "dates"),
+        ),
+    )

@@ -1,0 +1,147 @@
+"""Model spaces for the COMPOSERS example (§4 of the paper).
+
+Two classes of models:
+
+* ``M`` — "a set of (unrelated) objects of class Composer, representing
+  musical composers, each with a name, dates and nationality";
+* ``N`` — "an ordered list of pairs, each comprising a name and a
+  nationality".
+
+Composers are :class:`~repro.models.records.Record` values of
+:data:`COMPOSER_TYPE`; an ``M`` model is a frozenset of them
+(:func:`composer_set_space`), an ``N`` model a tuple of ``(name,
+nationality)`` pairs (:func:`pair_list_space`).
+
+Dates are a single string (e.g. ``"1913-1976"``); the paper's placeholder
+for composers created by backward restoration is ``"????-????"``
+(:data:`UNKNOWN_DATES`).  Name/nationality pools are deliberately small so
+random sampling produces plenty of matching-name collisions — the
+interesting cases for consistency restoration.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.models.lists import OrderedListSpace
+from repro.models.records import FieldDef, Record, RecordSetSpace, RecordType
+from repro.models.space import (
+    FiniteSpace,
+    ModelSpace,
+    PredicateSpace,
+    ProductSpace,
+)
+
+__all__ = [
+    "UNKNOWN_DATES",
+    "NAMES",
+    "NATIONALITIES",
+    "DATES",
+    "COMPOSER_TYPE",
+    "make_composer",
+    "raw_composer",
+    "composer_set_space",
+    "pair_space",
+    "pair_list_space",
+    "pair_of",
+    "pairs_of_model",
+]
+
+#: "The dates of any newly added composer should be ????-????."
+UNKNOWN_DATES = "????-????"
+
+#: Name pool; includes Britten for the paper's Britten/British/English
+#: variant discussion.
+NAMES: tuple[str, ...] = (
+    "Britten", "Elgar", "Tippett", "Purcell", "Holst", "Byrd",
+)
+
+#: Nationality pool; "British" and "English" both present, per the
+#: variants discussion.
+NATIONALITIES: tuple[str, ...] = ("British", "English", "Scottish", "Welsh")
+
+#: Date pool for sampled composers (plus the unknown placeholder).
+DATES: tuple[str, ...] = (
+    "1913-1976", "1857-1934", "1905-1998", "1659-1695", "1874-1934",
+    "1543-1623", UNKNOWN_DATES,
+)
+
+_NAME_SPACE = FiniteSpace(NAMES, name="composer names")
+_NATIONALITY_SPACE = FiniteSpace(NATIONALITIES, name="nationalities")
+
+_DATES_RE = re.compile(r"^(\d{4}|\?{4})-(\d{4}|\?{4})$")
+
+
+def _is_dates(value: object) -> bool:
+    return isinstance(value, str) and bool(_DATES_RE.match(value))
+
+
+#: Membership is any YYYY-YYYY (or ????-????) string — date policies and
+#: benchmark models may fall outside the small sampling pool; sampling
+#: draws from :data:`DATES`.
+_DATES_SPACE = PredicateSpace(
+    _is_dates,
+    lambda rng: rng.choice(DATES),
+    name="dates",
+    explain=lambda value: "expected 'YYYY-YYYY' or '????-????'")
+
+#: The Composer class of the paper's M metamodel.
+COMPOSER_TYPE = RecordType("Composer", [
+    FieldDef("name", _NAME_SPACE),
+    FieldDef("dates", _DATES_SPACE),
+    FieldDef("nationality", _NATIONALITY_SPACE),
+])
+
+
+def make_composer(name: str, dates: str, nationality: str) -> Record:
+    """Construct a Composer record, validating against the metamodel."""
+    return COMPOSER_TYPE.make(name=name, dates=dates,
+                              nationality=nationality)
+
+
+def raw_composer(name: str, dates: str, nationality: str) -> Record:
+    """Construct a Composer record *without* pool validation.
+
+    Restoration functions use this so the bx scales beyond the small
+    sampling pools (benchmark models have synthetic names); membership
+    checking still happens at the law-harness boundary via
+    :class:`~repro.core.bx.SpaceCheckedBx`.
+    """
+    return Record(COMPOSER_TYPE, {"name": name, "dates": dates,
+                                  "nationality": nationality})
+
+
+def composer_set_space(min_size: int = 0, max_size: int = 6,
+                       name: str = "M (sets of Composers)"
+                       ) -> RecordSetSpace:
+    """The space M: finite sets of Composer objects."""
+    return COMPOSER_TYPE.set_space(min_size, max_size, name=name)
+
+
+def pair_space() -> ModelSpace:
+    """The space of single (name, nationality) pairs."""
+    return ProductSpace(_NAME_SPACE, _NATIONALITY_SPACE,
+                        name="(name, nationality)")
+
+
+def pair_list_space(min_length: int = 0, max_length: int = 8,
+                    name: str = "N (lists of name/nationality pairs)"
+                    ) -> OrderedListSpace:
+    """The space N: ordered lists of (name, nationality) pairs.
+
+    Duplicates are allowed — the paper's forward restoration explicitly
+    handles entries that occur more than once ("no duplicates should be
+    added", implying existing duplicates may persist).
+    """
+    return OrderedListSpace(pair_space(), min_length, max_length, name=name)
+
+
+def pair_of(composer: Record) -> tuple[str, str]:
+    """The (name, nationality) pair derivable from a composer."""
+    return (composer.name, composer.nationality)
+
+
+def pairs_of_model(model: frozenset) -> set[tuple[str, str]]:
+    """All pairs derivable from an M model."""
+    return {pair_of(composer) for composer in model}

@@ -1,0 +1,388 @@
+"""The COMPOSERS variation points (§4 "Variants"), implemented.
+
+The paper's Variants field poses three questions a bx programmer must
+still resolve, plus the Discussion's undoability point.  Each becomes an
+executable variant here, so the behavioural consequences the paper argues
+informally are machine-checkable (experiment E9):
+
+1. *Mismatch handling* — "Do we ever modify the name and/or nationality
+   of an existing composer, or do we create a new composer in the event
+   of any mismatch?"  :class:`KeyOnNameComposersBx` takes name as the key
+   (the paper: "if name is a key in the models then there is no choice")
+   and **modifies** the nationality in place, preserving dates and list
+   position; the base bx creates/deletes instead.
+
+2. *Insert position* — "Where in the list n is a new composer added?"
+   :func:`composers_bx_with_position` offers ``"end"`` (base),
+   ``"front"``, and ``"alphabetic"`` (each new entry slots into an
+   alphabetically determined position — still hippocratic, because
+   nothing moves when nothing is added).
+   :class:`CanonicalOrderComposersBx` is the tempting-but-wrong fourth
+   choice the paper warns about: it keeps the whole list sorted and
+   therefore "fail[s] hippocraticness if we choose to reorder when
+   nothing at all need be changed" — the property check refutes
+   hippocraticness for it.
+
+3. *Dates for new composers* — "What dates are used for a newly added
+   composer in m?"  :func:`composers_bx_with_date_policy` parameterises
+   the base bx over a :class:`DatePolicy`: the paper's ``????-????``
+   placeholder, a fixed epoch, or copy-from-namesake.
+
+4. *Undoability via a complement* — the Discussion notes state-based
+   Composers cannot restore deleted dates.
+   :class:`RememberingComposersLens` is the symmetric-lens rendering
+   whose complement remembers dates of deleted composers, making the
+   delete/re-add scenario undo cleanly (experiment E5's counterpoint).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.core.bx import Bx
+from repro.core.symmetric import SymmetricLens
+from repro.models.lists import (
+    append_sorted_block,
+    insert_sorted,
+    stable_delete,
+)
+from repro.models.records import Record
+from repro.models.space import ModelSpace, PredicateSpace
+from repro.catalogue.composers.bx import ComposersBx
+from repro.catalogue.composers.models import (
+    UNKNOWN_DATES,
+    composer_set_space,
+    raw_composer,
+    pair_list_space,
+    pair_of,
+    pairs_of_model,
+)
+
+__all__ = [
+    "DatePolicy",
+    "unknown_dates_policy",
+    "epoch_dates_policy",
+    "copy_namesake_dates_policy",
+    "composers_bx_with_date_policy",
+    "composers_bx_with_position",
+    "PositionComposersBx",
+    "CanonicalOrderComposersBx",
+    "KeyOnNameComposersBx",
+    "RememberingComposersLens",
+]
+
+# ----------------------------------------------------------------------
+# Variant 3: date policies.
+# ----------------------------------------------------------------------
+
+#: A date policy decides the dates of a composer created by backward
+#: restoration, given its (name, nationality) pair and the old left model.
+DatePolicy = Callable[[tuple[str, str], frozenset], str]
+
+
+def unknown_dates_policy(pair: tuple[str, str],
+                         old_left: frozenset) -> str:
+    """The paper's base choice: ????-????."""
+    return UNKNOWN_DATES
+
+
+def epoch_dates_policy(pair: tuple[str, str], old_left: frozenset) -> str:
+    """A fixed sentinel epoch — distinguishable from 'unknown'."""
+    return "0000-0000"
+
+
+def copy_namesake_dates_policy(pair: tuple[str, str],
+                               old_left: frozenset) -> str:
+    """Copy dates from an existing composer with the same name, if any.
+
+    Deterministic: the alphabetically least dates among namesakes win.
+    Falls back to ????-???? when the name is new.
+    """
+    name, _nationality = pair
+    candidates = sorted(composer.dates for composer in old_left
+                        if composer.name == name)
+    return candidates[0] if candidates else UNKNOWN_DATES
+
+
+class _DatePolicyComposersBx(ComposersBx):
+    """Base bx with the new-composer date choice factored out."""
+
+    def __init__(self, policy: DatePolicy, policy_name: str,
+                 max_model_size: int = 6) -> None:
+        super().__init__(max_model_size=max_model_size)
+        self.name = f"composers/dates={policy_name}"
+        self._policy = policy
+
+    def bwd(self, left: frozenset, right: tuple) -> frozenset:
+        authoritative = set(right)
+        kept = {composer for composer in left
+                if pair_of(composer) in authoritative}
+        derivable = {pair_of(composer) for composer in kept}
+        added = {raw_composer(name, self._policy((name, nationality), left),
+                               nationality)
+                 for name, nationality in authoritative - derivable}
+        return frozenset(kept | added)
+
+
+def composers_bx_with_date_policy(policy: DatePolicy, policy_name: str,
+                                  max_model_size: int = 6) -> ComposersBx:
+    """The base bx with a chosen date policy for new composers."""
+    return _DatePolicyComposersBx(policy, policy_name, max_model_size)
+
+
+# ----------------------------------------------------------------------
+# Variant 2: insert position.
+# ----------------------------------------------------------------------
+
+class PositionComposersBx(ComposersBx):
+    """Base bx with the insert-position choice factored out.
+
+    ``position`` is one of ``"end"`` (base behaviour), ``"front"``, or
+    ``"alphabetic"``.  All three are correct and hippocratic; they differ
+    only in where additions land — the point the paper's second variant
+    bullet makes.
+    """
+
+    POSITIONS = ("end", "front", "alphabetic")
+
+    def __init__(self, position: str = "end",
+                 max_model_size: int = 6) -> None:
+        if position not in self.POSITIONS:
+            raise ValueError(
+                f"position must be one of {self.POSITIONS}, got "
+                f"{position!r}")
+        super().__init__(max_model_size=max_model_size)
+        self.name = f"composers/insert={position}"
+        self.position = position
+
+    def fwd(self, left: frozenset, right: tuple) -> tuple:
+        authoritative = pairs_of_model(left)
+        kept = stable_delete(right, lambda pair: pair in authoritative)
+        missing = sorted(authoritative - set(kept))
+        if self.position == "end":
+            return append_sorted_block(kept, missing)
+        if self.position == "front":
+            return tuple(missing) + kept
+        result = kept
+        for pair in missing:
+            result = insert_sorted(result, pair)
+        return result
+
+
+def composers_bx_with_position(position: str,
+                               max_model_size: int = 6) -> ComposersBx:
+    """The base bx with a chosen insert position for additions."""
+    return PositionComposersBx(position, max_model_size)
+
+
+class CanonicalOrderComposersBx(ComposersBx):
+    """The reordering variant the paper warns against.
+
+    Forward restoration always returns the *fully sorted* consistent
+    list.  Correct — but not hippocratic: handed an already-consistent
+    pair whose list is in user order, it reorders anyway ("we fail
+    hippocraticness if we choose to reorder when nothing at all need be
+    changed").  Kept in the catalogue as a deliberate negative example.
+    """
+
+    def __init__(self, max_model_size: int = 6) -> None:
+        super().__init__(max_model_size=max_model_size)
+        self.name = "composers/canonical-order"
+
+    def fwd(self, left: frozenset, right: tuple) -> tuple:
+        return tuple(sorted(pairs_of_model(left)))
+
+
+# ----------------------------------------------------------------------
+# Variant 1: name as key — modify instead of create.
+# ----------------------------------------------------------------------
+
+def _unique_name_set_space(max_size: int = 5) -> ModelSpace:
+    """Sets of composers with distinct names (name is a key)."""
+    base = composer_set_space(max_size=max_size)
+
+    def _is_member(value) -> bool:
+        if not base.contains(value):
+            return False
+        names = [composer.name for composer in value]
+        return len(set(names)) == len(names)
+
+    def _sample(rng: random.Random):
+        raw = base.sample(rng)
+        by_name: dict[str, Record] = {}
+        for composer in sorted(raw, key=lambda c: c.as_tuple()):
+            by_name.setdefault(composer.name, composer)
+        return frozenset(by_name.values())
+
+    return PredicateSpace(_is_member, _sample,
+                          name="M (name-keyed sets of Composers)")
+
+
+def _unique_name_list_space(max_length: int = 5) -> ModelSpace:
+    """Pair lists with distinct names (name is a key)."""
+    base = pair_list_space(max_length=max_length)
+
+    def _is_member(value) -> bool:
+        if not base.contains(value):
+            return False
+        names = [name for name, _nationality in value]
+        return len(set(names)) == len(names)
+
+    def _sample(rng: random.Random):
+        raw = base.sample(rng)
+        seen: set[str] = set()
+        result = []
+        for name, nationality in raw:
+            if name not in seen:
+                seen.add(name)
+                result.append((name, nationality))
+        return tuple(result)
+
+    return PredicateSpace(_is_member, _sample,
+                          name="N (name-keyed pair lists)")
+
+
+class KeyOnNameComposersBx(Bx):
+    """Name-keyed Composers: mismatches *modify*, never duplicate.
+
+    Both spaces are restricted so name is a key ("if name is a key in the
+    models then there is no choice").  Consistency is unchanged — same
+    derived pair set — but restoration matches items by *name*:
+
+    * a name present on both sides with differing nationality has its
+      nationality updated in place (fwd keeps the entry's list position;
+      bwd keeps the composer's dates — the Britten, British/English case);
+    * names only on the authoritative side are added (fwd: appended
+      alphabetically; bwd: with ????-???? dates);
+    * names only on the stale side are deleted.
+
+    Correct and hippocratic; still not undoable (dates of a deleted
+    composer stay unrecoverable).  Notably **not** simply matching, even
+    with name as the key: simple matching requires matched items to
+    survive *unchanged*, and this variant's whole point is to repair
+    matched items in place — the property check exhibits the difference
+    from the base bx (experiment E9).
+    """
+
+    def __init__(self, max_size: int = 5) -> None:
+        self.name = "composers/key=name"
+        self.left_space = _unique_name_set_space(max_size)
+        self.right_space = _unique_name_list_space(max_size)
+
+    def consistent(self, left: frozenset, right: tuple) -> bool:
+        return pairs_of_model(left) == set(right)
+
+    def fwd(self, left: frozenset, right: tuple) -> tuple:
+        by_name = {composer.name: composer for composer in left}
+        result = []
+        for name, nationality in right:
+            composer = by_name.get(name)
+            if composer is None:
+                continue  # name gone: delete the entry
+            # Name survives: keep position, update nationality on mismatch.
+            result.append((name, composer.nationality))
+        present = {name for name, _nationality in result}
+        additions = sorted(pair_of(composer) for composer in left
+                           if composer.name not in present)
+        return tuple(result) + tuple(additions)
+
+    def bwd(self, left: frozenset, right: tuple) -> frozenset:
+        wanted = dict(right)  # name -> nationality (name is a key)
+        result = set()
+        for composer in left:
+            nationality = wanted.pop(composer.name, None)
+            if nationality is None:
+                continue  # name gone: delete the composer
+            if composer.nationality == nationality:
+                result.add(composer)
+            else:
+                # The Britten case: change nationality, keep the dates.
+                result.add(composer.with_field("nationality", nationality))
+        for name, nationality in wanted.items():
+            result.add(raw_composer(name, UNKNOWN_DATES, nationality))
+        return frozenset(result)
+
+    def default_left(self) -> frozenset:
+        return frozenset()
+
+    def default_right(self) -> tuple:
+        return ()
+
+    # Matching is by name for this variant.
+    def items_left(self, left: frozenset) -> Iterable[Record]:
+        return left
+
+    def items_right(self, right: tuple) -> Iterable[tuple[str, str]]:
+        return right
+
+    def key_left(self, item: Record) -> str:
+        return item.name
+
+    def key_right(self, item: tuple[str, str]) -> str:
+        return item[0]
+
+
+# ----------------------------------------------------------------------
+# The Discussion's counterpoint: remembering dates in a complement.
+# ----------------------------------------------------------------------
+
+def _dates_map(left: frozenset) -> tuple:
+    """Dates per pair, as a sorted hashable mapping.
+
+    Each (name, nationality) pair maps to the sorted tuple of dates of
+    the composers deriving it (several composers may share a pair).
+    """
+    grouped: dict[tuple[str, str], list[str]] = {}
+    for composer in left:
+        grouped.setdefault(pair_of(composer), []).append(composer.dates)
+    return tuple(sorted((pair, tuple(sorted(dates)))
+                        for pair, dates in grouped.items()))
+
+
+def _merge_memory(old: tuple, current: tuple) -> tuple:
+    """Current models win; otherwise old memory is retained."""
+    merged = dict(old)
+    merged.update(dict(current))
+    return tuple(sorted(merged.items()))
+
+
+class RememberingComposersLens(SymmetricLens):
+    """Composers as a symmetric lens whose complement remembers dates.
+
+    The complement is ``(pair_order, memory)``: the last-synchronised
+    entry order, plus a mapping from (name, nationality) pairs to the
+    dates of the composers that once derived them.  Deleting a composer's
+    entry and re-adding it therefore restores the original dates — the
+    Discussion's "extra information besides the models" made concrete.
+    Satisfies PutRL/PutLR (checked in tests).
+    """
+
+    def __init__(self, max_size: int = 6) -> None:
+        self.name = "composers/remembering"
+        self.left_space = composer_set_space(max_size=max_size)
+        self.right_space = pair_list_space(max_length=max_size + 2)
+
+    def missing(self) -> tuple:
+        return ((), ())
+
+    def putr(self, left: frozenset, complement: tuple) -> tuple:
+        pair_order, memory = complement
+        authoritative = pairs_of_model(left)
+        kept = stable_delete(pair_order,
+                             lambda pair: pair in authoritative)
+        right = append_sorted_block(kept, authoritative - set(kept))
+        new_memory = _merge_memory(memory, _dates_map(left))
+        return right, (right, new_memory)
+
+    def putl(self, right: tuple, complement: tuple) -> tuple:
+        _pair_order, memory = complement
+        remembered = dict(memory)
+        composers = set()
+        for pair in set(right):
+            name, nationality = pair
+            for dates in remembered.get(pair, (UNKNOWN_DATES,)):
+                composers.add(raw_composer(name, dates, nationality))
+        left = frozenset(composers)
+        new_memory = _merge_memory(memory, _dates_map(left))
+        return left, (right, new_memory)

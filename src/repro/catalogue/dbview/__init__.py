@@ -1,0 +1,10 @@
+"""DBVIEW: relational view-update lenses (projection, selection, join)."""
+
+from repro.catalogue.dbview.entry import dbview_entry
+from repro.catalogue.dbview.lenses import (
+    JoinLens,
+    ProjectionLens,
+    SelectionLens,
+)
+
+__all__ = ["ProjectionLens", "SelectionLens", "JoinLens", "dbview_entry"]

@@ -1,0 +1,117 @@
+"""The DBVIEW repository entry: relational view update as lenses.
+
+One entry covering the projection/selection/join trio, with the classic
+anomalies recorded as variation points.  Kept as a single entry because
+the three lenses share models and the literature treats them as one
+example family (relational lenses).
+"""
+
+from __future__ import annotations
+
+from repro.repository.entry import (
+    Artefact,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+__all__ = ["dbview_entry"]
+
+
+def dbview_entry() -> ExampleEntry:
+    """The DBVIEW entry (version 0.1, unreviewed, PRECISE)."""
+    return ExampleEntry(
+        title="DBVIEW",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=(
+            "The relational view-update problem rendered as lenses: a "
+            "stored relation (source) and a derived view stay "
+            "consistent while either side is edited. Included because "
+            "it is the database community's canonical bx."),
+        models=(
+            ModelDescription(
+                "Source database",
+                "One or two relations with declared candidate keys; "
+                "rows are typed tuples over the relation schema.",
+                metamodel=("R = (name, attributes: list of (name, "
+                           "domain), key: subset of attributes)")),
+            ModelDescription(
+                "View relation",
+                "A relation derived by projection, selection, or "
+                "natural join of the source relations."),
+        ),
+        consistency=(
+            "The view equals the query applied to the source: "
+            "projection onto columns including the key, selection by a "
+            "row predicate, or natural join on a shared key column."),
+        restoration=RestorationSpec(
+            forward=(
+                "Recompute the view from the source (the view is "
+                "functionally determined)."),
+            backward=(
+                "Projection: rejoin hidden columns by key, defaults for "
+                "new keys. Selection: keep the hidden rows that fail "
+                "the predicate, replace the visible ones with the view; "
+                "reject view rows the predicate fails. Join: split view "
+                "rows across the sources; preserve dangling rows unless "
+                "the view claims their key.")),
+        properties=(
+            PropertyClaim("correct", holds=True),
+            PropertyClaim("hippocratic", holds=True),
+            PropertyClaim("undoable", holds=False,
+                          note="hidden columns of deleted rows are lost"),
+        ),
+        variants=(
+            Variant(
+                "Deletion policy under join",
+                "When a view row disappears, delete from the left "
+                "relation, the right, or both? The artefact deletes "
+                "from both; relational-lens literature names all three "
+                "policies."),
+            Variant(
+                "Selection anomaly handling",
+                "A view row the predicate rejects can be rejected (the "
+                "artefact's choice), silently dropped, or have the "
+                "predicate's columns coerced."),
+            Variant(
+                "Defaults for new keys under projection",
+                "New view rows need values for hidden columns: a "
+                "per-column default (the artefact), NULLs, or rejecting "
+                "the insert."),
+        ),
+        discussion=(
+            "View update is the oldest bx problem; the lens laws turn "
+            "its classic anomalies into precise side conditions. Like "
+            "COMPOSERS, the projection lens loses hidden data when a "
+            "row is deleted and re-added through the view, so the "
+            "family is not undoable. The join lens's treatment of "
+            "dangling rows is exactly a hippocraticness argument."),
+        references=(
+            Reference(
+                "Aaron Bohannon, Benjamin C. Pierce and Jeffrey A. "
+                "Vaughan. \"Relational lenses: a language for updatable "
+                "views\". PODS 2006.",
+                doi="10.1145/1142351.1142399"),
+            Reference(
+                "F. Bancilhon and N. Spyratos. \"Update semantics of "
+                "relational views\". ACM TODS 6(4), 1981.",
+                doi="10.1145/319628.319634"),
+        ),
+        authors=("James Cheney",),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("projection lens", "code",
+                     "repro.catalogue.dbview.lenses.ProjectionLens"),
+            Artefact("selection lens", "code",
+                     "repro.catalogue.dbview.lenses.SelectionLens"),
+            Artefact("join lens", "code",
+                     "repro.catalogue.dbview.lenses.JoinLens"),
+        ),
+    )

@@ -1,0 +1,262 @@
+"""Relational view-update lenses: projection, selection, join.
+
+The repository's database heritage (Boomerang's authors, the Buneman
+curated-database lineage the paper cites) is represented by the classic
+*relational lenses* trio.  Each is an asymmetric lens whose source is a
+relation (or database) and whose view is a derived relation; ``put``
+translates a view update back to the source — the view-update problem
+with lens laws as the correctness contract.
+
+* :class:`ProjectionLens` — view = πₚ(R) where the key ⊆ P.  ``put``
+  rejoins hidden columns by key; brand-new keys take supplied defaults.
+* :class:`SelectionLens` — view = σ_pred(R).  Hidden (unselected) rows
+  are preserved; putting back a row the predicate rejects raises — the
+  classic view-update anomaly surfaced as an error instead of a silent
+  law break.
+* :class:`JoinLens` — view = R ⋈ S (one shared key column).  ``put``
+  splits view rows across R and S; dangling rows (joinless) are
+  preserved unless the view claims their key.
+
+Laws: all three satisfy GetPut and PutGet on their spaces (checked in
+``tests/catalogue/test_dbview.py``); none satisfies PutPut, as is
+standard for non-oblivious lenses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import TransformationError
+from repro.core.lens import Lens
+from repro.models.relational import (
+    Attribute,
+    Relation,
+    RelationSchema,
+    RelationSpace,
+    natural_join,
+    project,
+    select,
+)
+from repro.models.space import PredicateSpace
+
+__all__ = ["ProjectionLens", "SelectionLens", "JoinLens"]
+
+
+class ProjectionLens(Lens):
+    """π: project a relation onto columns that include its key.
+
+    Hidden (projected-away) columns are restored by key on ``put``; rows
+    whose key is new take the ``defaults`` mapping for hidden columns.
+    """
+
+    def __init__(self, schema: RelationSchema, view_columns: Sequence[str],
+                 defaults: dict[str, Any], max_rows: int = 8) -> None:
+        if schema.key is None:
+            raise TransformationError(
+                "projection lens needs a declared key")
+        missing_key = [k for k in schema.key if k not in view_columns]
+        if missing_key:
+            raise TransformationError(
+                f"view must retain the key; missing {missing_key}")
+        self.schema = schema
+        self.view_columns = list(view_columns)
+        self.hidden_columns = [a.name for a in schema.attributes
+                               if a.name not in view_columns]
+        for column in self.hidden_columns:
+            if column not in defaults:
+                raise TransformationError(
+                    f"no default for hidden column {column!r}")
+        self.defaults = dict(defaults)
+        self.name = f"project[{','.join(self.view_columns)}]"
+        self.source_space = RelationSpace(schema, max_rows=max_rows)
+        self._view_schema = RelationSchema(
+            f"{schema.name}_view",
+            [schema.attributes[schema.index_of(c)]
+             for c in self.view_columns],
+            key=schema.key)
+        self.view_space = _projected_space(self, max_rows)
+
+    def get(self, source: Relation) -> Relation:
+        return project(source, self.view_columns,
+                       schema_name=self._view_schema.name,
+                       key=self.schema.key)
+
+    def put(self, view: Relation, source: Relation) -> Relation:
+        by_key = {self.schema.key_of(row): row for row in source.rows}
+        rows = []
+        for view_row in view.rows:
+            view_dict = view.schema.row_as_dict(view_row)
+            key = tuple(view_dict[k] for k in self.schema.key or ())
+            old_row = by_key.get(key)
+            merged = dict(view_dict)
+            if old_row is not None:
+                old_dict = self.schema.row_as_dict(old_row)
+                for column in self.hidden_columns:
+                    merged[column] = old_dict[column]
+            else:
+                for column in self.hidden_columns:
+                    merged[column] = self.defaults[column]
+            rows.append(tuple(merged[a.name]
+                              for a in self.schema.attributes))
+        return Relation(self.schema, rows)
+
+    def create(self, view: Relation) -> Relation:
+        return self.put(view, Relation(self.schema))
+
+
+class SelectionLens(Lens):
+    """σ: the rows satisfying a predicate; hidden rows are preserved.
+
+    ``put`` unions the new view rows with the preserved hidden rows.
+    Putting a row the predicate rejects raises
+    :class:`TransformationError` (PutGet would otherwise break).  A key
+    clash between a new view row and a hidden row resolves in favour of
+    the view (the hidden row is superseded).
+    """
+
+    def __init__(self, schema: RelationSchema,
+                 predicate: Callable[[dict[str, Any]], bool],
+                 max_rows: int = 8, name: str | None = None) -> None:
+        self.schema = schema
+        self.predicate = predicate
+        self.name = name or f"select[{schema.name}]"
+        self.source_space = RelationSpace(schema, max_rows=max_rows)
+        self.view_space = _selected_space(self, max_rows)
+
+    def get(self, source: Relation) -> Relation:
+        return select(source, self.predicate,
+                      schema_name=f"{self.schema.name}_sel")
+
+    def put(self, view: Relation, source: Relation) -> Relation:
+        rejected = [row for row in view.rows
+                    if not self.predicate(view.schema.row_as_dict(row))]
+        if rejected:
+            raise TransformationError(
+                f"selection lens cannot put back rows the predicate "
+                f"rejects: {sorted(rejected)!r}")
+        hidden = {row for row in source.rows
+                  if not self.predicate(self.schema.row_as_dict(row))}
+        view_keys = {self.schema.key_of(row) for row in view.rows}
+        kept_hidden = {row for row in hidden
+                       if self.schema.key_of(row) not in view_keys}
+        return Relation(self.schema, set(view.rows) | kept_hidden)
+
+    def create(self, view: Relation) -> Relation:
+        return self.put(view, Relation(self.schema))
+
+
+class JoinLens(Lens):
+    """⋈: natural join of R(k, b) and S(k, c) on the shared key column k.
+
+    The source is a pair ``(r, s)`` of relations keyed on the shared
+    column.  ``put`` splits every view row into its R- and S-halves;
+    rows of R or S whose key the view no longer mentions are deleted
+    *unless* they were dangling (had no join partner), in which case
+    they are preserved — they were never visible, so deleting them
+    would violate hippocraticness.  A view row whose key matches a
+    dangling row supersedes it.
+    """
+
+    def __init__(self, left_schema: RelationSchema,
+                 right_schema: RelationSchema, max_rows: int = 6) -> None:
+        shared = [a.name for a in left_schema.attributes
+                  if a.name in right_schema.attribute_names]
+        if len(shared) != 1:
+            raise TransformationError(
+                f"join lens expects exactly one shared column, got "
+                f"{shared}")
+        self.key_column = shared[0]
+        if left_schema.key != (self.key_column,) \
+                or right_schema.key != (self.key_column,):
+            raise TransformationError(
+                "both relations must be keyed on the shared column")
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.name = f"join[{left_schema.name}*{right_schema.name}]"
+        left_space = RelationSpace(left_schema, max_rows=max_rows)
+        right_space = RelationSpace(right_schema, max_rows=max_rows)
+        from repro.models.space import ProductSpace
+        self.source_space = ProductSpace(left_space, right_space,
+                                         name="(R, S)")
+        self.view_space = _joined_space(self, max_rows)
+
+    def get(self, source: tuple[Relation, Relation]) -> Relation:
+        left, right = source
+        return natural_join(left, right, schema_name="V")
+
+    def put(self, view: Relation,
+            source: tuple[Relation, Relation]) -> tuple[Relation, Relation]:
+        left, right = source
+        key_idx_left = self.left_schema.index_of(self.key_column)
+        key_idx_right = self.right_schema.index_of(self.key_column)
+        joined_keys = {row[key_idx_left] for row in left.rows} & \
+            {row[key_idx_right] for row in right.rows}
+
+        view_left_rows = set()
+        view_right_rows = set()
+        view_keys = set()
+        for row in view.rows:
+            row_dict = view.schema.row_as_dict(row)
+            view_keys.add(row_dict[self.key_column])
+            view_left_rows.add(tuple(
+                row_dict[a.name] for a in self.left_schema.attributes))
+            view_right_rows.add(tuple(
+                row_dict[a.name] for a in self.right_schema.attributes))
+
+        dangling_left = {row for row in left.rows
+                         if row[key_idx_left] not in joined_keys
+                         and row[key_idx_left] not in view_keys}
+        dangling_right = {row for row in right.rows
+                          if row[key_idx_right] not in joined_keys
+                          and row[key_idx_right] not in view_keys}
+        return (Relation(self.left_schema, view_left_rows | dangling_left),
+                Relation(self.right_schema,
+                         view_right_rows | dangling_right))
+
+    def create(self, view: Relation) -> tuple[Relation, Relation]:
+        empty = (Relation(self.left_schema), Relation(self.right_schema))
+        return self.put(view, empty)
+
+
+# ----------------------------------------------------------------------
+# View spaces: derived by sampling a source and taking its view, so the
+# law harness draws views that are genuinely achievable.
+# ----------------------------------------------------------------------
+
+def _projected_space(lens: ProjectionLens, max_rows: int):
+    return PredicateSpace(
+        predicate=lambda value: isinstance(value, Relation)
+        and value.schema.attribute_names == lens.view_columns,
+        sampler=lambda rng: lens.get(lens.source_space.sample(rng)),
+        name=f"views[{lens.name}]")
+
+
+def _selected_space(lens: SelectionLens, max_rows: int):
+    def _member(value) -> bool:
+        if not isinstance(value, Relation):
+            return False
+        if value.schema.attribute_names != lens.schema.attribute_names:
+            return False
+        return all(lens.predicate(value.schema.row_as_dict(row))
+                   for row in value.rows)
+
+    return PredicateSpace(
+        predicate=_member,
+        sampler=lambda rng: lens.get(lens.source_space.sample(rng)),
+        name=f"views[{lens.name}]")
+
+
+def _joined_space(lens: JoinLens, max_rows: int):
+    # natural_join keeps the left schema's order, then right-only columns.
+    expected = (list(lens.left_schema.attribute_names)
+                + [a.name for a in lens.right_schema.attributes
+                   if a.name not in lens.left_schema.attribute_names])
+
+    def _member(value) -> bool:
+        return (isinstance(value, Relation)
+                and value.schema.attribute_names == expected)
+
+    return PredicateSpace(
+        predicate=_member,
+        sampler=lambda rng: lens.get(lens.source_space.sample(rng)),
+        name=f"views[{lens.name}]")

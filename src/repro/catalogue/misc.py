@@ -1,0 +1,448 @@
+"""Further catalogue examples: bijections, documents, sketches, benchmarks.
+
+The paper wants a "broad church" (§2): precise micro-examples, sketches
+"of particular benefit to outsiders", and benchmarks as "a distinct
+class".  This module contributes one of each beyond the flagship
+entries:
+
+* **ROMAN-NUMERALS** — a pure bijection (decimal ↔ Roman numeral,
+  1..3999).  Pedagogically the degenerate bx: trivially correct,
+  hippocratic, undoable and history ignorant; a sanity anchor for the
+  law harness.
+* **DIRTREE** — a directory tree ↔ its sorted path listing.  Bijective
+  on canonical trees, but the interesting direction (listing → tree)
+  must *reconstruct* hierarchy; included as the smallest example whose
+  models are trees.
+* **MODEL-CODE-SYNC** — a SKETCH: round-trip engineering between UML
+  models and program code, described but deliberately not worked out,
+  exactly the §2 "sketch" class.
+* **COMPOSERS-BENCH** — a BENCHMARK entry pointing at this library's
+  workload harness, per the BenchmarX discussion the paper cites.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.bx import BijectiveBx, Bx
+from repro.models.space import IntRangeSpace, ModelSpace, PredicateSpace
+from repro.models.trees import Node
+from repro.repository.entry import (
+    Artefact,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+__all__ = [
+    "int_to_roman",
+    "roman_to_int",
+    "roman_bx",
+    "roman_entry",
+    "tree_to_paths",
+    "paths_to_tree",
+    "dirtree_bx",
+    "dirtree_entry",
+    "model_code_sketch_entry",
+    "composers_benchmark_entry",
+]
+
+# ----------------------------------------------------------------------
+# ROMAN-NUMERALS: a bijection.
+# ----------------------------------------------------------------------
+
+_ROMAN_TABLE = (
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"),
+    (100, "C"), (90, "XC"), (50, "L"), (40, "XL"),
+    (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+)
+
+
+def int_to_roman(number: int) -> str:
+    """Canonical Roman numeral for 1..3999."""
+    if not 1 <= number <= 3999:
+        raise ValueError(f"number out of Roman range: {number}")
+    pieces = []
+    remaining = number
+    for value, letters in _ROMAN_TABLE:
+        while remaining >= value:
+            pieces.append(letters)
+            remaining -= value
+    return "".join(pieces)
+
+
+def roman_to_int(numeral: str) -> int:
+    """Parse a canonical Roman numeral; rejects non-canonical forms."""
+    values = {"I": 1, "V": 5, "X": 10, "L": 50, "C": 100, "D": 500,
+              "M": 1000}
+    total = 0
+    previous = 0
+    for letter in reversed(numeral):
+        if letter not in values:
+            raise ValueError(f"bad Roman letter {letter!r}")
+        value = values[letter]
+        if value < previous:
+            total -= value
+        else:
+            total += value
+            previous = value
+    if not 1 <= total <= 3999 or int_to_roman(total) != numeral:
+        raise ValueError(f"non-canonical Roman numeral {numeral!r}")
+    return total
+
+
+def _roman_space() -> ModelSpace:
+    return PredicateSpace(
+        predicate=lambda value: isinstance(value, str)
+        and _is_roman(value),
+        sampler=lambda rng: int_to_roman(rng.randint(1, 3999)),
+        name="Roman numerals")
+
+
+def _is_roman(text: str) -> bool:
+    try:
+        roman_to_int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def roman_bx() -> Bx:
+    """The decimal ↔ Roman bijective bx (1..3999)."""
+    return BijectiveBx("roman-numerals",
+                       IntRangeSpace(1, 3999, name="1..3999"),
+                       _roman_space(),
+                       to_right=int_to_roman,
+                       to_left=roman_to_int)
+
+
+def roman_entry() -> ExampleEntry:
+    """The ROMAN-NUMERALS entry (version 0.1, PRECISE)."""
+    return ExampleEntry(
+        title="ROMAN-NUMERALS",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=(
+            "A pure bijection: integers 1..3999 and their canonical "
+            "Roman numerals. The degenerate bx every formalism handles; "
+            "useful as a sanity anchor when comparing tools."),
+        models=(
+            ModelDescription("Decimal", "An integer between 1 and 3999."),
+            ModelDescription("Roman",
+                             "A canonical Roman numeral (subtractive "
+                             "notation, no more than three repeats)."),
+        ),
+        consistency=(
+            "The numeral is the canonical rendering of the integer."),
+        restoration=RestorationSpec(
+            combined=(
+                "Each side determines the other: restoration simply "
+                "converts the authoritative side.")),
+        properties=(
+            PropertyClaim("correct", holds=True),
+            PropertyClaim("hippocratic", holds=True),
+            PropertyClaim("undoable", holds=True),
+            PropertyClaim("history ignorant", holds=True),
+        ),
+        variants=(
+            Variant("Non-canonical numerals",
+                    "Accepting IIII-style forms makes the right model "
+                    "class larger than the bijection's image; the bx "
+                    "must then normalise, losing hippocraticness on "
+                    "the right."),
+        ),
+        discussion=(
+            "Bijections are the trivial corner of the bx design space: "
+            "every property in the glossary holds. In the repository "
+            "they serve as the first example to try a new formalism "
+            "on, before the genuinely bidirectional cases."),
+        references=(),
+        authors=("Jeremy Gibbons",),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("bx", "code", "repro.catalogue.misc.roman_bx"),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# DIRTREE: a tree ↔ its sorted path listing.
+# ----------------------------------------------------------------------
+
+def tree_to_paths(tree: Node) -> tuple[str, ...]:
+    """All root-to-node paths of a directory tree, sorted.
+
+    The root node's label is the volume name; a path lists labels
+    joined by '/'.  Only leaf-to-root chains appear for leaves, but
+    interior directories appear as their own prefix paths too, so the
+    listing determines the tree.
+    """
+    paths: list[str] = []
+
+    def walk(node: Node, prefix: str) -> None:
+        here = f"{prefix}/{node.label}" if prefix else node.label
+        paths.append(here)
+        for child in node.children:
+            walk(child, here)
+
+    walk(tree, "")
+    return tuple(sorted(paths))
+
+
+def paths_to_tree(paths: tuple[str, ...]) -> Node:
+    """Rebuild the canonical tree from a sorted path listing.
+
+    Children are ordered alphabetically (the canonical form); raises
+    ValueError on listings with no common root or with gaps.
+    """
+    if not paths:
+        raise ValueError("empty listing has no tree")
+    roots = {path.split("/")[0] for path in paths}
+    if len(roots) != 1:
+        raise ValueError(f"listing has multiple roots: {sorted(roots)}")
+    split = [path.split("/") for path in sorted(paths)]
+
+    def build(label: str, members: list[list[str]], depth: int) -> Node:
+        children: dict[str, list[list[str]]] = {}
+        for parts in members:
+            if len(parts) > depth:
+                children.setdefault(parts[depth], []).append(parts)
+        for name, group in children.items():
+            if not any(len(parts) == depth + 1 for parts in group):
+                raise ValueError(
+                    f"listing omits interior directory "
+                    f"{'/'.join(group[0][:depth + 1])!r}")
+        return Node(label, children=[
+            build(name, group, depth + 1)
+            for name, group in sorted(children.items())])
+
+    return build(split[0][0], split, 1)
+
+
+def _canonical_tree(node: Node) -> Node:
+    """Sort children recursively; labels must be unique per directory."""
+    children = sorted((_canonical_tree(child) for child in node.children),
+                      key=lambda child: child.label)
+    return Node(node.label, children=children)
+
+
+def _dirtree_space() -> ModelSpace:
+    labels = ("bin", "doc", "src", "lib", "a", "b")
+
+    def _unique_labels(node: Node) -> bool:
+        names = [child.label for child in node.children]
+        if len(set(names)) != len(names):
+            return False
+        return all(_unique_labels(child) for child in node.children)
+
+    def _sample(rng: random.Random) -> Node:
+        def grow(label: str, depth: int) -> Node:
+            count = rng.randint(0, 2) if depth < 3 else 0
+            child_labels = rng.sample(labels, count)  # distinct siblings
+            return Node(label, children=sorted(
+                (grow(child, depth + 1) for child in child_labels),
+                key=lambda child: child.label))
+
+        return grow("root", 0)
+
+    return PredicateSpace(
+        predicate=lambda value: isinstance(value, Node)
+        and value == _canonical_tree(value) and _unique_labels(value),
+        sampler=_sample,
+        name="canonical directory trees")
+
+
+def _listing_space() -> ModelSpace:
+    tree_space = _dirtree_space()
+
+    def _member(value) -> bool:
+        if not isinstance(value, tuple) or not value:
+            return False
+        try:
+            tree = paths_to_tree(value)
+        except ValueError:
+            return False
+        return tree_to_paths(tree) == value
+
+    return PredicateSpace(
+        predicate=_member,
+        sampler=lambda rng: tree_to_paths(tree_space.sample(rng)),
+        name="sorted path listings")
+
+
+def dirtree_bx() -> Bx:
+    """Directory tree ↔ sorted path listing (bijective on canonical trees)."""
+    return BijectiveBx("dirtree",
+                       _dirtree_space(), _listing_space(),
+                       to_right=tree_to_paths,
+                       to_left=paths_to_tree)
+
+
+def dirtree_entry() -> ExampleEntry:
+    """The DIRTREE entry (version 0.1, PRECISE)."""
+    return ExampleEntry(
+        title="DIRTREE",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=(
+            "A directory tree and its sorted path listing. Bijective on "
+            "canonical trees, but the listing-to-tree direction must "
+            "reconstruct hierarchy, so implementations differ "
+            "instructively."),
+        models=(
+            ModelDescription(
+                "Tree",
+                "A rooted tree of labelled directories; sibling labels "
+                "are unique and children are alphabetically ordered "
+                "(the canonical form)."),
+            ModelDescription(
+                "Listing",
+                "The sorted tuple of slash-joined root-to-node paths, "
+                "including interior directories."),
+        ),
+        consistency=(
+            "The listing is exactly the set of paths of the tree."),
+        restoration=RestorationSpec(
+            combined=(
+                "Each side determines the other on canonical models: "
+                "flatten the tree, or group the listing by prefix and "
+                "rebuild.")),
+        properties=(
+            PropertyClaim("correct", holds=True),
+            PropertyClaim("hippocratic", holds=True),
+            PropertyClaim("undoable", holds=True),
+        ),
+        variants=(
+            Variant("Non-canonical trees",
+                    "If sibling order is user-controlled, the listing "
+                    "no longer determines the tree and restoration "
+                    "must preserve the old order, as COMPOSERS "
+                    "preserves list positions."),
+            Variant("Listings without interior paths",
+                    "If only leaf paths are listed, empty directories "
+                    "are invisible and the bx loses information in one "
+                    "direction."),
+        ),
+        discussion=(
+            "Included as the smallest tree-structured example; its "
+            "variants show how quickly bijectivity evaporates when a "
+            "model class is relaxed, which is the repository's reason "
+            "for recording variation points explicitly."),
+        references=(),
+        authors=("James McKinna",),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("bx", "code", "repro.catalogue.misc.dirtree_bx"),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sketch and benchmark entries (no executable bx by design).
+# ----------------------------------------------------------------------
+
+def model_code_sketch_entry() -> ExampleEntry:
+    """The MODEL-CODE-SYNC sketch entry (§2's SKETCH class)."""
+    return ExampleEntry(
+        title="MODEL-CODE-SYNC",
+        version=Version(0, 1),
+        types=(EntryType.SKETCH,),
+        overview=(
+            "Round-trip engineering: a UML model and the program code "
+            "generated from it are edited independently and must be "
+            "re-synchronised. A situation where a bx clearly applies "
+            "but the details are not worked out."),
+        models=(
+            ModelDescription(
+                "Model", "A UML class model as used by an MDE tool."),
+            ModelDescription(
+                "Code", "Source code in a mainstream object-oriented "
+                "language, partly generated and partly hand-written."),
+        ),
+        consistency=(
+            "Informally: the code implements the model; generated "
+            "regions agree with the model and hand-written regions are "
+            "unconstrained."),
+        restoration=RestorationSpec(
+            combined=(
+                "Not worked out. Candidate approaches: protected "
+                "regions, delta propagation over an extraction "
+                "function, or a lens per generated artefact.")),
+        properties=(),
+        variants=(),
+        discussion=(
+            "Included as a sketch per the template's class system: "
+            "outsiders wondering whether bx matter to them usually "
+            "arrive with exactly this problem. Making it precise would "
+            "need fixing a language subset and a generation scheme, "
+            "which is why it stays a sketch."),
+        references=(),
+        authors=("Perdita Stevens",),
+        reviewers=(),
+        comments=(),
+        artefacts=(),
+    )
+
+
+def composers_benchmark_entry() -> ExampleEntry:
+    """The COMPOSERS-BENCH benchmark entry (the BenchmarX class)."""
+    return ExampleEntry(
+        title="COMPOSERS-BENCH",
+        version=Version(0, 1),
+        types=(EntryType.BENCHMARK,),
+        overview=(
+            "A scaling benchmark over the COMPOSERS example: model "
+            "sizes and edit scripts are generated, restoration is "
+            "timed, and property checks are run at each size. Included "
+            "because benchmarks are a distinct class of repository "
+            "entry."),
+        models=(
+            ModelDescription(
+                "Workload",
+                "Seeded generators produce composer sets of a given "
+                "size and random edit scripts (add, delete, reorder) "
+                "against them.",
+                metamodel="see repro.harness.workloads"),
+        ),
+        consistency=(
+            "As for COMPOSERS; the benchmark measures the cost of "
+            "restoring it."),
+        restoration=RestorationSpec(
+            combined=(
+                "As for COMPOSERS, at sizes 10 to 10000, timed via "
+                "pytest-benchmark (benchmarks/bench_scaling.py).")),
+        properties=(),
+        variants=(
+            Variant("Edit mix",
+                    "The add/delete/reorder ratio is a benchmark "
+                    "parameter; deletion-heavy mixes stress backward "
+                    "restoration."),
+        ),
+        discussion=(
+            "Benchmark entries need fields precise entries do not "
+            "(workload parameters, measurement protocol), which is the "
+            "discussion the paper reports having begun with the "
+            "BenchmarX authors."),
+        references=(
+            Reference(
+                "Anthony Anjorin, Manuel Alcino Cunha, Holger Giese, "
+                "Frank Hermann, Arend Rensink, and Andy Schuerr. "
+                "\"BenchmarX\". In Proceedings of Bx 2014.",
+                note="the benchmark class proposal"),
+        ),
+        authors=("James Cheney", "Jeremy Gibbons"),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("workloads", "code", "repro.harness.workloads"),
+            Artefact("bench", "code", "benchmarks.bench_scaling",
+                     "pytest-benchmark suite"),
+        ),
+    )

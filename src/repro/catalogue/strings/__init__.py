@@ -1,0 +1,14 @@
+"""COMPOSERS-STRING: the original asymmetric (Boomerang) Composers."""
+
+from repro.catalogue.strings.entry import composers_string_entry
+from repro.catalogue.strings.lens import (
+    ComposerLinesLens,
+    ComposerTextLens,
+    source_lines_space,
+    view_lines_space,
+)
+
+__all__ = [
+    "ComposerLinesLens", "ComposerTextLens", "composers_string_entry",
+    "source_lines_space", "view_lines_space",
+]

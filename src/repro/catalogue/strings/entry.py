@@ -1,0 +1,104 @@
+"""The COMPOSERS-STRING repository entry: the asymmetric original.
+
+Curates the Boomerang string-lens form of Composers separately from the
+symmetric COMPOSERS entry, because the paper's References distinguish
+them ("Original (asymmetric) variant was in [Boomerang]") and the two
+have different property profiles — exactly the version-vs-variant
+distinction §5.2 insists on.
+"""
+
+from __future__ import annotations
+
+from repro.repository.entry import (
+    Artefact,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+__all__ = ["composers_string_entry"]
+
+
+def composers_string_entry() -> ExampleEntry:
+    """The COMPOSERS-STRING entry (version 0.1, unreviewed, PRECISE)."""
+    return ExampleEntry(
+        title="COMPOSERS-STRING",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=(
+            "The original asymmetric Composers: a string lens between a "
+            "text of Name, Dates, Nationality lines and its view "
+            "without dates. Demonstrates resourceful (alignment-aware) "
+            "put."),
+        models=(
+            ModelDescription(
+                "Source text",
+                "A text file, one composer per line: name, dates and "
+                "nationality separated by commas."),
+            ModelDescription(
+                "View text",
+                "The same lines with the dates column removed."),
+        ),
+        consistency=(
+            "The view is exactly the source with the dates field "
+            "deleted from every line, order preserved."),
+        restoration=RestorationSpec(
+            forward=(
+                "Recompute the view by deleting the dates field from "
+                "every source line."),
+            backward=(
+                "Align view lines with source lines by (name, "
+                "nationality) key, first-come first-served; aligned "
+                "lines keep their source dates, unaligned view lines "
+                "become new composers with ????-???? dates, and "
+                "unclaimed source lines are deleted.")),
+        properties=(
+            PropertyClaim("correct", holds=True),
+            PropertyClaim("hippocratic", holds=True),
+            PropertyClaim("undoable", holds=False,
+                          note="PutPut fails: resourceful lenses are "
+                           "not very well behaved"),
+        ),
+        variants=(
+            Variant(
+                "Alignment policy",
+                "By key first-come first-served (this artefact), by "
+                "position (the naive lens, which loses dates on "
+                "reordering), or by minimal edit distance (chunked "
+                "lenses with speculative alignment)."),
+            Variant(
+                "Separator robustness",
+                "Whether put must preserve the exact whitespace of "
+                "untouched lines; this artefact canonicalises to a "
+                "single space after each comma."),
+        ),
+        discussion=(
+            "The string form is where the Composers example began; its "
+            "put alignment question is the direct ancestor of the "
+            "symmetric entry's variant about modifying versus creating "
+            "composers. Comparing this lens's induced bx against the "
+            "symmetric COMPOSERS bx (they agree on deletion and "
+            "addition, differ on ordering guarantees) is experiment "
+            "E13's cross-formalism exercise."),
+        references=(
+            Reference(
+                "Aaron Bohannon, J. Nathan Foster, Benjamin C. Pierce, "
+                "Alexandre Pilkiewicz, and Alan Schmitt. \"Boomerang: "
+                "Resourceful Lenses for String Data\". POPL 2008.",
+                doi="10.1145/1328438.1328487"),
+        ),
+        authors=("James Cheney", "Jeremy Gibbons"),
+        reviewers=(),
+        comments=(),
+        artefacts=(
+            Artefact("lines lens", "code",
+                     "repro.catalogue.strings.lens.ComposerLinesLens"),
+            Artefact("text lens", "code",
+                     "repro.catalogue.strings.lens.ComposerTextLens"),
+        ),
+    )

@@ -1,0 +1,200 @@
+"""The original asymmetric Composers: a Boomerang-style string lens.
+
+The paper's References note the example "first appeared in" Boomerang
+(Bohannon et al., POPL 2008), as a lens on *strings*: the source is a
+text file of lines ``Name, Dates, Nationality`` and the view a text of
+lines ``Name, Nationality``.  The interesting part is *resourcefulness*:
+``put`` aligns view lines with source lines **by key** (name,
+nationality), not by position, so reordering the view preserves every
+composer's dates — the behaviour chunked/dictionary lenses were invented
+for.
+
+Two artefacts:
+
+* :class:`ComposerLinesLens` — the lens on tuples of lines (structured
+  form; used by the cross-formalism experiment E13);
+* :class:`ComposerTextLens` — the same lens precomposed with the
+  newline iso, operating on actual strings as Boomerang does.
+
+Laws: GetPut, PutGet, CreateGet hold; PutPut fails (resourceful lenses
+are not very well behaved) — the string-lens shadow of the paper's
+undoability discussion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.lens import Lens
+from repro.models.space import ModelSpace, PredicateSpace
+from repro.catalogue.composers.models import (
+    DATES,
+    NAMES,
+    NATIONALITIES,
+    UNKNOWN_DATES,
+)
+
+__all__ = [
+    "ComposerLinesLens",
+    "ComposerTextLens",
+    "source_lines_space",
+    "view_lines_space",
+]
+
+
+def _source_line(name: str, dates: str, nationality: str) -> str:
+    return f"{name}, {dates}, {nationality}"
+
+
+def _parse_source_line(line: str) -> tuple[str, str, str]:
+    parts = [part.strip() for part in line.split(",")]
+    if len(parts) != 3:
+        raise ValueError(f"bad source line {line!r}")
+    return (parts[0], parts[1], parts[2])
+
+
+def _parse_view_line(line: str) -> tuple[str, str]:
+    parts = [part.strip() for part in line.split(",")]
+    if len(parts) != 2:
+        raise ValueError(f"bad view line {line!r}")
+    return (parts[0], parts[1])
+
+
+def _is_source_lines(value) -> bool:
+    if not isinstance(value, tuple):
+        return False
+    for line in value:
+        if not isinstance(line, str):
+            return False
+        try:
+            _parse_source_line(line)
+        except ValueError:
+            return False
+    return True
+
+
+def _is_view_lines(value) -> bool:
+    if not isinstance(value, tuple):
+        return False
+    for line in value:
+        if not isinstance(line, str):
+            return False
+        try:
+            _parse_view_line(line)
+        except ValueError:
+            return False
+    return True
+
+
+def source_lines_space(max_lines: int = 6) -> ModelSpace:
+    """Tuples of well-formed ``Name, Dates, Nationality`` lines."""
+
+    def _sample(rng: random.Random) -> tuple:
+        count = rng.randint(0, max_lines)
+        return tuple(
+            _source_line(rng.choice(NAMES), rng.choice(DATES),
+                         rng.choice(NATIONALITIES))
+            for _ in range(count))
+
+    return PredicateSpace(_is_source_lines, _sample,
+                          name="composer source lines")
+
+
+def view_lines_space(max_lines: int = 6) -> ModelSpace:
+    """Tuples of well-formed ``Name, Nationality`` lines."""
+
+    def _sample(rng: random.Random) -> tuple:
+        count = rng.randint(0, max_lines)
+        return tuple(
+            f"{rng.choice(NAMES)}, {rng.choice(NATIONALITIES)}"
+            for _ in range(count))
+
+    return PredicateSpace(_is_view_lines, _sample,
+                          name="composer view lines")
+
+
+class ComposerLinesLens(Lens):
+    """Line-structured Boomerang Composers: drop dates; put them back by key.
+
+    ``put`` alignment: view lines claim source lines with the same
+    (name, nationality) key, first-come first-served in order; view
+    lines with no unclaimed key-match are new composers with ????-????
+    dates.  Source lines never claimed are deleted.
+    """
+
+    def __init__(self, max_lines: int = 6) -> None:
+        self.name = "composers-string"
+        self.source_space = source_lines_space(max_lines)
+        self.view_space = view_lines_space(max_lines)
+
+    def get(self, source: tuple) -> tuple:
+        view = []
+        for line in source:
+            name, _dates, nationality = _parse_source_line(line)
+            view.append(f"{name}, {nationality}")
+        return tuple(view)
+
+    def put(self, view: tuple, source: tuple) -> tuple:
+        # Pool of source dates per key, in source order (multiset).
+        pool: dict[tuple[str, str], list[str]] = {}
+        for line in source:
+            name, dates, nationality = _parse_source_line(line)
+            pool.setdefault((name, nationality), []).append(dates)
+        merged = []
+        for line in view:
+            key = _parse_view_line(line)
+            dates_list = pool.get(key)
+            if dates_list:
+                dates = dates_list.pop(0)
+            else:
+                dates = UNKNOWN_DATES
+            merged.append(_source_line(key[0], dates, key[1]))
+        return tuple(merged)
+
+    def create(self, view: tuple) -> tuple:
+        return self.put(view, ())
+
+
+class ComposerTextLens(Lens):
+    """The same lens on newline-joined strings (Boomerang's actual shape)."""
+
+    def __init__(self, max_lines: int = 6) -> None:
+        self.name = "composers-text"
+        self._inner = ComposerLinesLens(max_lines)
+        lines_source = self._inner.source_space
+        lines_view = self._inner.view_space
+
+        def _text_member(lines_space: ModelSpace):
+            def _member(value) -> bool:
+                if not isinstance(value, str):
+                    return False
+                return lines_space.contains(_split(value))
+            return _member
+
+        self.source_space = PredicateSpace(
+            _text_member(lines_source),
+            lambda rng: _join(lines_source.sample(rng)),
+            name="composer source text")
+        self.view_space = PredicateSpace(
+            _text_member(lines_view),
+            lambda rng: _join(lines_view.sample(rng)),
+            name="composer view text")
+
+    def get(self, source: str) -> str:
+        return _join(self._inner.get(_split(source)))
+
+    def put(self, view: str, source: str) -> str:
+        return _join(self._inner.put(_split(view), _split(source)))
+
+    def create(self, view: str) -> str:
+        return _join(self._inner.create(_split(view)))
+
+
+def _split(text: str) -> tuple:
+    if not text:
+        return ()
+    return tuple(text.split("\n"))
+
+
+def _join(lines: tuple) -> str:
+    return "\n".join(lines)

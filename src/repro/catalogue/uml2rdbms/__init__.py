@@ -1,0 +1,28 @@
+"""UML2RDBMS: the notorious class-diagram ↔ relational-schema example."""
+
+from repro.catalogue.uml2rdbms.bx import (
+    Uml2RdbmsBx,
+    uml2rdbms_bx,
+    uml2rdbms_lens,
+)
+from repro.catalogue.uml2rdbms.entry import uml2rdbms_entry
+from repro.catalogue.uml2rdbms.models import (
+    SQL_TYPES,
+    UML_TYPES,
+    Table,
+    add_class,
+    diagram_space,
+    empty_diagram,
+    schema_space,
+    sql_to_uml_type,
+    tables_of_diagram,
+    uml_metamodel,
+    uml_to_sql_type,
+)
+
+__all__ = [
+    "Uml2RdbmsBx", "uml2rdbms_bx", "uml2rdbms_lens", "uml2rdbms_entry",
+    "Table", "add_class", "diagram_space", "schema_space",
+    "empty_diagram", "tables_of_diagram", "uml_metamodel",
+    "UML_TYPES", "SQL_TYPES", "uml_to_sql_type", "sql_to_uml_type",
+]

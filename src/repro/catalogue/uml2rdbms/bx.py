@@ -1,0 +1,196 @@
+"""The UML ↔ RDBMS bx: base (flat) variant and inheritance variant.
+
+Consistency: ``tables_of_diagram(m) == s`` — the schema is exactly the
+image of the diagram's persistent classes.
+
+Forward (diagram authoritative): the schema is simply recomputed — the
+view is functionally determined by the diagram, so ``fwd`` ignores the
+stale schema (this makes the example naturally *asymmetric*; a lens view
+via :func:`uml2rdbms_lens` is provided for the cross-formalism
+experiment E13).
+
+Backward (schema authoritative) is where the choices live:
+
+* persistent classes whose table disappeared are deleted (with their
+  attribute nodes);
+* tables with no class create a fresh persistent class, all attributes
+  own, no hierarchy — the information destroyed by flattening cannot be
+  re-invented;
+* a persistent class whose table changed is *repaired in place*: its own
+  attribute set is made to match the table's columns (primary flags from
+  the key).  In the inheritance variant, repair **flattens** the class —
+  the parent edge is dropped and all columns become own attributes —
+  because column provenance (own vs. inherited) is not recorded in the
+  schema.  This is precisely a dates-style information loss, so the
+  example is *not undoable* (experiment E9's sibling for UML2RDBMS);
+* **non-persistent classes are never touched** — they are invisible in
+  the schema, and hippocraticness demands leaving them alone.
+"""
+
+from __future__ import annotations
+
+from repro.core.bx import Bx
+from repro.models.graphs import Graph, GraphEdge
+from repro.catalogue.uml2rdbms.models import (
+    Table,
+    add_class,
+    attribute_node,
+    diagram_space,
+    schema_space,
+    sql_to_uml_type,
+    tables_of_diagram,
+)
+
+__all__ = ["Uml2RdbmsBx", "uml2rdbms_bx", "uml2rdbms_lens"]
+
+
+class Uml2RdbmsBx(Bx):
+    """The class-diagram ↔ relational-schema bx."""
+
+    def __init__(self, with_inheritance: bool = False) -> None:
+        self.with_inheritance = with_inheritance
+        suffix = "+inheritance" if with_inheritance else ""
+        self.name = f"uml2rdbms{suffix}"
+        self.left_space = diagram_space(with_inheritance)
+        self.right_space = schema_space()
+
+    # ------------------------------------------------------------------
+    # Consistency and forward.
+    # ------------------------------------------------------------------
+
+    def consistent(self, left: Graph, right: frozenset) -> bool:
+        return tables_of_diagram(left, self.with_inheritance) == right
+
+    def fwd(self, left: Graph, right: frozenset) -> frozenset:
+        return tables_of_diagram(left, self.with_inheritance)
+
+    # ------------------------------------------------------------------
+    # Backward: the interesting direction.
+    # ------------------------------------------------------------------
+
+    def bwd(self, left: Graph, right: frozenset) -> Graph:
+        by_name = {table.name: table for table in right}
+        result = left
+
+        # Pass 1: delete persistent classes whose table is gone.
+        for node in left.nodes("Class"):
+            if not node.attribute("persistent"):
+                continue
+            if node.attribute("name") not in by_name:
+                result = self._delete_class(result, node.node_id)
+
+        # Pass 2: repair surviving classes named by a table, ancestors
+        # first so flattening decisions see the already-repaired
+        # hierarchy.  A non-persistent class that now has a table is made
+        # persistent (the schema is authoritative about what persists);
+        # in consistent states this never fires, preserving
+        # hippocraticness.
+        for node in self._classes_ancestors_first(result):
+            table = by_name.get(node.attribute("name"))
+            if table is None:
+                continue
+            if not node.attribute("persistent"):
+                result = result.replace_node(
+                    node.with_attribute("persistent", True))
+                result = self._repair_class(result, node.node_id, table)
+                continue
+            current = tables_of_diagram(result, self.with_inheritance)
+            if table not in current:
+                result = self._repair_class(result, node.node_id, table)
+
+        # Pass 3: create classes for brand-new tables.
+        existing = {node.attribute("name")
+                    for node in result.nodes("Class")}
+        for table in sorted(right, key=lambda t: t.name):
+            if table.name not in existing:
+                result = add_class(
+                    result, table.name, True,
+                    [(column, sql_to_uml_type(sql), column in table.key)
+                     for column, sql in table.columns])
+        return result
+
+    # ------------------------------------------------------------------
+    # Defaults.
+    # ------------------------------------------------------------------
+
+    def default_left(self) -> Graph:
+        return Graph()
+
+    def default_right(self) -> frozenset:
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _classes_ancestors_first(self, diagram: Graph) -> list:
+        """Classes ordered so that parents precede children."""
+        nodes = diagram.nodes("Class")
+        order: list = []
+        placed: set[str] = set()
+
+        def place(node) -> None:
+            if node.node_id in placed:
+                return
+            for parent in diagram.targets(node.node_id, "parent"):
+                place(parent)
+            placed.add(node.node_id)
+            order.append(node)
+
+        for node in nodes:
+            place(node)
+        return order
+
+    def _delete_class(self, diagram: Graph, class_id: str) -> Graph:
+        """Delete a class node with its attribute nodes and edges."""
+        result = diagram
+        for attr in diagram.targets(class_id, "attrs"):
+            result = result.remove_node(attr.node_id)
+        return result.remove_node(class_id)
+
+    def _repair_class(self, diagram: Graph, class_id: str,
+                      table: Table) -> Graph:
+        """Make a class's image equal to ``table``, flattening if needed."""
+        result = diagram
+        # Drop the parent edge (inheritance variant): provenance of the
+        # columns is unknowable from the schema, so the repaired class
+        # owns everything.
+        for edge in list(result.out_edges(class_id, "parent")):
+            result = result.remove_edge(edge)
+        # Replace own attributes with exactly the table's columns.
+        for attr in result.targets(class_id, "attrs"):
+            result = result.remove_node(attr.node_id)
+        class_name = result.node(class_id).attribute("name")
+        for column, sql_type in table.columns:
+            node = attribute_node(class_name, column,
+                                  sql_to_uml_type(sql_type),
+                                  column in table.key)
+            result = result.add_node(node)
+            result = result.add_edge(
+                GraphEdge(class_id, "attrs", node.node_id))
+        return result
+
+
+def uml2rdbms_bx(with_inheritance: bool = False) -> Uml2RdbmsBx:
+    """Factory for the UML ↔ RDBMS bx (stable public name)."""
+    return Uml2RdbmsBx(with_inheritance)
+
+
+def uml2rdbms_lens(with_inheritance: bool = False):
+    """The same transformation as an asymmetric lens (diagram source).
+
+    ``get`` computes the schema; ``put`` is the bx's backward direction;
+    ``create`` builds a diagram of flat persistent classes.  Used by the
+    cross-formalism agreement experiment (E13).
+    """
+    from repro.core.lens import FunctionalLens
+
+    bx = Uml2RdbmsBx(with_inheritance)
+    return FunctionalLens(
+        name=f"{bx.name}-lens",
+        source_space=bx.left_space,
+        view_space=bx.right_space,
+        get=lambda diagram: bx.fwd(diagram, frozenset()),
+        put=lambda schema, diagram: bx.bwd(diagram, schema),
+        create=lambda schema: bx.bwd(Graph(), schema),
+    )

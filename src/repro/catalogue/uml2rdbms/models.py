@@ -1,0 +1,295 @@
+"""Model spaces for the UML-class-diagram ↔ RDBMS-schema example.
+
+The paper calls this "the notorious UML class diagram to RDBMS schema
+example [that] has appeared in many variants in papers by many authors" —
+the proliferation-of-variants problem the repository exists to fix.  The
+*base* variant here (following the QVT lineage) relates:
+
+* **left** — a class diagram: an object graph of Class nodes (name,
+  persistent flag) owning Attribute nodes (name, UML type, primary flag)
+  via ``attrs`` edges; the inheritance variant adds ``parent`` edges;
+* **right** — a relational schema: a set of :class:`Table` values (name,
+  ordered columns of (name, SQL type), primary-key column names).
+
+Consistency: the tables are exactly the persistent classes, each table's
+columns exactly the class's attributes (name-sorted) with UML types
+mapped to SQL types, and its key exactly the primary attributes.
+Non-persistent classes are invisible in the schema — the source of the
+example's non-bijectivity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.models.graphs import Graph, GraphEdge, GraphNode, GraphSpace
+from repro.models.metamodel import (
+    AttributeDef,
+    ClassDef,
+    Metamodel,
+    ReferenceDef,
+)
+from repro.models.space import FiniteSpace, ModelSpace, PredicateSpace
+
+__all__ = [
+    "UML_TYPES",
+    "SQL_TYPES",
+    "uml_to_sql_type",
+    "sql_to_uml_type",
+    "CLASS_NAMES",
+    "ATTR_NAMES",
+    "Table",
+    "uml_metamodel",
+    "class_node",
+    "attribute_node",
+    "add_class",
+    "diagram_space",
+    "schema_space",
+    "tables_of_diagram",
+    "empty_diagram",
+]
+
+#: UML attribute types and their SQL images (the classic mapping).
+UML_TYPES: tuple[str, ...] = ("String", "Integer", "Boolean")
+SQL_TYPES: tuple[str, ...] = ("VARCHAR", "INT", "BOOLEAN")
+
+_TYPE_MAP = dict(zip(UML_TYPES, SQL_TYPES))
+_TYPE_MAP_BACK = dict(zip(SQL_TYPES, UML_TYPES))
+
+
+def uml_to_sql_type(uml_type: str) -> str:
+    """Map a UML attribute type to its SQL column type."""
+    return _TYPE_MAP[uml_type]
+
+
+def sql_to_uml_type(sql_type: str) -> str:
+    """Map a SQL column type back to its UML attribute type."""
+    return _TYPE_MAP_BACK[sql_type]
+
+
+#: Small pools so samples collide on names (the interesting cases).
+CLASS_NAMES: tuple[str, ...] = ("Customer", "Order", "Product", "Invoice")
+ATTR_NAMES: tuple[str, ...] = ("id", "name", "total", "paid")
+
+_BOOL_SPACE = FiniteSpace([True, False], name="bool")
+_CLASS_NAME_SPACE = FiniteSpace(CLASS_NAMES, name="class names")
+_ATTR_NAME_SPACE = FiniteSpace(ATTR_NAMES, name="attribute names")
+_UML_TYPE_SPACE = FiniteSpace(UML_TYPES, name="UML types")
+
+
+@dataclass(frozen=True)
+class Table:
+    """One relational table: name, ordered columns, primary-key columns."""
+
+    name: str
+    columns: tuple[tuple[str, str], ...]
+    key: tuple[str, ...] = ()
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _sql_type in self.columns)
+
+
+def uml_metamodel(with_inheritance: bool = False) -> Metamodel:
+    """The class-diagram metamodel (optionally with single inheritance)."""
+    class_refs = [ReferenceDef("attrs", "Attribute", lower=0, upper=None)]
+    if with_inheritance:
+        class_refs.append(ReferenceDef("parent", "Class", lower=0, upper=1))
+    return Metamodel("UML", [
+        ClassDef("Class",
+                 attributes=[AttributeDef("name", _CLASS_NAME_SPACE),
+                             AttributeDef("persistent", _BOOL_SPACE)],
+                 references=class_refs),
+        ClassDef("Attribute",
+                 attributes=[AttributeDef("name", _ATTR_NAME_SPACE),
+                             AttributeDef("type", _UML_TYPE_SPACE),
+                             AttributeDef("primary", _BOOL_SPACE)]),
+    ])
+
+
+def class_node(name: str, persistent: bool) -> GraphNode:
+    """A Class node; its id is derived from the (unique) class name."""
+    return GraphNode.make(f"class:{name}", "Class",
+                          {"name": name, "persistent": persistent})
+
+
+def attribute_node(class_name: str, name: str, uml_type: str,
+                   primary: bool = False) -> GraphNode:
+    """An Attribute node owned by the named class."""
+    return GraphNode.make(f"attr:{class_name}:{name}", "Attribute",
+                          {"name": name, "type": uml_type,
+                           "primary": primary})
+
+
+def add_class(diagram: Graph, name: str, persistent: bool,
+              attributes: list[tuple[str, str, bool]],
+              parent: str | None = None) -> Graph:
+    """Add a class with attributes (name, uml type, primary) to a diagram."""
+    result = diagram.add_node(class_node(name, persistent))
+    for attr_name, uml_type, primary in attributes:
+        node = attribute_node(name, attr_name, uml_type, primary)
+        result = result.add_node(node)
+        result = result.add_edge(
+            GraphEdge(f"class:{name}", "attrs", node.node_id))
+    if parent is not None:
+        result = result.add_edge(
+            GraphEdge(f"class:{name}", "parent", f"class:{parent}"))
+    return result
+
+
+def empty_diagram() -> Graph:
+    return Graph()
+
+
+def _class_names_unique(graph: Graph) -> bool:
+    names = [node.attribute("name") for node in graph.nodes("Class")]
+    return len(set(names)) == len(names)
+
+
+def _attr_names_unique_per_class(graph: Graph) -> bool:
+    for class_nd in graph.nodes("Class"):
+        names = [attr.attribute("name")
+                 for attr in graph.targets(class_nd.node_id, "attrs")]
+        if len(set(names)) != len(names):
+            return False
+    return True
+
+
+def _sample_diagram(rng: random.Random,
+                    with_inheritance: bool = False) -> Graph:
+    """A random well-formed class diagram."""
+    count = rng.randint(0, len(CLASS_NAMES))
+    chosen = rng.sample(CLASS_NAMES, count)
+    diagram = Graph()
+    for index, name in enumerate(chosen):
+        attr_count = rng.randint(0, 3)
+        attr_names = rng.sample(ATTR_NAMES, attr_count)
+        attributes = [(attr_name, rng.choice(UML_TYPES),
+                       rng.random() < 0.3)
+                      for attr_name in attr_names]
+        parent = None
+        if with_inheritance and index > 0 and rng.random() < 0.4:
+            parent = chosen[rng.randrange(index)]
+        diagram = add_class(diagram, name, rng.random() < 0.7,
+                            attributes, parent=parent)
+    return diagram
+
+
+def diagram_space(with_inheritance: bool = False) -> ModelSpace:
+    """The space of well-formed class diagrams.
+
+    Well-formedness: conforms to the metamodel, class names unique,
+    attribute names unique per class (and, with inheritance, no parent
+    cycles — guaranteed by the sampler's construction order and checked
+    for membership).
+    """
+    metamodel = uml_metamodel(with_inheritance)
+
+    def _acyclic(graph: Graph) -> bool:
+        for node in graph.nodes("Class"):
+            seen = {node.node_id}
+            current = node
+            while True:
+                parents = graph.targets(current.node_id, "parent")
+                if not parents:
+                    break
+                current = parents[0]
+                if current.node_id in seen:
+                    return False
+                seen.add(current.node_id)
+        return True
+
+    def _is_member(value) -> bool:
+        if not isinstance(value, Graph):
+            return False
+        if not metamodel.conforms(value):
+            return False
+        if not (_class_names_unique(value)
+                and _attr_names_unique_per_class(value)):
+            return False
+        if with_inheritance and not _acyclic(value):
+            return False
+        # Every Attribute node must be owned by exactly one class.
+        owned = [edge.target for edge in value.edges("attrs")]
+        attr_ids = [node.node_id for node in value.nodes("Attribute")]
+        return sorted(owned) == sorted(attr_ids)
+
+    kind = "diagrams+inh" if with_inheritance else "diagrams"
+    return PredicateSpace(
+        _is_member,
+        lambda rng: _sample_diagram(rng, with_inheritance),
+        name=f"UML {kind}")
+
+
+def _sample_schema(rng: random.Random) -> frozenset:
+    count = rng.randint(0, len(CLASS_NAMES))
+    tables = []
+    for name in rng.sample(CLASS_NAMES, count):
+        column_names = sorted(rng.sample(ATTR_NAMES, rng.randint(0, 3)))
+        columns = tuple((column, rng.choice(SQL_TYPES))
+                        for column in column_names)
+        key = tuple(column for column, _sql in columns
+                    if rng.random() < 0.3)
+        tables.append(Table(name, columns, key))
+    return frozenset(tables)
+
+
+def schema_space() -> ModelSpace:
+    """The space of relational schemas: frozensets of well-formed Tables."""
+
+    def _is_member(value) -> bool:
+        if not isinstance(value, frozenset):
+            return False
+        names = []
+        for table in value:
+            if not isinstance(table, Table):
+                return False
+            names.append(table.name)
+            column_names = table.column_names()
+            if list(column_names) != sorted(set(column_names)):
+                return False  # columns name-sorted and unique
+            if any(sql not in SQL_TYPES for _name, sql in table.columns):
+                return False
+            if any(key not in column_names for key in table.key):
+                return False
+        return len(set(names)) == len(names)
+
+    return PredicateSpace(_is_member, _sample_schema,
+                          name="RDBMS schemas")
+
+
+def tables_of_diagram(diagram: Graph,
+                      flatten_inheritance: bool = False) -> frozenset:
+    """The schema a diagram *should* map to (the consistency function).
+
+    One table per persistent class; columns are the class's attributes
+    (name-sorted), with inherited attributes included when
+    ``flatten_inheritance``; key columns are the primary attributes.
+    Name clashes between inherited and own attributes resolve in favour
+    of the subclass (the usual override rule).
+    """
+    tables = set()
+    for node in diagram.nodes("Class"):
+        if not node.attribute("persistent"):
+            continue
+        collected: dict[str, tuple[str, bool]] = {}
+        chain = [node]
+        if flatten_inheritance:
+            current = node
+            while True:
+                parents = diagram.targets(current.node_id, "parent")
+                if not parents:
+                    break
+                current = parents[0]
+                chain.append(current)
+        for owner in reversed(chain):  # ancestors first; subclass overrides
+            for attr in diagram.targets(owner.node_id, "attrs"):
+                collected[attr.attribute("name")] = (
+                    attr.attribute("type"), attr.attribute("primary"))
+        columns = tuple((name, uml_to_sql_type(uml_type))
+                        for name, (uml_type, _primary)
+                        in sorted(collected.items()))
+        key = tuple(name for name, (_uml, primary)
+                    in sorted(collected.items()) if primary)
+        tables.add(Table(node.attribute("name"), columns, key))
+    return frozenset(tables)

@@ -1,0 +1,91 @@
+"""Core bx formalisms: state-based bx, lenses, delta bx, properties, laws.
+
+This package is the semantic substrate of the repository: every catalogue
+example implements one (usually several) of the formalisms defined here,
+and every property claim in an entry is checkable through
+:mod:`repro.core.laws`.
+"""
+
+from repro.core.bx import (
+    BijectiveBx,
+    Bx,
+    DualBx,
+    FunctionalBx,
+    IdentityBx,
+    SpaceCheckedBx,
+    TrivialBx,
+)
+from repro.core.delta import (
+    Delete,
+    DeltaBx,
+    Edit,
+    EditScript,
+    FunctionalDeltaBx,
+    Identity,
+    Insert,
+    Update,
+    diff_sequences,
+)
+from repro.core.errors import (
+    BxError,
+    ConsistencyError,
+    LawViolation,
+    ModelSpaceError,
+    TransformationError,
+)
+from repro.core.laws import (
+    CheckConfig,
+    CheckReport,
+    LawResult,
+    check_bx_properties,
+    check_lens_laws,
+    check_symmetric_laws,
+    verify_property_claims,
+)
+from repro.core.lens import LENS_LAWS, FunctionalLens, IsoLens, Lens
+from repro.core.properties import (
+    PROPERTY_REGISTRY,
+    BxProperty,
+    CheckStatus,
+    Correct,
+    Hippocratic,
+    HistoryIgnorant,
+    LeastChange,
+    PropertyResult,
+    SimplyMatching,
+    Undoable,
+    get_property,
+    register_property,
+    standard_properties,
+)
+from repro.core.symmetric import (
+    SYMMETRIC_LAWS,
+    FunctionalSymmetricLens,
+    SymmetricLens,
+    symmetric_from_bijection,
+)
+
+__all__ = [
+    # bx
+    "Bx", "FunctionalBx", "BijectiveBx", "DualBx", "SpaceCheckedBx",
+    "IdentityBx", "TrivialBx",
+    # lenses
+    "Lens", "FunctionalLens", "IsoLens", "LENS_LAWS",
+    # symmetric
+    "SymmetricLens", "FunctionalSymmetricLens", "symmetric_from_bijection",
+    "SYMMETRIC_LAWS",
+    # delta
+    "Edit", "Identity", "Insert", "Delete", "Update", "EditScript",
+    "DeltaBx", "FunctionalDeltaBx", "diff_sequences",
+    # properties
+    "BxProperty", "CheckStatus", "PropertyResult", "Correct", "Hippocratic",
+    "Undoable", "HistoryIgnorant", "SimplyMatching", "LeastChange",
+    "PROPERTY_REGISTRY", "get_property", "register_property",
+    "standard_properties",
+    # laws
+    "CheckConfig", "CheckReport", "LawResult", "check_lens_laws",
+    "check_symmetric_laws", "check_bx_properties", "verify_property_claims",
+    # errors
+    "BxError", "ModelSpaceError", "TransformationError", "ConsistencyError",
+    "LawViolation",
+]

@@ -1,0 +1,409 @@
+"""State-based bidirectional transformations (the template's semantic kernel).
+
+The repository paper (§3) takes as its kernel "the description of bx given,
+for example, by Stevens": an example defines two classes of models ``M`` and
+``N``, a *consistency relation* ``R ⊆ M × N``, and *consistency restoration*
+functions
+
+* forward  ``fwd : M × N → N`` — given an authoritative left model and the
+  current right model, produce a new right model consistent with the left;
+* backward ``bwd : M × N → M`` — symmetrically.
+
+This module defines :class:`Bx`, the abstract interface all state-based
+examples in the catalogue implement, plus adaptors and generic constructions
+(duals, bijections, function-built bx, space-checked wrappers).
+
+Design notes
+------------
+Restoration functions are **pure**: they must return fresh models and never
+mutate their arguments.  Value equality of models is what property checks
+such as hippocraticness rely on, so model types used with this class must
+implement ``__eq__`` structurally.
+
+Edit-based ("delta") bx, which take information about *what changed* rather
+than only the states, live in :mod:`repro.core.delta`.  Asymmetric lenses
+live in :mod:`repro.core.lens` and can be adapted to this interface via
+:meth:`repro.core.lens.Lens.to_bx`.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.errors import ConsistencyError, TransformationError
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "Bx",
+    "FunctionalBx",
+    "BijectiveBx",
+    "DualBx",
+    "SpaceCheckedBx",
+    "IdentityBx",
+    "TrivialBx",
+]
+
+
+class Bx(ABC):
+    """A state-based bidirectional transformation between two model spaces.
+
+    Subclasses provide the consistency relation and both restoration
+    directions.  The convention throughout the library:
+
+    * ``left`` models inhabit :attr:`left_space` (the space called ``M`` in
+      the paper), ``right`` models inhabit :attr:`right_space` (``N``);
+    * ``fwd(left, right)`` treats **left as authoritative** and returns a
+      replacement for ``right``;
+    * ``bwd(left, right)`` treats **right as authoritative** and returns a
+      replacement for ``left``.
+    """
+
+    #: Short name used in reports, e.g. ``"composers"``.
+    name: str = "bx"
+
+    #: Space of left models (``M``).
+    left_space: ModelSpace
+
+    #: Space of right models (``N``).
+    right_space: ModelSpace
+
+    @abstractmethod
+    def consistent(self, left: Any, right: Any) -> bool:
+        """Return True if ``(left, right)`` is in the consistency relation."""
+
+    @abstractmethod
+    def fwd(self, left: Any, right: Any) -> Any:
+        """Restore consistency rightwards; returns the new right model."""
+
+    @abstractmethod
+    def bwd(self, left: Any, right: Any) -> Any:
+        """Restore consistency leftwards; returns the new left model."""
+
+    # ------------------------------------------------------------------
+    # Defaults used when one side must be created from nothing.
+    # ------------------------------------------------------------------
+
+    def default_left(self) -> Any:
+        """A canonical "empty" left model, if the space has one.
+
+        Used by :meth:`create_left`.  Subclasses should override when the
+        space has a natural unit (empty set of composers, empty list...).
+        """
+        raise TransformationError(
+            f"bx {self.name!r} does not define a default left model")
+
+    def default_right(self) -> Any:
+        """A canonical "empty" right model; see :meth:`default_left`."""
+        raise TransformationError(
+            f"bx {self.name!r} does not define a default right model")
+
+    def create_right(self, left: Any) -> Any:
+        """Build a right model for ``left`` from scratch.
+
+        The generic implementation restores consistency against the default
+        right model; subclasses may override with something more direct.
+        """
+        return self.fwd(left, self.default_right())
+
+    def create_left(self, right: Any) -> Any:
+        """Build a left model for ``right`` from scratch; dual of create_right."""
+        return self.bwd(self.default_left(), right)
+
+    # ------------------------------------------------------------------
+    # Convenience operations.
+    # ------------------------------------------------------------------
+
+    def check_consistent(self, left: Any, right: Any) -> None:
+        """Raise :class:`ConsistencyError` unless the pair is consistent."""
+        if not self.consistent(left, right):
+            raise ConsistencyError(left, right)
+
+    def restore(self, left: Any, right: Any, direction: str) -> Any:
+        """Dispatch to :meth:`fwd` or :meth:`bwd` by name.
+
+        ``direction`` must be ``"fwd"`` or ``"bwd"``.  Handy for harness
+        code that is parameterised over direction.
+        """
+        if direction == "fwd":
+            return self.fwd(left, right)
+        if direction == "bwd":
+            return self.bwd(left, right)
+        raise ValueError(f"direction must be 'fwd' or 'bwd', got {direction!r}")
+
+    def synchronise(self, left: Any, right: Any,
+                    authoritative: str = "left") -> tuple[Any, Any]:
+        """Return a consistent pair, changing only the non-authoritative side.
+
+        With ``authoritative="left"`` this is ``(left, fwd(left, right))``;
+        with ``"right"`` it is ``(bwd(left, right), right)``.
+        """
+        if authoritative == "left":
+            return (left, self.fwd(left, right))
+        if authoritative == "right":
+            return (self.bwd(left, right), right)
+        raise ValueError(
+            f"authoritative must be 'left' or 'right', got {authoritative!r}")
+
+    def dual(self) -> "Bx":
+        """The same bx with left and right swapped."""
+        return DualBx(self)
+
+    def checked(self) -> "Bx":
+        """Wrap this bx so every call validates space membership."""
+        return SpaceCheckedBx(self)
+
+    def sample_pair(self, rng: random.Random) -> tuple[Any, Any]:
+        """Draw an arbitrary (not necessarily consistent) model pair."""
+        return (self.left_space.sample(rng), self.right_space.sample(rng))
+
+    def sample_consistent_pair(self, rng: random.Random) -> tuple[Any, Any]:
+        """Draw a consistent pair by sampling then restoring rightwards.
+
+        The restored pair is then *perturbed within the consistency
+        relation* (shuffling or duplicating sequence elements, keeping
+        only perturbations that preserve consistency).  Without this,
+        checks quantifying over "all consistent pairs" (hippocraticness,
+        undoability) would only ever see pairs in ``fwd``'s image — and a
+        bx that, say, re-sorts an already-consistent list would wrongly
+        pass hippocraticness because sampled pairs are always sorted.
+        """
+        left = self.left_space.sample(rng)
+        right = self.fwd(left, self.right_space.sample(rng))
+        right = self._perturb_within_consistency(rng, left, right)
+        return (left, right)
+
+    def _perturb_within_consistency(self, rng: random.Random, left: Any,
+                                    right: Any) -> Any:
+        """Try consistency-preserving perturbations of a right model.
+
+        Only sequence (tuple) models are perturbed generically; other
+        model kinds pass through unchanged.  Subclasses with richer
+        consistency classes may override.
+        """
+        if not isinstance(right, tuple) or len(right) < 2:
+            return right
+        candidates = []
+        shuffled = list(right)
+        rng.shuffle(shuffled)
+        candidates.append(tuple(shuffled))
+        duplicated = list(right)
+        duplicated.insert(rng.randrange(len(right)),
+                          right[rng.randrange(len(right))])
+        candidates.append(tuple(duplicated))
+        for candidate in candidates:
+            if rng.random() < 0.5:
+                continue
+            if (candidate != right and self.right_space.contains(candidate)
+                    and self.consistent(left, candidate)):
+                return candidate
+        return right
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r}: "
+                f"{self.left_space.name} <-> {self.right_space.name}>")
+
+
+class FunctionalBx(Bx):
+    """A bx assembled from plain functions.
+
+    This is the quickest way to define small examples and test fixtures::
+
+        bx = FunctionalBx(
+            name="double",
+            left_space=IntRangeSpace(0, 50),
+            right_space=IntRangeSpace(0, 100),
+            consistent=lambda m, n: n == 2 * m,
+            fwd=lambda m, n: 2 * m,
+            bwd=lambda m, n: n // 2,
+        )
+    """
+
+    def __init__(self, name: str,
+                 left_space: ModelSpace, right_space: ModelSpace,
+                 consistent: Callable[[Any, Any], bool],
+                 fwd: Callable[[Any, Any], Any],
+                 bwd: Callable[[Any, Any], Any],
+                 default_left: Callable[[], Any] | None = None,
+                 default_right: Callable[[], Any] | None = None) -> None:
+        self.name = name
+        self.left_space = left_space
+        self.right_space = right_space
+        self._consistent = consistent
+        self._fwd = fwd
+        self._bwd = bwd
+        self._default_left = default_left
+        self._default_right = default_right
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return bool(self._consistent(left, right))
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return self._fwd(left, right)
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return self._bwd(left, right)
+
+    def default_left(self) -> Any:
+        if self._default_left is None:
+            return super().default_left()
+        return self._default_left()
+
+    def default_right(self) -> Any:
+        if self._default_right is None:
+            return super().default_right()
+        return self._default_right()
+
+
+class BijectiveBx(Bx):
+    """A bx induced by a bijection ``to_right`` with inverse ``to_left``.
+
+    Consistency holds exactly when ``right == to_right(left)``; restoration
+    ignores the stale side entirely.  Bijective bx are trivially correct,
+    hippocratic, undoable, and history ignorant — they make good sanity
+    checks for the law harness.
+    """
+
+    def __init__(self, name: str,
+                 left_space: ModelSpace, right_space: ModelSpace,
+                 to_right: Callable[[Any], Any],
+                 to_left: Callable[[Any], Any]) -> None:
+        self.name = name
+        self.left_space = left_space
+        self.right_space = right_space
+        self._to_right = to_right
+        self._to_left = to_left
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return right == self._to_right(left)
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return self._to_right(left)
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return self._to_left(right)
+
+    def create_right(self, left: Any) -> Any:
+        return self._to_right(left)
+
+    def create_left(self, right: Any) -> Any:
+        return self._to_left(right)
+
+
+class DualBx(Bx):
+    """The mirror image of a bx: left and right exchanged."""
+
+    def __init__(self, inner: Bx) -> None:
+        self.inner = inner
+        self.name = f"dual({inner.name})"
+        self.left_space = inner.right_space
+        self.right_space = inner.left_space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return self.inner.consistent(right, left)
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return self.inner.bwd(right, left)
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return self.inner.fwd(right, left)
+
+    def default_left(self) -> Any:
+        return self.inner.default_right()
+
+    def default_right(self) -> Any:
+        return self.inner.default_left()
+
+    def dual(self) -> Bx:
+        return self.inner
+
+
+class SpaceCheckedBx(Bx):
+    """Decorator enforcing space membership on every argument and result.
+
+    This is the library's answer to "weak typing hurts lens laws": wrapping a
+    bx in :class:`SpaceCheckedBx` turns silent type confusion into an
+    immediate :class:`~repro.core.errors.ModelSpaceError` with a diagnostic.
+    The law-checking harness always works through this wrapper.
+    """
+
+    def __init__(self, inner: Bx) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.left_space = inner.left_space
+        self.right_space = inner.right_space
+
+    def _check(self, left: Any, right: Any) -> None:
+        self.left_space.validate(left)
+        self.right_space.validate(right)
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        self._check(left, right)
+        return self.inner.consistent(left, right)
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        self._check(left, right)
+        result = self.inner.fwd(left, right)
+        self.right_space.validate(result)
+        return result
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        self._check(left, right)
+        result = self.inner.bwd(left, right)
+        self.left_space.validate(result)
+        return result
+
+    def default_left(self) -> Any:
+        result = self.inner.default_left()
+        self.left_space.validate(result)
+        return result
+
+    def default_right(self) -> Any:
+        result = self.inner.default_right()
+        self.right_space.validate(result)
+        return result
+
+    def checked(self) -> Bx:
+        return self
+
+
+class IdentityBx(Bx):
+    """The identity bx on a single space: consistent iff equal."""
+
+    def __init__(self, space: ModelSpace, name: str = "identity") -> None:
+        self.name = name
+        self.left_space = space
+        self.right_space = space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return left == right
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return left
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return right
+
+
+class TrivialBx(Bx):
+    """The total bx: every pair is consistent, restoration changes nothing.
+
+    Useful as the unit for property tests — it is vacuously correct and
+    hippocratic, and exhibits *no* coupling between the sides.
+    """
+
+    def __init__(self, left_space: ModelSpace, right_space: ModelSpace,
+                 name: str = "trivial") -> None:
+        self.name = name
+        self.left_space = left_space
+        self.right_space = right_space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return True
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return right
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return left

@@ -1,0 +1,527 @@
+"""Lens combinators: an algebra for building bigger lenses from smaller ones.
+
+The repository paper wants examples "defined precisely, but ... as
+independent as possible of any particular bx formalism"; nevertheless its
+flagship citation (Boomerang) is a combinator language, and several
+catalogue artefacts are most naturally expressed compositionally.  This
+module provides the standard combinator toolkit:
+
+========================  ====================================================
+``IdentityLens``          the unit of composition
+``ComposeLens``           sequential composition (``l1 >> l2``)
+``ProductLens``           pairs, componentwise (``l1 * l2``)
+``FstLens`` / ``SndLens`` project a pair component, restoring the other
+``ConstLens``             collapse the source to a constant view
+``FieldLens``             focus on one key of a mapping
+``FieldsLens``            focus on several keys of a mapping at once
+``IndexLens``             focus on one position of a tuple
+``ListMapLens``           map a lens over equal-length lists
+``ListFilterLens``        the classic filter lens (partial; keeps hidden rest)
+``CondLens``              choose a branch lens by a source predicate
+========================  ====================================================
+
+All combinators preserve well-behavedness (GetPut + PutGet) when their
+components are well behaved, except where documented (``ListFilterLens`` has
+the usual side conditions).  The law harness is the executable statement of
+these claims; ``tests/core/test_combinators.py`` checks each one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.errors import TransformationError
+from repro.core.lens import Lens
+from repro.models.space import (
+    FiniteSpace,
+    ModelSpace,
+    PredicateSpace,
+    ProductSpace,
+)
+
+__all__ = [
+    "IdentityLens",
+    "ComposeLens",
+    "ProductLens",
+    "FstLens",
+    "SndLens",
+    "ConstLens",
+    "FieldLens",
+    "FieldsLens",
+    "IndexLens",
+    "ListMapLens",
+    "ListFilterLens",
+    "CondLens",
+    "list_space",
+    "dict_space",
+]
+
+
+def list_space(element_space: ModelSpace, min_length: int = 0,
+               max_length: int = 8, name: str | None = None) -> ModelSpace:
+    """The space of tuples of members of ``element_space``.
+
+    Lists-as-models are represented by tuples throughout the library so that
+    models stay hashable and immutable.
+    """
+
+    def _is_member(value: Any) -> bool:
+        if not isinstance(value, tuple):
+            return False
+        if not min_length <= len(value) <= max_length:
+            return False
+        return all(element_space.contains(item) for item in value)
+
+    def _sample(rng):
+        length = rng.randint(min_length, max_length)
+        return tuple(element_space.sample(rng) for _ in range(length))
+
+    return PredicateSpace(
+        _is_member, _sample,
+        name=name or f"list[{element_space.name}]",
+        explain=lambda v: "not a tuple of members" if isinstance(v, tuple)
+        else f"expected tuple, got {type(v).__name__}")
+
+
+def dict_space(field_spaces: dict[str, ModelSpace],
+               name: str | None = None) -> ModelSpace:
+    """The space of dicts with exactly the given keys, each typed by a space."""
+
+    keys = frozenset(field_spaces)
+
+    def _is_member(value: Any) -> bool:
+        if not isinstance(value, dict) or frozenset(value) != keys:
+            return False
+        return all(space.contains(value[key])
+                   for key, space in field_spaces.items())
+
+    def _sample(rng):
+        return {key: space.sample(rng)
+                for key, space in sorted(field_spaces.items())}
+
+    return PredicateSpace(
+        _is_member, _sample,
+        name=name or "record{" + ", ".join(sorted(field_spaces)) + "}")
+
+
+class IdentityLens(Lens):
+    """The identity lens on a space: get and put are both trivial."""
+
+    def __init__(self, space: ModelSpace, name: str = "id") -> None:
+        self.name = name
+        self.source_space = space
+        self.view_space = space
+
+    def get(self, source: Any) -> Any:
+        return source
+
+    def put(self, view: Any, source: Any) -> Any:
+        return view
+
+    def create(self, view: Any) -> Any:
+        return view
+
+
+class ComposeLens(Lens):
+    """Sequential composition ``first`` then ``second``.
+
+    ``get`` runs the gets left-to-right; ``put`` threads the intermediate
+    value: the old source is pushed through ``first.get`` to obtain the old
+    intermediate, ``second.put`` merges the new view into it, and
+    ``first.put`` merges the result into the old source.
+    """
+
+    def __init__(self, first: Lens, second: Lens) -> None:
+        self.first = first
+        self.second = second
+        self.name = f"({first.name} >> {second.name})"
+        self.source_space = first.source_space
+        self.view_space = second.view_space
+
+    def get(self, source: Any) -> Any:
+        return self.second.get(self.first.get(source))
+
+    def put(self, view: Any, source: Any) -> Any:
+        intermediate = self.first.get(source)
+        new_intermediate = self.second.put(view, intermediate)
+        return self.first.put(new_intermediate, source)
+
+    def create(self, view: Any) -> Any:
+        return self.first.create(self.second.create(view))
+
+    def has_create(self) -> bool:
+        return self.first.has_create() and self.second.has_create()
+
+
+class ProductLens(Lens):
+    """Parallel composition on pairs: ``(l1 * l2)`` acts componentwise."""
+
+    def __init__(self, left: Lens, right: Lens) -> None:
+        self.left = left
+        self.right = right
+        self.name = f"({left.name} * {right.name})"
+        self.source_space = ProductSpace(left.source_space, right.source_space)
+        self.view_space = ProductSpace(left.view_space, right.view_space)
+
+    def get(self, source: Any) -> Any:
+        first, second = source
+        return (self.left.get(first), self.right.get(second))
+
+    def put(self, view: Any, source: Any) -> Any:
+        view_first, view_second = view
+        source_first, source_second = source
+        return (self.left.put(view_first, source_first),
+                self.right.put(view_second, source_second))
+
+    def create(self, view: Any) -> Any:
+        view_first, view_second = view
+        return (self.left.create(view_first), self.right.create(view_second))
+
+    def has_create(self) -> bool:
+        return self.left.has_create() and self.right.has_create()
+
+
+class FstLens(Lens):
+    """Project the first component of a pair; put restores the second."""
+
+    def __init__(self, first_space: ModelSpace, second_space: ModelSpace,
+                 default_second: Any = None) -> None:
+        self.name = "fst"
+        self.source_space = ProductSpace(first_space, second_space)
+        self.view_space = first_space
+        self._default_second = default_second
+
+    def get(self, source: Any) -> Any:
+        return source[0]
+
+    def put(self, view: Any, source: Any) -> Any:
+        return (view, source[1])
+
+    def create(self, view: Any) -> Any:
+        if self._default_second is None:
+            return super().create(view)
+        return (view, self._default_second)
+
+    def has_create(self) -> bool:
+        return self._default_second is not None
+
+
+class SndLens(Lens):
+    """Project the second component of a pair; put restores the first."""
+
+    def __init__(self, first_space: ModelSpace, second_space: ModelSpace,
+                 default_first: Any = None) -> None:
+        self.name = "snd"
+        self.source_space = ProductSpace(first_space, second_space)
+        self.view_space = second_space
+        self._default_first = default_first
+
+    def get(self, source: Any) -> Any:
+        return source[1]
+
+    def put(self, view: Any, source: Any) -> Any:
+        return (source[0], view)
+
+    def create(self, view: Any) -> Any:
+        if self._default_first is None:
+            return super().create(view)
+        return (self._default_first, view)
+
+    def has_create(self) -> bool:
+        return self._default_first is not None
+
+
+class ConstLens(Lens):
+    """Collapse every source to one constant view.
+
+    ``put`` is only defined when the incoming view equals the constant —
+    anything else would have nowhere to go.  PutGet holds trivially on the
+    one-element view space.
+    """
+
+    def __init__(self, source_space: ModelSpace, constant: Any,
+                 default_source: Any = None, name: str | None = None) -> None:
+        self.name = name or f"const({constant!r})"
+        self.source_space = source_space
+        self.view_space = FiniteSpace([constant], name=f"{{{constant!r}}}")
+        self.constant = constant
+        self._default_source = default_source
+
+    def get(self, source: Any) -> Any:
+        return self.constant
+
+    def put(self, view: Any, source: Any) -> Any:
+        if view != self.constant:
+            raise TransformationError(
+                f"const lens can only put back {self.constant!r}, got {view!r}")
+        return source
+
+    def create(self, view: Any) -> Any:
+        if self._default_source is None:
+            return super().create(view)
+        if view != self.constant:
+            raise TransformationError(
+                f"const lens can only create from {self.constant!r}")
+        return self._default_source
+
+    def has_create(self) -> bool:
+        return self._default_source is not None
+
+
+class FieldLens(Lens):
+    """Focus on one key of a mapping source.
+
+    Sources are dicts; ``put`` replaces the focused key and leaves every
+    other key untouched.  A fresh dict is always returned (sources are never
+    mutated).
+    """
+
+    def __init__(self, key: str, source_space: ModelSpace,
+                 view_space: ModelSpace,
+                 default_source: dict[str, Any] | None = None) -> None:
+        self.name = f".{key}"
+        self.key = key
+        self.source_space = source_space
+        self.view_space = view_space
+        self._default_source = dict(default_source) if default_source else None
+
+    def get(self, source: Any) -> Any:
+        if self.key not in source:
+            raise TransformationError(
+                f"source has no field {self.key!r}: {source!r}")
+        return source[self.key]
+
+    def put(self, view: Any, source: Any) -> Any:
+        updated = dict(source)
+        updated[self.key] = view
+        return updated
+
+    def create(self, view: Any) -> Any:
+        if self._default_source is None:
+            return super().create(view)
+        created = dict(self._default_source)
+        created[self.key] = view
+        return created
+
+    def has_create(self) -> bool:
+        return self._default_source is not None
+
+
+class FieldsLens(Lens):
+    """Focus on several keys of a mapping at once; the view is a sub-dict."""
+
+    def __init__(self, keys: list[str], source_space: ModelSpace,
+                 view_space: ModelSpace,
+                 default_source: dict[str, Any] | None = None) -> None:
+        self.keys = list(keys)
+        self.name = ".{" + ",".join(self.keys) + "}"
+        self.source_space = source_space
+        self.view_space = view_space
+        self._default_source = dict(default_source) if default_source else None
+
+    def get(self, source: Any) -> Any:
+        missing = [key for key in self.keys if key not in source]
+        if missing:
+            raise TransformationError(
+                f"source missing fields {missing!r}: {source!r}")
+        return {key: source[key] for key in self.keys}
+
+    def put(self, view: Any, source: Any) -> Any:
+        if set(view) != set(self.keys):
+            raise TransformationError(
+                f"view keys {sorted(view)} do not match lens keys {self.keys}")
+        updated = dict(source)
+        updated.update(view)
+        return updated
+
+    def create(self, view: Any) -> Any:
+        if self._default_source is None:
+            return super().create(view)
+        created = dict(self._default_source)
+        created.update(view)
+        return created
+
+    def has_create(self) -> bool:
+        return self._default_source is not None
+
+
+class IndexLens(Lens):
+    """Focus on one position of a fixed-length tuple source."""
+
+    def __init__(self, index: int, source_space: ModelSpace,
+                 view_space: ModelSpace) -> None:
+        self.name = f"[{index}]"
+        self.index = index
+        self.source_space = source_space
+        self.view_space = view_space
+
+    def get(self, source: Any) -> Any:
+        return source[self.index]
+
+    def put(self, view: Any, source: Any) -> Any:
+        items = list(source)
+        items[self.index] = view
+        return tuple(items)
+
+
+class ListMapLens(Lens):
+    """Map an element lens over a list (tuple) source, positionally.
+
+    ``put`` pairs view elements with old source elements by position.  When
+    the view is longer than the source the extra elements go through
+    ``element.create``; when shorter, trailing source elements are dropped.
+    This matches the classic ``map`` lens semantics on list resizing.
+    """
+
+    def __init__(self, element: Lens, min_length: int = 0,
+                 max_length: int = 8) -> None:
+        self.element = element
+        self.name = f"map({element.name})"
+        self.source_space = list_space(element.source_space, min_length,
+                                       max_length)
+        self.view_space = list_space(element.view_space, min_length,
+                                     max_length)
+
+    def get(self, source: Any) -> Any:
+        return tuple(self.element.get(item) for item in source)
+
+    def put(self, view: Any, source: Any) -> Any:
+        merged = []
+        for position, view_item in enumerate(view):
+            if position < len(source):
+                merged.append(self.element.put(view_item, source[position]))
+            else:
+                merged.append(self.element.create(view_item))
+        return tuple(merged)
+
+    def create(self, view: Any) -> Any:
+        return tuple(self.element.create(item) for item in view)
+
+    def has_create(self) -> bool:
+        return self.element.has_create()
+
+
+class ListFilterLens(Lens):
+    """The classic filter lens: the view is the elements satisfying ``keep``.
+
+    ``put`` writes the new view elements back over the kept positions,
+    preserving the hidden (filtered-out) elements and their interleaving.
+    If the new view has *more* elements than there were kept positions, the
+    extras are appended at the end; if fewer, surplus kept positions are
+    deleted.
+
+    Laws: GetPut always holds.  PutGet holds **only if** every view element
+    satisfies ``keep`` — writing back an element the filter would reject is
+    the classic view-update anomaly, and this lens raises
+    :class:`TransformationError` in that case rather than silently breaking
+    the law (experiment E14 benchmarks this check's cost).
+    """
+
+    def __init__(self, element_space: ModelSpace,
+                 keep: Callable[[Any], bool],
+                 max_length: int = 8, name: str | None = None) -> None:
+        self.keep = keep
+        self.name = name or "filter"
+        self.source_space = list_space(element_space, 0, max_length)
+
+        def _view_member(value: Any) -> bool:
+            return (isinstance(value, tuple)
+                    and len(value) <= max_length
+                    and all(element_space.contains(item) and keep(item)
+                            for item in value))
+
+        def _view_sample(rng):
+            length = rng.randint(0, max_length)
+            items = []
+            attempts = 0
+            while len(items) < length and attempts < 64 * max(length, 1):
+                candidate = element_space.sample(rng)
+                attempts += 1
+                if keep(candidate):
+                    items.append(candidate)
+            return tuple(items)
+
+        self.view_space = PredicateSpace(
+            _view_member, _view_sample, name=f"filtered[{element_space.name}]")
+
+    def get(self, source: Any) -> Any:
+        return tuple(item for item in source if self.keep(item))
+
+    def put(self, view: Any, source: Any) -> Any:
+        rejected = [item for item in view if not self.keep(item)]
+        if rejected:
+            raise TransformationError(
+                f"filter lens cannot put back elements the predicate "
+                f"rejects: {rejected!r}")
+        merged: list[Any] = []
+        view_items = list(view)
+        for item in source:
+            if self.keep(item):
+                if view_items:
+                    merged.append(view_items.pop(0))
+                # else: this kept position is deleted.
+            else:
+                merged.append(item)
+        merged.extend(view_items)
+        return tuple(merged)
+
+    def create(self, view: Any) -> Any:
+        rejected = [item for item in view if not self.keep(item)]
+        if rejected:
+            raise TransformationError(
+                f"filter lens cannot create from rejected elements: "
+                f"{rejected!r}")
+        return tuple(view)
+
+
+class CondLens(Lens):
+    """Branch between two lenses by a source predicate (Foster's ``cond``).
+
+    Both branches must share source and view spaces.  ``get`` picks the
+    branch by testing the *source*.  For ``put`` there are two regimes:
+
+    * with ``view_predicate`` given (the classic side condition: the
+      branches' view regions are disjoint and the predicate recognises
+      the then-region), ``put`` picks the branch by the *view*, which
+      keeps PutGet: the written source lands in the region whose ``get``
+      reproduces the view;
+    * without it, ``put`` falls back to branching on the old source,
+      which is well behaved only for branch-stable updates — the usual
+      informal side condition, now checked: if the written source would
+      flip region and re-reading it would not reproduce the view, a
+      :class:`TransformationError` is raised rather than silently
+      breaking PutGet.
+    """
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 then_lens: Lens, else_lens: Lens,
+                 view_predicate: Callable[[Any], bool] | None = None,
+                 name: str | None = None) -> None:
+        if then_lens.source_space is not else_lens.source_space \
+                and then_lens.source_space.name != else_lens.source_space.name:
+            raise ValueError("cond branches must share a source space")
+        self.predicate = predicate
+        self.view_predicate = view_predicate
+        self.then_lens = then_lens
+        self.else_lens = else_lens
+        self.name = name or f"cond({then_lens.name}, {else_lens.name})"
+        self.source_space = then_lens.source_space
+        self.view_space = then_lens.view_space
+
+    def _branch(self, source: Any) -> Lens:
+        return self.then_lens if self.predicate(source) else self.else_lens
+
+    def get(self, source: Any) -> Any:
+        return self._branch(source).get(source)
+
+    def put(self, view: Any, source: Any) -> Any:
+        if self.view_predicate is not None:
+            branch = (self.then_lens if self.view_predicate(view)
+                      else self.else_lens)
+            return branch.put(view, source)
+        written = self._branch(source).put(view, source)
+        if self.get(written) != view:
+            raise TransformationError(
+                f"cond put flipped the branch region: view {view!r} not "
+                f"recoverable from {written!r}")
+        return written

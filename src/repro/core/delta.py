@@ -1,0 +1,375 @@
+"""Delta-based (edit-based) bidirectional transformations.
+
+The template (§3) allows restoration functions that "require as input extra
+information, e.g. concerning the edit that has been done".  This module
+provides that flavour of bx:
+
+* :class:`Edit` — a first-class, invertible-where-possible description of a
+  change to a model (insert, delete, update, move, composite scripts);
+* :class:`EditScript` — a sequence of edits applied in order;
+* :class:`DeltaBx` — a bx whose propagation functions consume *edits*, not
+  states: ``propagate_fwd(edit_on_left, left, right) -> edit_on_right``.
+
+Edit-based propagation is what makes the Composers deletion scenario
+*undoable*: a delete edit can carry enough information (the deleted
+composer, dates included) for its inverse to restore the original state,
+where state-based restoration provably cannot (the paper's Discussion
+section; experiment E5).
+
+The module also supplies :func:`diff_sequences`, a small longest-common-
+subsequence differ used to recover an edit script from a state pair — the
+bridge from state-based to delta-based operation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.bx import Bx
+from repro.core.errors import EditError
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "Edit",
+    "Identity",
+    "Insert",
+    "Delete",
+    "Update",
+    "EditScript",
+    "DeltaBx",
+    "FunctionalDeltaBx",
+    "diff_sequences",
+]
+
+
+class Edit(ABC):
+    """An edit: a function from models to models, with optional inverse.
+
+    Edits are immutable values.  ``apply`` must not mutate its argument;
+    models throughout the library are immutable (tuples, frozen dataclasses).
+    """
+
+    @abstractmethod
+    def apply(self, model: Any) -> Any:
+        """Apply this edit to ``model``, returning the edited model."""
+
+    def inverse(self, model_before: Any) -> "Edit":
+        """An edit undoing this one, given the pre-state it was applied to.
+
+        The pre-state parameter lets destructive edits (delete) reconstruct
+        what they destroyed.  Raises :class:`EditError` if no inverse exists.
+        """
+        raise EditError(f"edit {self!r} has no inverse")
+
+    def then(self, other: "Edit") -> "EditScript":
+        """Sequence this edit before ``other``."""
+        return EditScript([self, other])
+
+
+@dataclass(frozen=True)
+class Identity(Edit):
+    """The no-op edit."""
+
+    def apply(self, model: Any) -> Any:
+        return model
+
+    def inverse(self, model_before: Any) -> Edit:
+        return Identity()
+
+
+@dataclass(frozen=True)
+class Insert(Edit):
+    """Insert ``item`` at ``position`` into a sequence model (tuple)."""
+
+    position: int
+    item: Any
+
+    def apply(self, model: Any) -> Any:
+        items = list(model)
+        if not 0 <= self.position <= len(items):
+            raise EditError(
+                f"insert position {self.position} out of range for "
+                f"length {len(items)}")
+        items.insert(self.position, self.item)
+        return tuple(items)
+
+    def inverse(self, model_before: Any) -> Edit:
+        return Delete(self.position)
+
+
+@dataclass(frozen=True)
+class Delete(Edit):
+    """Delete the element at ``position`` from a sequence model."""
+
+    position: int
+
+    def apply(self, model: Any) -> Any:
+        items = list(model)
+        if not 0 <= self.position < len(items):
+            raise EditError(
+                f"delete position {self.position} out of range for "
+                f"length {len(items)}")
+        del items[self.position]
+        return tuple(items)
+
+    def inverse(self, model_before: Any) -> Edit:
+        items = list(model_before)
+        if not 0 <= self.position < len(items):
+            raise EditError("pre-state does not match delete position")
+        return Insert(self.position, items[self.position])
+
+
+@dataclass(frozen=True)
+class Update(Edit):
+    """Replace the element at ``position`` with ``item``."""
+
+    position: int
+    item: Any
+
+    def apply(self, model: Any) -> Any:
+        items = list(model)
+        if not 0 <= self.position < len(items):
+            raise EditError(
+                f"update position {self.position} out of range for "
+                f"length {len(items)}")
+        items[self.position] = self.item
+        return tuple(items)
+
+    def inverse(self, model_before: Any) -> Edit:
+        items = list(model_before)
+        if not 0 <= self.position < len(items):
+            raise EditError("pre-state does not match update position")
+        return Update(self.position, items[self.position])
+
+
+@dataclass(frozen=True)
+class EditScript(Edit):
+    """A sequence of edits applied left to right."""
+
+    edits: tuple[Edit, ...] = ()
+
+    def __init__(self, edits: Sequence[Edit] = ()) -> None:
+        # Flatten nested scripts so equality and inversion are structural.
+        flat: list[Edit] = []
+        for edit in edits:
+            if isinstance(edit, EditScript):
+                flat.extend(edit.edits)
+            elif not isinstance(edit, Identity):
+                flat.append(edit)
+        object.__setattr__(self, "edits", tuple(flat))
+
+    def apply(self, model: Any) -> Any:
+        current = model
+        for edit in self.edits:
+            current = edit.apply(current)
+        return current
+
+    def inverse(self, model_before: Any) -> Edit:
+        inverses: list[Edit] = []
+        current = model_before
+        for edit in self.edits:
+            inverses.append(edit.inverse(current))
+            current = edit.apply(current)
+        inverses.reverse()
+        return EditScript(inverses)
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def is_identity(self) -> bool:
+        return not self.edits
+
+
+def diff_sequences(old: Sequence[Any], new: Sequence[Any]) -> EditScript:
+    """Compute an edit script turning ``old`` into ``new``.
+
+    Uses a longest-common-subsequence alignment, so the script touches only
+    genuinely changed positions.  The returned script applies cleanly to
+    ``tuple(old)`` and yields ``tuple(new)``; positions are expressed against
+    the successively edited sequence, not the original.
+    """
+    old_items = list(old)
+    new_items = list(new)
+    rows = len(old_items)
+    cols = len(new_items)
+    # lcs[i][j] = LCS length of old[i:], new[j:].
+    lcs = [[0] * (cols + 1) for _ in range(rows + 1)]
+    for i in range(rows - 1, -1, -1):
+        for j in range(cols - 1, -1, -1):
+            if old_items[i] == new_items[j]:
+                lcs[i][j] = lcs[i + 1][j + 1] + 1
+            else:
+                lcs[i][j] = max(lcs[i + 1][j], lcs[i][j + 1])
+
+    edits: list[Edit] = []
+    i = j = 0
+    position = 0  # position in the partially edited sequence
+    while i < rows and j < cols:
+        if old_items[i] == new_items[j]:
+            i += 1
+            j += 1
+            position += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            edits.append(Delete(position))
+            i += 1
+        else:
+            edits.append(Insert(position, new_items[j]))
+            j += 1
+            position += 1
+    while i < rows:
+        edits.append(Delete(position))
+        i += 1
+    while j < cols:
+        edits.append(Insert(position, new_items[j]))
+        j += 1
+        position += 1
+    return EditScript(edits)
+
+
+class DeltaBx(ABC):
+    """An edit-based bx: propagation consumes and produces edits.
+
+    ``propagate_fwd(edit, left, right)`` receives an edit performed on the
+    *left* model (with both pre-states available) and must return the
+    corresponding edit on the right model.  ``propagate_bwd`` is dual.
+
+    The key delta-bx law, **round-trip stability**, says propagating an edit
+    and then propagating its inverse returns both models to their original
+    states — precisely the undoability the state-based Composers bx lacks.
+    """
+
+    #: Short name used in reports.
+    name: str = "delta bx"
+
+    left_space: ModelSpace
+    right_space: ModelSpace
+
+    @abstractmethod
+    def consistent(self, left: Any, right: Any) -> bool:
+        """The underlying consistency relation, as for state-based bx."""
+
+    @abstractmethod
+    def propagate_fwd(self, edit: Edit, left: Any, right: Any) -> Edit:
+        """Translate a left-edit into a right-edit.
+
+        ``left`` and ``right`` are the models *before* the edit; callers
+        apply the returned edit to ``right`` themselves.
+        """
+
+    @abstractmethod
+    def propagate_bwd(self, edit: Edit, left: Any, right: Any) -> Edit:
+        """Translate a right-edit into a left-edit (pre-state convention)."""
+
+    def create_left(self, right: Any) -> Any:
+        """A left model consistent with ``right``, built from scratch.
+
+        Needed by :meth:`to_state_bx` to reconstruct the baseline
+        consistent pair a state-based caller does not supply.
+        """
+        raise EditError(
+            f"delta bx {self.name!r} does not define create_left")
+
+    def create_right(self, left: Any) -> Any:
+        """A right model consistent with ``left``; dual of create_left."""
+        raise EditError(
+            f"delta bx {self.name!r} does not define create_right")
+
+    def step_fwd(self, edit: Edit, left: Any,
+                 right: Any) -> tuple[Any, Any]:
+        """Apply a left-edit and its propagation; return the new pair."""
+        new_left = edit.apply(left)
+        right_edit = self.propagate_fwd(edit, left, right)
+        return new_left, right_edit.apply(right)
+
+    def step_bwd(self, edit: Edit, left: Any,
+                 right: Any) -> tuple[Any, Any]:
+        """Apply a right-edit and its propagation; return the new pair."""
+        new_right = edit.apply(right)
+        left_edit = self.propagate_bwd(edit, left, right)
+        return left_edit.apply(left), new_right
+
+    def to_state_bx(self, differ: Callable[[Any, Any], Edit] | None = None,
+                    name: str | None = None) -> Bx:
+        """Derive a state-based bx by diffing states into edits.
+
+        ``differ(old, new)`` must produce an edit turning ``old`` into
+        ``new``; by default :func:`diff_sequences` is used, which assumes
+        sequence models.
+        """
+        return _DiffingBx(self, differ or diff_sequences,
+                          name or f"diffed({self.name})")
+
+
+class _DiffingBx(Bx):
+    """State-based facade over a delta bx, via a differ."""
+
+    def __init__(self, delta: DeltaBx, differ: Callable[[Any, Any], Edit],
+                 name: str) -> None:
+        self.delta = delta
+        self.differ = differ
+        self.name = name
+        self.left_space = delta.left_space
+        self.right_space = delta.right_space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return self.delta.consistent(left, right)
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        # Reconstruct "what happened on the left" as a diff against a
+        # left baseline consistent with the current right, then propagate
+        # that reconstructed edit onto the right model.
+        if self.delta.consistent(left, right):
+            return right
+        baseline_left = self.delta.create_left(right)
+        edit = self.differ(baseline_left, left)
+        right_edit = self.delta.propagate_fwd(edit, baseline_left, right)
+        return right_edit.apply(right)
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        if self.delta.consistent(left, right):
+            return left
+        baseline_right = self.delta.create_right(left)
+        edit = self.differ(baseline_right, right)
+        left_edit = self.delta.propagate_bwd(edit, left, baseline_right)
+        return left_edit.apply(left)
+
+
+class FunctionalDeltaBx(DeltaBx):
+    """A delta bx assembled from plain functions."""
+
+    def __init__(self, name: str,
+                 left_space: ModelSpace, right_space: ModelSpace,
+                 consistent: Callable[[Any, Any], bool],
+                 propagate_fwd: Callable[[Edit, Any, Any], Edit],
+                 propagate_bwd: Callable[[Edit, Any, Any], Edit],
+                 create_left: Callable[[Any], Any] | None = None,
+                 create_right: Callable[[Any], Any] | None = None) -> None:
+        self.name = name
+        self.left_space = left_space
+        self.right_space = right_space
+        self._consistent = consistent
+        self._propagate_fwd = propagate_fwd
+        self._propagate_bwd = propagate_bwd
+        self._create_left = create_left
+        self._create_right = create_right
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return bool(self._consistent(left, right))
+
+    def propagate_fwd(self, edit: Edit, left: Any, right: Any) -> Edit:
+        return self._propagate_fwd(edit, left, right)
+
+    def propagate_bwd(self, edit: Edit, left: Any, right: Any) -> Edit:
+        return self._propagate_bwd(edit, left, right)
+
+    def create_left(self, right: Any) -> Any:
+        if self._create_left is None:
+            return super().create_left(right)
+        return self._create_left(right)
+
+    def create_right(self, left: Any) -> Any:
+        if self._create_right is None:
+            return super().create_right(left)
+        return self._create_right(left)

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the bx-repository library.
+
+Every error raised by this library derives from :class:`BxError`, so client
+code can catch a single base class.  The hierarchy mirrors the major
+subsystems: model spaces, bx semantics, law checking, and the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class BxError(Exception):
+    """Base class for all errors raised by the bx-repository library."""
+
+
+class ModelSpaceError(BxError):
+    """A value was used with a model space it does not belong to."""
+
+    def __init__(self, space: Any, value: Any, reason: str = "") -> None:
+        self.space = space
+        self.value = value
+        self.reason = reason
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"value {value!r} is not a member of model space {space!r}{detail}"
+        )
+
+
+class MetamodelError(BxError):
+    """A model does not conform to its metamodel."""
+
+
+class TransformationError(BxError):
+    """A consistency-restoration function failed to produce a result."""
+
+
+class ConsistencyError(BxError):
+    """A pair of models expected to be consistent is not (or vice versa)."""
+
+    def __init__(self, left: Any, right: Any, message: str = "") -> None:
+        self.left = left
+        self.right = right
+        super().__init__(
+            message or f"models are not consistent: {left!r} / {right!r}"
+        )
+
+
+class LawViolation(BxError):
+    """A bx law (lens law or bx property) failed, with a counterexample.
+
+    Attributes:
+        law: the name of the violated law (e.g. ``"GetPut"``).
+        counterexample: a mapping of variable names to the witnessing values.
+    """
+
+    def __init__(self, law: str, counterexample: dict[str, Any], message: str = "") -> None:
+        self.law = law
+        self.counterexample = dict(counterexample)
+        witness = ", ".join(f"{k}={v!r}" for k, v in self.counterexample.items())
+        super().__init__(message or f"law {law} violated with {witness}")
+
+
+class EditError(BxError):
+    """An edit could not be applied to a model."""
+
+
+class RepositoryError(BxError):
+    """Base class for repository-level errors (curation, storage, citation)."""
+
+
+class TemplateError(RepositoryError):
+    """An example entry does not conform to the repository template."""
+
+
+class ValidationError(TemplateError):
+    """An entry failed template validation.
+
+    Carries the full list of problems so callers can report all of them at
+    once instead of fixing one at a time.
+    """
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = list(problems)
+        super().__init__("entry validation failed:\n" + "\n".join(f"- {p}" for p in problems))
+
+
+class CurationError(RepositoryError):
+    """An operation violated the curation workflow (roles, review states)."""
+
+
+class PermissionDenied(CurationError):
+    """The acting user's role does not permit the attempted operation."""
+
+    def __init__(self, actor: Any, operation: str, required: str) -> None:
+        self.actor = actor
+        self.operation = operation
+        self.required = required
+        super().__init__(
+            f"{actor!r} may not {operation}: requires role {required}"
+        )
+
+
+class VersioningError(RepositoryError):
+    """An operation violated version sequencing rules."""
+
+
+class StorageError(RepositoryError):
+    """The backing store could not complete an operation."""
+
+
+class EntryNotFound(StorageError):
+    """No entry exists under the requested identifier (or version)."""
+
+    def __init__(self, identifier: str, version: str | None = None) -> None:
+        self.identifier = identifier
+        self.version = version
+        at = f" at version {version}" if version is not None else ""
+        super().__init__(f"no entry {identifier!r}{at}")
+
+
+class DuplicateEntry(StorageError):
+    """An entry with the same stable identifier already exists."""
+
+    def __init__(self, identifier: str) -> None:
+        self.identifier = identifier
+        super().__init__(f"entry {identifier!r} already exists")
+
+
+class CitationError(RepositoryError):
+    """A citation could not be produced (missing fields, unknown style)."""
+
+
+class WikiSyncError(RepositoryError):
+    """The wiki-markup synchronisation bx failed to parse or render."""

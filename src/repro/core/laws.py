@@ -1,0 +1,403 @@
+"""The law-checking harness: randomized verification with shrinking.
+
+This is the executable form of the repository's review process for property
+claims.  Given a lens, symmetric lens, or state-based bx, the harness
+
+1. draws seeded pseudo-random samples from the artefact's model spaces,
+2. evaluates each law/property, collecting counterexamples,
+3. *shrinks* counterexamples structurally (dropping tuple elements,
+   shortening strings) so the reported witness is close to minimal, and
+4. assembles a :class:`CheckReport` that can be rendered for EXPERIMENTS.md
+   or asserted on in tests.
+
+For finite spaces the harness upgrades to exhaustive checking automatically
+(``CheckConfig.exhaustive_limit``).
+
+The harness never raises on law failure unless asked
+(:meth:`CheckReport.raise_on_failure`); failing evidence is data, because
+for the repository a *refuted* claim (Composers is **not** undoable) is as
+important as a verified one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.bx import Bx
+from repro.core.errors import LawViolation
+from repro.core.lens import LENS_LAWS, Lens
+from repro.core.properties import (
+    BxProperty,
+    CheckStatus,
+    PropertyResult,
+    standard_properties,
+)
+from repro.core.symmetric import SYMMETRIC_LAWS, SymmetricLens
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "CheckConfig",
+    "LawResult",
+    "CheckReport",
+    "check_lens_laws",
+    "check_symmetric_laws",
+    "check_bx_properties",
+    "verify_property_claims",
+    "shrink_value",
+]
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Knobs for a checking run.
+
+    Attributes:
+        trials: number of random scenarios per law.
+        seed: RNG seed; identical configs give identical runs.
+        shrink: whether to minimise counterexamples before reporting.
+        max_shrink_steps: cap on shrinking work per counterexample.
+        exhaustive_limit: if the relevant space product is finite and at
+            most this many scenarios, check every scenario instead of
+            sampling.
+    """
+
+    trials: int = 200
+    seed: int = 0
+    shrink: bool = True
+    max_shrink_steps: int = 400
+    exhaustive_limit: int = 4096
+
+
+@dataclass
+class LawResult:
+    """Outcome of checking a single law on a single artefact."""
+
+    law: str
+    subject: str
+    status: CheckStatus
+    trials: int = 0
+    counterexample: dict[str, Any] | None = None
+    exhaustive: bool = False
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status is CheckStatus.PASSED
+
+    @property
+    def failed(self) -> bool:
+        return self.status is CheckStatus.FAILED
+
+    def describe(self) -> str:
+        mode = "exhaustive" if self.exhaustive else f"{self.trials} trials"
+        line = f"{self.law} on {self.subject}: {self.status.value} ({mode})"
+        if self.counterexample:
+            witness = ", ".join(
+                f"{k}={v!r}" for k, v in self.counterexample.items())
+            line += f" counterexample: {witness}"
+        if self.note:
+            line += f" [{self.note}]"
+        return line
+
+
+@dataclass
+class CheckReport:
+    """A collection of law results with summary helpers."""
+
+    subject: str
+    results: list[LawResult] = field(default_factory=list)
+
+    def add(self, result: LawResult) -> None:
+        self.results.append(result)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(r.status is not CheckStatus.FAILED for r in self.results)
+
+    @property
+    def failures(self) -> list[LawResult]:
+        return [r for r in self.results if r.failed]
+
+    def result_for(self, law: str) -> LawResult:
+        """The result for a named law; raises KeyError if absent."""
+        for result in self.results:
+            if result.law == law:
+                return result
+        raise KeyError(f"no result for law {law!r} in report on "
+                       f"{self.subject!r}")
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"law report for {self.subject}:"]
+        lines.extend("  " + result.describe() for result in self.results)
+        verdict = "ALL LAWS HOLD" if self.all_passed else \
+            f"{len(self.failures)} LAW(S) VIOLATED"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`LawViolation` for the first failed law, if any."""
+        for result in self.results:
+            if result.failed:
+                raise LawViolation(result.law, result.counterexample or {},
+                                   result.describe())
+
+
+# ----------------------------------------------------------------------
+# Structural shrinking.
+# ----------------------------------------------------------------------
+
+def _shrink_candidates(value: Any) -> Iterator[Any]:
+    """Yield structurally smaller variants of ``value`` (one step)."""
+    if isinstance(value, tuple) and value:
+        for index in range(len(value)):
+            yield value[:index] + value[index + 1:]
+        for index, item in enumerate(value):
+            for smaller in _shrink_candidates(item):
+                yield value[:index] + (smaller,) + value[index + 1:]
+    elif isinstance(value, str) and value:
+        yield ""
+        if len(value) > 1:
+            yield value[:len(value) // 2]
+            yield value[1:]
+            yield value[:-1]
+    elif isinstance(value, int) and not isinstance(value, bool) and value:
+        yield 0
+        if abs(value) > 1:
+            yield value // 2
+    elif isinstance(value, frozenset) and value:
+        for item in value:
+            yield value - {item}
+
+
+def shrink_value(value: Any, space: ModelSpace,
+                 still_fails: Callable[[Any], bool],
+                 max_steps: int = 400) -> Any:
+    """Greedily shrink ``value`` while membership and failure both persist.
+
+    ``still_fails(candidate)`` must re-run the failing law with the
+    candidate substituted.  Exceptions inside ``still_fails`` are treated as
+    "does not reproduce" so shrinking never converts one bug into another.
+    """
+    current = value
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if not space.contains(candidate):
+                continue
+            try:
+                reproduces = still_fails(candidate)
+            except Exception:
+                continue
+            if reproduces:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Lens laws.
+# ----------------------------------------------------------------------
+
+def _spaces_for_spec(lens: Lens, spec: str) -> list[ModelSpace]:
+    mapping = {"s": lens.source_space, "v": lens.view_space}
+    return [mapping[ch] for ch in spec]
+
+
+def _scenarios(spaces: Sequence[ModelSpace],
+               config: CheckConfig) -> tuple[Iterable[tuple], bool]:
+    """Either every scenario (finite, small) or a sampled stream."""
+    if all(space.is_finite() for space in spaces):
+        members = [list(space.enumerate_members()) for space in spaces]
+        total = 1
+        for column in members:
+            total *= len(column)
+        if total <= config.exhaustive_limit:
+            return itertools.product(*members), True
+    rng = random.Random(config.seed)
+
+    def _stream() -> Iterator[tuple]:
+        for _ in range(config.trials):
+            yield tuple(space.sample(rng) for space in spaces)
+
+    return _stream(), False
+
+
+def _shrink_witness(witness: dict[str, Any], args: tuple,
+                    spaces: Sequence[ModelSpace],
+                    rerun: Callable[[tuple], dict[str, Any] | None],
+                    config: CheckConfig) -> dict[str, Any]:
+    """Shrink each argument of a failing scenario independently."""
+    if not config.shrink:
+        return witness
+    current = list(args)
+    for position, space in enumerate(spaces):
+        def _still_fails(candidate: Any, position: int = position) -> bool:
+            trial = list(current)
+            trial[position] = candidate
+            return rerun(tuple(trial)) is not None
+
+        current[position] = shrink_value(
+            current[position], space, _still_fails,
+            max_steps=config.max_shrink_steps)
+    final = rerun(tuple(current))
+    return final if final is not None else witness
+
+
+def check_lens_laws(lens: Lens, laws: Sequence[str] | None = None,
+                    config: CheckConfig | None = None) -> CheckReport:
+    """Check the classic lens laws on ``lens``.
+
+    ``laws`` defaults to all of GetPut, PutGet, CreateGet, PutPut.  Note
+    that a PutPut failure does not make a lens ill-behaved — it only means
+    the lens is not *very* well behaved; interpret reports accordingly.
+    """
+    config = config or CheckConfig()
+    report = CheckReport(subject=lens.name)
+    for law_name in laws or list(LENS_LAWS):
+        checker, spec = LENS_LAWS[law_name]
+        spaces = _spaces_for_spec(lens, spec)
+        scenarios, exhaustive = _scenarios(spaces, config)
+
+        def _rerun(args: tuple, checker=checker) -> dict[str, Any] | None:
+            return checker(lens, *args)
+
+        failure: dict[str, Any] | None = None
+        trials = 0
+        for args in scenarios:
+            trials += 1
+            try:
+                witness = checker(lens, *args)
+            except Exception as exc:
+                witness = {"args": args, "exception": repr(exc)}
+                failure = witness
+                break
+            if witness is not None:
+                failure = _shrink_witness(witness, args, spaces, _rerun,
+                                          config)
+                break
+        status = CheckStatus.FAILED if failure else CheckStatus.PASSED
+        report.add(LawResult(law_name, lens.name, status, trials=trials,
+                             counterexample=failure, exhaustive=exhaustive))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Symmetric lens laws.
+# ----------------------------------------------------------------------
+
+def check_symmetric_laws(lens: SymmetricLens,
+                         laws: Sequence[str] | None = None,
+                         config: CheckConfig | None = None) -> CheckReport:
+    """Check the symmetric-lens round-trip laws (PutRL, PutLR)."""
+    config = config or CheckConfig()
+    report = CheckReport(subject=lens.name)
+    space_map = {"l": lens.left_space, "r": lens.right_space}
+    for law_name in laws or list(SYMMETRIC_LAWS):
+        checker, spec = SYMMETRIC_LAWS[law_name]
+        spaces = [space_map[ch] for ch in spec]
+        scenarios, exhaustive = _scenarios(spaces, config)
+
+        def _rerun(args: tuple, checker=checker) -> dict[str, Any] | None:
+            return checker(lens, *args)
+
+        failure: dict[str, Any] | None = None
+        trials = 0
+        for args in scenarios:
+            trials += 1
+            try:
+                witness = checker(lens, *args)
+            except Exception as exc:
+                witness = {"args": args, "exception": repr(exc)}
+                failure = witness
+                break
+            if witness is not None:
+                failure = _shrink_witness(witness, args, spaces, _rerun,
+                                          config)
+                break
+        status = CheckStatus.FAILED if failure else CheckStatus.PASSED
+        report.add(LawResult(law_name, lens.name, status, trials=trials,
+                             counterexample=failure, exhaustive=exhaustive))
+    return report
+
+
+# ----------------------------------------------------------------------
+# State-based bx properties.
+# ----------------------------------------------------------------------
+
+def check_bx_properties(bx: Bx,
+                        properties: Sequence[BxProperty] | None = None,
+                        config: CheckConfig | None = None) -> CheckReport:
+    """Check a suite of properties on a state-based bx.
+
+    Defaults to :func:`repro.core.properties.standard_properties`.  The bx
+    is wrapped in a space-membership checker first, so type confusion
+    surfaces as an explicit error rather than a bogus pass.
+    """
+    config = config or CheckConfig()
+    checked = bx.checked()
+    report = CheckReport(subject=bx.name)
+    for prop in properties or standard_properties():
+        outcome: PropertyResult = prop.check(checked, trials=config.trials,
+                                             seed=config.seed)
+        report.add(LawResult(outcome.property_name, bx.name, outcome.status,
+                             trials=outcome.trials,
+                             counterexample=outcome.counterexample,
+                             note=outcome.note))
+    return report
+
+
+def verify_property_claims(bx: Bx, claims: dict[str, bool],
+                           config: CheckConfig | None = None,
+                           extra_properties: dict[str, BxProperty]
+                           | None = None) -> CheckReport:
+    """Verify an entry's property claims against measured behaviour.
+
+    ``claims`` maps property names to the claimed truth value, e.g. the
+    Composers entry claims ``{"correct": True, "hippocratic": True,
+    "undoable": False, "simply matching": True}``.  A claim of ``False``
+    is verified by *finding* a counterexample (the randomized check must
+    FAIL); a claim of ``True`` by finding none.  The returned report marks
+    each claim PASSED when measurement agrees with the claim.
+
+    This is the mechanised reviewer of experiments E3–E6.
+    """
+    from repro.core.properties import PROPERTY_REGISTRY
+
+    config = config or CheckConfig()
+    checked = bx.checked()
+    report = CheckReport(subject=bx.name)
+    lookup = dict(PROPERTY_REGISTRY)
+    if extra_properties:
+        lookup.update(extra_properties)
+    for claim_name, claimed in claims.items():
+        prop = lookup.get(claim_name)
+        if prop is None:
+            report.add(LawResult(claim_name, bx.name, CheckStatus.SKIPPED,
+                                 note="no checker registered"))
+            continue
+        outcome = prop.check(checked, trials=config.trials, seed=config.seed)
+        if outcome.status is CheckStatus.SKIPPED:
+            report.add(LawResult(claim_name, bx.name, CheckStatus.SKIPPED,
+                                 note=outcome.note))
+            continue
+        measured_holds = outcome.status is CheckStatus.PASSED
+        agrees = measured_holds == claimed
+        note = (f"claimed {'holds' if claimed else 'fails'}, measured "
+                f"{'holds' if measured_holds else 'fails'}")
+        report.add(LawResult(
+            claim_name, bx.name,
+            CheckStatus.PASSED if agrees else CheckStatus.FAILED,
+            trials=outcome.trials,
+            counterexample=None if agrees else outcome.counterexample,
+            note=note))
+    return report

@@ -1,0 +1,270 @@
+"""Asymmetric lenses: the Boomerang/Foster lineage of bidirectional programs.
+
+The original Composers example (the paper's §4 References) comes from
+Boomerang, where a bx is an *asymmetric lens* between a *source* space ``S``
+and a *view* space ``V``:
+
+* ``get : S → V`` — extract the view from the source;
+* ``put : V × S → S`` — merge an updated view back into the old source;
+* ``create : V → S`` — build a source when there is no old one.
+
+The classic laws (checked by :mod:`repro.core.laws`):
+
+* **GetPut**  ``put(get(s), s) == s`` — putting back an unchanged view
+  changes nothing (the lens analogue of hippocraticness);
+* **PutGet**  ``get(put(v, s)) == v`` — the updated view is reflected
+  exactly (the lens analogue of correctness);
+* **CreateGet** ``get(create(v)) == v``;
+* **PutPut** ``put(v', put(v, s)) == put(v', s)`` — optional; lenses
+  satisfying it are *very well behaved*.  Most interesting lenses
+  (including Composers) deliberately fail PutPut, which is the paper's
+  "undoability is too strong" discussion in lens clothing.
+
+Every lens induces a state-based bx (:meth:`Lens.to_bx`) whose left space is
+the source, right space the view, and whose consistency relation is
+``get(s) == v``.  The induced bx is correct and hippocratic exactly when the
+lens is well behaved, which the test suite exercises (experiment E13).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.bx import Bx
+from repro.core.errors import TransformationError
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "Lens",
+    "FunctionalLens",
+    "IsoLens",
+    "LENS_LAWS",
+]
+
+
+class Lens(ABC):
+    """An asymmetric lens from a source space to a view space."""
+
+    #: Short name used in reports.
+    name: str = "lens"
+
+    #: Space of sources (``S``).
+    source_space: ModelSpace
+
+    #: Space of views (``V``).
+    view_space: ModelSpace
+
+    @abstractmethod
+    def get(self, source: Any) -> Any:
+        """Extract the view of ``source``."""
+
+    @abstractmethod
+    def put(self, view: Any, source: Any) -> Any:
+        """Merge an updated ``view`` into the old ``source``."""
+
+    def create(self, view: Any) -> Any:
+        """Build a source from a view alone.
+
+        The default raises; lenses with a sensible default source should
+        override.  ``create`` corresponds to Boomerang's missing-source
+        ``put`` and is required for the CreateGet law to be checkable.
+        """
+        raise TransformationError(
+            f"lens {self.name!r} does not define create")
+
+    def has_create(self) -> bool:
+        """True if this lens implements :meth:`create`.
+
+        Detected by whether :meth:`create` is overridden, so subclasses
+        normally need not touch this.
+        """
+        return type(self).create is not Lens.create
+
+    # ------------------------------------------------------------------
+    # Algebra (combinators live in repro.core.combinators; the operators
+    # here just delegate so that ``lens1 >> lens2`` reads naturally).
+    # ------------------------------------------------------------------
+
+    def compose(self, other: "Lens") -> "Lens":
+        """Sequential composition: ``self`` then ``other``.
+
+        The view space of ``self`` must be the source space of ``other``.
+        """
+        from repro.core.combinators import ComposeLens
+        return ComposeLens(self, other)
+
+    def __rshift__(self, other: "Lens") -> "Lens":
+        return self.compose(other)
+
+    def product(self, other: "Lens") -> "Lens":
+        """Parallel composition on pairs."""
+        from repro.core.combinators import ProductLens
+        return ProductLens(self, other)
+
+    def __mul__(self, other: "Lens") -> "Lens":
+        return self.product(other)
+
+    # ------------------------------------------------------------------
+    # Adaptors.
+    # ------------------------------------------------------------------
+
+    def to_bx(self, name: str | None = None) -> Bx:
+        """View this lens as a state-based bx (source left, view right).
+
+        Consistency is ``get(left) == right``; ``fwd`` discards the stale
+        view and recomputes ``get``; ``bwd`` is ``put``.
+        """
+        return _LensBx(self, name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r}: "
+                f"{self.source_space.name} => {self.view_space.name}>")
+
+
+class _LensBx(Bx):
+    """The state-based bx induced by an asymmetric lens."""
+
+    def __init__(self, lens: Lens, name: str) -> None:
+        self.lens = lens
+        self.name = name
+        self.left_space = lens.source_space
+        self.right_space = lens.view_space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        return self.lens.get(left) == right
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        return self.lens.get(left)
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        return self.lens.put(right, left)
+
+    def create_left(self, right: Any) -> Any:
+        if self.lens.has_create():
+            return self.lens.create(right)
+        return super().create_left(right)
+
+    def create_right(self, left: Any) -> Any:
+        return self.lens.get(left)
+
+
+class FunctionalLens(Lens):
+    """A lens assembled from plain functions; quickest way to define one."""
+
+    def __init__(self, name: str,
+                 source_space: ModelSpace, view_space: ModelSpace,
+                 get: Callable[[Any], Any],
+                 put: Callable[[Any, Any], Any],
+                 create: Callable[[Any], Any] | None = None) -> None:
+        self.name = name
+        self.source_space = source_space
+        self.view_space = view_space
+        self._get = get
+        self._put = put
+        self._create = create
+
+    def get(self, source: Any) -> Any:
+        return self._get(source)
+
+    def put(self, view: Any, source: Any) -> Any:
+        return self._put(view, source)
+
+    def create(self, view: Any) -> Any:
+        if self._create is None:
+            return super().create(view)
+        return self._create(view)
+
+    def has_create(self) -> bool:
+        return self._create is not None
+
+
+class IsoLens(Lens):
+    """A lens induced by an isomorphism: ``put`` ignores the old source.
+
+    Iso lenses are very well behaved (they satisfy PutPut).
+    """
+
+    def __init__(self, name: str,
+                 source_space: ModelSpace, view_space: ModelSpace,
+                 forward: Callable[[Any], Any],
+                 backward: Callable[[Any], Any]) -> None:
+        self.name = name
+        self.source_space = source_space
+        self.view_space = view_space
+        self._forward = forward
+        self._backward = backward
+
+    def get(self, source: Any) -> Any:
+        return self._forward(source)
+
+    def put(self, view: Any, source: Any) -> Any:
+        return self._backward(view)
+
+    def create(self, view: Any) -> Any:
+        return self._backward(view)
+
+    def inverse(self) -> "IsoLens":
+        """The same isomorphism pointed the other way."""
+        return IsoLens(f"inverse({self.name})",
+                       self.view_space, self.source_space,
+                       self._backward, self._forward)
+
+
+# ----------------------------------------------------------------------
+# Law definitions.  Each law is a named predicate over (lens, sampled
+# values); the harness in repro.core.laws drives sampling/shrinking.
+# The functions return None on success or a counterexample dict on failure.
+# ----------------------------------------------------------------------
+
+def _law_get_put(lens: Lens, source: Any, view: Any) -> dict[str, Any] | None:
+    """GetPut: put(get(s), s) == s."""
+    got = lens.get(source)
+    back = lens.put(got, source)
+    if back != source:
+        return {"source": source, "get(source)": got, "put(get(s), s)": back}
+    return None
+
+
+def _law_put_get(lens: Lens, source: Any, view: Any) -> dict[str, Any] | None:
+    """PutGet: get(put(v, s)) == v."""
+    merged = lens.put(view, source)
+    round_tripped = lens.get(merged)
+    if round_tripped != view:
+        return {"source": source, "view": view,
+                "put(v, s)": merged, "get(put(v, s))": round_tripped}
+    return None
+
+
+def _law_create_get(lens: Lens, source: Any, view: Any) -> dict[str, Any] | None:
+    """CreateGet: get(create(v)) == v.  Skipped when create is undefined."""
+    if not lens.has_create():
+        return None
+    created = lens.create(view)
+    round_tripped = lens.get(created)
+    if round_tripped != view:
+        return {"view": view, "create(v)": created,
+                "get(create(v))": round_tripped}
+    return None
+
+
+def _law_put_put(lens: Lens, source: Any, view: Any,
+                 view2: Any) -> dict[str, Any] | None:
+    """PutPut: put(v2, put(v1, s)) == put(v2, s)."""
+    once = lens.put(view, source)
+    twice = lens.put(view2, once)
+    direct = lens.put(view2, source)
+    if twice != direct:
+        return {"source": source, "view1": view, "view2": view2,
+                "put(v2, put(v1, s))": twice, "put(v2, s)": direct}
+    return None
+
+
+#: The classic lens laws: name -> (checker, argument spec).  The argument
+#: spec names which samples the harness must draw: "s" a source, "v" a view.
+LENS_LAWS: dict[str, tuple[Callable[..., dict[str, Any] | None], str]] = {
+    "GetPut": (_law_get_put, "sv"),
+    "PutGet": (_law_put_get, "sv"),
+    "CreateGet": (_law_create_get, "sv"),
+    "PutPut": (_law_put_put, "svv"),
+}

@@ -1,0 +1,468 @@
+"""Machine-checkable bx properties (the template's ``Properties?`` field).
+
+The template says property names "will link to a separate glossary of terms
+such as 'hippocraticness'".  Here each glossary term is an object carrying
+
+* its name and glossary definition (rendered by
+  :mod:`repro.repository.glossary`), and
+* a ``check`` method that hunts for counterexamples over a bx's model
+  spaces, returning structured evidence.
+
+This mechanises the repository's reviewer role for property claims: an entry
+*claims* ``Correct``/``Hippocratic``/...; the harness *verifies* (or
+refutes) each claim.  The Composers example (§4) claims::
+
+    Correct, Hippocratic, Not undoable, Simply matching
+
+and experiments E3–E6 check exactly these.
+
+Definitions follow Stevens, *A Landscape of Bidirectional Model
+Transformations* (the paper's reference [12]); for a bx
+``(R, fwd, bwd)`` between spaces ``M`` and ``N``:
+
+correct
+    Restoration really restores consistency: ``R(m, fwd(m, n))`` and
+    ``R(bwd(m, n), n)`` for all ``m``, ``n``.
+hippocratic
+    "First, do no harm": if ``R(m, n)`` already holds then
+    ``fwd(m, n) == n`` and ``bwd(m, n) == m``.
+undoable
+    Doing and undoing a change on the authoritative side returns the other
+    side to its original state: whenever ``R(m, n)``, for any ``m'``,
+    ``fwd(m, fwd(m', n)) == n`` (and dually).  The paper's Discussion
+    section explains why Composers fails this (deleted dates cannot be
+    restored) — the check below finds such witnesses automatically.
+history ignorant
+    Stronger than undoable: ``fwd(m2, fwd(m1, n)) == fwd(m2, n)`` for all
+    ``m1, m2, n`` (the state-based PutPut).
+simply matching
+    Restoration works purely by *matching* items by key: items whose key
+    appears on the authoritative side survive unchanged, items whose key
+    does not are deleted, and missing keys are filled in.  Parameterised by
+    the bx's key functions (see :class:`MatchingKeys`).
+least change (metric)
+    Restoration picks a consistent model at minimal distance from the
+    stale one, per a supplied metric.  Checked by candidate enumeration on
+    finite spaces and by sampled search otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.core.bx import Bx
+
+__all__ = [
+    "CheckStatus",
+    "PropertyResult",
+    "BxProperty",
+    "Correct",
+    "Hippocratic",
+    "Undoable",
+    "HistoryIgnorant",
+    "SimplyMatching",
+    "LeastChange",
+    "MatchingKeys",
+    "PROPERTY_REGISTRY",
+    "get_property",
+    "register_property",
+    "standard_properties",
+]
+
+
+class CheckStatus(Enum):
+    """Outcome of a property check."""
+
+    PASSED = "passed"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class PropertyResult:
+    """Structured evidence from checking one property on one bx."""
+
+    property_name: str
+    bx_name: str
+    status: CheckStatus
+    trials: int = 0
+    counterexample: dict[str, Any] | None = None
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.status is CheckStatus.PASSED
+
+    @property
+    def failed(self) -> bool:
+        return self.status is CheckStatus.FAILED
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        line = (f"{self.property_name} on {self.bx_name}: "
+                f"{self.status.value} ({self.trials} trials)")
+        if self.counterexample is not None:
+            witness = ", ".join(
+                f"{k}={v!r}" for k, v in self.counterexample.items())
+            line += f" counterexample: {witness}"
+        if self.note:
+            line += f" [{self.note}]"
+        return line
+
+
+@runtime_checkable
+class MatchingKeys(Protocol):
+    """Protocol a bx implements to support the simply-matching check.
+
+    ``key_left(item)`` / ``key_right(item)`` map an *item* of a left/right
+    model to its matching key; ``items_left(model)`` / ``items_right(model)``
+    decompose a model into its items.  For Composers, items are composers /
+    list entries and the key is the (name, nationality) pair.
+    """
+
+    def items_left(self, left: Any) -> Iterable[Any]: ...
+
+    def items_right(self, right: Any) -> Iterable[Any]: ...
+
+    def key_left(self, item: Any) -> Any: ...
+
+    def key_right(self, item: Any) -> Any: ...
+
+
+class BxProperty:
+    """Base class for checkable bx properties.
+
+    Subclasses implement :meth:`find_counterexample`, which either returns a
+    counterexample dict or None after examining one sampled scenario.  The
+    shared :meth:`check` drives sampling and assembles the evidence.
+    """
+
+    #: Canonical property name as used in entries, e.g. ``"correct"``.
+    name: str = "property"
+
+    #: Glossary definition (plain English, rendered by the glossary module).
+    definition: str = ""
+
+    def check(self, bx: Bx, trials: int = 200,
+              seed: int = 0) -> PropertyResult:
+        """Hunt for a counterexample over ``trials`` sampled scenarios."""
+        rng = random.Random(seed)
+        for trial in range(trials):
+            witness = self.find_counterexample(bx, rng)
+            if witness is not None:
+                return PropertyResult(self.name, bx.name, CheckStatus.FAILED,
+                                      trials=trial + 1, counterexample=witness)
+        return PropertyResult(self.name, bx.name, CheckStatus.PASSED,
+                              trials=trials)
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        """Examine one sampled scenario; return a witness dict on failure."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BxProperty {self.name!r}>"
+
+
+class Correct(BxProperty):
+    """Correctness: restoration really does restore consistency."""
+
+    name = "correct"
+    definition = (
+        "Consistency restoration establishes the consistency relation: "
+        "for all m, n, the pair (m, fwd(m, n)) is consistent, and so is "
+        "(bwd(m, n), n).")
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        left, right = bx.sample_pair(rng)
+        restored_right = bx.fwd(left, right)
+        if not bx.consistent(left, restored_right):
+            return {"direction": "fwd", "left": left, "right": right,
+                    "fwd(left, right)": restored_right}
+        restored_left = bx.bwd(left, right)
+        if not bx.consistent(restored_left, right):
+            return {"direction": "bwd", "left": left, "right": right,
+                    "bwd(left, right)": restored_left}
+        return None
+
+
+class Hippocratic(BxProperty):
+    """Hippocraticness: consistent pairs are left completely alone."""
+
+    name = "hippocratic"
+    definition = (
+        "If models are already consistent, restoration changes nothing: "
+        "R(m, n) implies fwd(m, n) == n and bwd(m, n) == m.  (\"First, do "
+        "no harm.\")")
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        left, right = bx.sample_consistent_pair(rng)
+        if not bx.consistent(left, right):
+            # fwd failed to produce a consistent pair: a correctness failure
+            # that makes hippocraticness unobservable for this sample.
+            return {"note": "could not build a consistent pair",
+                    "left": left, "right": right}
+        restored_right = bx.fwd(left, right)
+        if restored_right != right:
+            return {"direction": "fwd", "left": left, "right": right,
+                    "fwd(left, right)": restored_right}
+        restored_left = bx.bwd(left, right)
+        if restored_left != left:
+            return {"direction": "bwd", "left": left, "right": right,
+                    "bwd(left, right)": restored_left}
+        return None
+
+
+class Undoable(BxProperty):
+    """Undoability: reverting the authoritative side reverts the other.
+
+    For consistent ``(m, n)`` and an arbitrary replacement ``m'``::
+
+        fwd(m, fwd(m', n)) == n          (and dually for bwd)
+
+    The paper uses Composers to argue this "is too strong"; the check below
+    reliably finds the delete/re-add witness of the Discussion section.
+    """
+
+    name = "undoable"
+    definition = (
+        "After perturbing one side and restoring, putting the perturbed "
+        "side back to its original value and restoring again returns the "
+        "other side to its original state: for consistent (m, n) and any "
+        "m', fwd(m, fwd(m', n)) == n; dually for bwd.")
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        left, right = bx.sample_consistent_pair(rng)
+        if not bx.consistent(left, right):
+            return None  # correctness failure; let Correct report it
+        perturbed_left = bx.left_space.sample(rng)
+        detour = bx.fwd(perturbed_left, right)
+        back = bx.fwd(left, detour)
+        if back != right:
+            return {"direction": "fwd", "left": left, "right": right,
+                    "perturbed left": perturbed_left,
+                    "fwd(perturbed, right)": detour,
+                    "fwd(left, detour)": back}
+        perturbed_right = bx.right_space.sample(rng)
+        detour_left = bx.bwd(left, perturbed_right)
+        back_left = bx.bwd(detour_left, right)
+        if back_left != left:
+            return {"direction": "bwd", "left": left, "right": right,
+                    "perturbed right": perturbed_right,
+                    "bwd(left, perturbed)": detour_left,
+                    "bwd(detour, right)": back_left}
+        return None
+
+
+class HistoryIgnorant(BxProperty):
+    """History ignorance: the last restoration wins (state-based PutPut)."""
+
+    name = "history ignorant"
+    definition = (
+        "Restoration forgets intermediate states: fwd(m2, fwd(m1, n)) == "
+        "fwd(m2, n) for all m1, m2, n (and dually).  Strictly stronger "
+        "than undoability for correct, hippocratic bx.")
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        right = bx.right_space.sample(rng)
+        left_one = bx.left_space.sample(rng)
+        left_two = bx.left_space.sample(rng)
+        via = bx.fwd(left_two, bx.fwd(left_one, right))
+        direct = bx.fwd(left_two, right)
+        if via != direct:
+            return {"direction": "fwd", "m1": left_one, "m2": left_two,
+                    "n": right, "fwd(m2, fwd(m1, n))": via,
+                    "fwd(m2, n)": direct}
+        left = bx.left_space.sample(rng)
+        right_one = bx.right_space.sample(rng)
+        right_two = bx.right_space.sample(rng)
+        via_left = bx.bwd(bx.bwd(left, right_one), right_two)
+        direct_left = bx.bwd(left, right_two)
+        if via_left != direct_left:
+            return {"direction": "bwd", "n1": right_one, "n2": right_two,
+                    "m": left, "bwd(bwd(m, n1), n2)": via_left,
+                    "bwd(m, n2)": direct_left}
+        return None
+
+
+class SimplyMatching(BxProperty):
+    """Simple matching: restoration acts purely through key matching.
+
+    Requires the bx (or an explicitly supplied adapter) to implement the
+    :class:`MatchingKeys` protocol.  The check asserts, for ``fwd``:
+
+    * every right-item whose key occurs among the left model's keys
+      survives restoration unchanged;
+    * every right-item whose key does not occur is removed;
+    * the restored right model's key set equals the left model's key set;
+
+    and dually for ``bwd``.
+    """
+
+    name = "simply matching"
+    definition = (
+        "Consistency restoration decomposes through a matching of items "
+        "by key: matched items are preserved exactly, unmatched items on "
+        "the non-authoritative side are deleted, and authoritative keys "
+        "with no match are filled in.  (After matching lenses: alignment "
+        "is by key, not by position or heuristics.)")
+
+    def __init__(self, keys: MatchingKeys | None = None) -> None:
+        self._keys = keys
+
+    def _adapter(self, bx: Bx) -> MatchingKeys | None:
+        if self._keys is not None:
+            return self._keys
+        if isinstance(bx, MatchingKeys):
+            return bx
+        inner = getattr(bx, "inner", None)
+        if inner is not None and isinstance(inner, MatchingKeys):
+            return inner
+        return None
+
+    def check(self, bx: Bx, trials: int = 200,
+              seed: int = 0) -> PropertyResult:
+        if self._adapter(bx) is None:
+            return PropertyResult(
+                self.name, bx.name, CheckStatus.SKIPPED,
+                note="bx does not expose matching keys")
+        return super().check(bx, trials=trials, seed=seed)
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        keys = self._adapter(bx)
+        assert keys is not None  # guarded by check()
+        left, right = bx.sample_pair(rng)
+
+        left_keys = {keys.key_left(item) for item in keys.items_left(left)}
+        restored = bx.fwd(left, right)
+        restored_items = list(keys.items_right(restored))
+        restored_set = set(restored_items)
+        for item in keys.items_right(right):
+            key = keys.key_right(item)
+            if key in left_keys and item not in restored_set:
+                return {"direction": "fwd", "left": left, "right": right,
+                        "matched item dropped or changed": item}
+            if key not in left_keys and item in restored_set:
+                return {"direction": "fwd", "left": left, "right": right,
+                        "unmatched item survived": item}
+        restored_keys = {keys.key_right(item) for item in restored_items}
+        if restored_keys != left_keys:
+            return {"direction": "fwd", "left": left, "right": right,
+                    "restored keys": restored_keys,
+                    "authoritative keys": left_keys}
+
+        right_keys = {keys.key_right(item) for item in keys.items_right(right)}
+        restored_left = bx.bwd(left, right)
+        restored_left_items = list(keys.items_left(restored_left))
+        restored_left_set = set(restored_left_items)
+        for item in keys.items_left(left):
+            key = keys.key_left(item)
+            if key in right_keys and item not in restored_left_set:
+                return {"direction": "bwd", "left": left, "right": right,
+                        "matched item dropped or changed": item}
+            if key not in right_keys and item in restored_left_set:
+                return {"direction": "bwd", "left": left, "right": right,
+                        "unmatched item survived": item}
+        restored_left_keys = {keys.key_left(item)
+                              for item in restored_left_items}
+        if restored_left_keys != right_keys:
+            return {"direction": "bwd", "left": left, "right": right,
+                    "restored keys": restored_left_keys,
+                    "authoritative keys": right_keys}
+        return None
+
+
+class LeastChange(BxProperty):
+    """Least change: restoration minimises a distance to the stale model.
+
+    Parameterised by ``distance(old, new)`` on right models (and optionally
+    on left models).  The check compares the distance achieved by ``fwd``
+    against every enumerable (or sampled) consistent alternative and fails
+    if a strictly cheaper consistent model exists.
+
+    This property motivates the authors' *Theory of Least Change* project
+    (the paper's funding acknowledgement); it is included as the natural
+    "extension" property for catalogue entries.
+    """
+
+    name = "least change"
+    definition = (
+        "Among all models consistent with the authoritative side, "
+        "restoration returns one at minimal distance from the model being "
+        "repaired, for a stated metric on the model space.")
+
+    def __init__(self, right_distance: Callable[[Any, Any], float],
+                 left_distance: Callable[[Any, Any], float] | None = None,
+                 candidates: int = 50) -> None:
+        self.right_distance = right_distance
+        self.left_distance = left_distance
+        self.candidates = candidates
+
+    def find_counterexample(self, bx: Bx,
+                            rng: random.Random) -> dict[str, Any] | None:
+        left, right = bx.sample_pair(rng)
+        chosen = bx.fwd(left, right)
+        achieved = self.right_distance(right, chosen)
+        if bx.right_space.is_finite():
+            alternatives: Iterable[Any] = bx.right_space.enumerate_members()
+        else:
+            alternatives = bx.right_space.sample_many(rng, self.candidates)
+        for alternative in alternatives:
+            if not bx.consistent(left, alternative):
+                continue
+            cost = self.right_distance(right, alternative)
+            if cost < achieved:
+                return {"left": left, "right": right, "chosen": chosen,
+                        "chosen distance": achieved,
+                        "cheaper consistent model": alternative,
+                        "cheaper distance": cost}
+        return None
+
+
+#: Global registry of property vocabulary, keyed by canonical name.  The
+#: repository glossary and entry validation consult this registry.
+PROPERTY_REGISTRY: dict[str, BxProperty] = {}
+
+
+def register_property(prop: BxProperty) -> BxProperty:
+    """Add a property to the global registry (idempotent by name)."""
+    PROPERTY_REGISTRY[prop.name] = prop
+    return prop
+
+
+def get_property(name: str) -> BxProperty:
+    """Look up a registered property by canonical name.
+
+    Raises KeyError with the known names listed, to make typos in entry
+    property claims easy to fix.
+    """
+    try:
+        return PROPERTY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PROPERTY_REGISTRY))
+        raise KeyError(f"unknown property {name!r}; known: {known}") from None
+
+
+def standard_properties() -> list[BxProperty]:
+    """The properties checked by default on catalogue examples."""
+    return [PROPERTY_REGISTRY[name]
+            for name in ("correct", "hippocratic", "undoable",
+                         "history ignorant", "simply matching")]
+
+
+register_property(Correct())
+register_property(Hippocratic())
+register_property(Undoable())
+register_property(HistoryIgnorant())
+register_property(SimplyMatching())

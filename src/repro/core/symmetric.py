@@ -1,0 +1,228 @@
+"""Symmetric lenses: bidirectional transformations with a complement.
+
+The template (§3) explicitly allows restoration functions that "require as
+input extra information"; the canonical state-plus-extra-information
+formalism is the *symmetric lens* of Hofmann, Pierce and Wagner: between
+spaces ``X`` and ``Y``, with a *complement* set ``C`` holding whatever
+private information each side needs that the other does not carry:
+
+* ``putr : X × C → Y × C`` — push a left value rightwards, updating the
+  complement;
+* ``putl : Y × C → X × C`` — symmetrically;
+* ``missing : C`` — the initial complement.
+
+Round-trip laws (checked by :mod:`repro.core.laws`):
+
+* **PutRL** ``putr(x, c) == (y, c')  ⇒  putl(y, c') == (x, c')``
+* **PutLR** ``putl(y, c) == (x, c')  ⇒  putr(x, c') == (y, c')``
+
+The complement is exactly what the paper's Composers discussion says is
+missing from the state-based version: with a complement remembering deleted
+composers' dates, deletion becomes undoable.  The catalogue ships such a
+variant (``repro.catalogue.composers.variants.RememberingComposersLens``)
+so the undoability contrast can be demonstrated executably.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.bx import Bx
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "SymmetricLens",
+    "FunctionalSymmetricLens",
+    "ComposeSymmetricLens",
+    "symmetric_from_bijection",
+    "SYMMETRIC_LAWS",
+]
+
+
+class SymmetricLens(ABC):
+    """A symmetric lens between two spaces, mediated by a complement."""
+
+    #: Short name used in reports.
+    name: str = "symmetric lens"
+
+    #: Space of left values (``X``).
+    left_space: ModelSpace
+
+    #: Space of right values (``Y``).
+    right_space: ModelSpace
+
+    @abstractmethod
+    def missing(self) -> Any:
+        """The initial complement (for synchronising from scratch)."""
+
+    @abstractmethod
+    def putr(self, left: Any, complement: Any) -> tuple[Any, Any]:
+        """Push ``left`` rightwards; return ``(right, new_complement)``."""
+
+    @abstractmethod
+    def putl(self, right: Any, complement: Any) -> tuple[Any, Any]:
+        """Push ``right`` leftwards; return ``(left, new_complement)``."""
+
+    # ------------------------------------------------------------------
+    # Derived operations.
+    # ------------------------------------------------------------------
+
+    def sync_from_left(self, left: Any) -> tuple[Any, Any]:
+        """Create a right value and complement from a left value alone."""
+        return self.putr(left, self.missing())
+
+    def sync_from_right(self, right: Any) -> tuple[Any, Any]:
+        """Create a left value and complement from a right value alone."""
+        return self.putl(right, self.missing())
+
+    def compose(self, other: "SymmetricLens") -> "SymmetricLens":
+        """Sequential composition; complements pair up."""
+        return ComposeSymmetricLens(self, other)
+
+    def __rshift__(self, other: "SymmetricLens") -> "SymmetricLens":
+        return self.compose(other)
+
+    def to_bx(self, name: str | None = None) -> Bx:
+        """Forget the complement, yielding a state-based bx.
+
+        The resulting bx re-derives a complement from the *authoritative*
+        side on every restoration; information kept only in the complement
+        (e.g. remembered dates) is therefore lost, which is precisely the
+        state-based-vs-symmetric contrast of the paper's Discussion section.
+        """
+        return _ForgetfulBx(self, name or f"state({self.name})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r}: "
+                f"{self.left_space.name} <=> {self.right_space.name}>")
+
+
+class _ForgetfulBx(Bx):
+    """State-based bx obtained by forgetting a symmetric lens's complement."""
+
+    def __init__(self, lens: SymmetricLens, name: str) -> None:
+        self.lens = lens
+        self.name = name
+        self.left_space = lens.left_space
+        self.right_space = lens.right_space
+
+    def consistent(self, left: Any, right: Any) -> bool:
+        produced, _complement = self.lens.putr(left, self.lens.missing())
+        return produced == right
+
+    def fwd(self, left: Any, right: Any) -> Any:
+        produced, _complement = self.lens.putr(left, self.lens.missing())
+        return produced
+
+    def bwd(self, left: Any, right: Any) -> Any:
+        produced, _complement = self.lens.putl(right, self.lens.missing())
+        return produced
+
+
+class FunctionalSymmetricLens(SymmetricLens):
+    """A symmetric lens assembled from plain functions."""
+
+    def __init__(self, name: str,
+                 left_space: ModelSpace, right_space: ModelSpace,
+                 missing: Callable[[], Any],
+                 putr: Callable[[Any, Any], tuple[Any, Any]],
+                 putl: Callable[[Any, Any], tuple[Any, Any]]) -> None:
+        self.name = name
+        self.left_space = left_space
+        self.right_space = right_space
+        self._missing = missing
+        self._putr = putr
+        self._putl = putl
+
+    def missing(self) -> Any:
+        return self._missing()
+
+    def putr(self, left: Any, complement: Any) -> tuple[Any, Any]:
+        return self._putr(left, complement)
+
+    def putl(self, right: Any, complement: Any) -> tuple[Any, Any]:
+        return self._putl(right, complement)
+
+
+class ComposeSymmetricLens(SymmetricLens):
+    """Sequential composition of symmetric lenses; complements are paired."""
+
+    def __init__(self, first: SymmetricLens, second: SymmetricLens) -> None:
+        self.first = first
+        self.second = second
+        self.name = f"({first.name} ; {second.name})"
+        self.left_space = first.left_space
+        self.right_space = second.right_space
+
+    def missing(self) -> tuple[Any, Any]:
+        return (self.first.missing(), self.second.missing())
+
+    def putr(self, left: Any, complement: Any) -> tuple[Any, Any]:
+        complement_first, complement_second = complement
+        middle, new_first = self.first.putr(left, complement_first)
+        right, new_second = self.second.putr(middle, complement_second)
+        return right, (new_first, new_second)
+
+    def putl(self, right: Any, complement: Any) -> tuple[Any, Any]:
+        complement_first, complement_second = complement
+        middle, new_second = self.second.putl(right, complement_second)
+        left, new_first = self.first.putl(middle, complement_first)
+        return left, (new_first, new_second)
+
+
+def symmetric_from_bijection(name: str,
+                             left_space: ModelSpace,
+                             right_space: ModelSpace,
+                             to_right: Callable[[Any], Any],
+                             to_left: Callable[[Any], Any]) -> SymmetricLens:
+    """Lift a bijection into a symmetric lens with a trivial complement."""
+    return FunctionalSymmetricLens(
+        name, left_space, right_space,
+        missing=lambda: None,
+        putr=lambda left, _c: (to_right(left), None),
+        putl=lambda right, _c: (to_left(right), None),
+    )
+
+
+# ----------------------------------------------------------------------
+# Law definitions for the harness.  Each returns None (pass) or a
+# counterexample dict.  Argument spec "xc" = draw a left value and a
+# complement-producing left value; laws synthesise complements by pushing
+# sampled values through the lens, so arbitrary complements never arise.
+# ----------------------------------------------------------------------
+
+def _law_put_rl(lens: SymmetricLens, left: Any,
+                seed_left: Any) -> dict[str, Any] | None:
+    """PutRL: after putr, putl with the produced pair is the identity."""
+    _seed_right, complement = lens.putr(seed_left, lens.missing())
+    right, complement2 = lens.putr(left, complement)
+    back_left, complement3 = lens.putl(right, complement2)
+    if back_left != left or complement3 != complement2:
+        return {"left": left, "complement": complement,
+                "right": right, "putl result": back_left,
+                "complement after putr": complement2,
+                "complement after putl": complement3}
+    return None
+
+
+def _law_put_lr(lens: SymmetricLens, right: Any,
+                seed_right: Any) -> dict[str, Any] | None:
+    """PutLR: after putl, putr with the produced pair is the identity."""
+    _seed_left, complement = lens.putl(seed_right, lens.missing())
+    left, complement2 = lens.putl(right, complement)
+    back_right, complement3 = lens.putr(left, complement2)
+    if back_right != right or complement3 != complement2:
+        return {"right": right, "complement": complement,
+                "left": left, "putr result": back_right,
+                "complement after putl": complement2,
+                "complement after putr": complement3}
+    return None
+
+
+#: Symmetric lens round-trip laws: name -> (checker, argument spec).
+#: Spec "ll" draws two left values; "rr" two right values.
+SYMMETRIC_LAWS: dict[str, tuple[Callable[..., dict[str, Any] | None], str]] = {
+    "PutRL": (_law_put_rl, "ll"),
+    "PutLR": (_law_put_lr, "rr"),
+}

@@ -1,0 +1,39 @@
+"""Benchmark harness: seeded generators, workloads, metrics, reporting."""
+
+from repro.harness.generators import (
+    composer_pool,
+    consistent_composer_pair,
+    large_composer_model,
+    large_pair_list,
+    random_pair_edit_script,
+    scaled_names,
+)
+from repro.harness.metrics import (
+    RestorationReport,
+    Timer,
+    bwd_change_size,
+    fwd_change_size,
+    restoration_report,
+    time_callable,
+)
+from repro.harness.reporting import claims_table, law_report_table, text_table
+from repro.harness.workloads import (
+    DEFAULT_SIZES,
+    SyncResult,
+    Workload,
+    composers_bwd_workload,
+    composers_edit_workload,
+    composers_fwd_workload,
+    run_sync_workload,
+)
+
+__all__ = [
+    "composer_pool", "large_composer_model", "large_pair_list",
+    "consistent_composer_pair", "random_pair_edit_script", "scaled_names",
+    "Timer", "time_callable", "fwd_change_size", "bwd_change_size",
+    "restoration_report", "RestorationReport",
+    "text_table", "law_report_table", "claims_table",
+    "Workload", "SyncResult", "DEFAULT_SIZES",
+    "composers_fwd_workload", "composers_bwd_workload",
+    "composers_edit_workload", "run_sync_workload",
+]

@@ -1,0 +1,104 @@
+"""Seeded workload generators: models and edit scripts at scale.
+
+The catalogue's model spaces sample *small* models (good for law
+checking); benchmarks need models of controlled, possibly large size.
+This module generates composer models, pair lists, diagrams and edit
+scripts parameterised by size, always from an explicit seed so every
+benchmark run is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.catalogue.composers.models import pair_of, raw_composer
+from repro.core.delta import Delete, Edit, EditScript, Insert, Update
+from repro.models.records import Record
+
+__all__ = [
+    "composer_pool",
+    "large_composer_model",
+    "large_pair_list",
+    "consistent_composer_pair",
+    "random_pair_edit_script",
+    "scaled_names",
+]
+
+
+def scaled_names(count: int) -> list[str]:
+    """``count`` distinct synthetic composer-like names, deterministic."""
+    return [f"Composer{index:05d}" for index in range(count)]
+
+
+def composer_pool(size: int, seed: int = 0) -> list[Record]:
+    """``size`` distinct composers with synthetic names and random data.
+
+    Uses unconstrained record construction (no pool-membership check) so
+    benchmarks can exceed the catalogue's tiny sampling pools; the
+    resulting models still satisfy the Composers bx's *structural*
+    expectations (records with name/dates/nationality).
+    """
+    rng = random.Random(seed)
+    nationalities = ("British", "English", "Scottish", "Welsh", "Irish")
+    composers = []
+    for name in scaled_names(size):
+        birth = rng.randint(1400, 1950)
+        dates = f"{birth}-{birth + rng.randint(20, 80)}"
+        composers.append(raw_composer(name, dates,
+                                      rng.choice(nationalities)))
+    return composers
+
+
+def large_composer_model(size: int, seed: int = 0) -> frozenset:
+    """A left model (set of composers) of exactly ``size`` elements."""
+    return frozenset(composer_pool(size, seed))
+
+
+def large_pair_list(size: int, seed: int = 0,
+                    shuffle: bool = True) -> tuple:
+    """A right model (pair list) of ``size`` entries, optionally shuffled."""
+    rng = random.Random(seed)
+    pairs = [pair_of(composer) for composer in composer_pool(size, seed)]
+    if shuffle:
+        rng.shuffle(pairs)
+    return tuple(pairs)
+
+
+def consistent_composer_pair(size: int,
+                             seed: int = 0) -> tuple[frozenset, tuple]:
+    """A consistent (m, n) pair of the given size, n in shuffled order."""
+    composers = composer_pool(size, seed)
+    rng = random.Random(seed + 1)
+    pairs = [pair_of(composer) for composer in composers]
+    rng.shuffle(pairs)
+    return frozenset(composers), tuple(pairs)
+
+
+def random_pair_edit_script(model: tuple, edits: int, seed: int = 0,
+                            add_ratio: float = 0.4,
+                            delete_ratio: float = 0.4) -> EditScript:
+    """A random edit script against a pair list.
+
+    ``add_ratio``/``delete_ratio`` control the operation mix; the
+    remainder are in-place updates (entry replaced by a fresh pair).
+    Scripts stay applicable by tracking the evolving length.
+    """
+    rng = random.Random(seed)
+    length = len(model)
+    known_pairs = list(model) or [("Composer00000", "British")]
+    script: list[Edit] = []
+    for _ in range(edits):
+        roll = rng.random()
+        fresh = (f"Composer{rng.randint(0, 10**5):05d}",
+                 rng.choice(("British", "English", "Scottish")))
+        if roll < add_ratio or length == 0:
+            script.append(Insert(rng.randint(0, length), fresh))
+            length += 1
+        elif roll < add_ratio + delete_ratio:
+            script.append(Delete(rng.randrange(length)))
+            length -= 1
+        else:
+            script.append(Update(rng.randrange(length),
+                                 rng.choice(known_pairs + [fresh])))
+    return EditScript(script)

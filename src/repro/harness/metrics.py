@@ -1,0 +1,88 @@
+"""Measurement helpers: timings, change counts, least-change ratios.
+
+Benchmarks delegate the *timing* to pytest-benchmark; this module covers
+the quantities the benchmark rows report alongside time — how much a
+restoration changed, and how close to minimal that change was.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.bx import Bx
+from repro.models.distance import sequence_edit_distance, set_distance
+
+__all__ = [
+    "Timer",
+    "time_callable",
+    "fwd_change_size",
+    "bwd_change_size",
+    "restoration_report",
+]
+
+
+class Timer:
+    """A context-manager wall-clock timer (perf_counter based)."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+def time_callable(operation: Callable[[], Any],
+                  repeats: int = 3) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall time and the (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        with Timer() as timer:
+            result = operation()
+        best = min(best, timer.elapsed)
+    return best, result
+
+
+def fwd_change_size(before: tuple, after: tuple) -> int:
+    """Edit distance a forward restoration inflicted on the right model."""
+    return sequence_edit_distance(before, after)
+
+
+def bwd_change_size(before: frozenset, after: frozenset) -> int:
+    """Symmetric-difference size a backward restoration inflicted."""
+    return set_distance(before, after)
+
+
+@dataclass(frozen=True)
+class RestorationReport:
+    """One measured restoration: direction, time, and change size."""
+
+    bx_name: str
+    direction: str
+    model_size: int
+    seconds: float
+    change_size: int
+
+    def row(self) -> tuple:
+        return (self.bx_name, self.direction, self.model_size,
+                f"{self.seconds * 1e3:.3f} ms", self.change_size)
+
+
+def restoration_report(bx: Bx, left: Any, right: Any,
+                       direction: str) -> RestorationReport:
+    """Time one restoration and measure how much it changed."""
+    seconds, result = time_callable(
+        lambda: bx.restore(left, right, direction))
+    if direction == "fwd":
+        change = fwd_change_size(right, result) \
+            if isinstance(right, tuple) else -1
+        size = len(right) if hasattr(right, "__len__") else -1
+    else:
+        change = bwd_change_size(left, result) \
+            if isinstance(left, frozenset) else -1
+        size = len(left) if hasattr(left, "__len__") else -1
+    return RestorationReport(bx.name, direction, size, seconds, change)

@@ -1,0 +1,130 @@
+"""Benchmark workloads: named, parameterised synchronisation scenarios.
+
+A :class:`Workload` packages what a benchmark row needs: build the
+starting state, perturb it, and name the operation under test.  The
+benchmark files in ``benchmarks/`` iterate these definitions so that
+every EXPERIMENTS.md row maps to exactly one workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.catalogue.composers import composers_bx
+from repro.core.bx import Bx
+from repro.harness.generators import (
+    consistent_composer_pair,
+    random_pair_edit_script,
+)
+
+__all__ = [
+    "Workload",
+    "SyncResult",
+    "composers_fwd_workload",
+    "composers_bwd_workload",
+    "composers_edit_workload",
+    "run_sync_workload",
+    "DEFAULT_SIZES",
+]
+
+#: Model sizes for scaling rows (E14).
+DEFAULT_SIZES: tuple[int, ...] = (10, 100, 1000)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named scenario: setup builds state, operation is what we time."""
+
+    name: str
+    size: int
+    setup: Callable[[], Any]
+    operation: Callable[[Any], Any]
+
+    def run_once(self) -> Any:
+        """Setup and run the operation once (correctness checks, warmup)."""
+        return self.operation(self.setup())
+
+
+@dataclass(frozen=True)
+class SyncResult:
+    """Outcome of a synchronisation run: sizes before/after, consistency."""
+
+    size_before: int
+    size_after: int
+    consistent_after: bool
+
+
+def composers_fwd_workload(size: int, perturbation: int = 10,
+                           seed: int = 0,
+                           bx: Bx | None = None) -> Workload:
+    """Forward restoration after ``perturbation`` edits to the pair list."""
+    bx = bx or composers_bx()
+
+    def setup() -> tuple:
+        left, right = consistent_composer_pair(size, seed)
+        script = random_pair_edit_script(right, perturbation, seed)
+        return (left, script.apply(right))
+
+    return Workload(
+        name=f"composers-fwd-{size}",
+        size=size,
+        setup=setup,
+        operation=lambda state: bx.fwd(*state))
+
+
+def composers_bwd_workload(size: int, perturbation: int = 10,
+                           seed: int = 0,
+                           bx: Bx | None = None) -> Workload:
+    """Backward restoration after ``perturbation`` edits to the pair list.
+
+    The *right* model is edited and then treated as authoritative, so
+    backward restoration must delete and create composers.
+    """
+    bx = bx or composers_bx()
+
+    def setup() -> tuple:
+        left, right = consistent_composer_pair(size, seed)
+        script = random_pair_edit_script(right, perturbation, seed)
+        return (left, script.apply(right))
+
+    return Workload(
+        name=f"composers-bwd-{size}",
+        size=size,
+        setup=setup,
+        operation=lambda state: bx.bwd(*state))
+
+
+def composers_edit_workload(size: int, edits: int = 50,
+                            seed: int = 0) -> Workload:
+    """An edit-session: apply a long script with restoration after each
+    edit — the interactive-synchroniser usage pattern."""
+    bx = composers_bx()
+
+    def setup() -> tuple:
+        left, right = consistent_composer_pair(size, seed)
+        script = random_pair_edit_script(right, edits, seed)
+        return (left, right, script)
+
+    def run(state: tuple) -> SyncResult:
+        left, right, script = state
+        for edit in script.edits:
+            right = edit.apply(right)
+            left = bx.bwd(left, right)
+        return SyncResult(size, len(left), bx.consistent(left, right))
+
+    return Workload(
+        name=f"composers-session-{size}x{edits}",
+        size=size,
+        setup=setup,
+        operation=run)
+
+
+def run_sync_workload(workload: Workload,
+                      check: Callable[[Any], bool] | None = None) -> Any:
+    """Run a workload once, optionally asserting a post-condition."""
+    result = workload.run_once()
+    if check is not None and not check(result):
+        raise AssertionError(
+            f"workload {workload.name} post-condition failed: {result!r}")
+    return result

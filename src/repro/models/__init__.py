@@ -1,0 +1,81 @@
+"""Model substrate: the "classes of models" that bx relate.
+
+Record sets, ordered lists, relational databases, trees, and object graphs
+— together with model *spaces* (typed universes supporting membership,
+validation, and seeded sampling) and edit distances for least-change
+reasoning.
+"""
+
+from repro.models.distance import (
+    mapping_distance,
+    record_distance,
+    sequence_edit_distance,
+    set_distance,
+    tree_distance,
+)
+from repro.models.graphs import Graph, GraphEdge, GraphNode, GraphSpace
+from repro.models.lists import (
+    OrderedListSpace,
+    append_sorted_block,
+    dedupe_preserving_order,
+    insert_sorted,
+    stable_delete,
+)
+from repro.models.metamodel import (
+    AttributeDef,
+    ClassDef,
+    Metamodel,
+    ReferenceDef,
+)
+from repro.models.records import FieldDef, Record, RecordSetSpace, RecordType
+from repro.models.relational import (
+    Attribute,
+    Database,
+    DatabaseSpace,
+    Relation,
+    RelationSchema,
+    RelationSpace,
+    difference,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.models.space import (
+    FiniteSpace,
+    IntRangeSpace,
+    MappedSpace,
+    ModelSpace,
+    PredicateSpace,
+    ProductSpace,
+    SumSpace,
+    TextSpace,
+    UniversalSpace,
+)
+from repro.models.trees import Node, TreeSpace
+
+__all__ = [
+    # spaces
+    "ModelSpace", "FiniteSpace", "PredicateSpace", "ProductSpace",
+    "SumSpace", "MappedSpace", "UniversalSpace", "IntRangeSpace",
+    "TextSpace",
+    # records
+    "FieldDef", "RecordType", "Record", "RecordSetSpace",
+    # lists
+    "OrderedListSpace", "stable_delete", "append_sorted_block",
+    "insert_sorted", "dedupe_preserving_order",
+    # relational
+    "Attribute", "RelationSchema", "Relation", "Database", "RelationSpace",
+    "DatabaseSpace", "project", "select", "natural_join", "rename", "union",
+    "difference",
+    # trees
+    "Node", "TreeSpace",
+    # graphs
+    "GraphNode", "GraphEdge", "Graph", "GraphSpace",
+    # metamodel
+    "AttributeDef", "ClassDef", "ReferenceDef", "Metamodel",
+    # distances
+    "sequence_edit_distance", "set_distance", "record_distance",
+    "mapping_distance", "tree_distance",
+]

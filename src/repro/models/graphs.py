@@ -1,0 +1,201 @@
+"""Object-graph models: typed nodes and labelled edges (for MDE examples).
+
+The "notorious UML class diagram to RDBMS schema example" needs a model
+kind richer than records or relations: an *object graph* with typed nodes
+(classes, attributes, associations) and labelled edges between them.  This
+module provides a small immutable graph representation that the
+``repro.catalogue.uml2rdbms`` example builds on, with validation against a
+:class:`repro.models.metamodel.Metamodel`.
+
+Nodes are identified by string ids; edges are (source id, label, target
+id) triples.  Graphs compare by value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.errors import MetamodelError
+from repro.models.space import ModelSpace
+
+__all__ = ["GraphNode", "GraphEdge", "Graph", "GraphSpace"]
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """A typed node: an id, a type name, and attribute values.
+
+    Attributes are stored as a sorted tuple of (name, value) pairs so the
+    node is hashable; use :meth:`attribute` / :meth:`as_dict` for access.
+    """
+
+    node_id: str
+    node_type: str
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def make(node_id: str, node_type: str,
+             attributes: Mapping[str, Any] | None = None) -> "GraphNode":
+        return GraphNode(node_id, node_type,
+                         tuple(sorted((attributes or {}).items())))
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.attributes)
+
+    def with_attribute(self, name: str, value: Any) -> "GraphNode":
+        updated = self.as_dict()
+        updated[name] = value
+        return GraphNode.make(self.node_id, self.node_type, updated)
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """A directed labelled edge between two node ids."""
+
+    source: str
+    label: str
+    target: str
+
+
+class Graph:
+    """An immutable typed graph: nodes by id, plus labelled edges.
+
+    Construction validates referential integrity: every edge endpoint must
+    name an existing node.
+    """
+
+    def __init__(self, nodes: Iterable[GraphNode] = (),
+                 edges: Iterable[GraphEdge] = ()) -> None:
+        self._nodes: dict[str, GraphNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise MetamodelError(f"duplicate node id {node.node_id!r}")
+            self._nodes[node.node_id] = node
+        self._edges = frozenset(edges)
+        for edge in self._edges:
+            if edge.source not in self._nodes:
+                raise MetamodelError(
+                    f"edge {edge} has unknown source {edge.source!r}")
+            if edge.target not in self._nodes:
+                raise MetamodelError(
+                    f"edge {edge} has unknown target {edge.target!r}")
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: str) -> GraphNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise MetamodelError(f"no node {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self, node_type: str | None = None) -> list[GraphNode]:
+        """All nodes (sorted by id), optionally filtered by type."""
+        selected = (node for node in self._nodes.values()
+                    if node_type is None or node.node_type == node_type)
+        return sorted(selected, key=lambda node: node.node_id)
+
+    def edges(self, label: str | None = None) -> list[GraphEdge]:
+        selected = (edge for edge in self._edges
+                    if label is None or edge.label == label)
+        return sorted(selected,
+                      key=lambda e: (e.source, e.label, e.target))
+
+    def out_edges(self, node_id: str, label: str | None = None
+                  ) -> list[GraphEdge]:
+        return [edge for edge in self.edges(label) if edge.source == node_id]
+
+    def in_edges(self, node_id: str, label: str | None = None
+                 ) -> list[GraphEdge]:
+        return [edge for edge in self.edges(label) if edge.target == node_id]
+
+    def targets(self, node_id: str, label: str) -> list[GraphNode]:
+        """Nodes reachable from ``node_id`` via one ``label`` edge."""
+        return [self.node(edge.target)
+                for edge in self.out_edges(node_id, label)]
+
+    # ------------------------------------------------------------------
+    # Pure updates.
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: GraphNode) -> "Graph":
+        return Graph(list(self._nodes.values()) + [node], self._edges)
+
+    def remove_node(self, node_id: str) -> "Graph":
+        """Remove a node and every incident edge."""
+        nodes = [n for n in self._nodes.values() if n.node_id != node_id]
+        edges = [e for e in self._edges
+                 if e.source != node_id and e.target != node_id]
+        return Graph(nodes, edges)
+
+    def replace_node(self, node: GraphNode) -> "Graph":
+        nodes = [node if n.node_id == node.node_id else n
+                 for n in self._nodes.values()]
+        return Graph(nodes, self._edges)
+
+    def add_edge(self, edge: GraphEdge) -> "Graph":
+        return Graph(self._nodes.values(), self._edges | {edge})
+
+    def remove_edge(self, edge: GraphEdge) -> "Graph":
+        return Graph(self._nodes.values(), self._edges - {edge})
+
+    # ------------------------------------------------------------------
+    # Value semantics.
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Graph)
+                and self._nodes == other._nodes
+                and self._edges == other._edges)
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._nodes.items()), self._edges))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Graph {len(self._nodes)} nodes, {len(self._edges)} edges>"
+
+
+class GraphSpace(ModelSpace):
+    """Graphs over a metamodel; membership delegates to metamodel validation.
+
+    Sampling is delegated to a caller-supplied generator because plausible
+    model graphs (e.g. UML diagrams) need domain-aware construction; see
+    ``repro.catalogue.uml2rdbms.models`` for one.
+    """
+
+    def __init__(self, metamodel: "Any", sampler,
+                 name: str | None = None) -> None:
+        self.metamodel = metamodel
+        self._sampler = sampler
+        self.name = name or f"graphs[{metamodel.name}]"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Graph):
+            return False
+        return self.metamodel.conforms(value)
+
+    def validate(self, value: Any) -> None:
+        from repro.core.errors import ModelSpaceError
+        if not isinstance(value, Graph):
+            raise ModelSpaceError(self, value, "expected a Graph")
+        problems = self.metamodel.check(value)
+        if problems:
+            raise ModelSpaceError(self, value, "; ".join(problems))
+
+    def sample(self, rng: random.Random) -> Graph:
+        return self._sampler(rng)

@@ -1,0 +1,163 @@
+"""Metamodels: precise descriptions of what counts as a model.
+
+The template's Models field invites "(formal) expressions of their
+meta-models", with "model" and "meta-model" read inclusively: "any
+appropriately precise description of the information sources being
+transformed is acceptable."  This module gives catalogue examples a way to
+make that description executable for graph-shaped models:
+
+* :class:`ClassDef` — a node type: required attributes (each typed by a
+  :class:`~repro.models.space.ModelSpace`) and outgoing reference
+  definitions with multiplicities;
+* :class:`ReferenceDef` — an edge label with target type and multiplicity
+  bounds;
+* :class:`Metamodel` — a set of class definitions; :meth:`check` returns a
+  list of conformance problems for a graph, and :meth:`conforms` is the
+  boolean view.
+
+Record- and relation-shaped models carry their typing in
+:class:`~repro.models.records.RecordType` and
+:class:`~repro.models.relational.RelationSchema`; this module is the
+analogue for graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.errors import MetamodelError
+from repro.models.graphs import Graph
+from repro.models.space import ModelSpace
+
+__all__ = ["ReferenceDef", "ClassDef", "Metamodel"]
+
+
+@dataclass(frozen=True)
+class ReferenceDef:
+    """An outgoing reference: edge label, target class, multiplicity.
+
+    ``upper=None`` means unbounded (``*``).
+    """
+
+    label: str
+    target: str
+    lower: int = 0
+    upper: int | None = None
+
+    def multiplicity(self) -> str:
+        upper = "*" if self.upper is None else str(self.upper)
+        return f"{self.lower}..{upper}"
+
+
+@dataclass(frozen=True)
+class AttributeDef:
+    """A required node attribute with its value space."""
+
+    name: str
+    space: ModelSpace
+
+
+class ClassDef:
+    """A node type: attributes and references it must carry."""
+
+    def __init__(self, name: str,
+                 attributes: Iterable[AttributeDef] = (),
+                 references: Iterable[ReferenceDef] = (),
+                 abstract: bool = False) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.references = tuple(references)
+        self.abstract = abstract
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ClassDef {self.name}>"
+
+
+class Metamodel:
+    """A named collection of class definitions, with conformance checking."""
+
+    def __init__(self, name: str, classes: Iterable[ClassDef]) -> None:
+        self.name = name
+        self.classes = {c.name: c for c in classes}
+        if not self.classes:
+            raise MetamodelError(f"metamodel {name!r} needs >= 1 class")
+        # Validate reference targets up front.
+        for class_def in self.classes.values():
+            for ref in class_def.references:
+                if ref.target not in self.classes:
+                    raise MetamodelError(
+                        f"{name}.{class_def.name}.{ref.label}: unknown "
+                        f"target class {ref.target!r}")
+
+    def class_def(self, name: str) -> ClassDef:
+        try:
+            return self.classes[name]
+        except KeyError:
+            known = ", ".join(sorted(self.classes))
+            raise MetamodelError(
+                f"metamodel {self.name!r} has no class {name!r}; "
+                f"known: {known}") from None
+
+    def check(self, graph: Graph) -> list[str]:
+        """Return all conformance problems (empty list = conforms)."""
+        problems: list[str] = []
+        for node in graph.nodes():
+            class_def = self.classes.get(node.node_type)
+            if class_def is None:
+                problems.append(
+                    f"node {node.node_id!r} has unknown type "
+                    f"{node.node_type!r}")
+                continue
+            if class_def.abstract:
+                problems.append(
+                    f"node {node.node_id!r} instantiates abstract class "
+                    f"{class_def.name!r}")
+            for attr in class_def.attributes:
+                value = node.attribute(attr.name, default=_MISSING)
+                if value is _MISSING:
+                    problems.append(
+                        f"node {node.node_id!r} missing attribute "
+                        f"{attr.name!r}")
+                elif not attr.space.contains(value):
+                    problems.append(
+                        f"node {node.node_id!r}.{attr.name}: {value!r} "
+                        f"not in {attr.space.name}")
+            declared = {ref.label: ref for ref in class_def.references}
+            for ref in class_def.references:
+                targets = graph.targets(node.node_id, ref.label)
+                count = len(targets)
+                if count < ref.lower or (ref.upper is not None
+                                         and count > ref.upper):
+                    problems.append(
+                        f"node {node.node_id!r}.{ref.label}: {count} "
+                        f"targets, multiplicity {ref.multiplicity()}")
+                for target in targets:
+                    if target.node_type != ref.target:
+                        problems.append(
+                            f"node {node.node_id!r}.{ref.label}: target "
+                            f"{target.node_id!r} has type "
+                            f"{target.node_type!r}, expected {ref.target!r}")
+            for edge in graph.out_edges(node.node_id):
+                if edge.label not in declared:
+                    problems.append(
+                        f"node {node.node_id!r} has undeclared edge label "
+                        f"{edge.label!r}")
+        return problems
+
+    def conforms(self, graph: Graph) -> bool:
+        """True if the graph has no conformance problems."""
+        return not self.check(graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Metamodel {self.name} ({len(self.classes)} classes)>"
+
+
+class _Missing:
+    """Sentinel distinguishing absent attributes from explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()

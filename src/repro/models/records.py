@@ -1,0 +1,250 @@
+"""Record models: immutable typed records and sets-of-records spaces.
+
+The Composers left model is "a set of (unrelated) objects of class Composer
+... each with a name, dates and nationality" — i.e. a *record set*.  This
+module provides the generic machinery:
+
+* :class:`FieldDef` — a named, space-typed field;
+* :class:`RecordType` — a record shape (ordered fields); produces
+  :class:`Record` values and a :class:`ModelSpace` of single records;
+* :class:`Record` — an immutable, hashable record value;
+* :class:`RecordSetSpace` — the space of *frozensets* of records of one
+  type, with size bounds for sampling.
+
+Records are deliberately not plain dataclasses: carrying the
+:class:`RecordType` at runtime is what lets metamodel validation, sampling,
+and diagnostics work uniformly across catalogue examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.core.errors import MetamodelError
+from repro.models.space import ModelSpace
+
+__all__ = ["FieldDef", "RecordType", "Record", "RecordSetSpace"]
+
+
+@dataclass(frozen=True)
+class FieldDef:
+    """A record field: a name plus the space its values live in."""
+
+    name: str
+    space: ModelSpace
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FieldDef({self.name!r}: {self.space.name})"
+
+
+class Record:
+    """An immutable record value tagged with its :class:`RecordType`.
+
+    Field access is attribute-style (``composer.name``) or mapping-style
+    (``composer["name"]``).  Equality and hashing are structural over the
+    type name and field values, so records work in frozensets and as dict
+    keys — which the set-of-records model space requires.
+    """
+
+    __slots__ = ("_type", "_values")
+
+    def __init__(self, record_type: "RecordType",
+                 values: Mapping[str, Any]) -> None:
+        missing = [f.name for f in record_type.fields if f.name not in values]
+        extra = [name for name in values
+                 if name not in record_type.field_names]
+        if missing or extra:
+            raise MetamodelError(
+                f"record of type {record_type.name!r}: "
+                f"missing fields {missing}, unexpected fields {extra}")
+        object.__setattr__(self, "_type", record_type)
+        object.__setattr__(
+            self, "_values",
+            tuple(values[f.name] for f in record_type.fields))
+
+    @property
+    def record_type(self) -> "RecordType":
+        return self._type
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            index = self._type.field_names.index(name)
+        except ValueError:
+            raise AttributeError(name) from None
+        return self._values[index]
+
+    def __getitem__(self, name: str) -> Any:
+        index = self._type.field_names.index(name)
+        return self._values[index]
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("records are immutable; use with_field()")
+
+    def with_field(self, name: str, value: Any) -> "Record":
+        """A copy of this record with one field replaced."""
+        updated = dict(self.as_dict())
+        if name not in updated:
+            raise MetamodelError(
+                f"record type {self._type.name!r} has no field {name!r}")
+        updated[name] = value
+        return Record(self._type, updated)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The record's fields as a plain dict (field order preserved)."""
+        return {f.name: v for f, v in zip(self._type.fields, self._values)}
+
+    def as_tuple(self) -> tuple:
+        """The field values in declaration order."""
+        return self._values
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Record)
+                and self._type.name == other._type.name
+                and self._values == other._values)
+
+    def __hash__(self) -> int:
+        return hash((self._type.name, self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}={v!r}"
+                          for f, v in zip(self._type.fields, self._values))
+        return f"{self._type.name}({inner})"
+
+
+class RecordType:
+    """A record shape: a name plus ordered, typed fields.
+
+    Doubles as a :class:`ModelSpace` factory: :meth:`space` is the space of
+    single records, :meth:`set_space` the space of frozensets of records.
+    """
+
+    def __init__(self, name: str, fields: Iterable[FieldDef]) -> None:
+        self.name = name
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise MetamodelError(f"record type {name!r} needs >= 1 field")
+        self.field_names = [f.name for f in self.fields]
+        if len(set(self.field_names)) != len(self.field_names):
+            raise MetamodelError(f"record type {name!r} has duplicate fields")
+
+    def make(self, **values: Any) -> Record:
+        """Construct a record, validating field values against their spaces."""
+        record = Record(self, values)
+        self.validate(record)
+        return record
+
+    def validate(self, record: Record) -> None:
+        """Raise :class:`MetamodelError` unless every field value is typed."""
+        if record.record_type.name != self.name:
+            raise MetamodelError(
+                f"expected {self.name!r} record, got "
+                f"{record.record_type.name!r}")
+        for fdef, value in zip(self.fields, record.as_tuple()):
+            if not fdef.space.contains(value):
+                raise MetamodelError(
+                    f"{self.name}.{fdef.name}: {value!r} not in "
+                    f"{fdef.space.name}")
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Record):
+            return False
+        try:
+            self.validate(value)
+        except MetamodelError:
+            return False
+        return True
+
+    def sample(self, rng: random.Random) -> Record:
+        return Record(self, {f.name: f.space.sample(rng)
+                             for f in self.fields})
+
+    def space(self, name: str | None = None) -> ModelSpace:
+        """The model space of single records of this type."""
+        return _RecordSpace(self, name or self.name)
+
+    def set_space(self, min_size: int = 0, max_size: int = 8,
+                  name: str | None = None) -> "RecordSetSpace":
+        """The model space of frozensets of records of this type."""
+        return RecordSetSpace(self, min_size, max_size, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RecordType {self.name} ({', '.join(self.field_names)})>"
+
+
+class _RecordSpace(ModelSpace):
+    """Space of single records of one type."""
+
+    def __init__(self, record_type: RecordType, name: str) -> None:
+        self.record_type = record_type
+        self.name = name
+
+    def contains(self, value: Any) -> bool:
+        return self.record_type.contains(value)
+
+    def validate(self, value: Any) -> None:
+        if not isinstance(value, Record):
+            from repro.core.errors import ModelSpaceError
+            raise ModelSpaceError(self, value, "not a Record")
+        self.record_type.validate(value)
+
+    def sample(self, rng: random.Random) -> Record:
+        return self.record_type.sample(rng)
+
+    def is_finite(self) -> bool:
+        return all(f.space.is_finite() for f in self.record_type.fields)
+
+    def enumerate_members(self) -> Iterator[Record]:
+        import itertools
+        columns = [list(f.space.enumerate_members())
+                   for f in self.record_type.fields]
+        names = self.record_type.field_names
+        for combo in itertools.product(*columns):
+            yield Record(self.record_type, dict(zip(names, combo)))
+
+
+class RecordSetSpace(ModelSpace):
+    """Space of frozensets of records of one type, size-bounded for sampling.
+
+    Membership does **not** enforce the size bounds (a model with more
+    records than the sampler would draw is still a model); bounds only steer
+    sampling so law checks stay fast.
+    """
+
+    def __init__(self, record_type: RecordType, min_size: int = 0,
+                 max_size: int = 8, name: str | None = None) -> None:
+        if min_size < 0 or min_size > max_size:
+            raise ValueError("invalid size bounds")
+        self.record_type = record_type
+        self.min_size = min_size
+        self.max_size = max_size
+        self.name = name or f"set[{record_type.name}]"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, frozenset):
+            return False
+        return all(self.record_type.contains(item) for item in value)
+
+    def validate(self, value: Any) -> None:
+        from repro.core.errors import ModelSpaceError
+        if not isinstance(value, frozenset):
+            raise ModelSpaceError(self, value, "expected a frozenset")
+        for item in value:
+            if not self.record_type.contains(item):
+                raise ModelSpaceError(
+                    self, value, f"element {item!r} is not a valid "
+                    f"{self.record_type.name} record")
+
+    def sample(self, rng: random.Random) -> frozenset:
+        size = rng.randint(self.min_size, self.max_size)
+        members = set()
+        attempts = 0
+        while len(members) < size and attempts < 32 * max(size, 1):
+            members.add(self.record_type.sample(rng))
+            attempts += 1
+        return frozenset(members)
+
+    def empty(self) -> frozenset:
+        """The empty model (useful as a bx default)."""
+        return frozenset()

@@ -1,0 +1,379 @@
+"""Relational models: schemas, instances, and the classic algebra.
+
+The bx literature the paper springs from (Boomerang, relational lenses,
+view update) lives in the database world, and the repository itself is "a
+curated resource in the sense of Buneman et al.".  This module is the
+relational substrate used by the catalogue's database examples
+(``repro.catalogue.dbview``) and by the UML↔RDBMS example's right-hand
+side:
+
+* :class:`Attribute` — a named, space-typed column;
+* :class:`RelationSchema` — attributes plus an optional candidate key;
+* :class:`Relation` — an immutable instance: a schema and a frozenset of
+  rows (rows are tuples aligned with the schema's attribute order);
+* :class:`Database` — a named collection of relations;
+* algebra: :func:`project`, :func:`select`, :func:`natural_join`,
+  :func:`rename`, :func:`union`, :func:`difference` — enough to express
+  the view definitions whose updates the dbview lenses translate.
+
+Key constraints are enforced on construction; violating them raises
+:class:`~repro.core.errors.MetamodelError` with the offending rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.errors import MetamodelError
+from repro.models.space import ModelSpace
+
+__all__ = [
+    "Attribute",
+    "RelationSchema",
+    "Relation",
+    "Database",
+    "RelationSpace",
+    "DatabaseSpace",
+    "project",
+    "select",
+    "natural_join",
+    "rename",
+    "union",
+    "difference",
+]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A relational column: name plus the space of its values."""
+
+    name: str
+    space: ModelSpace
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Attribute({self.name!r}: {self.space.name})"
+
+
+class RelationSchema:
+    """A relation schema: ordered attributes and an optional candidate key.
+
+    ``key`` names a subset of attributes; instances must not contain two
+    rows agreeing on all key attributes.  ``key=None`` means "whole row is
+    the key" (sets already forbid exact duplicates).
+    """
+
+    def __init__(self, name: str, attributes: Iterable[Attribute],
+                 key: Sequence[str] | None = None) -> None:
+        self.name = name
+        self.attributes = tuple(attributes)
+        if not self.attributes:
+            raise MetamodelError(f"schema {name!r} needs >= 1 attribute")
+        self.attribute_names = [a.name for a in self.attributes]
+        if len(set(self.attribute_names)) != len(self.attribute_names):
+            raise MetamodelError(f"schema {name!r} has duplicate attributes")
+        self.key = tuple(key) if key is not None else None
+        if self.key is not None:
+            unknown = [k for k in self.key if k not in self.attribute_names]
+            if unknown:
+                raise MetamodelError(
+                    f"schema {name!r} key names unknown attributes {unknown}")
+
+    def index_of(self, attribute: str) -> int:
+        """Position of an attribute in the row tuples."""
+        try:
+            return self.attribute_names.index(attribute)
+        except ValueError:
+            raise MetamodelError(
+                f"schema {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def key_of(self, row: tuple) -> tuple:
+        """The key projection of a row (whole row if no declared key)."""
+        if self.key is None:
+            return row
+        return tuple(row[self.index_of(k)] for k in self.key)
+
+    def validate_row(self, row: Any) -> None:
+        """Raise unless ``row`` is a well-typed tuple for this schema."""
+        if not isinstance(row, tuple) or len(row) != len(self.attributes):
+            raise MetamodelError(
+                f"schema {self.name!r} expects {len(self.attributes)}-tuples,"
+                f" got {row!r}")
+        for attribute, value in zip(self.attributes, row):
+            if not attribute.space.contains(value):
+                raise MetamodelError(
+                    f"{self.name}.{attribute.name}: {value!r} not in "
+                    f"{attribute.space.name}")
+
+    def row_as_dict(self, row: tuple) -> dict[str, Any]:
+        return dict(zip(self.attribute_names, row))
+
+    def same_shape(self, other: "RelationSchema") -> bool:
+        """True if attribute names and order coincide (spaces may differ)."""
+        return self.attribute_names == other.attribute_names
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cols = ", ".join(self.attribute_names)
+        key = f" key({', '.join(self.key)})" if self.key else ""
+        return f"<RelationSchema {self.name}({cols}){key}>"
+
+
+class Relation:
+    """An immutable relation instance: a schema plus a frozenset of rows."""
+
+    def __init__(self, schema: RelationSchema,
+                 rows: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        frozen = frozenset(rows)
+        for row in frozen:
+            schema.validate_row(row)
+        if schema.key is not None:
+            seen: dict[tuple, tuple] = {}
+            for row in sorted(frozen):
+                key = schema.key_of(row)
+                if key in seen:
+                    raise MetamodelError(
+                        f"key violation in {schema.name!r}: rows "
+                        f"{seen[key]!r} and {row!r} share key {key!r}")
+                seen[key] = row
+        self.rows = frozen
+
+    def with_rows(self, rows: Iterable[tuple]) -> "Relation":
+        """A new instance over the same schema."""
+        return Relation(self.schema, rows)
+
+    def insert(self, row: tuple) -> "Relation":
+        return self.with_rows(self.rows | {row})
+
+    def delete(self, row: tuple) -> "Relation":
+        return self.with_rows(self.rows - {row})
+
+    def contains_row(self, row: tuple) -> bool:
+        return row in self.rows
+
+    def column(self, attribute: str) -> frozenset:
+        """All values of one attribute."""
+        index = self.schema.index_of(attribute)
+        return frozenset(row[index] for row in self.rows)
+
+    def rows_as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dicts, sorted for deterministic display."""
+        return [self.schema.row_as_dict(row) for row in sorted(self.rows)]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(sorted(self.rows))
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Relation)
+                and self.schema.name == other.schema.name
+                and self.schema.attribute_names
+                == other.schema.attribute_names
+                and self.rows == other.rows)
+
+    def __hash__(self) -> int:
+        return hash((self.schema.name, tuple(self.schema.attribute_names),
+                     self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Relation {self.schema.name} ({len(self.rows)} rows)>"
+
+
+class Database:
+    """An immutable named collection of relations."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            if relation.schema.name in self._relations:
+                raise MetamodelError(
+                    f"duplicate relation {relation.schema.name!r}")
+            self._relations[relation.schema.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self._relations))
+            raise MetamodelError(
+                f"no relation {name!r}; database has: {known}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def with_relation(self, relation: Relation) -> "Database":
+        """A new database with one relation replaced (or added)."""
+        updated = dict(self._relations)
+        updated[relation.schema.name] = relation
+        return Database(updated.values())
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Database)
+                and self._relations == other._relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._relations.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{name}({len(rel)})"
+                          for name, rel in sorted(self._relations.items()))
+        return f"<Database {inner}>"
+
+
+class RelationSpace(ModelSpace):
+    """The space of instances of one relation schema, size-bounded sampling."""
+
+    def __init__(self, schema: RelationSchema, min_rows: int = 0,
+                 max_rows: int = 8, name: str | None = None) -> None:
+        self.schema = schema
+        self.min_rows = min_rows
+        self.max_rows = max_rows
+        self.name = name or f"instances[{schema.name}]"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Relation):
+            return False
+        if value.schema.name != self.schema.name:
+            return False
+        if value.schema.attribute_names != self.schema.attribute_names:
+            return False
+        try:
+            Relation(self.schema, value.rows)
+        except MetamodelError:
+            return False
+        return True
+
+    def sample(self, rng: random.Random) -> Relation:
+        target = rng.randint(self.min_rows, self.max_rows)
+        rows: dict[tuple, tuple] = {}
+        attempts = 0
+        while len(rows) < target and attempts < 32 * max(target, 1):
+            row = tuple(a.space.sample(rng) for a in self.schema.attributes)
+            attempts += 1
+            rows.setdefault(self.schema.key_of(row), row)
+        return Relation(self.schema, rows.values())
+
+    def empty(self) -> Relation:
+        return Relation(self.schema)
+
+
+class DatabaseSpace(ModelSpace):
+    """The space of databases over a fixed set of relation spaces."""
+
+    def __init__(self, relation_spaces: Sequence[RelationSpace],
+                 name: str | None = None) -> None:
+        self.relation_spaces = tuple(relation_spaces)
+        names = [rs.schema.name for rs in self.relation_spaces]
+        if len(set(names)) != len(names):
+            raise MetamodelError("duplicate schemas in database space")
+        self.name = name or "db{" + ", ".join(sorted(names)) + "}"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Database):
+            return False
+        expected = sorted(rs.schema.name for rs in self.relation_spaces)
+        if value.names() != expected:
+            return False
+        return all(rs.contains(value.relation(rs.schema.name))
+                   for rs in self.relation_spaces)
+
+    def sample(self, rng: random.Random) -> Database:
+        return Database(rs.sample(rng) for rs in self.relation_spaces)
+
+    def empty(self) -> Database:
+        return Database(rs.empty() for rs in self.relation_spaces)
+
+
+# ----------------------------------------------------------------------
+# Relational algebra (instance level).  Every operation returns a fresh
+# Relation over a derived schema; inputs are never modified.
+# ----------------------------------------------------------------------
+
+def project(relation: Relation, attributes: Sequence[str],
+            schema_name: str | None = None,
+            key: Sequence[str] | None = None) -> Relation:
+    """Projection onto ``attributes`` (duplicates collapse, as in sets)."""
+    indexes = [relation.schema.index_of(a) for a in attributes]
+    sub_attrs = [relation.schema.attributes[i] for i in indexes]
+    schema = RelationSchema(
+        schema_name or f"{relation.schema.name}[{','.join(attributes)}]",
+        sub_attrs, key=key)
+    return Relation(schema, {tuple(row[i] for i in indexes)
+                             for row in relation.rows})
+
+
+def select(relation: Relation,
+           predicate: Callable[[dict[str, Any]], bool],
+           schema_name: str | None = None) -> Relation:
+    """Selection by a predicate over the row-as-dict."""
+    schema = RelationSchema(
+        schema_name or relation.schema.name,
+        relation.schema.attributes, key=relation.schema.key)
+    kept = {row for row in relation.rows
+            if predicate(relation.schema.row_as_dict(row))}
+    return Relation(schema, kept)
+
+
+def natural_join(left: Relation, right: Relation,
+                 schema_name: str | None = None) -> Relation:
+    """Natural join on shared attribute names."""
+    shared = [a for a in left.schema.attribute_names
+              if a in right.schema.attribute_names]
+    right_only = [a for a in right.schema.attribute_names
+                  if a not in shared]
+    joined_attrs = list(left.schema.attributes) + [
+        right.schema.attributes[right.schema.index_of(a)]
+        for a in right_only]
+    schema = RelationSchema(
+        schema_name or f"({left.schema.name}*{right.schema.name})",
+        joined_attrs)
+    left_shared = [left.schema.index_of(a) for a in shared]
+    right_shared = [right.schema.index_of(a) for a in shared]
+    right_only_idx = [right.schema.index_of(a) for a in right_only]
+
+    by_key: dict[tuple, list[tuple]] = {}
+    for row in right.rows:
+        by_key.setdefault(tuple(row[i] for i in right_shared),
+                          []).append(row)
+    rows = set()
+    for row in left.rows:
+        key = tuple(row[i] for i in left_shared)
+        for partner in by_key.get(key, ()):
+            rows.add(row + tuple(partner[i] for i in right_only_idx))
+    return Relation(schema, rows)
+
+
+def rename(relation: Relation, renames: dict[str, str],
+           schema_name: str | None = None) -> Relation:
+    """Rename attributes; rows are untouched."""
+    attributes = [Attribute(renames.get(a.name, a.name), a.space)
+                  for a in relation.schema.attributes]
+    key = None
+    if relation.schema.key is not None:
+        key = [renames.get(k, k) for k in relation.schema.key]
+    schema = RelationSchema(schema_name or relation.schema.name,
+                            attributes, key=key)
+    return Relation(schema, relation.rows)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union; schemas must have the same shape."""
+    if not left.schema.same_shape(right.schema):
+        raise MetamodelError(
+            f"union of incompatible schemas {left.schema.name!r} and "
+            f"{right.schema.name!r}")
+    schema = RelationSchema(left.schema.name, left.schema.attributes)
+    return Relation(schema, left.rows | right.rows)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference; schemas must have the same shape."""
+    if not left.schema.same_shape(right.schema):
+        raise MetamodelError(
+            f"difference of incompatible schemas {left.schema.name!r} and "
+            f"{right.schema.name!r}")
+    return Relation(left.schema, left.rows - right.rows)

@@ -1,0 +1,340 @@
+"""Model spaces: the typed universes that bidirectional transformations relate.
+
+The BX 2014 repository paper describes an example as defining "two or more
+classes of models, together with a consistency relation between them, and
+appropriate consistency restoration functions" (after Stevens).  A *model
+space* is our rendering of "a class of models": a set-like object that knows
+
+* membership (``contains``) — is this Python value one of my models?
+* validation (``validate``) — like ``contains`` but explains failures;
+* sampling (``sample``) — draw a pseudo-random member from a seeded RNG,
+  which is what the law-checking harness uses to hunt counterexamples;
+* optionally enumeration (``enumerate_members``) for small finite spaces,
+  enabling exhaustive law checking.
+
+Because Python is dynamically typed, model spaces are how the library
+recovers the typing discipline that lens laws assume: every bx is typed by
+two spaces, and the law harness checks membership at every boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+from typing import Any, Callable
+
+from repro.core.errors import ModelSpaceError
+
+__all__ = [
+    "ModelSpace",
+    "FiniteSpace",
+    "PredicateSpace",
+    "ProductSpace",
+    "SumSpace",
+    "MappedSpace",
+    "UniversalSpace",
+    "IntRangeSpace",
+    "TextSpace",
+]
+
+
+class ModelSpace(ABC):
+    """Abstract base class for model spaces.
+
+    Subclasses must implement :meth:`contains` and :meth:`sample`.  Spaces
+    are immutable descriptions; all state needed to draw samples comes from
+    the ``rng`` argument so that checking runs are reproducible.
+    """
+
+    #: Human-readable name used in reports and error messages.
+    name: str = "model space"
+
+    @abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Return True if ``value`` is a member of this space."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> Any:
+        """Draw a pseudo-random member using ``rng``.
+
+        Implementations must be deterministic functions of the RNG state, so
+        that a seeded checking run is exactly reproducible.
+        """
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`ModelSpaceError` if ``value`` is not a member.
+
+        Subclasses with structured members should override this to produce a
+        diagnostic that says *why* membership fails, not merely that it does.
+        """
+        if not self.contains(value):
+            raise ModelSpaceError(self, value)
+
+    def is_finite(self) -> bool:
+        """Return True if this space supports exhaustive enumeration."""
+        return False
+
+    def enumerate_members(self) -> Iterator[Any]:
+        """Yield every member, for finite spaces only.
+
+        The default raises; finite spaces override.  The law harness uses
+        this to upgrade randomized checking to exhaustive checking when the
+        space is small enough.
+        """
+        raise ModelSpaceError(self, None, "space is not enumerable")
+
+    def sample_many(self, rng: random.Random, count: int) -> list[Any]:
+        """Draw ``count`` members (with repetition possible)."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FiniteSpace(ModelSpace):
+    """A space given by an explicit, finite collection of members.
+
+    Members must be hashable (membership is a set lookup) unless
+    ``hashable=False`` is passed, in which case membership degrades to a
+    linear scan with equality.
+    """
+
+    def __init__(self, members: Iterable[Any], name: str = "finite space",
+                 hashable: bool = True) -> None:
+        self.name = name
+        self._members = list(members)
+        if not self._members:
+            raise ValueError("a FiniteSpace must have at least one member")
+        self._member_set = set(self._members) if hashable else None
+
+    def contains(self, value: Any) -> bool:
+        if self._member_set is not None:
+            try:
+                return value in self._member_set
+            except TypeError:
+                return False
+        return any(value == member for member in self._members)
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.choice(self._members)
+
+    def is_finite(self) -> bool:
+        return True
+
+    def enumerate_members(self) -> Iterator[Any]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class PredicateSpace(ModelSpace):
+    """A space defined by a membership predicate plus a sampler.
+
+    This is the escape hatch for spaces that are easiest to describe by a
+    characteristic function, e.g. "all well-formed relational databases over
+    schema S".
+    """
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 sampler: Callable[[random.Random], Any],
+                 name: str = "predicate space",
+                 explain: Callable[[Any], str] | None = None) -> None:
+        self.name = name
+        self._predicate = predicate
+        self._sampler = sampler
+        self._explain = explain
+
+    def contains(self, value: Any) -> bool:
+        return bool(self._predicate(value))
+
+    def validate(self, value: Any) -> None:
+        if not self.contains(value):
+            reason = self._explain(value) if self._explain else ""
+            raise ModelSpaceError(self, value, reason)
+
+    def sample(self, rng: random.Random) -> Any:
+        value = self._sampler(rng)
+        if not self.contains(value):
+            raise ModelSpaceError(
+                self, value, "sampler produced a non-member; sampler is buggy")
+        return value
+
+
+class ProductSpace(ModelSpace):
+    """Cartesian product of spaces; members are tuples."""
+
+    def __init__(self, *factors: ModelSpace, name: str | None = None) -> None:
+        if not factors:
+            raise ValueError("ProductSpace needs at least one factor")
+        self.factors = tuple(factors)
+        self.name = name or " x ".join(f.name for f in factors)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, tuple) or len(value) != len(self.factors):
+            return False
+        return all(space.contains(item)
+                   for space, item in zip(self.factors, value))
+
+    def sample(self, rng: random.Random) -> tuple:
+        return tuple(space.sample(rng) for space in self.factors)
+
+    def is_finite(self) -> bool:
+        return all(space.is_finite() for space in self.factors)
+
+    def enumerate_members(self) -> Iterator[tuple]:
+        if not self.is_finite():
+            raise ModelSpaceError(self, None, "some factor is not enumerable")
+        return itertools.product(
+            *(space.enumerate_members() for space in self.factors))
+
+
+class SumSpace(ModelSpace):
+    """Tagged disjoint union of spaces; members are ``(tag, value)`` pairs."""
+
+    def __init__(self, variants: dict[str, ModelSpace],
+                 name: str | None = None) -> None:
+        if not variants:
+            raise ValueError("SumSpace needs at least one variant")
+        self.variants = dict(variants)
+        self.name = name or " + ".join(self.variants)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, tuple) or len(value) != 2:
+            return False
+        tag, inner = value
+        space = self.variants.get(tag)
+        return space is not None and space.contains(inner)
+
+    def sample(self, rng: random.Random) -> tuple[str, Any]:
+        tag = rng.choice(sorted(self.variants))
+        return (tag, self.variants[tag].sample(rng))
+
+    def is_finite(self) -> bool:
+        return all(space.is_finite() for space in self.variants.values())
+
+    def enumerate_members(self) -> Iterator[tuple[str, Any]]:
+        if not self.is_finite():
+            raise ModelSpaceError(self, None, "some variant is not enumerable")
+        for tag in sorted(self.variants):
+            for inner in self.variants[tag].enumerate_members():
+                yield (tag, inner)
+
+
+class MappedSpace(ModelSpace):
+    """The image of a space under a bijection.
+
+    Useful for wrapping raw tuple spaces into domain objects: provide
+    ``forward`` (raw -> member) and ``backward`` (member -> raw), plus a
+    membership check on the wrapped representation.
+    """
+
+    def __init__(self, base: ModelSpace,
+                 forward: Callable[[Any], Any],
+                 backward: Callable[[Any], Any],
+                 contains: Callable[[Any], bool],
+                 name: str | None = None) -> None:
+        self.base = base
+        self._forward = forward
+        self._backward = backward
+        self._contains = contains
+        self.name = name or f"mapped({base.name})"
+
+    def contains(self, value: Any) -> bool:
+        if not self._contains(value):
+            return False
+        return self.base.contains(self._backward(value))
+
+    def sample(self, rng: random.Random) -> Any:
+        return self._forward(self.base.sample(rng))
+
+    def is_finite(self) -> bool:
+        return self.base.is_finite()
+
+    def enumerate_members(self) -> Iterator[Any]:
+        for raw in self.base.enumerate_members():
+            yield self._forward(raw)
+
+
+class UniversalSpace(ModelSpace):
+    """The space of all Python values.  Membership is always true.
+
+    Sampling draws from a small pool of representative values; this space is
+    mainly for tests and for bx whose domain genuinely is unconstrained.
+    """
+
+    _POOL: tuple[Any, ...] = (None, 0, 1, -1, "", "x", (), (1, 2), True, False)
+
+    def __init__(self, name: str = "any") -> None:
+        self.name = name
+
+    def contains(self, value: Any) -> bool:
+        return True
+
+    def sample(self, rng: random.Random) -> Any:
+        return rng.choice(self._POOL)
+
+
+class IntRangeSpace(ModelSpace):
+    """Integers in ``[low, high]`` inclusive."""
+
+    def __init__(self, low: int, high: int, name: str | None = None) -> None:
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.name = name or f"int[{low}..{high}]"
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) \
+            and self.low <= value <= self.high
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def is_finite(self) -> bool:
+        return True
+
+    def enumerate_members(self) -> Iterator[int]:
+        return iter(range(self.low, self.high + 1))
+
+
+class TextSpace(ModelSpace):
+    """Strings over an alphabet, with lengths in ``[min_length, max_length]``."""
+
+    def __init__(self, alphabet: str = "abcdefghijklmnopqrstuvwxyz",
+                 min_length: int = 0, max_length: int = 12,
+                 name: str | None = None) -> None:
+        if min_length < 0 or min_length > max_length:
+            raise ValueError("invalid length bounds")
+        if not alphabet and max_length > 0:
+            raise ValueError("empty alphabet cannot produce non-empty strings")
+        self.alphabet = alphabet
+        self.min_length = min_length
+        self.max_length = max_length
+        self.name = name or f"text[{min_length}..{max_length}]"
+        self._letters = set(alphabet)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, str):
+            return False
+        if not self.min_length <= len(value) <= self.max_length:
+            return False
+        return all(ch in self._letters for ch in value)
+
+    def sample(self, rng: random.Random) -> str:
+        length = rng.randint(self.min_length, self.max_length)
+        return "".join(rng.choice(self.alphabet) for _ in range(length))
+
+    def is_finite(self) -> bool:
+        # Exponential, but technically finite; only enumerate tiny spaces.
+        return len(self.alphabet) ** self.max_length <= 10_000
+
+    def enumerate_members(self) -> Iterator[str]:
+        if not self.is_finite():
+            raise ModelSpaceError(self, None, "text space too large to enumerate")
+        for length in range(self.min_length, self.max_length + 1):
+            for combo in itertools.product(self.alphabet, repeat=length):
+                yield "".join(combo)

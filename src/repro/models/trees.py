@@ -1,0 +1,181 @@
+"""Tree models: immutable labelled ordered trees (XML-ish).
+
+Used by catalogue examples whose models are documents, and by the wiki
+synchronisation bx (§5.4), whose structured side parses wiki markup into a
+tree of sections and fields.
+
+A :class:`Node` has a label, a mapping of attributes (stored as a sorted
+tuple of pairs so nodes stay hashable), optional text content, and a tuple
+of children.  All update helpers return new trees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.models.space import ModelSpace
+
+__all__ = ["Node", "TreeSpace"]
+
+
+class Node:
+    """An immutable labelled ordered tree node."""
+
+    __slots__ = ("label", "_attributes", "text", "children")
+
+    def __init__(self, label: str,
+                 attributes: Mapping[str, str] | None = None,
+                 text: str = "",
+                 children: Iterable["Node"] = ()) -> None:
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_attributes",
+                           tuple(sorted((attributes or {}).items())))
+        object.__setattr__(self, "text", text)
+        object.__setattr__(self, "children", tuple(children))
+
+    @property
+    def attributes(self) -> dict[str, str]:
+        """Attributes as a fresh dict (mutating it cannot affect the node)."""
+        return dict(self._attributes)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("tree nodes are immutable; use with_* helpers")
+
+    # ------------------------------------------------------------------
+    # Pure update helpers.
+    # ------------------------------------------------------------------
+
+    def with_text(self, text: str) -> "Node":
+        return Node(self.label, self.attributes, text, self.children)
+
+    def with_attribute(self, name: str, value: str) -> "Node":
+        updated = self.attributes
+        updated[name] = value
+        return Node(self.label, updated, self.text, self.children)
+
+    def with_children(self, children: Iterable["Node"]) -> "Node":
+        return Node(self.label, self.attributes, self.text, children)
+
+    def append_child(self, child: "Node") -> "Node":
+        return self.with_children(self.children + (child,))
+
+    def replace_child(self, index: int, child: "Node") -> "Node":
+        children = list(self.children)
+        children[index] = child
+        return self.with_children(children)
+
+    def remove_child(self, index: int) -> "Node":
+        children = list(self.children)
+        del children[index]
+        return self.with_children(children)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def find(self, label: str) -> "Node | None":
+        """First child (not descendant) with the given label, or None."""
+        for child in self.children:
+            if child.label == label:
+                return child
+        return None
+
+    def find_all(self, label: str) -> list["Node"]:
+        """All children with the given label, in order."""
+        return [child for child in self.children if child.label == label]
+
+    def walk(self) -> Iterator["Node"]:
+        """Depth-first pre-order traversal of the subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        """Height of the subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def map_nodes(self, transform: Callable[["Node"], "Node"]) -> "Node":
+        """Bottom-up structural map over the subtree."""
+        rebuilt = self.with_children(
+            child.map_nodes(transform) for child in self.children)
+        return transform(rebuilt)
+
+    # ------------------------------------------------------------------
+    # Value semantics.
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, Node)
+                and self.label == other.label
+                and self._attributes == other._attributes
+                and self.text == other.text
+                and self.children == other.children)
+
+    def __hash__(self) -> int:
+        return hash((self.label, self._attributes, self.text, self.children))
+
+    def __repr__(self) -> str:
+        bits = [repr(self.label)]
+        if self._attributes:
+            bits.append(f"attrs={dict(self._attributes)!r}")
+        if self.text:
+            bits.append(f"text={self.text!r}")
+        if self.children:
+            bits.append(f"children={len(self.children)}")
+        return f"Node({', '.join(bits)})"
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line indented rendering for diagnostics."""
+        pad = "  " * indent
+        attrs = "".join(f" {k}={v!r}" for k, v in self._attributes)
+        text = f" {self.text!r}" if self.text else ""
+        lines = [f"{pad}<{self.label}{attrs}>{text}"]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+class TreeSpace(ModelSpace):
+    """The space of trees over given label and text alphabets.
+
+    Sampling produces trees bounded by ``max_depth`` and ``max_children``;
+    membership checks labels and recursion depth only, so restored trees of
+    any width remain members.
+    """
+
+    def __init__(self, labels: Iterable[str],
+                 texts: Iterable[str] = ("", "x", "hello"),
+                 max_depth: int = 3, max_children: int = 3,
+                 name: str | None = None) -> None:
+        self.labels = tuple(labels)
+        if not self.labels:
+            raise ValueError("TreeSpace needs at least one label")
+        self.texts = tuple(texts)
+        self.max_depth = max_depth
+        self.max_children = max_children
+        self.name = name or f"tree[{','.join(self.labels[:3])}...]"
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, Node):
+            return False
+        if value.depth() > self.max_depth:
+            return False
+        return all(node.label in self.labels for node in value.walk())
+
+    def sample(self, rng: random.Random) -> Node:
+        return self._sample_node(rng, self.max_depth)
+
+    def _sample_node(self, rng: random.Random, budget: int) -> Node:
+        label = rng.choice(self.labels)
+        text = rng.choice(self.texts)
+        if budget <= 1:
+            return Node(label, text=text)
+        count = rng.randint(0, self.max_children)
+        children = [self._sample_node(rng, budget - 1) for _ in range(count)]
+        return Node(label, text=text, children=children)

@@ -1,0 +1,95 @@
+"""The curated repository of bx examples: the paper's primary contribution.
+
+Template (§3), entries, validation, versioning (§3/§5.2), the three-level
+curation workflow (§5.1), versioned storage with stable identifiers
+(§5.2), search, citations, markup export, the §5.4 wiki-sync bx, and the
+glossary the Properties field links to.
+"""
+
+from repro.repository.citation import (
+    REPOSITORY_URL,
+    archive_manuscript,
+    cite_archive,
+    cite_entry,
+    cite_repository,
+    entry_url,
+)
+from repro.repository.curation import (
+    CuratedRepository,
+    CurationPolicy,
+    Role,
+    User,
+)
+from repro.repository.entry import (
+    Artefact,
+    Comment,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+    slugify,
+)
+from repro.repository.export import (
+    render_glossary_wikidot,
+    render_markdown,
+    render_wikidot,
+)
+from repro.repository.glossary import (
+    GlossaryTerm,
+    define,
+    glossary_terms,
+    known_property_names,
+)
+from repro.repository.search import SearchHit, SearchIndex, tokenize
+from repro.repository.store import FileStore, MemoryStore, RepositoryStore
+from repro.repository.template import (
+    TEMPLATE,
+    EntryType,
+    FieldSpec,
+    field_names,
+    field_spec,
+)
+from repro.repository.validation import (
+    ValidationReport,
+    require_valid,
+    validate_entry,
+)
+from repro.repository.versioning import Version, VersionHistory
+from repro.repository.wiki_sync import (
+    WikiSyncLens,
+    entry_space,
+    make_wiki_sync_lens,
+    normalise_entry,
+    parse_wikidot,
+    wikidot_space,
+)
+
+__all__ = [
+    # template
+    "EntryType", "FieldSpec", "TEMPLATE", "field_spec", "field_names",
+    # entry
+    "ExampleEntry", "ModelDescription", "RestorationSpec", "PropertyClaim",
+    "Variant", "Reference", "Comment", "Artefact", "slugify",
+    # validation
+    "ValidationReport", "validate_entry", "require_valid",
+    # versioning
+    "Version", "VersionHistory",
+    # curation
+    "Role", "User", "CurationPolicy", "CuratedRepository",
+    # store
+    "RepositoryStore", "MemoryStore", "FileStore",
+    # search
+    "SearchIndex", "SearchHit", "tokenize",
+    # citation
+    "REPOSITORY_URL", "cite_entry", "cite_repository", "cite_archive",
+    "archive_manuscript", "entry_url",
+    # export
+    "render_wikidot", "render_markdown", "render_glossary_wikidot",
+    # wiki sync
+    "parse_wikidot", "normalise_entry", "entry_space", "wikidot_space",
+    "WikiSyncLens", "make_wiki_sync_lens",
+    # glossary
+    "GlossaryTerm", "glossary_terms", "known_property_names", "define",
+]

@@ -1,0 +1,138 @@
+"""The glossary of bx terms the template's Properties field links to.
+
+§3: property claims "will link to a separate glossary of terms such as
+'hippocraticness'".  The glossary has two kinds of entry:
+
+* **checkable properties** — drawn live from
+  :data:`repro.core.properties.PROPERTY_REGISTRY`, so the prose definition
+  shown to readers is the same text the checker documents;
+* **plain terms** — vocabulary without an executable check (bx, model,
+  consistency relation, state-based, ...), defined here.
+
+The glossary is itself rendered by :mod:`repro.repository.export` as a
+wiki page, and :mod:`repro.repository.validation` uses
+:func:`known_property_names` to reject property claims that would link
+nowhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.properties import PROPERTY_REGISTRY
+
+__all__ = [
+    "GlossaryTerm",
+    "PLAIN_TERMS",
+    "glossary_terms",
+    "known_property_names",
+    "define",
+]
+
+
+@dataclass(frozen=True)
+class GlossaryTerm:
+    """One glossary entry: the term, its definition, and whether the
+    library can check it mechanically."""
+
+    term: str
+    definition: str
+    checkable: bool
+
+    def display(self) -> str:
+        marker = " [checkable]" if self.checkable else ""
+        return f"{self.term}{marker}: {self.definition}"
+
+
+#: Vocabulary without an executable check.
+PLAIN_TERMS: tuple[GlossaryTerm, ...] = (
+    GlossaryTerm(
+        "bx",
+        "A bidirectional transformation: a mechanism for maintaining "
+        "consistency between two (or more) sources of information that "
+        "can each be edited.",
+        checkable=False),
+    GlossaryTerm(
+        "model",
+        "Any appropriately precise description of an information source "
+        "being transformed; used inclusively (databases, documents, "
+        "software models...).",
+        checkable=False),
+    GlossaryTerm(
+        "metamodel",
+        "A precise description of what counts as a model of a given "
+        "class; used inclusively, as for 'model'.",
+        checkable=False),
+    GlossaryTerm(
+        "consistency relation",
+        "The relation R between model classes M and N that the bx is to "
+        "maintain: R(m, n) holds when m and n agree.",
+        checkable=False),
+    GlossaryTerm(
+        "consistency restoration",
+        "The functions that repair an inconsistent pair: forward "
+        "restoration changes the right model treating the left as "
+        "authoritative; backward restoration is symmetric.",
+        checkable=False),
+    GlossaryTerm(
+        "state-based",
+        "A bx whose restoration functions depend only on the states of "
+        "the two models.",
+        checkable=False),
+    GlossaryTerm(
+        "delta-based",
+        "A bx whose restoration takes extra information about the edit "
+        "that was performed, not only the resulting states.",
+        checkable=False),
+    GlossaryTerm(
+        "lens",
+        "An asymmetric bx between a source and a view determined by the "
+        "source: get extracts the view, put merges an updated view back.",
+        checkable=False),
+    GlossaryTerm(
+        "well behaved",
+        "Of a lens: satisfying GetPut and PutGet; of a state-based bx: "
+        "correct and hippocratic.",
+        checkable=False),
+    GlossaryTerm(
+        "authoritative",
+        "The side of a restoration that is taken as correct; restoration "
+        "modifies only the other side.",
+        checkable=False),
+)
+
+
+def glossary_terms() -> list[GlossaryTerm]:
+    """Every glossary term, checkable properties first, each group sorted."""
+    checkable = [GlossaryTerm(prop.name, prop.definition, checkable=True)
+                 for prop in PROPERTY_REGISTRY.values()]
+    checkable.sort(key=lambda term: term.term)
+    plain = sorted(PLAIN_TERMS, key=lambda term: term.term)
+    return checkable + plain
+
+
+def known_property_names() -> set[str]:
+    """Names an entry may claim in its Properties field.
+
+    Checkable property names plus the (non-checkable) 'least change',
+    which entries may claim ahead of a metric being fixed.
+    """
+    names = set(PROPERTY_REGISTRY)
+    names.add("least change")
+    return names
+
+
+def define(term: str) -> GlossaryTerm:
+    """Look up one term; raises KeyError listing known terms."""
+    for entry in glossary_terms():
+        if entry.term == term:
+            return entry
+    if term == "least change":
+        return GlossaryTerm(
+            "least change",
+            "Among all models consistent with the authoritative side, "
+            "restoration returns one at minimal distance from the model "
+            "being repaired, for a stated metric.",
+            checkable=True)
+    known = ", ".join(sorted(entry.term for entry in glossary_terms()))
+    raise KeyError(f"no glossary term {term!r}; known: {known}")

@@ -1,0 +1,148 @@
+"""Search over repository entries: find the right example quickly.
+
+§5.2 asks "Will people be able to find and refer to relevant examples?"
+and notes that making the wiki indexable "goes a long way".  For the
+local copy we provide the equivalent: a small inverted index with
+
+* free-text ranked search over title, overview, discussion, consistency
+  and model descriptions (term frequency with a field boost for titles);
+* structured filters: entry type, claimed property (with polarity),
+  author, and review status.
+
+The index is rebuilt from a store explicitly (:meth:`SearchIndex.build`);
+it does not watch the store, keeping the dependency one-directional.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.repository.entry import ExampleEntry
+from repro.repository.store import RepositoryStore
+from repro.repository.template import EntryType
+
+__all__ = ["SearchHit", "SearchIndex", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words too common to be informative in this domain.
+_STOPWORDS = frozenset(
+    "a an and are be been between by for from has have in is it its of on "
+    "or that the this to we with".split())
+
+#: Per-field score boosts: a title hit outranks a discussion hit.
+_FIELD_BOOST = {"title": 4.0, "overview": 2.0, "models": 1.5,
+                "consistency": 1.0, "discussion": 1.0}
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens with stopwords removed."""
+    return [token for token in _TOKEN_RE.findall(text.lower())
+            if token not in _STOPWORDS]
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked result: identifier, score, and the matched entry."""
+
+    identifier: str
+    score: float
+    entry: ExampleEntry
+
+
+class SearchIndex:
+    """An inverted index over the latest versions in a store."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[str, float]] = defaultdict(dict)
+        self._entries: dict[str, ExampleEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Building.
+    # ------------------------------------------------------------------
+
+    def build(self, store: RepositoryStore) -> "SearchIndex":
+        """(Re)build the index from the latest version of every entry."""
+        self._postings.clear()
+        self._entries.clear()
+        for identifier in store.identifiers():
+            self.add_entry(store.get(identifier))
+        return self
+
+    def add_entry(self, entry: ExampleEntry) -> None:
+        """Index one entry (replacing any previous version of it)."""
+        identifier = entry.identifier
+        if identifier in self._entries:
+            self.remove_entry(identifier)
+        self._entries[identifier] = entry
+        fields = {
+            "title": entry.title,
+            "overview": entry.overview,
+            "models": " ".join(f"{m.name} {m.description}"
+                               for m in entry.models),
+            "consistency": entry.consistency,
+            "discussion": entry.discussion,
+        }
+        for field_name, text in fields.items():
+            boost = _FIELD_BOOST[field_name]
+            for token, count in Counter(tokenize(text)).items():
+                previous = self._postings[token].get(identifier, 0.0)
+                self._postings[token][identifier] = previous + boost * count
+
+    def remove_entry(self, identifier: str) -> None:
+        self._entries.pop(identifier, None)
+        for postings in self._postings.values():
+            postings.pop(identifier, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Querying.
+    # ------------------------------------------------------------------
+
+    def search(self, query: str, limit: int = 10) -> list[SearchHit]:
+        """Ranked free-text search; all query terms are optional (OR)."""
+        scores: dict[str, float] = defaultdict(float)
+        for token in tokenize(query):
+            for identifier, weight in self._postings.get(token, {}).items():
+                scores[identifier] += weight
+        ranked = sorted(scores.items(),
+                        key=lambda pair: (-pair[1], pair[0]))
+        return [SearchHit(identifier, score, self._entries[identifier])
+                for identifier, score in ranked[:limit]]
+
+    def by_type(self, entry_type: EntryType) -> list[ExampleEntry]:
+        """All entries of a given class, sorted by identifier."""
+        return [entry for _identifier, entry in sorted(self._entries.items())
+                if entry_type in entry.types]
+
+    def by_property(self, name: str,
+                    holds: bool | None = None) -> list[ExampleEntry]:
+        """Entries claiming a property (optionally with given polarity)."""
+        matches = []
+        for _identifier, entry in sorted(self._entries.items()):
+            for claim in entry.properties:
+                if claim.name != name:
+                    continue
+                if holds is None or claim.holds == holds:
+                    matches.append(entry)
+                    break
+        return matches
+
+    def by_author(self, author: str) -> list[ExampleEntry]:
+        """Entries a given author contributed."""
+        return [entry for _identifier, entry in sorted(self._entries.items())
+                if author in entry.authors]
+
+    def reviewed(self) -> list[ExampleEntry]:
+        """Entries at version 1.0 or above."""
+        return [entry for _identifier, entry in sorted(self._entries.items())
+                if entry.version.is_reviewed]
+
+    def provisional(self) -> list[ExampleEntry]:
+        """Entries still at 0.x."""
+        return [entry for _identifier, entry in sorted(self._entries.items())
+                if not entry.version.is_reviewed]

@@ -1,0 +1,170 @@
+"""The §3 template for bx examples: fields, order, and optionality.
+
+The paper proposes "the following standard fields and their order.
+Optional fields are indicated by '?' in the fieldname; other fields should
+be present, even if brief":
+
+    Title, Version, Type, Overview, Models, Consistency,
+    Consistency Restoration, Properties?, Variants?, Discussion,
+    References?, Authors, Reviewers?, Comments, Artefacts?
+
+This module renders that proposal as data: :data:`TEMPLATE` is the ordered
+tuple of :class:`FieldSpec` values, and :class:`EntryType` enumerates the
+§2 example classes (PRECISE, INDUSTRIAL, SKETCH — plus BENCHMARK, which the
+paper agrees with the BenchmarX authors "may be seen as a distinct class
+and therefore should be included").
+
+The paper is deliberately non-prescriptive ("a suggested template but not a
+barrier to varying it where good reasons to do so arise"), so validation
+distinguishes *errors* (missing required fields, contradictory types) from
+*warnings* (template divergences worth flagging); see
+:mod:`repro.repository.validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["EntryType", "FieldSpec", "TEMPLATE", "field_spec", "field_names"]
+
+
+class EntryType(Enum):
+    """The §2 classes of example, "because these classes may be quite
+    different in character" (suggestion from the Banff 2013 meeting)."""
+
+    #: Small, defined precisely, formalism-independent (§2: "the most
+    #: useful entries").
+    PRECISE = "PRECISE"
+
+    #: Industrial-scale, explained via artefacts rather than full prose
+    #: precision.
+    INDUSTRIAL = "INDUSTRIAL"
+
+    #: A situation where a bx clearly applies but details are not worked
+    #: out; "of particular benefit to outsiders".
+    SKETCH = "SKETCH"
+
+    #: A benchmark, per the BenchmarX discussion ([1] in the paper).
+    BENCHMARK = "BENCHMARK"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Type combinations the paper rules out: "PRECISE and SKETCH should be
+#: mutually exclusive, but conceivably either might be combined with
+#: INDUSTRIAL."
+MUTUALLY_EXCLUSIVE_TYPES: frozenset[frozenset[EntryType]] = frozenset({
+    frozenset({EntryType.PRECISE, EntryType.SKETCH}),
+})
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One template field: its name, position, optionality, and §3 gloss."""
+
+    name: str
+    required: bool
+    description: str
+    #: Attribute on :class:`repro.repository.entry.ExampleEntry` carrying
+    #: the field's content.
+    attribute: str
+
+    @property
+    def display_name(self) -> str:
+        """The §3 field name, with '?' marking optional fields."""
+        return self.name if self.required else f"{self.name}?"
+
+
+#: The §3 template, in the paper's order.
+TEMPLATE: tuple[FieldSpec, ...] = (
+    FieldSpec(
+        "Title", True,
+        "A descriptive name, such as COMPOSERS, by which authors may "
+        "refer to the example.",
+        "title"),
+    FieldSpec(
+        "Version", True,
+        "0.x for unreviewed examples.",
+        "version"),
+    FieldSpec(
+        "Type", True,
+        "For example, PRECISE, INDUSTRIAL, SKETCH.  PRECISE and SKETCH "
+        "are mutually exclusive; either may combine with INDUSTRIAL.",
+        "types"),
+    FieldSpec(
+        "Overview", True,
+        "A thumbnail description of the example, not more than two or "
+        "three sentences.",
+        "overview"),
+    FieldSpec(
+        "Models", True,
+        "Descriptions of the models, possibly with (formal) expressions "
+        "of their meta-models.",
+        "models"),
+    FieldSpec(
+        "Consistency", True,
+        "Description of the consistency relationship between models, at "
+        "least in natural language.",
+        "consistency"),
+    FieldSpec(
+        "Consistency Restoration", True,
+        "In which of the typically many possible ways inconsistencies "
+        "are to be repaired; may be divided into forward and backward.",
+        "restoration"),
+    FieldSpec(
+        "Properties", False,
+        "Additional properties expected to hold of, or be exemplified "
+        "by, the transformation; linked to the glossary.",
+        "properties"),
+    FieldSpec(
+        "Variants", False,
+        "Variation points: one base example in the main body, choice "
+        "points described here.",
+        "variants"),
+    FieldSpec(
+        "Discussion", True,
+        "Origin, utility, interest, representativeness, related "
+        "examples in the literature.",
+        "discussion"),
+    FieldSpec(
+        "References", False,
+        "Bibliographic data for the paper or papers from which the "
+        "example is taken, or where it is discussed.",
+        "references"),
+    FieldSpec(
+        "Authors", True,
+        "Contributing author(s) of the example to the repository.",
+        "authors"),
+    FieldSpec(
+        "Reviewers", False,
+        "Examples remain provisional (version 0.x) until reviewed; "
+        "reviewers are identified here for traceability and credit.",
+        "reviewers"),
+    FieldSpec(
+        "Comments", True,
+        "Where any member of the wiki can comment; comments may guide "
+        "the development of a later version.",
+        "comments"),
+    FieldSpec(
+        "Artefacts", False,
+        "Formal descriptions, downloadable code, sample input and "
+        "output, virtual machine instances, diagrams...",
+        "artefacts"),
+)
+
+
+def field_spec(name: str) -> FieldSpec:
+    """Look up a template field by its §3 name (without any '?')."""
+    for spec in TEMPLATE:
+        if spec.name == name:
+            return spec
+    known = ", ".join(spec.name for spec in TEMPLATE)
+    raise KeyError(f"no template field {name!r}; template has: {known}")
+
+
+def field_names(required_only: bool = False) -> list[str]:
+    """The template field names in order."""
+    return [spec.name for spec in TEMPLATE
+            if spec.required or not required_only]

@@ -1,0 +1,170 @@
+"""Template conformance checking for example entries.
+
+The paper takes "a middle road, providing a suggested template but not a
+barrier to varying it where good reasons to do so arise" (§5.1).  The
+validator therefore reports two severities:
+
+* **errors** — violations of hard rules the paper states outright:
+  required fields present ("other fields should be present, even if
+  brief"), PRECISE/SKETCH mutual exclusion, version 0.x while unreviewed,
+  overview length ("not more than two or three sentences"), property names
+  known to the glossary;
+* **warnings** — template divergences that are allowed but worth flagging
+  (e.g. a PRECISE entry with no properties, or no references for an
+  example said to come from the literature).
+
+:func:`validate_entry` returns a :class:`ValidationReport`;
+:func:`require_valid` raises :class:`~repro.core.errors.ValidationError`
+carrying every error at once.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.errors import TemplateError, ValidationError
+from repro.repository.entry import ExampleEntry
+from repro.repository.template import (
+    TEMPLATE,
+    EntryType,
+    MUTUALLY_EXCLUSIVE_TYPES,
+)
+
+__all__ = ["ValidationReport", "validate_entry", "require_valid"]
+
+#: Overview sentences allowed by the template ("not more than two or
+#: three"); we enforce the generous reading.
+MAX_OVERVIEW_SENTENCES = 3
+
+_SENTENCE_END = re.compile(r"[.!?](?=\s|$)")
+
+
+@dataclass
+class ValidationReport:
+    """All problems found in one entry, split by severity."""
+
+    identifier: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        lines = [f"validation of {self.identifier!r}: "
+                 f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        lines.extend(f"  error: {problem}" for problem in self.errors)
+        lines.extend(f"  warning: {problem}" for problem in self.warnings)
+        return "\n".join(lines)
+
+
+def _count_sentences(text: str) -> int:
+    return max(len(_SENTENCE_END.findall(text)), 1 if text.strip() else 0)
+
+
+def validate_entry(entry: ExampleEntry,
+                   known_properties: set[str] | None = None
+                   ) -> ValidationReport:
+    """Check one entry against the §3 template.
+
+    ``known_properties`` defaults to the global property registry plus the
+    glossary's extra terms; pass an explicit set to decouple from registry
+    state in tests.
+    """
+    try:
+        identifier = entry.identifier
+    except TemplateError:  # empty/symbol-only title; reported below
+        identifier = "<untitled>"
+    report = ValidationReport(identifier=identifier)
+
+    # Required fields "should be present, even if brief".
+    if not entry.title.strip():
+        report.errors.append("Title must be non-empty")
+    if not entry.types:
+        report.errors.append("Type must name at least one class")
+    if not entry.overview.strip():
+        report.errors.append("Overview must be non-empty")
+    if not entry.models:
+        report.errors.append("Models must describe at least one model")
+    for model in entry.models:
+        if not model.description.strip():
+            report.errors.append(
+                f"model {model.name!r} has an empty description")
+    if not entry.consistency.strip():
+        report.errors.append("Consistency must be non-empty")
+    if entry.restoration.is_empty():
+        report.errors.append("Consistency Restoration must be non-empty")
+    if not entry.discussion.strip():
+        report.errors.append("Discussion must be non-empty")
+    if not entry.authors:
+        report.errors.append("Authors must name at least one contributor")
+
+    # Type constraints.
+    type_set = frozenset(entry.types)
+    if len(entry.types) != len(type_set):
+        report.errors.append("Type list contains duplicates")
+    for excluded in MUTUALLY_EXCLUSIVE_TYPES:
+        if excluded <= type_set:
+            names = " and ".join(sorted(t.value for t in excluded))
+            report.errors.append(f"types {names} are mutually exclusive")
+
+    # Version/review coupling: "0.x for unreviewed examples" and "examples
+    # remain provisional (version 0.x) until reviewed".
+    if entry.version.is_reviewed and not entry.reviewers:
+        report.errors.append(
+            f"version {entry.version} requires at least one named reviewer")
+    if not entry.version.is_reviewed and entry.reviewers:
+        report.warnings.append(
+            "entry has reviewers but is still versioned 0.x; consider "
+            "promoting to 1.0")
+
+    # Overview length.
+    sentences = _count_sentences(entry.overview)
+    if sentences > MAX_OVERVIEW_SENTENCES:
+        report.errors.append(
+            f"Overview has {sentences} sentences; the template allows at "
+            f"most {MAX_OVERVIEW_SENTENCES}")
+
+    # Property claims must be glossary terms.
+    if known_properties is None:
+        from repro.repository.glossary import known_property_names
+        known_properties = known_property_names()
+    for claim in entry.properties:
+        if claim.name not in known_properties:
+            report.errors.append(
+                f"property claim {claim.name!r} is not a glossary term "
+                f"(known: {', '.join(sorted(known_properties))})")
+    claim_names = [claim.name for claim in entry.properties]
+    if len(set(claim_names)) != len(claim_names):
+        report.errors.append("duplicate property claims")
+
+    # Soft expectations.
+    if EntryType.PRECISE in type_set and not entry.properties:
+        report.warnings.append(
+            "PRECISE entries usually state expected properties")
+    if EntryType.PRECISE in type_set and not entry.variants:
+        report.warnings.append(
+            "PRECISE entries usually record their variation points")
+    if not entry.references:
+        report.warnings.append(
+            "no references: if the example comes from the literature, "
+            "cite its origin")
+    for variant in entry.variants:
+        if not variant.description.strip():
+            report.errors.append(
+                f"variant {variant.name!r} has an empty description")
+
+    return report
+
+
+def require_valid(entry: ExampleEntry,
+                  known_properties: set[str] | None = None
+                  ) -> ValidationReport:
+    """Validate and raise :class:`ValidationError` on any error."""
+    report = validate_entry(entry, known_properties)
+    if not report.ok:
+        raise ValidationError(report.errors)
+    return report

@@ -1,0 +1,160 @@
+"""E7/E8: the Composers restoration functions, scenario by scenario.
+
+Each test transcribes a clause of the paper's §4 Consistency Restoration
+specification into a concrete scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import (
+    UNKNOWN_DATES,
+    composers_bx,
+    make_composer,
+)
+
+BRITTEN = make_composer("Britten", "1913-1976", "English")
+ELGAR = make_composer("Elgar", "1857-1934", "English")
+TIPPETT = make_composer("Tippett", "1905-1998", "English")
+BYRD_SCOT = make_composer("Byrd", "1543-1623", "Scottish")
+
+
+@pytest.fixture
+def bx():
+    return composers_bx()
+
+
+class TestConsistency:
+    def test_same_pairs_consistent(self, bx):
+        model = frozenset({BRITTEN, ELGAR})
+        listing = (("Elgar", "English"), ("Britten", "English"))
+        assert bx.consistent(model, listing)
+
+    def test_order_irrelevant(self, bx):
+        model = frozenset({BRITTEN, ELGAR})
+        assert bx.consistent(model, (("Britten", "English"),
+                                     ("Elgar", "English")))
+
+    def test_duplicates_in_list_allowed(self, bx):
+        """'there may be many such' — multiplicity does not matter."""
+        model = frozenset({BRITTEN})
+        assert bx.consistent(model, (("Britten", "English"),
+                                     ("Britten", "English")))
+
+    def test_multiple_composers_one_entry(self, bx):
+        """Two composers sharing (name, nationality) need only one entry."""
+        other_britten = make_composer("Britten", "1900-1950", "English")
+        model = frozenset({BRITTEN, other_britten})
+        assert bx.consistent(model, (("Britten", "English"),))
+
+    def test_missing_entry_inconsistent(self, bx):
+        assert not bx.consistent(frozenset({BRITTEN, ELGAR}),
+                                 (("Britten", "English"),))
+
+    def test_extra_entry_inconsistent(self, bx):
+        assert not bx.consistent(frozenset({BRITTEN}),
+                                 (("Britten", "English"),
+                                  ("Elgar", "English")))
+
+    def test_empty_models_consistent(self, bx):
+        assert bx.consistent(frozenset(), ())
+
+
+class TestForwardRestoration:
+    def test_deletes_unmatched_entries(self, bx):
+        """Clause 1: delete entries with no matching composer."""
+        model = frozenset({BRITTEN})
+        listing = (("Elgar", "English"), ("Britten", "English"))
+        assert bx.fwd(model, listing) == (("Britten", "English"),)
+
+    def test_preserves_order_of_survivors(self, bx):
+        model = frozenset({BRITTEN, ELGAR, TIPPETT})
+        listing = (("Tippett", "English"), ("Britten", "English"),
+                   ("Elgar", "English"))
+        assert bx.fwd(model, listing) == listing
+
+    def test_appends_missing_at_end(self, bx):
+        """Clause 2: additions go at the end of n."""
+        model = frozenset({BRITTEN, ELGAR})
+        listing = (("Britten", "English"),)
+        assert bx.fwd(model, listing) == (("Britten", "English"),
+                                          ("Elgar", "English"))
+
+    def test_appended_block_alphabetical_by_name_then_nationality(self, bx):
+        """'in alphabetical order by name, and within name, by
+        nationality'."""
+        welsh_byrd = make_composer("Byrd", "1543-1623", "Welsh")
+        model = frozenset({TIPPETT, BYRD_SCOT, welsh_byrd, ELGAR})
+        result = bx.fwd(model, ())
+        assert result == (("Byrd", "Scottish"), ("Byrd", "Welsh"),
+                          ("Elgar", "English"), ("Tippett", "English"))
+
+    def test_no_duplicates_added_for_shared_pairs(self, bx):
+        """'no duplicates should be added (even if there are several
+        composers in m with the same name and nationality)'."""
+        twin = make_composer("Britten", "1900-1950", "English")
+        model = frozenset({BRITTEN, twin})
+        assert bx.fwd(model, ()) == (("Britten", "English"),)
+
+    def test_existing_duplicates_survive(self, bx):
+        """Only *additions* are deduplicated; matched entries are kept
+        as they are, duplicates included."""
+        model = frozenset({BRITTEN})
+        listing = (("Britten", "English"), ("Britten", "English"))
+        assert bx.fwd(model, listing) == listing
+
+    def test_inputs_not_mutated(self, bx):
+        model = frozenset({BRITTEN})
+        listing = (("Elgar", "English"),)
+        bx.fwd(model, listing)
+        assert listing == (("Elgar", "English"),)
+        assert model == frozenset({BRITTEN})
+
+
+class TestBackwardRestoration:
+    def test_deletes_unmatched_composers(self, bx):
+        model = frozenset({BRITTEN, ELGAR})
+        listing = (("Britten", "English"),)
+        assert bx.bwd(model, listing) == frozenset({BRITTEN})
+
+    def test_adds_composer_with_unknown_dates(self, bx):
+        """'The dates of any newly added composer should be ????-????.'"""
+        result = bx.bwd(frozenset(), (("Purcell", "English"),))
+        (added,) = result
+        assert added.name == "Purcell"
+        assert added.nationality == "English"
+        assert added.dates == UNKNOWN_DATES
+
+    def test_keeps_matched_composers_with_their_dates(self, bx):
+        model = frozenset({BRITTEN})
+        result = bx.bwd(model, (("Britten", "English"),
+                                ("Elgar", "English")))
+        assert BRITTEN in result
+        assert len(result) == 2
+
+    def test_duplicate_entries_create_one_composer(self, bx):
+        result = bx.bwd(frozenset(), (("Byrd", "Welsh"),
+                                      ("Byrd", "Welsh")))
+        assert len(result) == 1
+
+    def test_keeps_all_composers_sharing_a_pair(self, bx):
+        """Deletion only removes composers with *no* matching entry."""
+        twin = make_composer("Britten", "1900-1950", "English")
+        model = frozenset({BRITTEN, twin})
+        assert bx.bwd(model, (("Britten", "English"),)) == model
+
+
+class TestDefaultsAndCreation:
+    def test_defaults_are_empty_models(self, bx):
+        assert bx.default_left() == frozenset()
+        assert bx.default_right() == ()
+
+    def test_create_right_from_model(self, bx):
+        assert bx.create_right(frozenset({BRITTEN})) == \
+            (("Britten", "English"),)
+
+    def test_create_left_from_listing(self, bx):
+        created = bx.create_left((("Britten", "English"),))
+        (composer,) = created
+        assert composer.dates == UNKNOWN_DATES

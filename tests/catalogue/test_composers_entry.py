@@ -1,0 +1,113 @@
+"""E2: the COMPOSERS entry reproduces the paper's §4 instance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import composers_entry
+from repro.repository.export import render_wikidot
+from repro.repository.template import EntryType
+from repro.repository.validation import validate_entry
+from repro.repository.versioning import Version
+from repro.repository.wiki_sync import WikiSyncLens, normalise_entry
+
+
+@pytest.fixture(scope="module")
+def entry():
+    return composers_entry()
+
+
+class TestHeaderFields:
+    def test_title(self, entry):
+        assert entry.title == "COMPOSERS"
+        assert entry.identifier == "composers"
+
+    def test_version_zero_one(self, entry):
+        assert entry.version == Version(0, 1)
+        assert not entry.version.is_reviewed
+
+    def test_type_precise(self, entry):
+        assert entry.types == (EntryType.PRECISE,)
+
+    def test_overview_matches_paper(self, entry):
+        assert entry.overview.startswith(
+            "This example stands for many cases")
+        assert "choice of ways to restore consistency" in entry.overview
+
+
+class TestBodyFields:
+    def test_two_models_named_m_and_n(self, entry):
+        assert [m.name for m in entry.models] == ["M", "N"]
+        assert "objects of class Composer" in entry.models[0].description
+        assert "ordered list of pairs" in entry.models[1].description
+
+    def test_consistency_clauses(self, entry):
+        assert "same set of (name, nationality) pairs" in entry.consistency
+        assert "(i)" in entry.consistency and "(ii)" in entry.consistency
+
+    def test_forward_restoration_clauses(self, entry):
+        forward = entry.restoration.forward
+        assert "deleting from n any entry" in forward
+        assert "alphabetical order by name" in forward
+        assert "no duplicates should be added" in forward
+
+    def test_backward_restoration_clauses(self, entry):
+        backward = entry.restoration.backward
+        assert "deleting from m any composer" in backward
+        assert "????-????" in backward
+
+    def test_properties_as_in_paper(self, entry):
+        rendered = [claim.display() for claim in entry.properties]
+        assert rendered == ["Correct", "Hippocratic", "Not undoable",
+                            "Simply matching"]
+
+    def test_three_variant_questions(self, entry):
+        assert len(entry.variants) == 3
+        texts = " ".join(v.description for v in entry.variants)
+        assert "Britten, British" in texts
+        assert "at the beginning; at the end" in texts
+        assert "What dates are used" in texts
+
+    def test_discussion_is_the_undoability_argument(self, entry):
+        assert "undoability is too strong" in entry.discussion
+        assert "cannot return to exactly its original state" in \
+            entry.discussion
+
+
+class TestBackMatter:
+    def test_references_stevens_and_boomerang(self, entry):
+        dois = {reference.doi for reference in entry.references}
+        assert "10.1007/978-3-540-75209-7_1" in dois
+        assert "10.1145/1328438.1328487" in dois
+
+    def test_authors_as_in_paper(self, entry):
+        assert entry.authors == ("Perdita Stevens", "James McKinna",
+                                 "James Cheney")
+
+    def test_reviewers_and_comments_none_yet(self, entry):
+        assert entry.reviewers == ()
+        assert entry.comments == ()
+
+    def test_artefacts_point_at_executables(self, entry):
+        locators = [artefact.locator for artefact in entry.artefacts]
+        assert any("composers.bx" in loc for loc in locators)
+        assert any("RememberingComposersLens" in loc for loc in locators)
+
+
+class TestEntryQuality:
+    def test_validates_cleanly(self, entry):
+        report = validate_entry(entry)
+        assert report.ok, report.describe()
+        assert report.warnings == []
+
+    def test_renders_with_none_yet_sections(self, entry):
+        page = render_wikidot(entry)
+        assert "+ COMPOSERS" in page
+        assert "||~ Version || 0.1 ||" in page
+        assert "* Not undoable" in page
+        assert page.count("None yet") == 2  # Reviewers, Comments
+
+    def test_round_trips_through_the_wiki(self, entry):
+        lens = WikiSyncLens()
+        normalised = normalise_entry(entry)
+        assert lens.put(lens.get(normalised), normalised) == normalised

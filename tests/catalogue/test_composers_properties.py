@@ -1,0 +1,128 @@
+"""E3–E6: the §4 property claims, verified and refuted mechanically.
+
+The paper claims Composers is Correct, Hippocratic, **not** Undoable,
+and Simply matching.  E5's undoability counterexample is additionally
+reproduced *deterministically*, following the Discussion section's
+delete/re-add narrative word for word.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import (
+    RememberingComposersLens,
+    UNKNOWN_DATES,
+    composers_bx,
+    composers_entry,
+    make_composer,
+)
+from repro.core.laws import CheckConfig, verify_property_claims
+from repro.core.properties import (
+    Correct,
+    Hippocratic,
+    SimplyMatching,
+    Undoable,
+)
+
+CONFIG = CheckConfig(trials=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bx():
+    return composers_bx()
+
+
+class TestE3Correct:
+    def test_randomised(self, bx):
+        result = Correct().check(bx.checked(), trials=CONFIG.trials,
+                                 seed=CONFIG.seed)
+        assert result.passed, result.describe()
+
+
+class TestE4Hippocratic:
+    def test_randomised(self, bx):
+        result = Hippocratic().check(bx.checked(), trials=CONFIG.trials,
+                                     seed=CONFIG.seed)
+        assert result.passed, result.describe()
+
+    def test_consistent_pair_untouched_even_when_unsorted(self, bx):
+        model = frozenset({make_composer("Tippett", "1905-1998", "English"),
+                           make_composer("Byrd", "1543-1623", "Scottish")})
+        user_order = (("Tippett", "English"), ("Byrd", "Scottish"))
+        assert bx.fwd(model, user_order) == user_order
+        assert bx.bwd(model, user_order) == model
+
+
+class TestE5NotUndoable:
+    def test_randomised_search_finds_counterexample(self, bx):
+        result = Undoable().check(bx.checked(), trials=CONFIG.trials,
+                                  seed=CONFIG.seed)
+        assert result.failed, "undoability unexpectedly held"
+        assert result.counterexample is not None
+
+    def test_discussion_scenario_verbatim(self, bx):
+        """'Consider a composer currently present (just once) in both of
+        a consistent pair of models.  If we delete it from n, and enforce
+        consistency on m, the representation of the composer in m,
+        including this composer's dates, is lost.  If we now restore it
+        to n and re-enforce consistency on m ... the dates cannot be
+        restored, so m cannot return to exactly its original state.'"""
+        britten = make_composer("Britten", "1913-1976", "English")
+        model = frozenset({britten})
+        listing = (("Britten", "English"),)
+        assert bx.consistent(model, listing)
+
+        # Delete it from n and enforce consistency on m.
+        deleted = ()
+        shrunk = bx.bwd(model, deleted)
+        assert shrunk == frozenset()
+
+        # Restore it to n and re-enforce consistency on m.
+        restored_listing = listing
+        regrown = bx.bwd(shrunk, restored_listing)
+
+        # The pair is back, but the dates are not.
+        (reborn,) = regrown
+        assert reborn.name == "Britten"
+        assert reborn.dates == UNKNOWN_DATES
+        assert regrown != model, "dates were impossibly restored"
+
+    def test_remembering_lens_undoes_the_same_scenario(self):
+        """The Discussion's caveat — 'the absence of any extra
+        information besides the models' — vanishes with a complement."""
+        lens = RememberingComposersLens()
+        britten = make_composer("Britten", "1913-1976", "English")
+        model = frozenset({britten})
+        listing, complement = lens.putr(model, lens.missing())
+        assert listing == (("Britten", "English"),)
+
+        # Delete from n; m loses the composer.
+        shrunk, complement = lens.putl((), complement)
+        assert shrunk == frozenset()
+
+        # Re-add to n: the complement restores the original dates.
+        regrown, _complement = lens.putl(listing, complement)
+        assert regrown == model
+
+
+class TestE6SimplyMatching:
+    def test_randomised(self, bx):
+        result = SimplyMatching().check(bx.checked(),
+                                        trials=CONFIG.trials,
+                                        seed=CONFIG.seed)
+        assert result.passed, result.describe()
+
+
+class TestClaimsAgainstEntry:
+    def test_entry_claims_exactly_the_paper_properties(self):
+        claims = composers_entry().claimed_properties()
+        assert claims == {"correct": True, "hippocratic": True,
+                          "undoable": False, "simply matching": True}
+
+    def test_all_claims_verified_mechanically(self, bx):
+        """The mechanised reviewer: every §4 claim agrees with
+        measurement, including the negative one."""
+        report = verify_property_claims(
+            bx, composers_entry().claimed_properties(), config=CONFIG)
+        assert report.all_passed, report.summary()

@@ -1,0 +1,197 @@
+"""E9: the §4 variation points, behaviourally distinguished."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import (
+    CanonicalOrderComposersBx,
+    KeyOnNameComposersBx,
+    RememberingComposersLens,
+    UNKNOWN_DATES,
+    composers_bx,
+    composers_bx_with_date_policy,
+    composers_bx_with_position,
+    copy_namesake_dates_policy,
+    epoch_dates_policy,
+    make_composer,
+    unknown_dates_policy,
+)
+from repro.core.laws import CheckConfig, check_bx_properties, \
+    check_symmetric_laws
+from repro.core.properties import Hippocratic, SimplyMatching
+
+CONFIG = CheckConfig(trials=250, seed=13)
+
+BRITTEN_BRIT = make_composer("Britten", "1913-1976", "British")
+ELGAR = make_composer("Elgar", "1857-1934", "English")
+TIPPETT = make_composer("Tippett", "1905-1998", "English")
+
+
+class TestInsertPositionVariants:
+    MODEL = frozenset({ELGAR, TIPPETT})
+
+    def test_end_matches_base(self):
+        base = composers_bx()
+        variant = composers_bx_with_position("end")
+        listing = (("Elgar", "English"),)
+        assert variant.fwd(self.MODEL, listing) == \
+            base.fwd(self.MODEL, listing)
+
+    def test_front_prepends_sorted_block(self):
+        variant = composers_bx_with_position("front")
+        listing = (("Elgar", "English"),)
+        assert variant.fwd(self.MODEL, listing) == \
+            (("Tippett", "English"), ("Elgar", "English"))
+
+    def test_alphabetic_slots_between_existing(self):
+        variant = composers_bx_with_position("alphabetic")
+        model = frozenset({ELGAR, TIPPETT,
+                           make_composer("Holst", "1874-1934", "English")})
+        listing = (("Elgar", "English"), ("Tippett", "English"))
+        result = variant.fwd(model, listing)
+        assert result == (("Elgar", "English"), ("Holst", "English"),
+                          ("Tippett", "English"))
+
+    def test_alphabetic_does_not_reorder_user_entries(self):
+        """Inserting alphabetically must not sort the user's list."""
+        variant = composers_bx_with_position("alphabetic")
+        listing = (("Tippett", "English"), ("Elgar", "English"))
+        assert variant.fwd(self.MODEL, listing) == listing
+
+    def test_unknown_position_rejected(self):
+        with pytest.raises(ValueError):
+            composers_bx_with_position("sideways")
+
+    @pytest.mark.parametrize("position", ["end", "front", "alphabetic"])
+    def test_all_positions_correct_and_hippocratic(self, position):
+        report = check_bx_properties(
+            composers_bx_with_position(position), config=CONFIG)
+        assert report.result_for("correct").passed
+        assert report.result_for("hippocratic").passed
+
+
+class TestCanonicalOrderFailsHippocraticness:
+    def test_reorders_consistent_list(self):
+        """'we fail hippocraticness if we choose to reorder when nothing
+        at all need be changed'."""
+        bx = CanonicalOrderComposersBx()
+        model = frozenset({ELGAR, TIPPETT})
+        user_order = (("Tippett", "English"), ("Elgar", "English"))
+        assert bx.consistent(model, user_order)
+        assert bx.fwd(model, user_order) != user_order
+
+    def test_property_check_refutes_hippocraticness(self):
+        result = Hippocratic().check(CanonicalOrderComposersBx().checked(),
+                                     trials=CONFIG.trials, seed=CONFIG.seed)
+        assert result.failed
+
+    def test_still_correct(self):
+        report = check_bx_properties(CanonicalOrderComposersBx(),
+                                     config=CONFIG)
+        assert report.result_for("correct").passed
+
+
+class TestKeyOnNameVariant:
+    def test_britten_nationality_is_modified_not_duplicated(self):
+        """'if one side has Britten, British and the other has Britten,
+        English, does consistency restoration involve changing one of
+        the nationalities, or adding a second Britten?'  With name as
+        key: changing."""
+        bx = KeyOnNameComposersBx()
+        model = frozenset({BRITTEN_BRIT})
+        listing = (("Britten", "English"),)
+        repaired = bx.bwd(model, listing)
+        (composer,) = repaired
+        assert composer.nationality == "English"
+        assert composer.dates == "1913-1976"  # dates preserved!
+
+    def test_base_bx_would_replace_instead(self):
+        base = composers_bx()
+        model = frozenset({BRITTEN_BRIT})
+        listing = (("Britten", "English"),)
+        replaced = base.bwd(model, listing)
+        (composer,) = replaced
+        assert composer.dates == UNKNOWN_DATES  # fresh composer, dates lost
+
+    def test_fwd_updates_entry_in_place(self):
+        bx = KeyOnNameComposersBx()
+        model = frozenset({BRITTEN_BRIT, ELGAR})
+        listing = (("Elgar", "English"), ("Britten", "English"))
+        result = bx.fwd(model, listing)
+        assert result == (("Elgar", "English"), ("Britten", "British"))
+
+    def test_correct_and_hippocratic_but_not_simply_matching(self):
+        bx = KeyOnNameComposersBx()
+        report = check_bx_properties(bx, config=CONFIG)
+        assert report.result_for("correct").passed
+        assert report.result_for("hippocratic").passed
+        matching = SimplyMatching().check(bx.checked(),
+                                          trials=CONFIG.trials,
+                                          seed=CONFIG.seed)
+        assert matching.failed, \
+            "in-place modification should break strict simple matching"
+
+
+class TestDatePolicies:
+    def test_unknown_policy_is_base_behaviour(self):
+        bx = composers_bx_with_date_policy(unknown_dates_policy, "unknown")
+        (created,) = bx.bwd(frozenset(), (("Purcell", "English"),))
+        assert created.dates == UNKNOWN_DATES
+
+    def test_epoch_policy(self):
+        bx = composers_bx_with_date_policy(epoch_dates_policy, "epoch")
+        (created,) = bx.bwd(frozenset(), (("Purcell", "English"),))
+        assert created.dates == "0000-0000"
+
+    def test_copy_namesake_policy(self):
+        bx = composers_bx_with_date_policy(copy_namesake_dates_policy,
+                                           "namesake")
+        model = frozenset({BRITTEN_BRIT})
+        result = bx.bwd(model, (("Britten", "British"),
+                                ("Britten", "Welsh")))
+        welsh = next(c for c in result if c.nationality == "Welsh")
+        assert welsh.dates == "1913-1976"  # copied from the namesake
+
+    def test_copy_namesake_falls_back_to_unknown(self):
+        bx = composers_bx_with_date_policy(copy_namesake_dates_policy,
+                                           "namesake")
+        (created,) = bx.bwd(frozenset(), (("Purcell", "English"),))
+        assert created.dates == UNKNOWN_DATES
+
+    @pytest.mark.parametrize("policy,name", [
+        (unknown_dates_policy, "unknown"),
+        (epoch_dates_policy, "epoch"),
+        (copy_namesake_dates_policy, "namesake"),
+    ])
+    def test_all_policies_correct_and_hippocratic(self, policy, name):
+        report = check_bx_properties(
+            composers_bx_with_date_policy(policy, name), config=CONFIG)
+        assert report.result_for("correct").passed
+        assert report.result_for("hippocratic").passed
+
+
+class TestRememberingLens:
+    def test_round_trip_laws(self):
+        report = check_symmetric_laws(RememberingComposersLens(),
+                                      config=CheckConfig(trials=150,
+                                                         seed=3,
+                                                         shrink=False))
+        assert report.all_passed, report.summary()
+
+    def test_memory_survives_unrelated_edits(self):
+        lens = RememberingComposersLens()
+        model = frozenset({BRITTEN_BRIT, ELGAR})
+        listing, complement = lens.putr(model, lens.missing())
+
+        # Delete Britten, then separately add Tippett, then re-add Britten.
+        without = tuple(pair for pair in listing
+                        if pair != ("Britten", "British"))
+        _m1, complement = lens.putl(without, complement)
+        with_tippett = without + (("Tippett", "English"),)
+        _m2, complement = lens.putl(with_tippett, complement)
+        final_listing = with_tippett + (("Britten", "British"),)
+        final_model, _complement = lens.putl(final_listing, complement)
+
+        britten = next(c for c in final_model if c.name == "Britten")
+        assert britten.dates == "1913-1976"

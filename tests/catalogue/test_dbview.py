@@ -1,0 +1,167 @@
+"""Scenario and law tests for the relational view-update lenses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.dbview import JoinLens, ProjectionLens, SelectionLens
+from repro.core.errors import TransformationError
+from repro.core.laws import CheckConfig, check_lens_laws
+from repro.models.relational import Attribute, Relation, RelationSchema
+from repro.models.space import FiniteSpace, IntRangeSpace
+
+CONFIG = CheckConfig(trials=150, seed=23, shrink=False)
+
+IDS = IntRangeSpace(1, 9, name="ids")
+NAMES = FiniteSpace(["ann", "bob", "cyd"], name="names")
+CITIES = FiniteSpace(["rome", "banff"], name="cities")
+
+EMP = RelationSchema("Emp", [
+    Attribute("id", IDS), Attribute("name", NAMES),
+    Attribute("city", CITIES)], key=["id"])
+
+
+def emp_rows(*rows) -> Relation:
+    return Relation(EMP, set(rows))
+
+
+class TestProjectionLens:
+    def make(self) -> ProjectionLens:
+        return ProjectionLens(EMP, ["id", "name"], defaults={"city": "rome"})
+
+    def test_get_projects(self):
+        view = self.make().get(emp_rows((1, "ann", "rome")))
+        assert view.rows == {(1, "ann")}
+
+    def test_put_restores_hidden_columns_by_key(self):
+        lens = self.make()
+        source = emp_rows((1, "ann", "banff"))
+        view = lens.get(source).with_rows({(1, "cyd")})  # rename ann
+        merged = lens.put(view, source)
+        assert merged.rows == {(1, "cyd", "banff")}  # city survived
+
+    def test_put_defaults_for_new_keys(self):
+        lens = self.make()
+        merged = lens.put(lens.get(emp_rows()).with_rows({(7, "cyd")}),
+                          emp_rows())
+        assert merged.rows == {(7, "cyd", "rome")}
+
+    def test_put_deletes_removed_keys(self):
+        lens = self.make()
+        source = emp_rows((1, "ann", "rome"), (2, "bob", "banff"))
+        view = lens.get(source).with_rows({(1, "ann")})
+        assert lens.put(view, source).rows == {(1, "ann", "rome")}
+
+    def test_view_must_keep_key(self):
+        with pytest.raises(TransformationError, match="key"):
+            ProjectionLens(EMP, ["name"], defaults={"id": 0, "city": "rome"})
+
+    def test_hidden_columns_need_defaults(self):
+        with pytest.raises(TransformationError, match="default"):
+            ProjectionLens(EMP, ["id", "name"], defaults={})
+
+    def test_laws(self):
+        report = check_lens_laws(
+            self.make(), laws=["GetPut", "PutGet", "CreateGet"],
+            config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestSelectionLens:
+    def make(self) -> SelectionLens:
+        return SelectionLens(EMP, lambda row: row["city"] == "rome")
+
+    def test_get_selects(self):
+        view = self.make().get(emp_rows((1, "ann", "rome"),
+                                        (2, "bob", "banff")))
+        assert view.rows == {(1, "ann", "rome")}
+
+    def test_put_preserves_hidden_rows(self):
+        lens = self.make()
+        source = emp_rows((1, "ann", "rome"), (2, "bob", "banff"))
+        view = lens.get(source).with_rows({(3, "cyd", "rome")})
+        merged = lens.put(view, source)
+        assert merged.rows == {(3, "cyd", "rome"), (2, "bob", "banff")}
+
+    def test_put_rejects_rows_failing_predicate(self):
+        """The classic view-update anomaly is an error, not a silent
+        law break."""
+        lens = self.make()
+        bad_view = lens.get(emp_rows()).with_rows({(1, "ann", "banff")})
+        with pytest.raises(TransformationError, match="predicate"):
+            lens.put(bad_view, emp_rows())
+
+    def test_view_row_supersedes_hidden_row_with_same_key(self):
+        lens = self.make()
+        source = emp_rows((1, "ann", "banff"))  # hidden
+        view = lens.get(source).with_rows({(1, "ann", "rome")})
+        assert lens.put(view, source).rows == {(1, "ann", "rome")}
+
+    def test_laws(self):
+        report = check_lens_laws(
+            self.make(), laws=["GetPut", "PutGet", "CreateGet"],
+            config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestJoinLens:
+    PEOPLE = RelationSchema("People", [
+        Attribute("id", IDS), Attribute("name", NAMES)], key=["id"])
+    DEPT = RelationSchema("Dept", [
+        Attribute("id", IDS), Attribute("city", CITIES)], key=["id"])
+
+    def make(self) -> JoinLens:
+        return JoinLens(self.PEOPLE, self.DEPT)
+
+    def source(self) -> tuple[Relation, Relation]:
+        people = Relation(self.PEOPLE, {(1, "ann"), (2, "bob"), (3, "cyd")})
+        dept = Relation(self.DEPT, {(1, "rome"), (2, "banff"), (9, "rome")})
+        return (people, dept)
+
+    def test_get_joins(self):
+        view = self.make().get(self.source())
+        assert view.rows == {(1, "ann", "rome"), (2, "bob", "banff")}
+
+    def test_put_splits_view_rows(self):
+        lens = self.make()
+        view = lens.get(self.source()).with_rows(
+            {(1, "cyd", "rome"), (2, "bob", "banff")})
+        people, dept = lens.put(view, self.source())
+        assert (1, "cyd") in people.rows
+        assert (1, "rome") in dept.rows
+
+    def test_dangling_rows_preserved(self):
+        """cyd (no dept) and dept 9 (no person) were never visible;
+        hippocraticness demands they survive an unrelated view edit."""
+        lens = self.make()
+        view = lens.get(self.source())
+        people, dept = lens.put(view, self.source())
+        assert (3, "cyd") in people.rows
+        assert (9, "rome") in dept.rows
+
+    def test_view_claims_dangling_key(self):
+        """A view row for a previously dangling key supersedes it."""
+        lens = self.make()
+        view = lens.get(self.source()).with_rows({(3, "cyd", "rome")})
+        people, dept = lens.put(view, self.source())
+        assert (3, "cyd") in people.rows
+        assert (3, "rome") in dept.rows
+        # joined rows whose keys the view dropped are deleted:
+        assert (1, "ann") not in people.rows
+
+    def test_requires_shared_key_column(self):
+        other = RelationSchema("Other", [Attribute("x", IDS)], key=["x"])
+        with pytest.raises(TransformationError, match="shared column"):
+            JoinLens(self.PEOPLE, other)
+
+    def test_requires_key_on_shared_column(self):
+        unkeyed = RelationSchema("U", [Attribute("id", IDS),
+                                       Attribute("city", CITIES)])
+        with pytest.raises(TransformationError, match="keyed"):
+            JoinLens(self.PEOPLE, unkeyed)
+
+    def test_laws(self):
+        report = check_lens_laws(
+            self.make(), laws=["GetPut", "PutGet", "CreateGet"],
+            config=CONFIG)
+        assert report.all_passed, report.summary()

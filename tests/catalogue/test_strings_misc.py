@@ -1,0 +1,140 @@
+"""Tests for the string lenses and the misc catalogue examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalogue.misc import (
+    dirtree_bx,
+    int_to_roman,
+    paths_to_tree,
+    roman_bx,
+    roman_to_int,
+    tree_to_paths,
+)
+from repro.catalogue.strings import ComposerLinesLens, ComposerTextLens
+from repro.core.laws import CheckConfig, check_bx_properties, check_lens_laws
+from repro.models.trees import Node
+
+CONFIG = CheckConfig(trials=150, seed=29, shrink=False)
+
+
+class TestComposerLinesLens:
+    def test_get_drops_dates(self):
+        lens = ComposerLinesLens()
+        source = ("Britten, 1913-1976, English", "Elgar, 1857-1934, English")
+        assert lens.get(source) == ("Britten, English", "Elgar, English")
+
+    def test_put_restores_dates_by_key(self):
+        lens = ComposerLinesLens()
+        source = ("Britten, 1913-1976, English",)
+        view = ("Elgar, English", "Britten, English")
+        merged = lens.put(view, source)
+        assert merged == ("Elgar, ????-????, English",
+                          "Britten, 1913-1976, English")
+
+    def test_reordering_view_preserves_all_dates(self):
+        """Resourcefulness: alignment is by key, not by position."""
+        lens = ComposerLinesLens()
+        source = ("Britten, 1913-1976, English", "Elgar, 1857-1934, English")
+        reordered = ("Elgar, English", "Britten, English")
+        merged = lens.put(reordered, source)
+        assert merged == ("Elgar, 1857-1934, English",
+                          "Britten, 1913-1976, English")
+
+    def test_duplicate_keys_claim_dates_in_order(self):
+        lens = ComposerLinesLens()
+        source = ("Byrd, 1543-1623, Welsh", "Byrd, 1600-1650, Welsh")
+        view = ("Byrd, Welsh", "Byrd, Welsh")
+        merged = lens.put(view, source)
+        assert merged == source
+
+    def test_laws_except_putput(self):
+        lens = ComposerLinesLens()
+        report = check_lens_laws(lens, config=CONFIG)
+        assert report.result_for("GetPut").passed
+        assert report.result_for("PutGet").passed
+        assert report.result_for("CreateGet").passed
+        assert report.result_for("PutPut").failed  # resourceful
+
+
+class TestComposerTextLens:
+    def test_round_trip_on_text(self):
+        lens = ComposerTextLens()
+        source = "Britten, 1913-1976, English\nElgar, 1857-1934, English"
+        assert lens.get(source) == "Britten, English\nElgar, English"
+        assert lens.put(lens.get(source), source) == source
+
+    def test_empty_text(self):
+        lens = ComposerTextLens()
+        assert lens.get("") == ""
+        assert lens.put("", "") == ""
+
+    def test_laws(self):
+        report = check_lens_laws(ComposerTextLens(),
+                                 laws=["GetPut", "PutGet", "CreateGet"],
+                                 config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestRomanNumerals:
+    def test_known_values(self):
+        assert int_to_roman(1) == "I"
+        assert int_to_roman(1994) == "MCMXCIV"
+        assert int_to_roman(3999) == "MMMCMXCIX"
+        assert roman_to_int("XIV") == 14
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_roman(0)
+        with pytest.raises(ValueError):
+            int_to_roman(4000)
+
+    def test_rejects_non_canonical(self):
+        with pytest.raises(ValueError):
+            roman_to_int("IIII")
+        with pytest.raises(ValueError):
+            roman_to_int("VX")
+        with pytest.raises(ValueError):
+            roman_to_int("hello")
+
+    @given(st.integers(1, 3999))
+    @settings(max_examples=300, deadline=None)
+    def test_bijection_round_trip(self, number):
+        assert roman_to_int(int_to_roman(number)) == number
+
+    def test_bx_has_every_property(self):
+        report = check_bx_properties(roman_bx(), config=CONFIG)
+        failed = [r.law for r in report.results if r.failed]
+        assert not failed, report.summary()
+
+
+class TestDirtree:
+    def test_flatten_and_rebuild(self):
+        tree = Node("root", children=[
+            Node("bin", children=[Node("a")]),
+            Node("doc"),
+        ])
+        paths = tree_to_paths(tree)
+        assert paths == ("root", "root/bin", "root/bin/a", "root/doc")
+        assert paths_to_tree(paths) == tree
+
+    def test_rebuild_rejects_multi_root(self):
+        with pytest.raises(ValueError, match="multiple roots"):
+            paths_to_tree(("a", "b"))
+
+    def test_rebuild_rejects_gaps(self):
+        with pytest.raises(ValueError, match="interior"):
+            paths_to_tree(("root", "root/a/b"))
+
+    def test_rebuild_rejects_empty(self):
+        with pytest.raises(ValueError):
+            paths_to_tree(())
+
+    def test_bx_properties(self):
+        report = check_bx_properties(dirtree_bx(), config=CONFIG)
+        failed = [r.law for r in report.results
+                  if r.failed and r.law != "simply matching"]
+        assert not failed, report.summary()

@@ -1,0 +1,181 @@
+"""Scenario and property tests for the UML2RDBMS example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.uml2rdbms import (
+    Table,
+    add_class,
+    empty_diagram,
+    tables_of_diagram,
+    uml2rdbms_bx,
+    uml2rdbms_entry,
+    uml2rdbms_lens,
+    uml_metamodel,
+)
+from repro.core.laws import (
+    CheckConfig,
+    check_bx_properties,
+    check_lens_laws,
+    verify_property_claims,
+)
+
+CONFIG = CheckConfig(trials=200, seed=17)
+
+
+def shop_diagram():
+    """Two persistent classes and one transient helper class."""
+    diagram = empty_diagram()
+    diagram = add_class(diagram, "Customer", True,
+                        [("id", "Integer", True), ("name", "String", False)])
+    diagram = add_class(diagram, "Order", True,
+                        [("id", "Integer", True), ("paid", "Boolean", False)])
+    diagram = add_class(diagram, "Product", False,
+                        [("name", "String", False)])
+    return diagram
+
+
+CUSTOMER_TABLE = Table("Customer",
+                       (("id", "INT"), ("name", "VARCHAR")), ("id",))
+ORDER_TABLE = Table("Order", (("id", "INT"), ("paid", "BOOLEAN")), ("id",))
+
+
+class TestForward:
+    def test_tables_for_persistent_classes_only(self):
+        schema = tables_of_diagram(shop_diagram())
+        assert schema == frozenset({CUSTOMER_TABLE, ORDER_TABLE})
+
+    def test_columns_name_sorted_and_type_mapped(self):
+        (table,) = tables_of_diagram(
+            add_class(empty_diagram(), "Customer", True,
+                      [("name", "String", False), ("id", "Integer", True)]))
+        assert table.columns == (("id", "INT"), ("name", "VARCHAR"))
+        assert table.key == ("id",)
+
+    def test_fwd_ignores_stale_schema(self):
+        bx = uml2rdbms_bx()
+        stale = frozenset({Table("Ghost", (("id", "INT"),), ())})
+        assert bx.fwd(shop_diagram(), stale) == \
+            frozenset({CUSTOMER_TABLE, ORDER_TABLE})
+
+
+class TestBackward:
+    def test_dropped_table_deletes_class_and_attributes(self):
+        bx = uml2rdbms_bx()
+        repaired = bx.bwd(shop_diagram(), frozenset({CUSTOMER_TABLE}))
+        names = {node.attribute("name")
+                 for node in repaired.nodes("Class")}
+        assert "Order" not in names
+        assert not [n for n in repaired.nodes("Attribute")
+                    if n.node_id.startswith("attr:Order")]
+
+    def test_non_persistent_classes_untouched(self):
+        """Product is invisible in the schema; bwd must not touch it."""
+        bx = uml2rdbms_bx()
+        repaired = bx.bwd(shop_diagram(), frozenset())
+        names = {node.attribute("name")
+                 for node in repaired.nodes("Class")}
+        assert names == {"Product"}
+
+    def test_new_table_creates_flat_persistent_class(self):
+        bx = uml2rdbms_bx()
+        table = Table("Invoice", (("total", "INT"),), ())
+        repaired = bx.bwd(empty_diagram(), frozenset({table}))
+        (cls,) = repaired.nodes("Class")
+        assert cls.attribute("name") == "Invoice"
+        assert cls.attribute("persistent") is True
+        (attr,) = repaired.targets(cls.node_id, "attrs")
+        assert attr.attribute("type") == "Integer"
+
+    def test_changed_table_repairs_class_in_place(self):
+        bx = uml2rdbms_bx()
+        changed = Table("Customer",
+                        (("id", "INT"), ("name", "VARCHAR"),
+                         ("total", "INT")), ("id",))
+        repaired = bx.bwd(shop_diagram(), frozenset({changed, ORDER_TABLE}))
+        assert tables_of_diagram(repaired) == \
+            frozenset({changed, ORDER_TABLE})
+
+    def test_table_matching_transient_class_persists_it(self):
+        bx = uml2rdbms_bx()
+        table = Table("Product", (("name", "VARCHAR"),), ())
+        repaired = bx.bwd(shop_diagram(),
+                          frozenset({CUSTOMER_TABLE, ORDER_TABLE, table}))
+        product = next(node for node in repaired.nodes("Class")
+                       if node.attribute("name") == "Product")
+        assert product.attribute("persistent") is True
+        assert bx.consistent(repaired,
+                             frozenset({CUSTOMER_TABLE, ORDER_TABLE,
+                                        table}))
+
+
+class TestInheritanceVariant:
+    def family_diagram(self):
+        diagram = empty_diagram()
+        diagram = add_class(diagram, "Customer", False,
+                            [("id", "Integer", True)])
+        diagram = add_class(diagram, "Order", True,
+                            [("paid", "Boolean", False)],
+                            parent="Customer")
+        return diagram
+
+    def test_flattening_includes_inherited_attributes(self):
+        schema = tables_of_diagram(self.family_diagram(),
+                                   flatten_inheritance=True)
+        (table,) = schema
+        assert table.columns == (("id", "INT"), ("paid", "BOOLEAN"))
+        assert table.key == ("id",)
+
+    def test_without_flattening_only_own_attributes(self):
+        schema = tables_of_diagram(self.family_diagram())
+        (table,) = schema
+        assert table.columns == (("paid", "BOOLEAN"),)
+
+    def test_repair_flattens_hierarchy(self):
+        """Column provenance is unrecorded, so repair drops the parent
+        edge — the inheritance analogue of Composers losing dates."""
+        bx = uml2rdbms_bx(with_inheritance=True)
+        diagram = self.family_diagram()
+        changed = Table("Order",
+                        (("id", "INT"), ("paid", "BOOLEAN"),
+                         ("total", "INT")), ("id",))
+        repaired = bx.bwd(diagram, frozenset({changed}))
+        order = next(node for node in repaired.nodes("Class")
+                     if node.attribute("name") == "Order")
+        assert repaired.targets(order.node_id, "parent") == []
+        assert bx.consistent(repaired, frozenset({changed}))
+
+
+class TestProperties:
+    @pytest.mark.parametrize("with_inheritance", [False, True])
+    def test_correct_and_hippocratic_not_undoable(self, with_inheritance):
+        bx = uml2rdbms_bx(with_inheritance)
+        report = check_bx_properties(bx, config=CONFIG)
+        assert report.result_for("correct").passed
+        assert report.result_for("hippocratic").passed
+        assert report.result_for("undoable").failed
+
+    def test_entry_claims_verified(self):
+        report = verify_property_claims(
+            uml2rdbms_bx(), uml2rdbms_entry().claimed_properties(),
+            config=CONFIG)
+        assert report.all_passed, report.summary()
+
+    def test_lens_form_well_behaved(self):
+        report = check_lens_laws(
+            uml2rdbms_lens(), laws=["GetPut", "PutGet", "CreateGet"],
+            config=CheckConfig(trials=120, seed=2, shrink=False))
+        assert report.all_passed, report.summary()
+
+
+class TestMetamodel:
+    def test_diagram_conforms(self):
+        assert uml_metamodel().conforms(shop_diagram())
+
+    def test_inheritance_needs_the_extended_metamodel(self):
+        diagram = empty_diagram()
+        diagram = add_class(diagram, "Customer", True, [])
+        diagram = add_class(diagram, "Order", True, [], parent="Customer")
+        assert not uml_metamodel().conforms(diagram)
+        assert uml_metamodel(with_inheritance=True).conforms(diagram)

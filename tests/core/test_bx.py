@@ -1,0 +1,196 @@
+"""Unit tests for the state-based bx kernel (repro.core.bx)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bx import (
+    BijectiveBx,
+    DualBx,
+    FunctionalBx,
+    IdentityBx,
+    SpaceCheckedBx,
+    TrivialBx,
+)
+from repro.core.errors import (
+    ConsistencyError,
+    ModelSpaceError,
+    TransformationError,
+)
+from repro.models.space import IntRangeSpace
+
+
+def double_bx() -> FunctionalBx:
+    """m <-> n with n == 2m; total and well behaved on its spaces."""
+    return FunctionalBx(
+        name="double",
+        left_space=IntRangeSpace(0, 30),
+        right_space=IntRangeSpace(0, 60),
+        consistent=lambda m, n: n == 2 * m,
+        fwd=lambda m, n: 2 * m,
+        bwd=lambda m, n: n // 2,
+        default_left=lambda: 0,
+        default_right=lambda: 0,
+    )
+
+
+class TestFunctionalBx:
+    def test_consistent(self):
+        bx = double_bx()
+        assert bx.consistent(3, 6)
+        assert not bx.consistent(3, 7)
+
+    def test_fwd_and_bwd(self):
+        bx = double_bx()
+        assert bx.fwd(5, 99) == 10
+        assert bx.bwd(99, 10) == 5
+
+    def test_restore_dispatch(self):
+        bx = double_bx()
+        assert bx.restore(5, 0, "fwd") == 10
+        assert bx.restore(0, 10, "bwd") == 5
+
+    def test_restore_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="fwd.*bwd"):
+            double_bx().restore(1, 2, "sideways")
+
+    def test_synchronise_left_authoritative(self):
+        assert double_bx().synchronise(4, 0, "left") == (4, 8)
+
+    def test_synchronise_right_authoritative(self):
+        assert double_bx().synchronise(0, 8, "right") == (4, 8)
+
+    def test_synchronise_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            double_bx().synchronise(1, 2, "middle")
+
+    def test_defaults_and_creates(self):
+        bx = double_bx()
+        assert bx.default_left() == 0
+        assert bx.create_right(7) == 14
+        assert bx.create_left(14) == 7
+
+    def test_missing_defaults_raise(self):
+        bx = FunctionalBx("bare", IntRangeSpace(0, 1), IntRangeSpace(0, 1),
+                          lambda m, n: True, lambda m, n: n,
+                          lambda m, n: m)
+        with pytest.raises(TransformationError):
+            bx.default_left()
+        with pytest.raises(TransformationError):
+            bx.default_right()
+
+    def test_check_consistent_raises_with_payload(self):
+        bx = double_bx()
+        with pytest.raises(ConsistencyError) as excinfo:
+            bx.check_consistent(1, 3)
+        assert excinfo.value.left == 1
+        assert excinfo.value.right == 3
+
+
+class TestBijectiveBx:
+    def test_round_trips(self):
+        bx = BijectiveBx("neg", IntRangeSpace(-5, 5), IntRangeSpace(-5, 5),
+                         to_right=lambda m: -m, to_left=lambda n: -n)
+        assert bx.fwd(3, 99) == -3
+        assert bx.bwd(99, -3) == 3
+        assert bx.consistent(2, -2)
+        assert bx.create_right(1) == -1
+        assert bx.create_left(-1) == 1
+
+
+class TestDualBx:
+    def test_dual_swaps_spaces_and_directions(self):
+        bx = double_bx()
+        dual = bx.dual()
+        assert isinstance(dual, DualBx)
+        assert dual.left_space is bx.right_space
+        assert dual.consistent(6, 3)
+        assert dual.fwd(6, 99) == 3   # dual fwd == inner bwd
+        assert dual.bwd(99, 4) == 8   # dual bwd == inner fwd
+
+    def test_dual_of_dual_is_original(self):
+        bx = double_bx()
+        assert bx.dual().dual() is bx
+
+    def test_dual_defaults(self):
+        assert double_bx().dual().default_left() == 0
+
+
+class TestIdentityAndTrivial:
+    def test_identity(self):
+        bx = IdentityBx(IntRangeSpace(0, 9))
+        assert bx.consistent(4, 4)
+        assert not bx.consistent(4, 5)
+        assert bx.fwd(4, 5) == 4
+        assert bx.bwd(4, 5) == 5
+
+    def test_trivial_changes_nothing(self):
+        bx = TrivialBx(IntRangeSpace(0, 9), IntRangeSpace(0, 9))
+        assert bx.consistent(1, 8)
+        assert bx.fwd(1, 8) == 8
+        assert bx.bwd(1, 8) == 1
+
+
+class TestSpaceCheckedBx:
+    def test_accepts_members(self):
+        checked = double_bx().checked()
+        assert checked.fwd(3, 0) == 6
+
+    def test_rejects_non_member_arguments(self):
+        checked = double_bx().checked()
+        with pytest.raises(ModelSpaceError):
+            checked.fwd(-1, 0)
+        with pytest.raises(ModelSpaceError):
+            checked.bwd(0, 61)
+
+    def test_rejects_non_member_results(self):
+        bad = FunctionalBx(
+            "escapes", IntRangeSpace(0, 5), IntRangeSpace(0, 5),
+            consistent=lambda m, n: True,
+            fwd=lambda m, n: 99,   # outside the right space
+            bwd=lambda m, n: m)
+        with pytest.raises(ModelSpaceError):
+            bad.checked().fwd(1, 1)
+
+    def test_checked_is_idempotent(self):
+        checked = double_bx().checked()
+        assert checked.checked() is checked
+
+    def test_wrapper_preserves_identity_facts(self):
+        bx = double_bx()
+        checked = bx.checked()
+        assert isinstance(checked, SpaceCheckedBx)
+        assert checked.name == bx.name
+        assert checked.consistent(2, 4)
+
+
+class TestSampling:
+    def test_sample_pair_members(self, rng):
+        bx = double_bx()
+        left, right = bx.sample_pair(rng)
+        assert bx.left_space.contains(left)
+        assert bx.right_space.contains(right)
+
+    def test_sample_consistent_pair_is_consistent(self, rng):
+        bx = double_bx()
+        for _ in range(50):
+            left, right = bx.sample_consistent_pair(rng)
+            assert bx.consistent(left, right)
+
+    def test_consistent_pair_perturbation_explores_order(self):
+        """Sequence-valued right models must not always arrive sorted."""
+        from repro.catalogue.composers import composers_bx
+
+        bx = composers_bx()
+        rng = random.Random(3)
+        saw_unsorted = False
+        for _ in range(120):
+            _left, right = bx.sample_consistent_pair(rng)
+            if list(right) != sorted(right):
+                saw_unsorted = True
+                break
+        assert saw_unsorted, (
+            "perturbation never produced an unsorted consistent list; "
+            "hippocraticness checks would be blind to reordering")

@@ -1,0 +1,278 @@
+"""Unit and law tests for lens combinators (repro.core.combinators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.combinators import (
+    ComposeLens,
+    CondLens,
+    ConstLens,
+    FieldLens,
+    FieldsLens,
+    FstLens,
+    IdentityLens,
+    IndexLens,
+    ListFilterLens,
+    ListMapLens,
+    ProductLens,
+    SndLens,
+    dict_space,
+    list_space,
+)
+from repro.core.errors import TransformationError
+from repro.core.laws import CheckConfig, check_lens_laws
+from repro.core.lens import IsoLens
+from repro.models.space import FiniteSpace, IntRangeSpace
+
+CONFIG = CheckConfig(trials=100, seed=11, shrink=False)
+SMALL = IntRangeSpace(0, 5)
+
+
+def assert_well_behaved(lens, include_create: bool = True) -> None:
+    laws = ["GetPut", "PutGet"] + (["CreateGet"] if include_create else [])
+    report = check_lens_laws(lens, laws=laws, config=CONFIG)
+    assert report.all_passed, report.summary()
+
+
+class TestIdentityLens:
+    def test_trivial(self):
+        lens = IdentityLens(SMALL)
+        assert lens.get(3) == 3
+        assert lens.put(4, 3) == 4
+        assert lens.create(5) == 5
+        assert_well_behaved(lens)
+
+
+class TestComposeLens:
+    def make(self) -> ComposeLens:
+        evens = FiniteSpace([2, 4, 6, 8, 10, 12], name="evens")
+        inc = IsoLens("inc", IntRangeSpace(0, 5), IntRangeSpace(1, 6),
+                      forward=lambda s: s + 1, backward=lambda v: v - 1)
+        double = IsoLens("double", IntRangeSpace(1, 6), evens,
+                         forward=lambda s: 2 * s, backward=lambda v: v // 2)
+        return ComposeLens(inc, double)
+
+    def test_get_runs_left_to_right(self):
+        assert self.make().get(3) == 8
+
+    def test_put_threads_intermediate(self):
+        assert self.make().put(8, 0) == 3
+
+    def test_create_composes(self):
+        assert self.make().create(12) == 5
+
+    def test_laws(self):
+        assert_well_behaved(self.make())
+
+    def test_operator_form(self):
+        lens = self.make()
+        again = lens.first >> lens.second
+        assert again.get(2) == lens.get(2)
+
+
+class TestProductLens:
+    def make(self) -> ProductLens:
+        left = IdentityLens(SMALL, "l")
+        right = IsoLens("neg", IntRangeSpace(0, 5), IntRangeSpace(-5, 0),
+                        forward=lambda s: -s, backward=lambda v: -v)
+        return ProductLens(left, right)
+
+    def test_componentwise(self):
+        lens = self.make()
+        assert lens.get((2, 3)) == (2, -3)
+        assert lens.put((4, -1), (2, 3)) == (4, 1)
+        assert lens.create((1, -2)) == (1, 2)
+
+    def test_laws(self):
+        assert_well_behaved(self.make())
+
+    def test_operator_form(self):
+        lens = IdentityLens(SMALL) * IdentityLens(SMALL)
+        assert lens.get((1, 2)) == (1, 2)
+
+
+class TestProjectionLenses:
+    def test_fst(self):
+        lens = FstLens(SMALL, SMALL, default_second=0)
+        assert lens.get((1, 2)) == 1
+        assert lens.put(5, (1, 2)) == (5, 2)
+        assert lens.create(3) == (3, 0)
+        assert_well_behaved(lens)
+
+    def test_snd(self):
+        lens = SndLens(SMALL, SMALL, default_first=0)
+        assert lens.get((1, 2)) == 2
+        assert lens.put(5, (1, 2)) == (1, 5)
+        assert lens.create(3) == (0, 3)
+        assert_well_behaved(lens)
+
+    def test_fst_without_default_has_no_create(self):
+        assert not FstLens(SMALL, SMALL).has_create()
+
+
+class TestConstLens:
+    def test_collapses(self):
+        lens = ConstLens(SMALL, "k", default_source=0)
+        assert lens.get(3) == "k"
+        assert lens.put("k", 3) == 3
+        assert lens.create("k") == 0
+
+    def test_put_rejects_other_views(self):
+        lens = ConstLens(SMALL, "k")
+        with pytest.raises(TransformationError):
+            lens.put("other", 3)
+
+    def test_laws(self):
+        assert_well_behaved(ConstLens(SMALL, "k", default_source=0))
+
+
+class TestFieldLenses:
+    SPACE = dict_space({"a": SMALL, "b": SMALL})
+
+    def test_field_focus(self):
+        lens = FieldLens("a", self.SPACE, SMALL,
+                         default_source={"a": 0, "b": 0})
+        assert lens.get({"a": 1, "b": 2}) == 1
+        assert lens.put(5, {"a": 1, "b": 2}) == {"a": 5, "b": 2}
+        assert lens.create(7) == {"a": 7, "b": 0}
+        assert_well_behaved(lens)
+
+    def test_field_put_does_not_mutate(self):
+        lens = FieldLens("a", self.SPACE, SMALL)
+        source = {"a": 1, "b": 2}
+        lens.put(5, source)
+        assert source == {"a": 1, "b": 2}
+
+    def test_field_missing_key_raises(self):
+        lens = FieldLens("missing", self.SPACE, SMALL)
+        with pytest.raises(TransformationError):
+            lens.get({"a": 1, "b": 2})
+
+    def test_fields_subdict(self):
+        lens = FieldsLens(["a"], self.SPACE,
+                          dict_space({"a": SMALL}),
+                          default_source={"a": 0, "b": 0})
+        assert lens.get({"a": 1, "b": 2}) == {"a": 1}
+        assert lens.put({"a": 9}, {"a": 1, "b": 2}) == {"a": 9, "b": 2}
+        assert_well_behaved(lens)
+
+    def test_fields_rejects_wrong_view_keys(self):
+        lens = FieldsLens(["a"], self.SPACE, dict_space({"a": SMALL}))
+        with pytest.raises(TransformationError):
+            lens.put({"b": 1}, {"a": 1, "b": 2})
+
+
+class TestIndexLens:
+    def test_focus_position(self):
+        from repro.models.space import ProductSpace
+        pairs = ProductSpace(SMALL, SMALL)
+        lens = IndexLens(1, pairs, SMALL)
+        assert lens.get((1, 2)) == 2
+        assert lens.put(5, (1, 2)) == (1, 5)
+        assert_well_behaved(lens, include_create=False)
+
+
+class TestListMapLens:
+    def make(self) -> ListMapLens:
+        inc = IsoLens("inc", IntRangeSpace(0, 5), IntRangeSpace(1, 6),
+                      forward=lambda s: s + 1, backward=lambda v: v - 1)
+        return ListMapLens(inc, max_length=5)
+
+    def test_maps_elementwise(self):
+        lens = self.make()
+        assert lens.get((1, 2, 3)) == (2, 3, 4)
+        assert lens.put((5, 6), (1, 2, 3)) == (4, 5)
+
+    def test_put_grows_via_create(self):
+        lens = self.make()
+        assert lens.put((2, 3, 4, 5), (0,)) == (1, 2, 3, 4)
+
+    def test_laws(self):
+        assert_well_behaved(self.make())
+
+
+class TestListFilterLens:
+    def make(self) -> ListFilterLens:
+        return ListFilterLens(IntRangeSpace(0, 9),
+                              keep=lambda item: item % 2 == 0,
+                              max_length=6, name="evens")
+
+    def test_get_filters(self):
+        assert self.make().get((1, 2, 3, 4)) == (2, 4)
+
+    def test_put_preserves_hidden(self):
+        lens = self.make()
+        assert lens.put((6, 8), (1, 2, 3, 4)) == (1, 6, 3, 8)
+
+    def test_put_deletes_surplus_kept_positions(self):
+        lens = self.make()
+        assert lens.put((6,), (1, 2, 3, 4)) == (1, 6, 3)
+
+    def test_put_appends_extra_view_elements(self):
+        lens = self.make()
+        assert lens.put((2, 4, 6), (1, 2)) == (1, 2, 4, 6)
+
+    def test_put_rejects_filtered_elements(self):
+        with pytest.raises(TransformationError):
+            self.make().put((3,), (2,))
+
+    def test_getput_and_putget(self):
+        assert_well_behaved(self.make())
+
+
+class TestCondLens:
+    def make(self) -> CondLens:
+        """Region-disjoint cond: sources/views < 5 mirror, >= 5 identity."""
+        space = IntRangeSpace(0, 9)
+        plain = IdentityLens(space, "id")
+        mirror = IsoLens("mirror", space, space,
+                         forward=lambda s: 4 - s if s < 5 else s,
+                         backward=lambda v: 4 - v if v < 5 else v)
+        return CondLens(lambda s: s < 5, mirror, plain,
+                        view_predicate=lambda v: v < 5)
+
+    def test_branches_on_source(self):
+        lens = self.make()
+        assert lens.get(1) == 3    # then branch: 4 - 1
+        assert lens.get(7) == 7    # else branch
+
+    def test_put_branches_on_view(self):
+        lens = self.make()
+        assert lens.put(3, 7) == 1  # view in then region: 4 - 3
+        assert lens.put(8, 1) == 8  # view in else region: identity
+
+    def test_laws(self):
+        assert_well_behaved(self.make(), include_create=False)
+
+    def test_source_branching_detects_region_flip(self):
+        space = IntRangeSpace(0, 9)
+        plain = IdentityLens(space, "id")
+        negate = IsoLens("mirror", space, space,
+                         forward=lambda s: 9 - s, backward=lambda v: 9 - v)
+        unstable = CondLens(lambda s: s < 5, negate, plain)
+        # view 8 written through the then branch gives 1, whose get is 8
+        # again — stable, allowed.
+        assert unstable.put(8, 2) == 1
+        # But a view that cannot be recovered raises instead of breaking
+        # PutGet: source 7 (else, identity) with view 2 writes 2, whose
+        # get goes through the *then* branch giving 7 != 2.
+        with pytest.raises(TransformationError):
+            unstable.put(2, 7)
+
+
+class TestSpaces:
+    def test_list_space_membership(self, rng):
+        space = list_space(SMALL, max_length=3)
+        assert space.contains((1, 2))
+        assert not space.contains([1, 2])
+        assert not space.contains((1, 99))
+        sample = space.sample(rng)
+        assert space.contains(sample)
+
+    def test_dict_space_membership(self, rng):
+        space = dict_space({"a": SMALL})
+        assert space.contains({"a": 3})
+        assert not space.contains({"a": 3, "b": 1})
+        assert not space.contains({"a": 99})
+        assert space.contains(space.sample(rng))

@@ -1,0 +1,148 @@
+"""Unit and property tests for delta bx (repro.core.delta)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import (
+    Delete,
+    EditScript,
+    FunctionalDeltaBx,
+    Identity,
+    Insert,
+    Update,
+    diff_sequences,
+)
+from repro.core.errors import EditError
+from repro.models.space import IntRangeSpace
+from repro.models.lists import OrderedListSpace
+
+
+class TestPrimitiveEdits:
+    def test_identity(self):
+        assert Identity().apply((1, 2)) == (1, 2)
+        assert Identity().inverse((1, 2)) == Identity()
+
+    def test_insert(self):
+        assert Insert(1, 9).apply((1, 2)) == (1, 9, 2)
+        assert Insert(0, 9).apply(()) == (9,)
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(EditError):
+            Insert(3, 9).apply((1,))
+
+    def test_delete(self):
+        assert Delete(0).apply((1, 2)) == (2,)
+
+    def test_delete_out_of_range(self):
+        with pytest.raises(EditError):
+            Delete(2).apply((1, 2))
+
+    def test_update(self):
+        assert Update(1, 9).apply((1, 2)) == (1, 9)
+
+    def test_inverses_restore(self):
+        model = (1, 2, 3)
+        for edit in (Insert(1, 9), Delete(2), Update(0, 7)):
+            edited = edit.apply(model)
+            assert edit.inverse(model).apply(edited) == model
+
+
+class TestEditScript:
+    def test_applies_in_order(self):
+        script = EditScript([Insert(0, 1), Insert(1, 2), Delete(0)])
+        assert script.apply(()) == (2,)
+
+    def test_flattens_nested_scripts(self):
+        inner = EditScript([Insert(0, 1)])
+        outer = EditScript([inner, Insert(1, 2)])
+        assert len(outer) == 2
+        assert all(not isinstance(edit, EditScript)
+                   for edit in outer.edits)
+
+    def test_drops_identities(self):
+        script = EditScript([Identity(), Insert(0, 1), Identity()])
+        assert len(script) == 1
+
+    def test_script_inverse_restores(self):
+        model = (1, 2, 3, 4)
+        script = EditScript([Delete(0), Insert(2, 9), Update(0, 5)])
+        edited = script.apply(model)
+        assert script.inverse(model).apply(edited) == model
+
+    def test_then_chains(self):
+        chained = Insert(0, 1).then(Insert(1, 2))
+        assert chained.apply(()) == (1, 2)
+
+    def test_is_identity(self):
+        assert EditScript([]).is_identity()
+        assert not EditScript([Delete(0)]).is_identity()
+
+
+class TestDiffSequences:
+    def test_empty_cases(self):
+        assert diff_sequences((), ()).is_identity()
+        assert diff_sequences((), (1,)).apply(()) == (1,)
+        assert diff_sequences((1,), ()).apply((1,)) == ()
+
+    def test_diff_is_minimal_for_single_change(self):
+        script = diff_sequences((1, 2, 3), (1, 9, 2, 3))
+        assert len(script) == 1
+
+    @given(st.lists(st.integers(0, 5), max_size=8),
+           st.lists(st.integers(0, 5), max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_diff_transforms_old_into_new(self, old, new):
+        script = diff_sequences(old, new)
+        assert script.apply(tuple(old)) == tuple(new)
+
+    @given(st.lists(st.integers(0, 5), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_diff_to_self_is_identity(self, items):
+        assert diff_sequences(items, items).is_identity()
+
+
+def mirrored_delta_bx() -> FunctionalDeltaBx:
+    """Left and right are equal tuples; edits propagate verbatim."""
+    space = OrderedListSpace(IntRangeSpace(0, 9), max_length=6)
+    return FunctionalDeltaBx(
+        "mirror",
+        space, space,
+        consistent=lambda left, right: left == right,
+        propagate_fwd=lambda edit, left, right: edit,
+        propagate_bwd=lambda edit, left, right: edit,
+        create_left=lambda right: right,
+        create_right=lambda left: left,
+    )
+
+
+class TestDeltaBx:
+    def test_step_fwd(self):
+        bx = mirrored_delta_bx()
+        left, right = bx.step_fwd(Insert(0, 5), (1,), (1,))
+        assert left == (5, 1)
+        assert right == (5, 1)
+
+    def test_step_bwd(self):
+        bx = mirrored_delta_bx()
+        left, right = bx.step_bwd(Delete(0), (1, 2), (1, 2))
+        assert left == (2,)
+        assert right == (2,)
+
+    def test_round_trip_stability(self):
+        """Propagating an edit then its inverse restores both models."""
+        bx = mirrored_delta_bx()
+        left = right = (1, 2, 3)
+        edit = Delete(1)
+        new_left, new_right = bx.step_fwd(edit, left, right)
+        undo = edit.inverse(left)
+        back_left, back_right = bx.step_fwd(undo, new_left, new_right)
+        assert (back_left, back_right) == (left, right)
+
+    def test_to_state_bx(self):
+        state = mirrored_delta_bx().to_state_bx()
+        assert state.consistent((1, 2), (1, 2))
+        assert state.fwd((1, 2, 3), (1, 2)) == (1, 2, 3)
+        assert state.bwd((1, 2), (7, 2)) == (7, 2)

@@ -1,0 +1,182 @@
+"""Unit tests for the law-checking harness (repro.core.laws)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bx import BijectiveBx, FunctionalBx
+from repro.core.errors import LawViolation
+from repro.core.laws import (
+    CheckConfig,
+    CheckReport,
+    LawResult,
+    check_lens_laws,
+    shrink_value,
+    verify_property_claims,
+)
+from repro.core.lens import FunctionalLens
+from repro.core.properties import CheckStatus
+from repro.models.space import IntRangeSpace
+from repro.models.lists import OrderedListSpace
+
+
+class TestCheckConfig:
+    def test_defaults(self):
+        config = CheckConfig()
+        assert config.trials == 200
+        assert config.shrink
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CheckConfig().trials = 5  # type: ignore[misc]
+
+
+class TestExhaustiveUpgrade:
+    def test_small_finite_spaces_checked_exhaustively(self):
+        lens = FunctionalLens(
+            "id", IntRangeSpace(0, 5), IntRangeSpace(0, 5),
+            get=lambda s: s, put=lambda v, s: v)
+        report = check_lens_laws(lens, laws=["GetPut", "PutGet"],
+                                 config=CheckConfig(trials=5))
+        for result in report.results:
+            assert result.exhaustive
+            assert result.trials == 36  # 6 x 6 scenarios
+
+    def test_large_spaces_fall_back_to_sampling(self):
+        lens = FunctionalLens(
+            "id", IntRangeSpace(0, 100), IntRangeSpace(0, 100),
+            get=lambda s: s, put=lambda v, s: v)
+        report = check_lens_laws(
+            lens, laws=["GetPut"],
+            config=CheckConfig(trials=17, exhaustive_limit=100))
+        result = report.result_for("GetPut")
+        assert not result.exhaustive
+        assert result.trials == 17
+
+
+class TestShrinking:
+    def test_shrink_value_minimises_tuples(self):
+        space = OrderedListSpace(IntRangeSpace(0, 9), max_length=10)
+
+        def still_fails(candidate) -> bool:
+            return 7 in candidate
+
+        shrunk = shrink_value((1, 7, 3, 7, 5), space, still_fails)
+        assert shrunk == (7,)
+
+    def test_shrink_respects_membership(self):
+        space = OrderedListSpace(IntRangeSpace(0, 9), min_length=0,
+                                 max_length=10, unique=True)
+
+        def still_fails(candidate) -> bool:
+            return len(candidate) >= 2
+
+        shrunk = shrink_value((1, 2, 3), space, still_fails)
+        assert len(shrunk) == 2
+
+    def test_shrink_survives_raising_predicate(self):
+        space = OrderedListSpace(IntRangeSpace(0, 9), max_length=10)
+
+        def explodes(candidate) -> bool:
+            if not candidate:
+                raise RuntimeError("boom")
+            return 7 in candidate
+
+        shrunk = shrink_value((7, 1), space, explodes)
+        assert shrunk == (7,)
+
+    def test_reported_counterexample_is_shrunk(self):
+        lens = FunctionalLens(
+            "bad-on-7", OrderedListSpace(IntRangeSpace(0, 9), max_length=6),
+            OrderedListSpace(IntRangeSpace(0, 9), max_length=6),
+            get=lambda s: s,
+            put=lambda v, s: tuple(x for x in v if x != 7))  # drops 7s
+        report = check_lens_laws(lens, laws=["PutGet"],
+                                 config=CheckConfig(trials=400, seed=1))
+        result = report.result_for("PutGet")
+        assert result.failed
+        view = result.counterexample["view"]
+        assert view == (7,), f"expected minimal witness, got {view!r}"
+
+
+class TestCheckReport:
+    def make_report(self) -> CheckReport:
+        report = CheckReport(subject="demo")
+        report.add(LawResult("A", "demo", CheckStatus.PASSED, trials=3))
+        report.add(LawResult("B", "demo", CheckStatus.FAILED, trials=1,
+                             counterexample={"x": 1}))
+        return report
+
+    def test_failures_and_all_passed(self):
+        report = self.make_report()
+        assert not report.all_passed
+        assert [r.law for r in report.failures] == ["B"]
+
+    def test_result_for(self):
+        assert self.make_report().result_for("A").passed
+        with pytest.raises(KeyError):
+            self.make_report().result_for("missing")
+
+    def test_summary_mentions_verdict(self):
+        assert "1 LAW(S) VIOLATED" in self.make_report().summary()
+
+    def test_raise_on_failure(self):
+        with pytest.raises(LawViolation) as excinfo:
+            self.make_report().raise_on_failure()
+        assert excinfo.value.law == "B"
+        assert excinfo.value.counterexample == {"x": 1}
+
+    def test_skipped_does_not_fail_report(self):
+        report = CheckReport(subject="demo")
+        report.add(LawResult("A", "demo", CheckStatus.SKIPPED))
+        assert report.all_passed
+        report.raise_on_failure()  # must not raise
+
+
+class TestVerifyPropertyClaims:
+    def identity_bx(self) -> BijectiveBx:
+        return BijectiveBx("id", IntRangeSpace(0, 10), IntRangeSpace(0, 10),
+                           to_right=lambda m: m, to_left=lambda n: n)
+
+    def test_true_claims_verified(self):
+        report = verify_property_claims(
+            self.identity_bx(),
+            {"correct": True, "hippocratic": True, "undoable": True},
+            config=CheckConfig(trials=60))
+        assert report.all_passed, report.summary()
+
+    def test_false_claim_needs_counterexample(self):
+        """Claiming 'not undoable' about an undoable bx must FAIL."""
+        report = verify_property_claims(
+            self.identity_bx(), {"undoable": False},
+            config=CheckConfig(trials=60))
+        result = report.result_for("undoable")
+        assert result.failed
+        assert "claimed fails, measured holds" in result.note
+
+    def test_true_claim_about_broken_bx_fails_with_witness(self):
+        broken = FunctionalBx(
+            "broken", IntRangeSpace(0, 10), IntRangeSpace(0, 10),
+            consistent=lambda m, n: m == n,
+            fwd=lambda m, n: n, bwd=lambda m, n: n)
+        report = verify_property_claims(broken, {"correct": True},
+                                        config=CheckConfig(trials=60))
+        result = report.result_for("correct")
+        assert result.failed
+        assert result.counterexample is not None
+
+    def test_unknown_claim_skipped(self):
+        report = verify_property_claims(
+            self.identity_bx(), {"least change": True},
+            config=CheckConfig(trials=10))
+        result = report.result_for("least change")
+        assert result.status is CheckStatus.SKIPPED
+
+    def test_extra_properties_override(self):
+        from repro.core.properties import LeastChange
+        report = verify_property_claims(
+            self.identity_bx(), {"least change": True},
+            config=CheckConfig(trials=30),
+            extra_properties={"least change": LeastChange(
+                right_distance=lambda a, b: abs(a - b))})
+        assert report.result_for("least change").passed

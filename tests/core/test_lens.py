@@ -1,0 +1,119 @@
+"""Unit tests for asymmetric lenses (repro.core.lens)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TransformationError
+from repro.core.lens import LENS_LAWS, FunctionalLens, IsoLens
+from repro.models.space import IntRangeSpace, ProductSpace
+
+
+def fst_lens() -> FunctionalLens:
+    """Project the first of a pair; put restores the second component."""
+    pairs = ProductSpace(IntRangeSpace(0, 9), IntRangeSpace(0, 9))
+    return FunctionalLens(
+        "fst", pairs, IntRangeSpace(0, 9),
+        get=lambda source: source[0],
+        put=lambda view, source: (view, source[1]),
+        create=lambda view: (view, 0))
+
+
+class TestFunctionalLens:
+    def test_get_put_create(self):
+        lens = fst_lens()
+        assert lens.get((3, 4)) == 3
+        assert lens.put(7, (3, 4)) == (7, 4)
+        assert lens.create(5) == (5, 0)
+        assert lens.has_create()
+
+    def test_create_optional(self):
+        lens = FunctionalLens("nocreate", IntRangeSpace(0, 1),
+                              IntRangeSpace(0, 1),
+                              get=lambda s: s, put=lambda v, s: v)
+        assert not lens.has_create()
+        with pytest.raises(TransformationError):
+            lens.create(0)
+
+    def test_to_bx_semantics(self):
+        bx = fst_lens().to_bx()
+        assert bx.consistent((3, 4), 3)
+        assert not bx.consistent((3, 4), 9)
+        assert bx.fwd((3, 4), 99) == 3
+        assert bx.bwd((3, 4), 7) == (7, 4)
+        assert bx.create_left(5) == (5, 0)
+        assert bx.create_right((3, 4)) == 3
+
+    def test_operators_delegate_to_combinators(self):
+        lens = fst_lens()
+        composed = lens >> IsoLens(
+            "neg", IntRangeSpace(0, 9), IntRangeSpace(-9, 0),
+            forward=lambda v: -v, backward=lambda v: -v)
+        assert composed.get((3, 4)) == -3
+        assert composed.put(-7, (3, 4)) == (7, 4)
+
+
+class TestIsoLens:
+    def test_iso_round_trip(self):
+        iso = IsoLens("inc", IntRangeSpace(0, 8), IntRangeSpace(1, 9),
+                      forward=lambda s: s + 1, backward=lambda v: v - 1)
+        assert iso.get(4) == 5
+        assert iso.put(5, 0) == 4  # old source ignored
+        assert iso.create(9) == 8
+
+    def test_inverse(self):
+        iso = IsoLens("inc", IntRangeSpace(0, 8), IntRangeSpace(1, 9),
+                      forward=lambda s: s + 1, backward=lambda v: v - 1)
+        inv = iso.inverse()
+        assert inv.get(5) == 4
+        assert inv.source_space is iso.view_space
+
+
+class TestLawFunctions:
+    """Exercise the raw law checkers on known-good and known-bad lenses."""
+
+    def test_getput_detects_violation(self):
+        checker, _spec = LENS_LAWS["GetPut"]
+        bad = FunctionalLens(
+            "resets", ProductSpace(IntRangeSpace(0, 9), IntRangeSpace(0, 9)),
+            IntRangeSpace(0, 9),
+            get=lambda s: s[0],
+            put=lambda v, s: (v, 0))  # forgets the second component
+        witness = checker(bad, (3, 4), 3)
+        assert witness is not None
+        assert witness["source"] == (3, 4)
+
+    def test_putget_detects_violation(self):
+        checker, _spec = LENS_LAWS["PutGet"]
+        bad = FunctionalLens(
+            "clamps", IntRangeSpace(0, 9), IntRangeSpace(0, 9),
+            get=lambda s: s,
+            put=lambda v, s: min(v, 5))  # silently clamps the view
+        assert checker(bad, 0, 9) is not None
+        assert checker(bad, 0, 3) is None
+
+    def test_createget_skips_without_create(self):
+        checker, _spec = LENS_LAWS["CreateGet"]
+        lens = FunctionalLens("nocreate", IntRangeSpace(0, 9),
+                              IntRangeSpace(0, 9),
+                              get=lambda s: s, put=lambda v, s: v)
+        assert checker(lens, 1, 2) is None  # skip, not failure
+
+    def test_putput_detects_resourcefulness(self):
+        checker, _spec = LENS_LAWS["PutPut"]
+
+        def put(view, source):
+            # History-sensitive: remembers how often it was poked.
+            return (view, source[1] + 1)
+
+        lens = FunctionalLens(
+            "counts", ProductSpace(IntRangeSpace(0, 9), IntRangeSpace(0, 99)),
+            IntRangeSpace(0, 9),
+            get=lambda s: s[0], put=put)
+        assert checker(lens, (1, 0), 2, 3) is not None
+
+    def test_laws_pass_on_good_lens(self):
+        lens = fst_lens()
+        for law_name, (checker, spec) in LENS_LAWS.items():
+            args = [(3, 4) if ch == "s" else 7 for ch in spec]
+            assert checker(lens, *args) is None, law_name

@@ -1,0 +1,161 @@
+"""Unit tests for the property vocabulary (repro.core.properties)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bx import BijectiveBx, FunctionalBx, TrivialBx
+from repro.core.properties import (
+    PROPERTY_REGISTRY,
+    CheckStatus,
+    Correct,
+    Hippocratic,
+    HistoryIgnorant,
+    LeastChange,
+    SimplyMatching,
+    Undoable,
+    get_property,
+    register_property,
+    standard_properties,
+)
+from repro.models.space import IntRangeSpace
+
+
+def good_bx() -> BijectiveBx:
+    return BijectiveBx("good", IntRangeSpace(0, 20), IntRangeSpace(0, 20),
+                       to_right=lambda m: m, to_left=lambda n: n)
+
+
+def broken_fwd_bx() -> FunctionalBx:
+    """fwd does not restore consistency: a correctness violation."""
+    return FunctionalBx(
+        "broken", IntRangeSpace(0, 20), IntRangeSpace(0, 20),
+        consistent=lambda m, n: m == n,
+        fwd=lambda m, n: n,    # ignores m: wrong
+        bwd=lambda m, n: n)
+
+
+def meddling_bx() -> FunctionalBx:
+    """Restoration gratuitously rewrites consistent states."""
+    return FunctionalBx(
+        "meddler", IntRangeSpace(0, 20), IntRangeSpace(0, 20),
+        consistent=lambda m, n: True,      # everything consistent
+        fwd=lambda m, n: (n + 1) % 21,     # ... but fwd still changes n
+        bwd=lambda m, n: m)
+
+
+class TestCorrect:
+    def test_passes_good(self):
+        result = Correct().check(good_bx(), trials=60)
+        assert result.status is CheckStatus.PASSED
+        assert result.trials == 60
+
+    def test_fails_broken_with_witness(self):
+        result = Correct().check(broken_fwd_bx(), trials=60)
+        assert result.status is CheckStatus.FAILED
+        assert result.counterexample is not None
+        assert result.counterexample["direction"] == "fwd"
+
+    def test_describe_mentions_counterexample(self):
+        result = Correct().check(broken_fwd_bx(), trials=60)
+        assert "counterexample" in result.describe()
+
+
+class TestHippocratic:
+    def test_passes_good(self):
+        assert Hippocratic().check(good_bx(), trials=60).passed
+
+    def test_fails_meddler(self):
+        result = Hippocratic().check(meddling_bx(), trials=60)
+        assert result.failed
+        assert result.counterexample["direction"] == "fwd"
+
+
+class TestUndoable:
+    def test_passes_bijection(self):
+        assert Undoable().check(good_bx(), trials=60).passed
+
+    def test_fails_lossy(self):
+        """A bx that floors to even numbers loses the parity bit."""
+        lossy = FunctionalBx(
+            "floor2", IntRangeSpace(0, 20), IntRangeSpace(0, 20),
+            consistent=lambda m, n: n == m - (m % 2),
+            fwd=lambda m, n: m - (m % 2),
+            bwd=lambda m, n: n)  # forgets the original parity of m
+        result = Undoable().check(lossy, trials=120)
+        assert result.failed
+
+
+class TestHistoryIgnorant:
+    def test_passes_bijection(self):
+        assert HistoryIgnorant().check(good_bx(), trials=60).passed
+
+    def test_passes_trivial(self):
+        bx = TrivialBx(IntRangeSpace(0, 5), IntRangeSpace(0, 5))
+        assert HistoryIgnorant().check(bx, trials=60).passed
+
+    def test_fails_on_composers(self):
+        from repro.catalogue.composers import composers_bx
+        assert HistoryIgnorant().check(composers_bx(), trials=200).failed
+
+
+class TestSimplyMatching:
+    def test_skips_without_protocol(self):
+        result = SimplyMatching().check(good_bx(), trials=10)
+        assert result.status is CheckStatus.SKIPPED
+        assert "matching keys" in result.note
+
+    def test_passes_composers(self):
+        from repro.catalogue.composers import composers_bx
+        assert SimplyMatching().check(composers_bx(), trials=150).passed
+
+    def test_sees_through_checked_wrapper(self):
+        from repro.catalogue.composers import composers_bx
+        checked = composers_bx().checked()
+        result = SimplyMatching().check(checked, trials=60)
+        assert result.status is not CheckStatus.SKIPPED
+
+    def test_fails_modifying_variant(self):
+        from repro.catalogue.composers import KeyOnNameComposersBx
+        assert SimplyMatching().check(KeyOnNameComposersBx(),
+                                      trials=200).failed
+
+
+class TestLeastChange:
+    def test_identity_bx_is_least_change(self):
+        prop = LeastChange(right_distance=lambda a, b: abs(a - b))
+        assert prop.check(good_bx(), trials=40).passed
+
+    def test_detects_gratuitous_distance(self):
+        """A correct bx that restores to a far-away consistent value."""
+        wasteful = FunctionalBx(
+            "wasteful", IntRangeSpace(0, 10), IntRangeSpace(0, 10),
+            consistent=lambda m, n: True,
+            fwd=lambda m, n: (n + 5) % 11,   # consistent, but far
+            bwd=lambda m, n: m)
+        prop = LeastChange(right_distance=lambda a, b: abs(a - b))
+        assert prop.check(wasteful, trials=40).failed
+
+
+class TestRegistry:
+    def test_standard_names_registered(self):
+        for name in ("correct", "hippocratic", "undoable",
+                     "history ignorant", "simply matching"):
+            assert name in PROPERTY_REGISTRY
+
+    def test_get_property(self):
+        assert get_property("correct").name == "correct"
+
+    def test_get_property_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="correct"):
+            get_property("nonsense")
+
+    def test_standard_properties_order(self):
+        names = [prop.name for prop in standard_properties()]
+        assert names == ["correct", "hippocratic", "undoable",
+                         "history ignorant", "simply matching"]
+
+    def test_register_is_idempotent_by_name(self):
+        before = len(PROPERTY_REGISTRY)
+        register_property(Correct())
+        assert len(PROPERTY_REGISTRY) == before

@@ -1,0 +1,96 @@
+"""Unit tests for symmetric lenses (repro.core.symmetric)."""
+
+from __future__ import annotations
+
+from repro.core.laws import CheckConfig, check_symmetric_laws
+from repro.core.symmetric import (
+    ComposeSymmetricLens,
+    FunctionalSymmetricLens,
+    symmetric_from_bijection,
+)
+from repro.models.space import IntRangeSpace
+
+CONFIG = CheckConfig(trials=100, seed=5, shrink=False)
+
+
+def offset_lens() -> FunctionalSymmetricLens:
+    """x <-> y where y = x + c and the complement remembers c."""
+    return FunctionalSymmetricLens(
+        "offset",
+        IntRangeSpace(0, 20), IntRangeSpace(0, 40),
+        missing=lambda: 0,
+        putr=lambda x, c: (x + c, c),
+        putl=lambda y, c: (max(y - c, 0), c),
+    )
+
+
+class TestFunctionalSymmetricLens:
+    def test_putr_putl(self):
+        lens = offset_lens()
+        right, complement = lens.putr(3, 5)
+        assert (right, complement) == (8, 5)
+        left, complement = lens.putl(8, 5)
+        assert (left, complement) == (3, 5)
+
+    def test_sync_from_sides(self):
+        lens = offset_lens()
+        assert lens.sync_from_left(4) == (4, 0)
+        assert lens.sync_from_right(4) == (4, 0)
+
+    def test_round_trip_laws(self):
+        report = check_symmetric_laws(offset_lens(), config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestBijectionLift:
+    def test_trivial_complement(self):
+        from repro.models.space import FiniteSpace
+        evens = FiniteSpace(range(0, 21, 2), name="evens")
+        lens = symmetric_from_bijection(
+            "double", IntRangeSpace(0, 10), evens,
+            to_right=lambda x: 2 * x, to_left=lambda y: y // 2)
+        assert lens.putr(3, None) == (6, None)
+        assert lens.putl(6, None) == (3, None)
+        report = check_symmetric_laws(lens, config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestComposition:
+    def make(self) -> ComposeSymmetricLens:
+        from repro.models.space import FiniteSpace
+        evens = FiniteSpace(range(2, 23, 2), name="evens")
+        first = symmetric_from_bijection(
+            "inc", IntRangeSpace(0, 10), IntRangeSpace(1, 11),
+            to_right=lambda x: x + 1, to_left=lambda y: y - 1)
+        second = symmetric_from_bijection(
+            "double", IntRangeSpace(1, 11), evens,
+            to_right=lambda x: 2 * x, to_left=lambda y: y // 2)
+        return first >> second
+
+    def test_complements_pair_up(self):
+        lens = self.make()
+        assert lens.missing() == (None, None)
+        right, complement = lens.putr(3, lens.missing())
+        assert right == 8
+        assert complement == (None, None)
+
+    def test_putl_reverses(self):
+        lens = self.make()
+        left, _complement = lens.putl(8, lens.missing())
+        assert left == 3
+
+    def test_composed_laws(self):
+        report = check_symmetric_laws(self.make(), config=CONFIG)
+        assert report.all_passed, report.summary()
+
+
+class TestForgetfulBx:
+    def test_state_view_loses_complement(self):
+        """Forgetting the complement resets the offset to the default."""
+        lens = offset_lens()
+        bx = lens.to_bx()
+        # With the default complement 0, fwd(x) == x.
+        assert bx.fwd(5, 99) == 5
+        assert bx.consistent(5, 5)
+        assert not bx.consistent(5, 9)
+        assert bx.bwd(99, 7) == 7

@@ -1,0 +1,147 @@
+"""Tests for the workload harness (generators, workloads, metrics,
+reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import composers_bx
+from repro.core.laws import CheckConfig, CheckReport, LawResult
+from repro.core.properties import CheckStatus
+from repro.harness import (
+    SyncResult,
+    bwd_change_size,
+    claims_table,
+    composer_pool,
+    composers_bwd_workload,
+    composers_edit_workload,
+    composers_fwd_workload,
+    consistent_composer_pair,
+    fwd_change_size,
+    large_composer_model,
+    large_pair_list,
+    law_report_table,
+    random_pair_edit_script,
+    restoration_report,
+    run_sync_workload,
+    scaled_names,
+    text_table,
+    time_callable,
+)
+
+
+class TestGenerators:
+    def test_scaled_names_distinct(self):
+        names = scaled_names(100)
+        assert len(set(names)) == 100
+
+    def test_composer_pool_size_and_determinism(self):
+        first = composer_pool(50, seed=1)
+        second = composer_pool(50, seed=1)
+        assert first == second
+        assert len({c.name for c in first}) == 50
+        assert composer_pool(50, seed=2) != first
+
+    def test_large_models(self):
+        model = large_composer_model(200)
+        assert len(model) == 200
+        listing = large_pair_list(200)
+        assert len(listing) == 200
+
+    def test_consistent_pair_really_consistent(self):
+        bx = composers_bx()
+        left, right = consistent_composer_pair(100, seed=3)
+        assert bx.consistent(left, right)
+        assert list(right) != sorted(right)  # shuffled, not canonical
+
+    def test_edit_scripts_apply_cleanly(self):
+        listing = large_pair_list(50, seed=4)
+        script = random_pair_edit_script(listing, edits=30, seed=4)
+        edited = script.apply(listing)
+        assert isinstance(edited, tuple)
+        assert len(script) == 30
+
+    def test_edit_mix_ratios(self):
+        listing = large_pair_list(50, seed=5)
+        adds_only = random_pair_edit_script(listing, 20, seed=5,
+                                            add_ratio=1.0, delete_ratio=0.0)
+        edited = adds_only.apply(listing)
+        assert len(edited) == 70
+
+    def test_empty_model_edits(self):
+        script = random_pair_edit_script((), edits=5, seed=6)
+        assert len(script.apply(())) >= 1  # must have inserted
+
+
+class TestWorkloads:
+    def test_fwd_workload_restores_consistency(self):
+        bx = composers_bx()
+        workload = composers_fwd_workload(size=60, perturbation=10)
+        restored = workload.run_once()
+        left, _perturbed = workload.setup()
+        assert bx.consistent(left, restored)
+
+    def test_bwd_workload_restores_consistency(self):
+        bx = composers_bx()
+        workload = composers_bwd_workload(size=60, perturbation=10)
+        repaired = workload.run_once()
+        _left, perturbed = workload.setup()
+        assert bx.consistent(repaired, perturbed)
+
+    def test_edit_session_ends_consistent(self):
+        workload = composers_edit_workload(size=40, edits=15)
+        result = workload.run_once()
+        assert isinstance(result, SyncResult)
+        assert result.consistent_after
+
+    def test_run_sync_workload_postcondition(self):
+        workload = composers_edit_workload(size=20, edits=5)
+        run_sync_workload(workload,
+                          check=lambda r: r.consistent_after)
+        with pytest.raises(AssertionError):
+            run_sync_workload(workload, check=lambda r: False)
+
+
+class TestMetrics:
+    def test_time_callable(self):
+        seconds, value = time_callable(lambda: sum(range(1000)))
+        assert value == 499500
+        assert seconds >= 0
+
+    def test_change_sizes(self):
+        assert fwd_change_size((1, 2, 3), (1, 3)) == 1
+        assert bwd_change_size(frozenset({1, 2}), frozenset({2, 3})) == 2
+
+    def test_restoration_report_rows(self):
+        bx = composers_bx()
+        left, right = consistent_composer_pair(30, seed=7)
+        report = restoration_report(bx, left, right, "fwd")
+        assert report.bx_name == "composers"
+        assert report.change_size == 0  # already consistent
+        assert "ms" in report.row()[3]
+
+
+class TestReporting:
+    def test_text_table_alignment(self):
+        table = text_table(("name", "n"), [("composers", 1), ("x", 20)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_law_report_table(self):
+        report = CheckReport("demo", [
+            LawResult("correct", "demo", CheckStatus.PASSED, trials=5)])
+        table = law_report_table([report])
+        assert "correct" in table and "passed" in table
+
+    def test_claims_table_verdicts(self):
+        report = CheckReport("demo", [
+            LawResult("correct", "demo", CheckStatus.PASSED,
+                      note="claimed holds, measured holds"),
+            LawResult("undoable", "demo", CheckStatus.FAILED),
+            LawResult("simply matching", "demo", CheckStatus.SKIPPED)])
+        table = claims_table(report)
+        assert "agrees" in table
+        assert "DISAGREES" in table
+        assert "unchecked" in table

@@ -1,0 +1,124 @@
+"""E13: the same example across formalisms agrees on common scenarios.
+
+The repository's purpose is "that meaningful comparisons between
+formalisms will be easier to make" (§1).  Here the comparison is run
+mechanically: Composers as (a) the symmetric state-based bx, (b) the
+Boomerang-style string lens's induced bx, and (c) the remembering
+symmetric lens's induced state-based bx, on shared scenarios expressed
+in each formalism's model language.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogue.composers import (
+    RememberingComposersLens,
+    composers_bx,
+    make_composer,
+    pair_of,
+)
+from repro.catalogue.strings import ComposerLinesLens
+
+
+def pairs_of_view_lines(lines: tuple) -> list[tuple[str, str]]:
+    return [tuple(part.strip() for part in line.split(","))
+            for line in lines]
+
+
+def source_lines_of_model(model: frozenset) -> tuple:
+    return tuple(f"{c.name}, {c.dates}, {c.nationality}"
+                 for c in sorted(model, key=lambda c: c.as_tuple()))
+
+
+BRITTEN = make_composer("Britten", "1913-1976", "English")
+ELGAR = make_composer("Elgar", "1857-1934", "English")
+
+
+class TestStateVsStringOnDeletion:
+    """Deleting a composer's entry deletes the composer in both
+    formalisms, and both lose the dates on re-add."""
+
+    def test_state_based(self):
+        bx = composers_bx()
+        model = frozenset({BRITTEN, ELGAR})
+        shrunk = bx.bwd(model, (("Elgar", "English"),))
+        assert shrunk == frozenset({ELGAR})
+
+    def test_string_lens(self):
+        lens = ComposerLinesLens()
+        source = source_lines_of_model(frozenset({BRITTEN, ELGAR}))
+        merged = lens.put(("Elgar, English",), source)
+        assert merged == ("Elgar, 1857-1934, English",)
+
+    def test_both_lose_dates_on_delete_then_readd(self):
+        bx = composers_bx()
+        lens = ComposerLinesLens()
+        model = frozenset({BRITTEN})
+        source = source_lines_of_model(model)
+
+        state_result = bx.bwd(bx.bwd(model, ()), (("Britten", "English"),))
+        string_result = lens.put(("Britten, English",),
+                                 lens.put((), source))
+
+        (state_composer,) = state_result
+        (string_line,) = string_result
+        assert state_composer.dates == "????-????"
+        assert "????-????" in string_line
+
+    def test_remembering_lens_disagrees_by_design(self):
+        """The complement formalism is the one that *can* restore."""
+        lens = RememberingComposersLens()
+        model = frozenset({BRITTEN})
+        listing, complement = lens.putr(model, lens.missing())
+        _gone, complement = lens.putl((), complement)
+        restored, _complement = lens.putl(listing, complement)
+        assert restored == model  # dates preserved, unlike the others
+
+
+class TestAdditionAgreement:
+    """Adding a new pair creates an unknown-dates composer everywhere."""
+
+    def test_state_based(self):
+        bx = composers_bx()
+        grown = bx.bwd(frozenset({ELGAR}),
+                       (("Elgar", "English"), ("Purcell", "Welsh")))
+        added = next(c for c in grown if c.name == "Purcell")
+        assert added.dates == "????-????"
+
+    def test_string_lens(self):
+        lens = ComposerLinesLens()
+        merged = lens.put(("Elgar, English", "Purcell, Welsh"),
+                          ("Elgar, 1857-1934, English",))
+        assert merged[1] == "Purcell, ????-????, Welsh"
+
+    def test_resulting_pairs_identical(self):
+        bx = composers_bx()
+        lens = ComposerLinesLens()
+        model = frozenset({ELGAR})
+        view = (("Elgar", "English"), ("Purcell", "Welsh"))
+
+        state_pairs = sorted(pair_of(c) for c in bx.bwd(model, view))
+        string_pairs = sorted(pairs_of_view_lines(
+            lens.get(lens.put(tuple(f"{n}, {nat}" for n, nat in view),
+                              source_lines_of_model(model)))))
+        assert state_pairs == string_pairs
+
+
+class TestForwardAgreement:
+    def test_fwd_and_get_produce_the_same_pairs(self):
+        bx = composers_bx()
+        lens = ComposerLinesLens()
+        model = frozenset({BRITTEN, ELGAR})
+        state_pairs = set(bx.fwd(model, ()))
+        string_pairs = set(pairs_of_view_lines(
+            lens.get(source_lines_of_model(model))))
+        assert state_pairs == string_pairs
+
+    def test_induced_bx_from_lens_is_correct_and_hippocratic(self):
+        from repro.core.laws import CheckConfig, check_bx_properties
+        induced = ComposerLinesLens().to_bx()
+        report = check_bx_properties(
+            induced, config=CheckConfig(trials=150, seed=37))
+        assert report.result_for("correct").passed
+        assert report.result_for("hippocratic").passed

@@ -1,0 +1,179 @@
+"""Hypothesis property tests over the flagship artefacts.
+
+The law harness samples from the library's own seeded spaces; these
+tests add an *independent* generator (hypothesis) so the invariants are
+not hostage to one sampling strategy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalogue.composers import (
+    composers_bx,
+    make_composer,
+    pairs_of_model,
+)
+from repro.catalogue.composers.models import DATES, NAMES, NATIONALITIES
+from repro.catalogue.strings import ComposerLinesLens
+from repro.repository.wiki_sync import WikiSyncLens, normalise_entry
+from tests.repository.test_entry import minimal_entry
+
+# ----------------------------------------------------------------------
+# Strategies.
+# ----------------------------------------------------------------------
+
+composers = st.builds(
+    make_composer,
+    st.sampled_from(NAMES),
+    st.sampled_from(DATES),
+    st.sampled_from(NATIONALITIES))
+
+models = st.frozensets(composers, max_size=6)
+
+pairs = st.tuples(st.sampled_from(NAMES), st.sampled_from(NATIONALITIES))
+
+listings = st.lists(pairs, max_size=8).map(tuple)
+
+source_lines = st.lists(
+    st.builds(lambda n, d, t: f"{n}, {d}, {t}",
+              st.sampled_from(NAMES), st.sampled_from(DATES),
+              st.sampled_from(NATIONALITIES)),
+    max_size=6).map(tuple)
+
+view_lines = st.lists(
+    st.builds(lambda n, t: f"{n}, {t}",
+              st.sampled_from(NAMES), st.sampled_from(NATIONALITIES)),
+    max_size=6).map(tuple)
+
+
+class TestComposersInvariants:
+    @given(models, listings)
+    @settings(max_examples=300, deadline=None)
+    def test_fwd_establishes_consistency(self, model, listing):
+        bx = composers_bx()
+        assert bx.consistent(model, bx.fwd(model, listing))
+
+    @given(models, listings)
+    @settings(max_examples=300, deadline=None)
+    def test_bwd_establishes_consistency(self, model, listing):
+        bx = composers_bx()
+        assert bx.consistent(bx.bwd(model, listing), listing)
+
+    @given(models, listings)
+    @settings(max_examples=200, deadline=None)
+    def test_fwd_is_idempotent(self, model, listing):
+        bx = composers_bx()
+        once = bx.fwd(model, listing)
+        assert bx.fwd(model, once) == once
+
+    @given(models, listings)
+    @settings(max_examples=200, deadline=None)
+    def test_bwd_is_idempotent(self, model, listing):
+        bx = composers_bx()
+        once = bx.bwd(model, listing)
+        assert bx.bwd(once, listing) == once
+
+    @given(models, listings)
+    @settings(max_examples=200, deadline=None)
+    def test_fwd_preserves_matched_prefix_order(self, model, listing):
+        """Survivors keep their relative order (stable deletion)."""
+        bx = composers_bx()
+        result = bx.fwd(model, listing)
+        authoritative = pairs_of_model(model)
+        survivors = [pair for pair in listing if pair in authoritative]
+        assert list(result[:len(survivors)]) == survivors
+
+    @given(models, listings)
+    @settings(max_examples=200, deadline=None)
+    def test_fwd_appended_block_sorted_and_duplicate_free(self, model,
+                                                          listing):
+        bx = composers_bx()
+        result = bx.fwd(model, listing)
+        authoritative = pairs_of_model(model)
+        survivors = [pair for pair in listing if pair in authoritative]
+        block = list(result[len(survivors):])
+        assert block == sorted(block)
+        assert len(set(block)) == len(block)
+
+    @given(models, listings)
+    @settings(max_examples=200, deadline=None)
+    def test_bwd_never_invents_dates(self, model, listing):
+        """Every composer in the repaired model either existed or has
+        the unknown-dates placeholder."""
+        bx = composers_bx()
+        repaired = bx.bwd(model, listing)
+        for composer in repaired:
+            assert composer in model or composer.dates == "????-????"
+
+    @given(models)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_from_authoritative_left(self, model):
+        """fwd then bwd from the same authority is stable on the left."""
+        bx = composers_bx()
+        listing = bx.fwd(model, ())
+        assert bx.bwd(model, listing) == model
+
+
+class TestStringLensInvariants:
+    @given(source_lines)
+    @settings(max_examples=250, deadline=None)
+    def test_getput(self, source):
+        lens = ComposerLinesLens()
+        assert lens.put(lens.get(source), source) == source
+
+    @given(view_lines, source_lines)
+    @settings(max_examples=250, deadline=None)
+    def test_putget(self, view, source):
+        lens = ComposerLinesLens()
+        assert lens.get(lens.put(view, source)) == view
+
+    @given(view_lines)
+    @settings(max_examples=150, deadline=None)
+    def test_createget(self, view):
+        lens = ComposerLinesLens()
+        assert lens.get(lens.create(view)) == view
+
+    @given(view_lines, source_lines)
+    @settings(max_examples=150, deadline=None)
+    def test_put_never_loses_claimable_dates(self, view, source):
+        """Dates only become ???? when the key count genuinely exceeds
+        the source's supply for that key."""
+        lens = ComposerLinesLens()
+        merged = lens.put(view, source)
+        supply: dict = {}
+        for line in source:
+            name, _dates, nat = [p.strip() for p in line.split(",")]
+            supply[(name, nat)] = supply.get((name, nat), 0) + 1
+        for line in merged:
+            name, dates, nat = [p.strip() for p in line.split(",")]
+            if dates == "????-????":
+                continue
+            assert supply.get((name, nat), 0) > 0
+            supply[(name, nat)] -= 1
+
+
+overview_texts = st.text(
+    alphabet="abcdefg .", min_size=1, max_size=60).filter(
+    lambda s: s.strip(" ."))
+
+
+class TestWikiSyncInvariants:
+    @given(overview_texts, overview_texts)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_with_arbitrary_free_text(self, overview,
+                                                 discussion):
+        lens = WikiSyncLens()
+        entry = normalise_entry(minimal_entry(
+            overview=overview + ".", discussion=discussion + "."))
+        assert lens.put(lens.get(entry), entry) == entry
+
+    @given(st.lists(st.sampled_from(
+        ["Ann", "Bob", "Cyd", "Dee"]), min_size=1, max_size=4,
+        unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_author_lists_round_trip(self, authors):
+        lens = WikiSyncLens()
+        entry = normalise_entry(minimal_entry(authors=tuple(authors)))
+        assert lens.put(lens.get(entry), entry).authors == tuple(authors)

@@ -1,0 +1,126 @@
+"""Metric-law property tests for model distances (repro.models.distance)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.distance import (
+    mapping_distance,
+    record_distance,
+    sequence_edit_distance,
+    set_distance,
+    tree_distance,
+)
+from repro.models.records import FieldDef, RecordType
+from repro.models.space import IntRangeSpace
+from repro.models.trees import Node
+
+short_lists = st.lists(st.integers(0, 3), max_size=6)
+small_sets = st.frozensets(st.integers(0, 6), max_size=6)
+small_maps = st.dictionaries(st.integers(0, 4), st.integers(0, 3),
+                             max_size=5)
+
+
+class TestSequenceEditDistance:
+    def test_known_values(self):
+        assert sequence_edit_distance((), ()) == 0
+        assert sequence_edit_distance((1, 2, 3), (1, 2, 3)) == 0
+        assert sequence_edit_distance((1, 2, 3), (1, 3)) == 1
+        assert sequence_edit_distance("kitten", "sitting") == 3
+
+    @given(short_lists, short_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry(self, a, b):
+        assert sequence_edit_distance(a, b) == sequence_edit_distance(b, a)
+
+    @given(short_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_identity(self, a):
+        assert sequence_edit_distance(a, a) == 0
+
+    @given(short_lists, short_lists, short_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert sequence_edit_distance(a, c) <= \
+            sequence_edit_distance(a, b) + sequence_edit_distance(b, c)
+
+
+class TestSetDistance:
+    def test_known_values(self):
+        assert set_distance(frozenset(), frozenset()) == 0
+        assert set_distance({1, 2}, {2, 3}) == 2
+
+    @given(small_sets, small_sets, small_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_metric_laws(self, a, b, c):
+        assert set_distance(a, a) == 0
+        assert set_distance(a, b) == set_distance(b, a)
+        assert set_distance(a, c) <= set_distance(a, b) + set_distance(b, c)
+
+
+class TestRecordDistance:
+    TYPE = RecordType("T", [FieldDef("a", IntRangeSpace(0, 9)),
+                            FieldDef("b", IntRangeSpace(0, 9))])
+
+    def test_field_count(self):
+        first = self.TYPE.make(a=1, b=2)
+        assert record_distance(first, self.TYPE.make(a=1, b=2)) == 0
+        assert record_distance(first, self.TYPE.make(a=1, b=3)) == 1
+        assert record_distance(first, self.TYPE.make(a=0, b=3)) == 2
+
+    def test_cross_type_is_far(self):
+        other = RecordType("U", [FieldDef("a", IntRangeSpace(0, 9))])
+        distance = record_distance(self.TYPE.make(a=1, b=2),
+                                   other.make(a=1))
+        assert distance > 2
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            record_distance(1, 2)
+
+
+class TestMappingDistance:
+    def test_known_values(self):
+        assert mapping_distance({}, {}) == 0
+        assert mapping_distance({1: "a"}, {1: "b"}) == 1
+        assert mapping_distance({1: "a"}, {2: "a"}) == 2
+
+    @given(small_maps, small_maps, small_maps)
+    @settings(max_examples=150, deadline=None)
+    def test_metric_laws(self, a, b, c):
+        assert mapping_distance(a, a) == 0
+        assert mapping_distance(a, b) == mapping_distance(b, a)
+        assert mapping_distance(a, c) <= \
+            mapping_distance(a, b) + mapping_distance(b, c)
+
+
+def small_trees(depth: int = 2):
+    labels = st.sampled_from(["a", "b"])
+    if depth == 0:
+        return st.builds(Node, labels)
+    return st.builds(
+        lambda label, children: Node(label, children=children),
+        labels, st.lists(small_trees(depth - 1), max_size=2))
+
+
+class TestTreeDistance:
+    def test_known_values(self):
+        assert tree_distance(Node("a"), Node("a")) == 0
+        assert tree_distance(Node("a"), Node("b")) == 1
+        assert tree_distance(None, Node("a", children=[Node("b")])) == 2
+
+    def test_surplus_children_cost_their_size(self):
+        big = Node("a", children=[Node("b", children=[Node("c")])])
+        assert tree_distance(Node("a"), big) == 2
+
+    @given(small_trees(), small_trees())
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_identity(self, first, second):
+        assert tree_distance(first, first) == 0
+        assert tree_distance(first, second) == tree_distance(second, first)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            tree_distance("x", Node("a"))

@@ -1,0 +1,86 @@
+"""Unit tests for ordered-list models and helpers (repro.models.lists)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelSpaceError
+from repro.models.lists import (
+    OrderedListSpace,
+    append_sorted_block,
+    dedupe_preserving_order,
+    insert_sorted,
+    stable_delete,
+)
+from repro.models.space import IntRangeSpace
+
+
+class TestOrderedListSpace:
+    def test_membership(self, rng):
+        space = OrderedListSpace(IntRangeSpace(0, 5), max_length=4)
+        assert space.contains((1, 2, 2))
+        assert not space.contains([1, 2])
+        assert not space.contains((9,))
+        assert space.contains(space.sample(rng))
+
+    def test_unique_mode(self, rng):
+        space = OrderedListSpace(IntRangeSpace(0, 5), max_length=4,
+                                 unique=True)
+        assert space.contains((1, 2))
+        assert not space.contains((1, 1))
+        sample = space.sample(rng)
+        assert len(set(sample)) == len(sample)
+
+    def test_validate_messages(self):
+        space = OrderedListSpace(IntRangeSpace(0, 5), unique=True)
+        with pytest.raises(ModelSpaceError, match="expected a tuple"):
+            space.validate([1])
+        with pytest.raises(ModelSpaceError, match="element"):
+            space.validate((9,))
+        with pytest.raises(ModelSpaceError, match="duplicates"):
+            space.validate((1, 1))
+
+    def test_length_bounds_steer_sampling_only(self):
+        space = OrderedListSpace(IntRangeSpace(0, 5), max_length=2)
+        assert space.contains((1, 2, 3, 4))  # member despite bounds
+
+    def test_enumeration_small(self):
+        space = OrderedListSpace(IntRangeSpace(0, 1), max_length=2)
+        members = list(space.enumerate_members())
+        assert () in members and (0, 1) in members
+        assert len(members) == 1 + 2 + 4
+
+    def test_empty_helper(self):
+        assert OrderedListSpace(IntRangeSpace(0, 1)).empty() == ()
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            OrderedListSpace(IntRangeSpace(0, 1), min_length=3,
+                             max_length=1)
+
+
+class TestHelpers:
+    def test_stable_delete_keeps_order(self):
+        assert stable_delete((3, 1, 4, 1, 5), lambda x: x != 1) == (3, 4, 5)
+
+    def test_stable_delete_no_mutation(self):
+        items = [3, 1, 4]
+        stable_delete(items, lambda x: x > 1)
+        assert items == [3, 1, 4]
+
+    def test_append_sorted_block(self):
+        result = append_sorted_block((5, 1), (4, 2, 3))
+        assert result == (5, 1, 2, 3, 4)  # prefix untouched, block sorted
+
+    def test_append_sorted_block_with_key(self):
+        result = append_sorted_block(("z",), ("bb", "a"), key=len)
+        assert result == ("z", "a", "bb")
+
+    def test_insert_sorted_position(self):
+        assert insert_sorted((1, 3, 5), 4) == (1, 3, 4, 5)
+        assert insert_sorted((), 1) == (1,)
+        assert insert_sorted((2, 1), 0) == (0, 2, 1)  # first fit only
+
+    def test_dedupe_preserving_order(self):
+        assert dedupe_preserving_order((3, 1, 3, 2, 1)) == (3, 1, 2)
+        assert dedupe_preserving_order(()) == ()

@@ -1,0 +1,137 @@
+"""Unit tests for record models (repro.models.records)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetamodelError, ModelSpaceError
+from repro.models.records import FieldDef, Record, RecordSetSpace, RecordType
+from repro.models.space import FiniteSpace, IntRangeSpace
+
+
+def person_type() -> RecordType:
+    return RecordType("Person", [
+        FieldDef("name", FiniteSpace(["ann", "bob"])),
+        FieldDef("age", IntRangeSpace(0, 120)),
+    ])
+
+
+class TestRecordType:
+    def test_make_and_access(self):
+        person = person_type().make(name="ann", age=30)
+        assert person.name == "ann"
+        assert person["age"] == 30
+        assert person.as_dict() == {"name": "ann", "age": 30}
+        assert person.as_tuple() == ("ann", 30)
+
+    def test_make_validates_field_spaces(self):
+        with pytest.raises(MetamodelError, match="age"):
+            person_type().make(name="ann", age=999)
+
+    def test_missing_and_extra_fields(self):
+        with pytest.raises(MetamodelError, match="missing"):
+            Record(person_type(), {"name": "ann"})
+        with pytest.raises(MetamodelError, match="unexpected"):
+            Record(person_type(), {"name": "ann", "age": 1, "x": 2})
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(MetamodelError, match="duplicate"):
+            RecordType("Bad", [FieldDef("a", IntRangeSpace(0, 1)),
+                               FieldDef("a", IntRangeSpace(0, 1))])
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(MetamodelError):
+            RecordType("Empty", [])
+
+    def test_contains(self):
+        rtype = person_type()
+        assert rtype.contains(rtype.make(name="bob", age=1))
+        assert not rtype.contains("not a record")
+
+    def test_sample_conforms(self, rng):
+        rtype = person_type()
+        assert rtype.contains(rtype.sample(rng))
+
+
+class TestRecordValueSemantics:
+    def test_equality_and_hash(self):
+        rtype = person_type()
+        first = rtype.make(name="ann", age=5)
+        second = rtype.make(name="ann", age=5)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != rtype.make(name="ann", age=6)
+
+    def test_immutability(self):
+        person = person_type().make(name="ann", age=5)
+        with pytest.raises(AttributeError):
+            person.age = 6  # type: ignore[misc]
+
+    def test_with_field(self):
+        person = person_type().make(name="ann", age=5)
+        older = person.with_field("age", 6)
+        assert older.age == 6
+        assert person.age == 5  # original untouched
+
+    def test_with_field_unknown(self):
+        with pytest.raises(MetamodelError):
+            person_type().make(name="ann", age=5).with_field("x", 1)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            person_type().make(name="ann", age=5).height
+
+    def test_repr_shows_fields(self):
+        assert "name='ann'" in repr(person_type().make(name="ann", age=5))
+
+
+class TestRecordSpace:
+    def test_single_record_space(self, rng):
+        space = person_type().space()
+        member = person_type().make(name="ann", age=5)
+        assert space.contains(member)
+        assert not space.contains("junk")
+        assert space.contains(space.sample(rng))
+
+    def test_enumeration_when_finite(self):
+        rtype = RecordType("Tiny", [
+            FieldDef("a", IntRangeSpace(0, 1)),
+            FieldDef("b", FiniteSpace("xy")),
+        ])
+        members = list(rtype.space().enumerate_members())
+        assert len(members) == 4
+
+    def test_validate_explains(self):
+        space = person_type().space()
+        with pytest.raises(ModelSpaceError):
+            space.validate(42)
+
+
+class TestRecordSetSpace:
+    def test_membership(self, rng):
+        space = person_type().set_space(max_size=4)
+        model = frozenset({person_type().make(name="ann", age=1)})
+        assert space.contains(model)
+        assert space.contains(frozenset())
+        assert not space.contains({person_type().make(name="ann", age=1)})
+        assert space.contains(space.sample(rng))
+
+    def test_membership_ignores_size_bounds(self):
+        """Bounds steer sampling only; big models are still members."""
+        space = person_type().set_space(max_size=1)
+        rtype = person_type()
+        big = frozenset({rtype.make(name="ann", age=age)
+                         for age in range(10)})
+        assert space.contains(big)
+
+    def test_validate_names_bad_element(self):
+        space = person_type().set_space()
+        with pytest.raises(ModelSpaceError):
+            space.validate(frozenset({"junk"}))
+
+    def test_empty_helper(self):
+        assert person_type().set_space().empty() == frozenset()
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RecordSetSpace(person_type(), min_size=3, max_size=1)

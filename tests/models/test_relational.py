@@ -1,0 +1,167 @@
+"""Unit tests for the relational substrate (repro.models.relational)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetamodelError
+from repro.models.relational import (
+    Attribute,
+    Database,
+    DatabaseSpace,
+    Relation,
+    RelationSchema,
+    RelationSpace,
+    difference,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.models.space import FiniteSpace, IntRangeSpace
+
+IDS = IntRangeSpace(1, 9, name="ids")
+NAMES = FiniteSpace(["ann", "bob", "cyd"], name="names")
+CITIES = FiniteSpace(["rome", "banff"], name="cities")
+
+
+def emp_schema() -> RelationSchema:
+    return RelationSchema("Emp", [
+        Attribute("id", IDS), Attribute("name", NAMES),
+        Attribute("city", CITIES)], key=["id"])
+
+
+def emp() -> Relation:
+    return Relation(emp_schema(), {
+        (1, "ann", "rome"), (2, "bob", "banff"), (3, "cyd", "rome")})
+
+
+class TestRelationSchema:
+    def test_index_and_key(self):
+        schema = emp_schema()
+        assert schema.index_of("name") == 1
+        assert schema.key_of((1, "ann", "rome")) == (1,)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(MetamodelError):
+            emp_schema().index_of("salary")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(MetamodelError):
+            RelationSchema("Bad", [Attribute("a", IDS),
+                                   Attribute("a", IDS)])
+
+    def test_key_must_name_attributes(self):
+        with pytest.raises(MetamodelError):
+            RelationSchema("Bad", [Attribute("a", IDS)], key=["z"])
+
+    def test_validate_row(self):
+        schema = emp_schema()
+        schema.validate_row((1, "ann", "rome"))
+        with pytest.raises(MetamodelError):
+            schema.validate_row((1, "ann"))
+        with pytest.raises(MetamodelError):
+            schema.validate_row((1, "nobody", "rome"))
+
+
+class TestRelation:
+    def test_key_violation_detected(self):
+        with pytest.raises(MetamodelError, match="key violation"):
+            Relation(emp_schema(), {(1, "ann", "rome"),
+                                    (1, "bob", "banff")})
+
+    def test_insert_delete_pure(self):
+        relation = emp()
+        grown = relation.insert((4, "ann", "banff"))
+        assert len(grown) == 4
+        assert len(relation) == 3
+        shrunk = grown.delete((4, "ann", "banff"))
+        assert shrunk == relation
+
+    def test_column(self):
+        assert emp().column("city") == frozenset({"rome", "banff"})
+
+    def test_rows_as_dicts_sorted(self):
+        rows = emp().rows_as_dicts()
+        assert rows[0] == {"id": 1, "name": "ann", "city": "rome"}
+
+    def test_equality_by_value(self):
+        assert emp() == emp()
+        assert hash(emp()) == hash(emp())
+
+
+class TestAlgebra:
+    def test_project(self):
+        view = project(emp(), ["id", "name"], key=["id"])
+        assert view.schema.attribute_names == ["id", "name"]
+        assert (1, "ann") in view.rows
+
+    def test_select(self):
+        romans = select(emp(), lambda row: row["city"] == "rome")
+        assert len(romans) == 2
+
+    def test_natural_join(self):
+        dept_schema = RelationSchema("Dept", [
+            Attribute("city", CITIES), Attribute("id2", IDS)])
+        dept = Relation(dept_schema, {("rome", 7)})
+        joined = natural_join(emp(), dept)
+        assert len(joined) == 2  # the two rome employees
+        assert joined.schema.attribute_names == ["id", "name", "city", "id2"]
+
+    def test_rename(self):
+        renamed = rename(emp(), {"city": "location"})
+        assert "location" in renamed.schema.attribute_names
+        assert renamed.schema.key == ("id",)
+
+    def test_union_and_difference(self):
+        schema = RelationSchema("T", [Attribute("a", IDS)])
+        first = Relation(schema, {(1,), (2,)})
+        second = Relation(schema, {(2,), (3,)})
+        assert len(union(first, second)) == 3
+        assert difference(first, second).rows == {(1,)}
+
+    def test_union_incompatible(self):
+        other = RelationSchema("U", [Attribute("b", IDS)])
+        with pytest.raises(MetamodelError):
+            union(Relation(RelationSchema("T", [Attribute("a", IDS)])),
+                  Relation(other))
+
+
+class TestDatabase:
+    def test_lookup_and_replace(self):
+        db = Database([emp()])
+        assert db.relation("Emp") == emp()
+        updated = db.with_relation(emp().insert((5, "bob", "rome")))
+        assert len(updated.relation("Emp")) == 4
+        assert len(db.relation("Emp")) == 3
+
+    def test_unknown_relation(self):
+        with pytest.raises(MetamodelError, match="Emp"):
+            Database([emp()]).relation("Nope")
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(MetamodelError):
+            Database([emp(), emp()])
+
+
+class TestSpaces:
+    def test_relation_space(self, rng):
+        space = RelationSpace(emp_schema(), max_rows=5)
+        sample = space.sample(rng)
+        assert space.contains(sample)
+        assert space.contains(space.empty())
+        assert not space.contains("junk")
+
+    def test_relation_space_checks_schema_name(self):
+        other = RelationSchema("Other", emp_schema().attributes,
+                               key=["id"])
+        space = RelationSpace(emp_schema())
+        assert not space.contains(Relation(other))
+
+    def test_database_space(self, rng):
+        space = DatabaseSpace([RelationSpace(emp_schema(), max_rows=3)])
+        sample = space.sample(rng)
+        assert space.contains(sample)
+        assert space.contains(space.empty())
+        assert not space.contains(Database([]))

@@ -1,0 +1,214 @@
+"""Unit and property tests for model spaces (repro.models.space)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ModelSpaceError
+from repro.models.space import (
+    FiniteSpace,
+    IntRangeSpace,
+    MappedSpace,
+    PredicateSpace,
+    ProductSpace,
+    SumSpace,
+    TextSpace,
+    UniversalSpace,
+)
+
+
+class TestFiniteSpace:
+    def test_membership_and_sampling(self, rng):
+        space = FiniteSpace(["a", "b", "c"])
+        assert space.contains("a")
+        assert not space.contains("z")
+        assert space.sample(rng) in {"a", "b", "c"}
+
+    def test_enumeration(self):
+        space = FiniteSpace([3, 1, 2])
+        assert list(space.enumerate_members()) == [3, 1, 2]
+        assert space.is_finite()
+        assert len(space) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteSpace([])
+
+    def test_unhashable_members(self, rng):
+        space = FiniteSpace([[1], [2]], hashable=False)
+        assert space.contains([1])
+        assert not space.contains([3])
+
+    def test_unhashable_query_against_hashable_space(self):
+        assert not FiniteSpace([1, 2]).contains([1])
+
+    def test_validate_raises_with_context(self):
+        space = FiniteSpace([1], name="ones")
+        with pytest.raises(ModelSpaceError) as excinfo:
+            space.validate(2)
+        assert excinfo.value.value == 2
+
+
+class TestPredicateSpace:
+    def make(self) -> PredicateSpace:
+        return PredicateSpace(
+            predicate=lambda v: isinstance(v, int) and v % 2 == 0,
+            sampler=lambda rng: rng.randrange(0, 100, 2),
+            name="evens",
+            explain=lambda v: "odd or not an int")
+
+    def test_membership(self):
+        space = self.make()
+        assert space.contains(4)
+        assert not space.contains(3)
+
+    def test_validate_explains(self):
+        with pytest.raises(ModelSpaceError, match="odd or not an int"):
+            self.make().validate(3)
+
+    def test_buggy_sampler_detected(self, rng):
+        broken = PredicateSpace(
+            predicate=lambda v: False,
+            sampler=lambda rng: 1)
+        with pytest.raises(ModelSpaceError, match="sampler is buggy"):
+            broken.sample(rng)
+
+    def test_not_enumerable(self):
+        with pytest.raises(ModelSpaceError):
+            list(self.make().enumerate_members())
+
+
+class TestProductSpace:
+    def test_membership(self, rng):
+        space = ProductSpace(IntRangeSpace(0, 2), FiniteSpace(["x"]))
+        assert space.contains((1, "x"))
+        assert not space.contains((1, "y"))
+        assert not space.contains((1,))
+        assert not space.contains([1, "x"])
+        assert space.contains(space.sample(rng))
+
+    def test_enumeration(self):
+        space = ProductSpace(IntRangeSpace(0, 1), IntRangeSpace(0, 1))
+        assert sorted(space.enumerate_members()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_requires_factor(self):
+        with pytest.raises(ValueError):
+            ProductSpace()
+
+
+class TestSumSpace:
+    def make(self) -> SumSpace:
+        return SumSpace({"i": IntRangeSpace(0, 1),
+                         "s": FiniteSpace(["x"])})
+
+    def test_membership(self, rng):
+        space = self.make()
+        assert space.contains(("i", 1))
+        assert space.contains(("s", "x"))
+        assert not space.contains(("i", "x"))
+        assert not space.contains(("unknown", 1))
+        assert space.contains(space.sample(rng))
+
+    def test_enumeration_sorted_by_tag(self):
+        members = list(self.make().enumerate_members())
+        assert members == [("i", 0), ("i", 1), ("s", "x")]
+
+
+class TestMappedSpace:
+    def make(self) -> MappedSpace:
+        return MappedSpace(
+            IntRangeSpace(0, 3),
+            forward=str, backward=int,
+            contains=lambda v: isinstance(v, str) and v.isdigit(),
+            name="digit strings")
+
+    def test_membership(self, rng):
+        space = self.make()
+        assert space.contains("2")
+        assert not space.contains("9")
+        assert not space.contains(2)
+        assert space.contains(space.sample(rng))
+
+    def test_enumeration_maps(self):
+        assert list(self.make().enumerate_members()) == ["0", "1", "2", "3"]
+
+
+class TestUniversalSpace:
+    def test_contains_everything(self, rng):
+        space = UniversalSpace()
+        assert space.contains(object())
+        assert space.contains(None)
+        space.validate(42)  # must not raise
+        space.sample(rng)
+
+
+class TestIntRangeSpace:
+    def test_membership_excludes_bools(self):
+        space = IntRangeSpace(0, 1)
+        assert space.contains(0)
+        assert not space.contains(True)
+        assert not space.contains(1.0)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            IntRangeSpace(3, 2)
+
+    @given(st.integers(-50, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_matches_bounds(self, value):
+        space = IntRangeSpace(-10, 10)
+        assert space.contains(value) == (-10 <= value <= 10)
+
+    def test_sampling_in_range(self):
+        space = IntRangeSpace(5, 9)
+        rng = random.Random(1)
+        assert all(5 <= space.sample(rng) <= 9 for _ in range(50))
+
+
+class TestTextSpace:
+    def test_membership(self):
+        space = TextSpace("ab", min_length=1, max_length=3)
+        assert space.contains("aba")
+        assert not space.contains("")
+        assert not space.contains("abab")
+        assert not space.contains("xyz")
+        assert not space.contains(7)
+
+    def test_enumeration_small(self):
+        space = TextSpace("ab", min_length=0, max_length=2)
+        members = list(space.enumerate_members())
+        assert "" in members and "ab" in members
+        assert len(members) == 1 + 2 + 4
+
+    def test_large_space_refuses_enumeration(self):
+        space = TextSpace("abcdefgh", max_length=10)
+        assert not space.is_finite()
+        with pytest.raises(ModelSpaceError):
+            list(space.enumerate_members())
+
+    def test_sampling_reproducible(self):
+        space = TextSpace()
+        assert space.sample(random.Random(9)) == \
+            space.sample(random.Random(9))
+
+
+class TestSamplingDeterminism:
+    """Identical seeds must give identical samples everywhere (the law
+    harness's reproducibility guarantee)."""
+
+    @pytest.mark.parametrize("space", [
+        FiniteSpace([1, 2, 3]),
+        IntRangeSpace(0, 99),
+        ProductSpace(IntRangeSpace(0, 9), FiniteSpace("ab")),
+        SumSpace({"a": IntRangeSpace(0, 3)}),
+        TextSpace("abc", max_length=5),
+    ])
+    def test_reproducible(self, space):
+        first = space.sample_many(random.Random(42), 10)
+        second = space.sample_many(random.Random(42), 10)
+        assert first == second

@@ -1,0 +1,189 @@
+"""Unit tests for trees, graphs and metamodels."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetamodelError
+from repro.models.graphs import Graph, GraphEdge, GraphNode, GraphSpace
+from repro.models.metamodel import (
+    AttributeDef,
+    ClassDef,
+    Metamodel,
+    ReferenceDef,
+)
+from repro.models.space import FiniteSpace
+from repro.models.trees import Node, TreeSpace
+
+
+class TestNode:
+    def make(self) -> Node:
+        return Node("root", {"id": "r"}, children=[
+            Node("child", text="one"),
+            Node("child", text="two"),
+            Node("other"),
+        ])
+
+    def test_immutability(self):
+        node = self.make()
+        with pytest.raises(AttributeError):
+            node.label = "x"  # type: ignore[misc]
+        node.attributes["id"] = "changed"
+        assert node.attributes == {"id": "r"}  # copy returned
+
+    def test_queries(self):
+        node = self.make()
+        assert node.find("child").text == "one"
+        assert node.find("missing") is None
+        assert len(node.find_all("child")) == 2
+        assert node.size() == 4
+        assert node.depth() == 2
+        assert [n.label for n in node.walk()] == [
+            "root", "child", "child", "other"]
+
+    def test_pure_updates(self):
+        node = self.make()
+        grown = node.append_child(Node("new"))
+        assert grown.size() == 5
+        assert node.size() == 4
+        replaced = node.replace_child(0, Node("swapped"))
+        assert replaced.children[0].label == "swapped"
+        removed = node.remove_child(2)
+        assert removed.size() == 3
+
+    def test_with_helpers(self):
+        node = Node("a")
+        assert node.with_text("t").text == "t"
+        assert node.with_attribute("k", "v").attributes == {"k": "v"}
+
+    def test_map_nodes(self):
+        upper = self.make().map_nodes(
+            lambda n: Node(n.label.upper(), n.attributes, n.text,
+                           n.children))
+        assert upper.label == "ROOT"
+        assert upper.children[0].label == "CHILD"
+
+    def test_value_semantics(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        assert self.make() != Node("root")
+
+    def test_pretty_renders_nested(self):
+        text = self.make().pretty()
+        assert "<root" in text and "  <child>" in text
+
+
+class TestTreeSpace:
+    def test_membership_and_sampling(self, rng):
+        space = TreeSpace(["a", "b"], max_depth=3)
+        assert space.contains(Node("a", children=[Node("b")]))
+        assert not space.contains(Node("z"))
+        assert not space.contains("junk")
+        for _ in range(20):
+            assert space.contains(space.sample(rng))
+
+    def test_depth_bound(self):
+        space = TreeSpace(["a"], max_depth=1)
+        assert not space.contains(Node("a", children=[Node("a")]))
+
+
+class TestGraph:
+    def make(self) -> Graph:
+        return Graph(
+            [GraphNode.make("c1", "Class", {"name": "A"}),
+             GraphNode.make("a1", "Attribute", {"name": "x"})],
+            [GraphEdge("c1", "attrs", "a1")])
+
+    def test_referential_integrity(self):
+        with pytest.raises(MetamodelError, match="unknown source"):
+            Graph([], [GraphEdge("x", "e", "y")])
+
+    def test_duplicate_node_ids(self):
+        node = GraphNode.make("n", "T")
+        with pytest.raises(MetamodelError, match="duplicate"):
+            Graph([node, node])
+
+    def test_queries(self):
+        graph = self.make()
+        assert graph.node("c1").attribute("name") == "A"
+        assert graph.node("c1").attribute("missing", 0) == 0
+        assert [n.node_id for n in graph.nodes("Class")] == ["c1"]
+        assert graph.targets("c1", "attrs")[0].node_id == "a1"
+        assert graph.in_edges("a1")[0].source == "c1"
+
+    def test_remove_node_drops_incident_edges(self):
+        graph = self.make().remove_node("a1")
+        assert not graph.edges()
+        assert not graph.has_node("a1")
+
+    def test_replace_node(self):
+        graph = self.make().replace_node(
+            GraphNode.make("c1", "Class", {"name": "B"}))
+        assert graph.node("c1").attribute("name") == "B"
+
+    def test_value_semantics(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+
+    def test_node_with_attribute(self):
+        node = GraphNode.make("n", "T", {"a": 1})
+        assert node.with_attribute("a", 2).attribute("a") == 2
+        assert node.attribute("a") == 1
+
+
+class TestMetamodel:
+    def make(self) -> Metamodel:
+        return Metamodel("MM", [
+            ClassDef("Class",
+                     attributes=[AttributeDef("name",
+                                              FiniteSpace(["A", "B"]))],
+                     references=[ReferenceDef("attrs", "Attribute",
+                                              lower=1, upper=2)]),
+            ClassDef("Attribute",
+                     attributes=[AttributeDef("name",
+                                              FiniteSpace(["x"]))]),
+        ])
+
+    def conforming(self) -> Graph:
+        return Graph(
+            [GraphNode.make("c", "Class", {"name": "A"}),
+             GraphNode.make("a", "Attribute", {"name": "x"})],
+            [GraphEdge("c", "attrs", "a")])
+
+    def test_conforming_graph(self):
+        assert self.make().conforms(self.conforming())
+
+    def test_unknown_type(self):
+        graph = Graph([GraphNode.make("n", "Mystery")])
+        problems = self.make().check(graph)
+        assert any("unknown type" in p for p in problems)
+
+    def test_missing_attribute(self):
+        graph = Graph(
+            [GraphNode.make("c", "Class"),
+             GraphNode.make("a", "Attribute", {"name": "x"})],
+            [GraphEdge("c", "attrs", "a")])
+        problems = self.make().check(graph)
+        assert any("missing attribute" in p for p in problems)
+
+    def test_multiplicity_violation(self):
+        graph = Graph([GraphNode.make("c", "Class", {"name": "A"})])
+        problems = self.make().check(graph)
+        assert any("multiplicity" in p for p in problems)
+
+    def test_undeclared_edge_label(self):
+        graph = self.conforming().add_edge(GraphEdge("c", "mystery", "a"))
+        problems = self.make().check(graph)
+        assert any("undeclared edge" in p for p in problems)
+
+    def test_bad_reference_target_in_definition(self):
+        with pytest.raises(MetamodelError, match="unknown target"):
+            Metamodel("Bad", [ClassDef(
+                "C", references=[ReferenceDef("r", "Nowhere")])])
+
+    def test_graph_space(self, rng):
+        metamodel = self.make()
+        space = GraphSpace(metamodel, sampler=lambda rng: self.conforming())
+        assert space.contains(self.conforming())
+        assert not space.contains(Graph([GraphNode.make("n", "Mystery")]))
+        assert space.contains(space.sample(rng))

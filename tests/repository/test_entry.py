@@ -1,0 +1,143 @@
+"""Unit tests for example entries (repro.repository.entry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TemplateError
+from repro.repository.entry import (
+    Artefact,
+    Comment,
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+    Variant,
+    slugify,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+
+def minimal_entry(**overrides) -> ExampleEntry:
+    fields = dict(
+        title="DEMO EXAMPLE",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview="A demo.",
+        models=(ModelDescription("M", "Left model."),
+                ModelDescription("N", "Right model.")),
+        consistency="They agree.",
+        restoration=RestorationSpec(forward="Copy.", backward="Copy back."),
+        discussion="For testing.",
+        authors=("Ann",),
+        properties=(PropertyClaim("correct"),),
+    )
+    fields.update(overrides)
+    return ExampleEntry(**fields)
+
+
+class TestSlugify:
+    def test_examples(self):
+        assert slugify("COMPOSERS") == "composers"
+        assert slugify("UML to RDBMS!") == "uml-to-rdbms"
+        assert slugify("  A  B  ") == "a-b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            slugify("!!!")
+
+
+class TestEntryBasics:
+    def test_identifier_derived_from_title(self):
+        assert minimal_entry().identifier == "demo-example"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            minimal_entry().title = "X"  # type: ignore[misc]
+
+    def test_claimed_properties(self):
+        entry = minimal_entry(properties=(
+            PropertyClaim("correct", True),
+            PropertyClaim("undoable", False)))
+        assert entry.claimed_properties() == {"correct": True,
+                                              "undoable": False}
+
+
+class TestEvolutionHelpers:
+    def test_with_version(self):
+        assert minimal_entry().with_version(Version(0, 2)).version == \
+            Version(0, 2)
+
+    def test_with_comment_appends(self):
+        entry = minimal_entry().with_comment(
+            Comment("Bob", "2014-03-28", "Nice."))
+        assert entry.comments[-1].author == "Bob"
+        assert not minimal_entry().comments
+
+    def test_with_reviewer_idempotent(self):
+        entry = minimal_entry().with_reviewer("Rex")
+        assert entry.with_reviewer("Rex").reviewers == ("Rex",)
+
+    def test_with_artefact(self):
+        entry = minimal_entry().with_artefact(
+            Artefact("code", "code", "pkg.mod"))
+        assert entry.artefacts[-1].locator == "pkg.mod"
+
+
+class TestPropertyClaimDisplay:
+    def test_positive(self):
+        assert PropertyClaim("correct").display() == "Correct"
+
+    def test_negative_renders_not(self):
+        assert PropertyClaim("undoable", holds=False).display() == \
+            "Not undoable"
+
+    def test_multiword(self):
+        assert PropertyClaim("simply matching").display() == \
+            "Simply matching"
+
+
+class TestSerialisation:
+    def full_entry(self) -> ExampleEntry:
+        return minimal_entry(
+            variants=(Variant("v1", "Choice one."),),
+            references=(Reference("Some paper.", doi="10.1/x",
+                                  note="origin"),),
+            reviewers=("Rex",),
+            version=Version(1, 0),
+            comments=(Comment("Bob", "2014-03-28", "Nice."),),
+            artefacts=(Artefact("code", "code", "pkg.mod", "the bx"),),
+        )
+
+    def test_round_trip(self):
+        entry = self.full_entry()
+        assert ExampleEntry.from_dict(entry.to_dict()) == entry
+
+    def test_dict_is_json_ready(self):
+        import json
+        text = json.dumps(self.full_entry().to_dict())
+        assert "DEMO EXAMPLE" in text
+
+    def test_missing_key_reported(self):
+        data = self.full_entry().to_dict()
+        del data["consistency"]
+        with pytest.raises(TemplateError, match="consistency"):
+            ExampleEntry.from_dict(data)
+
+    def test_optional_fields_default_empty(self):
+        data = minimal_entry().to_dict()
+        for key in ("variants", "references", "reviewers", "comments",
+                    "artefacts"):
+            del data[key]
+        entry = ExampleEntry.from_dict(data)
+        assert entry.variants == ()
+        assert entry.comments == ()
+
+    def test_restoration_combined_round_trip(self):
+        entry = minimal_entry(
+            restoration=RestorationSpec(combined="Symmetric repair."))
+        back = ExampleEntry.from_dict(entry.to_dict())
+        assert back.restoration.combined == "Symmetric repair."
+        assert not back.restoration.is_empty()

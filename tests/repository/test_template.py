@@ -1,0 +1,86 @@
+"""E1: the §3 template — fields, order, optionality (tests/repository)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.template import (
+    MUTUALLY_EXCLUSIVE_TYPES,
+    TEMPLATE,
+    EntryType,
+    field_names,
+    field_spec,
+)
+
+#: The paper's §3 field list, in the paper's order; '?' marks optional.
+PAPER_FIELDS = [
+    ("Title", True),
+    ("Version", True),
+    ("Type", True),
+    ("Overview", True),
+    ("Models", True),
+    ("Consistency", True),
+    ("Consistency Restoration", True),
+    ("Properties", False),
+    ("Variants", False),
+    ("Discussion", True),
+    ("References", False),
+    ("Authors", True),
+    ("Reviewers", False),
+    ("Comments", True),
+    ("Artefacts", False),
+]
+
+
+class TestTemplateMatchesPaper:
+    def test_field_names_and_order(self):
+        assert [(spec.name, spec.required) for spec in TEMPLATE] == \
+            PAPER_FIELDS
+
+    def test_field_count(self):
+        assert len(TEMPLATE) == 15
+
+    def test_optional_fields_display_question_mark(self):
+        assert field_spec("Properties").display_name == "Properties?"
+        assert field_spec("Title").display_name == "Title"
+
+    def test_every_field_documented(self):
+        for spec in TEMPLATE:
+            assert spec.description, f"{spec.name} lacks its §3 gloss"
+
+    def test_every_field_maps_to_an_entry_attribute(self):
+        from repro.repository.entry import ExampleEntry
+        import dataclasses
+        attributes = {f.name for f in dataclasses.fields(ExampleEntry)}
+        for spec in TEMPLATE:
+            assert spec.attribute in attributes, spec.name
+
+
+class TestFieldLookup:
+    def test_by_name(self):
+        assert field_spec("Models").attribute == "models"
+
+    def test_unknown_name_lists_template(self):
+        with pytest.raises(KeyError, match="Title"):
+            field_spec("Nonsense")
+
+    def test_field_names_helper(self):
+        assert field_names()[0] == "Title"
+        required = field_names(required_only=True)
+        assert "Properties" not in required
+        assert "Comments" in required
+
+
+class TestEntryTypes:
+    def test_paper_classes_present(self):
+        values = {t.value for t in EntryType}
+        assert {"PRECISE", "INDUSTRIAL", "SKETCH", "BENCHMARK"} == values
+
+    def test_precise_sketch_mutually_exclusive(self):
+        assert frozenset({EntryType.PRECISE, EntryType.SKETCH}) in \
+            MUTUALLY_EXCLUSIVE_TYPES
+
+    def test_industrial_combines_with_either(self):
+        for other in (EntryType.PRECISE, EntryType.SKETCH):
+            pair = frozenset({EntryType.INDUSTRIAL, other})
+            assert pair not in MUTUALLY_EXCLUSIVE_TYPES

@@ -1,0 +1,131 @@
+"""Unit tests for template validation (repro.repository.validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.repository.entry import PropertyClaim, Variant
+from repro.repository.template import EntryType
+from repro.repository.validation import require_valid, validate_entry
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+
+
+class TestRequiredFields:
+    def test_valid_entry_passes(self):
+        report = validate_entry(minimal_entry())
+        assert report.ok, report.describe()
+
+    @pytest.mark.parametrize("field,value,fragment", [
+        ("title", "  ", "Title"),
+        ("types", (), "Type"),
+        ("overview", "", "Overview"),
+        ("models", (), "Models"),
+        ("consistency", "", "Consistency"),
+        ("discussion", "", "Discussion"),
+        ("authors", (), "Authors"),
+    ])
+    def test_missing_required_field(self, field, value, fragment):
+        entry = minimal_entry(**{field: value})
+        report = validate_entry(entry)
+        assert not report.ok
+        assert any(fragment in problem for problem in report.errors)
+
+    def test_empty_restoration(self):
+        from repro.repository.entry import RestorationSpec
+        entry = minimal_entry(restoration=RestorationSpec())
+        assert not validate_entry(entry).ok
+
+
+class TestTypeRules:
+    def test_precise_and_sketch_conflict(self):
+        entry = minimal_entry(types=(EntryType.PRECISE, EntryType.SKETCH))
+        report = validate_entry(entry)
+        assert any("mutually exclusive" in p for p in report.errors)
+
+    def test_industrial_combination_allowed(self):
+        entry = minimal_entry(
+            types=(EntryType.PRECISE, EntryType.INDUSTRIAL))
+        assert validate_entry(entry).ok
+
+    def test_duplicate_types(self):
+        entry = minimal_entry(types=(EntryType.PRECISE, EntryType.PRECISE))
+        assert any("duplicates" in p
+                   for p in validate_entry(entry).errors)
+
+
+class TestVersionReviewCoupling:
+    def test_reviewed_version_needs_reviewers(self):
+        entry = minimal_entry(version=Version(1, 0))
+        report = validate_entry(entry)
+        assert any("reviewer" in p for p in report.errors)
+
+    def test_reviewed_version_with_reviewers_ok(self):
+        entry = minimal_entry(version=Version(1, 0), reviewers=("Rex",))
+        assert validate_entry(entry).ok
+
+    def test_reviewers_on_provisional_warns(self):
+        entry = minimal_entry(reviewers=("Rex",))
+        report = validate_entry(entry)
+        assert report.ok
+        assert any("promoting" in w for w in report.warnings)
+
+
+class TestOverviewLength:
+    def test_three_sentences_allowed(self):
+        entry = minimal_entry(overview="One. Two. Three.")
+        assert validate_entry(entry).ok
+
+    def test_four_sentences_rejected(self):
+        entry = minimal_entry(overview="One. Two. Three. Four.")
+        report = validate_entry(entry)
+        assert any("sentences" in p for p in report.errors)
+
+
+class TestPropertyClaims:
+    def test_unknown_property_rejected(self):
+        entry = minimal_entry(properties=(PropertyClaim("sparkly"),))
+        report = validate_entry(entry)
+        assert any("sparkly" in p for p in report.errors)
+
+    def test_least_change_is_claimable(self):
+        entry = minimal_entry(properties=(PropertyClaim("least change"),))
+        assert validate_entry(entry).ok
+
+    def test_duplicate_claims(self):
+        entry = minimal_entry(properties=(
+            PropertyClaim("correct"), PropertyClaim("correct")))
+        assert any("duplicate" in p.lower()
+                   for p in validate_entry(entry).errors)
+
+    def test_explicit_known_set(self):
+        entry = minimal_entry(properties=(PropertyClaim("custom"),))
+        assert validate_entry(entry, known_properties={"custom"}).ok
+
+
+class TestWarnings:
+    def test_precise_without_properties_warns(self):
+        entry = minimal_entry(properties=())
+        report = validate_entry(entry)
+        assert report.ok
+        assert any("properties" in w for w in report.warnings)
+
+    def test_no_references_warns(self):
+        report = validate_entry(minimal_entry())
+        assert any("references" in w for w in report.warnings)
+
+    def test_empty_variant_description_is_error(self):
+        entry = minimal_entry(variants=(Variant("v", "  "),))
+        assert not validate_entry(entry).ok
+
+
+class TestRequireValid:
+    def test_raises_with_all_problems(self):
+        entry = minimal_entry(title="", overview="")
+        with pytest.raises(ValidationError) as excinfo:
+            require_valid(entry)
+        assert len(excinfo.value.problems) >= 2
+
+    def test_returns_report_when_ok(self):
+        assert require_valid(minimal_entry()).ok

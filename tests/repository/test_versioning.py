@@ -1,0 +1,77 @@
+"""Unit tests for versioning (repro.repository.versioning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import VersioningError
+from repro.repository.versioning import Version, VersionHistory
+
+
+class TestVersion:
+    def test_parse(self):
+        assert Version.parse("0.1") == Version(0, 1)
+        assert Version.parse(" 2.10 ") == Version(2, 10)
+
+    @pytest.mark.parametrize("junk", ["", "1", "1.2.3", "a.b", "1.x"])
+    def test_parse_rejects_junk(self, junk):
+        with pytest.raises(VersioningError):
+            Version.parse(junk)
+
+    def test_ordering(self):
+        assert Version(0, 9) < Version(0, 10) < Version(1, 0)
+
+    def test_is_reviewed_boundary(self):
+        """'0.x for unreviewed examples': review starts at 1.0."""
+        assert not Version(0, 99).is_reviewed
+        assert Version(1, 0).is_reviewed
+        assert Version(2, 3).is_reviewed
+
+    def test_next_steps(self):
+        assert Version(0, 1).next_minor() == Version(0, 2)
+        assert Version(0, 5).next_major() == Version(1, 0)
+
+    def test_str(self):
+        assert str(Version(1, 0)) == "1.0"
+
+
+class TestVersionHistory:
+    def test_append_and_latest(self):
+        history = VersionHistory()
+        history.append(Version(0, 1), "first")
+        history.append(Version(0, 2), "second")
+        assert history.latest == "second"
+        assert history.latest_version == Version(0, 2)
+        assert len(history) == 2
+
+    def test_versions_must_increase(self):
+        history = VersionHistory()
+        history.append(Version(0, 2), "x")
+        with pytest.raises(VersioningError, match="linear sequence"):
+            history.append(Version(0, 2), "again")
+        with pytest.raises(VersioningError):
+            history.append(Version(0, 1), "backwards")
+
+    def test_old_versions_stay_available(self):
+        """§5.2: 'keep old versions ... so old references can still be
+        followed'."""
+        history = VersionHistory()
+        history.append(Version(0, 1), "draft")
+        history.append(Version(1, 0), "approved")
+        assert history.get(Version(0, 1)) == "draft"
+        assert history.versions() == [Version(0, 1), Version(1, 0)]
+
+    def test_get_unknown_version(self):
+        history = VersionHistory()
+        history.append(Version(0, 1), "draft")
+        with pytest.raises(VersioningError, match="0.1"):
+            history.get(Version(0, 9))
+
+    def test_empty_history(self):
+        with pytest.raises(VersioningError):
+            VersionHistory().latest
+
+    def test_iteration(self):
+        history = VersionHistory()
+        history.append(Version(0, 1), "a")
+        assert list(history) == [(Version(0, 1), "a")]
