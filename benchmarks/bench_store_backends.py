@@ -1,0 +1,222 @@
+"""Backend comparison: memory vs file vs sqlite on the three paths that
+matter at scale — bulk-load, point-get, and search-after-update.
+
+Two layers:
+
+* pytest-benchmark micro-benchmarks of each operation per backend
+  (small sizes, so the suite stays quick; ``--bench-large`` raises them);
+* :class:`TestAccelerationTargets` — explicit wall-clock ratio checks
+  for the wins the service/backends refactor was built to deliver:
+
+  - SQLite ``add_many`` bulk-load (1000 entries) ≥ 5× faster than the
+    per-file ``FileStore`` load of the same entries;
+  - cached point-gets through :class:`RepositoryService` ≥ 5× faster
+    than uncached per-file ``FileStore`` access;
+  - the incremental index update after a single ``add_version`` ≥ 10×
+    faster than a full :meth:`SearchIndex.build`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    SQLiteBackend,
+)
+from repro.repository.entry import (
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    RestorationSpec,
+)
+from repro.repository.search import SearchIndex
+from repro.repository.service import RepositoryService
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+
+_WORDS = ("composer sync view model schema tree update merge lens "
+          "delta span alignment").split()
+
+
+def make_entry(index: int) -> ExampleEntry:
+    """A small but realistic entry with searchable text."""
+    words = " ".join(_WORDS[(index + offset) % len(_WORDS)]
+                     for offset in range(5))
+    return ExampleEntry(
+        title=f"GENERATED EXAMPLE {index}",
+        version=Version(0, 1),
+        types=(EntryType.PRECISE,),
+        overview=f"Generated entry number {index}: {words}.",
+        models=(ModelDescription("M", f"Left model {words}."),
+                ModelDescription("N", f"Right model {index}.")),
+        consistency=f"They agree on {words}.",
+        restoration=RestorationSpec(forward="Copy.", backward="Copy back."),
+        discussion=f"Benchmark filler {words} {index}.",
+        authors=("Bench",),
+        properties=(PropertyClaim("correct"),),
+    )
+
+
+def make_entries(count: int) -> list[ExampleEntry]:
+    return [make_entry(index) for index in range(count)]
+
+
+@pytest.fixture(scope="module")
+def bulk_size(large_sizes) -> int:
+    return 2000 if large_sizes else 200
+
+
+def _backend(kind: str, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "file":
+        return FileBackend(tmp_path / "repo")
+    return SQLiteBackend(tmp_path / "repo.db")
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks per backend.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", ["memory", "file", "sqlite"])
+def test_bulk_load(benchmark, kind, bulk_size, tmp_path_factory):
+    entries = make_entries(bulk_size)
+    counter = [0]
+
+    def load():
+        counter[0] += 1
+        backend = _backend(
+            kind, tmp_path_factory.mktemp(f"{kind}{counter[0]}"))
+        stored = backend.add_many(entries)
+        backend.close()
+        return stored
+
+    assert benchmark(load) == bulk_size
+
+
+@pytest.mark.parametrize("kind", ["memory", "file", "sqlite"])
+def test_point_get_uncached(benchmark, kind, bulk_size, tmp_path_factory):
+    backend = _backend(kind, tmp_path_factory.mktemp(f"g-{kind}"))
+    backend.add_many(make_entries(bulk_size))
+    identifier = f"generated-example-{bulk_size // 2}"
+
+    got = benchmark(backend.get, identifier)
+    assert got.identifier == identifier
+    backend.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "file", "sqlite"])
+def test_point_get_cached_service(benchmark, kind, bulk_size,
+                                  tmp_path_factory):
+    service = RepositoryService(
+        _backend(kind, tmp_path_factory.mktemp(f"c-{kind}")))
+    service.add_many(make_entries(bulk_size))
+    identifier = f"generated-example-{bulk_size // 2}"
+    service.get(identifier)  # warm
+
+    got = benchmark(service.get, identifier)
+    assert got.identifier == identifier
+    service.close()
+
+
+@pytest.mark.parametrize("kind", ["memory", "file", "sqlite"])
+def test_search_after_update(benchmark, kind, bulk_size, tmp_path_factory):
+    """One write plus the incremental reindex it triggers, plus a query."""
+    service = RepositoryService(
+        _backend(kind, tmp_path_factory.mktemp(f"u-{kind}")))
+    service.add_many(make_entries(bulk_size))
+    service.enable_search()
+    target = service.get("generated-example-0")
+    minor = [1]
+
+    def update_and_search():
+        minor[0] += 1
+        service.add_version(target.with_version(Version(0, minor[0])))
+        return service.search("generated composer")
+
+    assert benchmark(update_and_search)
+    service.close()
+
+
+# ----------------------------------------------------------------------
+# The acceptance targets, as explicit wall-clock ratios.
+# ----------------------------------------------------------------------
+
+def _clock(operation) -> float:
+    start = time.perf_counter()
+    operation()
+    return time.perf_counter() - start
+
+
+def _clock_fresh(make_operation, rounds: int = 3) -> float:
+    """Best-of-N for non-repeatable operations: each round gets a fresh
+    operation from ``make_operation`` (e.g. a new empty store)."""
+    return min(_clock(make_operation()) for _round in range(rounds))
+
+
+class TestAccelerationTargets:
+    SIZE = 1000
+
+    def test_sqlite_bulk_load_beats_per_file_store(self, tmp_path):
+        entries = make_entries(self.SIZE)
+        counter = [0]
+
+        def fresh_file_load():
+            counter[0] += 1
+            backend = FileBackend(tmp_path / f"files{counter[0]}")
+            return lambda: [backend.add(entry) for entry in entries]
+
+        def fresh_sqlite_load():
+            counter[0] += 1
+            backend = SQLiteBackend(tmp_path / f"repo{counter[0]}.db")
+            return lambda: backend.add_many(entries)
+
+        file_seconds = _clock_fresh(fresh_file_load)
+        sqlite_seconds = _clock_fresh(fresh_sqlite_load)
+
+        ratio = file_seconds / sqlite_seconds
+        print(f"\nbulk-load {self.SIZE}: file {file_seconds:.3f}s, "
+              f"sqlite add_many {sqlite_seconds:.3f}s "
+              f"({ratio:.1f}x faster)")
+        assert ratio >= 5.0
+
+    def test_cached_point_get_beats_uncached_file_store(self, tmp_path):
+        file_backend = FileBackend(tmp_path / "files")
+        file_backend.add_many(make_entries(100))
+        identifiers = [f"generated-example-{index % 100}"
+                       for index in range(1000)]
+
+        uncached = _clock(lambda: [file_backend.get(identifier)
+                                   for identifier in identifiers])
+
+        service = RepositoryService(file_backend, cache_size=256)
+        for identifier in set(identifiers):
+            service.get(identifier)  # warm
+        cached = _clock(lambda: [service.get(identifier)
+                                 for identifier in identifiers])
+
+        ratio = uncached / cached
+        print(f"\npoint-get x1000: uncached file {uncached:.3f}s, "
+              f"cached service {cached:.3f}s ({ratio:.1f}x faster)")
+        assert ratio >= 5.0
+
+    def test_incremental_update_beats_full_rebuild(self):
+        service = RepositoryService(MemoryBackend())
+        service.add_many(make_entries(self.SIZE))
+        service.enable_search()
+
+        rebuild = _clock(lambda: SearchIndex().build(service))
+
+        target = service.get("generated-example-0")
+        incremental = _clock(
+            lambda: service.add_version(target.with_version(Version(0, 2))))
+
+        ratio = rebuild / incremental
+        print(f"\nsearch update: full build {rebuild * 1000:.1f}ms, "
+              f"incremental after add_version "
+              f"{incremental * 1000:.2f}ms ({ratio:.1f}x faster)")
+        assert ratio >= 10.0

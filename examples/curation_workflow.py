@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import tempfile
 
+from repro.repository.backends import FileBackend
 from repro.repository.citation import cite_entry
 from repro.repository.curation import CuratedRepository, Role, User
 from repro.repository.entry import (
@@ -23,7 +24,7 @@ from repro.repository.entry import (
     PropertyClaim,
     RestorationSpec,
 )
-from repro.repository.store import FileStore
+from repro.repository.service import RepositoryService
 from repro.repository.template import EntryType
 from repro.repository.versioning import Version
 
@@ -53,7 +54,10 @@ def celsius_entry() -> ExampleEntry:
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as root:
-        repo = CuratedRepository(FileStore(root))
+        # Durable file backend, fronted by the caching/event facade;
+        # the curated workflow only ever sees the service.
+        service = RepositoryService(FileBackend(root))
+        repo = CuratedRepository(service)
 
         mia = User("Mia", Role.MEMBER)
         bob = User("Bob", Role.MEMBER)

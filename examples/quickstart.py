@@ -18,16 +18,23 @@ from repro.catalogue.composers import make_composer
 from repro.core.laws import CheckConfig
 from repro.repository.citation import cite_entry
 from repro.repository.export import render_wikidot
-from repro.repository.store import MemoryStore
+from repro.repository.service import RepositoryService
 
 
 def main() -> None:
-    # 1. A repository, populated with the built-in catalogue.
-    store = MemoryStore()
+    # 1. A repository service (caching facade over an in-memory
+    #    backend), populated with the built-in catalogue.
+    store = RepositoryService()
     count = populate_store(store)
     print(f"populated the repository with {count} entries:")
     for identifier in store.identifiers():
         print(f"  - {identifier}")
+
+    # ...findable by ranked free-text search (§5.2: "will people be
+    # able to find and refer to relevant examples?").
+    hits = store.search("composers nationality")
+    print("search 'composers nationality' ->",
+          [hit.identifier for hit in hits[:3]])
 
     # 2. The COMPOSERS entry, rendered as its wiki page.
     composers = catalogue_example("composers")

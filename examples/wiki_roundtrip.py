@@ -17,13 +17,18 @@ from __future__ import annotations
 import tempfile
 
 from repro.catalogue import populate_store
-from repro.repository.store import FileStore
-from repro.repository.wiki_sync import WikiSyncLens, normalise_entry
+from repro.repository.backends import FileBackend
+from repro.repository.service import RepositoryService
+from repro.repository.wiki_sync import (
+    WikiSyncLens,
+    apply_wiki_edit,
+    normalise_entry,
+)
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as root:
-        store = FileStore(root)
+        store = RepositoryService(FileBackend(root))
         populate_store(store)
         lens = WikiSyncLens()
 
@@ -42,18 +47,16 @@ def main() -> None:
         print("\nedited page: overview reworded; sections below "
               "Discussion lost")
 
-        # put() merges: the edit lands, the lost sections come back from
-        # the structured copy.
-        merged = lens.put(edited, entry)
+        # apply_wiki_edit puts the page back through the facade: the
+        # edit lands, the lost sections come back from the structured
+        # copy, and the stored latest snapshot is replaced in one step.
+        merged = apply_wiki_edit(store, "roman-numerals", edited)
         print("\n--- after synchronisation ---")
         print("overview:", merged.overview)
         print("authors restored:", merged.authors)
         print("artefacts restored:",
               [artefact.name for artefact in merged.artefacts])
-
-        # Persist the merged entry; the stores stay consistent.
-        store.replace_latest(merged.with_version(entry.version))
-        print("\nstored overview now:",
+        print("stored overview now:",
               store.get("roman-numerals").overview)
 
         # Round-trip sanity over the whole repository.

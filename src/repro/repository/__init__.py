@@ -2,10 +2,19 @@
 
 Template (§3), entries, validation, versioning (§3/§5.2), the three-level
 curation workflow (§5.1), versioned storage with stable identifiers
-(§5.2), search, citations, markup export, the §5.4 wiki-sync bx, and the
+(§5.2) behind pluggable backends and the :class:`RepositoryService`
+facade, search, citations, markup export, the §5.4 wiki-sync bx, and the
 glossary the Properties field links to.
 """
 
+from repro.repository.backends import (
+    BACKEND_SCHEMES,
+    FileBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.repository.citation import (
     REPOSITORY_URL,
     archive_manuscript,
@@ -34,6 +43,7 @@ from repro.repository.entry import (
 from repro.repository.export import (
     render_glossary_wikidot,
     render_markdown,
+    render_repository_markdown,
     render_wikidot,
 )
 from repro.repository.glossary import (
@@ -43,6 +53,7 @@ from repro.repository.glossary import (
     known_property_names,
 )
 from repro.repository.search import SearchHit, SearchIndex, tokenize
+from repro.repository.service import RepositoryEvent, RepositoryService
 from repro.repository.store import FileStore, MemoryStore, RepositoryStore
 from repro.repository.template import (
     TEMPLATE,
@@ -59,6 +70,7 @@ from repro.repository.validation import (
 from repro.repository.versioning import Version, VersionHistory
 from repro.repository.wiki_sync import (
     WikiSyncLens,
+    apply_wiki_edit,
     entry_space,
     make_wiki_sync_lens,
     normalise_entry,
@@ -78,8 +90,13 @@ __all__ = [
     "Version", "VersionHistory",
     # curation
     "Role", "User", "CurationPolicy", "CuratedRepository",
-    # store
+    # store (compatibility names)
     "RepositoryStore", "MemoryStore", "FileStore",
+    # backends
+    "StorageBackend", "MemoryBackend", "FileBackend", "SQLiteBackend",
+    "BACKEND_SCHEMES", "create_backend",
+    # service facade
+    "RepositoryService", "RepositoryEvent",
     # search
     "SearchIndex", "SearchHit", "tokenize",
     # citation
@@ -87,9 +104,10 @@ __all__ = [
     "archive_manuscript", "entry_url",
     # export
     "render_wikidot", "render_markdown", "render_glossary_wikidot",
+    "render_repository_markdown",
     # wiki sync
     "parse_wikidot", "normalise_entry", "entry_space", "wikidot_space",
-    "WikiSyncLens", "make_wiki_sync_lens",
+    "WikiSyncLens", "make_wiki_sync_lens", "apply_wiki_edit",
     # glossary
     "GlossaryTerm", "glossary_terms", "known_property_names", "define",
 ]

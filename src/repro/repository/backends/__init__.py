@@ -1,0 +1,58 @@
+"""Pluggable storage backends for the repository.
+
+The stable access API lives in :class:`StorageBackend`; the storage
+mechanics are interchangeable:
+
+* :class:`MemoryBackend` — dict of histories (tests, composition);
+* :class:`FileBackend` — directory of JSON files (the §5.4 local copy);
+* :class:`SQLiteBackend` — single indexed database file (bulk loads,
+  indexed lookups).
+
+:func:`create_backend` builds one from a short scheme name, for config
+files and command lines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.errors import StorageError
+from repro.repository.backends.base import StorageBackend
+from repro.repository.backends.file import FileBackend
+from repro.repository.backends.memory import MemoryBackend
+from repro.repository.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "FileBackend",
+    "SQLiteBackend",
+    "BACKEND_SCHEMES",
+    "create_backend",
+]
+
+#: Scheme name -> backend factory; "memory" needs no path.
+BACKEND_SCHEMES = {
+    "memory": MemoryBackend,
+    "file": FileBackend,
+    "sqlite": SQLiteBackend,
+}
+
+
+def create_backend(scheme: str,
+                   path: str | Path | None = None) -> StorageBackend:
+    """Build a backend from a scheme name and (for durable ones) a path.
+
+    >>> create_backend("memory")            # doctest: +ELLIPSIS
+    <repro.repository.backends.memory.MemoryBackend object at ...>
+    """
+    factory = BACKEND_SCHEMES.get(scheme)
+    if factory is None:
+        known = ", ".join(sorted(BACKEND_SCHEMES))
+        raise StorageError(
+            f"unknown storage backend {scheme!r}; known: {known}")
+    if scheme == "memory":
+        return factory()
+    if path is None:
+        raise StorageError(f"backend {scheme!r} needs a path")
+    return factory(path)

@@ -1,0 +1,171 @@
+"""The storage backend interface: the seam the repository scales through.
+
+§5.2's usability commitments (stable references, versions that stay
+resolvable, a wiki-independent local copy) are *access* guarantees, not
+storage decisions — so the access API is pinned down here once, and the
+storage mechanics live behind it in interchangeable backends:
+
+* :class:`~repro.repository.backends.memory.MemoryBackend` — dict of
+  version histories (tests, ephemeral composition);
+* :class:`~repro.repository.backends.file.FileBackend` — directory of
+  JSON snapshots (the durable, wiki-independent local copy);
+* :class:`~repro.repository.backends.sqlite.SQLiteBackend` — a single
+  indexed database file with transactional batch writes (the first step
+  towards serving the collection at scale).
+
+Consumers should normally not talk to a backend directly but through the
+:class:`~repro.repository.service.RepositoryService` facade, which adds
+caching, batching and change events on top of any backend.
+
+Batch operations (``add_many``, ``get_many``, ``versions_many``) have
+straightforward loop defaults here; backends override them when the
+medium offers something better (a single SQLite transaction, one shared
+directory scan).  The default ``add_many`` is **not** atomic — a failing
+entry leaves earlier ones stored; transactional backends document
+stronger guarantees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence, Union
+
+from repro.core.errors import EntryNotFound
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["StorageBackend", "GetRequest"]
+
+#: One ``get_many`` request: an identifier (latest) or (identifier, version).
+GetRequest = Union[str, "tuple[str, Version | None]"]
+
+
+class StorageBackend(ABC):
+    """Interface for versioned entry storage.
+
+    The contract every backend honours:
+
+    * identifiers are stable — once assigned they always resolve;
+    * version histories are append-only and strictly increasing;
+    * ``replace_latest`` is the single sanctioned in-place overwrite
+      (comment attachment), and must keep the stored latest version.
+    """
+
+    # ------------------------------------------------------------------
+    # Required point operations.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def identifiers(self) -> list[str]:
+        """All stored identifiers, sorted."""
+
+    @abstractmethod
+    def versions(self, identifier: str) -> list[Version]:
+        """All stored versions of one entry, oldest first."""
+
+    @abstractmethod
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry:
+        """The entry at ``version`` (default: latest)."""
+
+    @abstractmethod
+    def add(self, entry: ExampleEntry) -> None:
+        """Store a brand-new entry; fails if the identifier exists."""
+
+    @abstractmethod
+    def add_version(self, entry: ExampleEntry) -> None:
+        """Append a new version of an existing entry (must increase)."""
+
+    @abstractmethod
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        """Overwrite the latest snapshot without a version bump.
+
+        Only two consumers use this, both keeping the curated version
+        history intact: comment attachment (comments are not part of
+        the versioned description) and the §5.4 wiki synchronisation
+        (the wiki page and the local copy are two renderings of the
+        *same* version).  The entry's version must equal the stored
+        latest version.
+        """
+
+    # ------------------------------------------------------------------
+    # Existence: override with a direct check (don't list everything).
+    # ------------------------------------------------------------------
+
+    def has(self, identifier: str) -> bool:
+        """Whether the identifier resolves.
+
+        The default enumerates every identifier; every shipped backend
+        overrides it with a direct O(1)/indexed membership check.
+        """
+        return identifier in self.identifiers()
+
+    # ------------------------------------------------------------------
+    # Batch operations (loop defaults; backends may do better).
+    # ------------------------------------------------------------------
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        """Store many brand-new entries; returns the count stored.
+
+        Non-atomic by default: entries are added one by one and a
+        failure leaves the earlier ones in place.  Transactional
+        backends (SQLite) override this with all-or-nothing semantics.
+        """
+        count = 0
+        for entry in entries:
+            self.add(entry)
+            count += 1
+        return count
+
+    def get_many(self,
+                 requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        """Resolve many entries in request order.
+
+        Each request is either an identifier (meaning: latest version)
+        or an ``(identifier, version)`` pair (``version=None`` again
+        meaning latest).
+        """
+        results = []
+        for request in requests:
+            identifier, version = _split_request(request)
+            results.append(self.get(identifier, version))
+        return results
+
+    def versions_many(
+            self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
+        """Version lists for many identifiers at once."""
+        return {identifier: self.versions(identifier)
+                for identifier in identifiers}
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by implementations.
+    # ------------------------------------------------------------------
+
+    def latest_version(self, identifier: str) -> Version:
+        stored = self.versions(identifier)
+        if not stored:
+            raise EntryNotFound(identifier)
+        return stored[-1]
+
+    def entry_count(self) -> int:
+        return len(self.identifiers())
+
+    # ------------------------------------------------------------------
+    # Lifecycle (meaningful for connection-holding backends).
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any held resources; a closed backend may reject calls."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _split_request(request: GetRequest) -> tuple[str, Version | None]:
+    if isinstance(request, str):
+        return request, None
+    identifier, version = request
+    return identifier, version

@@ -1,0 +1,118 @@
+"""Directory-of-JSON backend: the durable, wiki-independent local copy.
+
+Layout::
+
+    <root>/
+      entries/<identifier>/<version>.json
+
+Writes are atomic per file (write to a temp name, then rename), so a
+crashed writer can leave behind at most a ``*.json.tmp`` fragment or an
+empty entry directory — both of which every read path ignores.  The
+index is always derived from the directory tree, never stored, so it
+cannot point at missing snapshots.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
+from repro.repository.backends.base import StorageBackend
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["FileBackend"]
+
+
+class FileBackend(StorageBackend):
+    """One JSON file per version snapshot under a root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.entries_dir = self.root / "entries"
+        self.entries_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Paths.
+    # ------------------------------------------------------------------
+
+    def _entry_dir(self, identifier: str) -> Path:
+        return self.entries_dir / identifier
+
+    def _version_path(self, identifier: str, version: Version) -> Path:
+        return self._entry_dir(identifier) / f"{version}.json"
+
+    # ------------------------------------------------------------------
+    # Interface.
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        # A directory with no committed snapshot (a writer that crashed
+        # between mkdir and rename) does not count as an entry.
+        return sorted(path.name for path in self.entries_dir.iterdir()
+                      if path.is_dir() and any(path.glob("*.json")))
+
+    def versions(self, identifier: str) -> list[Version]:
+        entry_dir = self._entry_dir(identifier)
+        if not entry_dir.is_dir():
+            raise EntryNotFound(identifier)
+        found = [Version.parse(path.stem)
+                 for path in entry_dir.glob("*.json")]
+        if not found:
+            raise EntryNotFound(identifier)
+        return sorted(found)
+
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry:
+        if version is None:
+            version = self.latest_version(identifier)
+        path = self._version_path(identifier, version)
+        if not path.is_file():
+            raise EntryNotFound(identifier, str(version))
+        with path.open(encoding="utf-8") as handle:
+            data = json.load(handle)
+        entry = ExampleEntry.from_dict(data)
+        if entry.identifier != identifier:
+            raise StorageError(
+                f"file {path} contains entry {entry.identifier!r}, "
+                f"expected {identifier!r}")
+        return entry
+
+    def has(self, identifier: str) -> bool:
+        entry_dir = self._entry_dir(identifier)
+        return entry_dir.is_dir() and any(entry_dir.glob("*.json"))
+
+    def add(self, entry: ExampleEntry) -> None:
+        if self.has(entry.identifier):
+            raise DuplicateEntry(entry.identifier)
+        self._entry_dir(entry.identifier).mkdir(parents=True, exist_ok=True)
+        self._write(entry)
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        existing = self.versions(entry.identifier)  # raises if unknown
+        if existing and entry.version <= existing[-1]:
+            raise StorageError(
+                f"version {entry.version} does not increase on "
+                f"{existing[-1]} for {entry.identifier!r}")
+        self._write(entry)
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        latest = self.latest_version(entry.identifier)
+        if entry.version != latest:
+            raise StorageError(
+                f"replace_latest must keep the version ({latest}), "
+                f"got {entry.version}")
+        self._write(entry)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _write(self, entry: ExampleEntry) -> None:
+        path = self._version_path(entry.identifier, entry.version)
+        temp = path.with_suffix(".json.tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        temp.replace(path)

@@ -1,0 +1,252 @@
+"""SQLite backend: one indexed database file, transactional batch writes.
+
+The first scaling step past directory-of-JSON: snapshots live in a
+single ``entries`` table keyed (and therefore indexed) by
+``(identifier, major, minor)``, so point lookups and existence checks
+are index probes instead of directory scans, and ``add_many`` commits a
+whole bulk load in one transaction instead of one rename per snapshot.
+
+``":memory:"`` (the default) gives an ephemeral database useful for
+tests and benchmarks; any path gives a durable single-file store in WAL
+mode.  The connection is created with ``check_same_thread=False`` and
+every operation — reads included — serialises on an internal lock, so a
+service can be shared across worker threads and a reader can never
+observe another thread's uncommitted transaction on the shared
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.errors import (
+    DuplicateEntry,
+    EntryNotFound,
+    StorageError,
+)
+from repro.repository.backends.base import StorageBackend, _split_request
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["SQLiteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    identifier TEXT    NOT NULL,
+    major      INTEGER NOT NULL,
+    minor      INTEGER NOT NULL,
+    payload    TEXT    NOT NULL,
+    PRIMARY KEY (identifier, major, minor)
+)
+"""
+
+
+class SQLiteBackend(StorageBackend):
+    """Versioned entry storage in a single SQLite database."""
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.execute(_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Reads (locked: the shared connection must never expose another
+    # thread's open transaction).
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT identifier FROM entries "
+                "ORDER BY identifier").fetchall()
+        return [identifier for (identifier,) in rows]
+
+    def versions(self, identifier: str) -> list[Version]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT major, minor FROM entries WHERE identifier = ? "
+                "ORDER BY major, minor", (identifier,)).fetchall()
+        if not rows:
+            raise EntryNotFound(identifier)
+        return [Version(major, minor) for major, minor in rows]
+
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry:
+        with self._lock:
+            row = self._get_row(identifier, version)
+        return ExampleEntry.from_dict(json.loads(row[0]))
+
+    def get_many(self, requests) -> list[ExampleEntry]:
+        """Resolve many entries with one latest-version query.
+
+        Latest-version requests are answered by a single correlated
+        query per chunk of identifiers instead of one SELECT each;
+        explicit-version requests fall back to point lookups.
+        """
+        split = [_split_request(request) for request in requests]
+        latest_wanted = sorted({identifier
+                                for identifier, version in split
+                                if version is None})
+        with self._lock:
+            latest: dict[str, str] = {}
+            for chunk_start in range(0, len(latest_wanted), 400):
+                chunk = latest_wanted[chunk_start:chunk_start + 400]
+                marks = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT e.identifier, e.payload FROM entries e "
+                    f"WHERE e.identifier IN ({marks}) AND NOT EXISTS ("
+                    f"  SELECT 1 FROM entries f "
+                    f"  WHERE f.identifier = e.identifier "
+                    f"  AND (f.major > e.major OR "
+                    f"       (f.major = e.major AND f.minor > e.minor)))",
+                    chunk).fetchall()
+                latest.update(rows)
+            results = []
+            for identifier, version in split:
+                if version is None:
+                    payload = latest.get(identifier)
+                    if payload is None:
+                        raise EntryNotFound(identifier)
+                else:
+                    payload = self._get_row(identifier, version)[0]
+                results.append(ExampleEntry.from_dict(json.loads(payload)))
+        return results
+
+    def has(self, identifier: str) -> bool:
+        with self._lock:
+            return self._has(identifier)
+
+    def entry_count(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(DISTINCT identifier) FROM entries"
+            ).fetchone()
+        return count
+
+    # ------------------------------------------------------------------
+    # Writes (serialised; each is one transaction).
+    # ------------------------------------------------------------------
+
+    def add(self, entry: ExampleEntry) -> None:
+        with self._lock, self._conn:
+            if self._has(entry.identifier):
+                raise DuplicateEntry(entry.identifier)
+            self._insert(entry)
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        with self._lock, self._conn:
+            latest = self._latest_row(entry.identifier)
+            if latest is None:
+                raise EntryNotFound(entry.identifier)
+            if entry.version <= Version(*latest):
+                raise StorageError(
+                    f"version {entry.version} does not increase on "
+                    f"{Version(*latest)} for {entry.identifier!r}")
+            self._insert(entry)
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        with self._lock, self._conn:
+            latest = self._latest_row(entry.identifier)
+            if latest is None:
+                raise EntryNotFound(entry.identifier)
+            if entry.version != Version(*latest):
+                raise StorageError(
+                    f"replace_latest must keep the version "
+                    f"({Version(*latest)}), got {entry.version}")
+            self._conn.execute(
+                "UPDATE entries SET payload = ? WHERE identifier = ? "
+                "AND major = ? AND minor = ?",
+                (json.dumps(entry.to_dict(), sort_keys=True),
+                 entry.identifier, entry.version.major,
+                 entry.version.minor))
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        """Bulk-load brand-new entries in a single transaction.
+
+        All-or-nothing: if any entry's identifier already exists (in the
+        store or earlier in the batch), nothing is stored.
+        """
+        batch = list(entries)
+        with self._lock, self._conn:
+            seen: set[str] = set()
+            for entry in batch:
+                if entry.identifier in seen:
+                    raise DuplicateEntry(entry.identifier)
+                seen.add(entry.identifier)
+            ordered = sorted(seen)
+            for chunk_start in range(0, len(ordered), 400):
+                chunk = ordered[chunk_start:chunk_start + 400]
+                marks = ",".join("?" * len(chunk))
+                clash = self._conn.execute(
+                    f"SELECT identifier FROM entries "
+                    f"WHERE identifier IN ({marks}) LIMIT 1",
+                    chunk).fetchone()
+                if clash is not None:
+                    raise DuplicateEntry(clash[0])
+            self._conn.executemany(
+                "INSERT INTO entries (identifier, major, minor, payload) "
+                "VALUES (?, ?, ?, ?)",
+                [(entry.identifier, entry.version.major,
+                  entry.version.minor,
+                  json.dumps(entry.to_dict(), sort_keys=True))
+                 for entry in batch])
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the lock).
+    # ------------------------------------------------------------------
+
+    def _has(self, identifier: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM entries WHERE identifier = ? LIMIT 1",
+            (identifier,)).fetchone()
+        return row is not None
+
+    def _get_row(self, identifier: str,
+                 version: Version | None) -> tuple[str]:
+        if version is None:
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE identifier = ? "
+                "ORDER BY major DESC, minor DESC LIMIT 1",
+                (identifier,)).fetchone()
+            if row is None:
+                raise EntryNotFound(identifier)
+        else:
+            row = self._conn.execute(
+                "SELECT payload FROM entries WHERE identifier = ? "
+                "AND major = ? AND minor = ?",
+                (identifier, version.major, version.minor)).fetchone()
+            if row is None:
+                if not self._has(identifier):
+                    raise EntryNotFound(identifier)
+                raise EntryNotFound(identifier, str(version))
+        return row
+
+    def _insert(self, entry: ExampleEntry) -> None:
+        self._conn.execute(
+            "INSERT INTO entries (identifier, major, minor, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (entry.identifier, entry.version.major, entry.version.minor,
+             json.dumps(entry.to_dict(), sort_keys=True)))
+
+    def _latest_row(self, identifier: str) -> tuple[int, int] | None:
+        return self._conn.execute(
+            "SELECT major, minor FROM entries WHERE identifier = ? "
+            "ORDER BY major DESC, minor DESC LIMIT 1",
+            (identifier,)).fetchone()

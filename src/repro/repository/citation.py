@@ -116,7 +116,7 @@ def archive_manuscript(store: RepositoryStore) -> dict[str, object]:
     with the sorted contributor lists and the latest entry snapshots,
     ready for rendering or citation.
     """
-    entries = [store.get(identifier) for identifier in store.identifiers()]
+    entries = store.get_many(store.identifiers())
     authors = sorted({name for entry in entries for name in entry.authors})
     reviewers = sorted({name for entry in entries
                         for name in entry.reviewers})

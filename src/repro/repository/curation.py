@@ -38,6 +38,7 @@ from typing import Iterable
 
 from repro.core.errors import CurationError, PermissionDenied
 from repro.repository.entry import Comment, ExampleEntry
+from repro.repository.service import RepositoryService
 from repro.repository.store import RepositoryStore
 from repro.repository.validation import require_valid
 from repro.repository.versioning import Version
@@ -90,11 +91,23 @@ class CuratedRepository:
     the policy, and append a new version snapshot to the store — never
     editing history in place ("we do not wish to have uncontrolled editing
     of the example itself").
+
+    Any :class:`RepositoryStore`/backend passed in is wrapped in a
+    :class:`~repro.repository.service.RepositoryService`, so curated
+    writes benefit from the snapshot cache and emit change events
+    (keeping e.g. an attached search index fresh); ``self.store`` is
+    always the service.  Consequently, if you keep a handle on the raw
+    backend, write through ``repo.store`` — a direct backend write
+    bypasses the facade and requires ``repo.store.invalidate()`` before
+    the repository sees it.
     """
 
     def __init__(self, store: RepositoryStore,
                  policy: CurationPolicy | None = None) -> None:
-        self.store = store
+        if isinstance(store, RepositoryService):
+            self.store = store
+        else:
+            self.store = RepositoryService(store)
         self.policy = policy or CurationPolicy()
 
     # ------------------------------------------------------------------

@@ -23,7 +23,12 @@ from repro.repository.entry import ExampleEntry
 from repro.repository.glossary import glossary_terms
 from repro.repository.template import TEMPLATE
 
-__all__ = ["render_wikidot", "render_markdown", "render_glossary_wikidot"]
+__all__ = [
+    "render_wikidot",
+    "render_markdown",
+    "render_glossary_wikidot",
+    "render_repository_markdown",
+]
 
 #: Rendered where the paper's own §4 instance writes "None yet".
 NONE_YET = "None yet"
@@ -249,6 +254,27 @@ def render_markdown(entry: ExampleEntry) -> str:
                            if artefact.description else "")
             lines.append(f"- **{artefact.name}** ({artefact.kind}): "
                          f"`{artefact.locator}`{description}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_repository_markdown(store, title: str | None = None) -> str:
+    """Render every latest entry as one Markdown document (§5.2's
+    "collect the most recent versions ... into a manuscript").
+
+    ``store`` is any storage backend or, preferably, a
+    :class:`~repro.repository.service.RepositoryService` — the batch
+    ``get_many`` path lets backends with a bulk query (SQLite) fetch
+    all snapshots at once.
+    """
+    entries = store.get_many(store.identifiers())
+    heading = title or "The Bx Examples Repository"
+    lines = [f"# {heading}", "",
+             f"{len(entries)} examples, latest versions.", ""]
+    for entry in entries:
+        lines.append("---")
+        lines.append("")
+        lines.append(render_markdown(entry).rstrip())
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 

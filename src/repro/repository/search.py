@@ -10,7 +10,11 @@ local copy we provide the equivalent: a small inverted index with
   author, and review status.
 
 The index is rebuilt from a store explicitly (:meth:`SearchIndex.build`);
-it does not watch the store, keeping the dependency one-directional.
+it does not watch a raw store, keeping the dependency one-directional.
+When the store is a :class:`~repro.repository.service.RepositoryService`,
+:meth:`SearchIndex.sync_with` builds once and then subscribes to the
+service's change events, so each add/add_version/replace_latest costs one
+incremental :meth:`SearchIndex.add_entry` instead of a full rebuild.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import re
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.repository.entry import ExampleEntry
 from repro.repository.store import RepositoryStore
@@ -64,12 +69,26 @@ class SearchIndex:
     # ------------------------------------------------------------------
 
     def build(self, store: RepositoryStore) -> "SearchIndex":
-        """(Re)build the index from the latest version of every entry."""
+        """(Re)build the index from the latest version of every entry.
+
+        Goes through the store's batch ``get_many`` (part of the
+        :class:`~repro.repository.backends.StorageBackend` interface),
+        so backends with a bulk path answer in one query.
+        """
         self._postings.clear()
         self._entries.clear()
-        for identifier in store.identifiers():
-            self.add_entry(store.get(identifier))
+        for entry in store.get_many(store.identifiers()):
+            self.add_entry(entry)
         return self
+
+    def sync_with(self, service) -> "Callable[[], None]":
+        """Build from a RepositoryService, then track it incrementally.
+
+        Subscribes to the service's change events; every write upserts
+        exactly the written entry.  Returns the unsubscribe function.
+        """
+        self.build(service)
+        return service.subscribe(lambda event: self.add_entry(event.entry))
 
     def add_entry(self, entry: ExampleEntry) -> None:
         """Index one entry (replacing any previous version of it)."""

@@ -1,0 +1,299 @@
+"""The repository service: one facade in front of any storage backend.
+
+Consumers (curation, search, export, wiki sync, examples, benchmarks)
+talk to a :class:`RepositoryService`, never to a backend directly.  The
+facade adds, on top of any
+:class:`~repro.repository.backends.StorageBackend`:
+
+* an **LRU snapshot cache** — entries are immutable value objects, so a
+  cached snapshot can never go stale except through the three write
+  operations, all of which pass through the facade and write through the
+  cache;
+* **batch APIs** (``add_many``, ``get_many``, ``versions_many``) that
+  forward to the backend's bulk paths (one SQLite transaction instead of
+  n single-row commits);
+* **change events** — every write emits a :class:`RepositoryEvent` to
+  subscribers, which is what drives *incremental*
+  :class:`~repro.repository.search.SearchIndex` maintenance instead of
+  full rebuilds.
+
+The service implements the full storage interface itself, so everything
+that accepts a ``RepositoryStore`` (the compatibility name for
+:class:`StorageBackend`) accepts a service too — including another
+service, though stacking them buys nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.repository.backends import MemoryBackend, StorageBackend
+from repro.repository.backends.base import GetRequest, _split_request
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["RepositoryEvent", "RepositoryService"]
+
+#: Event kinds, matching the three write operations.
+EVENT_KINDS = ("add", "add_version", "replace_latest")
+
+
+@dataclass(frozen=True)
+class RepositoryEvent:
+    """One repository change: what happened, and the entry as written.
+
+    For every kind the carried ``entry`` is the new *latest* snapshot of
+    its identifier, so a subscriber maintaining a latest-version view
+    (the search index, a replica, a render cache) only ever needs to
+    upsert.
+    """
+
+    kind: str
+    entry: ExampleEntry
+
+    @property
+    def identifier(self) -> str:
+        return self.entry.identifier
+
+
+class _LRUCache:
+    """A small LRU mapping with hit/miss accounting."""
+
+    _MISSING = object()
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[object, ExampleEntry] = OrderedDict()
+
+    def get(self, key: object) -> ExampleEntry | None:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: object, value: ExampleEntry) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def discard_identifier(self, identifier: str) -> None:
+        stale = [key for key in self._data if key[0] == identifier]
+        for key in stale:
+            del self._data[key]
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RepositoryService(StorageBackend):
+    """Caching, batching, event-emitting facade over a storage backend."""
+
+    def __init__(self, backend: StorageBackend | None = None, *,
+                 cache_size: int = 256) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._cache = _LRUCache(cache_size)
+        self._subscribers: list[Callable[[RepositoryEvent], None]] = []
+        self._search_index = None  # lazily built, then kept in sync
+        self._search_unsubscribe: Callable[[], None] = lambda: None
+
+    # ------------------------------------------------------------------
+    # Reads (cached).
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        return self.backend.identifiers()
+
+    def versions(self, identifier: str) -> list[Version]:
+        return self.backend.versions(identifier)
+
+    def versions_many(
+            self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
+        return self.backend.versions_many(identifiers)
+
+    def has(self, identifier: str) -> bool:
+        return self.backend.has(identifier)
+
+    def entry_count(self) -> int:
+        return self.backend.entry_count()
+
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry:
+        key = _cache_key(identifier, version)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        entry = self.backend.get(identifier, version)
+        self._cache.put(key, entry)
+        if version is None:
+            # The latest lookup also pins the explicit-version slot.
+            self._cache.put(_cache_key(identifier, entry.version), entry)
+        return entry
+
+    def get_many(self,
+                 requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        """Resolve many entries, serving from cache where possible.
+
+        Cache misses are fetched from the backend in one ``get_many``
+        call (one transaction / one scan where the backend supports it)
+        and then cached.
+        """
+        split = [_split_request(request) for request in requests]
+        results: list[ExampleEntry | None] = []
+        missing: list[tuple[int, str, Version | None]] = []
+        for position, (identifier, version) in enumerate(split):
+            cached = self._cache.get(_cache_key(identifier, version))
+            results.append(cached)
+            if cached is None:
+                missing.append((position, identifier, version))
+        if missing:
+            fetched = self.backend.get_many(
+                [(identifier, version)
+                 for _position, identifier, version in missing])
+            for (position, identifier, version), entry in zip(missing,
+                                                              fetched):
+                results[position] = entry
+                self._cache.put(_cache_key(identifier, version), entry)
+                if version is None:
+                    self._cache.put(_cache_key(identifier, entry.version),
+                                    entry)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Writes (write-through cache, then events).
+    # ------------------------------------------------------------------
+
+    def add(self, entry: ExampleEntry) -> None:
+        self.backend.add(entry)
+        self._after_write("add", entry)
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        self.backend.add_version(entry)
+        self._after_write("add_version", entry)
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        self.backend.replace_latest(entry)
+        self._after_write("replace_latest", entry)
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        batch = list(entries)
+        try:
+            count = self.backend.add_many(batch)
+        except Exception:
+            # A non-transactional backend may have stored a prefix of
+            # the batch before failing; subscribers (and the cache)
+            # must still hear about what actually landed — once per
+            # identifier whose stored latest is a batch entry.
+            announced: set[str] = set()
+            for entry in batch:
+                if (entry.identifier not in announced
+                        and self.backend.has(entry.identifier)
+                        and self.backend.get(entry.identifier) == entry):
+                    announced.add(entry.identifier)
+                    self._after_write("add", entry)
+            raise
+        for entry in batch:
+            self._after_write("add", entry)
+        return count
+
+    # ------------------------------------------------------------------
+    # Events.
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[RepositoryEvent], None],
+                  ) -> Callable[[], None]:
+        """Register a change listener; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def _after_write(self, kind: str, entry: ExampleEntry) -> None:
+        # The write succeeded, so the entry is now the latest snapshot:
+        # write it through both cache slots (stale values for the same
+        # keys are overwritten, which is the cache-coherence guarantee).
+        self._cache.put(_cache_key(entry.identifier, None), entry)
+        self._cache.put(_cache_key(entry.identifier, entry.version), entry)
+        event = RepositoryEvent(kind, entry)
+        for callback in list(self._subscribers):
+            callback(event)
+
+    # ------------------------------------------------------------------
+    # Search (incremental; built on the event hooks).
+    # ------------------------------------------------------------------
+
+    def enable_search(self):
+        """Build the search index once; afterwards events keep it fresh.
+
+        Returns the :class:`~repro.repository.search.SearchIndex`, which
+        may also be queried directly for structured filters.
+        """
+        if self._search_index is None:
+            from repro.repository.search import SearchIndex
+            index = SearchIndex()
+            self._search_unsubscribe = index.sync_with(self)
+            self._search_index = index
+        return self._search_index
+
+    def disable_search(self) -> None:
+        """Detach and drop the search index (a later search rebuilds)."""
+        if self._search_index is not None:
+            self._search_unsubscribe()
+            self._search_index = None
+
+    @property
+    def search_index(self):
+        """The live index (None until :meth:`enable_search`/``search``)."""
+        return self._search_index
+
+    def search(self, query: str, limit: int = 10):
+        """Ranked free-text search over latest versions (see SearchIndex)."""
+        return self.enable_search().search(query, limit)
+
+    # ------------------------------------------------------------------
+    # Cache management / introspection.
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "currsize": len(self._cache),
+            "maxsize": self._cache.maxsize,
+        }
+
+    def invalidate(self, identifier: str | None = None) -> None:
+        """Drop cached snapshots (all, or one identifier's).
+
+        Only needed when the underlying backend is mutated behind the
+        facade's back (e.g. another process wrote to the same file
+        store).
+        """
+        if identifier is None:
+            self._cache.clear()
+        else:
+            self._cache.discard_identifier(identifier)
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+def _cache_key(identifier: str,
+               version: Version | None) -> tuple[str, str | None]:
+    # None marks the "latest" slot, distinct from every explicit version.
+    return (identifier, str(version) if version is not None else None)

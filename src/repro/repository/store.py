@@ -1,225 +1,37 @@
-"""The repository store: stable identifiers, versioned persistence.
+"""Compatibility shim: the historical store names, now backed by backends.
 
-§5.2's usability commitments, mechanised:
+The store grew into a layered subsystem (see ``ARCHITECTURE.md``):
 
-* *stable references* — entries are addressed by the identifier derived
-  from their title; an identifier, once assigned, always resolves;
-* *old versions stay available* — every version snapshot is kept; ``get``
-  accepts an explicit version "so that old references can still be
-  followed";
-* *a local, wiki-independent copy* (§5.4) — the store persists to a plain
-  directory of JSON files, one per version, no wiki markup involved; the
-  wiki rendering is derived via :mod:`repro.repository.wiki_sync`.
+* the interface moved to
+  :class:`repro.repository.backends.StorageBackend`;
+* the implementations moved to
+  :class:`~repro.repository.backends.memory.MemoryBackend` and
+  :class:`~repro.repository.backends.file.FileBackend` (plus the new
+  :class:`~repro.repository.backends.sqlite.SQLiteBackend`);
+* consumers should prefer the caching/batching facade,
+  :class:`repro.repository.service.RepositoryService`.
 
-Two implementations share the interface: :class:`MemoryStore` (tests,
-ephemeral composition) and :class:`FileStore` (the durable local copy).
-Layout of a file store::
-
-    <root>/
-      index.json                     # identifier -> list of versions
-      entries/<identifier>/<version>.json
+The original names remain importable from here — ``RepositoryStore``,
+``MemoryStore``, ``FileStore`` — and are the same classes, so existing
+code and tests (and any out-of-tree subclass of ``RepositoryStore``)
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import json
-from abc import ABC, abstractmethod
-from pathlib import Path
-
-from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
-from repro.repository.entry import ExampleEntry
-from repro.repository.versioning import Version, VersionHistory
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+)
 
 __all__ = ["RepositoryStore", "MemoryStore", "FileStore"]
 
+#: The storage interface, under its historical name.
+RepositoryStore = StorageBackend
 
-class RepositoryStore(ABC):
-    """Interface for versioned entry storage."""
+#: The in-memory store, under its historical name.
+MemoryStore = MemoryBackend
 
-    @abstractmethod
-    def identifiers(self) -> list[str]:
-        """All stored identifiers, sorted."""
-
-    @abstractmethod
-    def versions(self, identifier: str) -> list[Version]:
-        """All stored versions of one entry, oldest first."""
-
-    @abstractmethod
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
-        """The entry at ``version`` (default: latest)."""
-
-    @abstractmethod
-    def add(self, entry: ExampleEntry) -> None:
-        """Store a brand-new entry; fails if the identifier exists."""
-
-    @abstractmethod
-    def add_version(self, entry: ExampleEntry) -> None:
-        """Append a new version of an existing entry (must increase)."""
-
-    @abstractmethod
-    def replace_latest(self, entry: ExampleEntry) -> None:
-        """Overwrite the latest snapshot without a version bump.
-
-        Only comment attachment uses this — comments are not part of the
-        versioned description.  The entry's version must equal the stored
-        latest version.
-        """
-
-    # ------------------------------------------------------------------
-    # Conveniences shared by implementations.
-    # ------------------------------------------------------------------
-
-    def has(self, identifier: str) -> bool:
-        return identifier in self.identifiers()
-
-    def latest_version(self, identifier: str) -> Version:
-        stored = self.versions(identifier)
-        if not stored:
-            raise EntryNotFound(identifier)
-        return stored[-1]
-
-    def entry_count(self) -> int:
-        return len(self.identifiers())
-
-
-class MemoryStore(RepositoryStore):
-    """In-memory store: a dict of version histories."""
-
-    def __init__(self) -> None:
-        self._histories: dict[str, VersionHistory] = {}
-
-    def identifiers(self) -> list[str]:
-        return sorted(self._histories)
-
-    def versions(self, identifier: str) -> list[Version]:
-        history = self._histories.get(identifier)
-        if history is None:
-            raise EntryNotFound(identifier)
-        return history.versions()
-
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
-        history = self._histories.get(identifier)
-        if history is None:
-            raise EntryNotFound(identifier)
-        if version is None:
-            return history.latest  # type: ignore[return-value]
-        try:
-            return history.get(version)  # type: ignore[return-value]
-        except Exception:
-            raise EntryNotFound(identifier, str(version)) from None
-
-    def add(self, entry: ExampleEntry) -> None:
-        if entry.identifier in self._histories:
-            raise DuplicateEntry(entry.identifier)
-        history = VersionHistory()
-        history.append(entry.version, entry)
-        self._histories[entry.identifier] = history
-
-    def add_version(self, entry: ExampleEntry) -> None:
-        history = self._histories.get(entry.identifier)
-        if history is None:
-            raise EntryNotFound(entry.identifier)
-        history.append(entry.version, entry)
-
-    def replace_latest(self, entry: ExampleEntry) -> None:
-        history = self._histories.get(entry.identifier)
-        if history is None:
-            raise EntryNotFound(entry.identifier)
-        if entry.version != history.latest_version:
-            raise StorageError(
-                f"replace_latest must keep the version "
-                f"({history.latest_version}), got {entry.version}")
-        history._items[-1] = (entry.version, entry)  # type: ignore[attr-defined]
-
-
-class FileStore(RepositoryStore):
-    """Directory-of-JSON store: the durable, wiki-independent local copy.
-
-    Writes are atomic per file (write to a temp name, then rename), and
-    the index is rebuilt from the directory tree on demand, so a crashed
-    writer cannot leave the index pointing at missing snapshots.
-    """
-
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.entries_dir = self.root / "entries"
-        self.entries_dir.mkdir(parents=True, exist_ok=True)
-
-    # ------------------------------------------------------------------
-    # Paths.
-    # ------------------------------------------------------------------
-
-    def _entry_dir(self, identifier: str) -> Path:
-        return self.entries_dir / identifier
-
-    def _version_path(self, identifier: str, version: Version) -> Path:
-        return self._entry_dir(identifier) / f"{version}.json"
-
-    # ------------------------------------------------------------------
-    # Interface.
-    # ------------------------------------------------------------------
-
-    def identifiers(self) -> list[str]:
-        return sorted(path.name for path in self.entries_dir.iterdir()
-                      if path.is_dir())
-
-    def versions(self, identifier: str) -> list[Version]:
-        entry_dir = self._entry_dir(identifier)
-        if not entry_dir.is_dir():
-            raise EntryNotFound(identifier)
-        found = [Version.parse(path.stem)
-                 for path in entry_dir.glob("*.json")]
-        return sorted(found)
-
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
-        if version is None:
-            version = self.latest_version(identifier)
-        path = self._version_path(identifier, version)
-        if not path.is_file():
-            raise EntryNotFound(identifier, str(version))
-        with path.open(encoding="utf-8") as handle:
-            data = json.load(handle)
-        entry = ExampleEntry.from_dict(data)
-        if entry.identifier != identifier:
-            raise StorageError(
-                f"file {path} contains entry {entry.identifier!r}, "
-                f"expected {identifier!r}")
-        return entry
-
-    def add(self, entry: ExampleEntry) -> None:
-        entry_dir = self._entry_dir(entry.identifier)
-        if entry_dir.exists():
-            raise DuplicateEntry(entry.identifier)
-        entry_dir.mkdir(parents=True)
-        self._write(entry)
-
-    def add_version(self, entry: ExampleEntry) -> None:
-        existing = self.versions(entry.identifier)  # raises if unknown
-        if existing and entry.version <= existing[-1]:
-            raise StorageError(
-                f"version {entry.version} does not increase on "
-                f"{existing[-1]} for {entry.identifier!r}")
-        self._write(entry)
-
-    def replace_latest(self, entry: ExampleEntry) -> None:
-        latest = self.latest_version(entry.identifier)
-        if entry.version != latest:
-            raise StorageError(
-                f"replace_latest must keep the version ({latest}), "
-                f"got {entry.version}")
-        self._write(entry)
-
-    # ------------------------------------------------------------------
-    # Internals.
-    # ------------------------------------------------------------------
-
-    def _write(self, entry: ExampleEntry) -> None:
-        path = self._version_path(entry.identifier, entry.version)
-        temp = path.with_suffix(".json.tmp")
-        with temp.open("w", encoding="utf-8") as handle:
-            json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        temp.replace(path)
+#: The directory-of-JSON store, under its historical name.
+FileStore = FileBackend

@@ -82,6 +82,20 @@ class VersionHistory:
                 f"{self._items[-1][0]} (versions form a linear sequence)")
         self._items.append((version, payload))
 
+    def replace_latest(self, version: Version, payload: object) -> None:
+        """Overwrite the latest payload without moving the version.
+
+        The one sanctioned in-place change (comment attachment is not
+        part of the versioned description); ``version`` must equal the
+        current latest version.
+        """
+        self._require_nonempty()
+        if version != self._items[-1][0]:
+            raise VersioningError(
+                f"replace_latest must keep the version "
+                f"({self._items[-1][0]}), got {version}")
+        self._items[-1] = (version, payload)
+
     @property
     def latest_version(self) -> Version:
         self._require_nonempty()

@@ -54,6 +54,7 @@ __all__ = [
     "wikidot_space",
     "WikiSyncLens",
     "make_wiki_sync_lens",
+    "apply_wiki_edit",
 ]
 
 _SECTION_RE = re.compile(r"^\+\+ (.+)$")
@@ -428,3 +429,25 @@ class WikiSyncLens(Lens):
 def make_wiki_sync_lens() -> WikiSyncLens:
     """Factory used by examples/benchmarks (stable public name)."""
     return WikiSyncLens()
+
+
+def apply_wiki_edit(store, identifier: str, page: str) -> ExampleEntry:
+    """Put an edited wiki page back into the stored entry via the lens.
+
+    The §5.4 synchronisation as one operation: parse the edited ``page``,
+    merge it with the stored latest snapshot (sections the editor deleted
+    are restored from the structured copy), keep the stored version (a
+    wiki edit is not a curated revision — version bumps go through
+    :class:`~repro.repository.curation.CuratedRepository`), and persist
+    with ``replace_latest``.  Going through a
+    :class:`~repro.repository.service.RepositoryService` keeps its cache
+    and any attached search index coherent automatically.
+
+    Returns the merged, stored entry.
+    """
+    lens = WikiSyncLens()
+    current = store.get(identifier)
+    merged = lens.put(page, normalise_entry(current))
+    merged = replace(merged, version=current.version)
+    store.replace_latest(merged)
+    return merged

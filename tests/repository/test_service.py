@@ -1,0 +1,280 @@
+"""The RepositoryService facade: cache coherence, batching, events,
+incremental search — over every backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DuplicateEntry, EntryNotFound
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    SQLiteBackend,
+)
+from repro.repository.curation import CuratedRepository, Role, User
+from repro.repository.search import SearchIndex
+from repro.repository.service import RepositoryEvent, RepositoryService
+from repro.repository.store import RepositoryStore
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+
+
+@pytest.fixture(params=["memory", "file", "sqlite"])
+def service(request, tmp_path):
+    if request.param == "memory":
+        backend = MemoryBackend()
+    elif request.param == "file":
+        backend = FileBackend(tmp_path / "repo")
+    else:
+        backend = SQLiteBackend(tmp_path / "repo.db")
+    built = RepositoryService(backend)
+    yield built
+    built.close()
+
+
+def entry_batch(count: int):
+    return [minimal_entry(title=f"ENTRY {index}") for index in range(count)]
+
+
+class TestFacadeBasics:
+    def test_is_a_repository_store(self):
+        assert issubclass(RepositoryService, RepositoryStore)
+
+    def test_default_backend_is_memory(self):
+        service = RepositoryService()
+        assert isinstance(service.backend, MemoryBackend)
+
+    def test_point_operations_delegate(self, service):
+        entry = minimal_entry()
+        service.add(entry)
+        assert service.get("demo-example") == entry
+        assert service.has("demo-example")
+        assert service.identifiers() == ["demo-example"]
+        assert service.entry_count() == 1
+        assert service.versions("demo-example") == [Version(0, 1)]
+
+
+class TestCache:
+    def test_repeated_get_hits_cache(self, service):
+        service.invalidate()
+        service.add(minimal_entry())
+        service.invalidate()  # start cold
+        first = service.get("demo-example")
+        info = service.cache_info()
+        assert info["misses"] >= 1
+        hits_before = info["hits"]
+        assert service.get("demo-example") is first
+        assert service.cache_info()["hits"] == hits_before + 1
+
+    def test_explicit_version_primed_by_latest_get(self, service):
+        service.add(minimal_entry())
+        service.invalidate()
+        latest = service.get("demo-example")
+        # The latest fetch also pinned (identifier, 0.1).
+        assert service.get("demo-example", Version(0, 1)) is latest
+
+    def test_coherent_after_replace_latest(self, service):
+        service.add(minimal_entry())
+        service.get("demo-example")  # warm the cache
+        service.replace_latest(minimal_entry(overview="Patched."))
+        assert service.get("demo-example").overview == "Patched."
+        assert service.get("demo-example",
+                           Version(0, 1)).overview == "Patched."
+
+    def test_coherent_after_add_version(self, service):
+        service.add(minimal_entry())
+        service.get("demo-example")  # warm the "latest" slot
+        service.add_version(minimal_entry(version=Version(0, 2),
+                                          overview="Better."))
+        assert service.get("demo-example").version == Version(0, 2)
+        # The old explicit version still resolves to the old snapshot.
+        assert service.get("demo-example",
+                           Version(0, 1)).overview == "A demo."
+
+    def test_failed_write_leaves_cache_coherent(self, service):
+        service.add(minimal_entry())
+        warm = service.get("demo-example")
+        with pytest.raises(DuplicateEntry):
+            service.add(minimal_entry(overview="Impostor."))
+        assert service.get("demo-example") is warm
+
+    def test_lru_eviction(self, tmp_path):
+        service = RepositoryService(MemoryBackend(), cache_size=2)
+        service.add_many(entry_batch(3))
+        service.invalidate()
+        for identifier in ("entry-0", "entry-1", "entry-2"):
+            service.get(identifier)
+        assert service.cache_info()["currsize"] <= 2
+
+    def test_invalidate_one_identifier(self, service):
+        service.add_many(entry_batch(2))
+        service.get("entry-0")
+        service.get("entry-1")
+        service.invalidate("entry-0")
+        info = service.cache_info()
+        service.get("entry-1")  # still cached
+        assert service.cache_info()["hits"] == info["hits"] + 1
+        service.get("entry-0")  # refetched
+        assert service.cache_info()["misses"] == info["misses"] + 1
+
+
+class TestBatching:
+    def test_add_many_and_get_many(self, service):
+        batch = entry_batch(4)
+        assert service.add_many(batch) == 4
+        results = service.get_many([e.identifier for e in batch])
+        assert results == batch
+
+    def test_get_many_serves_from_cache(self, service):
+        service.add_many(entry_batch(3))
+        # add_many wrote through the cache, so this is all hits.
+        before = service.cache_info()
+        service.get_many(["entry-0", "entry-1", "entry-2"])
+        after = service.cache_info()
+        assert after["hits"] == before["hits"] + 3
+        assert after["misses"] == before["misses"]
+
+    def test_get_many_mixed_cache_states(self, service):
+        service.add_many(entry_batch(3))
+        service.invalidate("entry-1")
+        results = service.get_many([
+            ("entry-0", None),
+            ("entry-1", Version(0, 1)),
+            "entry-2",
+        ])
+        assert [e.identifier for e in results] == \
+            ["entry-0", "entry-1", "entry-2"]
+
+    def test_versions_many(self, service):
+        service.add_many(entry_batch(2))
+        service.add_version(minimal_entry(title="ENTRY 0",
+                                          version=Version(0, 2)))
+        assert service.versions_many(["entry-0", "entry-1"]) == {
+            "entry-0": [Version(0, 1), Version(0, 2)],
+            "entry-1": [Version(0, 1)],
+        }
+
+
+class TestEvents:
+    def test_every_write_kind_emits(self, service):
+        seen: list[RepositoryEvent] = []
+        service.subscribe(seen.append)
+        service.add(minimal_entry())
+        service.add_version(minimal_entry(version=Version(0, 2)))
+        service.replace_latest(
+            minimal_entry(version=Version(0, 2), overview="Patched."))
+        assert [event.kind for event in seen] == \
+            ["add", "add_version", "replace_latest"]
+        assert all(event.identifier == "demo-example" for event in seen)
+        assert seen[-1].entry.overview == "Patched."
+
+    def test_add_many_emits_per_entry(self, service):
+        seen: list[RepositoryEvent] = []
+        service.subscribe(seen.append)
+        service.add_many(entry_batch(3))
+        assert [event.kind for event in seen] == ["add"] * 3
+
+    def test_failed_write_emits_nothing(self, service):
+        seen: list[RepositoryEvent] = []
+        service.subscribe(seen.append)
+        with pytest.raises(EntryNotFound):
+            service.add_version(minimal_entry())
+        assert seen == []
+
+    def test_partial_add_many_still_reports_stored_entries(self):
+        """A prefix stored by a failing non-transactional bulk load is
+        announced, so subscribers (the search index) stay coherent."""
+        service = RepositoryService(MemoryBackend())
+        seen: list[RepositoryEvent] = []
+        service.subscribe(seen.append)
+        batch = entry_batch(2) + [minimal_entry(title="ENTRY 0")]
+        with pytest.raises(DuplicateEntry):
+            service.add_many(batch)
+        assert service.backend.entry_count() == 2  # the stored prefix
+        assert sorted(event.identifier for event in seen) == \
+            ["entry-0", "entry-1"]
+
+    def test_unsubscribe(self, service):
+        seen: list[RepositoryEvent] = []
+        unsubscribe = service.subscribe(seen.append)
+        service.add(minimal_entry(title="ENTRY 0"))
+        unsubscribe()
+        service.add(minimal_entry(title="ENTRY 1"))
+        assert len(seen) == 1
+
+
+class TestIncrementalSearch:
+    def test_search_sees_later_writes(self, service):
+        service.add_many(entry_batch(2))
+        assert service.search("demo")  # builds the index
+        service.add(minimal_entry(title="ZYGOMORPH",
+                                  overview="A very distinctive flower."))
+        hits = service.search("zygomorph")
+        assert [hit.identifier for hit in hits] == ["zygomorph"]
+
+    def test_updates_are_incremental_not_rebuilds(self, service, monkeypatch):
+        service.add_many(entry_batch(2))
+        index = service.enable_search()
+
+        def forbidden_build(store):  # pragma: no cover - fails the test
+            raise AssertionError("full rebuild after a single write")
+
+        monkeypatch.setattr(index, "build", forbidden_build)
+        service.add_version(minimal_entry(title="ENTRY 0",
+                                          version=Version(0, 2),
+                                          overview="Sharper text."))
+        hits = index.search("sharper")
+        assert [hit.identifier for hit in hits] == ["entry-0"]
+        assert hits[0].entry.version == Version(0, 2)
+
+    def test_replace_latest_reindexes(self, service):
+        service.add(minimal_entry(overview="Original ephemeral text."))
+        service.enable_search()
+        service.replace_latest(minimal_entry(overview="Quixotic rewrite."))
+        assert service.search("quixotic")
+        assert not service.search("ephemeral")  # the old text is gone
+
+    def test_disable_search_detaches(self, service):
+        service.add(minimal_entry())
+        index = service.enable_search()
+        service.disable_search()
+        assert service.search_index is None
+        service.add(minimal_entry(title="XENON LAMP", overview="Bright."))
+        assert len(index) == 1  # the old index no longer tracks
+        assert service.search("xenon")  # a fresh index is rebuilt
+
+    def test_sync_with_external_index(self, service):
+        service.add(minimal_entry())
+        index = SearchIndex()
+        unsubscribe = index.sync_with(service)
+        service.add(minimal_entry(title="XENON LAMP",
+                                  overview="Bright."))
+        assert len(index) == 2
+        unsubscribe()
+        service.add(minimal_entry(title="QUARTZ", overview="Clear."))
+        assert len(index) == 2  # detached
+
+
+class TestCurationThroughFacade:
+    def test_plain_store_is_wrapped(self):
+        backend = MemoryBackend()
+        repo = CuratedRepository(backend)
+        assert isinstance(repo.store, RepositoryService)
+        assert repo.store.backend is backend
+
+    def test_existing_service_is_reused(self):
+        service = RepositoryService()
+        repo = CuratedRepository(service)
+        assert repo.store is service
+
+    def test_curated_writes_reach_attached_search(self):
+        service = RepositoryService()
+        repo = CuratedRepository(service)
+        service.enable_search()
+        ann = User("Ann", Role.MEMBER)
+        repo.submit(ann, minimal_entry())
+        assert service.search("demo")
+        rex = User("Rex", Role.REVIEWER)
+        repo.approve(rex, "demo-example")
+        hits = service.search("demo")
+        assert hits[0].entry.version == Version(1, 0)
