@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.catalogue.misc import dirtree_bx, roman_bx
 from repro.catalogue.strings import ComposerLinesLens

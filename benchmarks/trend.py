@@ -1,0 +1,44 @@
+"""Normalise a pytest-benchmark JSON dump into a trajectory file.
+
+CI's ``bench-trend`` job runs the benchmark suite with
+``--benchmark-json=bench-raw.json`` and then::
+
+    PYTHONPATH=src python benchmarks/trend.py bench-raw.json --label PR7
+
+which writes ``BENCH_PR7.json`` (override with ``--out``) and uploads
+it as a workflow artifact.  The heavy lifting lives in
+:func:`repro.harness.reporting.normalise_benchmark_json` so it is unit
+tested with the rest of the harness; this file is only the CLI shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.reporting import normalise_benchmark_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("raw", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--label", required=True,
+                        help="trajectory point name, e.g. PR7")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default BENCH_<label>.json)")
+    arguments = parser.parse_args(argv)
+
+    raw = json.loads(arguments.raw.read_text())
+    trend = normalise_benchmark_json(raw, label=arguments.label)
+    out = arguments.out or Path(f"BENCH_{arguments.label}.json")
+    out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({trend['benchmark_count']} benchmarks, "
+          f"label {trend['label']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,6 @@ interesting cases for consistency restoration.
 
 from __future__ import annotations
 
-import random
 import re
 
 from repro.models.lists import OrderedListSpace

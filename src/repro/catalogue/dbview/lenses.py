@@ -29,7 +29,6 @@ from typing import Any, Callable, Sequence
 from repro.core.errors import TransformationError
 from repro.core.lens import Lens
 from repro.models.relational import (
-    Attribute,
     Relation,
     RelationSchema,
     RelationSpace,
@@ -132,7 +131,7 @@ class SelectionLens(Lens):
                     if not self.predicate(view.schema.row_as_dict(row))]
         if rejected:
             raise TransformationError(
-                f"selection lens cannot put back rows the predicate "
+                "selection lens cannot put back rows the predicate "
                 f"rejects: {sorted(rejected)!r}")
         hidden = {row for row in source.rows
                   if not self.predicate(self.schema.row_as_dict(row))}
@@ -163,7 +162,7 @@ class JoinLens(Lens):
                   if a.name in right_schema.attribute_names]
         if len(shared) != 1:
             raise TransformationError(
-                f"join lens expects exactly one shared column, got "
+                "join lens expects exactly one shared column, got "
                 f"{shared}")
         self.key_column = shared[0]
         if left_schema.key != (self.key_column,) \

@@ -216,7 +216,7 @@ def paths_to_tree(paths: tuple[str, ...]) -> Node:
         for name, group in children.items():
             if not any(len(parts) == depth + 1 for parts in group):
                 raise ValueError(
-                    f"listing omits interior directory "
+                    "listing omits interior directory "
                     f"{'/'.join(group[0][:depth + 1])!r}")
         return Node(label, children=[
             build(name, group, depth + 1)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.models.graphs import Graph, GraphEdge, GraphNode, GraphSpace
+from repro.models.graphs import Graph, GraphEdge, GraphNode
 from repro.models.metamodel import (
     AttributeDef,
     ClassDef,

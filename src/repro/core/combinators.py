@@ -451,7 +451,7 @@ class ListFilterLens(Lens):
         rejected = [item for item in view if not self.keep(item)]
         if rejected:
             raise TransformationError(
-                f"filter lens cannot put back elements the predicate "
+                "filter lens cannot put back elements the predicate "
                 f"rejects: {rejected!r}")
         merged: list[Any] = []
         view_items = list(view)
@@ -469,7 +469,7 @@ class ListFilterLens(Lens):
         rejected = [item for item in view if not self.keep(item)]
         if rejected:
             raise TransformationError(
-                f"filter lens cannot create from rejected elements: "
+                "filter lens cannot create from rejected elements: "
                 f"{rejected!r}")
         return tuple(view)
 

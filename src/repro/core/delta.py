@@ -24,7 +24,7 @@ bridge from state-based to delta-based operation.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.core.bx import Bx

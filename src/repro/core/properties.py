@@ -49,7 +49,7 @@ least change (metric)
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Iterable, Protocol, runtime_checkable
 

@@ -10,7 +10,6 @@ benchmark run is reproducible.
 from __future__ import annotations
 
 import random
-from typing import Callable
 
 from repro.catalogue.composers.models import pair_of, raw_composer
 from repro.core.delta import Delete, Edit, EditScript, Insert, Update

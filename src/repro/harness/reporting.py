@@ -3,6 +3,13 @@
 Benchmarks and the experiment scripts print fixed-width tables through
 these helpers so that EXPERIMENTS.md's measured sections can be
 regenerated verbatim by re-running the harness.
+
+:func:`normalise_benchmark_json` additionally distils a raw
+pytest-benchmark ``--benchmark-json`` dump into the small, stable,
+diff-friendly trajectory document that CI's ``bench-trend`` job uploads
+as ``BENCH_PR<N>.json`` — one artifact per PR, so the performance
+history of the repository is a downloadable series rather than a log
+archaeology exercise.
 """
 
 from __future__ import annotations
@@ -11,7 +18,48 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.laws import CheckReport
 
-__all__ = ["text_table", "law_report_table", "claims_table"]
+__all__ = [
+    "text_table",
+    "law_report_table",
+    "claims_table",
+    "normalise_benchmark_json",
+]
+
+#: The per-benchmark stats worth tracking across PRs (seconds, except
+#: ``ops`` in 1/s and ``rounds`` as a count).
+_TREND_STATS = ("min", "mean", "stddev", "ops", "rounds")
+
+
+def normalise_benchmark_json(raw: dict, *, label: str) -> dict:
+    """Distil a pytest-benchmark JSON dump into a trajectory document.
+
+    ``raw`` is the object pytest-benchmark writes via
+    ``--benchmark-json``; ``label`` names the point on the trajectory
+    (CI passes ``PR<N>``).  The result is deterministic: benchmarks are
+    sorted by name and only the stable stats (min/mean/stddev/ops and
+    round count) are kept, so two artifacts diff cleanly.
+    """
+    commit_info = raw.get("commit_info") or {}
+    rows = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats") or {}
+        rows.append({
+            "name": bench.get("name", "?"),
+            "group": bench.get("group"),
+            "params": bench.get("params") or {},
+            "stats": {key: stats.get(key) for key in _TREND_STATS},
+        })
+    rows.sort(key=lambda row: row["name"])
+    return {
+        "schema": 1,
+        "label": label,
+        "commit": commit_info.get("id"),
+        "branch": commit_info.get("branch"),
+        "datetime": raw.get("datetime"),
+        "machine": (raw.get("machine_info") or {}).get("node"),
+        "benchmark_count": len(rows),
+        "benchmarks": rows,
+    }
 
 
 def text_table(headers: Sequence[str],

@@ -4,12 +4,21 @@ A :class:`Workload` packages what a benchmark row needs: build the
 starting state, perturb it, and name the operation under test.  The
 benchmark files in ``benchmarks/`` iterate these definitions so that
 every EXPERIMENTS.md row maps to exactly one workload.
+
+Storage benchmarks additionally need realistic *access patterns*:
+repository reads are not uniform (a few canonical examples are fetched
+constantly, the long tail rarely), so :func:`zipfian_indices` /
+:func:`zipfian_identifiers` generate deterministic rank-skewed request
+streams for cache-sizing and shard-sweep rows.
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
+import random
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.catalogue.composers import composers_bx
 from repro.core.bx import Bx
@@ -25,6 +34,8 @@ __all__ = [
     "composers_bwd_workload",
     "composers_edit_workload",
     "run_sync_workload",
+    "zipfian_indices",
+    "zipfian_identifiers",
     "DEFAULT_SIZES",
 ]
 
@@ -118,6 +129,38 @@ def composers_edit_workload(size: int, edits: int = 50,
         size=size,
         setup=setup,
         operation=run)
+
+
+def zipfian_indices(count: int, population: int, *,
+                    skew: float = 1.1, seed: int = 0) -> list[int]:
+    """``count`` indices in ``[0, population)``, Zipf-distributed.
+
+    Index ``i`` (rank ``i + 1``) is drawn with probability proportional
+    to ``1 / (i + 1) ** skew`` — a few hot items dominate, with a long
+    cold tail.  Deterministic for a given ``(skew, seed)``, so
+    benchmark rows are reproducible.
+    """
+    if population <= 0:
+        raise ValueError("population must be positive")
+    weights = (1.0 / (rank ** skew) for rank in range(1, population + 1))
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    rng = random.Random(seed)
+    return [bisect.bisect_left(cumulative, rng.random() * total)
+            for _draw in range(count)]
+
+
+def zipfian_identifiers(count: int, identifiers: Iterable[str], *,
+                        skew: float = 1.1, seed: int = 0) -> list[str]:
+    """A Zipf-skewed read stream over a fixed identifier population.
+
+    The identifier list's order defines hotness: the first identifier
+    is the hottest.  Feed the result to ``get_many`` (or loop ``get``)
+    to model realistic repository read traffic.
+    """
+    population: Sequence[str] = list(identifiers)
+    picks = zipfian_indices(count, len(population), skew=skew, seed=seed)
+    return [population[index] for index in picks]
 
 
 def run_sync_workload(workload: Workload,

@@ -23,8 +23,8 @@ analogue for graphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.core.errors import MetamodelError
 from repro.models.graphs import Graph

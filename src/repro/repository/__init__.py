@@ -9,12 +9,17 @@ glossary the Properties field links to.
 
 from repro.repository.backends import (
     BACKEND_SCHEMES,
+    AntiEntropyReport,
     FileBackend,
     MemoryBackend,
+    ReplicatedBackend,
+    ShardedBackend,
     SQLiteBackend,
     StorageBackend,
     create_backend,
+    shard_index,
 )
+from repro.repository.concurrency import ReadWriteLock
 from repro.repository.citation import (
     REPOSITORY_URL,
     archive_manuscript,
@@ -95,6 +100,9 @@ __all__ = [
     # backends
     "StorageBackend", "MemoryBackend", "FileBackend", "SQLiteBackend",
     "BACKEND_SCHEMES", "create_backend",
+    # scaling layer
+    "ShardedBackend", "shard_index", "ReplicatedBackend",
+    "AntiEntropyReport", "ReadWriteLock",
     # service facade
     "RepositoryService", "RepositoryEvent",
     # search

@@ -8,8 +8,20 @@ mechanics are interchangeable:
 * :class:`SQLiteBackend` — single indexed database file (bulk loads,
   indexed lookups).
 
-:func:`create_backend` builds one from a short scheme name, for config
-files and command lines.
+Two *composite* backends scale across any of the above (they wrap
+existing backends rather than naming a storage medium, so they are
+constructed programmatically, not through the scheme registry):
+
+* :class:`ShardedBackend` — hash-routes identifiers across N child
+  backends and fans batch operations out over a thread pool;
+* :class:`ReplicatedBackend` — mirrors writes from a primary into
+  replicas, reads with failover, and repairs divergence with
+  ``anti_entropy()``.
+
+:func:`create_backend` builds a leaf backend from a short scheme name,
+for config files and command lines;
+:meth:`ShardedBackend.create` builds a durable shard set under one
+root directory.
 """
 
 from __future__ import annotations
@@ -20,6 +32,11 @@ from repro.core.errors import StorageError
 from repro.repository.backends.base import StorageBackend
 from repro.repository.backends.file import FileBackend
 from repro.repository.backends.memory import MemoryBackend
+from repro.repository.backends.replicated import (
+    AntiEntropyReport,
+    ReplicatedBackend,
+)
+from repro.repository.backends.sharded import ShardedBackend, shard_index
 from repro.repository.backends.sqlite import SQLiteBackend
 
 __all__ = [
@@ -27,6 +44,10 @@ __all__ = [
     "MemoryBackend",
     "FileBackend",
     "SQLiteBackend",
+    "ShardedBackend",
+    "ReplicatedBackend",
+    "AntiEntropyReport",
+    "shard_index",
     "BACKEND_SCHEMES",
     "create_backend",
 ]

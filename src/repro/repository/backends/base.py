@@ -11,7 +11,12 @@ storage mechanics live behind it in interchangeable backends:
   JSON snapshots (the durable, wiki-independent local copy);
 * :class:`~repro.repository.backends.sqlite.SQLiteBackend` — a single
   indexed database file with transactional batch writes (the first step
-  towards serving the collection at scale).
+  towards serving the collection at scale);
+* :class:`~repro.repository.backends.sharded.ShardedBackend` /
+  :class:`~repro.repository.backends.replicated.ReplicatedBackend` —
+  composites that scale horizontally across child backends (hash
+  routing with parallel fan-out; primary/replica mirroring with
+  anti-entropy repair).
 
 Consumers should normally not talk to a backend directly but through the
 :class:`~repro.repository.service.RepositoryService` facade, which adds

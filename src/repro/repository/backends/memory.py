@@ -54,7 +54,7 @@ class MemoryBackend(StorageBackend):
         history = self._history(entry.identifier)
         if entry.version != history.latest_version:
             raise StorageError(
-                f"replace_latest must keep the version "
+                "replace_latest must keep the version "
                 f"({history.latest_version}), got {entry.version}")
         history.replace_latest(entry.version, entry)
 

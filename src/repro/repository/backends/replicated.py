@@ -1,0 +1,236 @@
+"""Replicated backend: a primary mirrored into one or more replicas.
+
+§5.4 of the paper asks for a copy of the collection that is independent
+of the wiki host.  This backend makes that copy a *live* one: every write
+lands on the primary first (and fails the operation if the primary
+rejects it), then is mirrored into each replica.  A replica that cannot
+keep up — it was offline, it rejected a write, it was created after the
+primary already had data — is repaired by :meth:`anti_entropy`, which
+walks both histories and reconciles them.
+
+Failure model:
+
+* **primary write failure** — the operation fails; nothing is mirrored.
+* **replica write failure** — the operation still succeeds; the failure
+  is counted (``replica_write_failures``) and left for repair.
+* **primary read failure** — reads fail over to the replicas in order.
+  Only *infrastructure* failures fail over (a closed connection, an
+  OSError); semantic errors such as
+  :class:`~repro.core.errors.EntryNotFound` are real answers and
+  propagate.
+
+``anti_entropy()`` treats the primary as authoritative: replicas receive
+missing entries, missing version tails, and the primary's latest payload
+when the two disagree at the same version.  A replica history that is
+*not* an append-away from the primary's (it has versions the primary
+lacks) cannot be repaired through the append-only interface; it is
+reported as a conflict instead of silently rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.core.errors import BxError
+from repro.repository.backends.base import (
+    GetRequest,
+    StorageBackend,
+)
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["AntiEntropyReport", "ReplicatedBackend"]
+
+_T = TypeVar("_T")
+
+
+@dataclass
+class AntiEntropyReport:
+    """What one :meth:`ReplicatedBackend.anti_entropy` pass changed."""
+
+    entries_copied: int = 0
+    versions_appended: int = 0
+    payloads_replaced: int = 0
+    conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        total = self.entries_copied + self.versions_appended
+        return total + self.payloads_replaced > 0
+
+    def merge(self, other: "AntiEntropyReport") -> None:
+        self.entries_copied += other.entries_copied
+        self.versions_appended += other.versions_appended
+        self.payloads_replaced += other.payloads_replaced
+        self.conflicts.extend(other.conflicts)
+
+
+class ReplicatedBackend(StorageBackend):
+    """Primary-first writes mirrored to replicas, reads with failover."""
+
+    def __init__(
+        self,
+        primary: StorageBackend,
+        replicas: Sequence[StorageBackend] | StorageBackend,
+    ) -> None:
+        self.primary = primary
+        if isinstance(replicas, StorageBackend):
+            replicas = [replicas]
+        self.replicas = tuple(replicas)
+        self.replica_write_failures = 0
+
+    # ------------------------------------------------------------------
+    # Reads: primary, then failover.
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        return self._read(lambda backend: backend.identifiers())
+
+    def versions(self, identifier: str) -> list[Version]:
+        return self._read(lambda backend: backend.versions(identifier))
+
+    def get(
+        self,
+        identifier: str,
+        version: Version | None = None,
+    ) -> ExampleEntry:
+        return self._read(lambda backend: backend.get(identifier, version))
+
+    def get_many(self, requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        return self._read(lambda backend: backend.get_many(requests))
+
+    def versions_many(
+        self,
+        identifiers: Sequence[str],
+    ) -> dict[str, list[Version]]:
+        return self._read(lambda b: b.versions_many(identifiers))
+
+    def has(self, identifier: str) -> bool:
+        return self._read(lambda backend: backend.has(identifier))
+
+    def entry_count(self) -> int:
+        return self._read(lambda backend: backend.entry_count())
+
+    # ------------------------------------------------------------------
+    # Writes: primary decides, replicas follow.
+    # ------------------------------------------------------------------
+
+    def add(self, entry: ExampleEntry) -> None:
+        self.primary.add(entry)
+        self._mirror(lambda replica: replica.add(entry))
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        self.primary.add_version(entry)
+        self._mirror(lambda replica: replica.add_version(entry))
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        self.primary.replace_latest(entry)
+        self._mirror(lambda replica: replica.replace_latest(entry))
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        batch = list(entries)
+        count = self.primary.add_many(batch)
+        self._mirror(lambda replica: replica.add_many(batch))
+        return count
+
+    # ------------------------------------------------------------------
+    # Repair.
+    # ------------------------------------------------------------------
+
+    def anti_entropy(self) -> AntiEntropyReport:
+        """Reconcile every replica with the primary; report the repairs.
+
+        Primary-authoritative: replicas gain whatever they are missing
+        (whole entries, version tails, the latest payload).  Replica
+        versions unknown to the primary are reported as conflicts, never
+        deleted — the interface is append-only.
+        """
+        report = AntiEntropyReport()
+        primary_versions = self.primary.versions_many(
+            self.primary.identifiers()
+        )
+        for index, replica in enumerate(self.replicas):
+            report.merge(
+                self._repair_replica(index, replica, primary_versions)
+            )
+        return report
+
+    def _repair_replica(
+        self,
+        index: int,
+        replica: StorageBackend,
+        primary_versions: dict[str, list[Version]],
+    ) -> AntiEntropyReport:
+        report = AntiEntropyReport()
+        replica_ids = set(replica.identifiers())
+        for orphan in sorted(replica_ids - set(primary_versions)):
+            report.conflicts.append(
+                f"replica {index}: {orphan!r} unknown to the primary"
+            )
+        for identifier, have in primary_versions.items():
+            if identifier not in replica_ids:
+                requests = [(identifier, version) for version in have]
+                snapshots = self.primary.get_many(requests)
+                replica.add(snapshots[0])
+                for snapshot in snapshots[1:]:
+                    replica.add_version(snapshot)
+                report.entries_copied += 1
+                report.versions_appended += len(snapshots) - 1
+                continue
+            mirrored = replica.versions(identifier)
+            seen = len(mirrored)
+            if mirrored == have[:seen]:
+                # The replica is (at worst) behind: append the tail.
+                tail = have[seen:]
+                if tail:
+                    requests = [(identifier, version) for version in tail]
+                    for snapshot in self.primary.get_many(requests):
+                        replica.add_version(snapshot)
+                    report.versions_appended += len(tail)
+                authoritative = self.primary.get(identifier)
+                if replica.get(identifier) != authoritative:
+                    replica.replace_latest(authoritative)
+                    report.payloads_replaced += 1
+            else:
+                report.conflicts.append(
+                    f"replica {index}: {identifier!r} history "
+                    f"diverged ({mirrored} vs primary {have})"
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.primary.close()
+        for replica in self.replicas:
+            replica.close()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _read(self, operation: Callable[[StorageBackend], _T]) -> _T:
+        try:
+            return operation(self.primary)
+        except BxError:
+            raise  # A semantic answer (not found, duplicate), not an outage.
+        except Exception:
+            last_error = None
+            for replica in self.replicas:
+                try:
+                    return operation(replica)
+                except Exception as error:  # noqa: BLE001 - try next replica
+                    last_error = error
+            if last_error is not None:
+                raise last_error
+            raise
+
+    def _mirror(self, operation: Callable[[StorageBackend], object]) -> None:
+        for replica in self.replicas:
+            try:
+                operation(replica)
+            except Exception:  # noqa: BLE001 - repaired by anti_entropy
+                self.replica_write_failures += 1

@@ -1,0 +1,244 @@
+"""Sharded backend: hash-route identifiers across N child backends.
+
+The first horizontal-scaling layer over the ``StorageBackend`` seam.  Each
+identifier is routed to exactly one child backend by a *stable* hash
+(CRC-32 of the identifier bytes, modulo the shard count — stable across
+processes and Python versions, unlike the builtin ``hash``), so point
+operations cost exactly one child call and the batch operations fan out
+over a thread pool, one sub-batch per shard touched.
+
+Fan-out parallelism is real work, not bookkeeping: each SQLite shard holds
+its own connections (and releases the GIL inside the C library), and each
+file shard does its own I/O, so ``get_many`` over four sqlite shards runs
+four queries concurrently.
+
+Guarantees and their limits:
+
+* every per-identifier guarantee of the interface (stable identifiers,
+  append-only strictly-increasing histories, pinned ``replace_latest``)
+  holds, because one identifier always lives on one shard;
+* ``add_many`` is atomic *per shard* when the children are transactional
+  (SQLite), but not across shards — a failing sub-batch on one shard
+  leaves other shards' sub-batches stored, matching the documented
+  non-atomic default of the base interface.
+
+Sharding composes with replication: a
+:class:`~repro.repository.backends.replicated.ReplicatedBackend` can use a
+sharded primary, and shards can themselves be replicated.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.core.errors import StorageError
+from repro.repository.backends.base import (
+    GetRequest,
+    StorageBackend,
+    _split_request,
+)
+from repro.repository.entry import ExampleEntry
+from repro.repository.versioning import Version
+
+__all__ = ["ShardedBackend", "shard_index"]
+
+_T = TypeVar("_T")
+
+
+def shard_index(identifier: str, shard_count: int) -> int:
+    """The shard an identifier routes to: stable across processes."""
+    return zlib.crc32(identifier.encode("utf-8")) % shard_count
+
+
+class ShardedBackend(StorageBackend):
+    """Route identifiers across children; fan batches out in parallel."""
+
+    def __init__(
+        self,
+        shards: Sequence[StorageBackend],
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        self.shards = tuple(shards)
+        if not self.shards:
+            raise StorageError("ShardedBackend needs at least one shard")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers or len(self.shards),
+            thread_name_prefix="shard",
+        )
+
+    @classmethod
+    def create(
+        cls,
+        scheme: str,
+        root: str | Path,
+        *,
+        shard_count: int = 4,
+    ) -> "ShardedBackend":
+        """Build ``shard_count`` durable children under one root.
+
+        ``scheme`` is ``"file"`` (``<root>/shard-NN/`` directories) or
+        ``"sqlite"`` (``<root>/shard-NN.db`` databases).
+        """
+        from repro.repository.backends import create_backend
+
+        if shard_count <= 0:
+            raise StorageError("shard_count must be positive")
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        if scheme == "sqlite":
+            names = [f"shard-{index:02d}.db" for index in range(shard_count)]
+        elif scheme == "file":
+            names = [f"shard-{index:02d}" for index in range(shard_count)]
+        else:
+            message = f"cannot build sharded {scheme!r} children"
+            raise StorageError(message + "; use 'file' or 'sqlite'")
+        return cls([create_backend(scheme, root / name) for name in names])
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, identifier: str) -> StorageBackend:
+        """The child backend an identifier lives on."""
+        return self.shards[shard_index(identifier, len(self.shards))]
+
+    def shard_sizes(self) -> list[int]:
+        """Entry count per shard (balance introspection)."""
+        return self._fan_out(self.shards, lambda shard: shard.entry_count())
+
+    # ------------------------------------------------------------------
+    # Point operations: one child call each.
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        per_shard = self._fan_out(self.shards, lambda s: s.identifiers())
+        merged: list[str] = []
+        for listing in per_shard:
+            merged.extend(listing)
+        return sorted(merged)
+
+    def versions(self, identifier: str) -> list[Version]:
+        return self.shard_for(identifier).versions(identifier)
+
+    def get(
+        self,
+        identifier: str,
+        version: Version | None = None,
+    ) -> ExampleEntry:
+        return self.shard_for(identifier).get(identifier, version)
+
+    def has(self, identifier: str) -> bool:
+        return self.shard_for(identifier).has(identifier)
+
+    def add(self, entry: ExampleEntry) -> None:
+        self.shard_for(entry.identifier).add(entry)
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        self.shard_for(entry.identifier).add_version(entry)
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        self.shard_for(entry.identifier).replace_latest(entry)
+
+    def entry_count(self) -> int:
+        return sum(self.shard_sizes())
+
+    # ------------------------------------------------------------------
+    # Batch operations: group by shard, fan out, reassemble.
+    # ------------------------------------------------------------------
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        batch = list(entries)
+        grouped: dict[int, list[ExampleEntry]] = {}
+        for entry in batch:
+            index = shard_index(entry.identifier, len(self.shards))
+            grouped.setdefault(index, []).append(entry)
+
+        def load(index: int) -> int:
+            return self.shards[index].add_many(grouped[index])
+
+        return sum(self._fan_out(sorted(grouped), load))
+
+    def get_many(self, requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        split = [_split_request(request) for request in requests]
+        grouped: dict[int, list[int]] = {}
+        for position, (identifier, _version) in enumerate(split):
+            index = shard_index(identifier, len(self.shards))
+            grouped.setdefault(index, []).append(position)
+
+        def fetch(index: int) -> list[ExampleEntry]:
+            sub = [split[position] for position in grouped[index]]
+            return self.shards[index].get_many(sub)
+
+        order = sorted(grouped)
+        per_shard = self._fan_out(order, fetch)
+        results: list[ExampleEntry | None] = [None] * len(split)
+        for index, fetched in zip(order, per_shard):
+            for position, entry in zip(grouped[index], fetched):
+                results[position] = entry
+        return results  # type: ignore[return-value]
+
+    def versions_many(
+        self,
+        identifiers: Sequence[str],
+    ) -> dict[str, list[Version]]:
+        grouped: dict[int, list[str]] = {}
+        for identifier in identifiers:
+            index = shard_index(identifier, len(self.shards))
+            grouped.setdefault(index, []).append(identifier)
+
+        def fetch(index: int) -> dict[str, list[Version]]:
+            return self.shards[index].versions_many(grouped[index])
+
+        merged: dict[str, list[Version]] = {}
+        for listing in self._fan_out(sorted(grouped), fetch):
+            merged.update(listing)
+        # Answer in request order (dicts preserve insertion order).
+        return {identifier: merged[identifier] for identifier in identifiers}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _fan_out(
+        self,
+        items: Iterable[_T],
+        operation: Callable[[_T], object],
+    ) -> list:
+        """Run ``operation`` over items in parallel, preserving order.
+
+        A single-item fan-out runs inline (no pool round-trip).  All
+        futures are awaited even when one fails, so no child operation is
+        still running when the exception propagates.
+        """
+        materialised = list(items)
+        if len(materialised) == 1:
+            return [operation(materialised[0])]
+        futures = [self._pool.submit(operation, item) for item in materialised]
+        results = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results

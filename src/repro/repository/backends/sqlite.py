@@ -8,11 +8,20 @@ whole bulk load in one transaction instead of one rename per snapshot.
 
 ``":memory:"`` (the default) gives an ephemeral database useful for
 tests and benchmarks; any path gives a durable single-file store in WAL
-mode.  The connection is created with ``check_same_thread=False`` and
-every operation — reads included — serialises on an internal lock, so a
-service can be shared across worker threads and a reader can never
-observe another thread's uncommitted transaction on the shared
-connection.
+mode.
+
+Thread safety — the backend is safe to share across threads, which the
+sharded fan-out path relies on:
+
+* **durable databases** use one *write* connection serialised on an
+  internal lock plus one read-only connection **per reader thread**
+  (created lazily, ``PRAGMA query_only=ON``).  WAL mode lets those
+  readers run genuinely in parallel with each other and with the single
+  writer, and a reader can never observe an uncommitted transaction
+  because it never shares the writer's connection;
+* **":memory:" databases** exist only on their one connection, so every
+  operation — reads included — serialises on the internal lock, as
+  before.
 """
 
 from __future__ import annotations
@@ -50,39 +59,67 @@ class SQLiteBackend(StorageBackend):
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
+        self._memory = self.path == ":memory:"
         self._lock = threading.Lock()
+        self._closed = False
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        if self.path != ":memory:":
+        self._local = threading.local()
+        self._read_conns: list[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        if not self._memory:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
             self._conn.execute(_SCHEMA)
 
     # ------------------------------------------------------------------
-    # Reads (locked: the shared connection must never expose another
-    # thread's open transaction).
+    # Read plumbing.  Durable databases: one read-only connection per
+    # thread (WAL readers run in parallel with the writer).  ":memory:"
+    # databases exist only on the write connection, so reads serialise
+    # on the lock there.
+    # ------------------------------------------------------------------
+
+    def _read_conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            if self._closed:
+                raise StorageError(f"backend for {self.path!r} is closed")
+            # check_same_thread=False so close() may run from any thread.
+            conn = sqlite3.connect(self.path, check_same_thread=False)
+            conn.execute("PRAGMA query_only=ON")
+            self._local.conn = conn
+            with self._conns_lock:
+                self._read_conns.append(conn)
+        return conn
+
+    def _run_read(self, operation):
+        if self._memory:
+            with self._lock:
+                return operation(self._conn)
+        return operation(self._read_conn())
+
+    # ------------------------------------------------------------------
+    # Reads.
     # ------------------------------------------------------------------
 
     def identifiers(self) -> list[str]:
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT DISTINCT identifier FROM entries "
-                "ORDER BY identifier").fetchall()
+        rows = self._run_read(lambda conn: conn.execute(
+            "SELECT DISTINCT identifier FROM entries "
+            "ORDER BY identifier").fetchall())
         return [identifier for (identifier,) in rows]
 
     def versions(self, identifier: str) -> list[Version]:
-        with self._lock:
-            rows = self._conn.execute(
-                "SELECT major, minor FROM entries WHERE identifier = ? "
-                "ORDER BY major, minor", (identifier,)).fetchall()
+        rows = self._run_read(lambda conn: conn.execute(
+            "SELECT major, minor FROM entries WHERE identifier = ? "
+            "ORDER BY major, minor", (identifier,)).fetchall())
         if not rows:
             raise EntryNotFound(identifier)
         return [Version(major, minor) for major, minor in rows]
 
     def get(self, identifier: str,
             version: Version | None = None) -> ExampleEntry:
-        with self._lock:
-            row = self._get_row(identifier, version)
+        row = self._run_read(
+            lambda conn: self._get_row(conn, identifier, version))
         return ExampleEntry.from_dict(json.loads(row[0]))
 
     def get_many(self, requests) -> list[ExampleEntry]:
@@ -96,18 +133,19 @@ class SQLiteBackend(StorageBackend):
         latest_wanted = sorted({identifier
                                 for identifier, version in split
                                 if version is None})
-        with self._lock:
+
+        def fetch(conn) -> list[ExampleEntry]:
             latest: dict[str, str] = {}
             for chunk_start in range(0, len(latest_wanted), 400):
                 chunk = latest_wanted[chunk_start:chunk_start + 400]
                 marks = ",".join("?" * len(chunk))
-                rows = self._conn.execute(
-                    f"SELECT e.identifier, e.payload FROM entries e "
+                rows = conn.execute(
+                    "SELECT e.identifier, e.payload FROM entries e "
                     f"WHERE e.identifier IN ({marks}) AND NOT EXISTS ("
-                    f"  SELECT 1 FROM entries f "
-                    f"  WHERE f.identifier = e.identifier "
-                    f"  AND (f.major > e.major OR "
-                    f"       (f.major = e.major AND f.minor > e.minor)))",
+                    "  SELECT 1 FROM entries f "
+                    "  WHERE f.identifier = e.identifier "
+                    "  AND (f.major > e.major OR "
+                    "       (f.major = e.major AND f.minor > e.minor)))",
                     chunk).fetchall()
                 latest.update(rows)
             results = []
@@ -117,19 +155,19 @@ class SQLiteBackend(StorageBackend):
                     if payload is None:
                         raise EntryNotFound(identifier)
                 else:
-                    payload = self._get_row(identifier, version)[0]
+                    payload = self._get_row(conn, identifier, version)[0]
                 results.append(ExampleEntry.from_dict(json.loads(payload)))
-        return results
+            return results
+
+        return self._run_read(fetch)
 
     def has(self, identifier: str) -> bool:
-        with self._lock:
-            return self._has(identifier)
+        return self._run_read(
+            lambda conn: self._has(conn, identifier))
 
     def entry_count(self) -> int:
-        with self._lock:
-            (count,) = self._conn.execute(
-                "SELECT COUNT(DISTINCT identifier) FROM entries"
-            ).fetchone()
+        (count,) = self._run_read(lambda conn: conn.execute(
+            "SELECT COUNT(DISTINCT identifier) FROM entries").fetchone())
         return count
 
     # ------------------------------------------------------------------
@@ -138,7 +176,7 @@ class SQLiteBackend(StorageBackend):
 
     def add(self, entry: ExampleEntry) -> None:
         with self._lock, self._conn:
-            if self._has(entry.identifier):
+            if self._has(self._conn, entry.identifier):
                 raise DuplicateEntry(entry.identifier)
             self._insert(entry)
 
@@ -160,7 +198,7 @@ class SQLiteBackend(StorageBackend):
                 raise EntryNotFound(entry.identifier)
             if entry.version != Version(*latest):
                 raise StorageError(
-                    f"replace_latest must keep the version "
+                    "replace_latest must keep the version "
                     f"({Version(*latest)}), got {entry.version}")
             self._conn.execute(
                 "UPDATE entries SET payload = ? WHERE identifier = ? "
@@ -187,7 +225,7 @@ class SQLiteBackend(StorageBackend):
                 chunk = ordered[chunk_start:chunk_start + 400]
                 marks = ",".join("?" * len(chunk))
                 clash = self._conn.execute(
-                    f"SELECT identifier FROM entries "
+                    "SELECT identifier FROM entries "
                     f"WHERE identifier IN ({marks}) LIMIT 1",
                     chunk).fetchone()
                 if clash is not None:
@@ -206,34 +244,40 @@ class SQLiteBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        self._closed = True
+        with self._conns_lock:
+            readers, self._read_conns = self._read_conns, []
+        for conn in readers:
+            conn.close()
         self._conn.close()
 
     # ------------------------------------------------------------------
-    # Internals (callers hold the lock).
+    # Internals (writers hold the lock and pass the write connection;
+    # readers pass their per-thread connection).
     # ------------------------------------------------------------------
 
-    def _has(self, identifier: str) -> bool:
-        row = self._conn.execute(
+    def _has(self, conn: sqlite3.Connection, identifier: str) -> bool:
+        row = conn.execute(
             "SELECT 1 FROM entries WHERE identifier = ? LIMIT 1",
             (identifier,)).fetchone()
         return row is not None
 
-    def _get_row(self, identifier: str,
+    def _get_row(self, conn: sqlite3.Connection, identifier: str,
                  version: Version | None) -> tuple[str]:
         if version is None:
-            row = self._conn.execute(
+            row = conn.execute(
                 "SELECT payload FROM entries WHERE identifier = ? "
                 "ORDER BY major DESC, minor DESC LIMIT 1",
                 (identifier,)).fetchone()
             if row is None:
                 raise EntryNotFound(identifier)
         else:
-            row = self._conn.execute(
+            row = conn.execute(
                 "SELECT payload FROM entries WHERE identifier = ? "
                 "AND major = ? AND minor = ?",
                 (identifier, version.major, version.minor)).fetchone()
             if row is None:
-                if not self._has(identifier):
+                if not self._has(conn, identifier):
                     raise EntryNotFound(identifier)
                 raise EntryNotFound(identifier, str(version))
         return row

@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterable
 
 from repro.core.errors import CurationError, PermissionDenied
 from repro.repository.entry import Comment, ExampleEntry
@@ -139,7 +138,7 @@ class CuratedRepository:
                 f"entry's authors {list(entry.authors)}")
         if entry.version.is_reviewed:
             raise CurationError(
-                f"new submissions are provisional; version must be 0.x, "
+                "new submissions are provisional; version must be 0.x, "
                 f"got {entry.version}")
         self.store.add(entry)
         return entry
@@ -178,7 +177,7 @@ class CuratedRepository:
         if user.name in current.authors:
             raise CurationError(
                 f"reviewer {user.name!r} is an author of {identifier!r}; "
-                f"review must come from other members")
+                "review must come from other members")
         if current.version.is_reviewed:
             raise CurationError(
                 f"{identifier!r} is already reviewed "

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any
 
 from repro.core.errors import TemplateError
 from repro.repository.template import EntryType

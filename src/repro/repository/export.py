@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from repro.repository.entry import ExampleEntry
 from repro.repository.glossary import glossary_terms
-from repro.repository.template import TEMPLATE
 
 __all__ = [
     "render_wikidot",

@@ -15,7 +15,16 @@ facade adds, on top of any
 * **change events** — every write emits a :class:`RepositoryEvent` to
   subscribers, which is what drives *incremental*
   :class:`~repro.repository.search.SearchIndex` maintenance instead of
-  full rebuilds.
+  full rebuilds;
+* **thread safety** — a
+  :class:`~repro.repository.concurrency.ReadWriteLock` lets any number
+  of reader threads proceed concurrently (a sharded backend fans their
+  requests out further) while each write is exclusive, so backend
+  write, cache write-through and event dispatch form one atomic step.
+  Without it a reader could fetch a snapshot, lose the CPU to a writer,
+  and then cache the now-stale snapshot over the writer's fresh one.
+  The lock is writer-preference and writer-reentrant: subscribers
+  called during a write may read back through the service.
 
 The service implements the full storage interface itself, so everything
 that accepts a ``RepositoryStore`` (the compatibility name for
@@ -25,16 +34,22 @@ service, though stacking them buys nothing.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.repository.backends import MemoryBackend, StorageBackend
 from repro.repository.backends.base import GetRequest, _split_request
+from repro.repository.concurrency import ReadWriteLock
 from repro.repository.entry import ExampleEntry
 from repro.repository.versioning import Version
 
 __all__ = ["RepositoryEvent", "RepositoryService"]
+
+
+def _noop() -> None:
+    """Placeholder unsubscribe for a search index not yet attached."""
 
 #: Event kinds, matching the three write operations.
 EVENT_KINDS = ("add", "add_version", "replace_latest")
@@ -59,7 +74,12 @@ class RepositoryEvent:
 
 
 class _LRUCache:
-    """A small LRU mapping with hit/miss accounting."""
+    """A small LRU mapping with hit/miss accounting.
+
+    Internally locked: every method is atomic, so concurrent readers
+    may share it (recency bookkeeping mutates state even on ``get``,
+    which is why a bare dict under concurrent readers is not enough).
+    """
 
     _MISSING = object()
 
@@ -67,35 +87,41 @@ class _LRUCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self._mutex = threading.Lock()
         self._data: OrderedDict[object, ExampleEntry] = OrderedDict()
 
     def get(self, key: object) -> ExampleEntry | None:
-        value = self._data.get(key, self._MISSING)
-        if value is self._MISSING:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value  # type: ignore[return-value]
+        with self._mutex:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value  # type: ignore[return-value]
 
     def put(self, key: object, value: ExampleEntry) -> None:
         if self.maxsize <= 0:
             return
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+        with self._mutex:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
 
     def discard_identifier(self, identifier: str) -> None:
-        stale = [key for key in self._data if key[0] == identifier]
-        for key in stale:
-            del self._data[key]
+        with self._mutex:
+            stale = [key for key in self._data if key[0] == identifier]
+            for key in stale:
+                del self._data[key]
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._mutex:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._mutex:
+            return len(self._data)
 
 
 class RepositoryService(StorageBackend):
@@ -105,42 +131,54 @@ class RepositoryService(StorageBackend):
                  cache_size: int = 256) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
         self._cache = _LRUCache(cache_size)
+        self._rwlock = ReadWriteLock()
         self._subscribers: list[Callable[[RepositoryEvent], None]] = []
+        self._subscribers_mutex = threading.Lock()
         self._search_index = None  # lazily built, then kept in sync
-        self._search_unsubscribe: Callable[[], None] = lambda: None
+        self._search_unsubscribe: Callable[[], None] = _noop
 
     # ------------------------------------------------------------------
-    # Reads (cached).
+    # Reads (cached; any number may run concurrently).
     # ------------------------------------------------------------------
 
     def identifiers(self) -> list[str]:
-        return self.backend.identifiers()
+        with self._rwlock.read_locked():
+            return self.backend.identifiers()
 
     def versions(self, identifier: str) -> list[Version]:
-        return self.backend.versions(identifier)
+        with self._rwlock.read_locked():
+            return self.backend.versions(identifier)
 
     def versions_many(
             self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
-        return self.backend.versions_many(identifiers)
+        with self._rwlock.read_locked():
+            return self.backend.versions_many(identifiers)
 
     def has(self, identifier: str) -> bool:
-        return self.backend.has(identifier)
+        with self._rwlock.read_locked():
+            return self.backend.has(identifier)
 
     def entry_count(self) -> int:
-        return self.backend.entry_count()
+        with self._rwlock.read_locked():
+            return self.backend.entry_count()
 
     def get(self, identifier: str,
             version: Version | None = None) -> ExampleEntry:
-        key = _cache_key(identifier, version)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        entry = self.backend.get(identifier, version)
-        self._cache.put(key, entry)
-        if version is None:
-            # The latest lookup also pins the explicit-version slot.
-            self._cache.put(_cache_key(identifier, entry.version), entry)
-        return entry
+        # The read lock covers fetch *and* cache fill: without it a
+        # reader could cache a snapshot made stale by a write that
+        # landed between its backend fetch and its cache put.
+        with self._rwlock.read_locked():
+            key = _cache_key(identifier, version)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            entry = self.backend.get(identifier, version)
+            self._cache.put(key, entry)
+            if version is None:
+                # The latest lookup also pins the explicit-version slot.
+                self._cache.put(_cache_key(identifier, entry.version),
+                                entry)
+            return entry
 
     def get_many(self,
                  requests: Sequence[GetRequest]) -> list[ExampleEntry]:
@@ -150,63 +188,70 @@ class RepositoryService(StorageBackend):
         call (one transaction / one scan where the backend supports it)
         and then cached.
         """
-        split = [_split_request(request) for request in requests]
-        results: list[ExampleEntry | None] = []
-        missing: list[tuple[int, str, Version | None]] = []
-        for position, (identifier, version) in enumerate(split):
-            cached = self._cache.get(_cache_key(identifier, version))
-            results.append(cached)
-            if cached is None:
-                missing.append((position, identifier, version))
-        if missing:
-            fetched = self.backend.get_many(
-                [(identifier, version)
-                 for _position, identifier, version in missing])
-            for (position, identifier, version), entry in zip(missing,
-                                                              fetched):
-                results[position] = entry
-                self._cache.put(_cache_key(identifier, version), entry)
-                if version is None:
-                    self._cache.put(_cache_key(identifier, entry.version),
-                                    entry)
-        return results  # type: ignore[return-value]
+        with self._rwlock.read_locked():
+            split = [_split_request(request) for request in requests]
+            results: list[ExampleEntry | None] = []
+            missing: list[tuple[int, str, Version | None]] = []
+            for position, (identifier, version) in enumerate(split):
+                cached = self._cache.get(_cache_key(identifier, version))
+                results.append(cached)
+                if cached is None:
+                    missing.append((position, identifier, version))
+            if missing:
+                fetched = self.backend.get_many(
+                    [(identifier, version)
+                     for _position, identifier, version in missing])
+                for (position, identifier, version), entry in zip(missing,
+                                                                  fetched):
+                    results[position] = entry
+                    self._cache.put(_cache_key(identifier, version), entry)
+                    if version is None:
+                        self._cache.put(
+                            _cache_key(identifier, entry.version), entry)
+            return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    # Writes (write-through cache, then events).
+    # Writes (exclusive; write-through cache, then events).
     # ------------------------------------------------------------------
 
     def add(self, entry: ExampleEntry) -> None:
-        self.backend.add(entry)
-        self._after_write("add", entry)
+        with self._rwlock.write_locked():
+            self.backend.add(entry)
+            self._after_write("add", entry)
 
     def add_version(self, entry: ExampleEntry) -> None:
-        self.backend.add_version(entry)
-        self._after_write("add_version", entry)
+        with self._rwlock.write_locked():
+            self.backend.add_version(entry)
+            self._after_write("add_version", entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
-        self.backend.replace_latest(entry)
-        self._after_write("replace_latest", entry)
+        with self._rwlock.write_locked():
+            self.backend.replace_latest(entry)
+            self._after_write("replace_latest", entry)
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
         batch = list(entries)
-        try:
-            count = self.backend.add_many(batch)
-        except Exception:
-            # A non-transactional backend may have stored a prefix of
-            # the batch before failing; subscribers (and the cache)
-            # must still hear about what actually landed — once per
-            # identifier whose stored latest is a batch entry.
-            announced: set[str] = set()
+        with self._rwlock.write_locked():
+            try:
+                count = self.backend.add_many(batch)
+            except Exception:
+                # A non-transactional backend may have stored a prefix
+                # of the batch before failing; subscribers (and the
+                # cache) must still hear about what actually landed —
+                # once per identifier whose stored latest is a batch
+                # entry.
+                announced: set[str] = set()
+                for entry in batch:
+                    if (entry.identifier not in announced
+                            and self.backend.has(entry.identifier)
+                            and self.backend.get(entry.identifier)
+                            == entry):
+                        announced.add(entry.identifier)
+                        self._after_write("add", entry)
+                raise
             for entry in batch:
-                if (entry.identifier not in announced
-                        and self.backend.has(entry.identifier)
-                        and self.backend.get(entry.identifier) == entry):
-                    announced.add(entry.identifier)
-                    self._after_write("add", entry)
-            raise
-        for entry in batch:
-            self._after_write("add", entry)
-        return count
+                self._after_write("add", entry)
+            return count
 
     # ------------------------------------------------------------------
     # Events.
@@ -215,11 +260,13 @@ class RepositoryService(StorageBackend):
     def subscribe(self, callback: Callable[[RepositoryEvent], None],
                   ) -> Callable[[], None]:
         """Register a change listener; returns an unsubscribe function."""
-        self._subscribers.append(callback)
+        with self._subscribers_mutex:
+            self._subscribers.append(callback)
 
         def unsubscribe() -> None:
-            if callback in self._subscribers:
-                self._subscribers.remove(callback)
+            with self._subscribers_mutex:
+                if callback in self._subscribers:
+                    self._subscribers.remove(callback)
 
         return unsubscribe
 
@@ -230,7 +277,9 @@ class RepositoryService(StorageBackend):
         self._cache.put(_cache_key(entry.identifier, None), entry)
         self._cache.put(_cache_key(entry.identifier, entry.version), entry)
         event = RepositoryEvent(kind, entry)
-        for callback in list(self._subscribers):
+        with self._subscribers_mutex:
+            listeners = list(self._subscribers)
+        for callback in listeners:
             callback(event)
 
     # ------------------------------------------------------------------
@@ -242,19 +291,27 @@ class RepositoryService(StorageBackend):
 
         Returns the :class:`~repro.repository.search.SearchIndex`, which
         may also be queried directly for structured filters.
+
+        Runs under the *write* lock: the index lifecycle shares the one
+        service lock (no separate mutex to order against), writers are
+        excluded for the whole build-then-subscribe step so no write can
+        land between the two and go permanently unindexed, and the
+        build's own reads re-enter via writer reentrancy.
         """
-        if self._search_index is None:
-            from repro.repository.search import SearchIndex
-            index = SearchIndex()
-            self._search_unsubscribe = index.sync_with(self)
-            self._search_index = index
-        return self._search_index
+        with self._rwlock.write_locked():
+            if self._search_index is None:
+                from repro.repository.search import SearchIndex
+                index = SearchIndex()
+                self._search_unsubscribe = index.sync_with(self)
+                self._search_index = index
+            return self._search_index
 
     def disable_search(self) -> None:
         """Detach and drop the search index (a later search rebuilds)."""
-        if self._search_index is not None:
-            self._search_unsubscribe()
-            self._search_index = None
+        with self._rwlock.write_locked():
+            if self._search_index is not None:
+                self._search_unsubscribe()
+                self._search_index = None
 
     @property
     def search_index(self):
@@ -262,8 +319,19 @@ class RepositoryService(StorageBackend):
         return self._search_index
 
     def search(self, query: str, limit: int = 10):
-        """Ranked free-text search over latest versions (see SearchIndex)."""
-        return self.enable_search().search(query, limit)
+        """Ranked free-text search over latest versions (see SearchIndex).
+
+        Queries run under the read lock: index mutation happens only in
+        event subscribers, which run under the write lock, so readers
+        can never observe a half-applied upsert.
+        """
+        with self._rwlock.read_locked():
+            index = self._search_index
+            if index is not None:
+                return index.search(query, limit)
+        index = self.enable_search()
+        with self._rwlock.read_locked():
+            return index.search(query, limit)
 
     # ------------------------------------------------------------------
     # Cache management / introspection.

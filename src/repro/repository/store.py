@@ -7,7 +7,10 @@ The store grew into a layered subsystem (see ``ARCHITECTURE.md``):
 * the implementations moved to
   :class:`~repro.repository.backends.memory.MemoryBackend` and
   :class:`~repro.repository.backends.file.FileBackend` (plus the new
-  :class:`~repro.repository.backends.sqlite.SQLiteBackend`);
+  :class:`~repro.repository.backends.sqlite.SQLiteBackend`, and the
+  composite :class:`~repro.repository.backends.sharded.ShardedBackend`
+  / :class:`~repro.repository.backends.replicated.ReplicatedBackend`
+  scaling layer over them);
 * consumers should prefer the caching/batching facade,
   :class:`repro.repository.service.RepositoryService`.
 

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from repro.core.errors import TemplateError, ValidationError
 from repro.repository.entry import ExampleEntry
 from repro.repository.template import (
-    TEMPLATE,
     EntryType,
     MUTUALLY_EXCLUSIVE_TYPES,
 )

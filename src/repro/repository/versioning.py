@@ -92,7 +92,7 @@ class VersionHistory:
         self._require_nonempty()
         if version != self._items[-1][0]:
             raise VersioningError(
-                f"replace_latest must keep the version "
+                "replace_latest must keep the version "
                 f"({self._items[-1][0]}), got {version}")
         self._items[-1] = (version, payload)
 

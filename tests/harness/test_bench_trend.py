@@ -1,0 +1,98 @@
+"""The bench-trend pipeline: raw pytest-benchmark JSON -> trajectory.
+
+CI's ``bench-trend`` job depends on :func:`normalise_benchmark_json`
+producing a small, deterministic document and on ``benchmarks/trend.py``
+writing it where the artifact upload expects it; both are pinned here.
+"""
+
+from __future__ import annotations
+
+import json
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.reporting import normalise_benchmark_json
+
+RAW = {
+    "datetime": "2026-07-28T12:00:00",
+    "commit_info": {"id": "abc1234", "branch": "main"},
+    "machine_info": {"node": "ci-runner", "python_version": "3.12"},
+    "benchmarks": [
+        {
+            "name": "test_point_get_uncached[sqlite]",
+            "group": None,
+            "params": {"kind": "sqlite"},
+            "stats": {"min": 0.001, "max": 0.9, "mean": 0.002,
+                      "stddev": 0.0005, "rounds": 7, "ops": 500.0,
+                      "median": 0.0019, "iqr": 0.0001},
+        },
+        {
+            "name": "test_bulk_load[memory]",
+            "group": None,
+            "params": {"kind": "memory"},
+            "stats": {"min": 0.01, "mean": 0.02, "stddev": 0.001,
+                      "rounds": 3, "ops": 50.0},
+        },
+    ],
+}
+
+
+class TestNormalise:
+    def test_keeps_only_stable_stats_sorted_by_name(self):
+        trend = normalise_benchmark_json(RAW, label="PR7")
+        assert trend["schema"] == 1
+        assert trend["label"] == "PR7"
+        assert trend["commit"] == "abc1234"
+        assert trend["branch"] == "main"
+        assert trend["machine"] == "ci-runner"
+        assert trend["benchmark_count"] == 2
+        names = [row["name"] for row in trend["benchmarks"]]
+        assert names == sorted(names)
+        first = trend["benchmarks"][1]  # point_get sorts second
+        assert first["name"] == "test_point_get_uncached[sqlite]"
+        assert first["params"] == {"kind": "sqlite"}
+        assert first["stats"] == {"min": 0.001, "mean": 0.002,
+                                  "stddev": 0.0005, "rounds": 7,
+                                  "ops": 500.0}
+        assert "max" not in first["stats"]  # noisy stats are dropped
+
+    def test_tolerates_missing_sections(self):
+        trend = normalise_benchmark_json({}, label="local")
+        assert trend["benchmark_count"] == 0
+        assert trend["commit"] is None
+        assert trend["benchmarks"] == []
+
+    def test_is_deterministic(self):
+        one = normalise_benchmark_json(RAW, label="PR7")
+        two = normalise_benchmark_json(json.loads(json.dumps(RAW)),
+                                       label="PR7")
+        assert one == two
+
+
+class TestTrendCli:
+    TREND = Path(__file__).resolve().parents[2] / "benchmarks" / "trend.py"
+
+    def run_cli(self, monkeypatch, tmp_path, *arguments):
+        raw_path = tmp_path / "raw.json"
+        raw_path.write_text(json.dumps(RAW))
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(sys, "argv",
+                            ["trend.py", str(raw_path), *arguments])
+        with pytest.raises(SystemExit) as outcome:
+            runpy.run_path(str(self.TREND), run_name="__main__")
+        assert outcome.value.code == 0
+
+    def test_writes_default_artifact_name(self, monkeypatch, tmp_path):
+        self.run_cli(monkeypatch, tmp_path, "--label", "PR9")
+        written = json.loads((tmp_path / "BENCH_PR9.json").read_text())
+        assert written["label"] == "PR9"
+        assert written["benchmark_count"] == 2
+
+    def test_honours_explicit_out_path(self, monkeypatch, tmp_path):
+        self.run_cli(monkeypatch, tmp_path, "--label", "PR9",
+                     "--out", "custom.json")
+        assert json.loads((tmp_path / "custom.json").read_text())[
+            "label"] == "PR9"

@@ -1,0 +1,429 @@
+"""Concurrent access: the lock, the sqlite fix, and the hardened facade.
+
+Three layers of guarantees:
+
+* :class:`ReadWriteLock` — shared readers, exclusive writers, writer
+  preference, writer-reentrant reads;
+* :class:`SQLiteBackend` — file-backed databases serve reads from
+  per-thread read-only connections, so readers neither block on the
+  write lock nor observe uncommitted transactions (the sharded fan-out
+  path relies on this);
+* :class:`RepositoryService` — parallel writers lose no updates and
+  parallel readers can never cache a stale snapshot, over sharded and
+  replicated backends alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    ReplicatedBackend,
+    ShardedBackend,
+    SQLiteBackend,
+)
+from repro.repository.concurrency import ReadWriteLock
+from repro.repository.service import RepositoryService
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+from tests.repository.test_scaling_backends import assert_same_contents
+
+WAIT = 5.0  # generous upper bound for anything that should be instant
+
+
+def run_threads(targets):
+    """Run targets to completion; re-raise the first worker exception."""
+    errors: list[BaseException] = []
+
+    def wrap(target):
+        def runner():
+            try:
+                target()
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                errors.append(error)
+        return runner
+
+    threads = [threading.Thread(target=wrap(target)) for target in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(WAIT * 4)
+    assert not any(thread.is_alive() for thread in threads), "deadlock"
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# The lock itself.
+# ----------------------------------------------------------------------
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        both_in = threading.Barrier(2, timeout=WAIT)
+
+        def reader():
+            with lock.read_locked():
+                both_in.wait()  # both threads inside simultaneously
+
+        run_threads([reader, reader])
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        observed = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                time.sleep(0.05)
+                observed.append("write-done")
+
+        def reader():
+            writer_in.wait(WAIT)
+            with lock.read_locked():
+                observed.append("read")
+
+        run_threads([writer, reader])
+        assert observed == ["write-done", "read"]
+
+    def test_writers_exclude_each_other(self):
+        lock = ReadWriteLock()
+        depth = [0]
+
+        def writer():
+            for _round in range(50):
+                with lock.write_locked():
+                    depth[0] += 1
+                    assert depth[0] == 1
+                    depth[0] -= 1
+
+        run_threads([writer] * 4)
+
+    def test_writer_not_starved_by_reader_stream(self):
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        wrote = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.read_locked():
+                    time.sleep(0.001)
+
+        def writer():
+            with lock.write_locked():
+                wrote.set()
+
+        readers = [threading.Thread(target=reader) for _reader in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            time.sleep(0.02)  # readers are saturating the lock
+            writing = threading.Thread(target=writer)
+            writing.start()
+            assert wrote.wait(WAIT), "writer starved by readers"
+            writing.join(WAIT)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(WAIT)
+
+    def test_writer_may_reenter_both_ways(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.read_locked():  # subscriber reading back
+                with lock.write_locked():
+                    pass
+
+    def test_reader_reentry_survives_a_waiting_writer(self):
+        lock = ReadWriteLock()
+        reader_in = threading.Event()
+        writer_waiting = threading.Event()
+        release_reader = threading.Event()
+
+        def reader():
+            with lock.read_locked():
+                reader_in.set()
+                writer_waiting.wait(WAIT)
+                with lock.read_locked():  # must not deadlock
+                    release_reader.set()
+
+        def writer():
+            reader_in.wait(WAIT)
+            writer_waiting.set()
+            with lock.write_locked():
+                assert release_reader.is_set()
+
+        run_threads([reader, writer])
+
+    def test_upgrade_attempt_fails_fast(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_unbalanced_release_fails(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+# ----------------------------------------------------------------------
+# SQLite across threads (the sharded fan-out bugfix).
+# ----------------------------------------------------------------------
+
+class TestSQLiteThreadSafety:
+    def test_file_backed_reads_bypass_the_write_lock(self, tmp_path):
+        """Regression: reads used to serialise on the single write lock,
+        so a stalled writer blocked every fan-out reader."""
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add(minimal_entry())
+        got = []
+        with backend._lock:  # a writer mid-transaction
+            thread = threading.Thread(
+                target=lambda: got.append(backend.get("demo-example")))
+            thread.start()
+            thread.join(WAIT)
+            assert not thread.is_alive(), "reader blocked on write lock"
+        assert got[0].identifier == "demo-example"
+        backend.close()
+
+    def test_reader_threads_get_their_own_connections(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add(minimal_entry())
+        seen = []
+
+        def reader():
+            backend.get("demo-example")
+            seen.append(id(backend._read_conn()))
+
+        run_threads([reader, reader])
+        assert len(set(seen)) == 2
+        backend.close()
+
+    def test_read_connections_are_read_only(self, tmp_path):
+        import sqlite3
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add(minimal_entry())
+        backend.get("demo-example")
+        with pytest.raises(sqlite3.OperationalError):
+            backend._read_conn().execute("DELETE FROM entries")
+        backend.close()
+
+    def test_memory_database_is_shared_across_threads(self):
+        backend = SQLiteBackend()  # :memory: stays on one connection
+        backend.add(minimal_entry())
+        got = []
+        thread = threading.Thread(
+            target=lambda: got.append(backend.get("demo-example")))
+        thread.start()
+        thread.join(WAIT)
+        assert got[0].title == "DEMO EXAMPLE"
+        backend.close()
+
+    def test_parallel_readers_and_writer(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add(minimal_entry())
+        rounds = 20
+
+        def writer():
+            for minor in range(2, rounds + 2):
+                backend.add_version(
+                    minimal_entry(version=Version(0, minor)))
+
+        def reader():
+            for _round in range(rounds * 2):
+                versions = backend.versions("demo-example")
+                # Histories only ever grow, oldest first.
+                assert versions[0] == Version(0, 1)
+                assert versions == sorted(versions)
+                entry = backend.get("demo-example")
+                assert entry.version == versions[-1] or \
+                    entry.version > versions[-1]
+
+        run_threads([writer] + [reader] * 4)
+        assert backend.versions("demo-example")[-1] == \
+            Version(0, rounds + 1)
+        backend.close()
+
+    def test_close_after_cross_thread_reads(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add(minimal_entry())
+        run_threads([lambda: backend.get("demo-example")] * 3)
+        backend.close()  # closes every per-thread connection
+        with pytest.raises(Exception):
+            backend.get("demo-example")
+
+
+# ----------------------------------------------------------------------
+# The facade under contention.
+# ----------------------------------------------------------------------
+
+def batch_for(worker: int, count: int):
+    return [minimal_entry(title=f"W{worker} ENTRY {index}")
+            for index in range(count)]
+
+
+class TestServiceConcurrency:
+    def test_parallel_writers_lose_nothing_on_sharded_sqlite(self, tmp_path):
+        backend = ShardedBackend.create("sqlite", tmp_path / "cluster",
+                                        shard_count=4)
+        service = RepositoryService(backend)
+        workers, per_worker = 6, 20
+
+        def writer(worker: int):
+            def run():
+                for entry in batch_for(worker, per_worker):
+                    service.add(entry)
+            return run
+
+        run_threads([writer(worker) for worker in range(workers)])
+        assert service.entry_count() == workers * per_worker
+        # Cache and backend agree on every single entry.
+        for worker in range(workers):
+            for entry in batch_for(worker, per_worker):
+                assert service.get(entry.identifier) == \
+                    backend.get(entry.identifier)
+        service.close()
+
+    def test_contended_add_version_loses_no_update(self):
+        service = RepositoryService(MemoryBackend())
+        service.add(minimal_entry())
+        successes = [0] * 4
+        attempts_per_thread = 10
+
+        def contender(slot: int):
+            def run():
+                for _attempt in range(attempts_per_thread):
+                    while True:
+                        latest = service.versions("demo-example")[-1]
+                        candidate = Version(0, latest.minor + 1)
+                        try:
+                            service.add_version(
+                                minimal_entry(version=candidate))
+                        except StorageError:
+                            continue  # lost the race; re-read and retry
+                        successes[slot] += 1
+                        break
+            return run
+
+        run_threads([contender(slot) for slot in range(4)])
+        # Every success bumped the history by exactly one: no two
+        # writers ever landed the same version number.
+        total = sum(successes)
+        assert total == 4 * attempts_per_thread
+        assert service.versions("demo-example") == \
+            [Version(0, minor) for minor in range(1, total + 2)]
+        service.close()
+
+    def test_readers_never_cache_a_stale_snapshot(self):
+        service = RepositoryService(MemoryBackend())
+        service.add(minimal_entry())
+        rounds = 60
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for round_number in range(rounds):
+                    service.replace_latest(
+                        minimal_entry(overview=f"round {round_number}"))
+            finally:
+                stop.set()
+
+        def reader():
+            while not stop.is_set():
+                service.get("demo-example")
+
+        run_threads([writer] + [reader] * 4)
+        # The race this guards: a reader fetches, the writer lands,
+        # the reader caches its stale fetch over the fresh value.
+        assert service.get("demo-example").overview == \
+            f"round {rounds - 1}"
+        assert service.get("demo-example") == \
+            service.backend.get("demo-example")
+        service.close()
+
+    def test_replicated_service_converges(self, tmp_path):
+        primary = SQLiteBackend(tmp_path / "primary.db")
+        replica = FileBackend(tmp_path / "replica")
+        service = RepositoryService(ReplicatedBackend(primary, replica))
+
+        def writer(worker: int):
+            def run():
+                service.add_many(batch_for(worker, 10))
+            return run
+
+        def reader():
+            for _round in range(20):
+                identifiers = service.identifiers()
+                if identifiers:
+                    service.get_many(identifiers[:8])
+
+        run_threads([writer(worker) for worker in range(4)] + [reader] * 2)
+        assert service.entry_count() == 40
+        assert_same_contents(primary, replica)
+        # Synchronous mirroring under the write lock left no repair work.
+        report = service.backend.anti_entropy()
+        assert not report.changed
+        assert report.conflicts == []
+        service.close()
+
+    def test_search_enable_and_query_race_with_writers(self):
+        """Lazy index builds + queries are safe against live writers.
+
+        Two races this pins: a write landing between the index build
+        and its event subscription would go permanently unindexed, and
+        a query iterating the index while a subscriber upserts would
+        blow up on concurrent dict mutation.
+        """
+        service = RepositoryService(MemoryBackend())
+        service.add_many(batch_for(9, 20))
+        stop = threading.Event()
+        writes = 40
+
+        def writer():
+            try:
+                for index in range(writes):
+                    service.add(minimal_entry(
+                        title=f"RACE ENTRY {index}",
+                        overview="Contended racing snapshot."))
+            finally:
+                stop.set()
+
+        def searcher():
+            while not stop.is_set():
+                service.search("racing snapshot")
+
+        run_threads([writer] + [searcher] * 3)
+        hits = service.search("racing", limit=writes + 5)
+        assert len(hits) == writes
+        service.close()
+
+    def test_search_tracks_concurrent_writes(self):
+        service = RepositoryService(MemoryBackend())
+        service.add(minimal_entry())
+        service.enable_search()
+
+        def writer(worker: int):
+            def run():
+                for index in range(8):
+                    service.add(minimal_entry(
+                        title=f"XQ{worker}N{index} TOPIC",
+                        overview=f"Unique token xq{worker}n{index}."))
+            return run
+
+        run_threads([writer(worker) for worker in range(3)])
+        for worker in range(3):
+            for index in range(8):
+                hits = service.search(f"xq{worker}n{index}")
+                assert [hit.identifier for hit in hits] == \
+                    [f"xq{worker}n{index}-topic"]
+        service.close()
