@@ -80,8 +80,9 @@ def test_search_index_build(benchmark, populated_service):
 
 
 def test_search_query(benchmark, populated_service):
-    hits = benchmark(populated_service.search,
-                     "composers nationality list")
+    hits = benchmark(
+        lambda: populated_service.query(
+            "composers nationality list").hits)
     assert hits
 
 

@@ -45,6 +45,7 @@ from repro.repository.backends import (
     SQLiteBackend,
     StorageBackend,
 )
+from repro.repository.query import Q, plan
 from repro.repository.entry import (
     ExampleEntry,
     ModelDescription,
@@ -222,7 +223,7 @@ def test_search_after_update(benchmark, kind, bulk_size, tmp_path_factory):
     def update_and_search():
         minor[0] += 1
         service.add_version(target.with_version(Version(0, minor[0])))
-        return service.search("generated composer")
+        return service.query("generated composer").hits
 
     assert benchmark(update_and_search)
     service.close()
@@ -231,6 +232,57 @@ def test_search_after_update(benchmark, kind, bulk_size, tmp_path_factory):
 # ----------------------------------------------------------------------
 # Micro-benchmarks of the scaling layer.
 # ----------------------------------------------------------------------
+
+#: The faceted query the pushdown benchmarks exercise: free text and
+#: a structured filter, ranked, first page only.
+def pushdown_plan():
+    return plan(Q.text("composer tree") & Q.property("correct"),
+                limit=10)
+
+
+@pytest.mark.parametrize("shard_count", [1, 2, 4])
+def test_sharded_query_fanout(benchmark, shard_count, bulk_size,
+                              tmp_path_factory):
+    """One faceted query fanned out across N local sqlite shards.
+
+    Phase one aggregates global IDF statistics, phase two runs the
+    compiled plan on each shard in parallel and merge-sorts the
+    partial pages — the trend file tracks the fan-out overhead per
+    shard count.
+    """
+    entries = make_entries(bulk_size)
+    backend = sharded_sqlite(
+        tmp_path_factory.mktemp(f"qshards{shard_count}"),
+        shard_count, entries)
+
+    result = benchmark(backend.execute_query, pushdown_plan())
+    assert result.total > 0
+    assert len(result.hits) == 10
+    backend.close()
+
+
+def test_sqlite_query_pushdown(benchmark, bulk_size, tmp_path_factory):
+    """The compiled-to-SQL plan on one warm sqlite store."""
+    backend = SQLiteBackend(
+        tmp_path_factory.mktemp("qpush") / "repo.db")
+    backend.add_many(make_entries(bulk_size))
+
+    result = benchmark(backend.execute_query, pushdown_plan())
+    assert result.total > 0
+    backend.close()
+
+
+def test_query_python_evaluator(benchmark, bulk_size, tmp_path_factory):
+    """The same plan through the in-Python fallback (the baseline)."""
+    backend = SQLiteBackend(
+        tmp_path_factory.mktemp("qpy") / "repo.db")
+    backend.add_many(make_entries(bulk_size))
+
+    result = benchmark(
+        lambda: StorageBackend.execute_query(backend, pushdown_plan()))
+    assert result.total > 0
+    backend.close()
+
 
 @pytest.mark.parametrize("shard_count", [1, 2, 4])
 def test_sharded_zipfian_get_many(benchmark, shard_count, bulk_size,
@@ -356,6 +408,40 @@ class TestAccelerationTargets:
               f"incremental after add_version "
               f"{incremental * 1000:.2f}ms ({ratio:.1f}x faster)")
         assert ratio >= 10.0
+
+
+class TestQueryPushdownTargets:
+    """The unified-query acceptance ratio: SQL pushdown must beat the
+    in-Python evaluator by >= 5x on a 5k-entry store."""
+
+    SIZE = 5000
+
+    def test_sql_pushdown_beats_python_evaluator(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        backend.add_many(make_entries(self.SIZE))
+        query_plan = pushdown_plan()
+
+        # Same plan, same store, both paths must agree before we race
+        # them: the native SQL compilation vs the base-class fallback
+        # that materialises and tokenises every latest snapshot.
+        pushed = backend.execute_query(query_plan)
+        python = StorageBackend.execute_query(backend, query_plan)
+        assert pushed.total == python.total > 0
+        assert pushed.identifiers == python.identifiers
+        assert pushed.facets == python.facets
+
+        python_seconds = _clock(
+            lambda: StorageBackend.execute_query(backend, query_plan))
+        sqlite_seconds = min(
+            _clock(lambda: backend.execute_query(query_plan))
+            for _round in range(3))
+
+        ratio = python_seconds / sqlite_seconds
+        print(f"\nfaceted query over {self.SIZE}: in-Python evaluator "
+              f"{python_seconds * 1000:.1f}ms, SQL pushdown "
+              f"{sqlite_seconds * 1000:.1f}ms ({ratio:.1f}x faster)")
+        assert ratio >= 5.0
+        backend.close()
 
 
 class TestScalingTargets:

@@ -18,7 +18,9 @@ from repro.catalogue.composers import make_composer
 from repro.core.laws import CheckConfig
 from repro.repository.citation import cite_entry
 from repro.repository.export import render_wikidot
+from repro.repository.query import Q
 from repro.repository.service import RepositoryService
+from repro.repository.template import EntryType
 
 
 def main() -> None:
@@ -30,11 +32,19 @@ def main() -> None:
     for identifier in store.identifiers():
         print(f"  - {identifier}")
 
-    # ...findable by ranked free-text search (§5.2: "will people be
-    # able to find and refer to relevant examples?").
-    hits = store.search("composers nationality")
-    print("search 'composers nationality' ->",
-          [hit.identifier for hit in hits[:3]])
+    # ...findable through the unified query API (§5.2: "will people be
+    # able to find and refer to relevant examples?").  Free text,
+    # structured filters and combinators compose in one expression;
+    # the result carries ranked hits plus totals and facet counts.
+    result = store.query(Q.text("composers nationality"), limit=3)
+    print("query 'composers nationality' ->", result.identifiers)
+
+    faceted = store.query(
+        Q.text("schema") & Q.type(EntryType.PRECISE)
+        & Q.property("correct"))
+    print(f"precise + correct + 'schema' -> {faceted.identifiers} "
+          f"(of {faceted.total}; property facets "
+          f"{faceted.facets['property']})")
 
     # 2. The COMPOSERS entry, rendered as its wiki page.
     composers = catalogue_example("composers")

@@ -27,6 +27,7 @@ from repro.repository.backends import (
     ReplicatedBackend,
     ShardedBackend,
 )
+from repro.repository.query import Q
 from repro.repository.service import RepositoryService
 from repro.repository.versioning import Version
 
@@ -99,6 +100,20 @@ def main() -> None:
     page = replica.get("composers")
     print(f"\nwiki-independent copy serves: {page.title!r} "
           f"at {page.version} from {replica.root}")
+
+    # 6. Faceted retrieval over the cluster: the service pushes the
+    #    plan down, the replicated layer routes it to a healthy copy,
+    #    and the shards execute it in parallel with *global* IDF
+    #    statistics — so the ranked page is identical to what a single
+    #    store would return.
+    result = service.query(Q.text("composers nationality")
+                           & Q.property("correct"),
+                           limit=5)
+    print(f"\nfan-out query over {shards.shard_count} shards: "
+          f"top {len(result.hits)} of {result.total} matches "
+          f"{result.identifiers}")
+    print(f"  facets: types {result.facets['type']}, "
+          f"review {result.facets['review']}")
     service.close()
 
 

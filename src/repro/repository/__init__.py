@@ -57,6 +57,14 @@ from repro.repository.glossary import (
     glossary_terms,
     known_property_names,
 )
+from repro.repository.query import (
+    Q,
+    Query,
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    plan,
+)
 from repro.repository.search import SearchHit, SearchIndex, tokenize
 from repro.repository.service import RepositoryEvent, RepositoryService
 from repro.repository.store import FileStore, MemoryStore, RepositoryStore
@@ -80,6 +88,7 @@ from repro.repository.wiki_sync import (
     make_wiki_sync_lens,
     normalise_entry,
     parse_wikidot,
+    render_wiki_pages,
     wikidot_space,
 )
 
@@ -105,6 +114,8 @@ __all__ = [
     "AntiEntropyReport", "ReadWriteLock",
     # service facade
     "RepositoryService", "RepositoryEvent",
+    # the unified query API
+    "Q", "Query", "QueryPlan", "QueryResult", "QueryStats", "plan",
     # search
     "SearchIndex", "SearchHit", "tokenize",
     # citation
@@ -116,6 +127,7 @@ __all__ = [
     # wiki sync
     "parse_wikidot", "normalise_entry", "entry_space", "wikidot_space",
     "WikiSyncLens", "make_wiki_sync_lens", "apply_wiki_edit",
+    "render_wiki_pages",
     # glossary
     "GlossaryTerm", "glossary_terms", "known_property_names", "define",
 ]

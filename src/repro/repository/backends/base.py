@@ -37,6 +37,14 @@ from typing import Iterable, Sequence, Union
 
 from repro.core.errors import EntryNotFound
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    CorpusIndex,
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    corpus_stats,
+    evaluate_plan,
+)
 from repro.repository.versioning import Version
 
 __all__ = ["StorageBackend", "GetRequest"]
@@ -141,6 +149,53 @@ class StorageBackend(ABC):
         """Version lists for many identifiers at once."""
         return {identifier: self.versions(identifier)
                 for identifier in identifiers}
+
+    # ------------------------------------------------------------------
+    # The query capability protocol (see repro.repository.query).
+    # ------------------------------------------------------------------
+
+    #: Whether :meth:`execute_query` is cheaper than materialising the
+    #: corpus in Python — SQLite compiles the plan to SQL; composites
+    #: inherit the capability from their children.  The service facade
+    #: pushes plans down when this is True and otherwise evaluates them
+    #: over its own (persistent, incrementally maintained) index.
+    supports_native_query = False
+
+    def change_counter(self) -> int | None:
+        """A persisted counter that increases on every write, or None.
+
+        The search-index snapshot is stamped with this value so a later
+        process can tell whether the snapshot still reflects the
+        backend (see :meth:`SearchIndex.load`).  Backends that cannot
+        provide a durable counter return None, which disables snapshot
+        reuse but nothing else.
+        """
+        return None
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        """Corpus statistics for the ranker: N and per-term df.
+
+        The default materialises the corpus; indexed backends answer
+        from their term tables, and the sharded composite sums its
+        children — which is how fan-out scoring stays equal to
+        single-store scoring.
+        """
+        index = CorpusIndex(self.get_many(self.identifiers()))
+        return corpus_stats(index, terms)
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        """Execute one query plan; every backend answers identically.
+
+        The default builds a throwaway in-Python index over the latest
+        snapshots and runs the shared evaluator — always correct, never
+        fast.  Backends with a cheaper native path (SQL pushdown,
+        sharded fan-out, replica routing) override this and set
+        :attr:`supports_native_query`; ``stats`` lets a composite
+        impose corpus-global ranking statistics on its children.
+        """
+        index = CorpusIndex(self.get_many(self.identifiers()))
+        return evaluate_plan(index, plan, stats)
 
     # ------------------------------------------------------------------
     # Conveniences shared by implementations.

@@ -32,6 +32,7 @@ class FileBackend(StorageBackend):
         self.root = Path(root)
         self.entries_dir = self.root / "entries"
         self.entries_dir.mkdir(parents=True, exist_ok=True)
+        self._counter_path = self.root / "change-counter"
 
     # ------------------------------------------------------------------
     # Paths.
@@ -105,14 +106,43 @@ class FileBackend(StorageBackend):
                 f"got {entry.version}")
         self._write(entry)
 
+    def change_counter(self) -> int:
+        """Durable write counter, stored next to the entries tree.
+
+        Lives in ``<root>/change-counter``, so a *later* process
+        opening the same directory sees what earlier (serialised)
+        writers did — which is what lets an index snapshot detect that
+        the tree moved on.  Writers must be serialised, as everywhere
+        else in this backend (``add`` itself is check-then-act); the
+        service facade's write lock provides that within a process,
+        and concurrent writer *processes* are outside FileBackend's
+        contract.  A tree that predates the counter file reads as 0.
+        """
+        try:
+            return int(self._counter_path.read_text().strip() or 0)
+        except (OSError, ValueError):
+            return 0
+
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
     def _write(self, entry: ExampleEntry) -> None:
+        # The counter bumps *before* the snapshot rename: a crash
+        # between the two leaves an advanced counter and no new
+        # content, so a stamped index snapshot merely rebuilds
+        # spuriously.  The opposite order would leave new content
+        # under an old counter — a stale snapshot trusted as fresh.
+        self._bump_counter()
         path = self._version_path(entry.identifier, entry.version)
         temp = path.with_suffix(".json.tmp")
         with temp.open("w", encoding="utf-8") as handle:
             json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         temp.replace(path)
+
+    def _bump_counter(self) -> None:
+        # Atomic per write (temp + rename), like the snapshots.
+        temp = self._counter_path.with_name("change-counter.tmp")
+        temp.write_text(f"{self.change_counter() + 1}\n")
+        temp.replace(self._counter_path)

@@ -61,6 +61,13 @@ class MemoryBackend(StorageBackend):
     def entry_count(self) -> int:
         return len(self._histories)
 
+    # change_counter: inherits the base's None.  An in-process counter
+    # would be worse than none: a fresh process starts a fresh
+    # MemoryBackend at the same count, so a snapshot stamped by a
+    # previous process would be trusted against a different corpus.
+    # None makes snapshot reuse impossible, which for an ephemeral
+    # backend is the only safe answer.
+
     def _history(self, identifier: str) -> VersionHistory:
         history = self._histories.get(identifier)
         if history is None:

@@ -38,6 +38,7 @@ from repro.repository.backends.base import (
     StorageBackend,
 )
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import QueryPlan, QueryResult, QueryStats
 from repro.repository.versioning import Version
 
 __all__ = ["AntiEntropyReport", "ReplicatedBackend"]
@@ -111,6 +112,44 @@ class ReplicatedBackend(StorageBackend):
 
     def entry_count(self) -> int:
         return self._read(lambda backend: backend.entry_count())
+
+    # ------------------------------------------------------------------
+    # Queries: route to a healthy copy (primary first, then replicas).
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_native_query(self) -> bool:  # type: ignore[override]
+        return self.primary.supports_native_query
+
+    def change_counter(self) -> int | None:
+        """The *primary's* counter — the authoritative history.
+
+        Replica counters track replica writes and are not comparable,
+        so no failover here: if the primary is down the counter is
+        simply unavailable and index snapshots fall back to a rebuild.
+        """
+        try:
+            return self.primary.change_counter()
+        except BxError:
+            raise
+        except Exception:  # noqa: BLE001 - treat an outage as "no counter"
+            return None
+
+    def query_stats(self, terms: Sequence[str]):
+        return self._read(lambda backend: backend.query_stats(terms))
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        """Execute on the primary, failing over to a healthy replica.
+
+        The same infrastructure-vs-semantic failover rule as every
+        other read: an unreachable copy is skipped, a real answer
+        propagates.  A replica that is behind the primary answers from
+        its own (older but internally consistent) state — the standard
+        replicated-read caveat.
+        """
+        return self._read(
+            lambda backend: backend.execute_query(plan, stats))
 
     # ------------------------------------------------------------------
     # Writes: primary decides, replicas follow.

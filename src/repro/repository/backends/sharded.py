@@ -29,6 +29,7 @@ sharded primary, and shards can themselves be replicated.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -41,6 +42,14 @@ from repro.repository.backends.base import (
     _split_request,
 )
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    collect_positive_terms,
+    collect_terms,
+    merge_results,
+)
 from repro.repository.versioning import Version
 
 __all__ = ["ShardedBackend", "shard_index"]
@@ -202,6 +211,60 @@ class ShardedBackend(StorageBackend):
             merged.update(listing)
         # Answer in request order (dicts preserve insertion order).
         return {identifier: merged[identifier] for identifier in identifiers}
+
+    # ------------------------------------------------------------------
+    # Query fan-out: global stats first, then merge-sorted partials.
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_native_query(self) -> bool:  # type: ignore[override]
+        """Native when every shard is (the fan-out only re-sorts)."""
+        return all(shard.supports_native_query for shard in self.shards)
+
+    def change_counter(self) -> int | None:
+        """Sum of the shard counters (None if any shard lacks one)."""
+        counters = self._fan_out(self.shards,
+                                 lambda shard: shard.change_counter())
+        if any(counter is None for counter in counters):
+            return None
+        return sum(counters)
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        """Corpus-global statistics: the shard stats summed.
+
+        Identifiers are disjoint across shards, so document counts and
+        per-term document frequencies are additive.
+        """
+        return QueryStats.merge(self._fan_out(
+            self.shards, lambda shard: shard.query_stats(terms)))
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        """Fan the plan out and reassemble one globally correct page.
+
+        Two phases: aggregate corpus-global ranking statistics (unless
+        a parent composite already supplied them), then run the same
+        filter on every shard *with those stats*, each shard returning
+        its own top ``offset + limit`` hits.  The merge re-sorts the
+        partials and cuts the global page, so pagination is exact —
+        shard-local scores are comparable precisely because the IDF
+        inputs were globalised first.
+
+        A plan with no scoring terms (pure structured filters, or only
+        negated text) skips the statistics phase: every score is 0.0
+        regardless, and over non-native shards the phase would
+        materialise each shard's corpus a second time for nothing.
+        """
+        if stats is None and collect_positive_terms(plan.where):
+            stats = self.query_stats(collect_terms(plan.where))
+        elif stats is None:
+            stats = QueryStats(0)
+        child_plan = dataclasses.replace(
+            plan, offset=0, limit=plan.page_end())
+        partials = self._fan_out(
+            self.shards,
+            lambda shard: shard.execute_query(child_plan, stats))
+        return merge_results(partials, plan)
 
     # ------------------------------------------------------------------
     # Lifecycle.

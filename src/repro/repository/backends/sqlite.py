@@ -10,6 +10,35 @@ whole bulk load in one transaction instead of one rename per snapshot.
 tests and benchmarks; any path gives a durable single-file store in WAL
 mode.
 
+Query pushdown — the backend natively executes
+:class:`~repro.repository.query.QueryPlan` trees
+(``supports_native_query = True``).  Alongside the snapshots it
+maintains a set of **latest-version metadata tables**:
+
+* ``latest`` — one row per identifier (its latest major/minor and
+  review flag), the base relation queries filter;
+* ``latest_types`` / ``latest_properties`` / ``latest_authors`` —
+  indexed structured metadata;
+* ``latest_terms`` — an FTS-style terms table holding the
+  field-boosted term weights of
+  :func:`repro.repository.query.entry_terms`.
+
+``execute_query`` compiles the filter AST to SQL over these tables
+(``EXISTS`` probes combined with ``AND``/``OR``/``NOT``), computes
+facets and ranking-term weights from the metadata tables alone, and
+decodes JSON payloads **only for the page of hits it returns** — which
+is what makes a selective query over a big store cheap.
+
+Metadata maintenance is **deferred with precise dirty tracking**: each
+write transaction records the written identifier in a ``dirty`` table
+(one tiny insert, so bulk loads keep their bulk-load speed) and every
+query path first re-indexes exactly the dirty identifiers.  The marks
+commit with the write, so a crash can never lose index maintenance —
+at worst the next query redoes it.  A ``meta`` table carries the
+durable change counter that stamps search-index snapshots.  Databases
+written before these tables existed are adopted on open by marking
+their unindexed identifiers dirty.
+
 Thread safety — the backend is safe to share across threads, which the
 sharded fan-out path relies on:
 
@@ -30,7 +59,7 @@ import json
 import sqlite3
 import threading
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.core.errors import (
     DuplicateEntry,
@@ -39,6 +68,27 @@ from repro.core.errors import (
 )
 from repro.repository.backends.base import StorageBackend, _split_request
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    All,
+    And,
+    ByAuthor,
+    HasProperty,
+    IsReviewed,
+    Not,
+    Or,
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    SearchHit,
+    Text,
+    TypeIs,
+    collect_positive_terms,
+    empty_facets,
+    entry_terms,
+    property_facet_label,
+    review_facet_label,
+    score_entry,
+)
 from repro.repository.versioning import Version
 
 __all__ = ["SQLiteBackend"]
@@ -50,12 +100,60 @@ CREATE TABLE IF NOT EXISTS entries (
     minor      INTEGER NOT NULL,
     payload    TEXT    NOT NULL,
     PRIMARY KEY (identifier, major, minor)
-)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS latest (
+    identifier TEXT PRIMARY KEY,
+    major      INTEGER NOT NULL,
+    minor      INTEGER NOT NULL,
+    reviewed   INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS latest_types (
+    identifier TEXT NOT NULL,
+    type       TEXT NOT NULL,
+    PRIMARY KEY (identifier, type)
+);
+CREATE INDEX IF NOT EXISTS latest_types_by_type
+    ON latest_types (type, identifier);
+CREATE TABLE IF NOT EXISTS latest_properties (
+    identifier TEXT    NOT NULL,
+    name       TEXT    NOT NULL,
+    holds      INTEGER NOT NULL,
+    PRIMARY KEY (identifier, name, holds)
+);
+CREATE INDEX IF NOT EXISTS latest_properties_by_name
+    ON latest_properties (name, holds, identifier);
+CREATE TABLE IF NOT EXISTS latest_authors (
+    identifier TEXT NOT NULL,
+    author     TEXT NOT NULL,
+    PRIMARY KEY (identifier, author)
+);
+CREATE INDEX IF NOT EXISTS latest_authors_by_author
+    ON latest_authors (author, identifier);
+CREATE TABLE IF NOT EXISTS latest_terms (
+    identifier TEXT NOT NULL,
+    term       TEXT NOT NULL,
+    weight     REAL NOT NULL,
+    PRIMARY KEY (term, identifier)
+);
+CREATE INDEX IF NOT EXISTS latest_terms_by_identifier
+    ON latest_terms (identifier);
+CREATE TABLE IF NOT EXISTS dirty (
+    identifier TEXT PRIMARY KEY
+);
 """
+
+_AUX_TABLES = ("latest", "latest_types", "latest_properties",
+               "latest_authors", "latest_terms")
 
 
 class SQLiteBackend(StorageBackend):
     """Versioned entry storage in a single SQLite database."""
+
+    supports_native_query = True
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
@@ -70,7 +168,26 @@ class SQLiteBackend(StorageBackend):
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
-            self._conn.execute(_SCHEMA)
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) "
+                "VALUES ('change_counter', 0)")
+            self._migrate_latest_tables()
+
+    def _migrate_latest_tables(self) -> None:
+        """Adopt a pre-pushdown database: mark unindexed rows dirty.
+
+        A database written before the query tables existed has
+        snapshots but no ``latest`` rows; marking those identifiers
+        dirty folds the migration into the ordinary deferred-indexing
+        flush — the first query re-indexes them.  A no-op for
+        databases this version has maintained.
+        """
+        self._conn.execute(
+            "INSERT OR REPLACE INTO dirty "
+            "SELECT DISTINCT identifier FROM entries e "
+            "WHERE NOT EXISTS ("
+            "  SELECT 1 FROM latest l WHERE l.identifier = e.identifier)")
 
     # ------------------------------------------------------------------
     # Read plumbing.  Durable databases: one read-only connection per
@@ -135,19 +252,7 @@ class SQLiteBackend(StorageBackend):
                                 if version is None})
 
         def fetch(conn) -> list[ExampleEntry]:
-            latest: dict[str, str] = {}
-            for chunk_start in range(0, len(latest_wanted), 400):
-                chunk = latest_wanted[chunk_start:chunk_start + 400]
-                marks = ",".join("?" * len(chunk))
-                rows = conn.execute(
-                    "SELECT e.identifier, e.payload FROM entries e "
-                    f"WHERE e.identifier IN ({marks}) AND NOT EXISTS ("
-                    "  SELECT 1 FROM entries f "
-                    "  WHERE f.identifier = e.identifier "
-                    "  AND (f.major > e.major OR "
-                    "       (f.major = e.major AND f.minor > e.minor)))",
-                    chunk).fetchall()
-                latest.update(rows)
+            latest = self._latest_payloads(conn, latest_wanted)
             results = []
             for identifier, version in split:
                 if version is None:
@@ -170,6 +275,144 @@ class SQLiteBackend(StorageBackend):
             "SELECT COUNT(DISTINCT identifier) FROM entries").fetchone())
         return count
 
+    def change_counter(self) -> int:
+        """Durable write counter (bumped once per write transaction)."""
+        row = self._run_read(lambda conn: conn.execute(
+            "SELECT value FROM meta WHERE key = 'change_counter'"
+        ).fetchone())
+        return int(row[0]) if row is not None else 0
+
+    # ------------------------------------------------------------------
+    # Query pushdown.
+    # ------------------------------------------------------------------
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        """N and per-term df straight from the terms table."""
+        self._flush_index()
+        return self._run_read(lambda conn: self._stats_on(conn, terms))
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        """Compile the plan to SQL; decode payloads only for the page.
+
+        Flushes deferred index maintenance first, then the compiled
+        filter runs exactly once (one scan of ``latest`` with indexed
+        ``EXISTS`` probes); facet counts and ranking-term weights are
+        gathered with chunked ``IN`` probes over the matched
+        identifiers, and the JSON snapshots are decoded exactly
+        ``len(hits)`` times.
+        """
+        self._flush_index()
+        where_sql, where_params = _compile(plan.where)
+        positive_terms = collect_positive_terms(plan.where)
+
+        def fetch(conn) -> QueryResult:
+            ranking_stats = stats
+            if ranking_stats is None:
+                ranking_stats = self._stats_on(conn, positive_terms)
+            match_rows = conn.execute(
+                "SELECT m.identifier, m.reviewed FROM latest m "
+                f"WHERE {where_sql}", where_params).fetchall()
+            matched = [identifier for identifier, _reviewed in match_rows]
+            facets = self._facets_on(conn, match_rows)
+            weights = self._term_weights_on(conn, positive_terms, matched)
+            scored = sorted(
+                ((score_entry(positive_terms, ranking_stats,
+                              weights.get(identifier, {})), identifier)
+                 for identifier in matched),
+                key=(lambda item: item[1]) if plan.sort == "identifier"
+                else (lambda item: (-item[0], item[1])))
+            page = scored[plan.offset:plan.page_end()]
+            payloads = self._latest_payloads(
+                conn, [identifier for _score, identifier in page])
+            hits = tuple(
+                SearchHit(identifier, score,
+                          ExampleEntry.from_dict(
+                              json.loads(payloads[identifier])))
+                for score, identifier in page)
+            return QueryResult(hits=hits, total=len(matched), facets=facets)
+
+        return self._run_read(fetch)
+
+    def _stats_on(self, conn, terms: Sequence[str]) -> QueryStats:
+        unique = list(dict.fromkeys(terms))
+        (count,) = conn.execute("SELECT COUNT(*) FROM latest").fetchone()
+        frequency = dict.fromkeys(unique, 0)
+        if unique:
+            marks = ",".join("?" * len(unique))
+            frequency.update(conn.execute(
+                "SELECT term, COUNT(*) FROM latest_terms "
+                f"WHERE term IN ({marks}) GROUP BY term", unique))
+        return QueryStats(count, frequency)
+
+    def _facets_on(self, conn,
+                   match_rows: list) -> dict[str, dict[str, int]]:
+        facets = empty_facets()
+        review = facets["review"]
+        for _identifier, reviewed in match_rows:
+            label = review_facet_label(bool(reviewed))
+            review[label] = review.get(label, 0) + 1
+        matched = [identifier for identifier, _reviewed in match_rows]
+        for chunk in _chunks(matched):
+            marks = ",".join("?" * len(chunk))
+            bucket = facets["type"]
+            for value, count in conn.execute(
+                    "SELECT type, COUNT(*) FROM latest_types "
+                    f"WHERE identifier IN ({marks}) GROUP BY type",
+                    chunk):
+                bucket[value] = bucket.get(value, 0) + count
+            bucket = facets["property"]
+            for name, holds, count in conn.execute(
+                    "SELECT name, holds, COUNT(*) FROM latest_properties "
+                    f"WHERE identifier IN ({marks}) GROUP BY name, holds",
+                    chunk):
+                label = property_facet_label(name, bool(holds))
+                bucket[label] = bucket.get(label, 0) + count
+            bucket = facets["author"]
+            for author, count in conn.execute(
+                    "SELECT author, COUNT(*) FROM latest_authors "
+                    f"WHERE identifier IN ({marks}) GROUP BY author",
+                    chunk):
+                bucket[author] = bucket.get(author, 0) + count
+        return facets
+
+    def _term_weights_on(self, conn, terms: Sequence[str],
+                         matched: list) -> dict[str, dict[str, float]]:
+        """Per-entry weights of the scoring terms, matching rows only."""
+        unique = list(dict.fromkeys(terms))
+        if not unique:
+            return {}
+        term_marks = ",".join("?" * len(unique))
+        weights: dict[str, dict[str, float]] = {}
+        for chunk in _chunks(matched):
+            marks = ",".join("?" * len(chunk))
+            for identifier, term, weight in conn.execute(
+                    "SELECT identifier, term, weight FROM latest_terms "
+                    f"WHERE term IN ({term_marks}) "
+                    f"AND identifier IN ({marks})",
+                    [*unique, *chunk]):
+                weights.setdefault(identifier, {})[term] = weight
+        return weights
+
+    def _latest_payloads(self, conn,
+                         identifiers: Sequence[str]) -> dict[str, str]:
+        """Latest payload per identifier, in chunked bulk queries."""
+        wanted = list(identifiers)
+        latest: dict[str, str] = {}
+        for chunk_start in range(0, len(wanted), 400):
+            chunk = wanted[chunk_start:chunk_start + 400]
+            marks = ",".join("?" * len(chunk))
+            rows = conn.execute(
+                "SELECT e.identifier, e.payload FROM entries e "
+                f"WHERE e.identifier IN ({marks}) AND NOT EXISTS ("
+                "  SELECT 1 FROM entries f "
+                "  WHERE f.identifier = e.identifier "
+                "  AND (f.major > e.major OR "
+                "       (f.major = e.major AND f.minor > e.minor)))",
+                chunk).fetchall()
+            latest.update(rows)
+        return latest
+
     # ------------------------------------------------------------------
     # Writes (serialised; each is one transaction).
     # ------------------------------------------------------------------
@@ -179,6 +422,8 @@ class SQLiteBackend(StorageBackend):
             if self._has(self._conn, entry.identifier):
                 raise DuplicateEntry(entry.identifier)
             self._insert(entry)
+            self._mark_dirty([entry.identifier])
+            self._bump_counter()
 
     def add_version(self, entry: ExampleEntry) -> None:
         with self._lock, self._conn:
@@ -190,6 +435,8 @@ class SQLiteBackend(StorageBackend):
                     f"version {entry.version} does not increase on "
                     f"{Version(*latest)} for {entry.identifier!r}")
             self._insert(entry)
+            self._mark_dirty([entry.identifier])
+            self._bump_counter()
 
     def replace_latest(self, entry: ExampleEntry) -> None:
         with self._lock, self._conn:
@@ -206,6 +453,8 @@ class SQLiteBackend(StorageBackend):
                 (json.dumps(entry.to_dict(), sort_keys=True),
                  entry.identifier, entry.version.major,
                  entry.version.minor))
+            self._mark_dirty([entry.identifier])
+            self._bump_counter()
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
         """Bulk-load brand-new entries in a single transaction.
@@ -237,6 +486,8 @@ class SQLiteBackend(StorageBackend):
                   entry.version.minor,
                   json.dumps(entry.to_dict(), sort_keys=True))
                  for entry in batch])
+            self._mark_dirty([entry.identifier for entry in batch])
+            self._bump_counter()
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -294,3 +545,151 @@ class SQLiteBackend(StorageBackend):
             "SELECT major, minor FROM entries WHERE identifier = ? "
             "ORDER BY major DESC, minor DESC LIMIT 1",
             (identifier,)).fetchone()
+
+    def _mark_dirty(self, identifiers: Sequence[str]) -> None:
+        """Record identifiers whose metadata rows are now stale.
+
+        Runs inside the caller's write transaction, so a write and its
+        dirty mark commit (or roll back) together — the deferred flush
+        can never miss a committed write, even across a crash.
+        """
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO dirty (identifier) VALUES (?)",
+            [(identifier,) for identifier in identifiers])
+
+    def _flush_index(self) -> None:
+        """Re-index every dirty identifier's latest-version metadata.
+
+        The deferred half of index maintenance: writes only mark
+        identifiers dirty (a single tiny insert, so bulk loads stay
+        bulk-load fast); the first query pays the indexing cost for
+        whatever accumulated, in one transaction.  Idempotent and
+        crash-safe — dirty marks clear only when their rows commit.
+
+        Multi-process safety: the transaction's *first* statement
+        deletes exactly the marks being flushed — never a blanket
+        ``DELETE FROM dirty`` — so a mark committed by another process
+        after our snapshot of the list survives to the next flush.
+        That first delete also takes SQLite's single-writer lock, so
+        the payloads indexed below cannot be superseded by a foreign
+        commit before ours lands (a writer that is blocked on us will
+        re-mark its identifier dirty when it proceeds).
+        """
+        with self._lock:
+            dirty = [identifier for (identifier,) in self._conn.execute(
+                "SELECT identifier FROM dirty").fetchall()]
+            if not dirty:
+                return
+            with self._conn:
+                for chunk in _chunks(dirty):
+                    marks = ",".join("?" * len(chunk))
+                    self._conn.execute(
+                        "DELETE FROM dirty "
+                        f"WHERE identifier IN ({marks})", chunk)
+                    for table in _AUX_TABLES:
+                        self._conn.execute(
+                            f"DELETE FROM {table} "
+                            f"WHERE identifier IN ({marks})", chunk)
+                payloads = self._latest_payloads(self._conn, dirty)
+                self._index_latest_batch(
+                    [ExampleEntry.from_dict(json.loads(payload))
+                     for payload in payloads.values()])
+
+    def _index_latest_batch(self, batch: Sequence[ExampleEntry]) -> None:
+        """Insert metadata rows for entries with no current rows —
+        one statement per table (callers delete stale rows first)."""
+        self._conn.executemany(
+            "INSERT OR REPLACE INTO latest "
+            "(identifier, major, minor, reviewed) VALUES (?, ?, ?, ?)",
+            [(entry.identifier, entry.version.major, entry.version.minor,
+              1 if entry.version.is_reviewed else 0)
+             for entry in batch])
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO latest_types (identifier, type) "
+            "VALUES (?, ?)",
+            [(entry.identifier, entry_type.value)
+             for entry in batch for entry_type in entry.types])
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO latest_properties "
+            "(identifier, name, holds) VALUES (?, ?, ?)",
+            [(entry.identifier, claim.name, 1 if claim.holds else 0)
+             for entry in batch for claim in entry.properties])
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO latest_authors (identifier, author) "
+            "VALUES (?, ?)",
+            [(entry.identifier, author)
+             for entry in batch for author in entry.authors])
+        self._conn.executemany(
+            "INSERT INTO latest_terms (identifier, term, weight) "
+            "VALUES (?, ?, ?)",
+            [(entry.identifier, term, weight)
+             for entry in batch
+             for term, weight in entry_terms(entry).items()])
+
+    def _bump_counter(self) -> None:
+        self._conn.execute(
+            "UPDATE meta SET value = value + 1 "
+            "WHERE key = 'change_counter'")
+
+
+def _chunks(items: list, size: int = 400):
+    """Slices sized for SQLite's bound-parameter limit."""
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+# ----------------------------------------------------------------------
+# Compiling the filter AST to SQL over the latest-version tables.
+# ----------------------------------------------------------------------
+
+
+def _compile(query) -> tuple[str, list]:
+    """One WHERE fragment (over alias ``m`` on ``latest``) + params."""
+    if isinstance(query, All):
+        return "1=1", []
+    if isinstance(query, Text):
+        unique = list(dict.fromkeys(query.terms))
+        if not unique:
+            return "0=1", []  # all-stopword text matches nothing
+        marks = ",".join("?" * len(unique))
+        return (
+            "EXISTS (SELECT 1 FROM latest_terms t "
+            "WHERE t.identifier = m.identifier "
+            f"AND t.term IN ({marks}))", unique)
+    if isinstance(query, TypeIs):
+        return (
+            "EXISTS (SELECT 1 FROM latest_types ty "
+            "WHERE ty.identifier = m.identifier AND ty.type = ?)",
+            [query.entry_type.value])
+    if isinstance(query, HasProperty):
+        if query.holds is None:
+            return (
+                "EXISTS (SELECT 1 FROM latest_properties p "
+                "WHERE p.identifier = m.identifier AND p.name = ?)",
+                [query.name])
+        return (
+            "EXISTS (SELECT 1 FROM latest_properties p "
+            "WHERE p.identifier = m.identifier AND p.name = ? "
+            "AND p.holds = ?)",
+            [query.name, 1 if query.holds else 0])
+    if isinstance(query, ByAuthor):
+        return (
+            "EXISTS (SELECT 1 FROM latest_authors a "
+            "WHERE a.identifier = m.identifier AND a.author = ?)",
+            [query.author])
+    if isinstance(query, IsReviewed):
+        return "m.reviewed = ?", [1 if query.reviewed else 0]
+    if isinstance(query, (And, Or)):
+        if not query.parts:
+            return ("1=1", []) if isinstance(query, And) else ("0=1", [])
+        fragments, params = [], []
+        for part in query.parts:
+            fragment, part_params = _compile(part)
+            fragments.append(f"({fragment})")
+            params.extend(part_params)
+        glue = " AND " if isinstance(query, And) else " OR "
+        return glue.join(fragments), params
+    if isinstance(query, Not):
+        fragment, params = _compile(query.part)
+        return f"NOT ({fragment})", params
+    raise StorageError(f"cannot compile query node {type(query).__name__}")

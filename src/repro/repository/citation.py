@@ -108,15 +108,28 @@ def cite_repository(style: str = "plain") -> str:
     ])
 
 
-def archive_manuscript(store: RepositoryStore) -> dict[str, object]:
+def archive_manuscript(store: RepositoryStore,
+                       query=None) -> dict[str, object]:
     """Assemble the archival snapshot the paper anticipates (§5.2).
 
     "Collect the most recent versions of all of the examples in it into a
     manuscript (with all authors and reviewers named)".  Returns a dict
     with the sorted contributor lists and the latest entry snapshots,
     ready for rendering or citation.
+
+    ``query`` optionally narrows the manuscript to a slice of the
+    collection via the unified query API (e.g. ``Q.reviewed()`` for an
+    archive of only the approved examples); selection is in identifier
+    order, matching the unfiltered listing.
     """
-    entries = store.get_many(store.identifiers())
+    if query is None:
+        entries = store.get_many(store.identifiers())
+    else:
+        from repro.repository.query import plan
+
+        entries = [hit.entry
+                   for hit in store.execute_query(
+                       plan(query, sort="identifier")).hits]
     authors = sorted({name for entry in entries for name in entry.authors})
     reviewers = sorted({name for entry in entries
                         for name in entry.reviewers})

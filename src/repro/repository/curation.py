@@ -120,6 +120,19 @@ class CuratedRepository:
     def identifiers(self) -> list[str]:
         return self.store.identifiers()
 
+    def query(self, query=None, *, sort: str = "relevance",
+              offset: int = 0, limit: int | None = None):
+        """Faceted retrieval over the curated collection (open to all).
+
+        Delegates to :meth:`RepositoryService.query` — reading is the
+        one operation §5.1 grants even to visitors, so no acting user
+        is required.  ``query`` is a
+        :class:`~repro.repository.query.Q` expression, a bare string
+        (free text), or None for everything.
+        """
+        return self.store.query(query, sort=sort, offset=offset,
+                                limit=limit)
+
     # ------------------------------------------------------------------
     # Submission.
     # ------------------------------------------------------------------

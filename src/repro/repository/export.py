@@ -257,16 +257,24 @@ def render_markdown(entry: ExampleEntry) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
-def render_repository_markdown(store, title: str | None = None) -> str:
-    """Render every latest entry as one Markdown document (§5.2's
+def render_repository_markdown(store, title: str | None = None,
+                               query=None) -> str:
+    """Render latest entries as one Markdown document (§5.2's
     "collect the most recent versions ... into a manuscript").
 
     ``store`` is any storage backend or, preferably, a
     :class:`~repro.repository.service.RepositoryService` — the batch
     ``get_many`` path lets backends with a bulk query (SQLite) fetch
     all snapshots at once.
+
+    ``query`` optionally restricts the document to a slice of the
+    collection (a :class:`~repro.repository.query.Q` expression or a
+    free-text string), selected through the unified query API in
+    identifier order — e.g. ``query=Q.reviewed()`` renders only the
+    approved examples.  Backends with a native plan (SQLite, sharded)
+    then fetch exactly the matching snapshots.
     """
-    entries = store.get_many(store.identifiers())
+    entries = _select_entries(store, query)
     heading = title or "The Bx Examples Repository"
     lines = [f"# {heading}", "",
              f"{len(entries)} examples, latest versions.", ""]
@@ -276,6 +284,17 @@ def render_repository_markdown(store, title: str | None = None) -> str:
         lines.append(render_markdown(entry).rstrip())
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
+
+
+def _select_entries(store, query):
+    """Latest entries for a document: everything, or a query's matches."""
+    if query is None:
+        return store.get_many(store.identifiers())
+    from repro.repository.query import plan
+
+    return [hit.entry
+            for hit in store.execute_query(
+                plan(query, sort="identifier")).hits]
 
 
 def render_glossary_wikidot() -> str:

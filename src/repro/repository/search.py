@@ -5,9 +5,14 @@ and notes that making the wiki indexable "goes a long way".  For the
 local copy we provide the equivalent: a small inverted index with
 
 * free-text ranked search over title, overview, discussion, consistency
-  and model descriptions (term frequency with a field boost for titles);
-* structured filters: entry type, claimed property (with polarity),
-  author, and review status.
+  and model descriptions — term frequency with a field boost for titles,
+  now **IDF-weighted** (:func:`repro.repository.query.
+  inverse_document_frequency`), so ubiquitous domain words ("model",
+  "update") no longer drown out the terms that actually discriminate;
+* structured filters (entry type, claimed property with polarity,
+  author, review status) — kept as thin conveniences over the unified
+  query AST of :mod:`repro.repository.query`, which is the preferred
+  retrieval surface (``RepositoryService.query``).
 
 The index is rebuilt from a store explicitly (:meth:`SearchIndex.build`);
 it does not watch a raw store, keeping the dependency one-directional.
@@ -15,53 +20,45 @@ When the store is a :class:`~repro.repository.service.RepositoryService`,
 :meth:`SearchIndex.sync_with` builds once and then subscribes to the
 service's change events, so each add/add_version/replace_latest costs one
 incremental :meth:`SearchIndex.add_entry` instead of a full rebuild.
+
+The index is also **persistent**: :meth:`SearchIndex.save` snapshots the
+postings and entries to one JSON file, stamped with the storage
+backend's change counter, and :meth:`SearchIndex.load` restores it —
+but only if the stamp still matches the backend, so a snapshot can
+never serve stale results.  A service constructed with ``index_path=``
+does both automatically, which is what stops the index being rebuilt
+(one full scan + tokenisation of every entry) in every new process.
 """
 
 from __future__ import annotations
 
-import re
-from collections import Counter, defaultdict
-from dataclasses import dataclass
-from typing import Callable
+import json
+from pathlib import Path
+from typing import Callable, Mapping
 
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    Q,
+    QueryPlan,
+    SearchHit,
+    entry_terms,
+    evaluate_plan,
+    tokenize,
+)
 from repro.repository.store import RepositoryStore
 from repro.repository.template import EntryType
 
 __all__ = ["SearchHit", "SearchIndex", "tokenize"]
 
-_TOKEN_RE = re.compile(r"[a-z0-9]+")
-
-#: Words too common to be informative in this domain.
-_STOPWORDS = frozenset(
-    "a an and are be been between by for from has have in is it its of on "
-    "or that the this to we with".split())
-
-#: Per-field score boosts: a title hit outranks a discussion hit.
-_FIELD_BOOST = {"title": 4.0, "overview": 2.0, "models": 1.5,
-                "consistency": 1.0, "discussion": 1.0}
-
-
-def tokenize(text: str) -> list[str]:
-    """Lowercase word tokens with stopwords removed."""
-    return [token for token in _TOKEN_RE.findall(text.lower())
-            if token not in _STOPWORDS]
-
-
-@dataclass(frozen=True)
-class SearchHit:
-    """One ranked result: identifier, score, and the matched entry."""
-
-    identifier: str
-    score: float
-    entry: ExampleEntry
+#: Snapshot format version; bump when the on-disk layout changes.
+_SNAPSHOT_FORMAT = 1
 
 
 class SearchIndex:
     """An inverted index over the latest versions in a store."""
 
     def __init__(self) -> None:
-        self._postings: dict[str, dict[str, float]] = defaultdict(dict)
+        self._postings: dict[str, dict[str, float]] = {}
         self._entries: dict[str, ExampleEntry] = {}
 
     # ------------------------------------------------------------------
@@ -96,19 +93,8 @@ class SearchIndex:
         if identifier in self._entries:
             self.remove_entry(identifier)
         self._entries[identifier] = entry
-        fields = {
-            "title": entry.title,
-            "overview": entry.overview,
-            "models": " ".join(f"{m.name} {m.description}"
-                               for m in entry.models),
-            "consistency": entry.consistency,
-            "discussion": entry.discussion,
-        }
-        for field_name, text in fields.items():
-            boost = _FIELD_BOOST[field_name]
-            for token, count in Counter(tokenize(text)).items():
-                previous = self._postings[token].get(identifier, 0.0)
-                self._postings[token][identifier] = previous + boost * count
+        for term, weight in entry_terms(entry).items():
+            self._postings.setdefault(term, {})[identifier] = weight
 
     def remove_entry(self, identifier: str) -> None:
         self._entries.pop(identifier, None)
@@ -119,49 +105,124 @@ class SearchIndex:
         return len(self._entries)
 
     # ------------------------------------------------------------------
+    # The query-evaluator protocol (see repro.repository.query).
+    # ------------------------------------------------------------------
+
+    def document_count(self) -> int:
+        return len(self._entries)
+
+    def latest_entries(self) -> Mapping[str, ExampleEntry]:
+        return self._entries
+
+    def term_postings(self, term: str) -> Mapping[str, float]:
+        return self._postings.get(term, {})
+
+    # ------------------------------------------------------------------
+    # Persistence: snapshot keyed by the backend's change counter.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path, *, change_counter: int) -> None:
+        """Snapshot the index to ``path``, stamped with the counter.
+
+        The stamp must be the owning backend's
+        :meth:`~repro.repository.backends.StorageBackend.change_counter`
+        *at a moment when the index is in sync with the backend* (the
+        service saves under its write lock for exactly this reason).
+        The write is atomic (temp file + rename).
+        """
+        payload = {
+            "format": _SNAPSHOT_FORMAT,
+            "change_counter": change_counter,
+            "entries": [entry.to_dict()
+                        for _identifier, entry in sorted(
+                            self._entries.items())],
+            "postings": {term: postings
+                         for term, postings in sorted(
+                             self._postings.items())},
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        temp.replace(path)
+
+    @classmethod
+    def load(cls, path: str | Path, *,
+             expected_change_counter: int) -> "SearchIndex | None":
+        """Restore a snapshot, or return None when it cannot be trusted.
+
+        None (caller should rebuild) when the file is missing or
+        unreadable, the format is unknown, or the stored change counter
+        differs from ``expected_change_counter`` — i.e. the backend has
+        been written since the snapshot was taken.
+        """
+        path = Path(path)
+        try:
+            with path.open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != _SNAPSHOT_FORMAT:
+            return None
+        if payload.get("change_counter") != expected_change_counter:
+            return None
+        try:
+            index = cls()
+            for data in payload["entries"]:
+                entry = ExampleEntry.from_dict(data)
+                index._entries[entry.identifier] = entry
+            index._postings = {
+                term: {identifier: float(weight)
+                       for identifier, weight in postings.items()}
+                for term, postings in payload["postings"].items()}
+        except Exception:
+            return None
+        return index
+
+    # ------------------------------------------------------------------
     # Querying.
     # ------------------------------------------------------------------
 
     def search(self, query: str, limit: int = 10) -> list[SearchHit]:
-        """Ranked free-text search; all query terms are optional (OR)."""
-        scores: dict[str, float] = defaultdict(float)
-        for token in tokenize(query):
-            for identifier, weight in self._postings.get(token, {}).items():
-                scores[identifier] += weight
-        ranked = sorted(scores.items(),
-                        key=lambda pair: (-pair[1], pair[0]))
-        return [SearchHit(identifier, score, self._entries[identifier])
-                for identifier, score in ranked[:limit]]
+        """Ranked free-text search; all query terms are optional (OR).
+
+        Scores are IDF-weighted: each term contributes its smoothed
+        inverse document frequency times the entry's field-boosted term
+        frequency, so rare discriminating terms outrank corpus-wide
+        filler.  A thin shim over the unified query evaluator.
+        """
+        result = evaluate_plan(self, QueryPlan(Q.text(query), limit=limit))
+        return [hit for hit in result.hits if hit.score > 0.0]
+
+    def query(self, query_plan: QueryPlan):
+        """Execute a full :class:`~repro.repository.query.QueryPlan`."""
+        return evaluate_plan(self, query_plan)
 
     def by_type(self, entry_type: EntryType) -> list[ExampleEntry]:
         """All entries of a given class, sorted by identifier."""
-        return [entry for _identifier, entry in sorted(self._entries.items())
-                if entry_type in entry.types]
+        return self._filter(Q.type(entry_type))
 
     def by_property(self, name: str,
                     holds: bool | None = None) -> list[ExampleEntry]:
         """Entries claiming a property (optionally with given polarity)."""
-        matches = []
-        for _identifier, entry in sorted(self._entries.items()):
-            for claim in entry.properties:
-                if claim.name != name:
-                    continue
-                if holds is None or claim.holds == holds:
-                    matches.append(entry)
-                    break
-        return matches
+        return self._filter(Q.property(name, holds))
 
     def by_author(self, author: str) -> list[ExampleEntry]:
         """Entries a given author contributed."""
-        return [entry for _identifier, entry in sorted(self._entries.items())
-                if author in entry.authors]
+        return self._filter(Q.author(author))
 
     def reviewed(self) -> list[ExampleEntry]:
         """Entries at version 1.0 or above."""
-        return [entry for _identifier, entry in sorted(self._entries.items())
-                if entry.version.is_reviewed]
+        return self._filter(Q.reviewed())
 
     def provisional(self) -> list[ExampleEntry]:
         """Entries still at 0.x."""
-        return [entry for _identifier, entry in sorted(self._entries.items())
-                if not entry.version.is_reviewed]
+        return self._filter(Q.provisional())
+
+    def _filter(self, query) -> list[ExampleEntry]:
+        result = evaluate_plan(self, QueryPlan(query, sort="identifier"))
+        return [hit.entry for hit in result.hits]

@@ -35,14 +35,25 @@ service, though stacking them buys nothing.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.repository.backends import MemoryBackend, StorageBackend
 from repro.repository.backends.base import GetRequest, _split_request
 from repro.repository.concurrency import ReadWriteLock
 from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    Query,
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    corpus_stats,
+    evaluate_plan,
+    plan as build_plan,
+)
 from repro.repository.versioning import Version
 
 __all__ = ["RepositoryEvent", "RepositoryService"]
@@ -128,7 +139,8 @@ class RepositoryService(StorageBackend):
     """Caching, batching, event-emitting facade over a storage backend."""
 
     def __init__(self, backend: StorageBackend | None = None, *,
-                 cache_size: int = 256) -> None:
+                 cache_size: int = 256,
+                 index_path: str | Path | None = None) -> None:
         self.backend = backend if backend is not None else MemoryBackend()
         self._cache = _LRUCache(cache_size)
         self._rwlock = ReadWriteLock()
@@ -136,6 +148,11 @@ class RepositoryService(StorageBackend):
         self._subscribers_mutex = threading.Lock()
         self._search_index = None  # lazily built, then kept in sync
         self._search_unsubscribe: Callable[[], None] = _noop
+        #: Where the search index snapshots itself (None: in-memory
+        #: only).  With a path set, ``enable_search`` restores the
+        #: snapshot instead of rebuilding — provided its stamped change
+        #: counter still matches the backend — and ``close`` re-saves.
+        self.index_path = Path(index_path) if index_path else None
 
     # ------------------------------------------------------------------
     # Reads (cached; any number may run concurrently).
@@ -283,28 +300,128 @@ class RepositoryService(StorageBackend):
             callback(event)
 
     # ------------------------------------------------------------------
+    # The unified query API (see repro.repository.query).
+    # ------------------------------------------------------------------
+
+    def query(self, query: Query | str | None = None, *,
+              sort: str = "relevance", offset: int = 0,
+              limit: int | None = None) -> QueryResult:
+        """Execute one composable query; the single retrieval surface.
+
+        ``query`` is a :class:`~repro.repository.query.Q` expression
+        (``Q.text("tree") & Q.type(...)``), a bare string (shorthand
+        for ``Q.text``), or None for everything.  Returns a
+        :class:`~repro.repository.query.QueryResult`: the requested
+        page of ranked hits plus the total match count and facet
+        counts over the full match set.
+
+        Execution is pushed down to the backend when it has a native
+        plan (SQLite compiles the filter to SQL; a sharded cluster
+        fans out with global ranking statistics; a replicated pair
+        routes to a healthy copy).  Otherwise the service evaluates the
+        plan over its own search index, **lazily enabling it on first
+        use** — callers never need to call :meth:`enable_search` first;
+        the same laziness applies to :meth:`search`.
+        """
+        return self.execute_query(
+            build_plan(query, sort=sort, offset=offset, limit=limit))
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        """The :class:`StorageBackend` query hook, facade-style.
+
+        Pushes the plan down when the backend can execute it natively;
+        otherwise evaluates it over the (lazily enabled, incrementally
+        maintained) search index, under the read lock — index mutation
+        happens only in event subscribers, which run under the write
+        lock, so readers can never observe a half-applied upsert.
+        """
+        if self.backend.supports_native_query:
+            with self._rwlock.read_locked():
+                return self.backend.execute_query(plan, stats)
+        index = self._ensure_index()
+        with self._rwlock.read_locked():
+            return evaluate_plan(index, plan, stats)
+
+    @property
+    def supports_native_query(self) -> bool:  # type: ignore[override]
+        """A service is as pushdown-capable as the backend it fronts."""
+        return self.backend.supports_native_query
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        if self.backend.supports_native_query:
+            with self._rwlock.read_locked():
+                return self.backend.query_stats(terms)
+        index = self._ensure_index()
+        with self._rwlock.read_locked():
+            return corpus_stats(index, terms)
+
+    def change_counter(self) -> int | None:
+        with self._rwlock.read_locked():
+            return self.backend.change_counter()
+
+    # ------------------------------------------------------------------
     # Search (incremental; built on the event hooks).
     # ------------------------------------------------------------------
 
     def enable_search(self):
-        """Build the search index once; afterwards events keep it fresh.
+        """Ensure the search index exists; afterwards events keep it
+        fresh.
 
         Returns the :class:`~repro.repository.search.SearchIndex`, which
-        may also be queried directly for structured filters.
+        may also be queried directly for structured filters.  When the
+        service has an :attr:`index_path` and a snapshot is on disk
+        whose stamped change counter still matches the backend, the
+        index is *restored* instead of rebuilt — no batch ``get_many``,
+        no re-tokenisation.  Any write since the snapshot (the counters
+        differ) forces the rebuild.
 
         Runs under the *write* lock: the index lifecycle shares the one
         service lock (no separate mutex to order against), writers are
-        excluded for the whole build-then-subscribe step so no write can
-        land between the two and go permanently unindexed, and the
-        build's own reads re-enter via writer reentrancy.
+        excluded for the whole restore-or-build-then-subscribe step so
+        no write can land between the two and go permanently unindexed,
+        and the build's own reads re-enter via writer reentrancy.
         """
         with self._rwlock.write_locked():
             if self._search_index is None:
                 from repro.repository.search import SearchIndex
-                index = SearchIndex()
-                self._search_unsubscribe = index.sync_with(self)
+                index = self._load_index_snapshot(SearchIndex)
+                if index is not None:
+                    self._search_unsubscribe = self.subscribe(
+                        lambda event: index.add_entry(event.entry))
+                else:
+                    index = SearchIndex()
+                    self._search_unsubscribe = index.sync_with(self)
                 self._search_index = index
             return self._search_index
+
+    def _load_index_snapshot(self, index_class):
+        if self.index_path is None:
+            return None
+        counter = self.backend.change_counter()
+        if counter is None:
+            return None
+        return index_class.load(self.index_path,
+                                expected_change_counter=counter)
+
+    def save_index(self) -> bool:
+        """Snapshot the live index to :attr:`index_path`; True if saved.
+
+        Runs under the write lock so the saved postings and the change
+        counter stamped on them are a consistent pair.  A service with
+        no live index, no ``index_path``, or a backend that cannot
+        provide a change counter saves nothing and returns False.
+        ``close`` calls this automatically.
+        """
+        with self._rwlock.write_locked():
+            index = self._search_index
+            if index is None or self.index_path is None:
+                return False
+            counter = self.backend.change_counter()
+            if counter is None:
+                return False
+            index.save(self.index_path, change_counter=counter)
+            return True
 
     def disable_search(self) -> None:
         """Detach and drop the search index (a later search rebuilds)."""
@@ -318,20 +435,28 @@ class RepositoryService(StorageBackend):
         """The live index (None until :meth:`enable_search`/``search``)."""
         return self._search_index
 
-    def search(self, query: str, limit: int = 10):
-        """Ranked free-text search over latest versions (see SearchIndex).
-
-        Queries run under the read lock: index mutation happens only in
-        event subscribers, which run under the write lock, so readers
-        can never observe a half-applied upsert.
-        """
+    def _ensure_index(self):
+        """The live index, lazily enabling it on first use."""
         with self._rwlock.read_locked():
             index = self._search_index
-            if index is not None:
-                return index.search(query, limit)
-        index = self.enable_search()
-        with self._rwlock.read_locked():
-            return index.search(query, limit)
+        if index is not None:
+            return index
+        return self.enable_search()
+
+    def search(self, query: str, limit: int = 10):
+        """Ranked free-text search over latest versions.
+
+        Deprecated shim: equivalent to
+        ``self.query(query, limit=limit).hits`` (which see for the
+        laziness and pushdown behaviour).  Prefer :meth:`query` — it
+        composes with structured filters and returns totals and
+        facets.
+        """
+        warnings.warn(
+            "RepositoryService.search() is deprecated; use "
+            "RepositoryService.query(Q.text(...) ...) instead",
+            DeprecationWarning, stacklevel=2)
+        return list(self.query(query, limit=limit).hits)
 
     # ------------------------------------------------------------------
     # Cache management / introspection.
@@ -358,6 +483,8 @@ class RepositoryService(StorageBackend):
             self._cache.discard_identifier(identifier)
 
     def close(self) -> None:
+        """Snapshot the index (when configured) and close the backend."""
+        self.save_index()
         self.backend.close()
 
 

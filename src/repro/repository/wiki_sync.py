@@ -55,6 +55,7 @@ __all__ = [
     "WikiSyncLens",
     "make_wiki_sync_lens",
     "apply_wiki_edit",
+    "render_wiki_pages",
 ]
 
 _SECTION_RE = re.compile(r"^\+\+ (.+)$")
@@ -429,6 +430,24 @@ class WikiSyncLens(Lens):
 def make_wiki_sync_lens() -> WikiSyncLens:
     """Factory used by examples/benchmarks (stable public name)."""
     return WikiSyncLens()
+
+
+def render_wiki_pages(store, query=None) -> dict[str, str]:
+    """Render the wikidot pages of a slice of the repository.
+
+    The push half of §5.4 at collection scale: select entries through
+    the unified query API (``query`` is a
+    :class:`~repro.repository.query.Q` expression, a free-text string,
+    or None for everything) and render each latest snapshot to its
+    wiki page text, keyed by identifier.  On a pushdown-capable store
+    (SQLite, a sharded cluster) only the matching snapshots are
+    fetched.
+    """
+    from repro.repository.query import plan
+
+    result = store.execute_query(plan(query, sort="identifier"))
+    return {hit.identifier: render_wikidot(hit.entry)
+            for hit in result.hits}
 
 
 def apply_wiki_edit(store, identifier: str, page: str) -> ExampleEntry:

@@ -400,10 +400,10 @@ class TestServiceConcurrency:
 
         def searcher():
             while not stop.is_set():
-                service.search("racing snapshot")
+                service.query("racing snapshot")
 
         run_threads([writer] + [searcher] * 3)
-        hits = service.search("racing", limit=writes + 5)
+        hits = service.query("racing", limit=writes + 5).hits
         assert len(hits) == writes
         service.close()
 
@@ -423,7 +423,7 @@ class TestServiceConcurrency:
         run_threads([writer(worker) for worker in range(3)])
         for worker in range(3):
             for index in range(8):
-                hits = service.search(f"xq{worker}n{index}")
+                hits = service.query(f"xq{worker}n{index}").hits
                 assert [hit.identifier for hit in hits] == \
                     [f"xq{worker}n{index}-topic"]
         service.close()

@@ -1,0 +1,427 @@
+"""The unified query API: AST, evaluator semantics, IDF ranking,
+persistent index snapshots, and the consumers wired through it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    SQLiteBackend,
+)
+from repro.repository.citation import archive_manuscript
+from repro.repository.curation import CuratedRepository
+from repro.repository.export import render_repository_markdown
+from repro.repository.query import (
+    And,
+    HasProperty,
+    Not,
+    Or,
+    Q,
+    Text,
+    collect_positive_terms,
+    collect_terms,
+    entry_terms,
+    inverse_document_frequency,
+    plan,
+    tokenize,
+)
+from repro.repository.entry import ModelDescription
+from repro.repository.search import SearchIndex
+from repro.repository.service import RepositoryService
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+from repro.repository.wiki_sync import render_wiki_pages
+from tests.repository.test_entry import minimal_entry
+
+
+def corpus_service(entries) -> RepositoryService:
+    service = RepositoryService(MemoryBackend())
+    service.add_many(entries)
+    return service
+
+
+class TestAst:
+    def test_q_builders_and_combinators(self):
+        q = Q.text("tree sync") & Q.type(EntryType.PRECISE)
+        assert isinstance(q, And)
+        q = Q.property("correct", holds=False) | ~Q.author("Ann")
+        assert isinstance(q, Or)
+        assert isinstance(q.parts[1], Not)
+        assert q.parts[0] == HasProperty("correct", False)
+
+    def test_text_tokenises_its_query(self):
+        assert Q.text("The Tree, and the SYNC!") == Text(("tree", "sync"))
+
+    def test_collect_terms_polarity(self):
+        q = Q.text("alpha") & ~Q.text("beta") & ~~Q.text("gamma")
+        assert collect_terms(q) == ["alpha", "beta", "gamma"]
+        assert collect_positive_terms(q) == ["alpha", "gamma"]
+
+    def test_plan_accepts_string_and_none(self):
+        assert plan("tree").where == Text(("tree",))
+        assert plan(None).where == Q.all()
+
+    def test_plan_validation(self):
+        with pytest.raises(StorageError, match="sort"):
+            plan(Q.all(), sort="shoe-size")
+        with pytest.raises(StorageError, match="offset"):
+            plan(Q.all(), offset=-1)
+        with pytest.raises(StorageError, match="limit"):
+            plan(Q.all(), limit=-2)
+
+    def test_entry_terms_field_boosts(self):
+        entry = minimal_entry(title="ZYGOTE STUDY",
+                              overview="A zygote appears.",
+                              discussion="zygote zygote")
+        weights = entry_terms(entry)
+        # title(4) + overview(2) + discussion(2 * 1)
+        assert weights["zygote"] == pytest.approx(8.0)
+
+    def test_tokenize_is_reexported_unchanged(self):
+        assert tokenize("The Models of a Tree") == ["models", "tree"]
+
+
+class TestMatching:
+    @pytest.fixture()
+    def service(self):
+        return corpus_service([
+            minimal_entry(title="ALPHA", overview="A tree walk.",
+                          types=(EntryType.PRECISE,),
+                          authors=("Ann", "Bob")),
+            minimal_entry(title="BETA", overview="Graphs and lattices.",
+                          types=(EntryType.SKETCH,),
+                          properties=(), authors=("Cleo",)),
+            minimal_entry(title="GAMMA", overview="A tree of graphs.",
+                          types=(EntryType.PRECISE, EntryType.INDUSTRIAL),
+                          version=Version(1, 0), reviewers=("Rex",),
+                          authors=("Ann",)),
+        ])
+
+    def test_text_is_or_of_terms(self, service):
+        assert service.query(Q.text("tree lattices"),
+                             sort="identifier").identifiers == \
+            ["alpha", "beta", "gamma"]
+
+    def test_all_stopword_text_matches_nothing(self, service):
+        assert service.query(Q.text("the and of")).total == 0
+
+    def test_structured_atoms(self, service):
+        assert service.query(Q.type(EntryType.SKETCH)).identifiers == \
+            ["beta"]
+        assert service.query(Q.author("Ann"),
+                             sort="identifier").identifiers == \
+            ["alpha", "gamma"]
+        assert service.query(Q.property("correct")).total == 2
+        assert service.query(Q.property("correct", holds=False)).total == 0
+        assert service.query(Q.reviewed()).identifiers == ["gamma"]
+        assert service.query(Q.provisional(),
+                             sort="identifier").identifiers == \
+            ["alpha", "beta"]
+
+    def test_boolean_composition(self, service):
+        q = Q.text("tree") & ~Q.type(EntryType.INDUSTRIAL)
+        assert service.query(q).identifiers == ["alpha"]
+        q = Q.type(EntryType.SKETCH) | Q.reviewed()
+        assert service.query(q, sort="identifier").identifiers == \
+            ["beta", "gamma"]
+
+    def test_negated_text_filters_without_ranking(self, service):
+        result = service.query(~Q.text("tree"), sort="identifier")
+        assert result.identifiers == ["beta"]
+        assert result.hits[0].score == 0.0
+
+    def test_default_query_is_everything(self, service):
+        assert service.query().total == 3
+
+    def test_facets_cover_all_matches(self, service):
+        result = service.query(Q.text("tree"), limit=1)
+        assert result.total == 2
+        assert result.facets["type"] == {"PRECISE": 2, "INDUSTRIAL": 1}
+        assert result.facets["author"] == {"Ann": 2, "Bob": 1}
+        assert result.facets["review"] == {"provisional": 1, "reviewed": 1}
+        assert result.facets["property"] == {"correct": 2}
+
+    def test_pagination_slices_but_totals_do_not_change(self, service):
+        everything = service.query(sort="identifier")
+        page = service.query(sort="identifier", offset=1, limit=1)
+        assert page.identifiers == everything.identifiers[1:2]
+        assert page.total == everything.total == 3
+        assert page.facets == everything.facets
+        assert service.query(offset=99).identifiers == []
+        assert service.query(limit=0).identifiers == []
+
+
+class TestIdfRanking:
+    """The satellite regression: ubiquitous terms stop dominating."""
+
+    def test_idf_formula(self):
+        assert inverse_document_frequency(10, 10) == pytest.approx(1.0)
+        assert inverse_document_frequency(0, 10) > 3.0
+
+    def test_rare_on_topic_term_outranks_ubiquitous_filler(self):
+        # "model" appears in every entry; only "lattice" discriminates.
+        # generic has "model" twice in its *title* (old TF scoring:
+        # weight 8, unbeatable); on-topic has the rare term in its
+        # overview only (TF weight 4 in total).
+        # The default models field mentions "model" too; neutralise it
+        # so the weights are exactly the crafted ones.
+        plain = (ModelDescription("M", "Left side."),
+                 ModelDescription("N", "Right side."))
+        filler = [minimal_entry(title=f"FILLER {index}", models=plain,
+                                overview="A model in passing.")
+                  for index in range(16)]
+        generic = minimal_entry(title="MODEL MODEL OVERVIEW",
+                                models=plain,
+                                overview="Generic filler text.")
+        on_topic = minimal_entry(title="TOPIC", models=plain,
+                                 overview="A lattice model.")
+        service = corpus_service(filler + [generic, on_topic])
+
+        hits = service.query(Q.text("lattice model")).hits
+        assert hits[0].identifier == "topic"
+        # ...whereas raw TF would have ranked the title-stuffed entry
+        # first: its "model" weight alone beats the on-topic entry's
+        # combined query-term weights.
+        generic_tf = entry_terms(generic).get("model", 0.0)
+        topic_weights = entry_terms(on_topic)
+        topic_tf = (topic_weights.get("model", 0.0)
+                    + topic_weights.get("lattice", 0.0))
+        assert generic_tf > topic_tf
+
+    def test_search_index_search_is_idf_weighted(self):
+        index = SearchIndex()
+        for position in range(16):
+            index.add_entry(minimal_entry(title=f"FILLER {position}",
+                                          overview="A model in passing."))
+        index.add_entry(minimal_entry(title="COMMON",
+                                      overview="model model model"))
+        index.add_entry(minimal_entry(title="RARE",
+                                      overview="a single zygote model"))
+        hits = index.search("zygote model", limit=2)
+        # Raw TF scores COMMON 6.0 vs RARE 4.0; IDF flips them.
+        assert [hit.identifier for hit in hits] == ["rare", "common"]
+
+
+class TestSearchIndexPersistence:
+    def build_index(self, entries) -> SearchIndex:
+        service = corpus_service(entries)
+        return service.enable_search()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        entries = [minimal_entry(title=f"ENTRY {index}",
+                                 overview=f"Unique token tok{index}.")
+                   for index in range(4)]
+        index = self.build_index(entries)
+        snapshot = tmp_path / "index.json"
+        index.save(snapshot, change_counter=17)
+
+        loaded = SearchIndex.load(snapshot, expected_change_counter=17)
+        assert loaded is not None
+        assert len(loaded) == 4
+        assert [hit.identifier for hit in loaded.search("tok2")] == \
+            ["entry-2"]
+        assert loaded.latest_entries() == index.latest_entries()
+
+    def test_stale_counter_rejected(self, tmp_path):
+        index = self.build_index([minimal_entry()])
+        snapshot = tmp_path / "index.json"
+        index.save(snapshot, change_counter=3)
+        assert SearchIndex.load(snapshot,
+                                expected_change_counter=4) is None
+
+    def test_missing_or_corrupt_snapshot_rejected(self, tmp_path):
+        assert SearchIndex.load(tmp_path / "nope.json",
+                                expected_change_counter=0) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        assert SearchIndex.load(bad, expected_change_counter=0) is None
+        wrong_format = tmp_path / "fmt.json"
+        wrong_format.write_text(json.dumps({"format": 99,
+                                            "change_counter": 0}))
+        assert SearchIndex.load(wrong_format,
+                                expected_change_counter=0) is None
+
+
+class TestChangeCounters:
+    def test_memory_has_no_durable_counter(self):
+        """A fresh process's fresh MemoryBackend restarts any counter,
+        so an ephemeral count could falsely validate an old snapshot —
+        the only safe answer is None (no snapshot reuse)."""
+        backend = MemoryBackend()
+        backend.add(minimal_entry())
+        assert backend.change_counter() is None
+
+    @pytest.mark.parametrize("kind", ["file", "sqlite"])
+    def test_counter_increases_on_every_write(self, kind, tmp_path):
+        if kind == "file":
+            backend = FileBackend(tmp_path / "repo")
+        else:
+            backend = SQLiteBackend(tmp_path / "repo.db")
+        seen = [backend.change_counter()]
+
+        def bumped():
+            seen.append(backend.change_counter())
+            assert seen[-1] > seen[-2]
+
+        backend.add(minimal_entry())
+        bumped()
+        backend.add_version(minimal_entry(version=Version(0, 2)))
+        bumped()
+        backend.replace_latest(minimal_entry(version=Version(0, 2),
+                                             overview="Patched."))
+        bumped()
+        backend.add_many([minimal_entry(title="OTHER")])
+        bumped()
+        backend.close()
+
+    def test_durable_counters_survive_reopen(self, tmp_path):
+        backend = FileBackend(tmp_path / "files")
+        backend.add(minimal_entry())
+        counter = backend.change_counter()
+        assert FileBackend(tmp_path / "files").change_counter() == counter
+
+        with SQLiteBackend(tmp_path / "repo.db") as db:
+            db.add(minimal_entry())
+            counter = db.change_counter()
+        with SQLiteBackend(tmp_path / "repo.db") as db:
+            assert db.change_counter() == counter
+
+
+class TestPersistentServiceIndex:
+    """The acceptance bit: no rebuild across process restarts."""
+
+    def entries(self):
+        return [minimal_entry(title=f"ENTRY {index}",
+                              overview=f"Unique token tok{index}.")
+                for index in range(5)]
+
+    def test_snapshot_restored_without_rebuild(self, tmp_path, monkeypatch):
+        snapshot = tmp_path / "index.json"
+        first = RepositoryService(FileBackend(tmp_path / "repo"),
+                                  index_path=snapshot)
+        first.add_many(self.entries())
+        first.enable_search()
+        first.close()  # saves the snapshot
+        assert snapshot.is_file()
+
+        # "New process": same durable backend, fresh service.  A
+        # rebuild would call SearchIndex.build — forbid it outright.
+        second = RepositoryService(FileBackend(tmp_path / "repo"),
+                                   index_path=snapshot)
+        monkeypatch.setattr(
+            SearchIndex, "build",
+            lambda self, store: pytest.fail("index was rebuilt"))
+        index = second.enable_search()
+        assert len(index) == 5
+        assert second.query("tok3").identifiers == ["entry-3"]
+
+    def test_restored_index_still_tracks_writes(self, tmp_path):
+        snapshot = tmp_path / "index.json"
+        first = RepositoryService(FileBackend(tmp_path / "repo"),
+                                  index_path=snapshot)
+        first.add_many(self.entries())
+        first.enable_search()
+        first.close()
+
+        second = RepositoryService(FileBackend(tmp_path / "repo"),
+                                   index_path=snapshot)
+        second.enable_search()
+        second.add(minimal_entry(title="LATECOMER",
+                                 overview="token tokx"))
+        assert second.query("tokx").identifiers == ["latecomer"]
+
+    def test_stale_snapshot_forces_rebuild(self, tmp_path):
+        snapshot = tmp_path / "index.json"
+        first = RepositoryService(FileBackend(tmp_path / "repo"),
+                                  index_path=snapshot)
+        first.add_many(self.entries())
+        first.enable_search()
+        first.close()
+
+        # A write lands behind the snapshot's back (other process).
+        behind = FileBackend(tmp_path / "repo")
+        behind.add(minimal_entry(title="SNEAKED",
+                                 overview="token toky"))
+
+        second = RepositoryService(FileBackend(tmp_path / "repo"),
+                                   index_path=snapshot)
+        index = second.enable_search()
+        assert len(index) == 6  # rebuilt, not restored
+        assert second.query("toky").identifiers == ["sneaked"]
+
+    def test_save_index_reports_what_it_did(self, tmp_path):
+        service = RepositoryService(FileBackend(tmp_path / "a"))
+        assert not service.save_index()  # no path configured
+        with_path = RepositoryService(
+            FileBackend(tmp_path / "b"), index_path=tmp_path / "index.json")
+        assert not with_path.save_index()  # no live index yet
+        with_path.add(minimal_entry())
+        with_path.enable_search()
+        assert with_path.save_index()
+
+    def test_memory_backends_never_save_snapshots(self, tmp_path):
+        """No durable counter -> no snapshot file (it could never be
+        validated by a later process)."""
+        service = RepositoryService(
+            MemoryBackend(), index_path=tmp_path / "index.json")
+        service.add(minimal_entry())
+        service.enable_search()
+        assert not service.save_index()
+        service.close()
+        assert not (tmp_path / "index.json").exists()
+
+
+class TestLazyEnable:
+    def test_query_lazily_enables_index_on_plain_backends(self):
+        service = RepositoryService(MemoryBackend())
+        service.add(minimal_entry())
+        assert service.search_index is None
+        assert service.query("demo").total == 1
+        assert service.search_index is not None  # enabled on first use
+
+    def test_query_pushes_down_without_an_index(self, tmp_path):
+        service = RepositoryService(SQLiteBackend(tmp_path / "repo.db"))
+        service.add(minimal_entry())
+        assert service.query("demo").total == 1
+        assert service.search_index is None  # SQL did the work
+        service.close()
+
+
+class TestConsumersThroughQuery:
+    def populated_repo(self):
+        repo = CuratedRepository(MemoryBackend())
+        repo.store.add_many([
+            minimal_entry(title="ALPHA", overview="A tree walk."),
+            minimal_entry(title="BETA", overview="Graphs.",
+                          version=Version(1, 0), reviewers=("Rex",)),
+        ])
+        return repo
+
+    def test_curated_repository_query(self):
+        repo = self.populated_repo()
+        assert repo.query(Q.reviewed()).identifiers == ["beta"]
+        assert repo.query("tree").identifiers == ["alpha"]
+
+    def test_render_repository_markdown_with_query(self):
+        repo = self.populated_repo()
+        document = render_repository_markdown(repo.store,
+                                              query=Q.reviewed())
+        assert "1 examples" in document
+        assert "BETA" in document and "ALPHA" not in document
+
+    def test_archive_manuscript_with_query(self):
+        repo = self.populated_repo()
+        manuscript = archive_manuscript(repo.store, query=Q.reviewed())
+        assert manuscript["entry_count"] == 1
+        assert manuscript["reviewers"] == ["Rex"]
+
+    def test_render_wiki_pages_with_query(self):
+        repo = self.populated_repo()
+        pages = render_wiki_pages(repo.store, Q.text("tree"))
+        assert list(pages) == ["alpha"]
+        assert pages["alpha"].startswith("+ ALPHA")

@@ -1,0 +1,261 @@
+"""Query pushdown conformance: every backend answers identically.
+
+The acceptance contract of the unified query API: for the same
+:class:`~repro.repository.query.QueryPlan`, memory, file, sqlite,
+sharded and replicated backends must return the *same*
+:class:`~repro.repository.query.QueryResult` — identifiers, order,
+total, facets and entries — whether the plan runs through the native
+pushdown (SQLite's SQL compilation, the sharded fan-out with global
+statistics, the replicated read routing) or the shared in-Python
+evaluator.  Mirrors the structure of
+``tests/repository/test_backends.py``: one matrix of plans, one
+fixture list of backends, every combination checked against the
+in-memory reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repository.backends import (
+    FileBackend,
+    MemoryBackend,
+    ReplicatedBackend,
+    ShardedBackend,
+    SQLiteBackend,
+    StorageBackend,
+)
+from repro.repository.entry import Comment, PropertyClaim
+from repro.repository.query import Q, plan
+from repro.repository.service import RepositoryService
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+
+ALL_BACKENDS = [
+    "memory",
+    "file",
+    "sqlite",
+    "sharded-sqlite",
+    "sharded-memory",
+    "replicated",
+]
+
+_TYPES = (EntryType.PRECISE, EntryType.SKETCH, EntryType.INDUSTRIAL,
+          EntryType.BENCHMARK)
+_AUTHORS = ("Ann", "Bob", "Cleo")
+_TOPICS = ("tree rotation", "schema mapping", "graph alignment",
+           "tree pruning", "list merging")
+
+
+def corpus():
+    """~24 varied entries: types, properties, authors, review states."""
+    entries = []
+    for index in range(24):
+        types = (_TYPES[index % 4],)
+        if index % 7 == 0 and types != (EntryType.SKETCH,):
+            types += (EntryType.INDUSTRIAL,)
+        properties = [PropertyClaim("correct", holds=index % 3 != 0)]
+        if index % 2 == 0:
+            properties.append(PropertyClaim("hippocraticness",
+                                            holds=index % 4 == 0))
+        entries.append(minimal_entry(
+            title=f"EXAMPLE {index}",
+            types=types,
+            overview=f"About {_TOPICS[index % 5]}, variant {index}.",
+            discussion=f"Discussion of {_TOPICS[(index + 2) % 5]}.",
+            authors=(_AUTHORS[index % 3],
+                     _AUTHORS[(index + 1) % 3])[:1 + index % 2],
+            properties=tuple(properties),
+        ))
+    return entries
+
+
+def populate(backend: StorageBackend) -> None:
+    """Load the corpus, then age it: the query layer must see exactly
+    the *latest* state (new versions, reviews, in-place comments)."""
+    entries = corpus()
+    backend.add_many(entries)
+    for entry in entries[:6]:
+        backend.add_version(entry.with_version(Version(0, 2)))
+    for entry in entries[6:10]:  # reviewed: different text, 1.0
+        backend.add_version(minimal_entry(
+            title=entry.title,
+            types=entry.types,
+            overview=entry.overview + " Now reviewed and polished.",
+            authors=entry.authors,
+            properties=entry.properties,
+            version=Version(1, 0),
+            reviewers=("Rex",),
+        ))
+    commented = backend.get(entries[12].identifier)
+    backend.replace_latest(commented.with_comment(
+        Comment("Ann", "2014-03-28", "A tree-shaped remark.")))
+
+
+def make_backend(kind: str, tmp_path) -> StorageBackend:
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "file":
+        return FileBackend(tmp_path / "repo")
+    if kind == "sqlite":
+        return SQLiteBackend(tmp_path / "repo.db")
+    if kind == "sharded-sqlite":
+        return ShardedBackend.create("sqlite", tmp_path / "shards",
+                                     shard_count=3)
+    if kind == "sharded-memory":
+        return ShardedBackend([MemoryBackend(), MemoryBackend()])
+    return ReplicatedBackend(SQLiteBackend(tmp_path / "primary.db"),
+                             FileBackend(tmp_path / "replica"))
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request, tmp_path):
+    built = make_backend(request.param, tmp_path)
+    populate(built)
+    yield built
+    built.close()
+
+
+@pytest.fixture()
+def reference():
+    built = MemoryBackend()
+    populate(built)
+    return built
+
+
+#: The conformance matrix: ~20 plans spanning every atom, the boolean
+#: combinators, both sort orders, and the pagination edge cases.
+PLANS = [
+    plan(None),
+    plan(None, sort="identifier"),
+    plan("tree"),
+    plan("tree rotation pruning"),
+    plan("the and of"),  # all stopwords: matches nothing
+    plan(Q.type(EntryType.SKETCH)),
+    plan(Q.type(EntryType.INDUSTRIAL), sort="identifier"),
+    plan(Q.property("correct")),
+    plan(Q.property("correct", holds=False)),
+    plan(Q.property("hippocraticness", holds=True), sort="identifier"),
+    plan(Q.author("Ann")),
+    plan(Q.author("Nobody")),
+    plan(Q.reviewed()),
+    plan(Q.provisional(), limit=7),
+    plan(Q.text("tree") & Q.type(EntryType.PRECISE)),
+    plan(Q.text("schema") | Q.author("Cleo"), limit=10),
+    plan(~Q.text("tree"), sort="identifier", limit=5),
+    plan(Q.text("tree") & ~Q.property("correct", holds=False)),
+    plan((Q.text("graph") | Q.text("list")) & Q.provisional(), limit=6),
+    plan(Q.text("reviewed polished"), limit=3),
+    plan(Q.text("tree"), offset=2, limit=3),
+    plan(Q.text("tree"), offset=50),  # past the end
+    plan(None, sort="identifier", offset=10, limit=4),
+    plan(Q.text("remark")),  # only visible via replace_latest
+    plan(Q.all(), limit=0),
+]
+
+
+def assert_same_result(ours, expected, label):
+    __tracebackhint__ = True
+    assert ours.total == expected.total, label
+    assert [hit.identifier for hit in ours.hits] == \
+        [hit.identifier for hit in expected.hits], label
+    assert [hit.score for hit in ours.hits] == pytest.approx(
+        [hit.score for hit in expected.hits]), label
+    assert [hit.entry for hit in ours.hits] == \
+        [hit.entry for hit in expected.hits], label
+    assert ours.facets == expected.facets, label
+
+
+class TestPushdownConformance:
+    def test_backend_matches_reference_on_every_plan(self, backend,
+                                                     reference):
+        for query_plan in PLANS:
+            assert_same_result(backend.execute_query(query_plan),
+                               reference.execute_query(query_plan),
+                               f"plan: {query_plan}")
+
+    def test_service_matches_reference_on_every_plan(self, backend,
+                                                     reference):
+        """Through the facade: pushdown and index paths answer alike."""
+        service = RepositoryService(backend)
+        for query_plan in PLANS:
+            assert_same_result(service.execute_query(query_plan),
+                               reference.execute_query(query_plan),
+                               f"plan: {query_plan}")
+
+    def test_sharded_pagination_is_globally_correct(self, tmp_path):
+        """Pages assembled from per-shard partials equal one store's."""
+        sharded = make_backend("sharded-sqlite", tmp_path)
+        single = MemoryBackend()
+        populate(sharded)
+        populate(single)
+        full = single.execute_query(plan("tree", limit=None))
+        for offset in range(0, full.total + 2, 3):
+            page = sharded.execute_query(plan("tree", offset=offset,
+                                              limit=3))
+            expect = [hit.identifier
+                      for hit in full.hits[offset:offset + 3]]
+            assert page.identifiers == expect
+            assert page.total == full.total
+        sharded.close()
+
+
+class TestPushdownCapabilities:
+    def test_native_query_flags(self, tmp_path):
+        assert SQLiteBackend(tmp_path / "a.db").supports_native_query
+        assert not MemoryBackend().supports_native_query
+        assert not FileBackend(tmp_path / "f").supports_native_query
+        assert ShardedBackend(
+            [SQLiteBackend(), SQLiteBackend()]).supports_native_query
+        assert not ShardedBackend(
+            [SQLiteBackend(), MemoryBackend()]).supports_native_query
+        assert ReplicatedBackend(
+            SQLiteBackend(),
+            FileBackend(tmp_path / "r")).supports_native_query
+
+    def test_sqlite_pushdown_decodes_only_the_page(self, tmp_path,
+                                                   monkeypatch):
+        """The SQL path must not materialise non-hit payloads."""
+        backend = SQLiteBackend(tmp_path / "repo.db")
+        populate(backend)
+        backend.execute_query(plan(None))  # settle the deferred index
+        from repro.repository import entry as entry_module
+
+        calls = []
+        original = entry_module.ExampleEntry.from_dict
+        monkeypatch.setattr(
+            entry_module.ExampleEntry, "from_dict",
+            staticmethod(lambda data: calls.append(1) or original(data)))
+        result = backend.execute_query(plan("tree", limit=3))
+        assert len(result.hits) == 3
+        assert len(calls) == 3  # one decode per returned hit, no more
+        backend.close()
+
+    def test_replicated_query_routes_around_dead_primary(self, tmp_path):
+        primary = SQLiteBackend(tmp_path / "primary.db")
+        replica = SQLiteBackend(tmp_path / "replica.db")
+        backend = ReplicatedBackend(primary, replica)
+        populate(backend)
+        expected = backend.execute_query(plan("tree"))
+        primary.close()  # infrastructure failure, not a semantic answer
+        survived = backend.execute_query(plan("tree"))
+        assert_same_result(survived, expected, "failover query")
+        replica.close()
+
+    def test_sqlite_legacy_database_is_backfilled(self, tmp_path):
+        """A pre-pushdown database gains the metadata tables on open."""
+        path = tmp_path / "legacy.db"
+        with SQLiteBackend(path) as backend:
+            populate(backend)
+            expected_ids = backend.execute_query(plan("tree")).identifiers
+            # Simulate a database written before the query tables
+            # existed: drop every derived row (schema stays).
+            with backend._conn:
+                for table in ("latest", "latest_types",
+                              "latest_properties", "latest_authors",
+                              "latest_terms"):
+                    backend._conn.execute(f"DELETE FROM {table}")
+        with SQLiteBackend(path) as reopened:
+            assert reopened.execute_query(
+                plan("tree")).identifiers == expected_ids

@@ -204,13 +204,19 @@ class TestEvents:
 
 
 class TestIncrementalSearch:
-    def test_search_sees_later_writes(self, service):
+    def test_query_sees_later_writes(self, service):
         service.add_many(entry_batch(2))
-        assert service.search("demo")  # builds the index
+        assert service.query("demo").hits  # lazily ready, any backend
         service.add(minimal_entry(title="ZYGOMORPH",
                                   overview="A very distinctive flower."))
-        hits = service.search("zygomorph")
+        hits = service.query("zygomorph").hits
         assert [hit.identifier for hit in hits] == ["zygomorph"]
+
+    def test_search_shim_warns_and_matches_query(self, service):
+        service.add_many(entry_batch(2))
+        with pytest.warns(DeprecationWarning, match="query"):
+            hits = service.search("demo", limit=5)
+        assert hits == list(service.query("demo", limit=5).hits)
 
     def test_updates_are_incremental_not_rebuilds(self, service, monkeypatch):
         service.add_many(entry_batch(2))
@@ -231,8 +237,8 @@ class TestIncrementalSearch:
         service.add(minimal_entry(overview="Original ephemeral text."))
         service.enable_search()
         service.replace_latest(minimal_entry(overview="Quixotic rewrite."))
-        assert service.search("quixotic")
-        assert not service.search("ephemeral")  # the old text is gone
+        assert service.query("quixotic").hits
+        assert not service.query("ephemeral").hits  # the old text is gone
 
     def test_disable_search_detaches(self, service):
         service.add(minimal_entry())
@@ -241,7 +247,7 @@ class TestIncrementalSearch:
         assert service.search_index is None
         service.add(minimal_entry(title="XENON LAMP", overview="Bright."))
         assert len(index) == 1  # the old index no longer tracks
-        assert service.search("xenon")  # a fresh index is rebuilt
+        assert service.query("xenon").hits  # served fresh regardless
 
     def test_sync_with_external_index(self, service):
         service.add(minimal_entry())
@@ -273,8 +279,8 @@ class TestCurationThroughFacade:
         service.enable_search()
         ann = User("Ann", Role.MEMBER)
         repo.submit(ann, minimal_entry())
-        assert service.search("demo")
+        assert repo.query("demo").hits
         rex = User("Rex", Role.REVIEWER)
         repo.approve(rex, "demo-example")
-        hits = service.search("demo")
+        hits = repo.query("demo").hits
         assert hits[0].entry.version == Version(1, 0)
