@@ -15,6 +15,19 @@ Two layers:
   - the incremental index update after a single ``add_version`` ≥ 10×
     faster than a full :meth:`SearchIndex.build`;
 
+* :class:`TestReadPathTargets` — the PR-4 read-path overhaul (these
+  two ratios are the CI bench regression gate's floors):
+
+  - a warm ``render_wiki_pages`` through the event-driven
+    :class:`~repro.repository.render_cache.RenderCache` after a
+    single-entry write ≥ 20× faster than a full re-render;
+  - a repeated ``get_many`` through the
+    :class:`~repro.repository.codec.DecodeMemo` ≥ 3× faster than the
+    same backend's cold first read;
+  - plus a Zipfian ``cache_size`` sweep (``CACHE_RATIOS``) whose
+    hit-rate/latency curve rides into the trend artifact via
+    ``extra_info``;
+
 * :class:`TestScalingTargets` — the sharded/replicated layer, driven by
   Zipfian read streams from :mod:`repro.harness.workloads`:
 
@@ -52,10 +65,12 @@ from repro.repository.entry import (
     PropertyClaim,
     RestorationSpec,
 )
+from repro.repository.render_cache import RenderCache
 from repro.repository.search import SearchIndex
 from repro.repository.service import RepositoryService
 from repro.repository.template import EntryType
 from repro.repository.versioning import Version
+from repro.repository.wiki_sync import render_wiki_pages
 
 _WORDS = ("composer sync view model schema tree update merge lens "
           "delta span alignment").split()
@@ -331,6 +346,84 @@ def test_anti_entropy_clean_pass(benchmark, bulk_size, tmp_path_factory):
 
 
 # ----------------------------------------------------------------------
+# The read-path caches: Zipfian cache-size sweep (the sizing curve the
+# trend artifact records) and repeated-read micro-benchmarks.
+# ----------------------------------------------------------------------
+
+#: The fractions of the corpus the service LRU is sized to in the
+#: sweep — four points spanning "tiny" to "fits everything", so the
+#: hit-rate/latency curve in the trend artifact has a real shape.
+CACHE_RATIOS = (0.05, 0.2, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("cache_ratio", CACHE_RATIOS)
+def test_zipfian_cache_size_sweep(benchmark, cache_ratio, bulk_size,
+                                  tmp_path_factory):
+    """Zipf-skewed reads through the service LRU at one cache size.
+
+    The benchmark times a full Zipfian ``get_many`` stream over a
+    file store (misses pay real I/O + decode); the steady-state hit
+    rate and the absolute cache size ride along as ``extra_info``, so
+    ``BENCH_PR<N>.json`` records the whole hit-rate/latency curve.
+    """
+    cache_size = max(4, int(bulk_size * cache_ratio))
+    backend = FileBackend(
+        tmp_path_factory.mktemp(f"zipf{cache_size}") / "repo")
+    entries = make_entries(bulk_size)
+    backend.add_many(entries)
+    service = RepositoryService(backend, cache_size=cache_size)
+    requests = zipfian_identifiers(
+        bulk_size, [entry.identifier for entry in entries], seed=11)
+
+    results = benchmark(service.get_many, requests)
+    assert len(results) == len(requests)
+
+    info = service.cache_info()
+    lookups = info["hits"] + info["misses"]
+    benchmark.extra_info["cache_size"] = cache_size
+    benchmark.extra_info["population"] = bulk_size
+    benchmark.extra_info["hit_rate"] = round(info["hits"] / lookups, 4)
+    service.close()
+
+
+def test_repeated_get_many_through_decode_memo(benchmark, bulk_size,
+                                               tmp_path_factory):
+    """The decode-memo fast path: a warm batch read re-decodes nothing."""
+    root = tmp_path_factory.mktemp("memo") / "repo"
+    entries = make_entries(bulk_size)
+    FileBackend(root).add_many(entries)
+    backend = FileBackend(root)  # fresh instance: memo starts cold
+    requests = [entry.identifier for entry in entries]
+    backend.get_many(requests)  # warm the memo once
+
+    results = benchmark(backend.get_many, requests)
+    assert len(results) == bulk_size
+    stats = backend.cache_stats()
+    benchmark.extra_info["memo_hits"] = stats["decode_memo"]["hits"]
+
+
+def test_warm_render_wiki_pages(benchmark, bulk_size, tmp_path_factory):
+    """Event-driven render cache: one write, one re-render per call."""
+    backend = SQLiteBackend(
+        tmp_path_factory.mktemp("render") / "repo.db")
+    service = RepositoryService(backend)
+    service.add_many(make_entries(bulk_size))
+    cache = RenderCache(service)
+    render_wiki_pages(service, cache=cache)  # cold fill
+    target = service.get("generated-example-0")
+    minor = [1]
+
+    def write_one_and_rerender():
+        minor[0] += 1
+        service.add_version(target.with_version(Version(0, minor[0])))
+        return render_wiki_pages(service, cache=cache)
+
+    pages = benchmark(write_one_and_rerender)
+    assert len(pages) == bulk_size
+    service.close()
+
+
+# ----------------------------------------------------------------------
 # The acceptance targets, as explicit wall-clock ratios.
 # ----------------------------------------------------------------------
 
@@ -378,6 +471,12 @@ class TestAccelerationTargets:
         identifiers = [f"generated-example-{index % 100}"
                        for index in range(1000)]
 
+        # The PR-1 baseline this ratio was defined against is the
+        # *decoding* per-file store; the PR-4 decode memo would
+        # otherwise absorb 90% of the repeats and flatter the
+        # baseline, so it is disabled for the baseline measurement.
+        from repro.repository.codec import DecodeMemo
+        file_backend._memo = DecodeMemo(maxsize=0)
         uncached = _clock(lambda: [file_backend.get(identifier)
                                    for identifier in identifiers])
 
@@ -499,14 +598,26 @@ class TestScalingTargets:
         one warm shard — this row pins the overhead so the trend file
         catches it regressing.
         """
+        from repro.repository.codec import DecodeMemo
+
         entries = make_entries(self.SIZE)
         requests = self._zipf_requests(entries)
         timings = {}
         for shard_count in (1, 2, 4):
             backend = sharded_sqlite(tmp_path / f"loc{shard_count}",
                                      shard_count, entries)
-            timings[shard_count] = _clock(
-                lambda: backend.get_many(requests))
+            # This row pins the *fan-out overhead* against real
+            # per-request decode work, the PR-2 calibration.  The PR-4
+            # decode memo would otherwise absorb the work entirely and
+            # leave pool-dispatch overhead as the dominant term, making
+            # the 2x bound a measure of scheduler noise instead — so it
+            # is disabled here (its own rows live in TestReadPathTargets
+            # and test_repeated_get_many_through_decode_memo).
+            for shard in backend.shards:
+                shard._memo = DecodeMemo(maxsize=0)
+            timings[shard_count] = min(
+                _clock(lambda: backend.get_many(requests))
+                for _round in range(3))
             backend.close()
         print("\nsharded get_many, local warm shards:")
         for shard_count, seconds in timings.items():
@@ -544,3 +655,61 @@ class TestScalingTargets:
         for entry in entries[60:80]:
             assert replica.get(entry.identifier).overview == "Rewritten."
         backend.close()
+
+
+class TestReadPathTargets:
+    """The PR-4 read-path overhaul, as explicit wall-clock ratios.
+
+    These are the floors the CI bench regression gate holds every PR
+    to: the event-driven render cache must make a warm collection
+    render after a single-entry write >= 20x faster than a full
+    re-render, and the decode memo must make a repeated batch read
+    >= 3x faster than the same backend's cold first read.
+    """
+
+    SIZE = 400
+
+    def test_warm_render_wiki_pages_beats_full_rerender(self, tmp_path):
+        service = RepositoryService(SQLiteBackend(tmp_path / "repo.db"))
+        service.add_many(make_entries(self.SIZE))
+        cache = RenderCache(service)
+        render_wiki_pages(service, cache=cache)  # cold fill
+
+        # One entry changes; a warm cached render must re-render
+        # exactly that entry...
+        target = service.get("generated-example-0")
+        service.add_version(target.with_version(Version(0, 2)))
+        before = cache.cache_stats()
+        warm = min(
+            _clock(lambda: render_wiki_pages(service, cache=cache))
+            for _round in range(3))
+        after = cache.cache_stats()
+        assert after["misses"] - before["misses"] == 1  # only the write
+
+        # ...while the uncached path re-renders the whole collection.
+        full = _clock(lambda: render_wiki_pages(service))
+
+        ratio = full / warm
+        print(f"\nrender_wiki_pages over {self.SIZE} after one write: "
+              f"full re-render {full * 1000:.1f}ms, render cache "
+              f"{warm * 1000:.2f}ms ({ratio:.1f}x faster)")
+        assert ratio >= 20.0
+        service.close()
+
+    def test_decode_memoised_get_many_beats_cold(self, tmp_path):
+        entries = make_entries(self.SIZE)
+        FileBackend(tmp_path / "repo").add_many(entries)
+        requests = [entry.identifier for entry in entries]
+
+        backend = FileBackend(tmp_path / "repo")  # fresh: memo cold
+        cold = _clock(lambda: backend.get_many(requests))
+        warm = min(_clock(lambda: backend.get_many(requests))
+                   for _round in range(3))
+
+        memo = backend.cache_stats()["decode_memo"]
+        assert memo["hits"] >= 3 * self.SIZE  # the warm rounds hit
+
+        ratio = cold / warm
+        print(f"\nget_many x{self.SIZE}: cold decode {cold * 1000:.1f}ms, "
+              f"memoised {warm * 1000:.2f}ms ({ratio:.1f}x faster)")
+        assert ratio >= 3.0

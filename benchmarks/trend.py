@@ -5,8 +5,12 @@ CI's ``bench-trend`` job runs the benchmark suite with
 
     PYTHONPATH=src python benchmarks/trend.py bench-raw.json --label PR7
 
-which writes ``BENCH_PR7.json`` (override with ``--out``) and uploads
-it as a workflow artifact.  The heavy lifting lives in
+which writes ``BENCH_PR7.json`` **at the repository root** (override
+with ``--out``) and uploads it as a workflow artifact.  Writing at the
+root — not the invoking directory — is what lets a trajectory point be
+committed next to the code it measures, so the perf history accumulates
+in the repository itself instead of evaporating with expired CI
+artifacts.  The heavy lifting lives in
 :func:`repro.harness.reporting.normalise_benchmark_json` so it is unit
 tested with the rest of the harness; this file is only the CLI shell.
 """
@@ -20,6 +24,14 @@ from pathlib import Path
 
 from repro.harness.reporting import normalise_benchmark_json
 
+#: The repository root (this file lives in <root>/benchmarks/).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_out(label: str) -> Path:
+    """Where a trajectory point lands by default: the repo root."""
+    return REPO_ROOT / f"BENCH_{label}.json"
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -28,12 +40,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--label", required=True,
                         help="trajectory point name, e.g. PR7")
     parser.add_argument("--out", type=Path, default=None,
-                        help="output path (default BENCH_<label>.json)")
+                        help="output path (default <repo>/BENCH_<label>.json)")
     arguments = parser.parse_args(argv)
 
     raw = json.loads(arguments.raw.read_text())
     trend = normalise_benchmark_json(raw, label=arguments.label)
-    out = arguments.out or Path(f"BENCH_{arguments.label}.json")
+    out = arguments.out or default_out(arguments.label)
     out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({trend['benchmark_count']} benchmarks, "
           f"label {trend['label']})")

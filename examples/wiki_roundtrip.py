@@ -9,7 +9,8 @@ Simulates the situation the paper describes: the repository keeps a
 structured local copy (JSON in a FileStore) while the public face is a
 wikidot page.  A community member edits the *page*; the wiki-sync lens
 puts the edit back into the structured copy — and restores a section the
-careless editor deleted.
+careless editor deleted.  Collection-scale rendering goes through the
+event-driven render cache: after the edit, exactly one page re-renders.
 """
 
 from __future__ import annotations
@@ -18,11 +19,13 @@ import tempfile
 
 from repro.catalogue import populate_store
 from repro.repository.backends import FileBackend
+from repro.repository.render_cache import RenderCache
 from repro.repository.service import RepositoryService
 from repro.repository.wiki_sync import (
     WikiSyncLens,
     apply_wiki_edit,
     normalise_entry,
+    render_wiki_pages,
 )
 
 
@@ -31,6 +34,12 @@ def main() -> None:
         store = RepositoryService(FileBackend(root))
         populate_store(store)
         lens = WikiSyncLens()
+
+        # The whole collection rendered once, through the render cache
+        # (later calls re-render only what was written in between).
+        cache = RenderCache(store)
+        pages = render_wiki_pages(store, cache=cache)
+        print(f"rendered {len(pages)} wiki pages (cold)")
 
         # The local structured copy and its rendered wiki page.
         entry = normalise_entry(store.get("roman-numerals"))
@@ -59,14 +68,25 @@ def main() -> None:
         print("stored overview now:",
               store.get("roman-numerals").overview)
 
-        # Round-trip sanity over the whole repository.
+        # The replace_latest event evicted exactly the edited entry:
+        # a warm collection render re-renders one page, serves the rest.
+        before = cache.cache_stats()
+        pages = render_wiki_pages(store, cache=cache)
+        after = cache.cache_stats()
+        print(f"\nwarm re-render: {after['misses'] - before['misses']} "
+              f"page(s) re-rendered, "
+              f"{after['hits'] - before['hits']} served from cache")
+
+        # Round-trip sanity over the whole repository, selected through
+        # the unified query API (one ranked/sorted result instead of an
+        # identifiers() + get() loop).
+        result = store.query(sort="identifier")
         clean = 0
-        for identifier in store.identifiers():
-            stored = normalise_entry(store.get(identifier))
+        for hit in result.hits:
+            stored = normalise_entry(hit.entry)
             if lens.put(lens.get(stored), stored) == stored:
                 clean += 1
-        print(f"\nround-trip clean for {clean}/"
-              f"{len(store.identifiers())} entries")
+        print(f"\nround-trip clean for {clean}/{result.total} entries")
 
 
 if __name__ == "__main__":

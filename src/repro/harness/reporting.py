@@ -48,6 +48,11 @@ def normalise_benchmark_json(raw: dict, *, label: str) -> dict:
             "group": bench.get("group"),
             "params": bench.get("params") or {},
             "stats": {key: stats.get(key) for key in _TREND_STATS},
+            # Measurements a benchmark attaches beyond raw timings —
+            # e.g. the cache-sizing sweep records its hit rate per
+            # cache size, so the trajectory carries the whole
+            # hit-rate/latency curve.
+            "extra_info": bench.get("extra_info") or {},
         })
     rows.sort(key=lambda row: row["name"])
     return {

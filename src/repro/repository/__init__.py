@@ -19,7 +19,13 @@ from repro.repository.backends import (
     create_backend,
     shard_index,
 )
+from repro.repository.codec import (
+    DecodeMemo,
+    decode_entry,
+    encode_entry,
+)
 from repro.repository.concurrency import ReadWriteLock
+from repro.repository.render_cache import RenderCache
 from repro.repository.citation import (
     REPOSITORY_URL,
     archive_manuscript,
@@ -114,6 +120,8 @@ __all__ = [
     "AntiEntropyReport", "ReadWriteLock",
     # service facade
     "RepositoryService", "RepositoryEvent",
+    # the read path: codec + render cache
+    "encode_entry", "decode_entry", "DecodeMemo", "RenderCache",
     # the unified query API
     "Q", "Query", "QueryPlan", "QueryResult", "QueryStats", "plan",
     # search

@@ -47,7 +47,7 @@ from repro.repository.query import (
 )
 from repro.repository.versioning import Version
 
-__all__ = ["StorageBackend", "GetRequest"]
+__all__ = ["StorageBackend", "GetRequest", "merge_cache_stats"]
 
 #: One ``get_many`` request: an identifier (latest) or (identifier, version).
 GetRequest = Union[str, "tuple[str, Version | None]"]
@@ -172,6 +172,18 @@ class StorageBackend(ABC):
         """
         return None
 
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters of this backend's read caches.
+
+        Keys name a cache (``"decode_memo"``, ``"listing"``); values are
+        counter dicts.  The default is empty — ``MemoryBackend`` stores
+        live objects and decodes nothing.  Composites merge their
+        children's counters (:func:`merge_cache_stats`), and
+        ``RepositoryService.cache_stats()`` folds the backend's counters
+        in next to its own LRU's.
+        """
+        return {}
+
     def query_stats(self, terms: Sequence[str]) -> QueryStats:
         """Corpus statistics for the ranker: N and per-term df.
 
@@ -229,3 +241,16 @@ def _split_request(request: GetRequest) -> tuple[str, Version | None]:
         return request, None
     identifier, version = request
     return identifier, version
+
+
+def merge_cache_stats(
+        parts: Iterable[dict[str, dict[str, int]]],
+) -> dict[str, dict[str, int]]:
+    """Sum per-cache counters across child backends (composites)."""
+    merged: dict[str, dict[str, int]] = {}
+    for part in parts:
+        for group, counters in part.items():
+            target = merged.setdefault(group, {})
+            for name, value in counters.items():
+                target[name] = target.get(name, 0) + value
+    return merged

@@ -7,18 +7,40 @@ Layout::
 
 Writes are atomic per file (write to a temp name, then rename), so a
 crashed writer can leave behind at most a ``*.json.tmp`` fragment or an
-empty entry directory — both of which every read path ignores.  The
-index is always derived from the directory tree, never stored, so it
-cannot point at missing snapshots.
+empty entry directory — both of which every read path ignores.
+
+The read path is cached at two levels, both keyed by the durable
+change counter (``<root>/change-counter``), which bumps on every write
+— this backend's own, or a foreign process's through another
+``FileBackend`` over the same root:
+
+* the **listing cache** replaces the per-call directory scan that
+  ``identifiers()`` / ``has()`` / ``versions()`` used to do (a
+  ``glob("*.json")`` per call — hot in the sharded fan-out): one scan
+  builds an identifier → versions map, writes through this backend
+  maintain it incrementally, and a counter mismatch (someone else
+  wrote) triggers exactly one rescan;
+* the **decode memo** (:class:`~repro.repository.codec.DecodeMemo`)
+  caches hydrated :class:`ExampleEntry` objects per ``(identifier,
+  version, counter)``, so a snapshot is parsed at most once between
+  writes; writes prime it with the entry object they just encoded.
+
+Mutating the tree out of band *without* bumping the counter (dropping
+files in by hand) leaves both caches stale until the next counted
+write; mutating it through any ``FileBackend`` — or bumping the
+counter file — is always coherent.  Crash debris never counts: the
+scan ignores ``*.json.tmp`` fragments and entry directories with no
+committed snapshot, exactly as the old per-call scans did.
 """
 
 from __future__ import annotations
 
-import json
+import bisect
 from pathlib import Path
 
 from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
-from repro.repository.backends.base import StorageBackend
+from repro.repository.backends.base import StorageBackend, _split_request
+from repro.repository.codec import DecodeMemo, decode_entry, encode_entry
 from repro.repository.entry import ExampleEntry
 from repro.repository.versioning import Version
 
@@ -33,6 +55,13 @@ class FileBackend(StorageBackend):
         self.entries_dir = self.root / "entries"
         self.entries_dir.mkdir(parents=True, exist_ok=True)
         self._counter_path = self.root / "change-counter"
+        self._memo = DecodeMemo()
+        #: identifier -> sorted versions, valid while the change counter
+        #: still equals ``_listing_counter`` (None: needs a scan).
+        self._listing_map: dict[str, list[Version]] | None = None
+        self._listing_counter = -1
+        self._listing_scans = 0
+        self._listing_serves = 0
 
     # ------------------------------------------------------------------
     # Paths.
@@ -45,44 +74,87 @@ class FileBackend(StorageBackend):
         return self._entry_dir(identifier) / f"{version}.json"
 
     # ------------------------------------------------------------------
-    # Interface.
+    # The listing cache (satisfies identifiers/has/versions without
+    # re-scanning the tree on every call).
     # ------------------------------------------------------------------
 
+    def _listing(self, counter: int | None = None,
+                 ) -> dict[str, list[Version]]:
+        """The identifier → versions map at ``counter`` (default: now).
+
+        Scans the tree only when the counter moved since the cached
+        scan; callers that already read the counter (batch paths) pass
+        it in so one batch costs one counter read.
+        """
+        if counter is None:
+            counter = self.change_counter()
+        if self._listing_map is None or self._listing_counter != counter:
+            listing: dict[str, list[Version]] = {}
+            for path in self.entries_dir.iterdir():
+                if not path.is_dir():
+                    continue
+                found = [Version.parse(snapshot.stem)
+                         for snapshot in path.glob("*.json")]
+                if found:  # an empty dir is a crashed mkdir, not an entry
+                    listing[path.name] = sorted(found)
+            self._listing_map = listing
+            self._listing_counter = counter
+            self._listing_scans += 1
+        else:
+            self._listing_serves += 1
+        return self._listing_map
+
     def identifiers(self) -> list[str]:
-        # A directory with no committed snapshot (a writer that crashed
-        # between mkdir and rename) does not count as an entry.
-        return sorted(path.name for path in self.entries_dir.iterdir()
-                      if path.is_dir() and any(path.glob("*.json")))
+        return sorted(self._listing())
 
     def versions(self, identifier: str) -> list[Version]:
-        entry_dir = self._entry_dir(identifier)
-        if not entry_dir.is_dir():
+        stored = self._listing().get(identifier)
+        if stored is None:
             raise EntryNotFound(identifier)
-        found = [Version.parse(path.stem)
-                 for path in entry_dir.glob("*.json")]
-        if not found:
-            raise EntryNotFound(identifier)
-        return sorted(found)
+        return list(stored)
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._listing()
+
+    # ------------------------------------------------------------------
+    # Reads (decode-memoised).
+    # ------------------------------------------------------------------
 
     def get(self, identifier: str,
             version: Version | None = None) -> ExampleEntry:
+        counter = self.change_counter()
+        return self._get_at(identifier, version, counter)
+
+    def get_many(self, requests) -> list[ExampleEntry]:
+        """Resolve many entries with one counter read for the batch."""
+        counter = self.change_counter()
+        return [self._get_at(identifier, version, counter)
+                for identifier, version in map(_split_request, requests)]
+
+    def _get_at(self, identifier: str, version: Version | None,
+                counter: int) -> ExampleEntry:
         if version is None:
-            version = self.latest_version(identifier)
+            stored = self._listing(counter).get(identifier)
+            if not stored:
+                raise EntryNotFound(identifier)
+            version = stored[-1]
+        cached = self._memo.get(identifier, str(version), counter)
+        if cached is not None:
+            return cached
         path = self._version_path(identifier, version)
         if not path.is_file():
             raise EntryNotFound(identifier, str(version))
-        with path.open(encoding="utf-8") as handle:
-            data = json.load(handle)
-        entry = ExampleEntry.from_dict(data)
+        entry = decode_entry(path.read_text(encoding="utf-8"))
         if entry.identifier != identifier:
             raise StorageError(
                 f"file {path} contains entry {entry.identifier!r}, "
                 f"expected {identifier!r}")
+        self._memo.put(identifier, str(version), counter, entry)
         return entry
 
-    def has(self, identifier: str) -> bool:
-        entry_dir = self._entry_dir(identifier)
-        return entry_dir.is_dir() and any(entry_dir.glob("*.json"))
+    # ------------------------------------------------------------------
+    # Writes.
+    # ------------------------------------------------------------------
 
     def add(self, entry: ExampleEntry) -> None:
         if self.has(entry.identifier):
@@ -112,10 +184,14 @@ class FileBackend(StorageBackend):
         Lives in ``<root>/change-counter``, so a *later* process
         opening the same directory sees what earlier (serialised)
         writers did — which is what lets an index snapshot detect that
-        the tree moved on.  Writers must be serialised, as everywhere
-        else in this backend (``add`` itself is check-then-act); the
-        service facade's write lock provides that within a process,
-        and concurrent writer *processes* are outside FileBackend's
+        the tree moved on.  Deliberately re-read from disk on every
+        call (never cached in memory): the counter is also the
+        invalidation channel for the listing cache and decode memo, so
+        a foreign ``FileBackend`` writing to the same root stays
+        visible.  Writers must be serialised, as everywhere else in
+        this backend (``add`` itself is check-then-act); the service
+        facade's write lock provides that within a process, and
+        concurrent writer *processes* are outside FileBackend's
         contract.  A tree that predates the counter file reads as 0.
         """
         try:
@@ -123,26 +199,56 @@ class FileBackend(StorageBackend):
         except (OSError, ValueError):
             return 0
 
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        return {
+            "decode_memo": self._memo.stats(),
+            "listing": {
+                "scans": self._listing_scans,
+                "serves": self._listing_serves,
+            },
+        }
+
     # ------------------------------------------------------------------
     # Internals.
     # ------------------------------------------------------------------
 
     def _write(self, entry: ExampleEntry) -> None:
-        # The counter bumps *before* the snapshot rename: a crash
-        # between the two leaves an advanced counter and no new
-        # content, so a stamped index snapshot merely rebuilds
-        # spuriously.  The opposite order would leave new content
-        # under an old counter — a stale snapshot trusted as fresh.
-        self._bump_counter()
+        # The counter bumps on *both* sides of the snapshot rename.
+        # Before: a crash between bump and rename leaves an advanced
+        # counter and no new content, so a stamped index snapshot
+        # merely rebuilds spuriously — the opposite order would leave
+        # new content under an old counter, a stale snapshot trusted
+        # as fresh.  After: a reader racing the rename can have read
+        # the first-bumped counter and then the *pre-rename* state —
+        # old bytes on a replace_latest, or the entry's absence on an
+        # add — and cached it (decode memo, listing cache) under that
+        # counter; the second bump orphans whatever was cached in the
+        # window.
+        previous = self.change_counter()
+        self._bump_counter(previous + 1)
         path = self._version_path(entry.identifier, entry.version)
         temp = path.with_suffix(".json.tmp")
-        with temp.open("w", encoding="utf-8") as handle:
-            json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        temp.write_text(encode_entry(entry) + "\n", encoding="utf-8")
         temp.replace(path)
+        counter = previous + 2
+        self._bump_counter(counter)
+        # Keep the listing cache coherent without a rescan (only when
+        # the cache was current up to this very write).
+        if self._listing_map is not None \
+                and self._listing_counter == previous:
+            stored = self._listing_map.setdefault(entry.identifier, [])
+            if entry.version not in stored:
+                bisect.insort(stored, entry.version)
+            self._listing_counter = counter
+        else:
+            self._listing_map = None
+        # The bytes just written came from this very object: prime the
+        # memo so the next read skips the decode entirely.
+        self._memo.put(entry.identifier, str(entry.version), counter,
+                       entry)
 
-    def _bump_counter(self) -> None:
+    def _bump_counter(self, counter: int) -> None:
         # Atomic per write (temp + rename), like the snapshots.
         temp = self._counter_path.with_name("change-counter.tmp")
-        temp.write_text(f"{self.change_counter() + 1}\n")
+        temp.write_text(f"{counter}\n")
         temp.replace(self._counter_path)

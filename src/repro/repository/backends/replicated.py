@@ -36,6 +36,7 @@ from repro.core.errors import BxError
 from repro.repository.backends.base import (
     GetRequest,
     StorageBackend,
+    merge_cache_stats,
 )
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import QueryPlan, QueryResult, QueryStats
@@ -137,6 +138,13 @@ class ReplicatedBackend(StorageBackend):
 
     def query_stats(self, terms: Sequence[str]):
         return self._read(lambda backend: backend.query_stats(terms))
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Counters of every copy, summed — reads may serve from any
+        healthy copy, so the replicas' caches work too."""
+        return merge_cache_stats(
+            copy.cache_stats()
+            for copy in (self.primary, *self.replicas))
 
     def execute_query(self, plan: QueryPlan,
                       stats: QueryStats | None = None) -> QueryResult:

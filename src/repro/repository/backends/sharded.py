@@ -40,6 +40,7 @@ from repro.repository.backends.base import (
     GetRequest,
     StorageBackend,
     _split_request,
+    merge_cache_stats,
 )
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
@@ -228,6 +229,11 @@ class ShardedBackend(StorageBackend):
         if any(counter is None for counter in counters):
             return None
         return sum(counters)
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """The shards' read-cache counters, summed per cache."""
+        return merge_cache_stats(
+            shard.cache_stats() for shard in self.shards)
 
     def query_stats(self, terms: Sequence[str]) -> QueryStats:
         """Corpus-global statistics: the shard stats summed.

@@ -55,7 +55,6 @@ sharded fan-out path relies on:
 
 from __future__ import annotations
 
-import json
 import sqlite3
 import threading
 from pathlib import Path
@@ -67,6 +66,7 @@ from repro.core.errors import (
     StorageError,
 )
 from repro.repository.backends.base import StorageBackend, _split_request
+from repro.repository.codec import DecodeMemo, decode_entry, encode_entry
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     All,
@@ -160,6 +160,7 @@ class SQLiteBackend(StorageBackend):
         self._memory = self.path == ":memory:"
         self._lock = threading.Lock()
         self._closed = False
+        self._memo = DecodeMemo()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._local = threading.local()
         self._read_conns: list[sqlite3.Connection] = []
@@ -235,16 +236,24 @@ class SQLiteBackend(StorageBackend):
 
     def get(self, identifier: str,
             version: Version | None = None) -> ExampleEntry:
-        row = self._run_read(
-            lambda conn: self._get_row(conn, identifier, version))
-        return ExampleEntry.from_dict(json.loads(row[0]))
+        def fetch(conn) -> ExampleEntry:
+            counter = self._counter_on(conn)
+            major, minor, payload = self._get_row(conn, identifier,
+                                                  version)
+            return self._hydrate(identifier, Version(major, minor),
+                                 payload, counter)
+
+        return self._run_read(fetch)
 
     def get_many(self, requests) -> list[ExampleEntry]:
         """Resolve many entries with one latest-version query.
 
         Latest-version requests are answered by a single correlated
         query per chunk of identifiers instead of one SELECT each;
-        explicit-version requests fall back to point lookups.
+        explicit-version requests fall back to point lookups.  Each
+        snapshot hydrates through the decode memo, so a payload this
+        process has seen (or written) since the last write is never
+        JSON-decoded again.
         """
         split = [_split_request(request) for request in requests]
         latest_wanted = sorted({identifier
@@ -252,16 +261,20 @@ class SQLiteBackend(StorageBackend):
                                 if version is None})
 
         def fetch(conn) -> list[ExampleEntry]:
+            counter = self._counter_on(conn)
             latest = self._latest_payloads(conn, latest_wanted)
             results = []
             for identifier, version in split:
                 if version is None:
-                    payload = latest.get(identifier)
-                    if payload is None:
+                    row = latest.get(identifier)
+                    if row is None:
                         raise EntryNotFound(identifier)
                 else:
-                    payload = self._get_row(conn, identifier, version)[0]
-                results.append(ExampleEntry.from_dict(json.loads(payload)))
+                    row = self._get_row(conn, identifier, version)
+                major, minor, payload = row
+                results.append(
+                    self._hydrate(identifier, Version(major, minor),
+                                  payload, counter))
             return results
 
         return self._run_read(fetch)
@@ -277,10 +290,26 @@ class SQLiteBackend(StorageBackend):
 
     def change_counter(self) -> int:
         """Durable write counter (bumped once per write transaction)."""
-        row = self._run_read(lambda conn: conn.execute(
+        return self._run_read(self._counter_on)
+
+    def _counter_on(self, conn: sqlite3.Connection) -> int:
+        row = conn.execute(
             "SELECT value FROM meta WHERE key = 'change_counter'"
-        ).fetchone())
+        ).fetchone()
         return int(row[0]) if row is not None else 0
+
+    def _hydrate(self, identifier: str, version: Version, payload: str,
+                 counter: int) -> ExampleEntry:
+        """Decode one payload through the memo (at most once per write)."""
+        cached = self._memo.get(identifier, str(version), counter)
+        if cached is not None:
+            return cached
+        entry = decode_entry(payload)
+        self._memo.put(identifier, str(version), counter, entry)
+        return entry
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        return {"decode_memo": self._memo.stats()}
 
     # ------------------------------------------------------------------
     # Query pushdown.
@@ -323,12 +352,14 @@ class SQLiteBackend(StorageBackend):
                 key=(lambda item: item[1]) if plan.sort == "identifier"
                 else (lambda item: (-item[0], item[1])))
             page = scored[plan.offset:plan.page_end()]
+            counter = self._counter_on(conn)
             payloads = self._latest_payloads(
                 conn, [identifier for _score, identifier in page])
             hits = tuple(
                 SearchHit(identifier, score,
-                          ExampleEntry.from_dict(
-                              json.loads(payloads[identifier])))
+                          self._hydrate(identifier,
+                                        Version(*payloads[identifier][:2]),
+                                        payloads[identifier][2], counter))
                 for score, identifier in page)
             return QueryResult(hits=hits, total=len(matched), facets=facets)
 
@@ -394,23 +425,28 @@ class SQLiteBackend(StorageBackend):
                 weights.setdefault(identifier, {})[term] = weight
         return weights
 
-    def _latest_payloads(self, conn,
-                         identifiers: Sequence[str]) -> dict[str, str]:
-        """Latest payload per identifier, in chunked bulk queries."""
+    def _latest_payloads(
+            self, conn, identifiers: Sequence[str],
+    ) -> dict[str, tuple[int, int, str]]:
+        """Latest ``(major, minor, payload)`` per identifier, in chunked
+        bulk queries — the version rides along so callers can probe the
+        decode memo before parsing the payload."""
         wanted = list(identifiers)
-        latest: dict[str, str] = {}
+        latest: dict[str, tuple[int, int, str]] = {}
         for chunk_start in range(0, len(wanted), 400):
             chunk = wanted[chunk_start:chunk_start + 400]
             marks = ",".join("?" * len(chunk))
             rows = conn.execute(
-                "SELECT e.identifier, e.payload FROM entries e "
+                "SELECT e.identifier, e.major, e.minor, e.payload "
+                "FROM entries e "
                 f"WHERE e.identifier IN ({marks}) AND NOT EXISTS ("
                 "  SELECT 1 FROM entries f "
                 "  WHERE f.identifier = e.identifier "
                 "  AND (f.major > e.major OR "
                 "       (f.major = e.major AND f.minor > e.minor)))",
                 chunk).fetchall()
-            latest.update(rows)
+            latest.update((identifier, (major, minor, payload))
+                          for identifier, major, minor, payload in rows)
         return latest
 
     # ------------------------------------------------------------------
@@ -423,7 +459,8 @@ class SQLiteBackend(StorageBackend):
                 raise DuplicateEntry(entry.identifier)
             self._insert(entry)
             self._mark_dirty([entry.identifier])
-            self._bump_counter()
+            counter = self._bump_counter()
+        self._prime_memo([entry], counter)
 
     def add_version(self, entry: ExampleEntry) -> None:
         with self._lock, self._conn:
@@ -436,7 +473,8 @@ class SQLiteBackend(StorageBackend):
                     f"{Version(*latest)} for {entry.identifier!r}")
             self._insert(entry)
             self._mark_dirty([entry.identifier])
-            self._bump_counter()
+            counter = self._bump_counter()
+        self._prime_memo([entry], counter)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
         with self._lock, self._conn:
@@ -450,11 +488,11 @@ class SQLiteBackend(StorageBackend):
             self._conn.execute(
                 "UPDATE entries SET payload = ? WHERE identifier = ? "
                 "AND major = ? AND minor = ?",
-                (json.dumps(entry.to_dict(), sort_keys=True),
-                 entry.identifier, entry.version.major,
-                 entry.version.minor))
+                (encode_entry(entry), entry.identifier,
+                 entry.version.major, entry.version.minor))
             self._mark_dirty([entry.identifier])
-            self._bump_counter()
+            counter = self._bump_counter()
+        self._prime_memo([entry], counter)
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
         """Bulk-load brand-new entries in a single transaction.
@@ -483,11 +521,11 @@ class SQLiteBackend(StorageBackend):
                 "INSERT INTO entries (identifier, major, minor, payload) "
                 "VALUES (?, ?, ?, ?)",
                 [(entry.identifier, entry.version.major,
-                  entry.version.minor,
-                  json.dumps(entry.to_dict(), sort_keys=True))
+                  entry.version.minor, encode_entry(entry))
                  for entry in batch])
             self._mark_dirty([entry.identifier for entry in batch])
-            self._bump_counter()
+            counter = self._bump_counter()
+        self._prime_memo(batch, counter)
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -514,18 +552,19 @@ class SQLiteBackend(StorageBackend):
         return row is not None
 
     def _get_row(self, conn: sqlite3.Connection, identifier: str,
-                 version: Version | None) -> tuple[str]:
+                 version: Version | None) -> tuple[int, int, str]:
         if version is None:
             row = conn.execute(
-                "SELECT payload FROM entries WHERE identifier = ? "
+                "SELECT major, minor, payload FROM entries "
+                "WHERE identifier = ? "
                 "ORDER BY major DESC, minor DESC LIMIT 1",
                 (identifier,)).fetchone()
             if row is None:
                 raise EntryNotFound(identifier)
         else:
             row = conn.execute(
-                "SELECT payload FROM entries WHERE identifier = ? "
-                "AND major = ? AND minor = ?",
+                "SELECT major, minor, payload FROM entries "
+                "WHERE identifier = ? AND major = ? AND minor = ?",
                 (identifier, version.major, version.minor)).fetchone()
             if row is None:
                 if not self._has(conn, identifier):
@@ -538,7 +577,7 @@ class SQLiteBackend(StorageBackend):
             "INSERT INTO entries (identifier, major, minor, payload) "
             "VALUES (?, ?, ?, ?)",
             (entry.identifier, entry.version.major, entry.version.minor,
-             json.dumps(entry.to_dict(), sort_keys=True)))
+             encode_entry(entry)))
 
     def _latest_row(self, identifier: str) -> tuple[int, int] | None:
         return self._conn.execute(
@@ -590,10 +629,13 @@ class SQLiteBackend(StorageBackend):
                         self._conn.execute(
                             f"DELETE FROM {table} "
                             f"WHERE identifier IN ({marks})", chunk)
+                counter = self._counter_on(self._conn)
                 payloads = self._latest_payloads(self._conn, dirty)
                 self._index_latest_batch(
-                    [ExampleEntry.from_dict(json.loads(payload))
-                     for payload in payloads.values()])
+                    [self._hydrate(identifier, Version(major, minor),
+                                   payload, counter)
+                     for identifier, (major, minor, payload)
+                     in payloads.items()])
 
     def _index_latest_batch(self, batch: Sequence[ExampleEntry]) -> None:
         """Insert metadata rows for entries with no current rows —
@@ -626,10 +668,24 @@ class SQLiteBackend(StorageBackend):
              for entry in batch
              for term, weight in entry_terms(entry).items()])
 
-    def _bump_counter(self) -> None:
+    def _bump_counter(self) -> int:
         self._conn.execute(
             "UPDATE meta SET value = value + 1 "
             "WHERE key = 'change_counter'")
+        return self._counter_on(self._conn)
+
+    def _prime_memo(self, entries: Sequence[ExampleEntry],
+                    counter: int) -> None:
+        """After a committed write, memoise the just-encoded entries.
+
+        The payload bytes came from these very objects, so the next
+        read (or deferred index flush) skips the decode entirely.  Runs
+        *after* the transaction commits — a rolled-back write must not
+        leave phantom snapshots in the memo.
+        """
+        for entry in entries:
+            self._memo.put(entry.identifier, str(entry.version), counter,
+                           entry)
 
 
 def _chunks(items: list, size: int = 400):

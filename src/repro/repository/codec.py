@@ -1,0 +1,155 @@
+"""The canonical entry codec: one encode/decode pair for every backend.
+
+Before this module each durable backend serialised entries its own way
+(``FileBackend`` re-encoded ``entry.to_dict()`` with ``indent=2`` on
+every write; ``SQLiteBackend`` had its own ``json.dumps`` calls), and
+every read re-ran ``json.load`` + ``ExampleEntry.from_dict`` even for
+bytes the same process had just produced.  Now:
+
+* :func:`encode_entry` produces the single **compact wire format** —
+  no indentation, sorted keys, a ``"_codec"`` version tag — used by the
+  file and sqlite backends alike.  The tag rides *inside* the entry
+  dict (``ExampleEntry.from_dict`` ignores unknown keys), so the file
+  layout the seed pinned down (``entries/<id>/<version>.json`` holding
+  the entry dict) is unchanged;
+* :func:`decode_entry` hydrates any payload this library ever wrote:
+  tagged compact payloads and legacy untagged ones (indented seed-era
+  files, pre-codec sqlite rows) decode identically.  A payload tagged
+  with a *newer* codec version fails loudly instead of guessing;
+* :class:`DecodeMemo` is the **decode fast path**: a bounded LRU of
+  hydrated entries keyed by ``(identifier, version, change_counter)``.
+  Entries are immutable value objects, so a memoised snapshot is safe
+  to share; keying by the backend's durable change counter means any
+  write — including a foreign process's, which bumps the counter file /
+  meta row — atomically orphans every stale key.  Backends prime the
+  memo on their own writes (the bytes they just encoded came from an
+  entry object they already hold) and consult it before every decode.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+
+from repro.core.errors import StorageError
+from repro.repository.entry import ExampleEntry
+
+__all__ = [
+    "CODEC_VERSION",
+    "DecodeMemo",
+    "decode_entry",
+    "encode_entry",
+]
+
+#: Wire-format version; bump when the payload layout changes shape.
+CODEC_VERSION = 1
+
+#: The tag key carried inside the payload dict.  Underscore-prefixed so
+#: it can never collide with a template field name.
+_TAG_KEY = "_codec"
+
+
+def encode_entry(entry: ExampleEntry) -> str:
+    """Serialise one entry to the compact, tagged wire format.
+
+    Deterministic (sorted keys, fixed separators), so identical entries
+    encode to identical bytes on every backend — which is also what
+    keeps replicated copies byte-comparable.
+    """
+    data = entry.to_dict()
+    data[_TAG_KEY] = CODEC_VERSION
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def decode_entry(payload: str | bytes) -> ExampleEntry:
+    """Hydrate one entry from any payload this library ever wrote.
+
+    Accepts the tagged compact format and legacy untagged payloads
+    (seed-era indented files, pre-codec database rows).  A payload
+    tagged with a codec version newer than this build understands
+    raises :class:`~repro.core.errors.StorageError` rather than
+    decoding a shape it cannot vouch for.
+    """
+    data = json.loads(payload)
+    if not isinstance(data, dict):
+        raise StorageError(
+            f"entry payload is not an object: {type(data).__name__}")
+    tag = data.pop(_TAG_KEY, None)
+    if tag is not None and tag > CODEC_VERSION:
+        raise StorageError(
+            f"entry payload uses codec version {tag}; this build "
+            f"understands up to {CODEC_VERSION}")
+    return ExampleEntry.from_dict(data)
+
+
+class DecodeMemo:
+    """A bounded LRU of hydrated entries, keyed by change counter.
+
+    The key is ``(identifier, version, change_counter)``: the counter a
+    backend reported *at fetch time*.  Because durable counters bump on
+    every write, any write silently orphans every key minted under the
+    old counter; orphans age out through the LRU bound.  That makes the
+    memo safe without any invalidation protocol — the read-dominated
+    workloads it exists for never pay more than one decode per snapshot
+    between writes.  The one ordering subtlety lives with the backends:
+    a write must leave its final counter value unseen by any reader who
+    could still fetch the pre-write state (``FileBackend._write`` bumps
+    once more after the content rename; SQLite commits payload and
+    counter atomically).
+
+    Internally locked: backends are shared across threads (the sharded
+    fan-out), and LRU bookkeeping mutates state even on ``get``.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._mutex = threading.Lock()
+        self._data: OrderedDict[tuple[str, str, int],
+                                ExampleEntry] = OrderedDict()
+
+    def get(self, identifier: str, version: str,
+            change_counter: int) -> ExampleEntry | None:
+        key = (identifier, version, change_counter)
+        with self._mutex:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, identifier: str, version: str, change_counter: int,
+            entry: ExampleEntry) -> None:
+        if self.maxsize <= 0:
+            return
+        key = (identifier, version, change_counter)
+        with self._mutex:
+            self._data[key] = entry
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters for ``cache_stats()`` reporting."""
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "currsize": len(self._data),
+                "maxsize": self.maxsize,
+            }

@@ -19,6 +19,7 @@ looks over parseability.
 
 from __future__ import annotations
 
+from repro.core.errors import StorageError
 from repro.repository.entry import ExampleEntry
 from repro.repository.glossary import glossary_terms
 
@@ -258,7 +259,7 @@ def render_markdown(entry: ExampleEntry) -> str:
 
 
 def render_repository_markdown(store, title: str | None = None,
-                               query=None) -> str:
+                               query=None, *, cache=None) -> str:
     """Render latest entries as one Markdown document (§5.2's
     "collect the most recent versions ... into a manuscript").
 
@@ -273,15 +274,28 @@ def render_repository_markdown(store, title: str | None = None,
     identifier order — e.g. ``query=Q.reviewed()`` renders only the
     approved examples.  Backends with a native plan (SQLite, sharded)
     then fetch exactly the matching snapshots.
+
+    ``cache`` is an optional
+    :class:`~repro.repository.render_cache.RenderCache` attached to
+    this very store: per-entry fragments then come from the cache and
+    only entries written since the last export are re-rendered.  The
+    assembled document is byte-identical either way.
     """
-    entries = _select_entries(store, query)
     heading = title or "The Bx Examples Repository"
+    if cache is not None:
+        if cache.service is not store:
+            raise StorageError(
+                "render cache is attached to a different store")
+        fragments = list(cache.markdown_fragments(query).values())
+    else:
+        fragments = [render_markdown(entry)
+                     for entry in _select_entries(store, query)]
     lines = [f"# {heading}", "",
-             f"{len(entries)} examples, latest versions.", ""]
-    for entry in entries:
+             f"{len(fragments)} examples, latest versions.", ""]
+    for fragment in fragments:
         lines.append("---")
         lines.append("")
-        lines.append(render_markdown(entry).rstrip())
+        lines.append(fragment.rstrip())
         lines.append("")
     return "\n".join(lines).rstrip() + "\n"
 

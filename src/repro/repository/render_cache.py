@@ -1,0 +1,257 @@
+"""Event-driven render cache: pages re-render only when written.
+
+The repository is read-dominated — the §5.4 wiki pages and the §5.2
+manuscript export are served far more often than entries are edited —
+yet ``render_wiki_pages`` and ``render_repository_markdown`` used to
+re-render every entry on every call.  :class:`RenderCache` closes that
+gap the same way the search index went incremental in PR 1: it
+subscribes to :class:`~repro.repository.service.RepositoryEvent`\\ s
+from a :class:`~repro.repository.service.RepositoryService` and keeps
+two renderings per entry — the wikidot page
+(:func:`~repro.repository.export.render_wikidot`, i.e. what
+``WikiSyncLens.get`` produces) and the Markdown fragment
+(:func:`~repro.repository.export.render_markdown`) — evicting **exactly
+the written identifier** on every add / add_version / replace_latest.
+A warm call therefore renders only what changed since the last call.
+
+Persistence uses the same fail-safe scheme as the PR-3 index
+snapshots: ``save()`` stamps the snapshot with the backend's durable
+``change_counter()`` *read before the state is captured*, and a later
+process restores it only when the stamp still equals the live counter.
+The counter only ever increases, so a racing write can at worst cause
+a spurious discard — never a stale page trusted as fresh.  Backends
+with no durable counter (``MemoryBackend``) never persist.
+
+Thread safety: events fire under the service's write lock while pages
+are requested by reader threads, so all cache state sits behind one
+internal mutex.  The mutex is **never held across a service call**
+(that would deadlock against a writer's event dispatch); instead each
+render captures an event-clock before fetching, and the store step
+drops the render if its identifier was evicted in between — a racing
+write wins, the cache stays coherent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.repository.export import render_markdown, render_wikidot
+from repro.repository.query import plan
+
+__all__ = ["RenderCache"]
+
+#: Snapshot format version; bump when the on-disk layout changes.
+_SNAPSHOT_FORMAT = 1
+
+
+class RenderCache:
+    """Wiki pages and Markdown fragments, cached per written entry."""
+
+    def __init__(self, service, *, path: str | Path | None = None) -> None:
+        self.service = service
+        self.path = Path(path) if path else None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._mutex = threading.Lock()
+        #: identifier -> rendered text of its latest version (staleness
+        #: is governed by events and the persisted counter stamp, never
+        #: by comparing versions — replace_latest keeps the version).
+        self._wiki: dict[str, str] = {}
+        self._markdown: dict[str, str] = {}
+        #: Event clock: bumped per event; per-identifier eviction times
+        #: let a render that raced a write detect it lost.
+        self._clock = 0
+        self._evicted_at: dict[str, int] = {}
+        self._unsubscribe = service.subscribe(self._on_event)
+        if self.path is not None:
+            self._restore()
+
+    # ------------------------------------------------------------------
+    # Event subscription: exact per-identifier eviction.
+    # ------------------------------------------------------------------
+
+    def _on_event(self, event) -> None:
+        with self._mutex:
+            self._clock += 1
+            self._evicted_at[event.identifier] = self._clock
+            dropped_wiki = self._wiki.pop(event.identifier, None)
+            dropped_md = self._markdown.pop(event.identifier, None)
+            if dropped_wiki is not None or dropped_md is not None:
+                self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Single-page access.
+    # ------------------------------------------------------------------
+
+    def wiki_page(self, identifier: str) -> str:
+        """The wikidot page of an entry's latest version (cached)."""
+        return self._pages([identifier])[identifier]
+
+    def markdown_fragment(self, identifier: str) -> str:
+        """The Markdown rendering of an entry's latest version (cached)."""
+        return self._pages([identifier], kind="markdown")[identifier]
+
+    # ------------------------------------------------------------------
+    # Collection access (what render_wiki_pages / the exporter use).
+    # ------------------------------------------------------------------
+
+    def wiki_pages(self, query=None) -> dict[str, str]:
+        """Wikidot pages of a query's matches (None: everything),
+        keyed by identifier in identifier order — re-rendering only
+        identifiers written since the pages were last produced."""
+        return self._collection(query, kind="wiki")
+
+    def markdown_fragments(self, query=None) -> dict[str, str]:
+        """Markdown fragments of a query's matches, identifier order."""
+        return self._collection(query, kind="markdown")
+
+    def _collection(self, query, *, kind: str) -> dict[str, str]:
+        # The clock is captured BEFORE any service call fetches
+        # snapshots: a write landing after this point evicts its
+        # identifier at a strictly later clock, so the guarded store
+        # below drops any render made from the pre-write snapshot.
+        with self._mutex:
+            clock = self._clock
+        if query is None:
+            identifiers = self.service.identifiers()
+            entries_by_id = None
+        else:
+            result = self.service.execute_query(
+                plan(query, sort="identifier"))
+            identifiers = [hit.identifier for hit in result.hits]
+            entries_by_id = {hit.identifier: hit.entry
+                             for hit in result.hits}
+        return self._pages(identifiers, kind=kind, entries=entries_by_id,
+                           clock=clock)
+
+    def _pages(self, identifiers, *, kind: str = "wiki",
+               entries=None, clock: int | None = None) -> dict[str, str]:
+        cache = self._wiki if kind == "wiki" else self._markdown
+        render = render_wikidot if kind == "wiki" else render_markdown
+        rendered: dict[str, str] = {}
+        missing: list[str] = []
+        with self._mutex:
+            if clock is None:
+                clock = self._clock
+            for identifier in identifiers:
+                cached = cache.get(identifier)
+                if cached is not None:
+                    rendered[identifier] = cached
+                    self.hits += 1
+                else:
+                    missing.append(identifier)
+                    self.misses += 1
+        if missing:
+            if entries is None:
+                fetched = self.service.get_many(missing)
+            else:
+                fetched = [entries[identifier] for identifier in missing]
+            for entry in fetched:
+                text = render(entry)
+                rendered[entry.identifier] = text
+                self._store(cache, entry.identifier, text, clock)
+        return {identifier: rendered[identifier]
+                for identifier in identifiers}
+
+    def _store(self, cache: dict, identifier: str, text: str,
+               clock: int) -> None:
+        with self._mutex:
+            if self._evicted_at.get(identifier, 0) > clock:
+                return  # a write raced this render; stay evicted
+            cache[identifier] = text
+
+    # ------------------------------------------------------------------
+    # Persistence (counter-stamped, fail-safe — like index snapshots).
+    # ------------------------------------------------------------------
+
+    def save(self) -> bool:
+        """Snapshot the cache to :attr:`path`; True if saved.
+
+        The stamp is read *before* the state is captured, so a write
+        racing this save leaves a snapshot stamped older than the
+        backend — discarded on restore, never trusted stale.  No path,
+        or a backend with no durable counter: nothing saved.
+        """
+        if self.path is None:
+            return False
+        counter = self.service.change_counter()
+        if counter is None:
+            return False
+        with self._mutex:
+            payload = {
+                "format": _SNAPSHOT_FORMAT,
+                "change_counter": counter,
+                "wiki": dict(sorted(self._wiki.items())),
+                "markdown": dict(sorted(self._markdown.items())),
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        temp.replace(self.path)
+        return True
+
+    def _restore(self) -> None:
+        """Adopt a persisted snapshot — only if its stamp still matches.
+
+        Any mismatch (missing/corrupt file, unknown format, a write
+        since the snapshot) silently starts cold; a stale page can
+        never be served.  The event subscription is already live, so a
+        write racing this restore (between the counter read and the
+        install) is detected by the clock check at the bottom and the
+        snapshot is dropped — cold start again, never a stale install
+        over a fresher eviction.
+        """
+        with self._mutex:
+            clock = self._clock
+        counter = self.service.change_counter()
+        if counter is None:
+            return
+        try:
+            with self.path.open(encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("format") != _SNAPSHOT_FORMAT:
+            return
+        if payload.get("change_counter") != counter:
+            return
+        wiki = payload.get("wiki")
+        markdown = payload.get("markdown")
+        if not (isinstance(wiki, dict) and isinstance(markdown, dict)):
+            return
+        if not all(isinstance(text, str)
+                   for pages in (wiki, markdown)
+                   for text in pages.values()):
+            return
+        with self._mutex:
+            if self._clock != clock:
+                return  # a write raced the restore; start cold
+            self._wiki = wiki
+            self._markdown = markdown
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/invalidation counters plus current sizes."""
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "wiki_pages": len(self._wiki),
+                "markdown_fragments": len(self._markdown),
+            }
+
+    def close(self) -> None:
+        """Persist (when configured) and detach from the service."""
+        self.save()
+        self._unsubscribe()

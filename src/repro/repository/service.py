@@ -98,6 +98,7 @@ class _LRUCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._mutex = threading.Lock()
         self._data: OrderedDict[object, ExampleEntry] = OrderedDict()
 
@@ -119,6 +120,7 @@ class _LRUCache:
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
 
     def discard_identifier(self, identifier: str) -> None:
         with self._mutex:
@@ -469,6 +471,30 @@ class RepositoryService(StorageBackend):
             "currsize": len(self._cache),
             "maxsize": self._cache.maxsize,
         }
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Every read-cache counter on this service's read path.
+
+        ``entry_cache`` is the facade's own LRU (hits, misses,
+        evictions, sizes); the backend's caches — the decode memo, the
+        file listing cache, summed across composite children — are
+        merged in under their own names (see
+        :meth:`StorageBackend.cache_stats`).  The companion
+        :class:`~repro.repository.render_cache.RenderCache` reports its
+        counters through its own ``cache_stats()``; benchmarks use both
+        to plot the hit-rate/latency curve against cache sizing.
+        """
+        stats: dict[str, dict[str, int]] = {
+            "entry_cache": {
+                "hits": self._cache.hits,
+                "misses": self._cache.misses,
+                "evictions": self._cache.evictions,
+                "currsize": len(self._cache),
+                "maxsize": self._cache.maxsize,
+            },
+        }
+        stats.update(self.backend.cache_stats())
+        return stats
 
     def invalidate(self, identifier: str | None = None) -> None:
         """Drop cached snapshots (all, or one identifier's).

@@ -432,7 +432,7 @@ def make_wiki_sync_lens() -> WikiSyncLens:
     return WikiSyncLens()
 
 
-def render_wiki_pages(store, query=None) -> dict[str, str]:
+def render_wiki_pages(store, query=None, *, cache=None) -> dict[str, str]:
     """Render the wikidot pages of a slice of the repository.
 
     The push half of §5.4 at collection scale: select entries through
@@ -442,7 +442,18 @@ def render_wiki_pages(store, query=None) -> dict[str, str]:
     wiki page text, keyed by identifier.  On a pushdown-capable store
     (SQLite, a sharded cluster) only the matching snapshots are
     fetched.
+
+    ``cache`` is an optional
+    :class:`~repro.repository.render_cache.RenderCache` attached to
+    this very store: with one, only identifiers written since the
+    cache last rendered them are re-rendered (and for ``query=None``
+    even the snapshot fetch is skipped for cached pages).
     """
+    if cache is not None:
+        if cache.service is not store:
+            raise WikiSyncError(
+                "render cache is attached to a different store")
+        return cache.wiki_pages(query)
     from repro.repository.query import plan
 
     result = store.execute_query(plan(query, sort="identifier"))

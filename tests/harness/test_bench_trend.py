@@ -35,6 +35,7 @@ RAW = {
             "params": {"kind": "memory"},
             "stats": {"min": 0.01, "mean": 0.02, "stddev": 0.001,
                       "rounds": 3, "ops": 50.0},
+            "extra_info": {"hit_rate": 0.97, "cache_size": 64},
         },
     ],
 }
@@ -58,6 +59,16 @@ class TestNormalise:
                                   "stddev": 0.0005, "rounds": 7,
                                   "ops": 500.0}
         assert "max" not in first["stats"]  # noisy stats are dropped
+
+    def test_extra_info_rides_along(self):
+        """Benchmark-attached measurements (hit rates from the cache
+        sizing sweep) survive normalisation."""
+        trend = normalise_benchmark_json(RAW, label="PR7")
+        bulk = trend["benchmarks"][0]
+        assert bulk["name"] == "test_bulk_load[memory]"
+        assert bulk["extra_info"] == {"hit_rate": 0.97, "cache_size": 64}
+        point_get = trend["benchmarks"][1]
+        assert point_get["extra_info"] == {}  # absent -> empty, not None
 
     def test_tolerates_missing_sections(self):
         trend = normalise_benchmark_json({}, label="local")
@@ -85,8 +96,17 @@ class TestTrendCli:
             runpy.run_path(str(self.TREND), run_name="__main__")
         assert outcome.value.code == 0
 
-    def test_writes_default_artifact_name(self, monkeypatch, tmp_path):
-        self.run_cli(monkeypatch, tmp_path, "--label", "PR9")
+    def test_default_artifact_lands_at_repo_root(self):
+        """The default output is <repo>/BENCH_<label>.json — committable
+        next to the code, not wherever the job happened to cd."""
+        namespace = runpy.run_path(str(self.TREND))
+        out = namespace["default_out"]("PR9")
+        assert out == Path(__file__).resolve().parents[2] / \
+            "BENCH_PR9.json"
+
+    def test_writes_named_artifact(self, monkeypatch, tmp_path):
+        self.run_cli(monkeypatch, tmp_path, "--label", "PR9",
+                     "--out", "BENCH_PR9.json")
         written = json.loads((tmp_path / "BENCH_PR9.json").read_text())
         assert written["label"] == "PR9"
         assert written["benchmark_count"] == 2

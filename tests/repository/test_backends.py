@@ -239,6 +239,63 @@ class TestFileCrashSafety:
         assert reopened.get("demo-example").version == Version(0, 1)
 
 
+class TestFileListingCache:
+    """identifiers()/has()/versions() stop scanning the tree per call:
+    one scan per change-counter value, maintained incrementally by this
+    backend's own writes, invalidated by anyone else's counter bump."""
+
+    def scans(self, backend) -> int:
+        return backend.cache_stats()["listing"]["scans"]
+
+    def test_repeated_reads_cost_one_scan(self, tmp_path):
+        backend = FileBackend(tmp_path / "repo")
+        backend.add_many(entry_batch(5))
+        baseline = self.scans(backend)
+        for _round in range(10):
+            assert backend.identifiers() == [f"entry-{i}"
+                                             for i in range(5)]
+            assert backend.has("entry-3")
+            assert not backend.has("nope")
+            assert backend.versions("entry-0") == [Version(0, 1)]
+        assert self.scans(backend) <= baseline + 1
+
+    def test_own_writes_update_without_rescan(self, tmp_path):
+        backend = FileBackend(tmp_path / "repo")
+        backend.add(minimal_entry())
+        backend.identifiers()  # make the cache current
+        baseline = self.scans(backend)
+        backend.add(minimal_entry(title="SECOND"))
+        backend.add_version(minimal_entry(title="SECOND",
+                                          version=Version(0, 2)))
+        assert backend.identifiers() == ["demo-example", "second"]
+        assert backend.versions("second") == [Version(0, 1),
+                                              Version(0, 2)]
+        assert self.scans(backend) == baseline  # incremental, no rescan
+
+    def test_foreign_writer_triggers_exactly_one_rescan(self, tmp_path):
+        ours = FileBackend(tmp_path / "repo")
+        ours.add(minimal_entry())
+        assert ours.identifiers() == ["demo-example"]
+        theirs = FileBackend(tmp_path / "repo")
+        theirs.add(minimal_entry(title="FOREIGN"))
+        baseline = self.scans(ours)
+        assert ours.identifiers() == ["demo-example", "foreign"]
+        assert ours.has("foreign")
+        assert ours.identifiers() == ["demo-example", "foreign"]
+        assert self.scans(ours) == baseline + 1
+
+    def test_crash_debris_still_invisible(self, tmp_path):
+        backend = FileBackend(tmp_path / "repo")
+        backend.add(minimal_entry())
+        entries = tmp_path / "repo" / "entries"
+        (entries / "ghost").mkdir()
+        (entries / "demo-example" / "0.2.json.tmp").write_text("{")
+        fresh = FileBackend(tmp_path / "repo")  # scans over the debris
+        assert fresh.identifiers() == ["demo-example"]
+        assert not fresh.has("ghost")
+        assert fresh.versions("demo-example") == [Version(0, 1)]
+
+
 class TestCompatibilityShim:
     def test_store_names_are_backend_classes(self):
         assert RepositoryStore is StorageBackend

@@ -216,10 +216,18 @@ class TestPushdownCapabilities:
 
     def test_sqlite_pushdown_decodes_only_the_page(self, tmp_path,
                                                    monkeypatch):
-        """The SQL path must not materialise non-hit payloads."""
+        """The SQL path must not materialise non-hit payloads.
+
+        A fresh backend over the populated database plays the part of a
+        new process: its decode memo is empty (the writer process's
+        memo primes on write, so in-process the page would decode zero
+        times), which is what makes "exactly one decode per returned
+        hit" the honest upper bound to pin here.
+        """
+        with SQLiteBackend(tmp_path / "repo.db") as writer:
+            populate(writer)
+            writer.execute_query(plan(None))  # settle the deferred index
         backend = SQLiteBackend(tmp_path / "repo.db")
-        populate(backend)
-        backend.execute_query(plan(None))  # settle the deferred index
         from repro.repository import entry as entry_module
 
         calls = []

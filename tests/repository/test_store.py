@@ -105,8 +105,11 @@ class TestFileStoreSpecifics:
         data = json.loads(path.read_text())
         data["title"] = "SOMETHING ELSE"
         path.write_text(json.dumps(data))
+        # A fresh store (decode memo empty) must detect the mismatch
+        # when it actually parses the tampered file.
+        reopened = FileStore(tmp_path / "repo")
         with pytest.raises(StorageError, match="something-else"):
-            store.get("demo-example")
+            reopened.get("demo-example")
 
     def test_json_is_stable_sorted(self, tmp_path):
         store = FileStore(tmp_path / "repo")
