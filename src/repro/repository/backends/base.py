@@ -39,11 +39,13 @@ from repro.core.errors import EntryNotFound
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     CorpusIndex,
+    Query,
     QueryPlan,
     QueryResult,
     QueryStats,
     corpus_stats,
     evaluate_plan,
+    plan as build_plan,
 )
 from repro.repository.versioning import Version
 
@@ -208,6 +210,30 @@ class StorageBackend(ABC):
         """
         index = CorpusIndex(self.get_many(self.identifiers()))
         return evaluate_plan(index, plan, stats)
+
+    def query(self, query: Query | str | None = None, *,
+              sort: str = "relevance", offset: int = 0,
+              limit: int | None = None) -> QueryResult:
+        """Execute one composable query; the single retrieval surface.
+
+        ``query`` is a :class:`~repro.repository.query.Q` expression
+        (``Q.text("tree") & Q.type(...)``), a bare string (shorthand
+        for ``Q.text``), or None for everything.  Returns a
+        :class:`~repro.repository.query.QueryResult`: the requested
+        page of ranked hits plus the total match count and facet
+        counts over the full match set.
+
+        A concrete convenience over :meth:`execute_query`, shared by
+        every layer of the stack (backends, the service facade, the
+        async variant, the HTTP client) — part of the
+        :class:`~repro.repository.service.RepositoryAPI` contract, so
+        it composes the plan here and lets each layer's
+        ``execute_query`` decide where the work runs (SQL pushdown,
+        sharded fan-out, the service's lazily enabled index, a remote
+        server).
+        """
+        return self.execute_query(
+            build_plan(query, sort=sort, offset=offset, limit=limit))
 
     # ------------------------------------------------------------------
     # Conveniences shared by implementations.

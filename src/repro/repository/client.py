@@ -1,0 +1,380 @@
+"""HTTPBackend: the repository's own HTTP API as a StorageBackend.
+
+The closing piece of the serving loop: the server
+(:mod:`repro.repository.server`) exposes a
+:class:`~repro.repository.service.RepositoryService` over HTTP, and
+this client implements the full
+:class:`~repro.repository.backends.StorageBackend` contract *against*
+that API — so a remote repository plugs in anywhere a local backend
+does.  That includes wrapping it in another ``RepositoryService`` (a
+read-through cache in front of a remote store), sharding across several
+servers, or handing it straight to the conformance suite: because the
+interface is the same, ``tests/repository/test_backends.py`` holds the
+whole wire round-trip to the storage contract without a single
+HTTP-specific assertion.
+
+Error fidelity is the point of the wire format: the server transmits
+the exception's class name plus its structured arguments, and
+:func:`_raise_remote_error` re-raises the *same*
+:mod:`repro.core.errors` class the in-process backend would have
+raised — ``EntryNotFound`` with its identifier and version,
+``DuplicateEntry`` with its identifier, ``StorageError`` and friends
+with their message.  An unrecognised error type degrades to
+``StorageError`` rather than crossing the boundary as something
+un-catchable.
+
+Connections are keep-alive ``http.client.HTTPConnection`` objects, one
+per calling thread (the connection object is not thread-safe; a
+thread-local keeps the hot path allocation-free).  A connection idle
+past ``idle_reuse_limit`` is replaced *before* reuse — servers close
+idle connections, and that close often surfaces only at response time,
+where a write cannot be safely retried.  Residual failures retry once
+for *any* method when the send itself failed (the request never
+reached the server), but only for idempotent GETs once a response was
+owed; a write whose fate is unknown is never blindly repeated.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+import weakref
+from typing import Iterable, Sequence
+from urllib.parse import quote, urlsplit
+
+from repro.core.errors import (
+    CurationError,
+    DuplicateEntry,
+    EntryNotFound,
+    StorageError,
+    TemplateError,
+    VersioningError,
+    WikiSyncError,
+)
+from repro.repository.backends.base import (
+    GetRequest,
+    StorageBackend,
+    _split_request,
+)
+from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    QueryPlan,
+    QueryResult,
+    QueryStats,
+    plan_to_dict,
+    result_from_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.repository.versioning import Version
+
+__all__ = ["HTTPBackend"]
+
+#: Error classes the server may name; message-only constructors except
+#: for the two reconstructed with their structured arguments below.
+_ERROR_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        StorageError,
+        VersioningError,
+        TemplateError,
+        CurationError,
+        WikiSyncError,
+    )
+}
+
+
+def _raise_remote_error(status: int, payload: object) -> None:
+    """Re-raise a wire error as the class the server named."""
+    detail = payload.get("error") if isinstance(payload, dict) else None
+    if not isinstance(detail, dict):
+        raise StorageError(f"server returned HTTP {status} with no "
+                           f"error detail: {payload!r}")
+    name = detail.get("type")
+    message = detail.get("message", f"HTTP {status}")
+    if name == "EntryNotFound":
+        raise EntryNotFound(
+            detail.get("identifier", "?"), detail.get("version")
+        )
+    if name == "DuplicateEntry":
+        raise DuplicateEntry(detail.get("identifier", "?"))
+    raise _ERROR_CLASSES.get(name, StorageError)(message)
+
+
+class HTTPBackend(StorageBackend):
+    """A remote repository server, spoken to through StorageBackend."""
+
+    #: Query plans execute on the server (which pushes them further
+    #: down or evaluates its own index) — never materialised here, so
+    #: from this side of the wire the path is as "native" as SQLite's.
+    supports_native_query = True
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0,
+                 idle_reuse_limit: float = 25.0) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise StorageError(
+                f"HTTPBackend needs an http://host:port URL, "
+                f"got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.host = split.hostname
+        self.port = split.port or 80
+        #: A path in the base URL (a reverse-proxy mount like
+        #: ``http://host/repo``) is honoured: every request path is
+        #: sent under it, rather than silently aimed at the root.
+        self._prefix = split.path.rstrip("/")
+        self.timeout = timeout
+        #: A kept-alive connection idle longer than this is replaced
+        #: *before* reuse.  Servers close idle connections (this
+        #: repository's handler timeout is 30s), and the close race
+        #: usually surfaces only at response time — where a write
+        #: cannot be safely retried.  Refreshing proactively below the
+        #: server's horizon keeps writes off that path entirely.
+        self.idle_reuse_limit = idle_reuse_limit
+        self._local = threading.local()
+        #: Weak references to every live connection, so close() can
+        #: drop them all (thread-locals only reach the closing thread's
+        #: own).  Weak, not strong: a thread's death drops its
+        #: thread-local — the sole strong reference — so the socket is
+        #: freed then instead of pinned here until close() (a
+        #: long-lived proxy serving many short-lived handler threads
+        #: would otherwise leak one descriptor per thread).
+        self._connections: weakref.WeakSet = weakref.WeakSet()
+        self._connections_mutex = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # The wire.
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if (connection is not None
+                and time.monotonic() - self._local.last_used
+                > self.idle_reuse_limit):
+            # The server has likely closed this idle connection; its
+            # FIN only surfaces at response time, too late for a safe
+            # write retry.  Replace it up front.
+            self._drop_connection()
+            connection = None
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            # A request is two small writes (header block, body); with
+            # Nagle on, the second stalls behind the server's delayed
+            # ACK (~40ms each on loopback).  The server disables Nagle
+            # on its side too.
+            connection.connect()
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._local.connection = connection
+            with self._connections_mutex:
+                self._connections.add(connection)
+        self._local.last_used = time.monotonic()
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+            with self._connections_mutex:
+                self._connections.discard(connection)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        if self._closed:
+            raise StorageError("HTTPBackend is closed")
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # Retry policy, phase by phase.  The idle-reuse refresh in
+        # _connection() keeps the common idle-close race off this path
+        # entirely (an idle FIN often lets the send *succeed* into the
+        # socket buffer and only fails at response time); what remains
+        # is decided by which phase failed:
+        #
+        # * connect/*send* failed — the request never reached the
+        #   server, so ONE retry on a fresh connection is safe for any
+        #   method;
+        # * *response* failed — the server may already have applied the
+        #   request, so only idempotent GETs retry; a write raises,
+        #   because its fate is genuinely unknown.
+        for attempt in range(2):
+            try:
+                connection = self._connection()
+                connection.request(method, self._prefix + path,
+                                   body=body, headers=headers)
+            except (OSError, http.client.HTTPException) as error:
+                self._drop_connection()
+                if attempt == 0:
+                    continue
+                raise StorageError(
+                    f"repository server unreachable at "
+                    f"{self.base_url}: {error}") from error
+            try:
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as error:
+                self._drop_connection()
+                if attempt == 0 and method == "GET":
+                    continue
+                raise StorageError(
+                    f"no response from the repository server at "
+                    f"{self.base_url}: {error}") from error
+            return self._decode(response.status, raw)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _decode(status: int, raw: bytes) -> dict:
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError as error:
+            raise StorageError(
+                f"server sent malformed JSON (HTTP {status}): "
+                f"{error}") from error
+        if status >= 400:
+            _raise_remote_error(status, payload)
+        if not isinstance(payload, dict):
+            raise StorageError(
+                f"server response is not an object: "
+                f"{type(payload).__name__}")
+        return payload
+
+    @staticmethod
+    def _entry_path(identifier: str, suffix: str = "") -> str:
+        return f"/entries/{quote(identifier, safe='')}{suffix}"
+
+    # ------------------------------------------------------------------
+    # Point operations.
+    # ------------------------------------------------------------------
+
+    def identifiers(self) -> list[str]:
+        return self._request("GET", "/entries")["identifiers"]
+
+    def versions(self, identifier: str) -> list[Version]:
+        payload = self._request(
+            "GET", self._entry_path(identifier, "/versions")
+        )
+        return [Version.parse(text) for text in payload["versions"]]
+
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry:
+        path = self._entry_path(identifier)
+        if version is not None:
+            path += f"?version={version}"
+        payload = self._request("GET", path)
+        return ExampleEntry.from_dict(payload["entry"])
+
+    def has(self, identifier: str) -> bool:
+        return self._request(
+            "GET", self._entry_path(identifier, "/has")
+        )["has"]
+
+    def add(self, entry: ExampleEntry) -> None:
+        self._request("POST", "/entries", {"entry": entry.to_dict()})
+
+    def add_version(self, entry: ExampleEntry) -> None:
+        self._request(
+            "POST",
+            self._entry_path(entry.identifier, "/versions"),
+            {"entry": entry.to_dict()},
+        )
+
+    def replace_latest(self, entry: ExampleEntry) -> None:
+        self._request(
+            "PUT",
+            self._entry_path(entry.identifier),
+            {"entry": entry.to_dict()},
+        )
+
+    def entry_count(self) -> int:
+        # GET /counter, not /stats: the stats payload recomputes the
+        # full (composite-recursive) cache merge per call, and these
+        # two integers sit on hot paths.
+        return self._request("GET", "/counter")["entry_count"]
+
+    # ------------------------------------------------------------------
+    # Batch operations: one request each.
+    # ------------------------------------------------------------------
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        batch = [entry.to_dict() for entry in entries]
+        return self._request("POST", "/entries", {"entries": batch})["count"]
+
+    def get_many(self,
+                 requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        wire = []
+        for request in requests:
+            identifier, version = _split_request(request)
+            wire.append(
+                [identifier, str(version) if version is not None else None]
+            )
+        payload = self._request("POST", "/batch/get", {"requests": wire})
+        return [ExampleEntry.from_dict(data)
+                for data in payload["entries"]]
+
+    def versions_many(
+            self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
+        payload = self._request(
+            "POST", "/batch/versions", {"identifiers": list(identifiers)}
+        )
+        return {
+            identifier: [Version.parse(text) for text in versions]
+            for identifier, versions in payload["versions"].items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries: executed server-side, results rehydrated.
+    # ------------------------------------------------------------------
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult:
+        payload = {
+            "plan": plan_to_dict(plan),
+            "stats": stats_to_dict(stats) if stats is not None else None,
+        }
+        return result_from_dict(self._request("POST", "/query", payload))
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats:
+        return stats_from_dict(
+            self._request("POST", "/stats/query", {"terms": list(terms)})
+        )
+
+    def change_counter(self) -> int | None:
+        return self._request("GET", "/counter")["change_counter"]
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """The *server's* read-path counters, namespaced ``server:...``.
+
+        The prefix keeps a local facade's own ``entry_cache`` (and any
+        sibling backend's caches in a composite) from colliding with
+        the remote service's identically named groups when
+        ``RepositoryService.cache_stats()`` merges them.
+        """
+        remote = self._stats()["cache"]
+        return {f"server:{name}": dict(counters)
+                for name, counters in remote.items()}
+
+    def _stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every still-live connection this backend opened."""
+        self._closed = True
+        with self._connections_mutex:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            connection.close()

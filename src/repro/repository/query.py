@@ -19,7 +19,14 @@ composable surface:
 * a shared, deterministic **evaluator** (:func:`evaluate_plan`) used by
   every backend that has no cheaper native plan, plus the merge logic
   (:func:`merge_results`) the sharded fan-out uses to reassemble
-  globally correct pages from per-shard partial results.
+  globally correct pages from per-shard partial results;
+* a **wire codec** (:func:`query_to_dict` / :func:`query_from_dict`,
+  and the companion plan/stats/result pairs) turning every piece of a
+  retrieval round-trip into JSON-ready plain dicts — what the HTTP
+  serving layer (``repro.repository.server`` /
+  ``repro.repository.client``) ships over the network.  The format is
+  versioned implicitly by the ``op`` tags; an unknown tag fails loudly
+  with :class:`~repro.core.errors.StorageError` instead of guessing.
 
 Execution lives behind ``StorageBackend.execute_query`` so each backend
 does the work where it is cheapest: SQLite compiles the filter tree to
@@ -80,6 +87,14 @@ __all__ = [
     "matches_entry",
     "merge_results",
     "plan",
+    "plan_from_dict",
+    "plan_to_dict",
+    "query_from_dict",
+    "query_to_dict",
+    "result_from_dict",
+    "result_to_dict",
+    "stats_from_dict",
+    "stats_to_dict",
     "tokenize",
 ]
 
@@ -610,3 +625,191 @@ def merge_results(parts: Sequence[QueryResult],
         total=sum(part.total for part in parts),
         facets=merge_facets(part.facets for part in parts),
     )
+
+
+# ----------------------------------------------------------------------
+# The wire codec: every piece of a retrieval round-trip as plain dicts.
+# ----------------------------------------------------------------------
+
+
+def query_to_dict(query: Query) -> dict:
+    """Serialise a filter tree to a JSON-ready dict (op-tagged nodes).
+
+    The inverse of :func:`query_from_dict`; together they are the
+    Q-AST wire format the HTTP serving layer ships in ``POST /query``
+    bodies.  Every node carries an ``"op"`` tag; composites nest their
+    children under ``"parts"`` / ``"part"``.
+    """
+    if isinstance(query, All):
+        return {"op": "all"}
+    if isinstance(query, Text):
+        return {"op": "text", "terms": list(query.terms)}
+    if isinstance(query, TypeIs):
+        return {"op": "type", "type": query.entry_type.value}
+    if isinstance(query, HasProperty):
+        return {"op": "property", "name": query.name, "holds": query.holds}
+    if isinstance(query, ByAuthor):
+        return {"op": "author", "author": query.author}
+    if isinstance(query, IsReviewed):
+        return {"op": "reviewed", "reviewed": query.reviewed}
+    if isinstance(query, And):
+        return {"op": "and",
+                "parts": [query_to_dict(part) for part in query.parts]}
+    if isinstance(query, Or):
+        return {"op": "or",
+                "parts": [query_to_dict(part) for part in query.parts]}
+    if isinstance(query, Not):
+        return {"op": "not", "part": query_to_dict(query.part)}
+    raise StorageError(f"unknown query node {type(query).__name__}")
+
+
+def query_from_dict(data: object) -> Query:
+    """Rebuild a filter tree from its wire form; loud on junk.
+
+    Every malformed shape — a non-dict node, a missing or unknown
+    ``op``, a bad entry-type value — raises
+    :class:`~repro.core.errors.StorageError` so a server never
+    half-executes a plan it misread.
+    """
+    if not isinstance(data, dict):
+        raise StorageError(
+            f"query node is not an object: {type(data).__name__}")
+    op = data.get("op")
+    try:
+        if op == "all":
+            return All()
+        if op == "text":
+            terms = data["terms"]
+            # A bare string would iterate per character and silently
+            # match garbage; the wire format is a list, full stop.
+            if not isinstance(terms, list) or not all(
+                    isinstance(term, str) for term in terms):
+                raise StorageError("text terms must be a list of strings")
+            return Text(tuple(terms))
+        if op == "type":
+            return TypeIs(EntryType(data["type"]))
+        if op == "property":
+            holds = data.get("holds")
+            if holds is not None and not isinstance(holds, bool):
+                raise StorageError("property 'holds' must be bool or null")
+            name = data["name"]
+            if not isinstance(name, str):
+                raise StorageError("property 'name' must be a string")
+            return HasProperty(name, holds)
+        if op == "author":
+            author = data["author"]
+            if not isinstance(author, str):
+                raise StorageError("author must be a string")
+            return ByAuthor(author)
+        if op == "reviewed":
+            reviewed = data.get("reviewed", True)
+            # bool() would turn the string "false" into True — the
+            # exact silent misread the codec promises never to make.
+            if not isinstance(reviewed, bool):
+                raise StorageError("'reviewed' must be a boolean")
+            return IsReviewed(reviewed)
+        if op == "and":
+            return And(tuple(query_from_dict(part)
+                             for part in data["parts"]))
+        if op == "or":
+            return Or(tuple(query_from_dict(part)
+                            for part in data["parts"]))
+        if op == "not":
+            return Not(query_from_dict(data["part"]))
+    except StorageError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(
+            f"malformed query node for op {op!r}: {error}") from error
+    raise StorageError(f"unknown query op {op!r}")
+
+
+def plan_to_dict(query_plan: QueryPlan) -> dict:
+    """One :class:`QueryPlan` as a JSON-ready dict (filter + page)."""
+    return {
+        "where": query_to_dict(query_plan.where),
+        "sort": query_plan.sort,
+        "offset": query_plan.offset,
+        "limit": query_plan.limit,
+    }
+
+
+def plan_from_dict(data: object) -> QueryPlan:
+    """Rebuild a plan; the QueryPlan validators re-run on the way in."""
+    if not isinstance(data, dict):
+        raise StorageError(
+            f"query plan is not an object: {type(data).__name__}")
+    offset = data.get("offset", 0)
+    limit = data.get("limit")
+    if not isinstance(offset, int) or isinstance(offset, bool):
+        raise StorageError(f"plan offset must be an integer, got {offset!r}")
+    if limit is not None and (not isinstance(limit, int)
+                              or isinstance(limit, bool)):
+        raise StorageError(f"plan limit must be an integer, got {limit!r}")
+    return QueryPlan(
+        where=query_from_dict(data.get("where", {"op": "all"})),
+        sort=data.get("sort", "relevance"),
+        offset=offset,
+        limit=limit,
+    )
+
+
+def stats_to_dict(stats: QueryStats) -> dict:
+    """Corpus statistics as a JSON-ready dict (counts only)."""
+    return {
+        "document_count": stats.document_count,
+        "document_frequency": dict(stats.document_frequency),
+    }
+
+
+def stats_from_dict(data: object) -> QueryStats:
+    """Rebuild :class:`QueryStats`; the IDF cache starts empty."""
+    if not isinstance(data, dict):
+        raise StorageError(
+            f"query stats is not an object: {type(data).__name__}")
+    try:
+        count = int(data["document_count"])
+        frequency = {str(term): int(df)
+                     for term, df in data["document_frequency"].items()}
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(f"malformed query stats: {error}") from error
+    return QueryStats(count, frequency)
+
+
+def result_to_dict(result: QueryResult) -> dict:
+    """A full :class:`QueryResult` as a JSON-ready dict.
+
+    Hits carry the complete entry dict (scores survive the JSON float
+    round-trip exactly: Python serialises the shortest repr that
+    parses back to the same double).
+    """
+    return {
+        "hits": [{"identifier": hit.identifier,
+                  "score": hit.score,
+                  "entry": hit.entry.to_dict()}
+                 for hit in result.hits],
+        "total": result.total,
+        "facets": {group: dict(buckets)
+                   for group, buckets in result.facets.items()},
+    }
+
+
+def result_from_dict(data: object) -> QueryResult:
+    """Rebuild a :class:`QueryResult`, hydrating the hit entries."""
+    if not isinstance(data, dict):
+        raise StorageError(
+            f"query result is not an object: {type(data).__name__}")
+    try:
+        hits = tuple(
+            SearchHit(hit["identifier"], float(hit["score"]),
+                      ExampleEntry.from_dict(hit["entry"]))
+            for hit in data["hits"])
+        total = int(data["total"])
+        facets = {str(group): {str(label): int(count)
+                               for label, count in buckets.items()}
+                  for group, buckets in data["facets"].items()}
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(f"malformed query result: {error}") from error
+    for group in FACET_GROUPS:
+        facets.setdefault(group, {})
+    return QueryResult(hits=hits, total=total, facets=facets)

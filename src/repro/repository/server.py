@@ -1,0 +1,673 @@
+"""A stdlib-only HTTP/JSON API in front of the repository stack.
+
+The paper's repository is meant to be *used* — browsed, queried and
+extended by a community — and every comparable community catalogue
+(bnRep's shiny front-end, the Formal Contexts repository's web
+interface) puts a network API in front of the collection.  This module
+is that layer, built entirely on the standard library so the container
+constraint (no new dependencies) holds:
+
+    client (`repro.repository.client.HTTPBackend`, curl, a browser)
+        │  HTTP/1.1 + JSON (the wire codec in repro.repository.query)
+        ▼
+    RepositoryServer (ThreadingHTTPServer: one thread per connection)
+        ▼
+    RepositoryService (the RepositoryAPI facade: RW lock, LRU, events)
+        ▼
+    StorageBackend (memory / file / sqlite / sharded / replicated)
+
+Endpoints (all JSON unless noted):
+
+======  ============================  =====================================
+Method  Path                          Meaning
+======  ============================  =====================================
+GET     /entries                      all identifiers
+GET     /entries/{id}[?version=]      one entry snapshot
+GET     /entries/{id}/versions        the entry's version list
+GET     /entries/{id}/has             existence probe (never 404s)
+POST    /entries                      add one {"entry": ...} or bulk-load
+                                      {"entries": [...]}
+POST    /entries/{id}/versions        append a version
+PUT     /entries/{id}                 replace_latest
+POST    /batch/get                    get_many: {"requests": [[id, v?]...]}
+POST    /batch/versions               versions_many: {"identifiers": [...]}
+POST    /query                        execute a full Q-AST plan
+                                      ({"plan": ..., "stats": ...|null})
+POST    /stats/query                  corpus stats for terms (the ranker's
+                                      N + df, for remote composites)
+GET     /stats                        entry count, change counter, every
+                                      cache counter on the read path
+GET     /counter                      just entry count + change counter
+                                      (the hot-path subset of /stats)
+GET     /wiki/{id}                    the entry's wikidot page, as text,
+                                      served from the event-driven
+                                      RenderCache (re-rendered only when
+                                      the entry is written)
+======  ============================  =====================================
+
+Errors travel as ``{"error": {"type": ..., "message": ..., ...}}`` with
+a faithful status (404 EntryNotFound, 409 DuplicateEntry, 400 for the
+other repository errors) and enough structure for
+:class:`~repro.repository.client.HTTPBackend` to re-raise the *same*
+exception class the in-process backend would have raised — which is
+what lets the unchanged backend conformance suite hold the whole wire
+round-trip to the storage contract.
+
+Concurrency: ``ThreadingHTTPServer`` gives every connection its own
+handler thread; the service's writer-preference ReadWriteLock admits
+all readers concurrently and serialises writers, exactly as for
+in-process threads.  The server adds no locking of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.errors import (
+    BxError,
+    DuplicateEntry,
+    EntryNotFound,
+    StorageError,
+)
+from repro.repository.backends import StorageBackend, create_backend
+from repro.repository.entry import ExampleEntry
+from repro.repository.query import (
+    plan_from_dict,
+    result_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.repository.render_cache import RenderCache
+from repro.repository.service import RepositoryService
+from repro.repository.versioning import Version
+
+__all__ = ["RepositoryServer", "main"]
+
+_log = logging.getLogger("repro.repository.server")
+
+_IDENTIFIER_RE = r"(?P<identifier>[^/]+)"
+_ROUTES = {
+    "GET": [
+        (re.compile(r"^/entries$"), "list_entries"),
+        (re.compile(rf"^/entries/{_IDENTIFIER_RE}$"), "get_entry"),
+        (re.compile(rf"^/entries/{_IDENTIFIER_RE}/versions$"), "versions"),
+        (re.compile(rf"^/entries/{_IDENTIFIER_RE}/has$"), "has"),
+        (re.compile(r"^/stats$"), "stats"),
+        (re.compile(r"^/counter$"), "counter"),
+        (re.compile(rf"^/wiki/{_IDENTIFIER_RE}$"), "wiki"),
+    ],
+    "POST": [
+        (re.compile(r"^/entries$"), "add"),
+        (re.compile(rf"^/entries/{_IDENTIFIER_RE}/versions$"),
+         "add_version"),
+        (re.compile(r"^/batch/get$"), "batch_get"),
+        (re.compile(r"^/batch/versions$"), "batch_versions"),
+        (re.compile(r"^/query$"), "query"),
+        (re.compile(r"^/stats/query$"), "query_stats"),
+    ],
+    "PUT": [
+        (re.compile(rf"^/entries/{_IDENTIFIER_RE}$"), "replace_latest"),
+    ],
+}
+
+
+def _error_status(error: Exception) -> int:
+    """The honest HTTP status of one repository error."""
+    if isinstance(error, EntryNotFound):
+        return 404
+    if isinstance(error, DuplicateEntry):
+        return 409
+    if isinstance(error, BxError):
+        return 400
+    return 500
+
+
+def _error_payload(error: Exception) -> dict:
+    """The wire form of an error: type name + message + structure.
+
+    ``identifier``/``version`` ride along when the exception carries
+    them, so the client can reconstruct ``EntryNotFound``/
+    ``DuplicateEntry`` with their original arguments instead of a
+    flattened message.
+    """
+    detail: dict = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    identifier = getattr(error, "identifier", None)
+    if isinstance(identifier, str):
+        detail["identifier"] = identifier
+    version = getattr(error, "version", None)
+    if version is not None:
+        detail["version"] = str(version)
+    return {"error": detail}
+
+
+class _RequestTracker:
+    """Counts requests currently inside handlers.
+
+    ``ThreadingHTTPServer`` runs handlers on *daemon* threads, which
+    ``server_close()`` does not join — so ``RepositoryServer.stop()``
+    uses this to wait (bounded) for in-flight requests to drain before
+    it tears down the render cache and, optionally, the service a
+    handler might still be reading from.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active = 0
+
+    def __enter__(self) -> "_RequestTracker":
+        with self._cond:
+            self._active += 1
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        with self._cond:
+            self._active -= 1
+            if self._active == 0:
+                self._cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """True once no request is in flight (or False on timeout)."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._active == 0,
+                                       timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, delegate to the service, encode the answer."""
+
+    #: Keep-alive needs accurate framing; every response below sends
+    #: Content-Length, so persistent connections are safe.
+    protocol_version = "HTTP/1.1"
+    #: A dead keep-alive peer must not pin its handler thread forever.
+    timeout = 30
+    #: Responses are two small writes (header block, body).  With Nagle
+    #: on, the second write stalls behind the peer's delayed ACK —
+    #: ~40ms per request on loopback, a 100x throughput cliff.  The
+    #: client sets TCP_NODELAY on its side for the same reason.
+    disable_nagle_algorithm = True
+
+    # The server instance carries the repository objects (see
+    # RepositoryServer.start): self.server.repository is the
+    # RepositoryAPI facade, self.server.render_cache the wiki cache.
+
+    # ------------------------------------------------------------------
+    # Entry points per verb.
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's contract
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server's contract
+        self._dispatch("PUT")
+
+    def _dispatch(self, method: str) -> None:
+        with self.server.request_tracker:
+            self._routed_dispatch(method)
+
+    def _routed_dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        self._body_consumed = False
+        # Routes match the *encoded* path, so a percent-encoded "/"
+        # inside an identifier stays one path segment; only the
+        # captured groups are decoded.  (Decoding first would mis-route
+        # "a%2Fb" as two segments.)
+        for pattern, name in _ROUTES.get(method, []):
+            match = pattern.match(split.path)
+            if match:
+                operands = {key: unquote(value)
+                            for key, value in match.groupdict().items()}
+                try:
+                    handler = getattr(self, f"_handle_{name}")
+                    handler(query_string=split.query, **operands)
+                except Exception as error:  # noqa: BLE001 - wire boundary
+                    if _error_status(error) >= 500:
+                        _log.exception("internal error on %s %s",
+                                       method, split.path)
+                    self._consume_body()
+                    self._send_json(_error_status(error),
+                                    _error_payload(error))
+                else:
+                    # A body the handler had no use for (e.g. a GET
+                    # with one) still desyncs keep-alive framing if
+                    # left in the stream.  Outside the try: a drain
+                    # failure after a sent response must kill the
+                    # connection, not send a second response.
+                    self._consume_body()
+                return
+        self._consume_body()
+        self._send_json(
+            404,
+            {"error": {"type": "StorageError",
+                       "message": f"no route {method} {split.path}"}},
+        )
+
+    #: Unread request bodies above this size close the connection
+    #: instead of being drained.
+    _MAX_DRAIN = 1 << 20
+    #: Hard cap on a routed request body (32 MiB — roomy for bulk
+    #: loads, far below anything that could exhaust handler memory).
+    _MAX_BODY = 32 << 20
+
+    def _consume_body(self) -> None:
+        """Drain an unread request body before replying on a keep-alive
+        connection.
+
+        Replying while body bytes are still in the stream would desync
+        every subsequent request on the connection (the leftover JSON
+        is parsed as the next request line).  Oversized or unframeable
+        bodies close the connection instead of being read.
+        """
+        if self._body_consumed:
+            return
+        self._body_consumed = True
+        if self.headers.get("Transfer-Encoding"):
+            # Chunked bodies are unsupported (no Content-Length to
+            # frame a drain by); the connection must close or the
+            # chunk stream would be parsed as the next request.
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            return
+        if length <= 0:
+            return
+        if length > self._MAX_DRAIN:
+            self.close_connection = True
+            return
+        self.rfile.read(length)
+
+    # ------------------------------------------------------------------
+    # GET handlers.
+    # ------------------------------------------------------------------
+
+    def _handle_list_entries(self, query_string: str = "") -> None:
+        self._send_json(
+            200, {"identifiers": self.server.repository.identifiers()}
+        )
+
+    def _handle_get_entry(self, identifier: str,
+                          query_string: str = "") -> None:
+        version = None
+        requested = parse_qs(query_string).get("version")
+        if requested:
+            version = Version.parse(requested[0])
+        entry = self.server.repository.get(identifier, version)
+        self._send_json(200, {"entry": entry.to_dict()})
+
+    def _handle_versions(self, identifier: str,
+                         query_string: str = "") -> None:
+        versions = self.server.repository.versions(identifier)
+        self._send_json(200, {"versions": [str(v) for v in versions]})
+
+    def _handle_has(self, identifier: str, query_string: str = "") -> None:
+        self._send_json(
+            200, {"has": self.server.repository.has(identifier)}
+        )
+
+    def _handle_stats(self, query_string: str = "") -> None:
+        repository = self.server.repository
+        self._send_json(
+            200,
+            {
+                "entry_count": repository.entry_count(),
+                "change_counter": repository.change_counter(),
+                "cache": repository.cache_stats(),
+                "render_cache": self.server.render_cache.cache_stats(),
+            },
+        )
+
+    def _handle_counter(self, query_string: str = "") -> None:
+        """The hot-path subset of /stats: two integers, no cache merge.
+
+        ``entry_count()``/``change_counter()`` sit on index-staleness
+        and snapshot-stamping paths; serving them from /stats would
+        recompute the full (possibly composite-recursive) cache-stats
+        merge per call.
+        """
+        repository = self.server.repository
+        self._send_json(
+            200,
+            {
+                "entry_count": repository.entry_count(),
+                "change_counter": repository.change_counter(),
+            },
+        )
+
+    def _handle_wiki(self, identifier: str, query_string: str = "") -> None:
+        page = self.server.render_cache.wiki_page(identifier)
+        self._send_text(200, page)
+
+    # ------------------------------------------------------------------
+    # POST/PUT handlers.
+    # ------------------------------------------------------------------
+
+    def _handle_add(self, query_string: str = "") -> None:
+        body = self._read_body()
+        if "entries" in body:
+            entries = [ExampleEntry.from_dict(data)
+                       for data in self._field(body, "entries", list)]
+            count = self.server.repository.add_many(entries)
+            self._send_json(200, {"count": count})
+            return
+        entry = ExampleEntry.from_dict(self._field(body, "entry", dict))
+        self.server.repository.add(entry)
+        self._send_json(201, {"identifier": entry.identifier})
+
+    def _handle_add_version(self, identifier: str,
+                            query_string: str = "") -> None:
+        entry = self._entry_for(identifier)
+        self.server.repository.add_version(entry)
+        self._send_json(201, {"version": str(entry.version)})
+
+    def _handle_replace_latest(self, identifier: str,
+                               query_string: str = "") -> None:
+        entry = self._entry_for(identifier)
+        self.server.repository.replace_latest(entry)
+        self._send_json(200, {"version": str(entry.version)})
+
+    def _handle_batch_get(self, query_string: str = "") -> None:
+        body = self._read_body()
+        requests = []
+        for item in self._field(body, "requests", list):
+            if isinstance(item, str):
+                requests.append((item, None))
+                continue
+            if not (isinstance(item, list) and len(item) == 2
+                    and isinstance(item[0], str)):
+                raise StorageError(
+                    f"bad get_many request {item!r}; expected "
+                    "an identifier or [identifier, version-or-null]")
+            identifier, version = item
+            requests.append(
+                (identifier,
+                 Version.parse(version) if version is not None else None)
+            )
+        entries = self.server.repository.get_many(requests)
+        self._send_json(
+            200, {"entries": [entry.to_dict() for entry in entries]}
+        )
+
+    def _handle_batch_versions(self, query_string: str = "") -> None:
+        body = self._read_body()
+        identifiers = self._field(body, "identifiers", list)
+        listing = self.server.repository.versions_many(identifiers)
+        self._send_json(
+            200,
+            {"versions": {identifier: [str(v) for v in versions]
+                          for identifier, versions in listing.items()}},
+        )
+
+    def _handle_query(self, query_string: str = "") -> None:
+        body = self._read_body()
+        plan = plan_from_dict(self._field(body, "plan", dict))
+        stats = body.get("stats")
+        if stats is not None:
+            stats = stats_from_dict(stats)
+        result = self.server.repository.execute_query(plan, stats)
+        self._send_json(200, result_to_dict(result))
+
+    def _handle_query_stats(self, query_string: str = "") -> None:
+        body = self._read_body()
+        terms = self._field(body, "terms", list)
+        if not all(isinstance(term, str) for term in terms):
+            raise StorageError("query stats terms must be strings")
+        stats = self.server.repository.query_stats(terms)
+        self._send_json(200, stats_to_dict(stats))
+
+    # ------------------------------------------------------------------
+    # Plumbing.
+    # ------------------------------------------------------------------
+
+    def _entry_for(self, identifier: str) -> ExampleEntry:
+        """Decode the body entry and pin it to the URL's identifier."""
+        body = self._read_body()
+        entry = ExampleEntry.from_dict(self._field(body, "entry", dict))
+        if entry.identifier != identifier:
+            raise StorageError(
+                f"entry identifier {entry.identifier!r} does not match "
+                f"the request path ({identifier!r})")
+        return entry
+
+    def _read_body(self) -> dict:
+        if self.headers.get("Transfer-Encoding"):
+            # Rejected up front: _consume_body cannot drain a chunked
+            # stream, so it closes the connection after the reply.
+            raise StorageError(
+                "chunked request bodies are not supported; "
+                "send Content-Length")
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            # Unframeable: _consume_body will close the connection.
+            raise StorageError("bad Content-Length header") from None
+        if length > self._MAX_BODY:
+            # Rejected by the header alone — the body is never read
+            # into memory, and the connection closes instead of
+            # draining gigabytes.
+            self._body_consumed = True
+            self.close_connection = True
+            raise StorageError(
+                f"request body of {length} bytes exceeds the "
+                f"{self._MAX_BODY}-byte limit")
+        raw = self.rfile.read(length) if length else b""
+        self._body_consumed = True
+        if not raw:
+            raise StorageError("request body required")
+        try:
+            body = json.loads(raw)
+        except ValueError as error:
+            raise StorageError(
+                f"malformed JSON body: {error}") from error
+        if not isinstance(body, dict):
+            raise StorageError(
+                f"request body is not an object: {type(body).__name__}")
+        return body
+
+    @staticmethod
+    def _field(body: dict, name: str, kind: type) -> object:
+        value = body.get(name)
+        if not isinstance(value, kind):
+            raise StorageError(
+                f"request body field {name!r} must be "
+                f"{kind.__name__}, got {type(value).__name__}")
+        return value
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        encoded = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, encoded, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        self._send_bytes(status, text.encode("utf-8"),
+                         "text/plain; charset=utf-8")
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Access logging goes to the module logger, not stderr."""
+        _log.debug("%s - %s", self.address_string(), format % args)
+
+
+class RepositoryServer:
+    """The serving-layer front door: one repository behind HTTP.
+
+    Wraps any :class:`~repro.repository.service.RepositoryAPI`
+    implementation — a bare :class:`StorageBackend` is wrapped in a
+    :class:`RepositoryService` first (the facade's lock and LRU are what
+    make concurrent handler threads safe), and an
+    :class:`~repro.repository.aservice.AsyncRepositoryService` is
+    unwrapped to the sync facade it already fronts (handler threads are
+    plain threads; the async variant serves in-process awaiters, this
+    class serves the network — both over the *same* service object, one
+    lock, one cache).
+
+    ``port=0`` binds an ephemeral port; read :attr:`port`/:attr:`url`
+    after :meth:`start`.  ``stop()`` tears the listener down and
+    detaches the render cache; the service itself stays open (the
+    caller owns its lifecycle) unless ``close_service=True`` was set.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        close_service: bool = False,
+    ) -> None:
+        # Unwrap the async facade; wrap a bare backend.
+        sync = getattr(service, "service", None)
+        if isinstance(sync, RepositoryService):
+            service = sync
+        elif isinstance(service, StorageBackend) and not isinstance(
+            service, RepositoryService
+        ):
+            service = RepositoryService(service)
+        self.service = service
+        self.host = host
+        self.requested_port = port
+        self.close_service = close_service
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._tracker = _RequestTracker()
+        #: Wiki pages re-render only when their entry is written: the
+        #: PR-4 event-driven cache serves GET /wiki/{id}.  Created by
+        #: start(), not here — a cache subscribes to the service's
+        #: event stream, and a server that never starts must not leave
+        #: a subscriber (doing per-write eviction work forever) behind.
+        self.render_cache: RenderCache | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RepositoryServer":
+        """Bind and serve on a daemon thread; returns self (chainable)."""
+        if self._httpd is not None:
+            return self
+        if self.render_cache is None:
+            # First start, or restart after stop(): stop() detaches
+            # its cache from the event stream, so each serving period
+            # gets a fresh, subscribed one — serving a detached cache
+            # would return stale pages forever.
+            self.render_cache = RenderCache(self.service)
+        httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        httpd.repository = self.service
+        httpd.render_cache = self.render_cache
+        httpd.request_tracker = self._tracker
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"repro-http-{httpd.server_address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("serving repository on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, detach the cache.
+
+        Handler threads are daemons, so ``server_close()`` does not
+        join them; the request tracker waits (bounded) until no request
+        is still inside a handler before the render cache — and, with
+        ``close_service=True``, the service — is torn down underneath
+        one.  An *idle* keep-alive connection is not waited for: its
+        next request fails with a connection error, which clients
+        handle as an ordinary peer shutdown.
+        """
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd = None
+        self._thread = None
+        if not self._tracker.wait_idle(timeout=10.0):
+            _log.warning("stopping with requests still in flight")
+        self.render_cache.close()
+        self.render_cache = None  # start() builds a fresh, subscribed one
+        if self.close_service:
+            self.service.close()
+
+    def __enter__(self) -> "RepositoryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one, also when 0 was requested)."""
+        if self._httpd is None:
+            raise StorageError("server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The base URL clients should talk to."""
+        return f"http://{self.host}:{self.port}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: serve a backend until interrupted.
+
+    ``python -m repro.repository.server --scheme sqlite --path repo.db``
+    """
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--scheme", default="memory",
+                        help="storage backend scheme (memory/file/sqlite)")
+    parser.add_argument("--path", type=Path, default=None,
+                        help="backend path (for durable schemes)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="port to bind (0: ephemeral)")
+    arguments = parser.parse_args(argv)
+
+    logging.basicConfig(level=logging.INFO)
+    backend = create_backend(arguments.scheme, arguments.path)
+    service = RepositoryService(backend)
+    server = RepositoryServer(
+        service,
+        host=arguments.host,
+        port=arguments.port,
+        close_service=True,
+    )
+    with server:
+        print(f"serving {arguments.scheme} repository on {server.url}")
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,11 +35,16 @@ service, though stacking them buys nothing.
 from __future__ import annotations
 
 import threading
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import (
+    Callable,
+    Iterable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.repository.backends import MemoryBackend, StorageBackend
 from repro.repository.backends.base import GetRequest, _split_request
@@ -52,11 +57,93 @@ from repro.repository.query import (
     QueryStats,
     corpus_stats,
     evaluate_plan,
-    plan as build_plan,
 )
 from repro.repository.versioning import Version
 
-__all__ = ["RepositoryEvent", "RepositoryService"]
+__all__ = [
+    "API_METHODS",
+    "RepositoryAPI",
+    "RepositoryEvent",
+    "RepositoryService",
+]
+
+#: Every method of the :class:`RepositoryAPI` contract, by name — the
+#: single list the protocol-coverage tests (and any new variant of the
+#: facade) check themselves against, so a refactor of one layer cannot
+#: silently drop a method from another.
+API_METHODS = (
+    # reads
+    "identifiers", "versions", "versions_many", "has", "entry_count",
+    "get", "get_many",
+    # writes
+    "add", "add_version", "replace_latest", "add_many",
+    # queries
+    "query", "execute_query", "query_stats", "change_counter",
+    # introspection / lifecycle
+    "cache_stats", "close",
+)
+
+
+@runtime_checkable
+class RepositoryAPI(Protocol):
+    """The read/write/query surface every serving variant shares.
+
+    One explicit contract extracted from :class:`RepositoryService`, so
+    the sync facade, the async variant
+    (:class:`~repro.repository.aservice.AsyncRepositoryService`), the
+    HTTP server (:mod:`repro.repository.server`) and the HTTP client
+    backend (:class:`~repro.repository.client.HTTPBackend`) all expose
+    the *same* operations — a consumer written against this protocol
+    runs unchanged against any of them.  Every
+    :class:`~repro.repository.backends.StorageBackend` satisfies it
+    structurally too (the async variant satisfies it with coroutine
+    methods of the same names and signatures).
+
+    :data:`API_METHODS` lists the member names; the protocol is
+    ``runtime_checkable`` so ``isinstance(obj, RepositoryAPI)`` verifies
+    an implementation has the full surface (presence, not signatures —
+    the conformance suites check behaviour).
+    """
+
+    def identifiers(self) -> list[str]: ...
+
+    def versions(self, identifier: str) -> list[Version]: ...
+
+    def versions_many(
+            self, identifiers: Sequence[str]) -> dict[str, list[Version]]: ...
+
+    def has(self, identifier: str) -> bool: ...
+
+    def entry_count(self) -> int: ...
+
+    def get(self, identifier: str,
+            version: Version | None = None) -> ExampleEntry: ...
+
+    def get_many(
+            self, requests: Sequence[GetRequest]) -> list[ExampleEntry]: ...
+
+    def add(self, entry: ExampleEntry) -> None: ...
+
+    def add_version(self, entry: ExampleEntry) -> None: ...
+
+    def replace_latest(self, entry: ExampleEntry) -> None: ...
+
+    def add_many(self, entries: Iterable[ExampleEntry]) -> int: ...
+
+    def query(self, query: Query | str | None = None, *,
+              sort: str = "relevance", offset: int = 0,
+              limit: int | None = None) -> QueryResult: ...
+
+    def execute_query(self, plan: QueryPlan,
+                      stats: QueryStats | None = None) -> QueryResult: ...
+
+    def query_stats(self, terms: Sequence[str]) -> QueryStats: ...
+
+    def change_counter(self) -> int | None: ...
+
+    def cache_stats(self) -> dict[str, dict[str, int]]: ...
+
+    def close(self) -> None: ...
 
 
 def _noop() -> None:
@@ -305,28 +392,11 @@ class RepositoryService(StorageBackend):
     # The unified query API (see repro.repository.query).
     # ------------------------------------------------------------------
 
-    def query(self, query: Query | str | None = None, *,
-              sort: str = "relevance", offset: int = 0,
-              limit: int | None = None) -> QueryResult:
-        """Execute one composable query; the single retrieval surface.
-
-        ``query`` is a :class:`~repro.repository.query.Q` expression
-        (``Q.text("tree") & Q.type(...)``), a bare string (shorthand
-        for ``Q.text``), or None for everything.  Returns a
-        :class:`~repro.repository.query.QueryResult`: the requested
-        page of ranked hits plus the total match count and facet
-        counts over the full match set.
-
-        Execution is pushed down to the backend when it has a native
-        plan (SQLite compiles the filter to SQL; a sharded cluster
-        fans out with global ranking statistics; a replicated pair
-        routes to a healthy copy).  Otherwise the service evaluates the
-        plan over its own search index, **lazily enabling it on first
-        use** — callers never need to call :meth:`enable_search` first;
-        the same laziness applies to :meth:`search`.
-        """
-        return self.execute_query(
-            build_plan(query, sort=sort, offset=offset, limit=limit))
+    # ``query()`` is inherited from :class:`StorageBackend`: it builds
+    # the plan and calls :meth:`execute_query` below, which pushes the
+    # plan down to a native backend or evaluates it over the service's
+    # own search index, **lazily enabling it on first use** — callers
+    # never need to call :meth:`enable_search` first.
 
     def execute_query(self, plan: QueryPlan,
                       stats: QueryStats | None = None) -> QueryResult:
@@ -445,20 +515,10 @@ class RepositoryService(StorageBackend):
             return index
         return self.enable_search()
 
-    def search(self, query: str, limit: int = 10):
-        """Ranked free-text search over latest versions.
-
-        Deprecated shim: equivalent to
-        ``self.query(query, limit=limit).hits`` (which see for the
-        laziness and pushdown behaviour).  Prefer :meth:`query` — it
-        composes with structured filters and returns totals and
-        facets.
-        """
-        warnings.warn(
-            "RepositoryService.search() is deprecated; use "
-            "RepositoryService.query(Q.text(...) ...) instead",
-            DeprecationWarning, stacklevel=2)
-        return list(self.query(query, limit=limit).hits)
+    # The deprecated ``search()`` shim is gone: ``query()`` (with the
+    # same lazy index enablement) is the one retrieval surface.  The
+    # :class:`~repro.repository.search.SearchIndex` object keeps its own
+    # ``search()`` — that is the index's API, not the facade's.
 
     # ------------------------------------------------------------------
     # Cache management / introspection.

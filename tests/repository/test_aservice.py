@@ -1,0 +1,258 @@
+"""AsyncRepositoryService: the RepositoryAPI surface as coroutines.
+
+No pytest-asyncio in the container: each test drives its own event
+loop with ``asyncio.run`` — which also keeps the loop lifecycle explicit
+(the executors must survive exactly as long as the context manager
+says they do).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import threading
+
+import pytest
+
+from repro.core.errors import DuplicateEntry, EntryNotFound
+from repro.repository.aservice import AsyncRepositoryService
+from repro.repository.backends import FileBackend, MemoryBackend
+from repro.repository.query import Q, plan
+from repro.repository.service import (
+    API_METHODS,
+    RepositoryAPI,
+    RepositoryService,
+)
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+
+
+def entry_batch(count: int):
+    return [minimal_entry(title=f"ENTRY {index}") for index in range(count)]
+
+
+class TestConstruction:
+    def test_wraps_a_bare_backend(self):
+        backend = MemoryBackend()
+        aservice = AsyncRepositoryService(backend)
+        assert isinstance(aservice.service, RepositoryService)
+        assert aservice.service.backend is backend
+
+    def test_reuses_an_existing_service(self):
+        service = RepositoryService()
+        aservice = AsyncRepositoryService(service)
+        assert aservice.service is service
+
+    def test_default_is_memory_backed(self):
+        aservice = AsyncRepositoryService()
+        assert isinstance(aservice.service.backend, MemoryBackend)
+
+    def test_rejects_nonpositive_reader_pool(self):
+        with pytest.raises(ValueError):
+            AsyncRepositoryService(max_readers=0)
+
+    def test_satisfies_the_repository_api_protocol(self):
+        """The protocol extraction cannot silently drop a method: every
+        RepositoryAPI member exists here, as a coroutine function."""
+        aservice = AsyncRepositoryService()
+        assert isinstance(aservice, RepositoryAPI)
+        for name in API_METHODS:
+            assert inspect.iscoroutinefunction(getattr(aservice, name)), \
+                f"{name} must be async"
+
+
+class TestReadsAndWrites:
+    def test_round_trip_matches_sync_facade(self):
+        async def scenario():
+            async with AsyncRepositoryService() as aservice:
+                await aservice.add(minimal_entry())
+                await aservice.add_version(
+                    minimal_entry(version=Version(0, 2),
+                                  overview="Better."))
+                assert (await aservice.get("demo-example")).overview \
+                    == "Better."
+                assert (await aservice.get(
+                    "demo-example", Version(0, 1))).overview == "A demo."
+                assert await aservice.identifiers() == ["demo-example"]
+                assert await aservice.has("demo-example")
+                assert not await aservice.has("nope")
+                assert await aservice.entry_count() == 1
+                assert await aservice.versions("demo-example") == \
+                    [Version(0, 1), Version(0, 2)]
+                assert await aservice.versions_many(["demo-example"]) == {
+                    "demo-example": [Version(0, 1), Version(0, 2)],
+                }
+
+        asyncio.run(scenario())
+
+    def test_errors_propagate_unchanged(self):
+        async def scenario():
+            async with AsyncRepositoryService() as aservice:
+                with pytest.raises(EntryNotFound):
+                    await aservice.get("nope")
+                await aservice.add(minimal_entry())
+                with pytest.raises(DuplicateEntry):
+                    await aservice.add(minimal_entry())
+
+        asyncio.run(scenario())
+
+    def test_gather_fans_reads_out(self):
+        """Concurrent awaits run on distinct reader threads (the read
+        lock admits them all), and every one answers correctly."""
+        async def scenario():
+            async with AsyncRepositoryService(max_readers=4) as aservice:
+                await aservice.add_many(entry_batch(12))
+                seen_threads = set()
+                barrier = threading.Barrier(4, timeout=5)
+
+                def tracked_get(identifier):
+                    # Prove real fan-out: four reads must be *inside*
+                    # the service concurrently to pass the barrier.
+                    seen_threads.add(threading.get_ident())
+                    barrier.wait()
+                    return aservice.service.get(identifier)
+
+                entries = await asyncio.gather(*(
+                    aservice._read(
+                        lambda identifier=f"entry-{i}":
+                        tracked_get(identifier))
+                    for i in range(4)
+                ))
+                assert [e.identifier for e in entries] == \
+                    [f"entry-{i}" for i in range(4)]
+                assert len(seen_threads) == 4
+
+        asyncio.run(scenario())
+
+    def test_get_many_is_one_atomic_batch(self):
+        """A bulk read is a single service call under one read lock —
+        a concurrent write lands before or after the whole batch,
+        never between two halves of it (no torn snapshot)."""
+        async def scenario():
+            async with AsyncRepositoryService(max_readers=4) as aservice:
+                batch = entry_batch(30)
+                await aservice.add_many(batch)
+                requests = [e.identifier for e in batch]
+                requests.append(("entry-0", Version(0, 1)))
+                entries = await aservice.get_many(requests)
+                assert [e.identifier for e in entries] == \
+                    [e.identifier for e in batch] + ["entry-0"]
+
+                calls = []
+                original = aservice.service.get_many
+
+                def spying(reqs):
+                    calls.append(len(reqs))
+                    return original(reqs)
+
+                aservice.service.get_many = spying
+                try:
+                    await aservice.get_many(requests)
+                finally:
+                    aservice.service.get_many = original
+                assert calls == [len(requests)]  # one call, whole batch
+
+        asyncio.run(scenario())
+
+    def test_writes_are_serialised_in_submission_order(self):
+        """A gather of dependent writes cannot interleave: the single
+        writer thread runs them FIFO, so each version lands on the
+        previous one."""
+        async def scenario():
+            async with AsyncRepositoryService() as aservice:
+                await aservice.add(minimal_entry())
+                await asyncio.gather(*(
+                    aservice.add_version(
+                        minimal_entry(version=Version(0, minor)))
+                    for minor in range(2, 10)
+                ))
+                assert await aservice.versions("demo-example") == \
+                    [Version(0, minor) for minor in range(1, 10)]
+
+        asyncio.run(scenario())
+
+
+class TestQueries:
+    def test_query_matches_sync_results(self):
+        async def scenario():
+            service = RepositoryService()
+            async with AsyncRepositoryService(service) as aservice:
+                await aservice.add_many(entry_batch(6))
+                await aservice.add(minimal_entry(
+                    title="ZYGOTE", overview="A distinctive cell."))
+                result = await aservice.query(
+                    "zygote distinctive", limit=3)
+                expected = service.query("zygote distinctive", limit=3)
+                assert result.identifiers == expected.identifiers
+                assert result.total == expected.total
+                assert result.facets == expected.facets
+
+        asyncio.run(scenario())
+
+    def test_execute_query_and_stats(self):
+        async def scenario():
+            async with AsyncRepositoryService() as aservice:
+                await aservice.add_many(entry_batch(4))
+                result = await aservice.execute_query(
+                    plan(Q.author("Ann"), sort="identifier", limit=2))
+                assert result.identifiers == ["entry-0", "entry-1"]
+                assert result.total == 4
+                stats = await aservice.query_stats(["entry"])
+                assert stats.document_count == 4
+                assert await aservice.change_counter() is None
+                assert "entry_cache" in await aservice.cache_stats()
+
+        asyncio.run(scenario())
+
+
+class TestLifecycle:
+    def test_context_exit_saves_index_and_closes(self, tmp_path):
+        async def scenario():
+            # A file backend: no native pushdown, so query() lazily
+            # enables the index — and it has the durable change counter
+            # the snapshot is stamped with.
+            backend = FileBackend(tmp_path / "repo")
+            service = RepositoryService(
+                backend, index_path=tmp_path / "index.json")
+            async with AsyncRepositoryService(service) as aservice:
+                await aservice.add_many(entry_batch(3))
+                assert (await aservice.query("entry")).total == 3
+
+        asyncio.run(scenario())
+        # close() ran save_index: the snapshot is on disk and a fresh
+        # service restores it instead of rebuilding.
+        assert (tmp_path / "index.json").is_file()
+
+    def test_close_waits_for_in_flight_reads(self, tmp_path):
+        """close() drains the reader pool before the backend closes:
+        a read racing the shutdown finishes against a live store
+        instead of crashing on a closed connection."""
+        import time
+
+        from repro.repository.backends import SQLiteBackend
+
+        async def scenario():
+            service = RepositoryService(SQLiteBackend(tmp_path / "a.db"))
+            aservice = AsyncRepositoryService(service)
+            await aservice.add(minimal_entry())
+
+            def slow_get():
+                time.sleep(0.3)  # the backend must still be open after
+                return aservice.service.get("demo-example")
+
+            entry, _ = await asyncio.gather(aservice._read(slow_get),
+                                            aservice.close())
+            assert entry.identifier == "demo-example"
+
+        asyncio.run(scenario())
+
+    def test_close_is_idempotent_and_final(self):
+        async def scenario():
+            aservice = AsyncRepositoryService()
+            await aservice.add(minimal_entry())
+            await aservice.close()
+            await aservice.close()  # second close: a no-op
+            with pytest.raises(RuntimeError):
+                await aservice.get("demo-example")
+
+        asyncio.run(scenario())

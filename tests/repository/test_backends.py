@@ -27,11 +27,33 @@ from repro.repository.backends import (
     StorageBackend,
     create_backend,
 )
+from repro.repository.client import HTTPBackend
+from repro.repository.server import RepositoryServer
+from repro.repository.service import RepositoryService
 from repro.repository.store import FileStore, MemoryStore, RepositoryStore
 from repro.repository.versioning import Version
 from tests.repository.test_entry import minimal_entry
 
-ALL_BACKENDS = ["memory", "file", "sqlite"]
+#: "http" is a full wire round-trip: an in-process RepositoryServer
+#: over a memory-backed service, spoken to through HTTPBackend — the
+#: unchanged conformance suite below holds the whole serving stack to
+#: the storage contract.
+ALL_BACKENDS = ["memory", "file", "sqlite", "http"]
+
+
+class ServedBackend(HTTPBackend):
+    """An HTTPBackend owning its in-process server: one fixture object
+    whose close() tears down client connections, listener and the
+    served service alike."""
+
+    def __init__(self, backend: StorageBackend) -> None:
+        self.server = RepositoryServer(
+            RepositoryService(backend), close_service=True).start()
+        super().__init__(self.server.url)
+
+    def close(self) -> None:
+        super().close()
+        self.server.stop()
 
 
 def make_backend(kind: str, tmp_path) -> StorageBackend:
@@ -39,6 +61,8 @@ def make_backend(kind: str, tmp_path) -> StorageBackend:
         return MemoryBackend()
     if kind == "file":
         return FileBackend(tmp_path / "repo")
+    if kind == "http":
+        return ServedBackend(MemoryBackend())
     return SQLiteBackend(tmp_path / "repo.db")
 
 

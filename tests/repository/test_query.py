@@ -22,12 +22,21 @@ from repro.repository.query import (
     Not,
     Or,
     Q,
+    QueryStats,
     Text,
     collect_positive_terms,
     collect_terms,
     entry_terms,
     inverse_document_frequency,
     plan,
+    plan_from_dict,
+    plan_to_dict,
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+    stats_from_dict,
+    stats_to_dict,
     tokenize,
 )
 from repro.repository.entry import ModelDescription
@@ -84,6 +93,108 @@ class TestAst:
 
     def test_tokenize_is_reexported_unchanged(self):
         assert tokenize("The Models of a Tree") == ["models", "tree"]
+
+
+class TestWireCodec:
+    """The Q-AST / plan / stats / result JSON round-trip the serving
+    layer ships (see repro.repository.server / client)."""
+
+    ATOMS = [
+        Q.all(),
+        Q.text("tree sync"),
+        Q.text("the of"),  # all stopwords: empty terms survive the wire
+        Q.type(EntryType.INDUSTRIAL),
+        Q.property("correct"),
+        Q.property("undoable", holds=False),
+        Q.author("Ann B."),
+        Q.reviewed(),
+        Q.provisional(),
+    ]
+
+    def test_every_atom_round_trips(self):
+        for query in self.ATOMS:
+            wired = query_to_dict(query)
+            assert json.loads(json.dumps(wired)) == wired  # JSON-ready
+            assert query_from_dict(wired) == query
+
+    def test_nested_composition_round_trips(self):
+        query = (Q.text("tree") & ~(Q.author("Ann") | Q.reviewed())
+                 & Q.property("correct", holds=True)) | Q.text("graph")
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_plan_round_trips(self):
+        original = plan(Q.text("tree") & Q.provisional(),
+                        sort="identifier", offset=4, limit=9)
+        rebuilt = plan_from_dict(json.loads(
+            json.dumps(plan_to_dict(original))))
+        assert rebuilt == original
+        unbounded = plan_from_dict(plan_to_dict(plan("tree")))
+        assert unbounded.limit is None
+
+    def test_plan_defaults_apply(self):
+        rebuilt = plan_from_dict({"where": {"op": "all"}})
+        assert rebuilt == plan(None)
+
+    def test_plan_validators_rerun_on_decode(self):
+        with pytest.raises(StorageError, match="sort"):
+            plan_from_dict({"where": {"op": "all"}, "sort": "shoe-size"})
+        with pytest.raises(StorageError, match="offset"):
+            plan_from_dict({"where": {"op": "all"}, "offset": "ten"})
+
+    def test_unknown_op_fails_loudly(self):
+        with pytest.raises(StorageError, match="unknown query op"):
+            query_from_dict({"op": "regex", "pattern": ".*"})
+        # A bare string iterates per character — must be rejected, not
+        # silently decoded as ('t','r','e','e').
+        with pytest.raises(StorageError, match="list of strings"):
+            query_from_dict({"op": "text", "terms": "tree"})
+        # bool("false") is True — strings must not coerce silently.
+        with pytest.raises(StorageError, match="boolean"):
+            query_from_dict({"op": "reviewed", "reviewed": "false"})
+        with pytest.raises(StorageError, match="string"):
+            query_from_dict({"op": "author", "author": 123})
+        with pytest.raises(StorageError, match="string"):
+            query_from_dict({"op": "property", "name": 7})
+        with pytest.raises(StorageError, match="not an object"):
+            query_from_dict(["op", "all"])
+        with pytest.raises(StorageError, match="malformed"):
+            query_from_dict({"op": "type", "type": "no-such-type"})
+        with pytest.raises(StorageError, match="malformed"):
+            query_from_dict({"op": "and"})  # parts missing
+
+    def test_stats_round_trip(self):
+        stats = QueryStats(7, {"tree": 3, "sync": 1})
+        rebuilt = stats_from_dict(json.loads(
+            json.dumps(stats_to_dict(stats))))
+        assert rebuilt.document_count == 7
+        assert rebuilt.document_frequency == {"tree": 3, "sync": 1}
+        assert rebuilt.idf("tree") == stats.idf("tree")
+
+    def test_result_round_trips_with_exact_scores(self):
+        service = corpus_service([
+            minimal_entry(title=f"ENTRY {index}",
+                          overview=f"About trees, variant {index}.")
+            for index in range(5)
+        ])
+        result = service.query("trees variant", limit=3)
+        rebuilt = result_from_dict(json.loads(
+            json.dumps(result_to_dict(result))))
+        assert rebuilt.total == result.total
+        assert rebuilt.facets == result.facets
+        assert [hit.identifier for hit in rebuilt.hits] == \
+            [hit.identifier for hit in result.hits]
+        # Exact, not approx: JSON floats survive the round-trip.
+        assert [hit.score for hit in rebuilt.hits] == \
+            [hit.score for hit in result.hits]
+        assert [hit.entry for hit in rebuilt.hits] == \
+            [hit.entry for hit in result.hits]
+
+    def test_result_decode_rejects_junk(self):
+        with pytest.raises(StorageError, match="not an object"):
+            result_from_dict(None)
+        with pytest.raises(StorageError, match="malformed query result"):
+            result_from_dict({"hits": [{"identifier": "x"}],
+                              "total": 1, "facets": {}})
 
 
 class TestMatching:

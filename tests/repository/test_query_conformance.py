@@ -39,6 +39,10 @@ ALL_BACKENDS = [
     "sharded-sqlite",
     "sharded-memory",
     "replicated",
+    # The serving layer: every plan serialised through the query wire
+    # codec, executed server-side, the result rehydrated — and still
+    # identical to the in-memory reference.
+    "http",
 ]
 
 _TYPES = (EntryType.PRECISE, EntryType.SKETCH, EntryType.INDUSTRIAL,
@@ -105,6 +109,9 @@ def make_backend(kind: str, tmp_path) -> StorageBackend:
                                      shard_count=3)
     if kind == "sharded-memory":
         return ShardedBackend([MemoryBackend(), MemoryBackend()])
+    if kind == "http":
+        from tests.repository.test_backends import ServedBackend
+        return ServedBackend(MemoryBackend())
     return ReplicatedBackend(SQLiteBackend(tmp_path / "primary.db"),
                              FileBackend(tmp_path / "replica"))
 

@@ -382,3 +382,96 @@ class TestAntiEntropy:
         assert report.entries_copied == 6
         assert_same_contents(primary, backend.replicas[0])
         backend.close()
+
+
+# ----------------------------------------------------------------------
+# Composite instrumentation: every child counted exactly once.
+# ----------------------------------------------------------------------
+
+class ProbeBackend(MemoryBackend):
+    """A memory backend whose cache_stats carry a unique tag, so a
+    merged composite report can be audited child by child."""
+
+    def __init__(self, tag: str) -> None:
+        super().__init__()
+        self.tag = tag
+
+    def cache_stats(self):
+        return {"probe": {"children": 1},
+                f"probe:{self.tag}": {"children": 1}}
+
+
+class TestCompositeStats:
+    """cache_stats()/query_stats() over composites must include every
+    child exactly once — no child skipped, none double-counted — and
+    that must survive nesting (sharded-of-replicated)."""
+
+    def test_sharded_cache_stats_sum_each_shard_once(self):
+        backend = ShardedBackend([ProbeBackend(f"s{i}") for i in range(3)])
+        stats = backend.cache_stats()
+        assert stats["probe"] == {"children": 3}
+        for index in range(3):
+            assert stats[f"probe:s{index}"] == {"children": 1}
+        backend.close()
+
+    def test_replicated_cache_stats_cover_every_copy_once(self):
+        backend = ReplicatedBackend(
+            ProbeBackend("primary"),
+            [ProbeBackend("r0"), ProbeBackend("r1")])
+        stats = backend.cache_stats()
+        assert stats["probe"] == {"children": 3}
+        assert set(stats) == {"probe", "probe:primary",
+                              "probe:r0", "probe:r1"}
+
+    def test_nested_sharded_of_replicated_counts_leaves_once(self):
+        shards = [
+            ReplicatedBackend(ProbeBackend(f"p{i}"),
+                              [ProbeBackend(f"r{i}")])
+            for i in range(2)
+        ]
+        backend = ShardedBackend(shards)
+        stats = backend.cache_stats()
+        # Four leaves in the tree, each contributing exactly one unit.
+        assert stats["probe"] == {"children": 4}
+        assert set(stats) == {"probe", "probe:p0", "probe:r0",
+                              "probe:p1", "probe:r1"}
+        backend.close()
+
+    def test_service_merges_composite_stats_next_to_its_lru(self):
+        shards = [ReplicatedBackend(ProbeBackend(f"p{i}"),
+                                    [ProbeBackend(f"r{i}")])
+                  for i in range(2)]
+        from repro.repository.service import RepositoryService
+        service = RepositoryService(ShardedBackend(shards))
+        stats = service.cache_stats()
+        assert stats["probe"] == {"children": 4}
+        assert "entry_cache" in stats
+        service.close()
+
+    def test_sharded_query_stats_count_each_entry_once(self):
+        backend = ShardedBackend([MemoryBackend() for _shard in range(3)])
+        reference = MemoryBackend()
+        for store in (backend, reference):
+            store.add_many(entry_batch(12))
+        stats = backend.query_stats(["entry", "demo"])
+        expected = reference.query_stats(["entry", "demo"])
+        assert stats.document_count == 12
+        assert stats.document_frequency == expected.document_frequency
+        backend.close()
+
+    def test_nested_query_stats_do_not_double_count_replicas(self):
+        """A replicated shard holds the same corpus on every copy;
+        stats must come from *one* copy, or IDF would be diluted by
+        the replica count."""
+        shards = [ReplicatedBackend(MemoryBackend(),
+                                    [MemoryBackend(), MemoryBackend()])
+                  for _shard in range(2)]
+        backend = ShardedBackend(shards)
+        reference = MemoryBackend()
+        for store in (backend, reference):
+            store.add_many(entry_batch(10))
+        stats = backend.query_stats(["entry"])
+        expected = reference.query_stats(["entry"])
+        assert stats.document_count == 10  # not 30
+        assert stats.document_frequency == expected.document_frequency
+        backend.close()

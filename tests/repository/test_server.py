@@ -1,0 +1,480 @@
+"""The HTTP serving layer: routing, wire fidelity, the wiki cache.
+
+The conformance suites (test_backends.py, test_query_conformance.py)
+already hold HTTPBackend-through-RepositoryServer to the storage and
+query contracts; this file covers what only the HTTP layer itself can
+get wrong — routes, status codes, malformed input, the render-cache
+endpoint, concurrent handler threads, and lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.errors import EntryNotFound, StorageError
+from repro.repository.aservice import AsyncRepositoryService
+from repro.repository.backends import MemoryBackend
+from repro.repository.client import HTTPBackend
+from repro.repository.server import RepositoryServer
+from repro.repository.service import RepositoryService
+from repro.repository.versioning import Version
+from tests.repository.test_entry import minimal_entry
+
+
+@pytest.fixture()
+def served():
+    service = RepositoryService(MemoryBackend())
+    server = RepositoryServer(service).start()
+    client = HTTPBackend(server.url)
+    yield server, client
+    client.close()
+    server.stop()
+    service.close()
+
+
+def entry_batch(count: int):
+    return [minimal_entry(title=f"ENTRY {index}") for index in range(count)]
+
+
+def fetch(url: str):
+    """Raw GET: (status, content_type, body bytes) — errors included."""
+    try:
+        with urllib.request.urlopen(url) as response:
+            return (response.status, response.headers.get_content_type(),
+                    response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get_content_type(), error.read()
+
+
+class TestRouting:
+    def test_unknown_route_is_a_json_404(self, served):
+        server, _client = served
+        status, content_type, body = fetch(server.url + "/nope")
+        assert status == 404
+        assert content_type == "application/json"
+        assert json.loads(body)["error"]["type"] == "StorageError"
+
+    def test_unknown_version_string_is_a_400(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        status, _type, body = fetch(
+            server.url + "/entries/demo-example?version=banana")
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "VersioningError"
+
+    def test_missing_entry_is_a_structured_404(self, served):
+        server, _client = served
+        status, _type, body = fetch(server.url + "/entries/ghost")
+        detail = json.loads(body)["error"]
+        assert status == 404
+        assert detail["type"] == "EntryNotFound"
+        assert detail["identifier"] == "ghost"
+
+    def test_duplicate_add_is_a_409(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        request = urllib.request.Request(
+            server.url + "/entries",
+            data=json.dumps({"entry": minimal_entry().to_dict()}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 409
+
+    def test_malformed_json_body_is_a_400(self, served):
+        server, _client = served
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 400
+        assert "malformed JSON" in json.loads(
+            caught.value.read())["error"]["message"]
+
+    def test_body_identifier_must_match_the_path(self, served):
+        _server, client = served
+        client.add(minimal_entry())
+        impostor = minimal_entry(title="IMPOSTOR")
+        with pytest.raises(StorageError, match="does not match"):
+            client._request("PUT", "/entries/demo-example",
+                            {"entry": impostor.to_dict()})
+
+    def test_unknown_route_with_body_keeps_the_connection_usable(
+            self, served):
+        """The body of a rejected request is drained before replying:
+        a keep-alive connection must not desync (leftover body bytes
+        parsed as the next request line)."""
+        _server, client = served
+        client.add(minimal_entry())
+        with pytest.raises(StorageError, match="no route"):
+            client._request("POST", "/nonexistent",
+                            {"entry": minimal_entry().to_dict()})
+        # Same thread, same keep-alive connection: still in sync.
+        assert client.identifiers() == ["demo-example"]
+        assert client.has("demo-example")
+
+    def test_percent_encoded_identifier_is_one_segment(self, served):
+        """An identifier containing '/' travels as %2F and must not be
+        split into path segments (mis-routing 'x/versions' to the
+        versions handler, or 404ing has())."""
+        _server, client = served
+        client.add(minimal_entry())
+        assert client.has("a/b") is False  # routed, answered, not 404
+        with pytest.raises(EntryNotFound) as caught:
+            client.get("a/b")
+        assert caught.value.identifier == "a/b"
+        with pytest.raises(EntryNotFound) as caught:
+            client.get("demo-example/versions")
+        assert caught.value.identifier == "demo-example/versions"
+
+    def test_write_retries_when_the_stale_connection_fails_to_send(
+            self, served):
+        """A keep-alive connection the server dropped while idle fails
+        at *send* time — the request never left, so one retry on a
+        fresh connection is safe for writes too (without it, the first
+        write after every idle gap dies with 'unreachable')."""
+        _server, client = served
+        client.add(minimal_entry())
+        client._local.connection.sock.close()  # simulate the idle drop
+        client.add_version(minimal_entry(version=Version(0, 2)))
+        assert client.versions("demo-example") == \
+            [Version(0, 1), Version(0, 2)]
+
+    def test_oversized_body_rejected_by_header_alone(self, served):
+        """A huge Content-Length is refused before any body bytes are
+        read into memory; the connection closes instead of draining."""
+        server, _client = served
+        import http.client as hc
+        connection = hc.HTTPConnection("127.0.0.1", server.port,
+                                       timeout=10)
+        connection.putrequest("POST", "/entries")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length", str(1 << 31))
+        connection.endheaders()
+        response = connection.getresponse()
+        detail = json.loads(response.read())["error"]
+        assert response.status == 400
+        assert "exceeds" in detail["message"]
+        connection.close()
+
+    def test_counter_endpoint_is_the_hot_path_subset(self, served):
+        server, client = served
+        client.add_many(entry_batch(3))
+        payload = json.loads(fetch(server.url + "/counter")[2])
+        assert payload == {"entry_count": 3, "change_counter": None}
+        assert client.entry_count() == 3
+        assert client.change_counter() is None
+
+    def test_get_with_explicit_version(self, served):
+        _server, client = served
+        client.add(minimal_entry())
+        client.add_version(minimal_entry(version=Version(0, 2),
+                                         overview="Better."))
+        assert client.get("demo-example").overview == "Better."
+        old = client.get("demo-example", Version(0, 1))
+        assert old.overview == "A demo."
+
+
+class TestStatsEndpoint:
+    def test_stats_shape(self, served):
+        server, client = served
+        client.add_many(entry_batch(3))
+        client.get("entry-0")
+        payload = json.loads(fetch(server.url + "/stats")[2])
+        assert payload["entry_count"] == 3
+        assert payload["change_counter"] is None  # memory backend
+        assert "entry_cache" in payload["cache"]
+        assert set(payload["render_cache"]) >= {"hits", "misses"}
+
+    def test_client_namespaces_server_caches(self, served):
+        _server, client = served
+        client.add(minimal_entry())
+        stats = client.cache_stats()
+        assert all(name.startswith("server:") for name in stats)
+        assert "server:entry_cache" in stats
+
+
+class TestWikiEndpoint:
+    def test_page_is_rendered_wikidot(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        status, content_type, body = fetch(
+            server.url + "/wiki/demo-example")
+        assert status == 200
+        assert content_type == "text/plain"
+        assert body.decode("utf-8").startswith("+ DEMO EXAMPLE")
+
+    def test_pages_come_from_the_render_cache(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        for _round in range(3):
+            fetch(server.url + "/wiki/entry-0")
+        stats = server.render_cache.cache_stats()
+        assert stats["misses"] == 1  # rendered once...
+        assert stats["hits"] == 2  # ...then served warm
+
+    def test_write_evicts_exactly_the_written_page(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        fetch(server.url + "/wiki/entry-0")
+        fetch(server.url + "/wiki/entry-1")
+        client.replace_latest(minimal_entry(title="ENTRY 0",
+                                            overview="Patched."))
+        assert "Patched." in fetch(server.url + "/wiki/entry-0")[2].decode()
+        stats = server.render_cache.cache_stats()
+        assert stats["invalidations"] == 1
+        assert stats["misses"] == 3  # entry-0 re-rendered, entry-1 not
+
+    def test_missing_page_is_a_404(self, served):
+        server, _client = served
+        status, _type, body = fetch(server.url + "/wiki/ghost")
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "EntryNotFound"
+
+
+class TestConcurrency:
+    def test_many_client_threads_read_consistently(self, served):
+        """16 threads hammer reads through keep-alive connections while
+        the service stays coherent (each thread gets its own
+        HTTPConnection via the backend's thread-local)."""
+        _server, client = served
+        batch = entry_batch(10)
+        client.add_many(batch)
+        errors: list[Exception] = []
+
+        def reader(seed: int) -> None:
+            try:
+                for index in range(20):
+                    identifier = f"entry-{(seed + index) % 10}"
+                    assert client.get(identifier).identifier == identifier
+                assert client.entry_count() == 10
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader, args=(seed,))
+                   for seed in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+
+    def test_readers_interleave_with_writers(self, served):
+        _server, client = served
+        client.add_many(entry_batch(4))
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            try:
+                for minor in range(2, 12):
+                    client.add_version(
+                        minimal_entry(title="ENTRY 0",
+                                      version=Version(0, minor)))
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    entry = client.get("entry-0")
+                    assert entry.identifier == "entry-0"
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert client.versions("entry-0")[-1] == Version(0, 11)
+
+
+class TestLifecycle:
+    def test_context_manager_serves_and_stops(self):
+        service = RepositoryService(MemoryBackend())
+        with RepositoryServer(service) as server:
+            url = server.url
+            client = HTTPBackend(url)
+            client.add(minimal_entry())
+            assert client.has("demo-example")
+            client.close()
+        # Stopped: a fresh connection is refused.
+        fresh = HTTPBackend(url)
+        with pytest.raises(StorageError, match="unreachable"):
+            fresh.identifiers()
+        fresh.close()
+        service.close()
+
+    def test_routed_get_with_unread_body_keeps_connection_usable(
+            self, served):
+        """A body sent with a routed GET is drained after the reply,
+        so keep-alive framing stays intact on the success path too."""
+        server, client = served
+        client.add(minimal_entry())
+        import http.client as hc
+        connection = hc.HTTPConnection("127.0.0.1", server.port,
+                                       timeout=10)
+        payload = json.dumps({"unexpected": "body"})
+        connection.request("GET", "/entries", body=payload,
+                           headers={"Content-Type": "application/json"})
+        first = connection.getresponse()
+        assert first.status == 200
+        assert json.loads(first.read())["identifiers"] == ["demo-example"]
+        # Same connection: the next request must parse cleanly.
+        connection.request("GET", "/entries/demo-example/has")
+        second = connection.getresponse()
+        assert second.status == 200
+        assert json.loads(second.read())["has"] is True
+        connection.close()
+
+    def test_stop_drains_in_flight_requests(self):
+        """stop() waits for requests already inside a handler, so they
+        finish against a live service instead of a closed one."""
+        import time
+
+        class SlowBackend(MemoryBackend):
+            def get(self, identifier, version=None):
+                time.sleep(0.4)
+                return super().get(identifier, version)
+
+        service = RepositoryService(SlowBackend(), cache_size=0)
+        server = RepositoryServer(service, close_service=True).start()
+        url = server.url
+        client = HTTPBackend(url)
+        client.add(minimal_entry())
+        outcome: list[object] = []
+
+        def slow_read() -> None:
+            try:
+                outcome.append(client.get("demo-example"))
+            except Exception as error:  # pragma: no cover - fail below
+                outcome.append(error)
+
+        reader = threading.Thread(target=slow_read)
+        reader.start()
+        time.sleep(0.15)  # the request is inside the handler now
+        server.stop()  # closes the service — must drain first
+        reader.join(timeout=10)
+        client.close()
+        assert len(outcome) == 1
+        assert getattr(outcome[0], "identifier", None) == "demo-example", \
+            outcome
+
+    def test_idle_connection_refreshed_before_reuse(self, served):
+        """A kept-alive connection idle past the reuse limit is
+        replaced up front — the idle-close race would otherwise
+        surface at response time, where writes cannot retry."""
+        import time
+
+        _server, client = served
+        client.add(minimal_entry())
+        client.idle_reuse_limit = 0.05
+        stale = client._local.connection
+        time.sleep(0.12)
+        client.add_version(minimal_entry(version=Version(0, 2)))  # a write
+        assert client._local.connection is not stale
+        assert client.versions("demo-example") == \
+            [Version(0, 1), Version(0, 2)]
+
+    def test_chunked_request_body_rejected_and_connection_closed(
+            self, served):
+        """No Content-Length means no way to drain: the request is
+        refused and the connection closes instead of parsing the
+        chunk stream as the next request."""
+        server, _client = served
+        import http.client as hc
+        connection = hc.HTTPConnection("127.0.0.1", server.port,
+                                       timeout=10)
+        connection.putrequest("POST", "/entries")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Transfer-Encoding", "chunked")
+        connection.endheaders()
+        response = connection.getresponse()
+        assert response.status == 400
+        assert "chunked" in json.loads(response.read())["error"]["message"]
+        with pytest.raises((hc.HTTPException, OSError)):
+            connection.request("GET", "/entries")
+            connection.getresponse()
+        connection.close()
+
+    def test_unstarted_server_leaves_no_subscriber_behind(self):
+        service = RepositoryService(MemoryBackend())
+        baseline = len(service._subscribers)
+        server = RepositoryServer(service)
+        assert server.render_cache is None
+        assert len(service._subscribers) == baseline
+        server.stop()  # never started: a safe no-op
+        server.start()
+        assert len(service._subscribers) == baseline + 1
+        server.stop()
+        assert len(service._subscribers) == baseline
+        service.close()
+
+    def test_base_url_path_prefix_is_honoured(self):
+        client = HTTPBackend("http://127.0.0.1:1/repo/")
+        assert client._prefix == "/repo"
+        plain = HTTPBackend("http://127.0.0.1:1")
+        assert plain._prefix == ""
+        client.close()
+        plain.close()
+
+    def test_restart_resubscribes_the_render_cache(self):
+        """stop() detaches the render cache; a restarted server must
+        build a fresh, subscribed one — not serve stale pages that no
+        longer evict on writes."""
+        service = RepositoryService(MemoryBackend())
+        server = RepositoryServer(service).start()
+        client = HTTPBackend(server.url)
+        client.add(minimal_entry())
+        assert "A demo." in fetch(server.url + "/wiki/demo-example")[2] \
+            .decode()
+        client.close()
+        server.stop()
+
+        server.start()
+        fresh = HTTPBackend(server.url)
+        fresh.replace_latest(minimal_entry(overview="Patched."))
+        page = fetch(server.url + "/wiki/demo-example")[2].decode()
+        assert "Patched." in page  # the new cache heard the write
+        fresh.close()
+        server.stop()
+        service.close()
+
+    def test_port_property_requires_running_server(self):
+        server = RepositoryServer(RepositoryService(MemoryBackend()))
+        with pytest.raises(StorageError, match="not running"):
+            _ = server.port
+
+    def test_bare_backend_is_wrapped_in_a_service(self):
+        server = RepositoryServer(MemoryBackend())
+        assert isinstance(server.service, RepositoryService)
+
+    def test_async_facade_is_unwrapped_to_its_sync_service(self):
+        service = RepositoryService(MemoryBackend())
+        aservice = AsyncRepositoryService(service)
+        server = RepositoryServer(aservice)
+        assert server.service is service
+
+    def test_closed_client_refuses_requests(self, served):
+        _server, client = served
+        client.add(minimal_entry())
+        client.close()
+        with pytest.raises(StorageError, match="closed"):
+            client.identifiers()
+
+    def test_client_rejects_non_http_urls(self):
+        with pytest.raises(StorageError, match="http://"):
+            HTTPBackend("ftp://example.org")

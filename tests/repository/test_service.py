@@ -212,11 +212,10 @@ class TestIncrementalSearch:
         hits = service.query("zygomorph").hits
         assert [hit.identifier for hit in hits] == ["zygomorph"]
 
-    def test_search_shim_warns_and_matches_query(self, service):
-        service.add_many(entry_batch(2))
-        with pytest.warns(DeprecationWarning, match="query"):
-            hits = service.search("demo", limit=5)
-        assert hits == list(service.query("demo", limit=5).hits)
+    def test_search_shim_is_gone(self):
+        """The deprecated free-text shim was removed: ``query()`` is
+        the one retrieval surface (SearchIndex keeps its own search)."""
+        assert not hasattr(RepositoryService, "search")
 
     def test_updates_are_incremental_not_rebuilds(self, service, monkeypatch):
         service.add_many(entry_batch(2))

@@ -7,7 +7,12 @@ import json
 import pytest
 
 from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
-from repro.repository.store import FileStore, MemoryStore
+from repro.repository.service import (
+    API_METHODS,
+    RepositoryAPI,
+    RepositoryService,
+)
+from repro.repository.store import FileStore, MemoryStore, RepositoryStore
 from repro.repository.versioning import Version
 from tests.repository.test_entry import minimal_entry
 
@@ -75,6 +80,49 @@ class TestStoreInterface:
         store.add(minimal_entry())
         with pytest.raises(StorageError):
             store.replace_latest(minimal_entry(version=Version(0, 2)))
+
+
+class TestRepositoryAPIProtocol:
+    """The compat shims carry the full RepositoryAPI surface.
+
+    ``RepositoryStore``/``MemoryStore``/``FileStore`` are the historical
+    names out-of-tree code subclasses; if the protocol extraction (or a
+    later refactor of the base class) dropped a method, these names
+    would silently stop honouring the service contract.  API_METHODS is
+    the single list both the protocol and this test check against."""
+
+    def test_api_methods_mirror_the_protocol_exactly(self):
+        declared = {name for name in vars(RepositoryAPI)
+                    if not name.startswith("_")}
+        assert declared == set(API_METHODS)
+
+    def test_store_shims_carry_every_api_method(self, tmp_path):
+        instances = [MemoryStore(), FileStore(tmp_path / "repo")]
+        for instance in instances:
+            for name in API_METHODS:
+                assert callable(getattr(instance, name)), \
+                    f"{type(instance).__name__}.{name} missing"
+            assert isinstance(instance, RepositoryAPI)
+
+    def test_repository_store_interface_declares_the_surface(self):
+        for name in API_METHODS:
+            assert hasattr(RepositoryStore, name), \
+                f"RepositoryStore.{name} missing"
+
+    def test_service_facade_satisfies_the_protocol(self):
+        service = RepositoryService()
+        assert isinstance(service, RepositoryAPI)
+        for name in API_METHODS:
+            assert callable(getattr(service, name))
+
+    def test_shim_query_goes_through_execute_query(self):
+        """The hoisted query() convenience reaches the shim classes:
+        the single retrieval surface works on a bare store too."""
+        store = MemoryStore()
+        store.add(minimal_entry())
+        result = store.query("demo")
+        assert result.identifiers == ["demo-example"]
+        assert result.total == 1
 
 
 class TestFileStoreSpecifics:
