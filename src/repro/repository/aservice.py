@@ -198,6 +198,9 @@ class AsyncRepositoryService:
     async def change_counter(self) -> int | None:
         return await self._read(self.service.change_counter)
 
+    async def change_token(self) -> str | None:
+        return await self._read(self.service.change_token)
+
     # ------------------------------------------------------------------
     # Writes (serialised through the one-thread writer executor).
     # ------------------------------------------------------------------

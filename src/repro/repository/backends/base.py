@@ -174,6 +174,22 @@ class StorageBackend(ABC):
         """
         return None
 
+    def change_token(self) -> str | None:
+        """An opaque validator that changes on every write, or None.
+
+        The wire layer's currency: HTTP ``ETag`` values, the server's
+        encode memo and the client's validation cache are all keyed by
+        this token.  The default derives it from the durable
+        :meth:`change_counter` (``"c<n>"``), so any backend with a
+        persisted counter — including one written by a foreign
+        process — validates for free.  Backends with no counter return
+        None; the service facade overlays an in-process epoch+sequence
+        token so a served repository always has a validator (see
+        :meth:`RepositoryService.change_token`).
+        """
+        counter = self.change_counter()
+        return f"c{counter}" if counter is not None else None
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Hit/miss/eviction counters of this backend's read caches.
 

@@ -30,19 +30,47 @@ past ``idle_reuse_limit`` is replaced *before* reuse — servers close
 idle connections, and that close often surfaces only at response time,
 where a write cannot be safely retried.  Residual failures retry once
 for *any* method when the send itself failed (the request never
-reached the server), but only for idempotent GETs once a response was
-owed; a write whose fate is unknown is never blindly repeated.
+reached the server); once a response was owed, a retry happens for
+idempotent GETs and for a clean ``RemoteDisconnected`` (the stale
+keep-alive signature: the peer closed without sending so much as a
+status line, so the request was not processed).  Any other response
+failure on a write raises, because its fate is genuinely unknown.
+
+The wire itself is kept cheap in both directions (mirroring the
+server's side of the protocol):
+
+* **Conditional point reads** — every 200 from ``GET /entries/{id}``
+  carries an ``ETag``; the client remembers ``path -> (etag, entry)``
+  in a bounded validation cache and revalidates with
+  ``If-None-Match``.  A 304 answer returns the cached snapshot with
+  zero JSON decoded on either end.
+* **Compression** — every request advertises ``Accept-Encoding:
+  gzip`` and transparently inflates compressed responses; request
+  bodies above the shared threshold are gzipped on the way out.
+* **Streaming batches** — ``get_many``/``versions_many`` opt into the
+  server's chunked NDJSON bodies (``Accept: application/x-ndjson``)
+  and decode page by page; :meth:`HTTPBackend.iter_many` exposes the
+  incremental form directly, yielding entries as chunks arrive so a
+  10k-identifier bulk read never buffers the whole corpus here.  Warm
+  reads skip decoding entirely through a byte-keyed
+  :class:`~repro.repository.codec.LineMemo` (the codec is
+  deterministic, so identical bytes are the same snapshot).  A server
+  that answers plain JSON (no streaming support) is handled by
+  falling back to the buffered decode, and ``stream_batches=False``
+  pins that behaviour for comparison.
 """
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import json
 import socket
 import threading
 import time
 import weakref
-from typing import Iterable, Sequence
+import zlib
+from typing import Iterable, Iterator, Sequence
 from urllib.parse import quote, urlsplit
 
 from repro.core.errors import (
@@ -59,6 +87,14 @@ from repro.repository.backends.base import (
     StorageBackend,
     _split_request,
 )
+from repro.repository.codec import (
+    GZIP_LEVEL,
+    GZIP_MIN_BYTES,
+    NDJSON_TYPE,
+    LineMemo,
+    decode_entry,
+)
+from repro.repository.codec import _KeyedLRU
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     QueryPlan,
@@ -104,6 +140,26 @@ def _raise_remote_error(status: int, payload: object) -> None:
     raise _ERROR_CLASSES.get(name, StorageError)(message)
 
 
+class _ValidationCache(_KeyedLRU):
+    """Conditional-read state: request path -> (etag, entry snapshot).
+
+    The ETag embeds the server's change token, so this needs no
+    invalidation protocol: any write — this client's or anyone
+    else's — changes the token, the next revalidation misses (one full
+    200), and the stale pair is replaced.  Entries are immutable value
+    objects, so handing the cached snapshot back on a 304 is safe.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        super().__init__(maxsize)
+
+    def get(self, path: str) -> "tuple[str, ExampleEntry] | None":
+        return self._get(path)
+
+    def put(self, path: str, etag: str, entry: ExampleEntry) -> None:
+        self._put(path, (etag, entry))
+
+
 class HTTPBackend(StorageBackend):
     """A remote repository server, spoken to through StorageBackend."""
 
@@ -113,7 +169,8 @@ class HTTPBackend(StorageBackend):
     supports_native_query = True
 
     def __init__(self, base_url: str, *, timeout: float = 30.0,
-                 idle_reuse_limit: float = 25.0) -> None:
+                 idle_reuse_limit: float = 25.0,
+                 stream_batches: bool = True) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
             raise StorageError(
@@ -145,6 +202,15 @@ class HTTPBackend(StorageBackend):
         self._connections: weakref.WeakSet = weakref.WeakSet()
         self._connections_mutex = threading.Lock()
         self._closed = False
+        #: Whether batch reads use the server's chunked NDJSON bodies
+        #: (False pins the PR-5 buffered JSON path — the comparison
+        #: baseline, and the escape hatch if a proxy mangles chunking).
+        self.stream_batches = stream_batches
+        #: path -> (etag, entry): the conditional-read state for get().
+        self._validation = _ValidationCache()
+        #: raw NDJSON line -> hydrated entry: the streamed-read decode
+        #: fast path (byte-identical lines are the same snapshot).
+        self._line_memo = LineMemo()
 
     # ------------------------------------------------------------------
     # The wire.
@@ -188,25 +254,49 @@ class HTTPBackend(StorageBackend):
 
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> dict:
+        status, _, raw = self._round_trip(method, path, payload)
+        return self._decode(status, raw)
+
+    @staticmethod
+    def _prepare_body(payload: dict | None) -> "tuple[bytes | None, dict]":
+        """Encode one request body, gzipping past the wire threshold."""
+        headers = {"Accept-Encoding": "gzip"}
+        if payload is None:
+            return None, headers
+        body = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+        if len(body) >= GZIP_MIN_BYTES:
+            body = gzip.compress(body, compresslevel=GZIP_LEVEL)
+            headers["Content-Encoding"] = "gzip"
+        return body, headers
+
+    def _round_trip(
+        self, method: str, path: str, payload: dict | None = None,
+        extra_headers: dict | None = None,
+    ) -> "tuple[int, http.client.HTTPMessage, bytes]":
+        """One buffered exchange: (status, headers, inflated body).
+
+        Retry policy, phase by phase.  The idle-reuse refresh in
+        _connection() keeps the common idle-close race off this path
+        mostly (an idle FIN often lets the send *succeed* into the
+        socket buffer and only fails at response time); what remains
+        is decided by which phase failed:
+
+        * connect/*send* failed — the request never reached the
+          server, so ONE retry on a fresh connection is safe for any
+          method;
+        * *response* failed — idempotent GETs retry once, and so does
+          a clean ``RemoteDisconnected`` for any method: the peer
+          closed without emitting even a status line, which is the
+          signature of a keep-alive socket that went stale under us —
+          the request was never processed.  Anything else on a write
+          raises, because its fate is genuinely unknown.
+        """
         if self._closed:
             raise StorageError("HTTPBackend is closed")
-        body = None
-        headers = {}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        # Retry policy, phase by phase.  The idle-reuse refresh in
-        # _connection() keeps the common idle-close race off this path
-        # entirely (an idle FIN often lets the send *succeed* into the
-        # socket buffer and only fails at response time); what remains
-        # is decided by which phase failed:
-        #
-        # * connect/*send* failed — the request never reached the
-        #   server, so ONE retry on a fresh connection is safe for any
-        #   method;
-        # * *response* failed — the server may already have applied the
-        #   request, so only idempotent GETs retry; a write raises,
-        #   because its fate is genuinely unknown.
+        body, headers = self._prepare_body(payload)
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in range(2):
             try:
                 connection = self._connection()
@@ -224,13 +314,33 @@ class HTTPBackend(StorageBackend):
                 raw = response.read()
             except (OSError, http.client.HTTPException) as error:
                 self._drop_connection()
-                if attempt == 0 and method == "GET":
+                if attempt == 0 and (
+                    method == "GET"
+                    or isinstance(error, http.client.RemoteDisconnected)
+                ):
                     continue
                 raise StorageError(
                     f"no response from the repository server at "
                     f"{self.base_url}: {error}") from error
-            return self._decode(response.status, raw)
+            return (response.status, response.headers,
+                    self._inflate(response, raw))
         raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _inflate(response, raw: bytes) -> bytes:
+        """Undo the response's Content-Encoding (identity or gzip)."""
+        coding = (response.headers.get("Content-Encoding") or "identity")
+        coding = coding.strip().lower()
+        if coding in ("", "identity") or not raw:
+            return raw
+        if coding != "gzip":
+            raise StorageError(
+                f"server sent unsupported Content-Encoding {coding!r}")
+        try:
+            return gzip.decompress(raw)
+        except (OSError, zlib.error) as error:
+            raise StorageError(
+                f"server sent a bad gzip body: {error}") from error
 
     @staticmethod
     def _decode(status: int, raw: bytes) -> dict:
@@ -270,8 +380,22 @@ class HTTPBackend(StorageBackend):
         path = self._entry_path(identifier)
         if version is not None:
             path += f"?version={version}"
-        payload = self._request("GET", path)
-        return ExampleEntry.from_dict(payload["entry"])
+        # Conditional read: revalidate the cached snapshot by ETag.  A
+        # 304 costs a header exchange — no JSON is encoded, shipped or
+        # decoded on either end.
+        cached = self._validation.get(path)
+        conditional = ({"If-None-Match": cached[0]}
+                       if cached is not None else None)
+        status, headers, raw = self._round_trip("GET", path,
+                                                extra_headers=conditional)
+        if status == 304 and cached is not None:
+            return cached[1]
+        payload = self._decode(status, raw)
+        entry = ExampleEntry.from_dict(payload["entry"])
+        etag = headers.get("ETag")
+        if etag:
+            self._validation.put(path, etag, entry)
+        return entry
 
     def has(self, identifier: str) -> bool:
         return self._request(
@@ -311,18 +435,66 @@ class HTTPBackend(StorageBackend):
 
     def get_many(self,
                  requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+        if self.stream_batches:
+            return list(self.iter_many(requests))
+        payload = self._request(
+            "POST", "/batch/get", {"requests": self._wire_requests(requests)}
+        )
+        return [ExampleEntry.from_dict(data)
+                for data in payload["entries"]]
+
+    def iter_many(self,
+                  requests: Sequence[GetRequest]) -> Iterator[ExampleEntry]:
+        """Resolve many entries incrementally, in request order.
+
+        Entries are yielded as the server's NDJSON chunks arrive — a
+        10k-identifier bulk read holds one page of lines here, never
+        the whole corpus as one JSON body.  Warm lines skip decoding
+        through the byte-keyed :class:`LineMemo`.  Abandoning the
+        iterator mid-stream drops the (now desynced) connection; the
+        next request simply opens a fresh one.
+        """
+        payload = {"requests": self._wire_requests(requests)}
+        for kind, value in self._stream_lines("/batch/get", payload):
+            if kind == "payload":
+                # A non-streaming server answered the buffered body.
+                for data in value["entries"]:
+                    yield ExampleEntry.from_dict(data)
+                return
+            entry = self._line_memo.get(value)
+            if entry is None:
+                entry = decode_entry(value)
+                self._line_memo.put(value, entry)
+            yield entry
+
+    @staticmethod
+    def _wire_requests(requests: Sequence[GetRequest]) -> list:
         wire = []
         for request in requests:
             identifier, version = _split_request(request)
             wire.append(
                 [identifier, str(version) if version is not None else None]
             )
-        payload = self._request("POST", "/batch/get", {"requests": wire})
-        return [ExampleEntry.from_dict(data)
-                for data in payload["entries"]]
+        return wire
 
     def versions_many(
             self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
+        if self.stream_batches:
+            listing: dict[str, list[Version]] = {}
+            for kind, value in self._stream_lines(
+                    "/batch/versions", {"identifiers": list(identifiers)}):
+                if kind == "payload":
+                    listing = value["versions"]
+                    return {
+                        identifier: [Version.parse(text)
+                                     for text in versions]
+                        for identifier, versions in listing.items()
+                    }
+                data = json.loads(value)
+                listing[data["identifier"]] = [
+                    Version.parse(text) for text in data["versions"]
+                ]
+            return listing
         payload = self._request(
             "POST", "/batch/versions", {"identifiers": list(identifiers)}
         )
@@ -330,6 +502,122 @@ class HTTPBackend(StorageBackend):
             identifier: [Version.parse(text) for text in versions]
             for identifier, versions in payload["versions"].items()
         }
+
+    def _stream_lines(self, path: str, payload: dict):
+        """POST one batch and yield its NDJSON data lines as they land.
+
+        Yields ``("line", bytes)`` per data line; a server that does
+        not stream yields one ``("payload", dict)`` instead (the
+        buffered body, decoded).  The terminating frame protocol makes
+        truncation detectable: a successful stream ends with
+        ``{"_stream": "end", "count": n}`` whose count must match the
+        lines seen; a server-side failure after the headers arrives as
+        ``{"_stream": "error", ...}`` and re-raises exactly like a
+        buffered error response; an EOF with neither is an error.
+        """
+        if self._closed:
+            raise StorageError("HTTPBackend is closed")
+        body, headers = self._prepare_body(payload)
+        headers["Accept"] = NDJSON_TYPE
+        for attempt in range(2):
+            try:
+                connection = self._connection()
+                connection.request("POST", self._prefix + path,
+                                   body=body, headers=headers)
+            except (OSError, http.client.HTTPException) as error:
+                self._drop_connection()
+                if attempt == 0:
+                    continue
+                raise StorageError(
+                    f"repository server unreachable at "
+                    f"{self.base_url}: {error}") from error
+            try:
+                response = connection.getresponse()
+            except (OSError, http.client.HTTPException) as error:
+                self._drop_connection()
+                if attempt == 0 and isinstance(
+                        error, http.client.RemoteDisconnected):
+                    continue
+                raise StorageError(
+                    f"no response from the repository server at "
+                    f"{self.base_url}: {error}") from error
+            break
+        if response.status >= 400:
+            raw = self._inflate(response, response.read())
+            self._decode(response.status, raw)  # raises the wire error
+            raise StorageError(  # pragma: no cover - decode always raises
+                f"server answered HTTP {response.status}")
+        content_type = response.headers.get("Content-Type", "")
+        if NDJSON_TYPE not in content_type.lower():
+            raw = self._inflate(response, response.read())
+            yield ("payload", self._decode(response.status, raw))
+            return
+        coding = (response.headers.get("Content-Encoding")
+                  or "identity").strip().lower()
+        inflater = (zlib.decompressobj(16 + zlib.MAX_WBITS)
+                    if coding == "gzip" else None)
+        buffer = bytearray()
+        lines_seen = 0
+        end_count: int | None = None
+        error_frame: dict | None = None
+        complete = False
+        try:
+            while end_count is None and error_frame is None:
+                chunk = response.read(65536)
+                if not chunk:
+                    break
+                if inflater is not None:
+                    chunk = inflater.decompress(chunk)
+                buffer += chunk
+                start = 0
+                while end_count is None and error_frame is None:
+                    newline = buffer.find(b"\n", start)
+                    if newline < 0:
+                        break
+                    line = bytes(buffer[start:newline])
+                    start = newline + 1
+                    if not line:
+                        continue
+                    if line.startswith(b'{"_stream"'):
+                        frame = json.loads(line)
+                        marker = frame.get("_stream")
+                        if marker == "end":
+                            end_count = frame.get("count")
+                        elif marker == "error":
+                            error_frame = frame
+                        else:
+                            raise StorageError(
+                                f"unknown stream frame: {line!r}")
+                    else:
+                        lines_seen += 1
+                        yield ("line", line)
+                del buffer[:start]
+            # Drain to EOF: the chunked terminator must be consumed or
+            # the keep-alive connection stays desynced.
+            while response.read(65536):
+                pass
+            complete = True
+        except (OSError, http.client.HTTPException, zlib.error) as error:
+            raise StorageError(
+                f"streamed batch read failed mid-stream: {error}"
+            ) from error
+        finally:
+            if not complete:
+                # Mid-stream failure OR an abandoned iterator: either
+                # way unread chunks poison the connection for the next
+                # request, so it is dropped, not reused.
+                self._drop_connection()
+        if error_frame is not None:
+            _raise_remote_error(response.status, error_frame)
+        if end_count is None:
+            self._drop_connection()
+            raise StorageError(
+                "streamed batch response was truncated: the stream "
+                "ended without an end frame")
+        if end_count != lines_seen:
+            raise StorageError(
+                f"streamed batch response dropped lines: the end frame "
+                f"counted {end_count}, {lines_seen} arrived")
 
     # ------------------------------------------------------------------
     # Queries: executed server-side, results rehydrated.
@@ -351,6 +639,16 @@ class HTTPBackend(StorageBackend):
     def change_counter(self) -> int | None:
         return self._request("GET", "/counter")["change_counter"]
 
+    def change_token(self) -> str | None:
+        """The server's change token (its ETags embed the same value).
+
+        Overridden rather than derived from :meth:`change_counter`:
+        the remote service overlays an epoch+sequence token when its
+        backend has no durable counter, and that token — not a local
+        reconstruction — is what the server's validators actually use.
+        """
+        return self._request("GET", "/counter").get("change_token")
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """The *server's* read-path counters, namespaced ``server:...``.
 
@@ -362,6 +660,20 @@ class HTTPBackend(StorageBackend):
         remote = self._stats()["cache"]
         return {f"server:{name}": dict(counters)
                 for name, counters in remote.items()}
+
+    def wire_cache_stats(self) -> dict[str, dict[str, int]]:
+        """Counters of this client's OWN wire caches.
+
+        Deliberately not part of :meth:`cache_stats`: that method
+        reports the remote server's read path (namespaced
+        ``server:...``), and a composite merging several HTTPBackends
+        must not conflate local validation hits with remote cache
+        hits.
+        """
+        return {
+            "validation": self._validation.stats(),
+            "line_memo": self._line_memo.stats(),
+        }
 
     def _stats(self) -> dict:
         return self._request("GET", "/stats")

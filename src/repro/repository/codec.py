@@ -24,6 +24,22 @@ bytes the same process had just produced.  Now:
   meta row — atomically orphans every stale key.  Backends prime the
   memo on their own writes (the bytes they just encoded came from an
   entry object they already hold) and consult it before every decode.
+
+The wire-speed PR adds the two caches that make the HTTP layer as
+cheap as the storage caches behind it:
+
+* :class:`EncodeMemo` is the **encode fast path** on the serving side:
+  the same LRU shape as :class:`DecodeMemo` but holding *encoded wire
+  lines* keyed by ``(identifier, version, change_token)``.  A warm
+  streaming batch read serves bytes straight from the memo — no entry
+  fetch, no ``to_dict``, no ``json.dumps``.  Keys are minted under the
+  service's change token, which bumps on every write, so stale lines
+  are orphaned exactly like stale decodes;
+* :class:`LineMemo` is its mirror on the client: raw NDJSON line bytes
+  mapped to the hydrated entry.  The codec is deterministic (sorted
+  keys, fixed separators), so identical bytes always denote the same
+  snapshot — a repeated bulk read pays one dict probe per line instead
+  of ``json.loads`` + ``from_dict``.
 """
 
 from __future__ import annotations
@@ -38,12 +54,27 @@ from repro.repository.entry import ExampleEntry
 __all__ = [
     "CODEC_VERSION",
     "DecodeMemo",
+    "EncodeMemo",
+    "GZIP_LEVEL",
+    "GZIP_MIN_BYTES",
+    "LineMemo",
+    "NDJSON_TYPE",
     "decode_entry",
     "encode_entry",
 ]
 
 #: Wire-format version; bump when the payload layout changes shape.
 CODEC_VERSION = 1
+
+#: Sized wire bodies below this skip compression: gzip CPU on a few
+#: hundred bytes costs more than the bytes it saves.  Shared by the
+#: server (responses) and the client (request bodies).
+GZIP_MIN_BYTES = 1024
+#: Fast compression: level 1 already shrinks JSON ~4-5x, and the wire
+#: layer optimises latency, not archive density.
+GZIP_LEVEL = 1
+#: The streamed-batch content type clients opt into via Accept.
+NDJSON_TYPE = "application/x-ndjson"
 
 #: The tag key carried inside the payload dict.  Underscore-prefixed so
 #: it can never collide with a template field name.
@@ -153,3 +184,111 @@ class DecodeMemo:
                 "currsize": len(self._data),
                 "maxsize": self.maxsize,
             }
+
+
+class _KeyedLRU:
+    """The locked LRU core shared by the wire-speed memos.
+
+    Same accounting and eviction behaviour as :class:`DecodeMemo`, but
+    generic over key and value — the serving-side :class:`EncodeMemo`
+    keys encoded lines by ``(identifier, version, change_token)`` while
+    the client-side :class:`LineMemo` keys hydrated entries by the raw
+    line bytes themselves.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._mutex = threading.Lock()
+        self._data: OrderedDict = OrderedDict()
+
+    def _get(self, key):
+        with self._mutex:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def _put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._mutex:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters for ``cache_stats()`` reporting."""
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "currsize": len(self._data),
+                "maxsize": self.maxsize,
+            }
+
+
+class EncodeMemo(_KeyedLRU):
+    """Encoded wire lines keyed ``(identifier, version, change_token)``.
+
+    The serving-side twin of :class:`DecodeMemo`: where the decode memo
+    spares a backend re-hydrating bytes it has already decoded, this
+    spares the HTTP server re-encoding entries it has already shipped.
+    The token is the service's :meth:`change_token` — it changes on
+    every write, so a write orphans every stale line and the LRU bound
+    ages the orphans out.  A ``version`` of ``None`` marks the "latest"
+    slot, exactly as in the service's LRU.
+
+    Priming happens at *fetch* time with a token read *before* the
+    fetch, so a racing write can at worst store a fresher line under an
+    older token — never a stale line under a fresh one.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        super().__init__(maxsize)
+
+    def get(self, identifier: str, version: str | None,
+            token: str) -> str | None:
+        return self._get((identifier, version, token))
+
+    def put(self, identifier: str, version: str | None, token: str,
+            line: str) -> None:
+        self._put((identifier, version, token), line)
+
+
+class LineMemo(_KeyedLRU):
+    """Hydrated entries keyed by the raw wire line that encoded them.
+
+    The client side of the cheap wire: :func:`encode_entry` is
+    deterministic, so byte-identical NDJSON lines always denote the
+    same entry snapshot, and an immutable hydrated entry can be shared
+    freely.  A warm bulk read therefore costs one dict probe per line
+    instead of ``json.loads`` + ``from_dict`` — no invalidation
+    protocol needed, because changed entries arrive as *different*
+    bytes and stale lines age out through the LRU bound.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        super().__init__(maxsize)
+
+    def get(self, line: bytes) -> ExampleEntry | None:
+        return self._get(line)
+
+    def put(self, line: bytes, entry: ExampleEntry) -> None:
+        self._put(line, entry)

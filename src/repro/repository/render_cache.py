@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 
 from repro.repository.export import render_markdown, render_wikidot
@@ -65,6 +66,11 @@ class RenderCache:
         #: let a render that raced a write detect it lost.
         self._clock = 0
         self._evicted_at: dict[str, int] = {}
+        #: Per-instance epoch for :meth:`validator`: eviction clocks
+        #: restart at zero with every cache, so a validator must name
+        #: *which* cache minted it or a restarted server could confirm
+        #: a stale page from the previous serving period.
+        self._epoch = f"{time.time_ns():x}"
         self._unsubscribe = service.subscribe(self._on_event)
         if self.path is not None:
             self._restore()
@@ -81,6 +87,26 @@ class RenderCache:
             dropped_md = self._markdown.pop(event.identifier, None)
             if dropped_wiki is not None or dropped_md is not None:
                 self.invalidations += 1
+
+    def validator(self, identifier: str) -> str:
+        """An opaque per-identifier freshness validator (for ETags).
+
+        Changes exactly when the identifier's rendering can change:
+        the eviction clock bumps on every write event for *that*
+        identifier, so a write to entry B leaves entry A's validator —
+        and therefore A's ETag — intact.  This is strictly finer than
+        the global change token: the wiki endpoint keeps answering 304
+        for untouched pages while the corpus churns elsewhere.  The
+        epoch prefix pins the validator to this cache instance, so a
+        validator minted before a server restart can never confirm a
+        page served after it.
+
+        Capture the validator *before* fetching/rendering the page:
+        a write racing the render then yields a stale validator with
+        fresh content — one spurious revalidation, never a false 304.
+        """
+        with self._mutex:
+            return f"{self._epoch}.{self._evicted_at.get(identifier, 0)}"
 
     # ------------------------------------------------------------------
     # Single-page access.

@@ -45,6 +45,31 @@ GET     /wiki/{id}                    the entry's wikidot page, as text,
                                       the entry is written)
 ======  ============================  =====================================
 
+The wire itself is kept as cheap as the caches behind it:
+
+* **Conditional reads** — ``GET /entries/{id}``, ``GET /wiki/{id}`` and
+  ``GET /stats`` send a weak ``ETag`` (keyed by the service's change
+  token; the wiki endpoint uses the render cache's finer per-identifier
+  validator) and honour ``If-None-Match``: a match answers ``304 Not
+  Modified`` with *zero* fetch, codec or render work on either end.
+* **Compression** — ``Accept-Encoding: gzip`` is negotiated and bodies
+  above a threshold are gzipped (small payloads skip the CPU);
+  request bodies may arrive with ``Content-Encoding: gzip``.  An
+  Accept-Encoding that rules out every supported coding is a 406, an
+  unknown Content-Encoding a 415 — structured errors, like the rest.
+* **Streaming batches** — a ``POST /batch/get`` or ``/batch/versions``
+  with ``Accept: application/x-ndjson`` streams chunked NDJSON: data
+  lines are the codec's canonical entry payloads (or
+  ``{"identifier", "versions"}`` objects), encoded page by page
+  straight out of ``get_many``/``versions_many``, terminated by a
+  ``{"_stream": "end", "count": n}`` frame (or an
+  ``{"_stream": "error", ...}`` frame if a later page fails).  A 10k
+  bulk read never materialises the whole corpus as one JSON body on
+  either end, and warm pages come from an
+  :class:`~repro.repository.codec.EncodeMemo` — no fetch, no
+  ``to_dict``, no ``dumps``.  Without the Accept header the endpoints
+  answer the PR-5 buffered JSON bodies unchanged.
+
 Errors travel as ``{"error": {"type": ..., "message": ..., ...}}`` with
 a faithful status (404 EntryNotFound, 409 DuplicateEntry, 400 for the
 other repository errors) and enough structure for
@@ -62,13 +87,15 @@ in-process threads.  The server adds no locking of its own.
 from __future__ import annotations
 
 import argparse
+import gzip
 import json
 import logging
 import re
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from urllib.parse import parse_qs, unquote, urlsplit
+from urllib.parse import parse_qs, quote, unquote, urlsplit
 
 from repro.core.errors import (
     BxError,
@@ -77,6 +104,13 @@ from repro.core.errors import (
     StorageError,
 )
 from repro.repository.backends import StorageBackend, create_backend
+from repro.repository.codec import (
+    GZIP_LEVEL,
+    GZIP_MIN_BYTES,
+    NDJSON_TYPE,
+    EncodeMemo,
+    encode_entry,
+)
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     plan_from_dict,
@@ -118,8 +152,51 @@ _ROUTES = {
 }
 
 
+#: Entries per streamed NDJSON page: one get_many call, one chunk.
+STREAM_PAGE_SIZE = 256
+
+
+def _wire_error(status: int, message: str) -> StorageError:
+    """A StorageError pinned to a specific HTTP status.
+
+    For conditions that exist only at the wire (unacceptable
+    Accept-Encoding, unknown Content-Encoding, malformed conditional
+    headers): the payload still names ``StorageError`` so the client
+    re-raises the class in-process callers would see, but the status
+    stays honest (406/415/400 instead of a generic 400).
+    """
+    error = StorageError(message)
+    error.http_status = status
+    return error
+
+
+#: One If-None-Match member: ``*`` or an (optionally weak) quoted tag.
+_ETAG_MEMBER_RE = re.compile(r'\s*(\*|(?:W/)?"[^"]*")\s*(?:,|$)')
+#: An Accept-Encoding quality parameter: ``q=0``, ``q=0.5``, ``q=1.000``.
+_QVALUE_RE = re.compile(r"^q\s*=\s*(\d(?:\.\d{0,3})?)$")
+
+
+def _make_etag(*parts: str) -> str:
+    """A weak ETag from opaque parts (percent-quoted, '/'-joined).
+
+    Weak because the same snapshot has several byte representations
+    (gzip vs identity, and the wiki page vs the entry behind it);
+    quoting keeps identifiers from smuggling '"' into the header.
+    """
+    opaque = "/".join(quote(part, safe="") for part in parts)
+    return f'W/"{opaque}"'
+
+
+def _etag_opaque(tag: str) -> str:
+    """The comparison form of an ETag: weak-prefix stripped."""
+    return tag[2:] if tag.startswith("W/") else tag
+
+
 def _error_status(error: Exception) -> int:
     """The honest HTTP status of one repository error."""
+    pinned = getattr(error, "http_status", None)
+    if isinstance(pinned, int):
+        return pinned
     if isinstance(error, EntryNotFound):
         return 404
     if isinstance(error, DuplicateEntry):
@@ -182,6 +259,120 @@ class _RequestTracker:
                                        timeout)
 
 
+class _ServerMetrics:
+    """Per-route request counters plus wire-economics ratios.
+
+    One instance per :class:`RepositoryServer`, shared by every handler
+    thread (hence the mutex) and surviving stop/start cycles.  The
+    snapshot rides inside the ``GET /stats`` payload under ``"server"``
+    so operators — and the serving smoke test — can read the 304 hit
+    rate and gzip bytes saved straight off the repository.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._routes: dict[str, int] = {}
+        self._conditional = 0
+        self._not_modified = 0
+        self._gzip_responses = 0
+        self._gzip_bytes_raw = 0
+        self._gzip_bytes_sent = 0
+        self._stream_responses = 0
+        self._stream_lines = 0
+
+    def count_route(self, name: str) -> None:
+        with self._mutex:
+            self._routes[name] = self._routes.get(name, 0) + 1
+
+    def count_conditional(self, hit: bool) -> None:
+        with self._mutex:
+            self._conditional += 1
+            if hit:
+                self._not_modified += 1
+
+    def count_gzip(self, raw_bytes: int, sent_bytes: int) -> None:
+        with self._mutex:
+            self._gzip_responses += 1
+            self._gzip_bytes_raw += raw_bytes
+            self._gzip_bytes_sent += sent_bytes
+
+    def count_stream(self, lines: int) -> None:
+        with self._mutex:
+            self._stream_responses += 1
+            self._stream_lines += lines
+
+    def snapshot(self) -> dict:
+        with self._mutex:
+            saved = self._gzip_bytes_raw - self._gzip_bytes_sent
+            return {
+                "requests": dict(sorted(self._routes.items())),
+                "conditional": {
+                    "requests": self._conditional,
+                    "not_modified": self._not_modified,
+                    "hit_rate": (self._not_modified / self._conditional
+                                 if self._conditional else 0.0),
+                },
+                "gzip": {
+                    "responses": self._gzip_responses,
+                    "bytes_raw": self._gzip_bytes_raw,
+                    "bytes_sent": self._gzip_bytes_sent,
+                    "bytes_saved_ratio": (saved / self._gzip_bytes_raw
+                                          if self._gzip_bytes_raw
+                                          else 0.0),
+                },
+                "stream": {
+                    "responses": self._stream_responses,
+                    "lines": self._stream_lines,
+                },
+            }
+
+
+class _ChunkedStream:
+    """Chunked transfer-encoding writer, optionally gzipping en route.
+
+    Each :meth:`write` becomes (at least) one HTTP/1.1 chunk on the
+    wire immediately — with gzip, the compressor is sync-flushed per
+    write so the client's incremental decoder always sees whole pages
+    without waiting for the stream to finish.  :meth:`close` emits the
+    gzip trailer and the terminating zero chunk, which is what keeps
+    the keep-alive connection framed and reusable.
+    """
+
+    def __init__(self, wfile, *, compress: bool) -> None:
+        self._wfile = wfile
+        self._gzip = (zlib.compressobj(GZIP_LEVEL, zlib.DEFLATED,
+                                       16 + zlib.MAX_WBITS)
+                      if compress else None)
+        self.raw_bytes = 0
+        self.sent_bytes = 0
+
+    def write(self, text: str) -> None:
+        data = text.encode("utf-8")
+        self.raw_bytes += len(data)
+        if self._gzip is not None:
+            data = (self._gzip.compress(data)
+                    + self._gzip.flush(zlib.Z_SYNC_FLUSH))
+        self._chunk(data)
+
+    def finish(self) -> None:
+        """Flush the gzip trailer; byte counters are final after this."""
+        if self._gzip is not None:
+            self._chunk(self._gzip.flush(zlib.Z_FINISH))
+            self._gzip = None
+
+    def close(self) -> None:
+        self.finish()
+        self._wfile.write(b"0\r\n\r\n")
+
+    def _chunk(self, data: bytes) -> None:
+        if not data:
+            return
+        self.sent_bytes += len(data)
+        self._wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self._wfile.write(data)
+        self._wfile.write(b"\r\n")
+
+
 class _Handler(BaseHTTPRequestHandler):
     """One request: route, delegate to the service, encode the answer."""
 
@@ -220,6 +411,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _routed_dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
         self._body_consumed = False
+        # Error replies must stay sendable even when the *negotiation*
+        # is what failed, so the default is pinned before anything can
+        # raise and the real negotiation runs inside the try.
+        self._negotiated_encoding = "identity"
         # Routes match the *encoded* path, so a percent-encoded "/"
         # inside an identifier stays one path segment; only the
         # captured groups are decoded.  (Decoding first would mis-route
@@ -227,9 +422,11 @@ class _Handler(BaseHTTPRequestHandler):
         for pattern, name in _ROUTES.get(method, []):
             match = pattern.match(split.path)
             if match:
+                self.server.metrics.count_route(f"{method} {name}")
                 operands = {key: unquote(value)
                             for key, value in match.groupdict().items()}
                 try:
+                    self._negotiated_encoding = self._response_encoding()
                     handler = getattr(self, f"_handle_{name}")
                     handler(query_string=split.query, **operands)
                 except Exception as error:  # noqa: BLE001 - wire boundary
@@ -247,6 +444,7 @@ class _Handler(BaseHTTPRequestHandler):
                     # connection, not send a second response.
                     self._consume_body()
                 return
+        self.server.metrics.count_route("unrouted")
         self._consume_body()
         self._send_json(
             404,
@@ -292,6 +490,107 @@ class _Handler(BaseHTTPRequestHandler):
         self.rfile.read(length)
 
     # ------------------------------------------------------------------
+    # Wire conditions: content negotiation and conditional reads.
+    # ------------------------------------------------------------------
+
+    def _response_encoding(self) -> str:
+        """Negotiate the response coding from Accept-Encoding.
+
+        ``gzip`` and ``identity`` are the supported codings; unknown
+        ones are ignored per RFC 9110 (they simply never win).  The
+        client's q-values are respected — ties go to gzip, identity is
+        implicitly acceptable unless explicitly zeroed — and a header
+        that rules out *both* supported codings is a 406 up front,
+        before any handler work.  Malformed q-values are a 400.
+        """
+        header = self.headers.get("Accept-Encoding")
+        if header is None or not header.strip():
+            return "identity"
+        weights: dict[str, float] = {}
+        for part in header.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, params = part.partition(";")
+            quality = 1.0
+            params = params.strip()
+            if params:
+                match = _QVALUE_RE.match(params)
+                if match is None:
+                    raise _wire_error(
+                        400, f"malformed Accept-Encoding: {header!r}")
+                quality = float(match.group(1))
+            weights[name.strip().lower()] = quality
+        gzip_q = weights.get("gzip", weights.get("*", 0.0))
+        identity_q = weights.get("identity", weights.get("*", 1.0))
+        if gzip_q <= 0 and identity_q <= 0:
+            raise _wire_error(
+                406,
+                "Accept-Encoding rules out both gzip and identity; "
+                "this server supports no other content coding")
+        return "gzip" if gzip_q >= identity_q and gzip_q > 0 else "identity"
+
+    def _if_none_match(self) -> list[str] | None:
+        """The If-None-Match tags, or None when the header is absent.
+
+        Parsed strictly: anything that is not a comma-separated list
+        of ``*`` / quoted (optionally ``W/``-weak) tags is a 400 —
+        silently ignoring a malformed validator would turn every
+        request from that client into a full 200 without anyone
+        noticing the cache stopped working.
+        """
+        header = self.headers.get("If-None-Match")
+        if header is None:
+            return None
+        tags: list[str] = []
+        position = 0
+        for match in _ETAG_MEMBER_RE.finditer(header):
+            if match.start() != position:
+                break
+            position = match.end()
+            tags.append(match.group(1))
+        if position != len(header) or not tags:
+            raise _wire_error(
+                400, f"malformed If-None-Match header: {header!r}")
+        return tags
+
+    def _precondition_hit(self, etag: str) -> bool:
+        """Whether If-None-Match revalidates ``etag`` (weak compare).
+
+        ``*`` is accepted syntactically but never matches: it is the
+        lost-update guard for writes, and honouring it on reads would
+        304 a resource that does not even exist.  Only counted as a
+        conditional request when the header is present at all.
+        """
+        tags = self._if_none_match()
+        if tags is None:
+            return False
+        opaque = _etag_opaque(etag)
+        hit = any(tag != "*" and _etag_opaque(tag) == opaque
+                  for tag in tags)
+        self.server.metrics.count_conditional(hit)
+        return hit
+
+    def _send_not_modified(self, etag: str) -> None:
+        """A 304: headers only, the peer's cached body stays valid."""
+        self.send_response(304)
+        self.send_header("ETag", etag)
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _repository_etag(self, *parts: str) -> str | None:
+        """An ETag bound to the service change token, or None.
+
+        Read the token BEFORE fetching what it validates: a write
+        landing in between leaves a stale token on fresh content —
+        one spurious revalidation later, never a false 304.
+        """
+        token = self.server.repository.change_token()
+        if token is None:
+            return None
+        return _make_etag(token, *parts)
+
+    # ------------------------------------------------------------------
     # GET handlers.
     # ------------------------------------------------------------------
 
@@ -306,8 +605,15 @@ class _Handler(BaseHTTPRequestHandler):
         requested = parse_qs(query_string).get("version")
         if requested:
             version = Version.parse(requested[0])
+        etag = self._repository_etag(
+            identifier, requested[0] if requested else "latest")
+        if etag is not None and self._precondition_hit(etag):
+            # The whole point of the conditional read: no fetch, no
+            # to_dict, no dumps — the validator alone answers.
+            self._send_not_modified(etag)
+            return
         entry = self.server.repository.get(identifier, version)
-        self._send_json(200, {"entry": entry.to_dict()})
+        self._send_json(200, {"entry": entry.to_dict()}, etag=etag)
 
     def _handle_versions(self, identifier: str,
                          query_string: str = "") -> None:
@@ -321,23 +627,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_stats(self, query_string: str = "") -> None:
         repository = self.server.repository
+        token = repository.change_token()
+        etag = _make_etag(token, "stats") if token is not None else None
+        if etag is not None and self._precondition_hit(etag):
+            self._send_not_modified(etag)
+            return
+        cache = repository.cache_stats()
+        cache["wire_memo"] = self.server.wire_memo.stats()
         self._send_json(
             200,
             {
                 "entry_count": repository.entry_count(),
                 "change_counter": repository.change_counter(),
-                "cache": repository.cache_stats(),
+                "change_token": token,
+                "cache": cache,
                 "render_cache": self.server.render_cache.cache_stats(),
+                "server": self.server.metrics.snapshot(),
             },
+            etag=etag,
         )
 
     def _handle_counter(self, query_string: str = "") -> None:
-        """The hot-path subset of /stats: two integers, no cache merge.
+        """The hot-path subset of /stats: the validators, no cache merge.
 
         ``entry_count()``/``change_counter()`` sit on index-staleness
-        and snapshot-stamping paths; serving them from /stats would
-        recompute the full (possibly composite-recursive) cache-stats
-        merge per call.
+        and snapshot-stamping paths, and ``change_token()`` is what the
+        remote client's ETag cache revalidates by; serving them from
+        /stats would recompute the full (possibly composite-recursive)
+        cache-stats merge per call.
         """
         repository = self.server.repository
         self._send_json(
@@ -345,12 +662,23 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "entry_count": repository.entry_count(),
                 "change_counter": repository.change_counter(),
+                "change_token": repository.change_token(),
             },
         )
 
     def _handle_wiki(self, identifier: str, query_string: str = "") -> None:
+        # The render cache's validator is deliberately finer than the
+        # service change token: it moves only when THIS identifier is
+        # written, so wiki ETags survive writes elsewhere in the
+        # corpus.  Validator before render — same race discipline as
+        # _repository_etag.
+        etag = _make_etag(
+            self.server.render_cache.validator(identifier), identifier)
+        if self._precondition_hit(etag):
+            self._send_not_modified(etag)
+            return
         page = self.server.render_cache.wiki_page(identifier)
-        self._send_text(200, page)
+        self._send_text(200, page, etag=etag)
 
     # ------------------------------------------------------------------
     # POST/PUT handlers.
@@ -382,8 +710,34 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_batch_get(self, query_string: str = "") -> None:
         body = self._read_body()
-        requests = []
-        for item in self._field(body, "requests", list):
+        requests = self._parse_get_requests(body)
+        if self._wants_ndjson():
+            self._stream_ndjson(self._entry_pages(requests))
+            return
+        entries = self.server.repository.get_many(requests)
+        self._send_json(
+            200, {"entries": [entry.to_dict() for entry in entries]}
+        )
+
+    def _handle_batch_versions(self, query_string: str = "") -> None:
+        body = self._read_body()
+        identifiers = self._field(body, "identifiers", list)
+        if not all(isinstance(item, str) for item in identifiers):
+            raise StorageError("batch identifiers must be strings")
+        if self._wants_ndjson():
+            self._stream_ndjson(self._version_pages(identifiers))
+            return
+        listing = self.server.repository.versions_many(identifiers)
+        self._send_json(
+            200,
+            {"versions": {identifier: [str(v) for v in versions]
+                          for identifier, versions in listing.items()}},
+        )
+
+    @staticmethod
+    def _parse_get_requests(body: dict) -> list[tuple[str, Version | None]]:
+        requests: list[tuple[str, Version | None]] = []
+        for item in _Handler._field(body, "requests", list):
             if isinstance(item, str):
                 requests.append((item, None))
                 continue
@@ -397,20 +751,138 @@ class _Handler(BaseHTTPRequestHandler):
                 (identifier,
                  Version.parse(version) if version is not None else None)
             )
-        entries = self.server.repository.get_many(requests)
-        self._send_json(
-            200, {"entries": [entry.to_dict() for entry in entries]}
-        )
+        return requests
 
-    def _handle_batch_versions(self, query_string: str = "") -> None:
-        body = self._read_body()
-        identifiers = self._field(body, "identifiers", list)
-        listing = self.server.repository.versions_many(identifiers)
-        self._send_json(
-            200,
-            {"versions": {identifier: [str(v) for v in versions]
-                          for identifier, versions in listing.items()}},
-        )
+    # ------------------------------------------------------------------
+    # Streaming batch reads (Accept: application/x-ndjson).
+    # ------------------------------------------------------------------
+
+    def _wants_ndjson(self) -> bool:
+        """Whether the client opted into the streamed NDJSON body."""
+        return NDJSON_TYPE in self.headers.get("Accept", "").lower()
+
+    def _entry_pages(self, requests):
+        """Wire lines for a batch get, one page of entries at a time.
+
+        Pages come straight out of ``get_many`` (one read-locked
+        service call per page, never the whole batch) and warm lines
+        come out of the server's :class:`EncodeMemo` without touching
+        the repository at all — keyed by the change token read *before*
+        the probe, so a racing write makes a memo line unfindable
+        rather than stale.
+        """
+        repository = self.server.repository
+        memo = self.server.wire_memo
+        for start in range(0, len(requests), STREAM_PAGE_SIZE):
+            page = requests[start:start + STREAM_PAGE_SIZE]
+            token = repository.change_token()
+            lines: list[str | None] = []
+            missing: list[tuple[int, tuple[str, Version | None]]] = []
+            for offset, (identifier, version) in enumerate(page):
+                version_key = str(version) if version is not None else None
+                line = (memo.get(identifier, version_key, token)
+                        if token is not None else None)
+                lines.append(line)
+                if line is None:
+                    missing.append((offset, (identifier, version)))
+            if missing:
+                fetched = repository.get_many(
+                    [request for _, request in missing])
+                for (offset, (identifier, version)), entry in zip(
+                        missing, fetched):
+                    line = encode_entry(entry)
+                    lines[offset] = line
+                    if token is not None:
+                        version_key = (str(version)
+                                       if version is not None else None)
+                        memo.put(identifier, version_key, token, line)
+            yield lines
+
+    def _version_pages(self, identifiers):
+        """Wire lines for a batch version listing, page by page."""
+        repository = self.server.repository
+        for start in range(0, len(identifiers), STREAM_PAGE_SIZE):
+            page = identifiers[start:start + STREAM_PAGE_SIZE]
+            listing = repository.versions_many(page)
+            yield [
+                json.dumps(
+                    {"identifier": identifier,
+                     "versions": [str(v) for v in listing[identifier]]},
+                    sort_keys=True)
+                for identifier in page
+            ]
+
+    def _stream_ndjson(self, pages) -> None:
+        """Send chunked NDJSON: data lines, then one ``_stream`` frame.
+
+        The first page is produced BEFORE the status line goes out, so
+        a bad request (unknown identifier, bad version) in page one
+        still gets its faithful 404/400 as an ordinary JSON error.  A
+        failure on a *later* page — the headers are long gone — becomes
+        an ``{"_stream": "error", ...}`` frame the client re-raises;
+        the happy path ends with ``{"_stream": "end", "count": n}``,
+        whose absence is how a truncated stream is detected.  Data
+        lines never start with ``{"_stream"`` (entry payloads start
+        with ``{"_codec"``, version lines with ``{"identifier"`` —
+        both JSON-sorted), so the client spots frames by prefix
+        without parsing cached lines.
+        """
+        iterator = iter(pages)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            first, iterator = [], iter(())
+        compress = self._negotiated_encoding == "gzip"
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON_TYPE)
+        if compress:
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        stream = _ChunkedStream(self.wfile, compress=compress)
+        count = 0
+        try:
+            page = first
+            while True:
+                if page:
+                    stream.write(
+                        "".join(line + "\n" for line in page))
+                    count += len(page)
+                try:
+                    page = next(iterator)
+                except StopIteration:
+                    break
+            stream.write(json.dumps(
+                {"_stream": "end", "count": count}, sort_keys=True) + "\n")
+            self._record_stream(stream, count, compress)
+            stream.close()
+        except (BrokenPipeError, ConnectionResetError):
+            # The peer hung up mid-stream; nothing left to tell it.
+            self.close_connection = True
+            return
+        except Exception as error:  # noqa: BLE001 - wire boundary
+            if _error_status(error) >= 500:
+                _log.exception("error while streaming %s", self.path)
+            frame = dict(_error_payload(error))
+            frame["_stream"] = "error"
+            try:
+                stream.write(json.dumps(frame, sort_keys=True) + "\n")
+                self._record_stream(stream, count, compress)
+                stream.close()
+            except OSError:
+                self.close_connection = True
+                return
+
+    def _record_stream(self, stream: _ChunkedStream, count: int,
+                       compress: bool) -> None:
+        """Count the stream BEFORE its terminating chunk goes out —
+        once the peer sees that chunk, a caller may read the metrics
+        snapshot, so the counters must already be settled."""
+        stream.finish()  # byte counters are final past the gzip trailer
+        self.server.metrics.count_stream(count)
+        if compress:
+            self.server.metrics.count_gzip(stream.raw_bytes,
+                                           stream.sent_bytes)
 
     def _handle_query(self, query_string: str = "") -> None:
         body = self._read_body()
@@ -450,6 +922,13 @@ class _Handler(BaseHTTPRequestHandler):
             raise StorageError(
                 "chunked request bodies are not supported; "
                 "send Content-Length")
+        coding = self.headers.get("Content-Encoding", "identity")
+        coding = coding.strip().lower() or "identity"
+        if coding not in ("identity", "gzip"):
+            # 415 before the body is read: _consume_body drains it.
+            raise _wire_error(
+                415, f"unsupported Content-Encoding {coding!r}; "
+                     "send identity or gzip")
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
@@ -468,6 +947,20 @@ class _Handler(BaseHTTPRequestHandler):
         self._body_consumed = True
         if not raw:
             raise StorageError("request body required")
+        if coding == "gzip":
+            # The size cap applies to the *decompressed* body too —
+            # max_length bounds the inflate so a gzip bomb cannot
+            # expand past the limit in memory.
+            inflater = zlib.decompressobj(16 + zlib.MAX_WBITS)
+            try:
+                raw = inflater.decompress(raw, self._MAX_BODY + 1)
+            except zlib.error as error:
+                raise StorageError(
+                    f"bad gzip request body: {error}") from error
+            if len(raw) > self._MAX_BODY:
+                raise StorageError(
+                    "request body exceeds the "
+                    f"{self._MAX_BODY}-byte limit after decompression")
         try:
             body = json.loads(raw)
         except ValueError as error:
@@ -487,18 +980,33 @@ class _Handler(BaseHTTPRequestHandler):
                 f"{kind.__name__}, got {type(value).__name__}")
         return value
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict, *,
+                   etag: str | None = None) -> None:
         encoded = json.dumps(payload).encode("utf-8")
-        self._send_bytes(status, encoded, "application/json")
+        self._send_bytes(status, encoded, "application/json", etag=etag)
 
-    def _send_text(self, status: int, text: str) -> None:
+    def _send_text(self, status: int, text: str, *,
+                   etag: str | None = None) -> None:
         self._send_bytes(status, text.encode("utf-8"),
-                         "text/plain; charset=utf-8")
+                         "text/plain; charset=utf-8", etag=etag)
 
-    def _send_bytes(self, status: int, body: bytes,
-                    content_type: str) -> None:
+    def _send_bytes(self, status: int, body: bytes, content_type: str,
+                    *, etag: str | None = None) -> None:
+        encoding = None
+        if (self._negotiated_encoding == "gzip"
+                and len(body) >= GZIP_MIN_BYTES):
+            # Below the threshold the gzip CPU costs more than the
+            # bytes it saves; above it, level 1 shrinks JSON ~4-5x.
+            raw_size = len(body)
+            body = gzip.compress(body, compresslevel=GZIP_LEVEL)
+            self.server.metrics.count_gzip(raw_size, len(body))
+            encoding = "gzip"
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if etag is not None:
+            self.send_header("ETag", etag)
+        if encoding is not None:
+            self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -550,6 +1058,15 @@ class RepositoryServer:
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._tracker = _RequestTracker()
+        #: Wire-economics counters (per-route, 304 hit rate, gzip
+        #: savings) — exposed under "server" in GET /stats, surviving
+        #: stop/start cycles like the tracker does.
+        self.metrics = _ServerMetrics()
+        #: Encoded wire lines for streamed batch reads, keyed by
+        #: (identifier, version, change token): a warm stream skips the
+        #: fetch, the to_dict and the dumps.  Token-keyed entries from
+        #: before a write simply age out of the LRU.
+        self.wire_memo = EncodeMemo()
         #: Wiki pages re-render only when their entry is written: the
         #: PR-4 event-driven cache serves GET /wiki/{id}.  Created by
         #: start(), not here — a cache subscribes to the service's
@@ -577,6 +1094,8 @@ class RepositoryServer:
         httpd.repository = self.service
         httpd.render_cache = self.render_cache
         httpd.request_tracker = self._tracker
+        httpd.metrics = self.metrics
+        httpd.wire_memo = self.wire_memo
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,

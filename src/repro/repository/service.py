@@ -35,6 +35,7 @@ service, though stacking them buys nothing.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -79,6 +80,7 @@ API_METHODS = (
     "add", "add_version", "replace_latest", "add_many",
     # queries
     "query", "execute_query", "query_stats", "change_counter",
+    "change_token",
     # introspection / lifecycle
     "cache_stats", "close",
 )
@@ -140,6 +142,8 @@ class RepositoryAPI(Protocol):
     def query_stats(self, terms: Sequence[str]) -> QueryStats: ...
 
     def change_counter(self) -> int | None: ...
+
+    def change_token(self) -> str | None: ...
 
     def cache_stats(self) -> dict[str, dict[str, int]]: ...
 
@@ -242,6 +246,12 @@ class RepositoryService(StorageBackend):
         #: snapshot instead of rebuilding — provided its stamped change
         #: counter still matches the backend — and ``close`` re-saves.
         self.index_path = Path(index_path) if index_path else None
+        #: The in-process half of :meth:`change_token`: a per-instance
+        #: epoch (so tokens from a previous process can never validate
+        #: against this one) plus a write sequence bumped under the
+        #: write lock on every write through the facade.
+        self._token_epoch = f"{time.time_ns():x}"
+        self._write_seq = 0
 
     # ------------------------------------------------------------------
     # Reads (cached; any number may run concurrently).
@@ -380,6 +390,11 @@ class RepositoryService(StorageBackend):
         # The write succeeded, so the entry is now the latest snapshot:
         # write it through both cache slots (stale values for the same
         # keys are overwritten, which is the cache-coherence guarantee).
+        # The token sequence bumps here too — under the write lock, so
+        # a reader can never observe the new entry under the old token
+        # (stale-token-fresh-entry is the safe direction: it costs one
+        # spurious revalidation, never a false 304).
+        self._write_seq += 1
         self._cache.put(_cache_key(entry.identifier, None), entry)
         self._cache.put(_cache_key(entry.identifier, entry.version), entry)
         event = RepositoryEvent(kind, entry)
@@ -431,6 +446,24 @@ class RepositoryService(StorageBackend):
     def change_counter(self) -> int | None:
         with self._rwlock.read_locked():
             return self.backend.change_counter()
+
+    def change_token(self) -> str:
+        """An opaque validator that changes on every write; never None.
+
+        The wire layer (ETags, the server's encode memo, the client's
+        validation cache) keys on this.  A backend with its own token —
+        a durable counter, or a remote server's validator — wins, so
+        foreign-process writes are visible; otherwise the facade's own
+        epoch + write sequence stands in, which covers every write that
+        can reach an in-process-only backend.  ``invalidate()`` (the
+        documented escape hatch for mutating such a backend behind the
+        facade) bumps the sequence too.
+        """
+        with self._rwlock.read_locked():
+            token = self.backend.change_token()
+            if token is not None:
+                return token
+            return f"e{self._token_epoch}.{self._write_seq}"
 
     # ------------------------------------------------------------------
     # Search (incremental; built on the event hooks).
@@ -561,8 +594,11 @@ class RepositoryService(StorageBackend):
 
         Only needed when the underlying backend is mutated behind the
         facade's back (e.g. another process wrote to the same file
-        store).
+        store).  Bumps the in-process token sequence for the same
+        reason: validators minted before the foreign mutation must stop
+        matching on backends with no durable counter of their own.
         """
+        self._write_seq += 1
         if identifier is None:
             self._cache.clear()
         else:

@@ -19,6 +19,8 @@ from repro.repository.backends import FileBackend, SQLiteBackend
 from repro.repository.codec import (
     CODEC_VERSION,
     DecodeMemo,
+    EncodeMemo,
+    LineMemo,
     decode_entry,
     encode_entry,
 )
@@ -88,6 +90,47 @@ class TestDecodeMemo:
         memo.put("a", "0.1", 1, minimal_entry())
         assert memo.get("a", "0.1", 1) is None
         assert len(memo) == 0
+
+
+class TestWireMemos:
+    """The wire-speed twins: EncodeMemo (server), LineMemo (client)."""
+
+    def test_encode_memo_hit_requires_matching_token(self):
+        memo = EncodeMemo()
+        line = encode_entry(minimal_entry())
+        memo.put("demo-example", None, "e1.4", line)
+        assert memo.get("demo-example", None, "e1.4") == line
+        assert memo.get("demo-example", None, "e1.5") is None  # a write
+        assert memo.get("demo-example", "0.1", "e1.4") is None
+        assert memo.stats()["hits"] == 1
+        assert memo.stats()["misses"] == 2
+
+    def test_encode_memo_latest_and_pinned_are_distinct_slots(self):
+        memo = EncodeMemo()
+        memo.put("a", None, "t", "latest-line")
+        memo.put("a", "0.1", "t", "pinned-line")
+        assert memo.get("a", None, "t") == "latest-line"
+        assert memo.get("a", "0.1", "t") == "pinned-line"
+
+    def test_line_memo_keys_by_exact_bytes(self):
+        memo = LineMemo()
+        entry = minimal_entry()
+        line = encode_entry(entry).encode("utf-8")
+        memo.put(line, entry)
+        assert memo.get(line) is entry
+        # A changed entry arrives as DIFFERENT bytes — never a stale hit.
+        assert memo.get(line + b" ") is None
+
+    def test_line_memo_lru_bound(self):
+        memo = LineMemo(maxsize=2)
+        entry = minimal_entry()
+        memo.put(b"a", entry)
+        memo.put(b"b", entry)
+        memo.get(b"a")
+        memo.put(b"c", entry)  # evicts b (least recent)
+        assert memo.get(b"b") is None
+        assert memo.get(b"a") is entry
+        assert memo.stats()["evictions"] == 1
 
 
 class TestBackendsThroughTheCodec:

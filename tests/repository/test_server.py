@@ -9,7 +9,10 @@ endpoint, concurrent handler threads, and lifecycle.
 
 from __future__ import annotations
 
+import gzip
+import http.client
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -20,7 +23,8 @@ from repro.core.errors import EntryNotFound, StorageError
 from repro.repository.aservice import AsyncRepositoryService
 from repro.repository.backends import MemoryBackend
 from repro.repository.client import HTTPBackend
-from repro.repository.server import RepositoryServer
+from repro.repository.codec import encode_entry
+from repro.repository.server import STREAM_PAGE_SIZE, RepositoryServer
 from repro.repository.service import RepositoryService
 from repro.repository.versioning import Version
 from tests.repository.test_entry import minimal_entry
@@ -169,9 +173,16 @@ class TestRouting:
         server, client = served
         client.add_many(entry_batch(3))
         payload = json.loads(fetch(server.url + "/counter")[2])
-        assert payload == {"entry_count": 3, "change_counter": None}
+        assert set(payload) == {"entry_count", "change_counter",
+                                "change_token"}
+        assert payload["entry_count"] == 3
+        assert payload["change_counter"] is None  # memory backend
+        # ...but the service overlays its epoch+sequence token, so the
+        # wire always has a validator.
+        assert isinstance(payload["change_token"], str)
         assert client.entry_count() == 3
         assert client.change_counter() is None
+        assert client.change_token() == payload["change_token"]
 
     def test_get_with_explicit_version(self, served):
         _server, client = served
@@ -478,3 +489,526 @@ class TestLifecycle:
     def test_client_rejects_non_http_urls(self):
         with pytest.raises(StorageError, match="http://"):
             HTTPBackend("ftp://example.org")
+
+
+def raw_get(port: int, path: str, **headers):
+    """One GET over a dedicated connection, headers fully controlled."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", path, headers=headers)
+        response = connection.getresponse()
+        return response.status, dict(response.headers), response.read()
+    finally:
+        connection.close()
+
+
+class TestConditionalReads:
+    def test_200_carries_a_weak_etag(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        status, headers, _body = raw_get(server.port,
+                                         "/entries/demo-example")
+        assert status == 200
+        assert headers["ETag"].startswith('W/"')
+
+    def test_if_none_match_answers_304_with_no_body(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        _status, headers, body = raw_get(server.port,
+                                         "/entries/demo-example")
+        status, revalidated, nothing = raw_get(
+            server.port, "/entries/demo-example",
+            **{"If-None-Match": headers["ETag"]})
+        assert status == 304
+        assert nothing == b""
+        assert revalidated["ETag"] == headers["ETag"]
+        assert len(body) > 0  # the 200 did carry the entry
+
+    def test_a_write_anywhere_moves_the_entry_etag(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        _s, before, _b = raw_get(server.port, "/entries/entry-0")
+        client.replace_latest(minimal_entry(title="ENTRY 1",
+                                            overview="Patched."))
+        status, after, _b = raw_get(
+            server.port, "/entries/entry-0",
+            **{"If-None-Match": before["ETag"]})
+        # The service-token ETag is deliberately coarse: ANY write
+        # moves it, so revalidation misses and a fresh 200 arrives.
+        assert status == 200
+        assert after["ETag"] != before["ETag"]
+
+    def test_wiki_etag_survives_writes_elsewhere(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        _s, before, _b = raw_get(server.port, "/wiki/entry-0")
+        client.replace_latest(minimal_entry(title="ENTRY 1",
+                                            overview="Patched."))
+        status, after, _b = raw_get(
+            server.port, "/wiki/entry-0",
+            **{"If-None-Match": before["ETag"]})
+        # Finer than the service token: entry-1's write leaves
+        # entry-0's page revalidatable.
+        assert status == 304
+        assert after["ETag"] == before["ETag"]
+
+    def test_wiki_etag_moves_with_its_own_entry(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        _s, before, _b = raw_get(server.port, "/wiki/entry-0")
+        client.replace_latest(minimal_entry(title="ENTRY 0",
+                                            overview="Patched."))
+        status, _after, body = raw_get(
+            server.port, "/wiki/entry-0",
+            **{"If-None-Match": before["ETag"]})
+        assert status == 200
+        assert "Patched." in body.decode("utf-8")
+
+    def test_versioned_and_latest_etags_are_distinct(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        _s, latest, _b = raw_get(server.port, "/entries/demo-example")
+        _s, pinned, _b = raw_get(server.port,
+                                 "/entries/demo-example?version=0.1")
+        assert latest["ETag"] != pinned["ETag"]
+
+    def test_stats_is_conditional_too(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        _s, headers, _b = raw_get(server.port, "/stats")
+        status, _h, _b = raw_get(server.port, "/stats",
+                                 **{"If-None-Match": headers["ETag"]})
+        assert status == 304
+
+    def test_client_serves_304_hits_from_its_validation_cache(
+            self, served):
+        server, client = served
+        client.add(minimal_entry())
+        first = client.get("demo-example")
+        second = client.get("demo-example")
+        # Same immutable snapshot object: the 304 answered from cache.
+        assert second is first
+        assert client.wire_cache_stats()["validation"]["hits"] == 1
+        metrics = server.metrics.snapshot()
+        assert metrics["conditional"]["not_modified"] == 1
+        assert metrics["conditional"]["hit_rate"] == 1.0
+
+    def test_client_revalidation_miss_fetches_fresh_content(self, served):
+        _server, client = served
+        client.add(minimal_entry())
+        client.get("demo-example")
+        client.replace_latest(minimal_entry(overview="Patched."))
+        assert client.get("demo-example").overview == "Patched."
+
+    def test_malformed_if_none_match_is_a_400(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        for bad in ("not-quoted", 'W/"ok", ???', '"unterminated'):
+            status, _h, body = raw_get(server.port,
+                                       "/entries/demo-example",
+                                       **{"If-None-Match": bad})
+            detail = json.loads(body)["error"]
+            assert status == 400, bad
+            assert detail["type"] == "StorageError"
+            assert "If-None-Match" in detail["message"]
+
+
+class TestCompression:
+    def test_large_response_is_gzipped_when_accepted(self, served):
+        server, client = served
+        client.add(minimal_entry(overview="tok " * 2000))
+        status, headers, body = raw_get(server.port,
+                                        "/entries/demo-example",
+                                        **{"Accept-Encoding": "gzip"})
+        assert status == 200
+        assert headers.get("Content-Encoding") == "gzip"
+        payload = json.loads(gzip.decompress(body))
+        assert payload["entry"]["overview"].startswith("tok ")
+
+    def test_small_response_stays_identity(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        _s, headers, body = raw_get(server.port, "/entries/demo-example/has",
+                                    **{"Accept-Encoding": "gzip"})
+        assert "Content-Encoding" not in headers
+        assert json.loads(body) == {"has": True}
+
+    def test_no_accept_encoding_means_identity(self, served):
+        server, client = served
+        client.add(minimal_entry(overview="tok " * 2000))
+        _s, headers, body = raw_get(server.port, "/entries/demo-example")
+        assert "Content-Encoding" not in headers
+        json.loads(body)  # plain JSON, not gzip bytes
+
+    def test_client_inflates_transparently(self, served):
+        _server, client = served
+        big = minimal_entry(overview="tok " * 2000)
+        client.add(big)
+        assert client.get("demo-example") == big
+
+    def test_unacceptable_accept_encoding_is_a_406(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        status, _h, body = raw_get(
+            server.port, "/entries/demo-example",
+            **{"Accept-Encoding": "identity;q=0, *;q=0"})
+        detail = json.loads(body)["error"]
+        assert status == 406
+        assert detail["type"] == "StorageError"
+        assert "Accept-Encoding" in detail["message"]
+
+    def test_unknown_codings_are_ignored_not_406(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        status, _h, _b = raw_get(server.port, "/entries/demo-example",
+                                 **{"Accept-Encoding": "br, deflate"})
+        assert status == 200
+
+    def test_unknown_content_encoding_is_a_415(self, served):
+        server, _client = served
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{}",
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "br"},
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 415
+        detail = json.loads(caught.value.read())["error"]
+        assert "Content-Encoding" in detail["message"]
+
+    def test_gzipped_request_body_is_accepted(self, served):
+        server, client = served
+        entry = minimal_entry()
+        raw = json.dumps({"entry": entry.to_dict()}).encode("utf-8")
+        request = urllib.request.Request(
+            server.url + "/entries", data=gzip.compress(raw),
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "gzip"},
+            method="POST")
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 201
+        assert client.get("demo-example") == entry
+
+    def test_corrupt_gzip_request_body_is_a_400(self, served):
+        server, _client = served
+        request = urllib.request.Request(
+            server.url + "/query", data=b"\x1f\x8bnot really gzip",
+            headers={"Content-Type": "application/json",
+                     "Content-Encoding": "gzip"},
+            method="POST")
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request)
+        assert caught.value.code == 400
+        assert "gzip" in json.loads(caught.value.read())["error"]["message"]
+
+    def test_client_gzips_large_request_bodies(self, served):
+        """A bulk load whose JSON crosses the threshold travels
+        compressed — observable as a round-trip that still works plus
+        the server's gzip-request tolerance (no 415, same entries)."""
+        _server, client = served
+        batch = [minimal_entry(title=f"ENTRY {index}",
+                               overview="tok " * 200)
+                 for index in range(20)]
+        assert client.add_many(batch) == 20
+        assert client.entry_count() == 20
+
+
+class TestStreamingBatches:
+    def test_get_many_streams_and_matches_buffered(self, served):
+        server, client = served
+        client.add_many(entry_batch(10))
+        requests = [f"entry-{index}" for index in range(10)]
+        streamed = client.get_many(requests)
+        buffered_client = HTTPBackend(server.url, stream_batches=False)
+        assert buffered_client.get_many(requests) == streamed
+        buffered_client.close()
+        metrics = server.metrics.snapshot()
+        assert metrics["stream"]["responses"] == 1
+        assert metrics["stream"]["lines"] == 10
+
+    def test_multi_page_stream(self, served):
+        server, client = served
+        count = STREAM_PAGE_SIZE + 20
+        client.add_many(entry_batch(count))
+        requests = [f"entry-{index}" for index in range(count)]
+        entries = client.get_many(requests)
+        assert [entry.title for entry in entries] == \
+            [f"ENTRY {index}" for index in range(count)]
+        assert server.metrics.snapshot()["stream"]["lines"] == count
+
+    def test_iter_many_yields_incrementally(self, served):
+        _server, client = served
+        client.add_many(entry_batch(5))
+        iterator = client.iter_many([f"entry-{i}" for i in range(5)])
+        assert next(iterator).identifier == "entry-0"
+        assert [entry.identifier for entry in iterator] == \
+            [f"entry-{i}" for i in range(1, 5)]
+
+    def test_abandoned_iterator_does_not_poison_the_connection(
+            self, served):
+        _server, client = served
+        client.add_many(entry_batch(4))
+        iterator = client.iter_many([f"entry-{i}" for i in range(4)])
+        next(iterator)
+        iterator.close()  # mid-stream: the connection is dropped...
+        assert client.entry_count() == 4  # ...and the next call works
+
+    def test_versions_many_streams(self, served):
+        server, client = served
+        client.add_many(entry_batch(3))
+        client.add_version(minimal_entry(title="ENTRY 0",
+                                         version=Version(0, 2)))
+        listing = client.versions_many(["entry-0", "entry-1", "entry-2"])
+        assert listing["entry-0"] == [Version(0, 1), Version(0, 2)]
+        assert listing["entry-1"] == [Version(0, 1)]
+        assert server.metrics.snapshot()["stream"]["responses"] >= 1
+
+    def test_error_in_the_first_page_is_an_ordinary_status(self, served):
+        _server, client = served
+        client.add_many(entry_batch(2))
+        with pytest.raises(EntryNotFound) as caught:
+            client.get_many(["entry-0", "ghost"])
+        assert caught.value.identifier == "ghost"
+        assert client.entry_count() == 2  # connection still in sync
+
+    def test_error_on_a_later_page_arrives_as_a_frame(self, served):
+        """Once the 200 and the first chunks are on the wire, a failure
+        can only travel in-band: the client must re-raise it as the
+        same exception class after consuming the good prefix."""
+        _server, client = served
+        count = STREAM_PAGE_SIZE + 5
+        client.add_many(entry_batch(count))
+        requests = [f"entry-{index}" for index in range(count)]
+        requests[STREAM_PAGE_SIZE + 2] = "ghost"  # page two fails
+        received = []
+        with pytest.raises(EntryNotFound) as caught:
+            for entry in client.iter_many(requests):
+                received.append(entry)
+        assert caught.value.identifier == "ghost"
+        assert len(received) == STREAM_PAGE_SIZE  # page one arrived whole
+        assert client.entry_count() == count  # stream stayed framed
+
+    def test_warm_streams_hit_the_wire_memos(self, served):
+        server, client = served
+        client.add_many(entry_batch(8))
+        requests = [f"entry-{index}" for index in range(8)]
+        client.get_many(requests)
+        cold_server = server.wire_memo.stats()
+        client.get_many(requests)
+        warm_server = server.wire_memo.stats()
+        # Second pass: every line from the encode memo (no fetch, no
+        # dumps) on the server, every entry from the line memo (no
+        # loads, no from_dict) on the client.
+        assert warm_server["hits"] == cold_server["hits"] + 8
+        assert client.wire_cache_stats()["line_memo"]["hits"] == 8
+
+    def test_a_write_orphans_the_wire_memo_lines(self, served):
+        server, client = served
+        client.add_many(entry_batch(2))
+        client.get_many(["entry-0", "entry-1"])
+        client.replace_latest(minimal_entry(title="ENTRY 0",
+                                            overview="Patched."))
+        entries = client.get_many(["entry-0", "entry-1"])
+        assert entries[0].overview == "Patched."
+        # The token moved, so the warm lines were unfindable.
+        assert server.wire_memo.stats()["hits"] == 0
+
+    def test_streamed_bodies_gzip_end_to_end(self, served):
+        """The NDJSON stream negotiates gzip like sized bodies do, and
+        the incremental inflater still yields per-page lines."""
+        server, client = served
+        client.add_many([minimal_entry(title=f"ENTRY {i}",
+                                       overview="tok " * 300)
+                         for i in range(6)])
+        entries = client.get_many([f"entry-{i}" for i in range(6)])
+        assert len(entries) == 6
+        metrics = server.metrics.snapshot()
+        assert metrics["gzip"]["responses"] >= 1
+        assert metrics["gzip"]["bytes_saved_ratio"] > 0.5
+
+
+def read_scripted_request(rfile):
+    """Parse one HTTP request off a raw socket file."""
+    request_line = rfile.readline()
+    headers = {}
+    while True:
+        line = rfile.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    body = rfile.read(length) if length else b""
+    return request_line.decode("latin-1"), headers, body
+
+
+class ScriptedServer:
+    """A raw socket peer speaking just enough HTTP for one scenario.
+
+    Each handler in ``scripts`` gets one accepted connection (after its
+    request has been read) and decides how to misbehave: close without
+    answering, truncate a stream, or answer properly.  This is how the
+    client's failure handling is pinned deterministically — a real
+    server cannot be told to die at an exact protocol position.
+    """
+
+    def __init__(self, *scripts):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.url = f"http://127.0.0.1:{self.port}"
+        self.requests = []
+        self._scripts = list(scripts)
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for script in self._scripts:
+            try:
+                connection, _ = self.sock.accept()
+            except OSError:  # closed while waiting
+                return
+            with connection:
+                rfile = connection.makefile("rb")
+                self.requests.append(read_scripted_request(rfile))
+                script(connection)
+                rfile.close()
+
+    def close(self):
+        self.sock.close()
+        self._thread.join(timeout=5)
+
+
+def scripted_response(connection, body: bytes, status: str = "200 OK",
+                      content_type: str = "application/json"):
+    connection.sendall(
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n".encode("latin-1") + body)
+
+
+def chunk(data: bytes) -> bytes:
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
+def ndjson_head() -> bytes:
+    return (b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n")
+
+
+class TestRetryOnStaleSocket:
+    def test_write_retries_once_when_the_server_kills_the_socket(self):
+        """The stale keep-alive signature: the server reads the whole
+        request, then closes without a byte of response.  The send
+        succeeded, so only the RemoteDisconnected response-phase retry
+        can save the write — without it this add() dies with 'no
+        response' even though the request was never processed."""
+        def kill_after_reading(connection):
+            pass  # the with-block closes the socket: FIN, no response
+
+        def answer(connection):
+            scripted_response(connection,
+                              b'{"identifier": "demo-example"}',
+                              status="201 Created")
+
+        fake = ScriptedServer(kill_after_reading, answer)
+        client = HTTPBackend(fake.url)
+        try:
+            client.add(minimal_entry())  # a WRITE, not a GET
+        finally:
+            client.close()
+            fake.close()
+        assert len(fake.requests) == 2  # one kill, one retry
+        first, second = fake.requests
+        assert first[0] == second[0]  # the same request, resent
+        assert first[2] == second[2]
+
+    def test_mid_stream_truncation_raises_a_storage_error(self):
+        """An abrupt close inside the chunked NDJSON body (no end
+        frame, no terminator) must surface as StorageError, not hang
+        or silently yield a short result."""
+        line = encode_entry(minimal_entry()).encode("utf-8")
+
+        def truncate_mid_stream(connection):
+            connection.sendall(ndjson_head() + chunk(line + b"\n"))
+            # ...and vanish: no further chunks, no zero terminator.
+
+        fake = ScriptedServer(truncate_mid_stream)
+        client = HTTPBackend(fake.url)
+        try:
+            with pytest.raises(StorageError, match="mid-stream"):
+                client.get_many(["demo-example", "other"])
+        finally:
+            client.close()
+            fake.close()
+
+    def test_missing_end_frame_raises_a_storage_error(self):
+        """A well-formed chunked body that simply never sends the end
+        frame is truncation too — the count handshake is what makes
+        silent partial results impossible."""
+        line = encode_entry(minimal_entry()).encode("utf-8")
+
+        def finish_without_end_frame(connection):
+            connection.sendall(ndjson_head() + chunk(line + b"\n")
+                               + b"0\r\n\r\n")
+
+        fake = ScriptedServer(finish_without_end_frame)
+        client = HTTPBackend(fake.url)
+        try:
+            with pytest.raises(StorageError, match="without an end frame"):
+                client.get_many(["demo-example", "other"])
+        finally:
+            client.close()
+            fake.close()
+
+    def test_end_frame_count_mismatch_raises(self):
+        line = encode_entry(minimal_entry()).encode("utf-8")
+
+        def lie_about_the_count(connection):
+            frame = b'{"_stream": "end", "count": 5}\n'
+            connection.sendall(ndjson_head() + chunk(line + b"\n")
+                               + chunk(frame) + b"0\r\n\r\n")
+
+        fake = ScriptedServer(lie_about_the_count)
+        client = HTTPBackend(fake.url)
+        try:
+            with pytest.raises(StorageError, match="dropped lines"):
+                client.get_many(["demo-example"])
+        finally:
+            client.close()
+            fake.close()
+
+
+class TestObservability:
+    def test_stats_exposes_route_counters_and_wire_ratios(self, served):
+        server, client = served
+        client.add(minimal_entry(overview="tok " * 2000))
+        client.get("demo-example")   # 200, gzipped (large), cached
+        client.get("demo-example")   # revalidated: 304
+        client.get_many(["demo-example"])  # one streamed batch
+        payload = json.loads(fetch(server.url + "/stats")[2])
+        section = payload["server"]
+        assert section["requests"]["POST add"] == 1
+        assert section["requests"]["GET get_entry"] == 2
+        assert section["requests"]["POST batch_get"] == 1
+        assert section["conditional"] == {
+            "requests": 1, "not_modified": 1, "hit_rate": 1.0}
+        assert section["gzip"]["responses"] >= 1
+        assert 0 < section["gzip"]["bytes_saved_ratio"] < 1
+        assert section["stream"] == {"responses": 1, "lines": 1}
+
+    def test_stats_carries_the_change_token_and_wire_memo(self, served):
+        server, client = served
+        client.add(minimal_entry())
+        payload = json.loads(fetch(server.url + "/stats")[2])
+        assert isinstance(payload["change_token"], str)
+        assert "wire_memo" in payload["cache"]
+
+    def test_unrouted_requests_are_counted(self, served):
+        server, _client = served
+        fetch(server.url + "/nope")
+        assert server.metrics.snapshot()["requests"]["unrouted"] == 1

@@ -54,6 +54,50 @@ class TestFacadeBasics:
         assert service.versions("demo-example") == [Version(0, 1)]
 
 
+class TestChangeToken:
+    """The wire validator: never None on a service, moves per write."""
+
+    def test_every_backend_has_a_token_through_the_facade(self, service):
+        token = service.change_token()
+        assert isinstance(token, str) and token
+
+    def test_token_moves_on_every_write_kind(self, service):
+        seen = {service.change_token()}
+        service.add(minimal_entry())
+        seen.add(service.change_token())
+        service.add_version(minimal_entry(version=Version(0, 2)))
+        seen.add(service.change_token())
+        service.replace_latest(
+            minimal_entry(version=Version(0, 2), overview="Patched."))
+        seen.add(service.change_token())
+        assert len(seen) == 4  # all distinct
+
+    def test_token_stable_across_reads(self, service):
+        service.add(minimal_entry())
+        token = service.change_token()
+        service.get("demo-example")
+        service.identifiers()
+        assert service.change_token() == token
+
+    def test_durable_counter_wins_when_available(self, service):
+        """Backends with a persisted counter expose it as ``c<n>`` —
+        so a foreign process's writes are visible in the token; the
+        epoch+sequence overlay only covers counterless backends."""
+        service.add(minimal_entry())
+        counter = service.change_counter()
+        token = service.change_token()
+        if counter is not None:
+            assert token == f"c{counter}"
+        else:
+            assert token.startswith("e")
+
+    def test_invalidate_moves_the_overlay_token(self):
+        service = RepositoryService(MemoryBackend())
+        token = service.change_token()
+        service.invalidate()
+        assert service.change_token() != token
+
+
 class TestCache:
     def test_repeated_get_hits_cache(self, service):
         service.invalidate()
