@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -33,6 +34,18 @@ def default_out(label: str) -> Path:
     return REPO_ROOT / f"BENCH_{label}.json"
 
 
+def is_committed(path: Path) -> bool:
+    """True when ``path`` is tracked by git (i.e. a committed history
+    point, not a scratch file from a local run)."""
+    try:
+        result = subprocess.run(
+            ["git", "ls-files", "--error-unmatch", path.name],
+            cwd=path.parent, capture_output=True, timeout=30)
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return result.returncode == 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("raw", type=Path,
@@ -41,11 +54,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="trajectory point name, e.g. PR7")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default <repo>/BENCH_<label>.json)")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite an existing committed trajectory "
+                             "point (without this, a label collision with "
+                             "a git-tracked BENCH file is an error)")
     arguments = parser.parse_args(argv)
 
     raw = json.loads(arguments.raw.read_text())
     trend = normalise_benchmark_json(raw, label=arguments.label)
     out = arguments.out or default_out(arguments.label)
+    if out.exists() and not arguments.force and is_committed(out):
+        # A committed trajectory point is history: silently replacing
+        # it rewrites a past PR's measurements.  Uncommitted files are
+        # scratch from a previous local run and fair game.
+        print(f"refusing to overwrite committed trajectory point {out} "
+              f"(label {arguments.label} is already claimed); "
+              f"pick a new --label or pass --force", file=sys.stderr)
+        return 1
     out.write_text(json.dumps(trend, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out} ({trend['benchmark_count']} benchmarks, "
           f"label {trend['label']})")

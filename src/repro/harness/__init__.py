@@ -9,22 +9,42 @@ from repro.harness.generators import (
     scaled_names,
 )
 from repro.harness.metrics import (
+    LatencyRecorder,
     RestorationReport,
     Timer,
     bwd_change_size,
     fwd_change_size,
+    percentile,
     restoration_report,
     time_callable,
 )
-from repro.harness.reporting import claims_table, law_report_table, text_table
+from repro.harness.reporting import (
+    claims_table,
+    law_report_table,
+    soak_report_table,
+    text_table,
+)
+
+# ``repro.harness.soak`` is deliberately NOT imported here: it pulls in
+# the whole repository/serving stack, and the harness package should
+# stay importable by lightweight benchmark collection.  Reach it as
+# ``from repro.harness.soak import SoakRunner, build_soak_stack``.
 from repro.harness.workloads import (
     DEFAULT_SIZES,
+    CorpusSpec,
     SyncResult,
     Workload,
+    ZipfPool,
     composers_bwd_workload,
     composers_edit_workload,
     composers_fwd_workload,
+    corpus_author_pool,
+    corpus_digest,
+    corpus_entries,
+    corpus_entry,
     run_sync_workload,
+    zipfian_identifiers,
+    zipfian_indices,
 )
 
 __all__ = [
@@ -32,8 +52,12 @@ __all__ = [
     "consistent_composer_pair", "random_pair_edit_script", "scaled_names",
     "Timer", "time_callable", "fwd_change_size", "bwd_change_size",
     "restoration_report", "RestorationReport",
-    "text_table", "law_report_table", "claims_table",
+    "percentile", "LatencyRecorder",
+    "text_table", "law_report_table", "claims_table", "soak_report_table",
     "Workload", "SyncResult", "DEFAULT_SIZES",
     "composers_fwd_workload", "composers_bwd_workload",
     "composers_edit_workload", "run_sync_workload",
+    "zipfian_indices", "zipfian_identifiers",
+    "CorpusSpec", "ZipfPool", "corpus_entry", "corpus_entries",
+    "corpus_digest", "corpus_author_pool",
 ]

@@ -20,6 +20,8 @@ __all__ = [
     "fwd_change_size",
     "bwd_change_size",
     "restoration_report",
+    "percentile",
+    "LatencyRecorder",
 ]
 
 
@@ -45,6 +47,59 @@ def time_callable(operation: Callable[[], Any],
             result = operation()
         best = min(best, timer.elapsed)
     return best, result
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Soak reports quote p50/p99 latencies through this; an empty sample
+    answers 0.0 so a report over a fault-only window still renders.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class LatencyRecorder:
+    """Per-operation latency samples with percentile summaries.
+
+    One instance per operation class (``get``, ``query``, ``write``);
+    the soak runner records seconds per successful operation and the
+    report distils p50/p99 + throughput from the samples.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def p50(self) -> float:
+        return percentile(self.samples, 50.0)
+
+    def p99(self) -> float:
+        return percentile(self.samples, 99.0)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "p50_ms": self.p50() * 1e3,
+            "p99_ms": self.p99() * 1e3,
+        }
 
 
 def fwd_change_size(before: tuple, after: tuple) -> int:

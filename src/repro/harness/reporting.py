@@ -23,6 +23,7 @@ __all__ = [
     "law_report_table",
     "claims_table",
     "normalise_benchmark_json",
+    "soak_report_table",
 ]
 
 #: The per-benchmark stats worth tracking across PRs (seconds, except
@@ -95,6 +96,36 @@ def law_report_table(reports: Iterable[CheckReport]) -> str:
                          "exhaustive" if result.exhaustive
                          else f"{result.trials} trials"))
     return text_table(("subject", "law", "status", "mode"), rows)
+
+
+def soak_report_table(report: Any) -> str:
+    """Human-readable digest of one soak run (a ``SoakReport``).
+
+    Typed loosely to keep this module free of a harness→soak import
+    cycle; anything with the ``SoakReport`` shape renders.  The same
+    numbers travel machine-readably via ``SoakReport.extra_info()`` on
+    the benchmark row, so this table is for logs and eyeballs only.
+    """
+    summary = text_table(
+        ("stack", "seconds", "ops", "ops/s", "faults", "checks",
+         "violations"),
+        [(report.stack, f"{report.seconds:.1f}", report.ops_total,
+          f"{report.throughput_ops:.0f}", len(report.faults),
+          report.invariant_checks, len(report.violations))])
+    latency = text_table(
+        ("op", "count", "p50", "p99"),
+        [(name, int(stats["count"]), f"{stats['p50_ms']:.2f} ms",
+          f"{stats['p99_ms']:.2f} ms")
+         for name, stats in sorted(report.latencies.items())])
+    blocks = [summary, "", latency]
+    if report.faults:
+        blocks += ["", text_table(
+            ("fault", "at", "recovery", "fired", "details"),
+            [record.row() for record in report.faults])]
+    if report.violations:
+        blocks += ["", "violations:"]
+        blocks += [f"  - {violation}" for violation in report.violations]
+    return "\n".join(blocks)
 
 
 def claims_table(report: CheckReport) -> str:

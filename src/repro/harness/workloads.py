@@ -1,4 +1,5 @@
-"""Benchmark workloads: named, parameterised synchronisation scenarios.
+"""Benchmark workloads: named scenarios, access patterns, and a corpus
+factory.
 
 A :class:`Workload` packages what a benchmark row needs: build the
 starting state, perturb it, and name the operation under test.  The
@@ -10,15 +11,26 @@ repository reads are not uniform (a few canonical examples are fetched
 constantly, the long tail rarely), so :func:`zipfian_indices` /
 :func:`zipfian_identifiers` generate deterministic rank-skewed request
 streams for cache-sizing and shard-sweep rows.
+
+Soak runs (:mod:`repro.harness.soak`) need a corpus, not just a stream:
+:class:`CorpusSpec` + :func:`corpus_entries` form the **corpus factory**
+— 100k+ synthetic bx example entries with realistic Zipf skew over
+entry types, claimed properties and authors (a few canonical types and
+prolific contributors dominate, with a long tail), generated
+deterministically from a seed.  Every entry is addressable by index
+(:func:`corpus_entry`), so two processes given the same spec produce
+byte-identical corpora (:func:`corpus_digest` proves it) and a failing
+soak run is reproducible from ``(seed, index)`` alone.
 """
 
 from __future__ import annotations
 
 import bisect
+import hashlib
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.catalogue.composers import composers_bx
 from repro.core.bx import Bx
@@ -26,6 +38,15 @@ from repro.harness.generators import (
     consistent_composer_pair,
     random_pair_edit_script,
 )
+from repro.repository.entry import (
+    ExampleEntry,
+    ModelDescription,
+    PropertyClaim,
+    Reference,
+    RestorationSpec,
+)
+from repro.repository.template import EntryType
+from repro.repository.versioning import Version
 
 __all__ = [
     "Workload",
@@ -37,6 +58,14 @@ __all__ = [
     "zipfian_indices",
     "zipfian_identifiers",
     "DEFAULT_SIZES",
+    "CorpusSpec",
+    "ZipfPool",
+    "corpus_entry",
+    "corpus_entries",
+    "corpus_digest",
+    "corpus_author_pool",
+    "CORPUS_TYPE_RANKS",
+    "CORPUS_PROPERTY_RANKS",
 ]
 
 #: Model sizes for scaling rows (E14).
@@ -171,3 +200,189 @@ def run_sync_workload(workload: Workload,
         raise AssertionError(
             f"workload {workload.name} post-condition failed: {result!r}")
     return result
+
+
+# ----------------------------------------------------------------------
+# The corpus factory: 100k+ synthetic entries, Zipf-skewed, seeded.
+# ----------------------------------------------------------------------
+
+class ZipfPool:
+    """A fixed pool sampled with Zipf-skewed probability by rank.
+
+    The pool's order defines hotness: item 0 (rank 1) is drawn with
+    probability proportional to ``1 / 1**skew``, item 1 with
+    ``1 / 2**skew``, and so on.  ``pick`` draws one item, ``sample``
+    draws ``k`` distinct ones — both from a caller-supplied
+    ``random.Random``, so the pool itself is stateless and shareable.
+    """
+
+    def __init__(self, items: Sequence[Any], *, skew: float = 1.1) -> None:
+        self.items: tuple[Any, ...] = tuple(items)
+        if not self.items:
+            raise ValueError("a ZipfPool needs at least one item")
+        self.skew = skew
+        weights = (1.0 / (rank ** skew)
+                   for rank in range(1, len(self.items) + 1))
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def pick(self, rng: random.Random) -> Any:
+        return self.items[bisect.bisect_left(self._cumulative,
+                                             rng.random() * self._total)]
+
+    def sample(self, rng: random.Random, k: int) -> list[Any]:
+        """``k`` distinct Zipf-weighted picks (k capped at the pool size)."""
+        k = min(k, len(self.items))
+        chosen: list[Any] = []
+        while len(chosen) < k:
+            item = self.pick(rng)
+            if item not in chosen:
+                chosen.append(item)
+        return chosen
+
+
+#: Entry types by corpus hotness rank: most curated collections are
+#: dominated by worked-out PRECISE examples, with sketches next and the
+#: industrial/benchmark tail rare (§2's classes, skewed as a real
+#: repository would be).
+CORPUS_TYPE_RANKS: tuple[EntryType, ...] = (
+    EntryType.PRECISE, EntryType.SKETCH,
+    EntryType.INDUSTRIAL, EntryType.BENCHMARK,
+)
+
+#: Property claims by hotness rank — every name is a glossary term, so
+#: corpus entries validate against the real property registry.
+CORPUS_PROPERTY_RANKS: tuple[str, ...] = (
+    "correct", "hippocratic", "least change",
+    "undoable", "history ignorant", "simply matching",
+)
+
+#: Topic fragments titles and prose are assembled from (uniform picks;
+#: the *skew* lives in types/properties/authors, where the soak's
+#: queries and facets look).
+_CORPUS_TOPICS: tuple[str, ...] = (
+    "composers", "uml to rdbms", "string formatting", "tree alignment",
+    "database views", "model merge", "spreadsheet sync", "lens composition",
+    "schema evolution", "graph layout", "feature models", "access control",
+    "build caches", "citation graphs", "ontology mapping", "record linkage",
+)
+
+_CORPUS_VERBS: tuple[str, ...] = (
+    "synchronises", "restores", "aligns", "projects", "mirrors",
+    "reconciles", "propagates", "rebuilds",
+)
+
+
+def corpus_author_pool(size: int) -> list[str]:
+    """``size`` distinct synthetic contributor names, hotness-ordered."""
+    return [f"Contributor {index:04d}" for index in range(size)]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Everything that determines a synthetic corpus, and nothing else.
+
+    Two processes holding equal specs generate byte-identical corpora:
+    each entry is derived from a ``random.Random`` seeded with the
+    string ``"<seed>:<index>"`` (string seeding hashes the bytes, so it
+    is stable across processes and Python builds, unlike object
+    ``hash()``), which also makes :func:`corpus_entry` random-access —
+    a soak runner can draw entry 73_201 without generating the 73_200
+    before it.
+    """
+
+    count: int
+    seed: int = 0
+    authors: int = 128
+    type_skew: float = 1.0
+    property_skew: float = 1.1
+    author_skew: float = 1.05
+    start: int = 0
+
+    def pools(self) -> tuple[ZipfPool, ZipfPool, ZipfPool]:
+        """The shared (type, property, author) pools for this spec."""
+        return (
+            ZipfPool(CORPUS_TYPE_RANKS, skew=self.type_skew),
+            ZipfPool(CORPUS_PROPERTY_RANKS, skew=self.property_skew),
+            ZipfPool(corpus_author_pool(self.authors),
+                     skew=self.author_skew),
+        )
+
+
+def corpus_entry(spec: CorpusSpec, index: int,
+                 pools: tuple[ZipfPool, ZipfPool, ZipfPool] | None = None,
+                 ) -> ExampleEntry:
+    """The corpus entry at ``index`` — pure function of ``(spec, index)``.
+
+    ``pools`` lets bulk callers reuse the cumulative-weight tables; the
+    draws themselves come from the per-entry rng either way, so passing
+    pools changes speed, never content.
+    """
+    types, properties, authors = pools or spec.pools()
+    rng = random.Random(f"{spec.seed}:{index}")
+    topic = rng.choice(_CORPUS_TOPICS)
+    verb = rng.choice(_CORPUS_VERBS)
+    other = rng.choice(_CORPUS_TOPICS)
+
+    primary = types.pick(rng)
+    chosen_types = [primary]
+    # PRECISE and SKETCH are mutually exclusive; INDUSTRIAL combines
+    # with either, so it is the only legal secondary type.
+    if primary is not EntryType.INDUSTRIAL and rng.random() < 0.12:
+        chosen_types.append(EntryType.INDUSTRIAL)
+
+    claim_names = properties.sample(rng, 1 + int(rng.random() * 4))
+    claims = tuple(PropertyClaim(name, holds=rng.random() < 0.8)
+                   for name in claim_names)
+    byline = tuple(authors.sample(rng, 1 + int(rng.random() * 3)))
+    reviewers = tuple(authors.sample(rng, 1)) if rng.random() < 0.3 else ()
+    references = (
+        (Reference(f"On {other} ({1990 + int(rng.random() * 30)}).",
+                   doi=f"10.0000/corpus.{index}"),)
+        if rng.random() < 0.2 else ())
+
+    title = f"CORPUS {index:06d} {topic.upper()}"
+    return ExampleEntry(
+        title=title,
+        version=Version(0, 1),
+        types=tuple(chosen_types),
+        overview=(f"A synthetic {topic} example that {verb} the left "
+                  f"model into {other}. Generated by the corpus factory "
+                  f"(seed {spec.seed}, index {index})."),
+        models=(ModelDescription("M", f"The {topic} source model."),
+                ModelDescription("N", f"The derived {other} view.")),
+        consistency=f"N {verb} exactly the published part of M.",
+        restoration=RestorationSpec(
+            forward=f"Recompute N from M and the {other} overlay.",
+            backward=f"Push edits on N back into M, preserving {topic}."),
+        discussion=(f"Index {index} of the soak corpus; the {topic} "
+                    f"shape recurs across the collection."),
+        authors=byline,
+        properties=claims,
+        references=references,
+        reviewers=reviewers,
+    )
+
+
+def corpus_entries(spec: CorpusSpec) -> Iterator[ExampleEntry]:
+    """Generate the corpus lazily: entries ``start .. start+count-1``."""
+    pools = spec.pools()
+    for index in range(spec.start, spec.start + spec.count):
+        yield corpus_entry(spec, index, pools)
+
+
+def corpus_digest(spec: CorpusSpec) -> str:
+    """SHA-256 over the canonical encoding of every entry, in order.
+
+    The cross-process reproducibility witness: equal specs must yield
+    equal digests in any process, interpreter session, or machine —
+    the determinism tests and the nightly soak job both assert exactly
+    this before trusting a seed printed by a failing run.
+    """
+    from repro.repository.codec import encode_entry
+
+    digest = hashlib.sha256()
+    for entry in corpus_entries(spec):
+        digest.update(encode_entry(entry).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

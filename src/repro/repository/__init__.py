@@ -25,6 +25,11 @@ from repro.repository.codec import (
     encode_entry,
 )
 from repro.repository.concurrency import ReadWriteLock
+from repro.repository.faults import (
+    FaultInjector,
+    FlakyBackend,
+    InjectedFault,
+)
 from repro.repository.render_cache import RenderCache
 from repro.repository.citation import (
     REPOSITORY_URL,
@@ -134,6 +139,8 @@ __all__ = [
     # scaling layer
     "ShardedBackend", "shard_index", "ReplicatedBackend",
     "AntiEntropyReport", "ReadWriteLock",
+    # fault injection (the soak/chaos seam)
+    "FaultInjector", "FlakyBackend", "InjectedFault",
     # service facade
     "RepositoryService", "RepositoryEvent", "RepositoryAPI", "API_METHODS",
     # the serving layer: async facade + HTTP server/client

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import bisect
 from pathlib import Path
+from typing import Callable
 
 from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
 from repro.repository.backends.base import StorageBackend, _split_request
@@ -56,6 +57,13 @@ class FileBackend(StorageBackend):
         self.entries_dir.mkdir(parents=True, exist_ok=True)
         self._counter_path = self.root / "change-counter"
         self._memo = DecodeMemo()
+        #: Fault-injection seam (see :mod:`repro.repository.faults`):
+        #: when set, called with a point name inside the write sequence
+        #: — between the leading counter bump and the content rename,
+        #: the window where a crash leaves an advanced counter with no
+        #: new content.  None (the default) costs one attribute check
+        #: and changes nothing.
+        self.fault_hook: "Callable[[str], None] | None" = None
         #: identifier -> sorted versions, valid while the change counter
         #: still equals ``_listing_counter`` (None: needs a scan).
         self._listing_map: dict[str, list[Version]] | None = None
@@ -229,6 +237,11 @@ class FileBackend(StorageBackend):
         path = self._version_path(entry.identifier, entry.version)
         temp = path.with_suffix(".json.tmp")
         temp.write_text(encode_entry(entry) + "\n", encoding="utf-8")
+        if self.fault_hook is not None:
+            # Simulated crash window: counter already bumped, content
+            # not yet renamed in — at worst a ``*.json.tmp`` fragment,
+            # which every read path ignores.
+            self.fault_hook("pre-rename")
         temp.replace(path)
         counter = previous + 2
         self._bump_counter(counter)

@@ -86,7 +86,7 @@ class TestNormalise:
 class TestTrendCli:
     TREND = Path(__file__).resolve().parents[2] / "benchmarks" / "trend.py"
 
-    def run_cli(self, monkeypatch, tmp_path, *arguments):
+    def run_cli(self, monkeypatch, tmp_path, *arguments, expect=0):
         raw_path = tmp_path / "raw.json"
         raw_path.write_text(json.dumps(RAW))
         monkeypatch.chdir(tmp_path)
@@ -94,7 +94,7 @@ class TestTrendCli:
                             ["trend.py", str(raw_path), *arguments])
         with pytest.raises(SystemExit) as outcome:
             runpy.run_path(str(self.TREND), run_name="__main__")
-        assert outcome.value.code == 0
+        assert outcome.value.code == expect
 
     def test_default_artifact_lands_at_repo_root(self):
         """The default output is <repo>/BENCH_<label>.json — committable
@@ -116,3 +116,56 @@ class TestTrendCli:
                      "--out", "custom.json")
         assert json.loads((tmp_path / "custom.json").read_text())[
             "label"] == "PR9"
+
+
+class TestClobberProtection:
+    """A committed BENCH_PR<N>.json is history: a label collision must
+    fail the run, not silently rewrite a past PR's measurements."""
+
+    TREND = TestTrendCli.TREND
+
+    def git_repo_with_tracked(self, tmp_path, name: str) -> Path:
+        import subprocess
+        tracked = tmp_path / name
+        tracked.write_text("{\"label\": \"old\"}\n")
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        subprocess.run(["git", "add", name], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-q", "-m", "seed"], cwd=tmp_path, check=True)
+        return tracked
+
+    def test_refuses_committed_collision(self, monkeypatch, tmp_path,
+                                         capsys):
+        tracked = self.git_repo_with_tracked(tmp_path, "BENCH_PR9.json")
+        TestTrendCli().run_cli(
+            monkeypatch, tmp_path, "--label", "PR9",
+            "--out", str(tracked), expect=1)
+        assert json.loads(tracked.read_text()) == {"label": "old"}
+        assert "refusing to overwrite" in capsys.readouterr().err
+
+    def test_force_overwrites_committed_point(self, monkeypatch,
+                                              tmp_path):
+        tracked = self.git_repo_with_tracked(tmp_path, "BENCH_PR9.json")
+        TestTrendCli().run_cli(
+            monkeypatch, tmp_path, "--label", "PR9",
+            "--out", str(tracked), "--force")
+        assert json.loads(tracked.read_text())["label"] == "PR9"
+
+    def test_untracked_file_is_scratch_and_replaceable(self, monkeypatch,
+                                                       tmp_path):
+        """A leftover from a previous local run (exists, not committed)
+        is overwritten without ceremony."""
+        import subprocess
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        scratch = tmp_path / "BENCH_PR9.json"
+        scratch.write_text("{\"label\": \"scratch\"}\n")
+        TestTrendCli().run_cli(monkeypatch, tmp_path, "--label", "PR9",
+                               "--out", str(scratch))
+        assert json.loads(scratch.read_text())["label"] == "PR9"
+
+    def test_is_committed_outside_git(self, tmp_path):
+        namespace = runpy.run_path(str(self.TREND))
+        loose = tmp_path / "BENCH_X.json"
+        loose.write_text("{}")
+        assert namespace["is_committed"](loose) is False

@@ -1,0 +1,147 @@
+"""The corpus factory: deterministic 100k-scale synthetic entries.
+
+The soak harness's reproducibility story rests on the corpus being a
+pure function of its spec — same seed, same bytes, in any process — and
+on the generated stream actually looking like a repository (valid
+against the template, Zipf-skewed over types/properties/authors).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.harness.workloads import (
+    CORPUS_PROPERTY_RANKS,
+    CORPUS_TYPE_RANKS,
+    CorpusSpec,
+    ZipfPool,
+    corpus_author_pool,
+    corpus_digest,
+    corpus_entries,
+    corpus_entry,
+)
+from repro.repository.codec import encode_entry
+from repro.repository.template import MUTUALLY_EXCLUSIVE_TYPES
+from repro.repository.validation import validate_entry
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestDeterminism:
+    def test_same_spec_same_entries(self):
+        spec = CorpusSpec(count=200, seed=42)
+        first = list(corpus_entries(spec))
+        second = list(corpus_entries(spec))
+        assert first == second
+
+    def test_entries_are_index_addressable(self):
+        """``corpus_entry(spec, i)`` is random-access: it agrees with
+        the streamed generator at every position (per-index seeding,
+        not sequential RNG state)."""
+        spec = CorpusSpec(count=50, seed=9)
+        streamed = list(corpus_entries(spec))
+        for index, entry in enumerate(streamed):
+            assert corpus_entry(spec, index) == entry
+
+    def test_different_seeds_differ(self):
+        base = corpus_digest(CorpusSpec(count=100, seed=0))
+        other = corpus_digest(CorpusSpec(count=100, seed=1))
+        assert base != other
+
+    def test_digest_is_byte_identical_across_processes(self):
+        """The reproducibility contract CI leans on: a fresh interpreter
+        (different PYTHONHASHSEED, no shared state) derives the exact
+        same corpus digest."""
+        spec = CorpusSpec(count=300, seed=7)
+        local = corpus_digest(spec)
+        script = (
+            "from repro.harness.workloads import CorpusSpec, corpus_digest\n"
+            "print(corpus_digest(CorpusSpec(count=300, seed=7)))\n")
+        for hashseed in ("0", "12345"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hashseed})
+            assert result.stdout.strip() == local
+
+    def test_start_offset_windows_compose(self):
+        """Generating [0, 100) equals [0, 50) + [50, 100) — the corpus
+        can be produced in chunks (parallel preload) without drift."""
+        whole = list(corpus_entries(CorpusSpec(count=100, seed=3)))
+        head = list(corpus_entries(CorpusSpec(count=50, seed=3)))
+        tail = list(corpus_entries(CorpusSpec(count=50, seed=3, start=50)))
+        assert head + tail == whole
+
+
+class TestCorpusShape:
+    def test_identifiers_are_unique(self):
+        spec = CorpusSpec(count=2000, seed=5)
+        identifiers = [entry.identifier for entry in corpus_entries(spec)]
+        assert len(set(identifiers)) == len(identifiers)
+
+    def test_every_entry_validates(self):
+        spec = CorpusSpec(count=500, seed=11)
+        for entry in corpus_entries(spec):
+            report = validate_entry(entry)
+            assert report.ok, (entry.identifier, report)
+
+    def test_no_mutually_exclusive_types(self):
+        spec = CorpusSpec(count=1000, seed=2)
+        for entry in corpus_entries(spec):
+            for exclusive in MUTUALLY_EXCLUSIVE_TYPES:
+                assert not exclusive <= set(entry.types), entry.identifier
+
+    def test_entries_encode_canonically(self):
+        spec = CorpusSpec(count=20, seed=1)
+        for entry in corpus_entries(spec):
+            assert json.loads(encode_entry(entry))
+
+    def test_zipf_skew_over_types(self):
+        """Rank 1 of the type pool dominates: with skew 1.0 over 4
+        ranks its share is ~48%, and ranks are monotone-decreasing."""
+        spec = CorpusSpec(count=4000, seed=13)
+        counts = Counter()
+        for entry in corpus_entries(spec):
+            counts[entry.types[0]] += 1
+        ordered = [counts.get(kind, 0) for kind in CORPUS_TYPE_RANKS]
+        assert ordered[0] > ordered[-1] * 2
+        share = ordered[0] / spec.count
+        assert 0.38 <= share <= 0.58, share
+
+    def test_zipf_skew_over_authors(self):
+        spec = CorpusSpec(count=4000, seed=13, authors=64)
+        counts = Counter()
+        for entry in corpus_entries(spec):
+            for author in entry.authors:
+                counts[author] += 1
+        hottest = corpus_author_pool(64)[0]
+        assert counts[hottest] == max(counts.values())
+        # The head should clearly outdraw the median author.
+        median = sorted(counts.values())[len(counts) // 2]
+        assert counts[hottest] > 5 * median
+
+    def test_property_claims_use_glossary_names(self):
+        spec = CorpusSpec(count=300, seed=4)
+        for entry in corpus_entries(spec):
+            for claim in entry.properties:
+                assert claim.name in CORPUS_PROPERTY_RANKS
+
+
+class TestZipfPool:
+    def test_rank_one_is_hottest(self):
+        import random
+        pool = ZipfPool(["a", "b", "c", "d"], skew=1.2)
+        rng = random.Random(0)
+        counts = Counter(pool.pick(rng) for _ in range(4000))
+        assert counts["a"] > counts["b"] > counts["d"]
+
+    def test_sample_is_distinct_and_capped(self):
+        import random
+        pool = ZipfPool(["a", "b", "c"])
+        rng = random.Random(1)
+        sample = pool.sample(rng, 10)
+        assert sorted(sample) == ["a", "b", "c"]

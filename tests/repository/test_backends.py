@@ -28,6 +28,7 @@ from repro.repository.backends import (
     create_backend,
 )
 from repro.repository.client import HTTPBackend
+from repro.repository.faults import FaultInjector, FlakyBackend
 from repro.repository.server import RepositoryServer
 from repro.repository.service import RepositoryService
 from repro.repository.store import FileStore, MemoryStore, RepositoryStore
@@ -37,8 +38,10 @@ from tests.repository.test_entry import minimal_entry
 #: "http" is a full wire round-trip: an in-process RepositoryServer
 #: over a memory-backed service, spoken to through HTTPBackend — the
 #: unchanged conformance suite below holds the whole serving stack to
-#: the storage contract.
-ALL_BACKENDS = ["memory", "file", "sqlite", "http"]
+#: the storage contract.  "flaky" is the fault-injection wrapper with
+#: nothing armed: the suite proves the seam is observationally
+#: invisible until a fault is scheduled.
+ALL_BACKENDS = ["memory", "file", "sqlite", "http", "flaky"]
 
 
 class ServedBackend(HTTPBackend):
@@ -63,6 +66,9 @@ def make_backend(kind: str, tmp_path) -> StorageBackend:
         return FileBackend(tmp_path / "repo")
     if kind == "http":
         return ServedBackend(MemoryBackend())
+    if kind == "flaky":
+        return FlakyBackend(FileBackend(tmp_path / "repo"),
+                            FaultInjector(), "conformance")
     return SQLiteBackend(tmp_path / "repo.db")
 
 
