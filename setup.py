@@ -1,4 +1,26 @@
-"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline."""
-from setuptools import setup
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline.
 
-setup()
+Carries the minimal packaging metadata directly (there is no
+pyproject.toml): the src/ layout mapping and the ``repro-analysis``
+console script, so an installed checkout can run the static analyzer
+without PYTHONPATH gymnastics (``repro-analysis src/`` is
+``python -m repro.analysis src/``).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.8",
+    description=(
+        "A repository of bidirectional-transformation examples "
+        "(EDBT 2014), grown into a storage/serving/analysis stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-analysis=repro.analysis.__main__:main",
+        ],
+    },
+)

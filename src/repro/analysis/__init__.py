@@ -1,0 +1,42 @@
+"""Static analysis for the repro stack: ``python -m repro.analysis``.
+
+An AST-based analyzer (stdlib only) that machine-checks the invariants
+this codebase otherwise keeps in prose: lock discipline, async purity,
+the typed exception taxonomy, codec boundaries, wire-protocol
+completeness, and harness determinism.  See ARCHITECTURE.md's
+"Static analysis" section for the rule catalogue and the baseline
+workflow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    ParsedFile,
+    Project,
+    Rule,
+    all_rules,
+    load_baseline,
+    load_project,
+    rule,
+    run_rules,
+    write_baseline,
+)
+from repro.analysis import rules  # noqa: F401  (registers the built-in rules)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ParsedFile",
+    "Project",
+    "Rule",
+    "all_rules",
+    "load_baseline",
+    "load_project",
+    "rule",
+    "run_rules",
+    "write_baseline",
+]

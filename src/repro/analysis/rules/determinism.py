@@ -1,0 +1,64 @@
+"""Rule 6 — harness determinism.
+
+The corpus factory's contract (PR 7) is byte-identical entry streams
+for a given seed, across processes and random access by index; the
+soak runner's red-run replay story depends on the same property.  One
+unseeded ``random.choice`` or wall-clock-derived seed silently breaks
+both.  Inside ``repro/harness/``, all randomness must flow through an
+explicitly seeded ``random.Random`` instance, durations through
+``time.monotonic``, and nothing through ``os.urandom``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ParsedFile, Project, dotted_name, rule
+
+Found = Iterator[tuple[ParsedFile, int, str]]
+
+
+@rule("harness-determinism")
+def check(project: Project) -> Found:
+    """repro/harness/ uses only explicitly seeded randomness: no
+    module-level random.*, unseeded Random(), time.time(), os.urandom."""
+    for parsed in project.files:
+        if "harness" not in parsed.parts[:-1]:
+            continue
+        if parsed.tree is None:
+            continue
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func) or ""
+            message = _diagnose(name, node)
+            if message is not None:
+                yield parsed, node.lineno, message
+
+
+def _diagnose(name: str, node: ast.Call) -> str | None:
+    if name == "random.Random":
+        if not node.args and not node.keywords:
+            return (
+                "random.Random() without a seed draws from the OS; pass "
+                "an explicit seed so the harness stream is reproducible"
+            )
+        return None
+    if name.startswith("random."):
+        return (
+            f"module-level {name}() shares unseeded global state; use an "
+            "explicitly seeded random.Random instance"
+        )
+    if name == "os.urandom":
+        return (
+            "os.urandom() is nondeterministic; derive bytes from the "
+            "seeded rng instead"
+        )
+    if name == "time.time":
+        return (
+            "time.time() in harness code: wall clocks make seeds and "
+            "schedules unreproducible — use time.monotonic for durations "
+            "and explicit seeds for rngs"
+        )
+    return None

@@ -276,7 +276,7 @@ class KeyOnNameComposersBx(Bx):
     def fwd(self, left: frozenset, right: tuple) -> tuple:
         by_name = {composer.name: composer for composer in left}
         result = []
-        for name, nationality in right:
+        for name, _nationality in right:
             composer = by_name.get(name)
             if composer is None:
                 continue  # name gone: delete the entry

@@ -213,7 +213,7 @@ def paths_to_tree(paths: tuple[str, ...]) -> Node:
         for parts in members:
             if len(parts) > depth:
                 children.setdefault(parts[depth], []).append(parts)
-        for name, group in children.items():
+        for _name, group in children.items():
             if not any(len(parts) == depth + 1 for parts in group):
                 raise ValueError(
                     "listing omits interior directory "

@@ -54,8 +54,8 @@ __all__ = [
 UML_TYPES: tuple[str, ...] = ("String", "Integer", "Boolean")
 SQL_TYPES: tuple[str, ...] = ("VARCHAR", "INT", "BOOLEAN")
 
-_TYPE_MAP = dict(zip(UML_TYPES, SQL_TYPES))
-_TYPE_MAP_BACK = dict(zip(SQL_TYPES, UML_TYPES))
+_TYPE_MAP = dict(zip(UML_TYPES, SQL_TYPES, strict=True))
+_TYPE_MAP_BACK = dict(zip(SQL_TYPES, UML_TYPES, strict=True))
 
 
 def uml_to_sql_type(uml_type: str) -> str:

@@ -195,7 +195,7 @@ def shrink_value(value: Any, space: ModelSpace,
                 continue
             try:
                 reproduces = still_fails(candidate)
-            except Exception:
+            except Exception:  # noqa: BLE001 - a crashing shrink candidate does not reproduce the original failure
                 continue
             if reproduces:
                 current = candidate
@@ -277,7 +277,7 @@ def check_lens_laws(lens: Lens, laws: Sequence[str] | None = None,
             trials += 1
             try:
                 witness = checker(lens, *args)
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 - a crashing checker IS the counterexample; recorded as the witness
                 witness = {"args": args, "exception": repr(exc)}
                 failure = witness
                 break
@@ -316,7 +316,7 @@ def check_symmetric_laws(lens: SymmetricLens,
             trials += 1
             try:
                 witness = checker(lens, *args)
-            except Exception as exc:
+            except Exception as exc:  # noqa: BLE001 - a crashing checker IS the counterexample; recorded as the witness
                 witness = {"args": args, "exception": repr(exc)}
                 failure = witness
                 break

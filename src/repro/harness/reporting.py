@@ -79,7 +79,8 @@ def text_table(headers: Sequence[str],
 
     def format_row(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(width)
-                         for cell, width in zip(cells, widths)).rstrip()
+                         for cell, width in zip(cells, widths,
+                                                strict=False)).rstrip()
 
     lines = [format_row(headers),
              format_row(["-" * width for width in widths])]

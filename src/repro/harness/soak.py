@@ -493,11 +493,11 @@ class ServerBounceFault(SoakFault):
             try:
                 fetched = run.stack.target.get(identifier)
                 break
-            except _TOLERATED_DURING_FAULT:
+            except _TOLERATED_DURING_FAULT as error:
                 if time.monotonic() > deadline:
                     raise AssertionError(
                         f"{self.name}: server did not come back within "
-                        f"{self.PROBE_TIMEOUT}s")
+                        f"{self.PROBE_TIMEOUT}s") from error
                 time.sleep(0.05)
         assert fetched == run.oracle.get(identifier), \
             f"{self.name}: stale read after restart"
@@ -827,7 +827,8 @@ class SoakRunner:
             sample = self.rng.sample(self.ids, sample_size)
             fetched = self.stack.target.get_many(sample)
             expected = self.oracle.get_many(sample)
-            for identifier, got, want in zip(sample, fetched, expected):
+            for identifier, got, want in zip(sample, fetched, expected,
+                                             strict=True):
                 if got != want:
                     self.violations.append(
                         f"{label}: stale cache read of {identifier!r}")

@@ -70,7 +70,8 @@ def record_distance(old: Any, new: Any) -> int:
         raise TypeError("record_distance expects Record values")
     if old.record_type.name != new.record_type.name:
         return max(len(old.as_tuple()), len(new.as_tuple())) + 1
-    return sum(1 for mine, theirs in zip(old.as_tuple(), new.as_tuple())
+    return sum(1 for mine, theirs in zip(old.as_tuple(), new.as_tuple(),
+                                         strict=False)
                if mine != theirs)
 
 
@@ -107,7 +108,7 @@ def tree_distance(old: Any, new: Any) -> int:
                  and old.attributes == new.attributes
                  and old.text == new.text) else 1
     total = here
-    for mine, theirs in zip(old.children, new.children):
+    for mine, theirs in zip(old.children, new.children, strict=False):
         total += tree_distance(mine, theirs)
     for surplus in old.children[len(new.children):]:
         total += _tree_size(surplus)

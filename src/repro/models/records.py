@@ -93,7 +93,9 @@ class Record:
 
     def as_dict(self) -> dict[str, Any]:
         """The record's fields as a plain dict (field order preserved)."""
-        return {f.name: v for f, v in zip(self._type.fields, self._values)}
+        return {f.name: v
+                for f, v in zip(self._type.fields, self._values,
+                                strict=True)}
 
     def as_tuple(self) -> tuple:
         """The field values in declaration order."""
@@ -109,7 +111,8 @@ class Record:
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{f.name}={v!r}"
-                          for f, v in zip(self._type.fields, self._values))
+                          for f, v in zip(self._type.fields, self._values,
+                                          strict=True))
         return f"{self._type.name}({inner})"
 
 
@@ -141,7 +144,8 @@ class RecordType:
             raise MetamodelError(
                 f"expected {self.name!r} record, got "
                 f"{record.record_type.name!r}")
-        for fdef, value in zip(self.fields, record.as_tuple()):
+        for fdef, value in zip(self.fields, record.as_tuple(),
+                               strict=False):
             if not fdef.space.contains(value):
                 raise MetamodelError(
                     f"{self.name}.{fdef.name}: {value!r} not in "
@@ -201,7 +205,8 @@ class _RecordSpace(ModelSpace):
                    for f in self.record_type.fields]
         names = self.record_type.field_names
         for combo in itertools.product(*columns):
-            yield Record(self.record_type, dict(zip(names, combo)))
+            yield Record(self.record_type,
+                         dict(zip(names, combo, strict=True)))
 
 
 class RecordSetSpace(ModelSpace):

@@ -101,14 +101,14 @@ class RelationSchema:
             raise MetamodelError(
                 f"schema {self.name!r} expects {len(self.attributes)}-tuples,"
                 f" got {row!r}")
-        for attribute, value in zip(self.attributes, row):
+        for attribute, value in zip(self.attributes, row, strict=True):
             if not attribute.space.contains(value):
                 raise MetamodelError(
                     f"{self.name}.{attribute.name}: {value!r} not in "
                     f"{attribute.space.name}")
 
     def row_as_dict(self, row: tuple) -> dict[str, Any]:
-        return dict(zip(self.attribute_names, row))
+        return dict(zip(self.attribute_names, row, strict=False))
 
     def same_shape(self, other: "RelationSchema") -> bool:
         """True if attribute names and order coincide (spaces may differ)."""

@@ -176,7 +176,8 @@ class ProductSpace(ModelSpace):
         if not isinstance(value, tuple) or len(value) != len(self.factors):
             return False
         return all(space.contains(item)
-                   for space, item in zip(self.factors, value))
+                   for space, item in zip(self.factors, value,
+                                          strict=True))
 
     def sample(self, rng: random.Random) -> tuple:
         return tuple(space.sample(rng) for space in self.factors)

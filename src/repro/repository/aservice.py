@@ -247,7 +247,12 @@ class AsyncRepositoryService:
         # it runs off-loop; new submissions now raise RuntimeError.
         await loop.run_in_executor(None, self._readers.shutdown)
         await self._write(self.service.close)
-        self._writer.shutdown(wait=True)
+        # Same rule for the writer: its queue holds the service.close
+        # submitted above, so shutdown(wait=True) blocks until that
+        # drains — run it off-loop too, or close() stalls every other
+        # coroutine on the loop for the duration.
+        await loop.run_in_executor(
+            None, lambda: self._writer.shutdown(wait=True))
 
     async def __aenter__(self) -> "AsyncRepositoryService":
         return self

@@ -60,8 +60,7 @@ BACKEND_SCHEMES = {
 }
 
 
-def create_backend(scheme: str,
-                   path: str | Path | None = None) -> StorageBackend:
+def create_backend(scheme: str, path: str | Path | None = None) -> StorageBackend:
     """Build a backend from a scheme name and (for durable ones) a path.
 
     >>> create_backend("memory")            # doctest: +ELLIPSIS
@@ -70,8 +69,7 @@ def create_backend(scheme: str,
     factory = BACKEND_SCHEMES.get(scheme)
     if factory is None:
         known = ", ".join(sorted(BACKEND_SCHEMES))
-        raise StorageError(
-            f"unknown storage backend {scheme!r}; known: {known}")
+        raise StorageError(f"unknown storage backend {scheme!r}; known: {known}")
     if scheme == "memory":
         return factory()
     if path is None:

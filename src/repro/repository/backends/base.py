@@ -79,8 +79,7 @@ class StorageBackend(ABC):
         """All stored versions of one entry, oldest first."""
 
     @abstractmethod
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
+    def get(self, identifier: str, version: Version | None = None) -> ExampleEntry:
         """The entry at ``version`` (default: latest)."""
 
     @abstractmethod
@@ -132,8 +131,7 @@ class StorageBackend(ABC):
             count += 1
         return count
 
-    def get_many(self,
-                 requests: Sequence[GetRequest]) -> list[ExampleEntry]:
+    def get_many(self, requests: Sequence[GetRequest]) -> list[ExampleEntry]:
         """Resolve many entries in request order.
 
         Each request is either an identifier (meaning: latest version)
@@ -146,11 +144,9 @@ class StorageBackend(ABC):
             results.append(self.get(identifier, version))
         return results
 
-    def versions_many(
-            self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
+    def versions_many(self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
         """Version lists for many identifiers at once."""
-        return {identifier: self.versions(identifier)
-                for identifier in identifiers}
+        return {identifier: self.versions(identifier) for identifier in identifiers}
 
     # ------------------------------------------------------------------
     # The query capability protocol (see repro.repository.query).
@@ -213,8 +209,9 @@ class StorageBackend(ABC):
         index = CorpusIndex(self.get_many(self.identifiers()))
         return corpus_stats(index, terms)
 
-    def execute_query(self, plan: QueryPlan,
-                      stats: QueryStats | None = None) -> QueryResult:
+    def execute_query(
+        self, plan: QueryPlan, stats: QueryStats | None = None
+    ) -> QueryResult:
         """Execute one query plan; every backend answers identically.
 
         The default builds a throwaway in-Python index over the latest
@@ -227,9 +224,14 @@ class StorageBackend(ABC):
         index = CorpusIndex(self.get_many(self.identifiers()))
         return evaluate_plan(index, plan, stats)
 
-    def query(self, query: Query | str | None = None, *,
-              sort: str = "relevance", offset: int = 0,
-              limit: int | None = None) -> QueryResult:
+    def query(
+        self,
+        query: Query | str | None = None,
+        *,
+        sort: str = "relevance",
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> QueryResult:
         """Execute one composable query; the single retrieval surface.
 
         ``query`` is a :class:`~repro.repository.query.Q` expression
@@ -249,7 +251,8 @@ class StorageBackend(ABC):
         server).
         """
         return self.execute_query(
-            build_plan(query, sort=sort, offset=offset, limit=limit))
+            build_plan(query, sort=sort, offset=offset, limit=limit)
+        )
 
     # ------------------------------------------------------------------
     # Conveniences shared by implementations.
@@ -286,7 +289,7 @@ def _split_request(request: GetRequest) -> tuple[str, Version | None]:
 
 
 def merge_cache_stats(
-        parts: Iterable[dict[str, dict[str, int]]],
+    parts: Iterable[dict[str, dict[str, int]]],
 ) -> dict[str, dict[str, int]]:
     """Sum per-cache counters across child backends (composites)."""
     merged: dict[str, dict[str, int]] = {}

@@ -86,8 +86,7 @@ class FileBackend(StorageBackend):
     # re-scanning the tree on every call).
     # ------------------------------------------------------------------
 
-    def _listing(self, counter: int | None = None,
-                 ) -> dict[str, list[Version]]:
+    def _listing(self, counter: int | None = None) -> dict[str, list[Version]]:
         """The identifier → versions map at ``counter`` (default: now).
 
         Scans the tree only when the counter moved since the cached
@@ -101,8 +100,9 @@ class FileBackend(StorageBackend):
             for path in self.entries_dir.iterdir():
                 if not path.is_dir():
                     continue
-                found = [Version.parse(snapshot.stem)
-                         for snapshot in path.glob("*.json")]
+                found = [
+                    Version.parse(snapshot.stem) for snapshot in path.glob("*.json")
+                ]
                 if found:  # an empty dir is a crashed mkdir, not an entry
                     listing[path.name] = sorted(found)
             self._listing_map = listing
@@ -128,19 +128,21 @@ class FileBackend(StorageBackend):
     # Reads (decode-memoised).
     # ------------------------------------------------------------------
 
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
+    def get(self, identifier: str, version: Version | None = None) -> ExampleEntry:
         counter = self.change_counter()
         return self._get_at(identifier, version, counter)
 
     def get_many(self, requests) -> list[ExampleEntry]:
         """Resolve many entries with one counter read for the batch."""
         counter = self.change_counter()
-        return [self._get_at(identifier, version, counter)
-                for identifier, version in map(_split_request, requests)]
+        return [
+            self._get_at(identifier, version, counter)
+            for identifier, version in map(_split_request, requests)
+        ]
 
-    def _get_at(self, identifier: str, version: Version | None,
-                counter: int) -> ExampleEntry:
+    def _get_at(
+        self, identifier: str, version: Version | None, counter: int
+    ) -> ExampleEntry:
         if version is None:
             stored = self._listing(counter).get(identifier)
             if not stored:
@@ -156,7 +158,8 @@ class FileBackend(StorageBackend):
         if entry.identifier != identifier:
             raise StorageError(
                 f"file {path} contains entry {entry.identifier!r}, "
-                f"expected {identifier!r}")
+                f"expected {identifier!r}"
+            )
         self._memo.put(identifier, str(version), counter, entry)
         return entry
 
@@ -175,7 +178,8 @@ class FileBackend(StorageBackend):
         if existing and entry.version <= existing[-1]:
             raise StorageError(
                 f"version {entry.version} does not increase on "
-                f"{existing[-1]} for {entry.identifier!r}")
+                f"{existing[-1]} for {entry.identifier!r}"
+            )
         self._write(entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
@@ -183,7 +187,8 @@ class FileBackend(StorageBackend):
         if entry.version != latest:
             raise StorageError(
                 f"replace_latest must keep the version ({latest}), "
-                f"got {entry.version}")
+                f"got {entry.version}"
+            )
         self._write(entry)
 
     def change_counter(self) -> int:
@@ -247,8 +252,7 @@ class FileBackend(StorageBackend):
         self._bump_counter(counter)
         # Keep the listing cache coherent without a rescan (only when
         # the cache was current up to this very write).
-        if self._listing_map is not None \
-                and self._listing_counter == previous:
+        if self._listing_map is not None and self._listing_counter == previous:
             stored = self._listing_map.setdefault(entry.identifier, [])
             if entry.version not in stored:
                 bisect.insort(stored, entry.version)
@@ -257,8 +261,7 @@ class FileBackend(StorageBackend):
             self._listing_map = None
         # The bytes just written came from this very object: prime the
         # memo so the next read skips the decode entirely.
-        self._memo.put(entry.identifier, str(entry.version), counter,
-                       entry)
+        self._memo.put(entry.identifier, str(entry.version), counter, entry)
 
     def _bump_counter(self, counter: int) -> None:
         # Atomic per write (temp + rename), like the snapshots.

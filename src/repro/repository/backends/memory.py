@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
+from repro.core.errors import (
+    DuplicateEntry,
+    EntryNotFound,
+    StorageError,
+    VersioningError,
+)
 from repro.repository.backends.base import StorageBackend
 from repro.repository.entry import ExampleEntry
 from repro.repository.versioning import Version, VersionHistory
@@ -22,14 +27,13 @@ class MemoryBackend(StorageBackend):
     def versions(self, identifier: str) -> list[Version]:
         return self._history(identifier).versions()
 
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
+    def get(self, identifier: str, version: Version | None = None) -> ExampleEntry:
         history = self._history(identifier)
         if version is None:
             return history.latest  # type: ignore[return-value]
         try:
             return history.get(version)  # type: ignore[return-value]
-        except Exception:
+        except VersioningError:
             raise EntryNotFound(identifier, str(version)) from None
 
     def has(self, identifier: str) -> bool:
@@ -47,7 +51,8 @@ class MemoryBackend(StorageBackend):
         if entry.version <= history.latest_version:
             raise StorageError(
                 f"version {entry.version} does not increase on "
-                f"{history.latest_version} for {entry.identifier!r}")
+                f"{history.latest_version} for {entry.identifier!r}"
+            )
         history.append(entry.version, entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
@@ -55,7 +60,8 @@ class MemoryBackend(StorageBackend):
         if entry.version != history.latest_version:
             raise StorageError(
                 "replace_latest must keep the version "
-                f"({history.latest_version}), got {entry.version}")
+                f"({history.latest_version}), got {entry.version}"
+            )
         history.replace_latest(entry.version, entry)
 
     def entry_count(self) -> int:

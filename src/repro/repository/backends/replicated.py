@@ -264,7 +264,7 @@ class ReplicatedBackend(StorageBackend):
             return operation(self.primary)
         except BxError:
             raise  # A semantic answer (not found, duplicate), not an outage.
-        except Exception:
+        except Exception as primary_error:  # noqa: BLE001 - primary outage of any shape: fail over, re-raise if no replica answers
             last_error = None
             for replica in self.replicas:
                 try:
@@ -272,7 +272,7 @@ class ReplicatedBackend(StorageBackend):
                 except Exception as error:  # noqa: BLE001 - try next replica
                     last_error = error
             if last_error is not None:
-                raise last_error
+                raise last_error from primary_error
             raise
 
     def _mirror(self, operation: Callable[[StorageBackend], object]) -> None:

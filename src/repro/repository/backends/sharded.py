@@ -190,8 +190,9 @@ class ShardedBackend(StorageBackend):
         order = sorted(grouped)
         per_shard = self._fan_out(order, fetch)
         results: list[ExampleEntry | None] = [None] * len(split)
-        for index, fetched in zip(order, per_shard):
-            for position, entry in zip(grouped[index], fetched):
+        for index, fetched in zip(order, per_shard, strict=True):
+            for position, entry in zip(grouped[index], fetched,
+                                       strict=True):
                 results[position] = entry
         return results  # type: ignore[return-value]
 

@@ -67,6 +67,7 @@ from repro.core.errors import (
 )
 from repro.repository.backends.base import StorageBackend, _split_request
 from repro.repository.codec import DecodeMemo, decode_entry, encode_entry
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     All,
@@ -146,8 +147,13 @@ CREATE TABLE IF NOT EXISTS dirty (
 );
 """
 
-_AUX_TABLES = ("latest", "latest_types", "latest_properties",
-               "latest_authors", "latest_terms")
+_AUX_TABLES = (
+    "latest",
+    "latest_types",
+    "latest_properties",
+    "latest_authors",
+    "latest_terms",
+)
 
 
 class SQLiteBackend(StorageBackend):
@@ -158,13 +164,13 @@ class SQLiteBackend(StorageBackend):
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
         self._memory = self.path == ":memory:"
-        self._lock = threading.Lock()
+        self._lock = Mutex()
         self._closed = False
         self._memo = DecodeMemo()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._local = threading.local()
         self._read_conns: list[sqlite3.Connection] = []
-        self._conns_lock = threading.Lock()
+        self._conns_lock = Mutex()
         if not self._memory:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -172,7 +178,8 @@ class SQLiteBackend(StorageBackend):
             self._conn.executescript(_SCHEMA)
             self._conn.execute(
                 "INSERT OR IGNORE INTO meta (key, value) "
-                "VALUES ('change_counter', 0)")
+                "VALUES ('change_counter', 0)"
+            )
             self._migrate_latest_tables()
 
     def _migrate_latest_tables(self) -> None:
@@ -188,7 +195,8 @@ class SQLiteBackend(StorageBackend):
             "INSERT OR REPLACE INTO dirty "
             "SELECT DISTINCT identifier FROM entries e "
             "WHERE NOT EXISTS ("
-            "  SELECT 1 FROM latest l WHERE l.identifier = e.identifier)")
+            "  SELECT 1 FROM latest l WHERE l.identifier = e.identifier)"
+        )
 
     # ------------------------------------------------------------------
     # Read plumbing.  Durable databases: one read-only connection per
@@ -221,27 +229,30 @@ class SQLiteBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def identifiers(self) -> list[str]:
-        rows = self._run_read(lambda conn: conn.execute(
-            "SELECT DISTINCT identifier FROM entries "
-            "ORDER BY identifier").fetchall())
+        rows = self._run_read(
+            lambda conn: conn.execute(
+                "SELECT DISTINCT identifier FROM entries ORDER BY identifier"
+            ).fetchall()
+        )
         return [identifier for (identifier,) in rows]
 
     def versions(self, identifier: str) -> list[Version]:
-        rows = self._run_read(lambda conn: conn.execute(
-            "SELECT major, minor FROM entries WHERE identifier = ? "
-            "ORDER BY major, minor", (identifier,)).fetchall())
+        rows = self._run_read(
+            lambda conn: conn.execute(
+                "SELECT major, minor FROM entries WHERE identifier = ? "
+                "ORDER BY major, minor",
+                (identifier,),
+            ).fetchall()
+        )
         if not rows:
             raise EntryNotFound(identifier)
         return [Version(major, minor) for major, minor in rows]
 
-    def get(self, identifier: str,
-            version: Version | None = None) -> ExampleEntry:
+    def get(self, identifier: str, version: Version | None = None) -> ExampleEntry:
         def fetch(conn) -> ExampleEntry:
             counter = self._counter_on(conn)
-            major, minor, payload = self._get_row(conn, identifier,
-                                                  version)
-            return self._hydrate(identifier, Version(major, minor),
-                                 payload, counter)
+            major, minor, payload = self._get_row(conn, identifier, version)
+            return self._hydrate(identifier, Version(major, minor), payload, counter)
 
         return self._run_read(fetch)
 
@@ -256,9 +267,9 @@ class SQLiteBackend(StorageBackend):
         JSON-decoded again.
         """
         split = [_split_request(request) for request in requests]
-        latest_wanted = sorted({identifier
-                                for identifier, version in split
-                                if version is None})
+        latest_wanted = sorted(
+            {identifier for identifier, version in split if version is None}
+        )
 
         def fetch(conn) -> list[ExampleEntry]:
             counter = self._counter_on(conn)
@@ -273,19 +284,21 @@ class SQLiteBackend(StorageBackend):
                     row = self._get_row(conn, identifier, version)
                 major, minor, payload = row
                 results.append(
-                    self._hydrate(identifier, Version(major, minor),
-                                  payload, counter))
+                    self._hydrate(identifier, Version(major, minor), payload, counter)
+                )
             return results
 
         return self._run_read(fetch)
 
     def has(self, identifier: str) -> bool:
-        return self._run_read(
-            lambda conn: self._has(conn, identifier))
+        return self._run_read(lambda conn: self._has(conn, identifier))
 
     def entry_count(self) -> int:
-        (count,) = self._run_read(lambda conn: conn.execute(
-            "SELECT COUNT(DISTINCT identifier) FROM entries").fetchone())
+        (count,) = self._run_read(
+            lambda conn: conn.execute(
+                "SELECT COUNT(DISTINCT identifier) FROM entries"
+            ).fetchone()
+        )
         return count
 
     def change_counter(self) -> int:
@@ -298,8 +311,9 @@ class SQLiteBackend(StorageBackend):
         ).fetchone()
         return int(row[0]) if row is not None else 0
 
-    def _hydrate(self, identifier: str, version: Version, payload: str,
-                 counter: int) -> ExampleEntry:
+    def _hydrate(
+        self, identifier: str, version: Version, payload: str, counter: int
+    ) -> ExampleEntry:
         """Decode one payload through the memo (at most once per write)."""
         cached = self._memo.get(identifier, str(version), counter)
         if cached is not None:
@@ -320,8 +334,9 @@ class SQLiteBackend(StorageBackend):
         self._flush_index()
         return self._run_read(lambda conn: self._stats_on(conn, terms))
 
-    def execute_query(self, plan: QueryPlan,
-                      stats: QueryStats | None = None) -> QueryResult:
+    def execute_query(
+        self, plan: QueryPlan, stats: QueryStats | None = None
+    ) -> QueryResult:
         """Compile the plan to SQL; decode payloads only for the page.
 
         Flushes deferred index maintenance first, then the compiled
@@ -340,27 +355,43 @@ class SQLiteBackend(StorageBackend):
             if ranking_stats is None:
                 ranking_stats = self._stats_on(conn, positive_terms)
             match_rows = conn.execute(
-                "SELECT m.identifier, m.reviewed FROM latest m "
-                f"WHERE {where_sql}", where_params).fetchall()
+                f"SELECT m.identifier, m.reviewed FROM latest m WHERE {where_sql}",
+                where_params,
+            ).fetchall()
             matched = [identifier for identifier, _reviewed in match_rows]
             facets = self._facets_on(conn, match_rows)
             weights = self._term_weights_on(conn, positive_terms, matched)
-            scored = sorted(
-                ((score_entry(positive_terms, ranking_stats,
-                              weights.get(identifier, {})), identifier)
-                 for identifier in matched),
-                key=(lambda item: item[1]) if plan.sort == "identifier"
-                else (lambda item: (-item[0], item[1])))
-            page = scored[plan.offset:plan.page_end()]
+            scored = [
+                (
+                    score_entry(
+                        positive_terms, ranking_stats, weights.get(identifier, {})
+                    ),
+                    identifier,
+                )
+                for identifier in matched
+            ]
+            if plan.sort == "identifier":
+                scored.sort(key=lambda item: item[1])
+            else:
+                scored.sort(key=lambda item: (-item[0], item[1]))
+            page = scored[plan.offset : plan.page_end()]
             counter = self._counter_on(conn)
             payloads = self._latest_payloads(
-                conn, [identifier for _score, identifier in page])
+                conn, [identifier for _score, identifier in page]
+            )
             hits = tuple(
-                SearchHit(identifier, score,
-                          self._hydrate(identifier,
-                                        Version(*payloads[identifier][:2]),
-                                        payloads[identifier][2], counter))
-                for score, identifier in page)
+                SearchHit(
+                    identifier,
+                    score,
+                    self._hydrate(
+                        identifier,
+                        Version(*payloads[identifier][:2]),
+                        payloads[identifier][2],
+                        counter,
+                    ),
+                )
+                for score, identifier in page
+            )
             return QueryResult(hits=hits, total=len(matched), facets=facets)
 
         return self._run_read(fetch)
@@ -371,13 +402,16 @@ class SQLiteBackend(StorageBackend):
         frequency = dict.fromkeys(unique, 0)
         if unique:
             marks = ",".join("?" * len(unique))
-            frequency.update(conn.execute(
-                "SELECT term, COUNT(*) FROM latest_terms "
-                f"WHERE term IN ({marks}) GROUP BY term", unique))
+            frequency.update(
+                conn.execute(
+                    "SELECT term, COUNT(*) FROM latest_terms "
+                    f"WHERE term IN ({marks}) GROUP BY term",
+                    unique,
+                )
+            )
         return QueryStats(count, frequency)
 
-    def _facets_on(self, conn,
-                   match_rows: list) -> dict[str, dict[str, int]]:
+    def _facets_on(self, conn, match_rows: list) -> dict[str, dict[str, int]]:
         facets = empty_facets()
         review = facets["review"]
         for _identifier, reviewed in match_rows:
@@ -388,27 +422,31 @@ class SQLiteBackend(StorageBackend):
             marks = ",".join("?" * len(chunk))
             bucket = facets["type"]
             for value, count in conn.execute(
-                    "SELECT type, COUNT(*) FROM latest_types "
-                    f"WHERE identifier IN ({marks}) GROUP BY type",
-                    chunk):
+                "SELECT type, COUNT(*) FROM latest_types "
+                f"WHERE identifier IN ({marks}) GROUP BY type",
+                chunk,
+            ):
                 bucket[value] = bucket.get(value, 0) + count
             bucket = facets["property"]
             for name, holds, count in conn.execute(
-                    "SELECT name, holds, COUNT(*) FROM latest_properties "
-                    f"WHERE identifier IN ({marks}) GROUP BY name, holds",
-                    chunk):
+                "SELECT name, holds, COUNT(*) FROM latest_properties "
+                f"WHERE identifier IN ({marks}) GROUP BY name, holds",
+                chunk,
+            ):
                 label = property_facet_label(name, bool(holds))
                 bucket[label] = bucket.get(label, 0) + count
             bucket = facets["author"]
             for author, count in conn.execute(
-                    "SELECT author, COUNT(*) FROM latest_authors "
-                    f"WHERE identifier IN ({marks}) GROUP BY author",
-                    chunk):
+                "SELECT author, COUNT(*) FROM latest_authors "
+                f"WHERE identifier IN ({marks}) GROUP BY author",
+                chunk,
+            ):
                 bucket[author] = bucket.get(author, 0) + count
         return facets
 
-    def _term_weights_on(self, conn, terms: Sequence[str],
-                         matched: list) -> dict[str, dict[str, float]]:
+    def _term_weights_on(
+        self, conn, terms: Sequence[str], matched: list
+    ) -> dict[str, dict[str, float]]:
         """Per-entry weights of the scoring terms, matching rows only."""
         unique = list(dict.fromkeys(terms))
         if not unique:
@@ -418,15 +456,15 @@ class SQLiteBackend(StorageBackend):
         for chunk in _chunks(matched):
             marks = ",".join("?" * len(chunk))
             for identifier, term, weight in conn.execute(
-                    "SELECT identifier, term, weight FROM latest_terms "
-                    f"WHERE term IN ({term_marks}) "
-                    f"AND identifier IN ({marks})",
-                    [*unique, *chunk]):
+                "SELECT identifier, term, weight FROM latest_terms "
+                f"WHERE term IN ({term_marks}) AND identifier IN ({marks})",
+                [*unique, *chunk],
+            ):
                 weights.setdefault(identifier, {})[term] = weight
         return weights
 
     def _latest_payloads(
-            self, conn, identifiers: Sequence[str],
+        self, conn, identifiers: Sequence[str]
     ) -> dict[str, tuple[int, int, str]]:
         """Latest ``(major, minor, payload)`` per identifier, in chunked
         bulk queries — the version rides along so callers can probe the
@@ -434,7 +472,7 @@ class SQLiteBackend(StorageBackend):
         wanted = list(identifiers)
         latest: dict[str, tuple[int, int, str]] = {}
         for chunk_start in range(0, len(wanted), 400):
-            chunk = wanted[chunk_start:chunk_start + 400]
+            chunk = wanted[chunk_start : chunk_start + 400]
             marks = ",".join("?" * len(chunk))
             rows = conn.execute(
                 "SELECT e.identifier, e.major, e.minor, e.payload "
@@ -444,9 +482,12 @@ class SQLiteBackend(StorageBackend):
                 "  WHERE f.identifier = e.identifier "
                 "  AND (f.major > e.major OR "
                 "       (f.major = e.major AND f.minor > e.minor)))",
-                chunk).fetchall()
-            latest.update((identifier, (major, minor, payload))
-                          for identifier, major, minor, payload in rows)
+                chunk,
+            ).fetchall()
+            latest.update(
+                (identifier, (major, minor, payload))
+                for identifier, major, minor, payload in rows
+            )
         return latest
 
     # ------------------------------------------------------------------
@@ -470,7 +511,8 @@ class SQLiteBackend(StorageBackend):
             if entry.version <= Version(*latest):
                 raise StorageError(
                     f"version {entry.version} does not increase on "
-                    f"{Version(*latest)} for {entry.identifier!r}")
+                    f"{Version(*latest)} for {entry.identifier!r}"
+                )
             self._insert(entry)
             self._mark_dirty([entry.identifier])
             counter = self._bump_counter()
@@ -484,12 +526,18 @@ class SQLiteBackend(StorageBackend):
             if entry.version != Version(*latest):
                 raise StorageError(
                     "replace_latest must keep the version "
-                    f"({Version(*latest)}), got {entry.version}")
+                    f"({Version(*latest)}), got {entry.version}"
+                )
             self._conn.execute(
                 "UPDATE entries SET payload = ? WHERE identifier = ? "
                 "AND major = ? AND minor = ?",
-                (encode_entry(entry), entry.identifier,
-                 entry.version.major, entry.version.minor))
+                (
+                    encode_entry(entry),
+                    entry.identifier,
+                    entry.version.major,
+                    entry.version.minor,
+                ),
+            )
             self._mark_dirty([entry.identifier])
             counter = self._bump_counter()
         self._prime_memo([entry], counter)
@@ -509,20 +557,28 @@ class SQLiteBackend(StorageBackend):
                 seen.add(entry.identifier)
             ordered = sorted(seen)
             for chunk_start in range(0, len(ordered), 400):
-                chunk = ordered[chunk_start:chunk_start + 400]
+                chunk = ordered[chunk_start : chunk_start + 400]
                 marks = ",".join("?" * len(chunk))
                 clash = self._conn.execute(
                     "SELECT identifier FROM entries "
                     f"WHERE identifier IN ({marks}) LIMIT 1",
-                    chunk).fetchone()
+                    chunk,
+                ).fetchone()
                 if clash is not None:
                     raise DuplicateEntry(clash[0])
             self._conn.executemany(
                 "INSERT INTO entries (identifier, major, minor, payload) "
                 "VALUES (?, ?, ?, ?)",
-                [(entry.identifier, entry.version.major,
-                  entry.version.minor, encode_entry(entry))
-                 for entry in batch])
+                [
+                    (
+                        entry.identifier,
+                        entry.version.major,
+                        entry.version.minor,
+                        encode_entry(entry),
+                    )
+                    for entry in batch
+                ],
+            )
             self._mark_dirty([entry.identifier for entry in batch])
             counter = self._bump_counter()
         self._prime_memo(batch, counter)
@@ -548,24 +604,28 @@ class SQLiteBackend(StorageBackend):
     def _has(self, conn: sqlite3.Connection, identifier: str) -> bool:
         row = conn.execute(
             "SELECT 1 FROM entries WHERE identifier = ? LIMIT 1",
-            (identifier,)).fetchone()
+            (identifier,),
+        ).fetchone()
         return row is not None
 
-    def _get_row(self, conn: sqlite3.Connection, identifier: str,
-                 version: Version | None) -> tuple[int, int, str]:
+    def _get_row(
+        self, conn: sqlite3.Connection, identifier: str, version: Version | None
+    ) -> tuple[int, int, str]:
         if version is None:
             row = conn.execute(
                 "SELECT major, minor, payload FROM entries "
                 "WHERE identifier = ? "
                 "ORDER BY major DESC, minor DESC LIMIT 1",
-                (identifier,)).fetchone()
+                (identifier,),
+            ).fetchone()
             if row is None:
                 raise EntryNotFound(identifier)
         else:
             row = conn.execute(
                 "SELECT major, minor, payload FROM entries "
                 "WHERE identifier = ? AND major = ? AND minor = ?",
-                (identifier, version.major, version.minor)).fetchone()
+                (identifier, version.major, version.minor),
+            ).fetchone()
             if row is None:
                 if not self._has(conn, identifier):
                     raise EntryNotFound(identifier)
@@ -576,14 +636,20 @@ class SQLiteBackend(StorageBackend):
         self._conn.execute(
             "INSERT INTO entries (identifier, major, minor, payload) "
             "VALUES (?, ?, ?, ?)",
-            (entry.identifier, entry.version.major, entry.version.minor,
-             encode_entry(entry)))
+            (
+                entry.identifier,
+                entry.version.major,
+                entry.version.minor,
+                encode_entry(entry),
+            ),
+        )
 
     def _latest_row(self, identifier: str) -> tuple[int, int] | None:
         return self._conn.execute(
             "SELECT major, minor FROM entries WHERE identifier = ? "
             "ORDER BY major DESC, minor DESC LIMIT 1",
-            (identifier,)).fetchone()
+            (identifier,),
+        ).fetchone()
 
     def _mark_dirty(self, identifiers: Sequence[str]) -> None:
         """Record identifiers whose metadata rows are now stale.
@@ -594,7 +660,8 @@ class SQLiteBackend(StorageBackend):
         """
         self._conn.executemany(
             "INSERT OR REPLACE INTO dirty (identifier) VALUES (?)",
-            [(identifier,) for identifier in identifiers])
+            [(identifier,) for identifier in identifiers],
+        )
 
     def _flush_index(self) -> None:
         """Re-index every dirty identifier's latest-version metadata.
@@ -615,27 +682,32 @@ class SQLiteBackend(StorageBackend):
         re-mark its identifier dirty when it proceeds).
         """
         with self._lock:
-            dirty = [identifier for (identifier,) in self._conn.execute(
-                "SELECT identifier FROM dirty").fetchall()]
+            rows = self._conn.execute("SELECT identifier FROM dirty").fetchall()
+            dirty = [identifier for (identifier,) in rows]
             if not dirty:
                 return
             with self._conn:
                 for chunk in _chunks(dirty):
                     marks = ",".join("?" * len(chunk))
                     self._conn.execute(
-                        "DELETE FROM dirty "
-                        f"WHERE identifier IN ({marks})", chunk)
+                        f"DELETE FROM dirty WHERE identifier IN ({marks})",
+                        chunk,
+                    )
                     for table in _AUX_TABLES:
                         self._conn.execute(
-                            f"DELETE FROM {table} "
-                            f"WHERE identifier IN ({marks})", chunk)
+                            f"DELETE FROM {table} WHERE identifier IN ({marks})",
+                            chunk,
+                        )
                 counter = self._counter_on(self._conn)
                 payloads = self._latest_payloads(self._conn, dirty)
                 self._index_latest_batch(
-                    [self._hydrate(identifier, Version(major, minor),
-                                   payload, counter)
-                     for identifier, (major, minor, payload)
-                     in payloads.items()])
+                    [
+                        self._hydrate(
+                            identifier, Version(major, minor), payload, counter
+                        )
+                        for identifier, (major, minor, payload) in payloads.items()
+                    ]
+                )
 
     def _index_latest_batch(self, batch: Sequence[ExampleEntry]) -> None:
         """Insert metadata rows for entries with no current rows —
@@ -643,39 +715,58 @@ class SQLiteBackend(StorageBackend):
         self._conn.executemany(
             "INSERT OR REPLACE INTO latest "
             "(identifier, major, minor, reviewed) VALUES (?, ?, ?, ?)",
-            [(entry.identifier, entry.version.major, entry.version.minor,
-              1 if entry.version.is_reviewed else 0)
-             for entry in batch])
+            [
+                (
+                    entry.identifier,
+                    entry.version.major,
+                    entry.version.minor,
+                    1 if entry.version.is_reviewed else 0,
+                )
+                for entry in batch
+            ],
+        )
         self._conn.executemany(
-            "INSERT OR IGNORE INTO latest_types (identifier, type) "
-            "VALUES (?, ?)",
-            [(entry.identifier, entry_type.value)
-             for entry in batch for entry_type in entry.types])
+            "INSERT OR IGNORE INTO latest_types (identifier, type) VALUES (?, ?)",
+            [
+                (entry.identifier, entry_type.value)
+                for entry in batch
+                for entry_type in entry.types
+            ],
+        )
         self._conn.executemany(
             "INSERT OR IGNORE INTO latest_properties "
             "(identifier, name, holds) VALUES (?, ?, ?)",
-            [(entry.identifier, claim.name, 1 if claim.holds else 0)
-             for entry in batch for claim in entry.properties])
+            [
+                (entry.identifier, claim.name, 1 if claim.holds else 0)
+                for entry in batch
+                for claim in entry.properties
+            ],
+        )
         self._conn.executemany(
             "INSERT OR IGNORE INTO latest_authors (identifier, author) "
             "VALUES (?, ?)",
-            [(entry.identifier, author)
-             for entry in batch for author in entry.authors])
+            [
+                (entry.identifier, author)
+                for entry in batch
+                for author in entry.authors
+            ],
+        )
         self._conn.executemany(
-            "INSERT INTO latest_terms (identifier, term, weight) "
-            "VALUES (?, ?, ?)",
-            [(entry.identifier, term, weight)
-             for entry in batch
-             for term, weight in entry_terms(entry).items()])
+            "INSERT INTO latest_terms (identifier, term, weight) VALUES (?, ?, ?)",
+            [
+                (entry.identifier, term, weight)
+                for entry in batch
+                for term, weight in entry_terms(entry).items()
+            ],
+        )
 
     def _bump_counter(self) -> int:
         self._conn.execute(
-            "UPDATE meta SET value = value + 1 "
-            "WHERE key = 'change_counter'")
+            "UPDATE meta SET value = value + 1 WHERE key = 'change_counter'"
+        )
         return self._counter_on(self._conn)
 
-    def _prime_memo(self, entries: Sequence[ExampleEntry],
-                    counter: int) -> None:
+    def _prime_memo(self, entries: Sequence[ExampleEntry], counter: int) -> None:
         """After a committed write, memoise the just-encoded entries.
 
         The payload bytes came from these very objects, so the next
@@ -684,14 +775,13 @@ class SQLiteBackend(StorageBackend):
         leave phantom snapshots in the memo.
         """
         for entry in entries:
-            self._memo.put(entry.identifier, str(entry.version), counter,
-                           entry)
+            self._memo.put(entry.identifier, str(entry.version), counter, entry)
 
 
 def _chunks(items: list, size: int = 400):
     """Slices sized for SQLite's bound-parameter limit."""
     for start in range(0, len(items), size):
-        yield items[start:start + size]
+        yield items[start : start + size]
 
 
 # ----------------------------------------------------------------------
@@ -711,28 +801,34 @@ def _compile(query) -> tuple[str, list]:
         return (
             "EXISTS (SELECT 1 FROM latest_terms t "
             "WHERE t.identifier = m.identifier "
-            f"AND t.term IN ({marks}))", unique)
+            f"AND t.term IN ({marks}))",
+            unique,
+        )
     if isinstance(query, TypeIs):
         return (
             "EXISTS (SELECT 1 FROM latest_types ty "
             "WHERE ty.identifier = m.identifier AND ty.type = ?)",
-            [query.entry_type.value])
+            [query.entry_type.value],
+        )
     if isinstance(query, HasProperty):
         if query.holds is None:
             return (
                 "EXISTS (SELECT 1 FROM latest_properties p "
                 "WHERE p.identifier = m.identifier AND p.name = ?)",
-                [query.name])
+                [query.name],
+            )
         return (
             "EXISTS (SELECT 1 FROM latest_properties p "
             "WHERE p.identifier = m.identifier AND p.name = ? "
             "AND p.holds = ?)",
-            [query.name, 1 if query.holds else 0])
+            [query.name, 1 if query.holds else 0],
+        )
     if isinstance(query, ByAuthor):
         return (
             "EXISTS (SELECT 1 FROM latest_authors a "
             "WHERE a.identifier = m.identifier AND a.author = ?)",
-            [query.author])
+            [query.author],
+        )
     if isinstance(query, IsReviewed):
         return "m.reviewed = ?", [1 if query.reviewed else 0]
     if isinstance(query, (And, Or)):

@@ -95,6 +95,7 @@ from repro.repository.codec import (
     decode_entry,
 )
 from repro.repository.codec import _KeyedLRU
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     QueryPlan,
@@ -200,7 +201,7 @@ class HTTPBackend(StorageBackend):
         #: long-lived proxy serving many short-lived handler threads
         #: would otherwise leak one descriptor per thread).
         self._connections: weakref.WeakSet = weakref.WeakSet()
-        self._connections_mutex = threading.Lock()
+        self._connections_mutex = Mutex()
         self._closed = False
         #: Whether batch reads use the server's chunked NDJSON bodies
         #: (False pins the PR-5 buffered JSON path — the comparison

@@ -45,10 +45,10 @@ cheap as the storage caches behind it:
 from __future__ import annotations
 
 import json
-import threading
 from collections import OrderedDict
 
 from repro.core.errors import StorageError
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 
 __all__ = [
@@ -138,7 +138,7 @@ class DecodeMemo:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         self._data: OrderedDict[tuple[str, str, int],
                                 ExampleEntry] = OrderedDict()
 
@@ -201,7 +201,7 @@ class _KeyedLRU:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         self._data: OrderedDict = OrderedDict()
 
     def _get(self, key):

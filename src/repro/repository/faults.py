@@ -33,10 +33,10 @@ The soak's file-crash fault arms an injector point there.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Iterable, Sequence
 
 from repro.repository.backends.base import GetRequest, StorageBackend
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import QueryPlan, QueryResult, QueryStats
 from repro.repository.versioning import Version
@@ -73,7 +73,7 @@ class FaultInjector:
     _LATCHED = "latched"
 
     def __init__(self) -> None:
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         self._armed: dict[str, str] = {}
         self._fired: dict[str, int] = {}
 

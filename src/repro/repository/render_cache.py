@@ -34,10 +34,10 @@ write wins, the cache stays coherent.
 from __future__ import annotations
 
 import json
-import threading
 import time
 from pathlib import Path
 
+from repro.repository.concurrency import Mutex
 from repro.repository.export import render_markdown, render_wikidot
 from repro.repository.query import plan
 
@@ -56,7 +56,7 @@ class RenderCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         #: identifier -> rendered text of its latest version (staleness
         #: is governed by events and the persisted counter stamp, never
         #: by comparing versions — replace_latest keeps the version).

@@ -36,6 +36,7 @@ import json
 from pathlib import Path
 from typing import Callable, Mapping
 
+from repro.core.errors import BxError
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     Q,
@@ -179,7 +180,10 @@ class SearchIndex:
                 term: {identifier: float(weight)
                        for identifier, weight in postings.items()}
                 for term, postings in payload["postings"].items()}
-        except Exception:
+        except (BxError, KeyError, TypeError, ValueError, AttributeError):
+            # Malformed snapshot shapes (missing keys, junk weights,
+            # entries that fail validation) mean "rebuild"; anything
+            # else is a real bug and now propagates.
             return None
         return index
 

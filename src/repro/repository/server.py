@@ -104,6 +104,7 @@ from repro.core.errors import (
     StorageError,
 )
 from repro.repository.backends import StorageBackend, create_backend
+from repro.repository.concurrency import Mutex
 from repro.repository.codec import (
     GZIP_LEVEL,
     GZIP_MIN_BYTES,
@@ -270,7 +271,7 @@ class _ServerMetrics:
     """
 
     def __init__(self) -> None:
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         self._routes: dict[str, int] = {}
         self._conditional = 0
         self._not_modified = 0
@@ -789,7 +790,7 @@ class _Handler(BaseHTTPRequestHandler):
                 fetched = repository.get_many(
                     [request for _, request in missing])
                 for (offset, (identifier, version)), entry in zip(
-                        missing, fetched):
+                        missing, fetched, strict=True):
                     line = encode_entry(entry)
                     lines[offset] = line
                     if token is not None:

@@ -34,7 +34,6 @@ service, though stacking them buys nothing.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,7 +48,7 @@ from typing import (
 
 from repro.repository.backends import MemoryBackend, StorageBackend
 from repro.repository.backends.base import GetRequest, _split_request
-from repro.repository.concurrency import ReadWriteLock
+from repro.repository.concurrency import Mutex, ReadWriteLock
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     Query,
@@ -190,7 +189,7 @@ class _LRUCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._mutex = threading.Lock()
+        self._mutex = Mutex()
         self._data: OrderedDict[object, ExampleEntry] = OrderedDict()
 
     def get(self, key: object) -> ExampleEntry | None:
@@ -238,7 +237,7 @@ class RepositoryService(StorageBackend):
         self._cache = _LRUCache(cache_size)
         self._rwlock = ReadWriteLock()
         self._subscribers: list[Callable[[RepositoryEvent], None]] = []
-        self._subscribers_mutex = threading.Lock()
+        self._subscribers_mutex = Mutex()
         self._search_index = None  # lazily built, then kept in sync
         self._search_unsubscribe: Callable[[], None] = _noop
         #: Where the search index snapshots itself (None: in-memory
@@ -317,8 +316,8 @@ class RepositoryService(StorageBackend):
                 fetched = self.backend.get_many(
                     [(identifier, version)
                      for _position, identifier, version in missing])
-                for (position, identifier, version), entry in zip(missing,
-                                                                  fetched):
+                for (position, identifier, version), entry in zip(
+                        missing, fetched, strict=True):
                     results[position] = entry
                     self._cache.put(_cache_key(identifier, version), entry)
                     if version is None:
@@ -350,7 +349,7 @@ class RepositoryService(StorageBackend):
         with self._rwlock.write_locked():
             try:
                 count = self.backend.add_many(batch)
-            except Exception:
+            except Exception:  # noqa: BLE001 - re-raised below after announcing the stored prefix
                 # A non-transactional backend may have stored a prefix
                 # of the batch before failing; subscribers (and the
                 # cache) must still hear about what actually landed —

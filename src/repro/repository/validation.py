@@ -52,9 +52,11 @@ class ValidationReport:
         return not self.errors
 
     def describe(self) -> str:
-        lines = [f"validation of {self.identifier!r}: "
-                 f"{len(self.errors)} error(s), "
-                 f"{len(self.warnings)} warning(s)"]
+        lines = [
+            f"validation of {self.identifier!r}: "
+            f"{len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
         lines.extend(f"  error: {problem}" for problem in self.errors)
         lines.extend(f"  warning: {problem}" for problem in self.warnings)
         return "\n".join(lines)
@@ -64,9 +66,9 @@ def _count_sentences(text: str) -> int:
     return max(len(_SENTENCE_END.findall(text)), 1 if text.strip() else 0)
 
 
-def validate_entry(entry: ExampleEntry,
-                   known_properties: set[str] | None = None
-                   ) -> ValidationReport:
+def validate_entry(
+    entry: ExampleEntry, known_properties: set[str] | None = None
+) -> ValidationReport:
     """Check one entry against the §3 template.
 
     ``known_properties`` defaults to the global property registry plus the
@@ -90,8 +92,7 @@ def validate_entry(entry: ExampleEntry,
         report.errors.append("Models must describe at least one model")
     for model in entry.models:
         if not model.description.strip():
-            report.errors.append(
-                f"model {model.name!r} has an empty description")
+            report.errors.append(f"model {model.name!r} has an empty description")
     if not entry.consistency.strip():
         report.errors.append("Consistency must be non-empty")
     if entry.restoration.is_empty():
@@ -114,18 +115,21 @@ def validate_entry(entry: ExampleEntry,
     # remain provisional (version 0.x) until reviewed".
     if entry.version.is_reviewed and not entry.reviewers:
         report.errors.append(
-            f"version {entry.version} requires at least one named reviewer")
+            f"version {entry.version} requires at least one named reviewer"
+        )
     if not entry.version.is_reviewed and entry.reviewers:
         report.warnings.append(
             "entry has reviewers but is still versioned 0.x; consider "
-            "promoting to 1.0")
+            "promoting to 1.0"
+        )
 
     # Overview length.
     sentences = _count_sentences(entry.overview)
     if sentences > MAX_OVERVIEW_SENTENCES:
         report.errors.append(
             f"Overview has {sentences} sentences; the template allows at "
-            f"most {MAX_OVERVIEW_SENTENCES}")
+            f"most {MAX_OVERVIEW_SENTENCES}"
+        )
 
     # Property claims must be glossary terms.
     if known_properties is None:
@@ -135,33 +139,32 @@ def validate_entry(entry: ExampleEntry,
         if claim.name not in known_properties:
             report.errors.append(
                 f"property claim {claim.name!r} is not a glossary term "
-                f"(known: {', '.join(sorted(known_properties))})")
+                f"(known: {', '.join(sorted(known_properties))})"
+            )
     claim_names = [claim.name for claim in entry.properties]
     if len(set(claim_names)) != len(claim_names):
         report.errors.append("duplicate property claims")
 
     # Soft expectations.
     if EntryType.PRECISE in type_set and not entry.properties:
-        report.warnings.append(
-            "PRECISE entries usually state expected properties")
+        report.warnings.append("PRECISE entries usually state expected properties")
     if EntryType.PRECISE in type_set and not entry.variants:
-        report.warnings.append(
-            "PRECISE entries usually record their variation points")
+        report.warnings.append("PRECISE entries usually record their variation points")
     if not entry.references:
         report.warnings.append(
             "no references: if the example comes from the literature, "
-            "cite its origin")
+            "cite its origin"
+        )
     for variant in entry.variants:
         if not variant.description.strip():
-            report.errors.append(
-                f"variant {variant.name!r} has an empty description")
+            report.errors.append(f"variant {variant.name!r} has an empty description")
 
     return report
 
 
-def require_valid(entry: ExampleEntry,
-                  known_properties: set[str] | None = None
-                  ) -> ValidationReport:
+def require_valid(
+    entry: ExampleEntry, known_properties: set[str] | None = None
+) -> ValidationReport:
     """Validate and raise :class:`ValidationError` on any error."""
     report = validate_entry(entry, known_properties)
     if not report.ok:

@@ -246,6 +246,45 @@ class TestLifecycle:
 
         asyncio.run(scenario())
 
+    def test_close_never_blocks_the_event_loop(self):
+        """Regression (found by the `async-purity` analysis rule):
+        close() used to call ``self._writer.shutdown(wait=True)``
+        directly on the loop, so a writer queue that takes a while to
+        drain froze every other coroutine.  Both executor shutdowns now
+        run off-loop; a ticker task must keep ticking throughout."""
+        import time
+
+        async def scenario():
+            aservice = AsyncRepositoryService()
+            await aservice.add(minimal_entry())
+
+            real_shutdown = aservice._writer.shutdown
+
+            def slow_shutdown(wait=True):
+                time.sleep(0.3)  # a writer queue that drains slowly
+                real_shutdown(wait=wait)
+
+            aservice._writer.shutdown = slow_shutdown
+
+            ticks = 0
+            closed = asyncio.Event()
+
+            async def ticker():
+                nonlocal ticks
+                while not closed.is_set():
+                    ticks += 1
+                    await asyncio.sleep(0.01)
+
+            ticking = asyncio.ensure_future(ticker())
+            await aservice.close()
+            closed.set()
+            await ticking
+            # ~30 ticks fit into the slow shutdown alone; even a loaded
+            # CI box manages a handful unless the loop was blocked.
+            assert ticks >= 5, f"event loop starved during close ({ticks})"
+
+        asyncio.run(scenario())
+
     def test_close_is_idempotent_and_final(self):
         async def scenario():
             aservice = AsyncRepositoryService()

@@ -162,6 +162,79 @@ class TestReadWriteLock:
 
         run_threads([reader, writer])
 
+    def test_waiting_writer_blocks_fresh_readers(self):
+        """Writer preference, sharply: once a writer is *waiting*, a
+        brand-new reader queues behind it even though readers currently
+        hold the lock — the property the lock-discipline analysis rule
+        assumes when it lets the service hold the RW lock across
+        backend writes."""
+        lock = ReadWriteLock()
+        order = []
+        reader_in = threading.Event()
+        writer_queued = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                writer_queued.wait(WAIT)
+                time.sleep(0.05)  # window for a misordered second reader
+
+        def writer():
+            reader_in.wait(WAIT)
+            with lock.write_locked():
+                order.append("writer")
+
+        def second_reader():
+            reader_in.wait(WAIT)
+            deadline = time.monotonic() + WAIT
+            while lock._waiting_writers == 0:
+                assert time.monotonic() < deadline, "writer never queued"
+                time.sleep(0.001)
+            writer_queued.set()
+            with lock.read_locked():
+                order.append("reader")
+
+        run_threads([first_reader, writer, second_reader])
+        assert order == ["writer", "reader"]
+
+    def test_writer_reentrant_read_release_keeps_the_write_lock(self):
+        """Releasing a nested read taken by the writing thread is depth
+        bookkeeping only — the write lock stays exclusively held."""
+        lock = ReadWriteLock()
+        entered = threading.Event()
+
+        def outside_reader():
+            with lock.read_locked():
+                entered.set()
+
+        with lock.write_locked():
+            with lock.read_locked():
+                pass  # nested read taken and released by the writer
+            probe = threading.Thread(target=outside_reader)
+            probe.start()
+            assert not entered.wait(0.1), \
+                "reader slipped in: reentrant read release freed the lock"
+        probe.join(WAIT)
+        assert entered.is_set()
+
+    def test_nested_write_release_is_depth_counted(self):
+        lock = ReadWriteLock()
+        entered = threading.Event()
+
+        def outside_reader():
+            with lock.read_locked():
+                entered.set()
+
+        lock.acquire_write()
+        lock.acquire_write()
+        lock.release_write()  # inner release: still exclusively held
+        probe = threading.Thread(target=outside_reader)
+        probe.start()
+        assert not entered.wait(0.1), "inner release_write freed the lock"
+        lock.release_write()
+        probe.join(WAIT)
+        assert entered.is_set()
+
     def test_upgrade_attempt_fails_fast(self):
         lock = ReadWriteLock()
         with lock.read_locked():

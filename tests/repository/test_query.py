@@ -357,6 +357,44 @@ class TestSearchIndexPersistence:
         assert SearchIndex.load(wrong_format,
                                 expected_change_counter=0) is None
 
+    def test_malformed_hydration_means_rebuild(self, tmp_path):
+        """Right format and counter, junk contents: entries that fail
+        validation and postings with non-numeric weights both mean
+        "rebuild", not a crash."""
+        index = self.build_index([minimal_entry()])
+        snapshot = tmp_path / "index.json"
+        index.save(snapshot, change_counter=0)
+        payload = json.loads(snapshot.read_text())
+
+        junk_entries = dict(payload, entries=[{"title": "NO SUCH SHAPE"}])
+        snapshot.write_text(json.dumps(junk_entries))
+        assert SearchIndex.load(snapshot,
+                                expected_change_counter=0) is None
+
+        junk_postings = dict(payload,
+                             postings={"tok": {"demo-example": "heavy"}})
+        snapshot.write_text(json.dumps(junk_postings))
+        assert SearchIndex.load(snapshot,
+                                expected_change_counter=0) is None
+
+    def test_unexpected_hydration_crash_propagates(self, tmp_path,
+                                                   monkeypatch):
+        """Behaviour change with the narrowed catch: load() used to
+        swallow *every* exception as "rebuild", hiding real bugs.  An
+        exception outside the malformed-snapshot set now surfaces."""
+        from repro.repository.entry import ExampleEntry
+
+        index = self.build_index([minimal_entry()])
+        snapshot = tmp_path / "index.json"
+        index.save(snapshot, change_counter=0)
+
+        def boom(data):
+            raise RuntimeError("hydration bug, not a bad snapshot")
+
+        monkeypatch.setattr(ExampleEntry, "from_dict", boom)
+        with pytest.raises(RuntimeError):
+            SearchIndex.load(snapshot, expected_change_counter=0)
+
 
 class TestChangeCounters:
     def test_memory_has_no_durable_counter(self):
