@@ -38,7 +38,14 @@ from dataclasses import replace
 import pytest
 
 from bench_store_backends import LatencyShard, make_entries, make_entry
+from repro.core.errors import BackendUnavailableError
 from repro.harness.workloads import zipfian_identifiers
+from repro.repository import (
+    FaultInjector,
+    FlakyBackend,
+    ReplicatedBackend,
+    RetryPolicy,
+)
 from repro.repository.backends import MemoryBackend
 from repro.repository.client import HTTPBackend
 from repro.repository.codec import EncodeMemo, LineMemo
@@ -351,3 +358,127 @@ class TestServingTargets:
               f"{streamed_peak / 1e6:.1f}MB")
         assert ratio >= 2.0
         assert streamed_peak < buffered_peak / 2
+
+    def test_overload_shed_rate_under_2x_capacity(self, benchmark):
+        """The PR-9 load-shedding floor: 2x-capacity overload is shed,
+        and the *accepted* requests still finish promptly.
+
+        The server's admission bound is clamped to 4 in-flight handlers
+        over 5ms-latent storage and 8 single-attempt clients hammer it.
+        Without shedding the excess queues unboundedly and every
+        request's latency grows with the backlog; with it, the extras
+        get an immediate 503 + Retry-After and the admitted ones pay
+        roughly one storage round trip.  Floors: at least one request
+        shed, every shed typed with a retry hint, accepted p99 under
+        500ms (an order of magnitude below a queueing collapse).
+        """
+        capacity = 4
+        clients = 2 * capacity
+        requests_each = 25
+        entries = make_entries(POPULATION)
+        inner = MemoryBackend()
+        inner.add_many(entries)
+        backend = LatencyShard(inner, fixed=0.005, per_item=0.0)
+        service = RepositoryService(backend, cache_size=0)
+        server = RepositoryServer(service, max_inflight=capacity,
+                                  shed_retry_after=0.05).start()
+        identifiers = [entry.identifier for entry in entries]
+        accepted: list[float] = []
+        sheds: list[BackendUnavailableError] = []
+
+        def storm(seed: int) -> None:
+            # One attempt, no client-side retry: every 503 is counted.
+            client = HTTPBackend(
+                server.url, retry_policy=RetryPolicy(max_attempts=1))
+            stream = zipfian_identifiers(requests_each, identifiers,
+                                         seed=seed)
+            for identifier in stream:
+                started = time.perf_counter()
+                try:
+                    client.get(identifier)
+                except BackendUnavailableError as error:
+                    sheds.append(error)
+                else:
+                    accepted.append(time.perf_counter() - started)
+            client.close()
+
+        def run_storm() -> int:
+            accepted.clear()
+            sheds.clear()
+            workers = [threading.Thread(target=storm, args=(seed,))
+                       for seed in range(clients)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            return len(sheds)
+
+        try:
+            shed_count = benchmark.pedantic(run_storm, rounds=1)
+        finally:
+            server.stop()
+            service.close()
+        total = clients * requests_each
+        assert len(accepted) + shed_count == total
+        assert shed_count >= 1, \
+            "2x-capacity overload shed nothing: admission bound inert"
+        assert all(error.retry_after is not None for error in sheds), \
+            "shed responses carried no Retry-After pacing hint"
+        ordered = sorted(accepted)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        shed_rate = shed_count / total
+        print(f"\noverload at 2x capacity ({clients} clients vs "
+              f"{capacity} slots): {shed_count}/{total} shed "
+              f"({shed_rate:.0%}), accepted p99 {p99 * 1000:.1f}ms")
+        assert p99 < 0.5, (
+            f"accepted-request p99 {p99:.3f}s: shedding failed to "
+            f"protect admitted traffic")
+        benchmark.extra_info["shed_rate"] = round(shed_rate, 4)
+        benchmark.extra_info["shed_count"] = shed_count
+        benchmark.extra_info["accepted_p99_ms"] = round(p99 * 1000, 3)
+        benchmark.extra_info["capacity"] = capacity
+        benchmark.extra_info["clients"] = clients
+
+    def test_replica_reintegration_time_bounded(self, benchmark):
+        """The PR-9 reintegration row: suspended replica back in
+        rotation, repaired first, within a bounded wall clock.
+
+        A replica dies, its breaker opens after 3 failed mirror writes,
+        ~100 writes land on the primary alone, then the replica
+        revives.  ``check_health`` must anti-entropy-repair the missed
+        writes *before* rejoining it — the measured time is that whole
+        repair-then-rejoin, and the floor keeps it an interactive
+        operation rather than a background migration.
+        """
+        entries = make_entries(500)
+        injector = FaultInjector()
+        raw_replica = MemoryBackend()
+        replica = FlakyBackend(raw_replica, injector, "bench.replica")
+        pair = ReplicatedBackend(MemoryBackend(), [replica],
+                                 failure_threshold=3)
+        pair.add_many(entries[:400])  # both copies in sync
+        replica.kill()
+        for entry in entries[400:500]:  # primary-only writes
+            pair.add(entry)
+        assert pair.suspended_replicas() == (0,)
+        missed = raw_replica.entry_count()
+        replica.revive()
+
+        def reintegrate() -> float:
+            started = time.perf_counter()
+            recovered = pair.check_health()
+            elapsed = time.perf_counter() - started
+            assert recovered == [0], recovered
+            return elapsed
+
+        elapsed = benchmark.pedantic(reintegrate, rounds=1)
+        assert pair.reintegrations == 1
+        assert pair.suspended_replicas() == ()
+        assert raw_replica.entry_count() == 500, \
+            "replica rejoined without the missed writes"
+        print(f"\nreplica reintegration: {500 - missed} missed "
+              f"entries repaired and rejoined in "
+              f"{elapsed * 1000:.1f}ms")
+        assert elapsed < 5.0
+        benchmark.extra_info["reintegration_ms"] = round(elapsed * 1e3, 3)
+        benchmark.extra_info["entries_repaired"] = 500 - missed

@@ -110,7 +110,8 @@ def _assert_soak_ok(report, *, expect_faults: "set[str]") -> None:
     # divergence and bounce fire no injector point, so "fired" there is
     # proven by their recovery assertions instead.
     for record in report.faults:
-        if record.name.startswith(("shard-kill", "file-crash")):
+        if record.name.startswith(("shard-kill", "file-crash",
+                                   "brownout")):
             assert record.fired >= 1, f"{record.name} never fired"
     assert report.ops_total > 0 and report.invariant_checks >= 2
 
@@ -125,7 +126,8 @@ def test_soak_direct_stack(benchmark, tmp_path):
 
     report, _runner = benchmark.pedantic(soak, rounds=1)
     _assert_soak_ok(report, expect_faults={
-        "shard-kill", "replica-diverge", "file-crash"})
+        "shard-kill", "replica-diverge", "file-crash", "brownout",
+        "replica-recover"})
     benchmark.extra_info.update(report.extra_info())
 
 
@@ -139,7 +141,8 @@ def test_soak_http_stack(benchmark, tmp_path):
 
     report, _runner = benchmark.pedantic(soak, rounds=1)
     _assert_soak_ok(report, expect_faults={
-        "shard-kill", "replica-diverge", "file-crash", "server-bounce"})
+        "shard-kill", "replica-diverge", "file-crash", "brownout",
+        "replica-recover", "overload", "server-bounce"})
     benchmark.extra_info.update(report.extra_info())
 
 
@@ -162,7 +165,7 @@ def test_soak_recovery_times(benchmark, tmp_path):
 
     report = benchmark.pedantic(soak, rounds=1)
     assert report.ok, f"soak violations: {report.violations}"
-    assert len(report.faults) == 4
+    assert len(report.faults) == 7
     for record in report.faults:
         benchmark.extra_info[f"recovery_ms_{record.name}"] = round(
             record.recovery_seconds * 1e3, 3)

@@ -13,6 +13,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     exceptions,
     locks,
     protocol,
+    retries,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "exceptions",
     "locks",
     "protocol",
+    "retries",
 ]

@@ -1,0 +1,145 @@
+"""Rule 7 — retry discipline.
+
+PR-9 gave the stack one sanctioned retry mechanism
+(:class:`repro.repository.resilience.RetryPolicy`: capped attempts,
+decorrelated jitter, a retry budget, deadline awareness).  Hand-rolled
+retry loops bypass every one of those safeguards — they synchronise
+into retry storms, multiply load during outages, and ignore deadlines —
+so this rule flags the two shapes they take:
+
+* a ``time.sleep`` call directly inside a ``while``/``for`` body (the
+  backoff-by-hand smell; sleeping off-loop belongs to the policy's
+  injectable ``sleep``);
+* a ``for ... in range(n)`` loop whose body is a ``try`` with an
+  exception handler that swallows the error and goes around again
+  (``continue``/``pass``) — the classic ad-hoc attempt counter.
+
+``resilience.py`` itself is exempt: it *implements* the sanctioned
+sleep.  Nested ``def``/``lambda`` bodies are skipped (an injectable
+``sleep=time.sleep`` default or a deferred callable is not a loop
+sleeping inline).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import (
+    ParsedFile,
+    Project,
+    dotted_name,
+    rule,
+)
+
+_EXEMPT_FILES = frozenset({"resilience.py"})
+
+Found = Iterator[tuple[ParsedFile, int, str]]
+
+
+@rule("retry-discipline")
+def check(project: Project) -> Found:
+    """Hand-rolled retry loops (sleep-in-loop, range(n) attempt
+    counters) are flagged; retries go through resilience.RetryPolicy."""
+    for parsed in project.files:
+        if parsed.tree is None or parsed.name in _EXEMPT_FILES:
+            continue
+        aliases = _sleep_aliases(parsed.tree)
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, (ast.While, ast.For)):
+                yield from _sleeps_in_loop(parsed, node, aliases)
+            if isinstance(node, ast.For):
+                yield from _adhoc_attempt_loop(parsed, node)
+
+
+def _sleep_aliases(tree: ast.Module) -> frozenset[str]:
+    """Local names bound to time.sleep via from-imports."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for name in node.names:
+                if name.name == "sleep":
+                    aliases.add(name.asname or name.name)
+    return frozenset(aliases)
+
+
+def _sleeps_in_loop(
+    parsed: ParsedFile,
+    loop: ast.While | ast.For,
+    aliases: frozenset[str],
+) -> Found:
+    for statement in loop.body + loop.orelse:
+        for inner in _loop_body_nodes(statement):
+            if not isinstance(inner, ast.Call):
+                continue
+            name = dotted_name(inner.func) or ""
+            if name == "time.sleep" or name in aliases:
+                yield (
+                    parsed,
+                    inner.lineno,
+                    "time.sleep inside a loop is a hand-rolled retry/"
+                    "poll; use resilience.RetryPolicy (jitter, budget, "
+                    "deadline) or an injectable sleep",
+                )
+
+
+def _adhoc_attempt_loop(parsed: ParsedFile, loop: ast.For) -> Found:
+    if not _is_range_call(loop.iter):
+        return
+    for statement in loop.body:
+        if not isinstance(statement, ast.Try):
+            continue
+        for handler in statement.handlers:
+            if _swallows_and_retries(handler):
+                yield (
+                    parsed,
+                    loop.lineno,
+                    "range(n) attempt loop swallowing errors is an "
+                    "ad-hoc retry; use resilience.RetryPolicy so "
+                    "attempts share the jitter/budget/deadline rules",
+                )
+                return
+
+
+def _is_range_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and dotted_name(expr.func) == "range"
+    )
+
+
+def _swallows_and_retries(handler: ast.ExceptHandler) -> bool:
+    """An except body that ends the iteration without re-raising."""
+    if not handler.body:
+        return False
+    last = handler.body[-1]
+    if isinstance(last, (ast.Continue, ast.Pass)):
+        return True
+    return False
+
+
+def _loop_body_nodes(statement: ast.stmt) -> Iterator[ast.AST]:
+    """The statement and its descendants, stopping at nested loops and
+    nested ``def``/``lambda`` bodies (each nested loop reports its own
+    sleeps; deferred callables do not sleep inline)."""
+    yield statement
+    if isinstance(
+        statement,
+        (ast.While, ast.For, ast.FunctionDef, ast.AsyncFunctionDef),
+    ):
+        return
+    stack = list(ast.iter_child_nodes(statement))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(
+            node,
+            (
+                ast.While,
+                ast.For,
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.Lambda,
+            ),
+        ):
+            stack.extend(ast.iter_child_nodes(node))

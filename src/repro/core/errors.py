@@ -109,6 +109,34 @@ class StorageError(RepositoryError):
     """The backing store could not complete an operation."""
 
 
+class BackendUnavailableError(StorageError):
+    """The backing store is temporarily unreachable or refusing work.
+
+    Raised for connection-level failures (refused/reset/timed-out
+    sockets on the HTTP transport), by an overloaded server shedding
+    load, and by a circuit breaker that is failing fast.  ``retry_after``
+    carries the server's ``Retry-After`` hint (seconds) when one was
+    given, so retry policies can pace themselves off it.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class CircuitOpenError(BackendUnavailableError):
+    """A circuit breaker is open: the call was refused without being tried."""
+
+
+class DeadlineExceeded(StorageError):
+    """An operation's deadline expired before it completed.
+
+    Deadlines are cooperative (see :mod:`repro.repository.resilience`):
+    layers check the ambient deadline before and during work and fail
+    fast with this error instead of stalling the caller.
+    """
+
+
 class EntryNotFound(StorageError):
     """No entry exists under the requested identifier (or version)."""
 

@@ -32,7 +32,16 @@ The fault taxonomy (see :mod:`repro.repository.faults` for the seam):
   repaired, and the crash debris must stay invisible;
 * ``server-bounce`` — the HTTP server is stopped and restarted on the
   same port under keep-alive load; clients ride their stale-socket
-  retry back in.
+  retry back in;
+* ``brownout`` — a shard's primary turns slow-but-alive (latched
+  :class:`SlowBackend`); the sharded layer's per-shard deadline must
+  fail that key-range fast instead of stalling every caller;
+* ``replica-recover`` — a replica dies until its circuit breaker opens
+  and suspends it; after revival it must be anti-entropy-repaired
+  *before* it rejoins the read rotation;
+* ``overload`` — the server's admission bound is clamped and a burst of
+  parallel clients drives ~2x capacity; the excess must be shed with
+  503 + Retry-After while accepted requests stay oracle-correct.
 
 Soak rows (throughput, p50/p99, fault-recovery time, invariant-check
 count) flow through ``SoakReport.extra_info()`` into pytest-benchmark's
@@ -54,12 +63,13 @@ import json
 import random
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
-from repro.core.errors import StorageError
+from repro.core.errors import BackendUnavailableError, StorageError
 from repro.harness.metrics import LatencyRecorder
 from repro.harness.workloads import (
     _CORPUS_TOPICS,
@@ -70,6 +80,7 @@ from repro.harness.workloads import (
 )
 from repro.repository import (
     Q,
+    Deadline,
     FaultInjector,
     FileBackend,
     FlakyBackend,
@@ -79,7 +90,9 @@ from repro.repository import (
     ReplicatedBackend,
     RepositoryServer,
     RepositoryService,
+    RetryPolicy,
     ShardedBackend,
+    SlowBackend,
     shard_index,
 )
 from repro.repository.entry import Comment, ExampleEntry
@@ -98,6 +111,9 @@ __all__ = [
     "ReplicaDivergenceFault",
     "FileCrashFault",
     "ServerBounceFault",
+    "BrownoutFault",
+    "ReplicaRecoverFault",
+    "OverloadFault",
     "build_soak_stack",
     "default_faults",
     "run_soak",
@@ -209,7 +225,13 @@ class SoakReport:
                         "at_seconds": round(record.at_seconds, 3),
                         "recovery_ms": round(
                             record.recovery_seconds * 1e3, 3),
-                        "fired": record.fired}
+                        "fired": record.fired,
+                        "details": {
+                            key: value
+                            for key, value in sorted(
+                                record.details.items())
+                            if isinstance(value, (int, float, str, bool))
+                        }}
                        for record in self.faults],
             "invariant_checks": self.invariant_checks,
             "violations": list(self.violations),
@@ -240,7 +262,9 @@ class SoakStack:
     sharded: ShardedBackend
     injector: FaultInjector
     flaky_primaries: list[FlakyBackend]
+    slow_primaries: list[SlowBackend]
     replicas: list[Any]
+    flaky_replicas: list[FlakyBackend]
     replicated: list[ReplicatedBackend]
     file_replica: FileBackend
     file_replica_shard: int
@@ -265,15 +289,24 @@ class SoakStack:
 
 def build_soak_stack(root: str | Path, *, shards: int = 2,
                      http: bool = False,
-                     cache_size: int = 512) -> SoakStack:
+                     cache_size: int = 512,
+                     shard_timeout: float = 0.25,
+                     brownout_delay: float = 0.6,
+                     breaker_reset: float = 0.2) -> SoakStack:
     """The canonical chaos target: sharded-of-replicated (+ HTTP door).
 
     ``shards`` replicated pairs: every primary is a
-    :class:`FlakyBackend`-wrapped :class:`MemoryBackend` (killable);
-    shard 0's replica is a plain ``MemoryBackend`` (the divergence
+    :class:`FlakyBackend`-wrapped :class:`SlowBackend`-wrapped
+    :class:`MemoryBackend` (killable *and* brownout-able), every
+    replica is :class:`FlakyBackend`-wrapped (killable, so its breaker
+    can open); shard 0's replica is a ``MemoryBackend`` (the divergence
     target), the last shard's replica is a :class:`FileBackend` under
-    ``root`` (the crash-window target).  With ``http=True`` the service
-    is additionally served by a live :class:`RepositoryServer` and
+    ``root`` (the crash-window target).  The sharded layer carries a
+    per-shard read deadline (``shard_timeout`` < ``brownout_delay``, so
+    a brownout is observable as fast typed failure), and the replicated
+    pairs use a short ``breaker_reset`` so breaker-open windows resolve
+    inside a CI-sized run.  With ``http=True`` the service is
+    additionally served by a live :class:`RepositoryServer` and
     ``target`` is an :class:`HTTPBackend` against it.
     """
     if shards < 2:
@@ -282,25 +315,36 @@ def build_soak_stack(root: str | Path, *, shards: int = 2,
     root = Path(root)
     injector = FaultInjector()
     flaky_primaries: list[FlakyBackend] = []
+    slow_primaries: list[SlowBackend] = []
     replicas: list[Any] = []
+    flaky_replicas: list[FlakyBackend] = []
     replicated: list[ReplicatedBackend] = []
     file_replica_shard = shards - 1
     file_replica = FileBackend(root / "file-replica")
     file_replica.fault_hook = injector.hook("file-replica.crash")
     for index in range(shards):
-        primary = FlakyBackend(MemoryBackend(), injector,
-                               f"shard{index}.primary")
+        slow = SlowBackend(MemoryBackend(), injector,
+                           f"shard{index}.brownout",
+                           delay=brownout_delay)
+        primary = FlakyBackend(slow, injector, f"shard{index}.primary")
         replica: Any = (file_replica if index == file_replica_shard
                         else MemoryBackend())
+        flaky_replica = FlakyBackend(replica, injector,
+                                     f"shard{index}.replica")
         flaky_primaries.append(primary)
+        slow_primaries.append(slow)
         replicas.append(replica)
-        replicated.append(ReplicatedBackend(primary, [replica]))
-    sharded = ShardedBackend(replicated)
+        flaky_replicas.append(flaky_replica)
+        replicated.append(ReplicatedBackend(
+            primary, [flaky_replica], reset_timeout=breaker_reset))
+    sharded = ShardedBackend(replicated, shard_timeout=shard_timeout)
     service = RepositoryService(sharded, cache_size=cache_size)
     stack = SoakStack(
         target=service, service=service, sharded=sharded,
         injector=injector, flaky_primaries=flaky_primaries,
-        replicas=replicas, replicated=replicated,
+        slow_primaries=slow_primaries,
+        replicas=replicas, flaky_replicas=flaky_replicas,
+        replicated=replicated,
         file_replica=file_replica, file_replica_shard=file_replica_shard,
     )
     if http:
@@ -369,7 +413,17 @@ class ShardKillFault(SoakFault):
         primary = run.stack.flaky_primaries[self.shard]
         primary.revive()
         # Recovery is proven by a write landing on the revived shard.
-        entry = run.add_routed(self.shard)
+        # The primary's circuit breaker opened during the outage, so
+        # the write fails fast (CircuitOpenError) until the breaker's
+        # reset window passes and a half-open trial succeeds; the
+        # sanctioned RetryPolicy rides that out.
+        policy = RetryPolicy(max_attempts=30, base_delay=0.05,
+                             max_delay=0.25)
+        entry = policy.call(
+            lambda: run.add_routed(self.shard),
+            classify=lambda error: isinstance(error,
+                                              BackendUnavailableError),
+            deadline=Deadline.after(10.0))
         fired = run.stack.injector.fired(primary.point)
         assert fired >= 1, f"{self.name} never actually fired"
         return {"probe_write": entry.identifier, "fired": fired}
@@ -484,24 +538,220 @@ class ServerBounceFault(SoakFault):
 
     def recover(self, run: "SoakRunner") -> dict[str, Any]:
         # The server is up; prove a client (holding a now-stale
-        # keep-alive socket) rides its retry back in.
+        # keep-alive socket) rides its retry back in.  The probe itself
+        # goes through the sanctioned RetryPolicy — tolerated outage
+        # errors are retried with jitter until the deadline runs out.
         identifier = run.hot_identifier()
-        deadline = time.monotonic() + self.PROBE_TIMEOUT
         attempts = 0
-        while True:
+
+        def count_attempt(_error: BaseException, _attempt: int) -> None:
+            nonlocal attempts
             attempts += 1
-            try:
-                fetched = run.stack.target.get(identifier)
-                break
-            except _TOLERATED_DURING_FAULT as error:
-                if time.monotonic() > deadline:
-                    raise AssertionError(
-                        f"{self.name}: server did not come back within "
-                        f"{self.PROBE_TIMEOUT}s") from error
-                time.sleep(0.05)
+
+        policy = RetryPolicy(max_attempts=120, base_delay=0.05,
+                             max_delay=0.25)
+        try:
+            fetched = policy.call(
+                lambda: run.stack.target.get(identifier),
+                classify=lambda error: isinstance(
+                    error, _TOLERATED_DURING_FAULT),
+                deadline=Deadline.after(self.PROBE_TIMEOUT),
+                on_retry=count_attempt)
+        except _TOLERATED_DURING_FAULT as error:
+            raise AssertionError(
+                f"{self.name}: server did not come back within "
+                f"{self.PROBE_TIMEOUT}s") from error
         assert fetched == run.oracle.get(identifier), \
             f"{self.name}: stale read after restart"
-        return {"probe_attempts": attempts}
+        return {"probe_attempts": attempts + 1}
+
+
+class BrownoutFault(SoakFault):
+    """A shard's primary turns slow-but-alive; the per-shard deadline
+    must convert the stall into a fast typed failure for that key-range
+    while the other shards stay fast."""
+
+    window_ops = 24
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.name = f"brownout-{shard}"
+
+    def inject(self, run: "SoakRunner") -> dict[str, Any]:
+        slow = run.stack.slow_primaries[self.shard]
+        slow.brownout()
+        run.stack.service.invalidate()
+        identifier = run.identifier_on_shard(self.shard)
+        assert identifier is not None, \
+            f"no identifier stored on shard {self.shard} to probe"
+        # The browned-out shard must fail *faster* than the injected
+        # delay: the deadline cuts the read off, it does not ride it.
+        started = time.perf_counter()
+        try:
+            run.stack.target.get(identifier)
+        except StorageError:
+            elapsed = time.perf_counter() - started
+        else:
+            raise AssertionError(
+                f"{self.name}: read of {identifier!r} succeeded while "
+                f"the shard was browned out (deadline never engaged)")
+        assert elapsed < slow.delay, (
+            f"{self.name}: browned-out read took {elapsed:.3f}s — the "
+            f"per-shard deadline did not fail it fast "
+            f"(delay {slow.delay:.3f}s)")
+        return {"probe_ms": round(elapsed * 1e3, 3)}
+
+    def recover(self, run: "SoakRunner") -> dict[str, Any]:
+        slow = run.stack.slow_primaries[self.shard]
+        slow.restore()
+        # Deadline-abandoned stragglers may still be sleeping inside
+        # the shard pool; one delay-length pause drains them so the
+        # post-recovery probe measures the healthy path.
+        time.sleep(slow.delay)
+        identifier = run.identifier_on_shard(self.shard)
+        assert identifier is not None
+        started = time.perf_counter()
+        fetched = run.stack.target.get(identifier)
+        elapsed = time.perf_counter() - started
+        assert fetched == run.oracle.get(identifier), \
+            f"{self.name}: stale read after brownout recovery"
+        assert elapsed < slow.delay, (
+            f"{self.name}: recovered read still slow "
+            f"({elapsed:.3f}s >= {slow.delay:.3f}s)")
+        fired = run.stack.injector.fired(slow.point)
+        assert fired >= 1, f"{self.name} never actually fired"
+        return {"fired": fired, "recovered_ms": round(elapsed * 1e3, 3)}
+
+
+class ReplicaRecoverFault(SoakFault):
+    """A replica dies until its breaker opens and suspends it; after
+    revival it must be anti-entropy-repaired *before* rejoining."""
+
+    window_ops = 24
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.name = f"replica-recover-{shard}"
+
+    def inject(self, run: "SoakRunner") -> dict[str, Any]:
+        stack = run.stack
+        pair = stack.replicated[self.shard]
+        flaky = stack.flaky_replicas[self.shard]
+        flaky.kill()
+        # Enough mirror writes to cross the breaker's failure
+        # threshold; each composite write still succeeds primary-first.
+        writes = 0
+        while self.shard not in pair.suspended_replicas() and writes < 8:
+            run.add_routed(self.shard)
+            writes += 1
+        suspended = pair.suspended_replicas()
+        assert suspended, (
+            f"{self.name}: replica breaker never opened after "
+            f"{writes} failed mirror writes")
+        return {"writes_to_open": writes, "suspended": len(suspended)}
+
+    def recover(self, run: "SoakRunner") -> dict[str, Any]:
+        stack = run.stack
+        pair = stack.replicated[self.shard]
+        flaky = stack.flaky_replicas[self.shard]
+        # Still dead: a health check must NOT reintegrate it.
+        assert pair.check_health() == [], (
+            f"{self.name}: check_health reintegrated a replica that "
+            f"is still down")
+        assert pair.suspended_replicas(), \
+            f"{self.name}: replica rejoined while still down"
+        flaky.revive()
+        started = time.perf_counter()
+        recovered = pair.check_health()
+        reintegration_ms = round((time.perf_counter() - started) * 1e3, 3)
+        assert recovered == [0], (
+            f"{self.name}: expected replica 0 to reintegrate, "
+            f"got {recovered}")
+        assert not pair.suspended_replicas(), \
+            f"{self.name}: replica still suspended after reintegration"
+        # Repair-before-rejoin: every entry the oracle saw on this
+        # shard is now on the replica, payload-exact.
+        replica = stack.replicas[self.shard]
+        identifier = run.identifier_on_shard(self.shard)
+        assert identifier is not None
+        assert replica.get(identifier) == run.oracle.get(identifier), (
+            f"{self.name}: replica rejoined before anti-entropy "
+            f"repaired it")
+        return {"reintegration_ms": reintegration_ms,
+                "reintegrations": pair.reintegrations}
+
+
+class OverloadFault(SoakFault):
+    """The server's admission bound is clamped to one in-flight request
+    and a parallel burst drives it past capacity; the excess must be
+    shed (503 + Retry-After), never hung or silently dropped."""
+
+    name = "overload"
+    window_ops = 24
+    BURST_CLIENTS = 6
+    BURST_OPS = 4
+
+    def inject(self, run: "SoakRunner") -> dict[str, Any]:
+        server = run.stack.server
+        assert server is not None, "overload needs an HTTP stack"
+        self._saved_limit = server.max_inflight
+        shed_before = \
+            server.metrics.snapshot()["admission"]["shed_overload"]
+        server.set_max_inflight(1)
+        identifier = run.hot_identifier()
+        sheds: list[BackendUnavailableError] = []
+        served: list[float] = []
+
+        def burst() -> None:
+            # One attempt, no client-side retry: every 503 surfaces.
+            client = HTTPBackend(
+                server.url,
+                retry_policy=RetryPolicy(max_attempts=1))
+            try:
+                for _ in range(self.BURST_OPS):
+                    started = time.perf_counter()
+                    fetched = client.get(identifier)
+                    served.append(time.perf_counter() - started)
+                    assert fetched == run.oracle.get(identifier), \
+                        f"{self.name}: overloaded read came back stale"
+            except BackendUnavailableError as error:
+                sheds.append(error)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=burst, daemon=True)
+                   for _ in range(self.BURST_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads), \
+            f"{self.name}: burst clients hung instead of being shed"
+        shed_after = \
+            server.metrics.snapshot()["admission"]["shed_overload"]
+        assert shed_after > shed_before, (
+            f"{self.name}: no requests were shed at "
+            f"2x+ capacity (limit 1, {self.BURST_CLIENTS} clients)")
+        assert sheds, \
+            f"{self.name}: shed requests never surfaced as typed errors"
+        assert all(error.retry_after is not None for error in sheds), \
+            f"{self.name}: shed responses carried no Retry-After hint"
+        worst_accepted = max(served) if served else 0.0
+        return {"shed_total": shed_after - shed_before,
+                "client_sheds": len(sheds),
+                "accepted": len(served),
+                "accepted_worst_ms": round(worst_accepted * 1e3, 3)}
+
+    def recover(self, run: "SoakRunner") -> dict[str, Any]:
+        server = run.stack.server
+        assert server is not None
+        server.set_max_inflight(self._saved_limit)
+        identifier = run.hot_identifier()
+        fetched = run.stack.target.get(identifier)
+        assert fetched == run.oracle.get(identifier), \
+            f"{self.name}: stale read after overload recovery"
+        return {"restored_limit": self._saved_limit}
+
 
 
 def default_faults(stack: SoakStack) -> list[SoakFault]:
@@ -510,8 +760,11 @@ def default_faults(stack: SoakStack) -> list[SoakFault]:
         ShardKillFault(0),
         ReplicaDivergenceFault(0),
         FileCrashFault(),
+        BrownoutFault(0),
+        ReplicaRecoverFault(0),
     ]
     if stack.server is not None:
+        faults.append(OverloadFault())
         faults.append(ServerBounceFault())
     return faults
 

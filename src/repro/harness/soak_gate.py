@@ -1,0 +1,163 @@
+"""The soak trend gate: fail CI when resilience regresses run-over-run.
+
+A soak that passes says "the stack survived tonight"; the *trend* says
+whether surviving got slower.  This gate compares the current soak
+report (the ``--json`` output of :mod:`repro.harness.soak`) against the
+previous run's artifact and fails — exit code 1 — when recovery
+genuinely regressed:
+
+* any fault's **recovery time** grew beyond ``--max-recovery-ratio``
+  (default 2.0) times the baseline for the same fault name, provided
+  both sides are above a noise floor (``--noise-floor-ms``, default
+  50 ms — comparing a 3 ms recovery to a 7 ms one is jitter, not a
+  regression);
+* **throughput** fell below ``--min-throughput-ratio`` (default 0.5)
+  of the baseline;
+* the current report itself is red (violations), which fails
+  regardless of any baseline.
+
+With no baseline (first nightly, cache miss, new fault names) the gate
+passes and says so: a missing history is a bootstrap, not a regression.
+The comparison is name-keyed, so adding or removing faults between
+runs never trips the gate — only a fault present in *both* reports is
+compared.
+
+CI wiring (see ``.github/workflows/ci.yml``): the nightly soak job
+restores the previous night's report from the actions cache, runs the
+gate, then saves the fresh report under a run-unique key so the next
+night restores it by prefix.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.harness.soak_gate soak-http.json \
+        --baseline previous/soak-http.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["compare_reports", "gate", "main"]
+
+#: Below this recovery time (milliseconds) run-to-run scheduler jitter
+#: dominates; ratios between two sub-floor numbers are meaningless.
+DEFAULT_NOISE_FLOOR_MS = 50.0
+DEFAULT_MAX_RECOVERY_RATIO = 2.0
+DEFAULT_MIN_THROUGHPUT_RATIO = 0.5
+
+
+def _fault_recoveries(report: dict[str, Any]) -> dict[str, float]:
+    """Per-fault recovery time in milliseconds, keyed by fault name."""
+    recoveries: dict[str, float] = {}
+    for record in report.get("faults", []):
+        recoveries[record["name"]] = record["recovery_seconds"] * 1e3
+    return recoveries
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    max_recovery_ratio: float = DEFAULT_MAX_RECOVERY_RATIO,
+    min_throughput_ratio: float = DEFAULT_MIN_THROUGHPUT_RATIO,
+    noise_floor_ms: float = DEFAULT_NOISE_FLOOR_MS,
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass)."""
+    regressions: list[str] = []
+    base_recoveries = _fault_recoveries(baseline)
+    for name, recovery_ms in sorted(_fault_recoveries(current).items()):
+        base_ms = base_recoveries.get(name)
+        if base_ms is None:
+            continue  # new fault: no history to regress against
+        if recovery_ms <= noise_floor_ms:
+            continue  # fast either way; ratios below the floor are jitter
+        threshold = max(base_ms, noise_floor_ms) * max_recovery_ratio
+        if recovery_ms > threshold:
+            regressions.append(
+                f"fault {name!r}: recovery {recovery_ms:.0f} ms is "
+                f"worse than {max_recovery_ratio:.1f}x the previous "
+                f"{base_ms:.0f} ms")
+    current_ops = float(current.get("throughput_ops", 0.0))
+    baseline_ops = float(baseline.get("throughput_ops", 0.0))
+    if baseline_ops > 0 and current_ops < baseline_ops * min_throughput_ratio:
+        regressions.append(
+            f"throughput {current_ops:.0f} ops/s fell below "
+            f"{min_throughput_ratio:.2f}x the previous "
+            f"{baseline_ops:.0f} ops/s")
+    return regressions
+
+
+def gate(
+    current_path: Path,
+    baseline_path: Path | None,
+    *,
+    max_recovery_ratio: float = DEFAULT_MAX_RECOVERY_RATIO,
+    min_throughput_ratio: float = DEFAULT_MIN_THROUGHPUT_RATIO,
+    noise_floor_ms: float = DEFAULT_NOISE_FLOOR_MS,
+    out=None,
+) -> int:
+    """Compare one report pair; 0 = pass, 1 = regression/red report."""
+    if out is None:
+        out = sys.stdout
+    current = json.loads(current_path.read_text())
+    label = current_path.name
+    if current.get("violations"):
+        print(f"{label}: soak itself is red "
+              f"({len(current['violations'])} violation(s)); "
+              f"the gate does not compare broken runs", file=out)
+        return 1
+    if baseline_path is None or not baseline_path.exists():
+        print(f"{label}: no previous soak artifact — trend bootstrap, "
+              f"gate passes", file=out)
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    regressions = compare_reports(
+        current, baseline,
+        max_recovery_ratio=max_recovery_ratio,
+        min_throughput_ratio=min_throughput_ratio,
+        noise_floor_ms=noise_floor_ms)
+    if regressions:
+        print(f"{label}: REGRESSED vs {baseline_path}:", file=out)
+        for regression in regressions:
+            print(f"  - {regression}", file=out)
+        return 1
+    compared = sorted(set(_fault_recoveries(current))
+                      & set(_fault_recoveries(baseline)))
+    print(f"{label}: trend OK vs {baseline_path} "
+          f"({len(compared)} fault(s) compared: {', '.join(compared)}; "
+          f"throughput {current.get('throughput_ops', 0):.0f} vs "
+          f"{baseline.get('throughput_ops', 0):.0f} ops/s)", file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.soak_gate",
+        description="Fail when a soak report regresses vs the previous "
+                    "run's artifact (>2x recovery time or <0.5x "
+                    "throughput by default).")
+    parser.add_argument("current", type=Path,
+                        help="the soak --json report from this run")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="the previous run's report; missing file "
+                             "or flag = bootstrap pass")
+    parser.add_argument("--max-recovery-ratio", type=float,
+                        default=DEFAULT_MAX_RECOVERY_RATIO)
+    parser.add_argument("--min-throughput-ratio", type=float,
+                        default=DEFAULT_MIN_THROUGHPUT_RATIO)
+    parser.add_argument("--noise-floor-ms", type=float,
+                        default=DEFAULT_NOISE_FLOOR_MS)
+    options = parser.parse_args(argv)
+    return gate(
+        options.current, options.baseline,
+        max_recovery_ratio=options.max_recovery_ratio,
+        min_throughput_ratio=options.min_throughput_ratio,
+        noise_floor_ms=options.noise_floor_ms)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

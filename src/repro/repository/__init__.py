@@ -29,6 +29,7 @@ from repro.repository.faults import (
     FaultInjector,
     FlakyBackend,
     InjectedFault,
+    SlowBackend,
 )
 from repro.repository.render_cache import RenderCache
 from repro.repository.citation import (
@@ -83,6 +84,15 @@ from repro.repository.query import (
     result_to_dict,
     stats_from_dict,
     stats_to_dict,
+)
+from repro.repository.resilience import (
+    CircuitBreaker,
+    Deadline,
+    HealthProbe,
+    RetryBudget,
+    RetryPolicy,
+    current_deadline,
+    deadline_scope,
 )
 from repro.repository.search import SearchHit, SearchIndex, tokenize
 from repro.repository.service import (
@@ -140,7 +150,10 @@ __all__ = [
     "ShardedBackend", "shard_index", "ReplicatedBackend",
     "AntiEntropyReport", "ReadWriteLock",
     # fault injection (the soak/chaos seam)
-    "FaultInjector", "FlakyBackend", "InjectedFault",
+    "FaultInjector", "FlakyBackend", "InjectedFault", "SlowBackend",
+    # resilience (deadlines, retries, breakers, probes)
+    "Deadline", "deadline_scope", "current_deadline",
+    "RetryBudget", "RetryPolicy", "CircuitBreaker", "HealthProbe",
     # service facade
     "RepositoryService", "RepositoryEvent", "RepositoryAPI", "API_METHODS",
     # the serving layer: async facade + HTTP server/client

@@ -33,6 +33,13 @@ Design decisions, and why:
   :meth:`get_many` stays ONE job on purpose — the sync facade holds
   its read lock across the whole batch, so the answer is a single
   consistent snapshot (see the method docstring).
+* **Admission control, not unbounded queues.**  Each executor accepts
+  at most a watermark of pending jobs (``max_pending_reads`` /
+  ``max_pending_writes``); past that the call is *shed* immediately
+  with :class:`~repro.core.errors.BackendUnavailableError` carrying a
+  ``retry_after`` pacing hint, instead of stacking futures until the
+  process falls over.  :meth:`drain` flips the service into a
+  refuse-new/finish-old mode for graceful shutdown or failover.
 * **The context manager owns shutdown.**  ``async with`` closes the
   service on exit — :meth:`close` snapshots the search index (when the
   sync service has an ``index_path``), closes the backend, and shuts
@@ -47,6 +54,7 @@ import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.core.errors import BackendUnavailableError
 from repro.repository.backends import StorageBackend
 from repro.repository.backends.base import GetRequest
 from repro.repository.entry import ExampleEntry
@@ -79,6 +87,9 @@ class AsyncRepositoryService:
         service: RepositoryService | StorageBackend | None = None,
         *,
         max_readers: int = 8,
+        max_pending_reads: int | None = None,
+        max_pending_writes: int | None = 64,
+        shed_retry_after: float = 0.5,
     ) -> None:
         if service is None:
             service = RepositoryService()
@@ -101,18 +112,72 @@ class AsyncRepositoryService:
             max_workers=1, thread_name_prefix="aservice-write"
         )
         self._closed = False
+        #: Watermarks on *pending* jobs (queued + running) per executor.
+        #: ``None`` means unbounded.  All counters live on the event
+        #: loop thread, so plain ints are race-free.
+        self.max_pending_reads = max_pending_reads
+        self.max_pending_writes = max_pending_writes
+        self.shed_retry_after = shed_retry_after
+        self._pending_reads = 0
+        self._pending_writes = 0
+        self._shed_total = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     # ------------------------------------------------------------------
     # Executor plumbing.
     # ------------------------------------------------------------------
 
     async def _read(self, fn: Callable[[], _T]) -> _T:
+        self._admit(self._pending_reads, self.max_pending_reads, "reader")
+        self._pending_reads += 1
+        self._idle.clear()
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._readers, fn)
+        try:
+            return await loop.run_in_executor(self._readers, fn)
+        finally:
+            self._pending_reads -= 1
+            self._note_if_idle()
 
     async def _write(self, fn: Callable[[], _T]) -> _T:
+        self._admit(self._pending_writes, self.max_pending_writes, "writer")
+        self._pending_writes += 1
+        self._idle.clear()
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._writer, fn)
+        try:
+            return await loop.run_in_executor(self._writer, fn)
+        finally:
+            self._pending_writes -= 1
+            self._note_if_idle()
+
+    def _admit(self, pending: int, watermark: int | None, lane: str) -> None:
+        """Refuse work past the watermark (or while draining), cheaply.
+
+        Runs on the event loop before the executor is touched, so an
+        overloaded service sheds in microseconds instead of queueing.
+        A *closed* service deliberately skips these checks: the
+        shut-down executor raises the documented ``RuntimeError``.
+        """
+        if self._closed:
+            return
+        if self._draining:
+            self._shed_total += 1
+            raise BackendUnavailableError(
+                "async repository service is draining; retry elsewhere",
+                retry_after=self.shed_retry_after,
+            )
+        if watermark is not None and pending >= watermark:
+            self._shed_total += 1
+            raise BackendUnavailableError(
+                f"async {lane} queue is full ({pending} pending); "
+                f"retry after {self.shed_retry_after:g}s",
+                retry_after=self.shed_retry_after,
+            )
+
+    def _note_if_idle(self) -> None:
+        if self._pending_reads == 0 and self._pending_writes == 0:
+            self._idle.set()
 
     # ------------------------------------------------------------------
     # Reads (fanned out over the reader pool).
@@ -224,6 +289,36 @@ class AsyncRepositoryService:
 
     async def cache_stats(self) -> dict[str, dict[str, int]]:
         return await self._read(self.service.cache_stats)
+
+    def admission_stats(self) -> dict[str, int | bool]:
+        """Pending-job counts and how many calls were shed so far."""
+        return {
+            "pending_reads": self._pending_reads,
+            "pending_writes": self._pending_writes,
+            "shed_total": self._shed_total,
+            "draining": self._draining,
+        }
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Refuse new work and wait for in-flight calls to finish.
+
+        Returns True when the service went idle within ``timeout``
+        (None: wait forever).  The service stays in the draining state
+        either way; :meth:`resume` re-opens admission — the failover
+        dance is drain, hand off, resume (or close).
+        """
+        self._draining = True
+        if self._pending_reads == 0 and self._pending_writes == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def resume(self) -> None:
+        """Re-open admission after a :meth:`drain`."""
+        self._draining = False
 
     async def save_index(self) -> bool:
         """Snapshot the search index (see the sync ``save_index``)."""

@@ -15,9 +15,22 @@ Failure model:
   is counted (``replica_write_failures``) and left for repair.
 * **primary read failure** — reads fail over to the replicas in order.
   Only *infrastructure* failures fail over (a closed connection, an
-  OSError); semantic errors such as
-  :class:`~repro.core.errors.EntryNotFound` are real answers and
-  propagate.
+  OSError, a typed :class:`~repro.core.errors.BackendUnavailableError`);
+  semantic errors such as :class:`~repro.core.errors.EntryNotFound` are
+  real answers and propagate.
+
+Every copy sits behind its own :class:`~repro.repository.resilience.\
+CircuitBreaker`.  A primary whose breaker is open fails *writes* fast
+with :class:`~repro.core.errors.CircuitOpenError` (reads just skip it
+and serve from the replicas).  A replica whose breaker opens is
+**suspended**: dropped from the read rotation and from mirror writes.
+Suspension is deliberately one-way — a recovered replica has missed
+mirror writes, so it must be anti-entropy-repaired *before* it serves a
+single read again.  :meth:`reintegrate` does exactly that
+(repair-then-rejoin); :meth:`check_health` probes every suspended
+replica and reintegrates the ones that answer; and
+:meth:`start_reintegration_probe` runs that check on a background
+:class:`~repro.repository.resilience.HealthProbe` thread.
 
 ``anti_entropy()`` treats the primary as authoritative: replicas receive
 missing entries, missing version tails, and the primary's latest payload
@@ -29,22 +42,42 @@ reported as a conflict instead of silently rewritten.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.core.errors import BxError
+from repro.core.errors import (
+    BackendUnavailableError,
+    BxError,
+    CircuitOpenError,
+    DeadlineExceeded,
+)
 from repro.repository.backends.base import (
     GetRequest,
     StorageBackend,
     merge_cache_stats,
 )
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import QueryPlan, QueryResult, QueryStats
+from repro.repository.resilience import CircuitBreaker, HealthProbe
 from repro.repository.versioning import Version
 
 __all__ = ["AntiEntropyReport", "ReplicatedBackend"]
 
 _T = TypeVar("_T")
+
+
+def _is_outage(error: Exception) -> bool:
+    """Infrastructure failure (fail over, trip breakers) vs real answer.
+
+    A typed :class:`BackendUnavailableError` is an outage even though it
+    is a ``BxError``; every other ``BxError`` (not-found, duplicate,
+    deadline) is a semantic answer from a copy that *did* respond.
+    """
+    if isinstance(error, BackendUnavailableError):
+        return True
+    return not isinstance(error, BxError)
 
 
 @dataclass
@@ -75,12 +108,38 @@ class ReplicatedBackend(StorageBackend):
         self,
         primary: StorageBackend,
         replicas: Sequence[StorageBackend] | StorageBackend,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.primary = primary
         if isinstance(replicas, StorageBackend):
             replicas = [replicas]
         self.replicas = tuple(replicas)
         self.replica_write_failures = 0
+        self.reintegrations = 0
+        self._mutex = Mutex()
+        self._suspended: set[int] = set()
+        self._probe: HealthProbe | None = None
+        self._primary_breaker = CircuitBreaker(
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            clock=clock,
+            name="primary",
+        )
+        self._replica_breakers = tuple(
+            CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout,
+                clock=clock,
+                name=f"replica-{index}",
+                # An open breaker pulls the replica from rotation; only
+                # reintegrate() (repair-then-rejoin) puts it back.
+                on_open=lambda _breaker, index=index: self._suspend(index),
+            )
+            for index in range(len(self.replicas))
+        )
 
     # ------------------------------------------------------------------
     # Reads: primary, then failover.
@@ -164,20 +223,20 @@ class ReplicatedBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def add(self, entry: ExampleEntry) -> None:
-        self.primary.add(entry)
+        self._write(lambda: self.primary.add(entry))
         self._mirror(lambda replica: replica.add(entry))
 
     def add_version(self, entry: ExampleEntry) -> None:
-        self.primary.add_version(entry)
+        self._write(lambda: self.primary.add_version(entry))
         self._mirror(lambda replica: replica.add_version(entry))
 
     def replace_latest(self, entry: ExampleEntry) -> None:
-        self.primary.replace_latest(entry)
+        self._write(lambda: self.primary.replace_latest(entry))
         self._mirror(lambda replica: replica.replace_latest(entry))
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
         batch = list(entries)
-        count = self.primary.add_many(batch)
+        count = self._write(lambda: self.primary.add_many(batch))
         self._mirror(lambda replica: replica.add_many(batch))
         return count
 
@@ -201,7 +260,98 @@ class ReplicatedBackend(StorageBackend):
             report.merge(
                 self._repair_replica(index, replica, primary_versions)
             )
+            # The pass just reconciled this replica against the primary:
+            # that is exactly the repair reintegration requires, so a
+            # suspended replica may rejoin the read rotation here.
+            self._replica_breakers[index].record_success()
+            self._rejoin(index)
         return report
+
+    def reintegrate(self, index: int) -> AntiEntropyReport:
+        """Repair one recovered replica, *then* return it to rotation.
+
+        The ordering is the point: a replica that was down missed
+        mirror writes, so serving reads from it before anti-entropy
+        repair would hand out stale data as fresh.  Raises whatever the
+        repair raises when the replica (or the primary) is still
+        unreachable — the replica then stays suspended.
+        """
+        replica = self.replicas[index]
+        breaker = self._replica_breakers[index]
+        try:
+            primary_versions = self.primary.versions_many(
+                self.primary.identifiers()
+            )
+            report = self._repair_replica(index, replica, primary_versions)
+        except Exception as error:
+            if _is_outage(error):
+                breaker.record_failure()
+            raise
+        breaker.record_success()
+        self._rejoin(index)
+        return report
+
+    def check_health(self) -> list[int]:
+        """Probe suspended replicas; repair-and-rejoin those that answer.
+
+        The deterministic driver for recovery: tests and the soak
+        harness call it directly, :meth:`start_reintegration_probe`
+        runs it on a background thread.  Returns the indices that were
+        reintegrated this pass.
+        """
+        recovered: list[int] = []
+        for index in self.suspended_replicas():
+            try:
+                self.replicas[index].entry_count()  # cheap liveness probe
+            except Exception:  # noqa: BLE001 - still down: stay suspended
+                continue
+            try:
+                self.reintegrate(index)
+            except Exception:  # noqa: BLE001 - repair failed: stay suspended
+                continue
+            recovered.append(index)
+        return recovered
+
+    def start_reintegration_probe(self, interval: float = 1.0) -> HealthProbe:
+        """Run :meth:`check_health` periodically on a daemon thread."""
+        if self._probe is None:
+            def all_replicas_serving() -> bool:
+                self.check_health()
+                return not self.suspended_replicas()
+
+            self._probe = HealthProbe(
+                all_replicas_serving,
+                interval=interval,
+                name="replica-reintegration",
+            )
+        self._probe.interval = interval
+        self._probe.start()
+        return self._probe
+
+    def suspended_replicas(self) -> tuple[int, ...]:
+        """Indices currently out of the read rotation, pending repair."""
+        with self._mutex:
+            return tuple(sorted(self._suspended))
+
+    def resilience_stats(self) -> dict[str, object]:
+        """Breaker states, suspensions and repair counters, one shot."""
+        suspended = set(self.suspended_replicas())
+        return {
+            "primary": {
+                "state": self._primary_breaker.state,
+                "opened_total": self._primary_breaker.opened_total,
+            },
+            "replicas": [
+                {
+                    "state": breaker.state,
+                    "opened_total": breaker.opened_total,
+                    "suspended": index in suspended,
+                }
+                for index, breaker in enumerate(self._replica_breakers)
+            ],
+            "replica_write_failures": self.replica_write_failures,
+            "reintegrations": self.reintegrations,
+        }
 
     def _repair_replica(
         self,
@@ -251,6 +401,8 @@ class ReplicatedBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
+        if self._probe is not None:
+            self._probe.stop()
         self.primary.close()
         for replica in self.replicas:
             replica.close()
@@ -259,25 +411,105 @@ class ReplicatedBackend(StorageBackend):
     # Internals.
     # ------------------------------------------------------------------
 
-    def _read(self, operation: Callable[[StorageBackend], _T]) -> _T:
+    def _suspend(self, index: int) -> None:
+        with self._mutex:
+            self._suspended.add(index)
+
+    def _rejoin(self, index: int) -> bool:
+        with self._mutex:
+            if index not in self._suspended:
+                return False
+            self._suspended.discard(index)
+            self.reintegrations += 1
+            return True
+
+    def _is_suspended(self, index: int) -> bool:
+        with self._mutex:
+            return index in self._suspended
+
+    def _observed(
+        self,
+        breaker: CircuitBreaker,
+        backend: StorageBackend,
+        operation: Callable[[StorageBackend], _T],
+    ) -> _T:
+        """One call against one copy, with its breaker kept informed.
+
+        Outages count as failures; semantic errors mean the copy
+        answered and count as successes (except a deadline expiry,
+        which says nothing about the copy's health either way).
+        """
         try:
-            return operation(self.primary)
-        except BxError:
-            raise  # A semantic answer (not found, duplicate), not an outage.
-        except Exception as primary_error:  # noqa: BLE001 - primary outage of any shape: fail over, re-raise if no replica answers
-            last_error = None
-            for replica in self.replicas:
-                try:
-                    return operation(replica)
-                except Exception as error:  # noqa: BLE001 - try next replica
-                    last_error = error
-            if last_error is not None:
-                raise last_error from primary_error
+            result = operation(backend)
+        except Exception as error:
+            if _is_outage(error):
+                breaker.record_failure()
+            elif not isinstance(error, DeadlineExceeded):
+                breaker.record_success()
             raise
+        breaker.record_success()
+        return result
+
+    def _read(self, operation: Callable[[StorageBackend], _T]) -> _T:
+        primary_error: Exception | None = None
+        if self._primary_breaker.allow():
+            try:
+                return self._observed(
+                    self._primary_breaker, self.primary, operation)
+            except Exception as error:  # noqa: BLE001 - split semantic/outage below
+                if not _is_outage(error):
+                    raise  # A real answer (not found, duplicate, deadline).
+                primary_error = error
+        last_error: Exception | None = None
+        for index, replica in enumerate(self.replicas):
+            if self._is_suspended(index):
+                continue  # Stale until repaired; never serve reads from it.
+            if not self._replica_breakers[index].allow():
+                continue
+            try:
+                return self._observed(
+                    self._replica_breakers[index], replica, operation)
+            except Exception as error:  # noqa: BLE001 - try the next replica
+                last_error = error
+        if last_error is not None:
+            if primary_error is not None:
+                raise last_error from primary_error
+            raise last_error
+        if primary_error is not None:
+            raise primary_error
+        raise CircuitOpenError(
+            "no healthy copy: the primary breaker is open and every "
+            "replica is suspended",
+            retry_after=self._primary_breaker.reset_timeout,
+        )
+
+    def _write(self, operation: Callable[[], _T]) -> _T:
+        """A primary write under the breaker: a dead primary fails fast."""
+        self._primary_breaker.guard()
+        try:
+            result = operation()
+        except Exception as error:
+            if _is_outage(error):
+                self._primary_breaker.record_failure()
+            elif not isinstance(error, DeadlineExceeded):
+                self._primary_breaker.record_success()
+            raise
+        self._primary_breaker.record_success()
+        return result
 
     def _mirror(self, operation: Callable[[StorageBackend], object]) -> None:
-        for replica in self.replicas:
+        for index, replica in enumerate(self.replicas):
+            breaker = self._replica_breakers[index]
+            if not breaker.allow():
+                # Do not hammer a dead replica with writes it will only
+                # reject; the missed write is anti-entropy's to repair.
+                self.replica_write_failures += 1
+                continue
             try:
                 operation(replica)
-            except Exception:  # noqa: BLE001 - repaired by anti_entropy
+            except Exception as error:  # noqa: BLE001 - repaired by anti_entropy
                 self.replica_write_failures += 1
+                if _is_outage(error):
+                    breaker.record_failure()
+            else:
+                breaker.record_success()

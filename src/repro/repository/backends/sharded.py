@@ -31,11 +31,12 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Iterable, Sequence, TypeVar
 
-from repro.core.errors import StorageError
+from repro.core.errors import DeadlineExceeded, StorageError
 from repro.repository.backends.base import (
     GetRequest,
     StorageBackend,
@@ -50,6 +51,11 @@ from repro.repository.query import (
     collect_positive_terms,
     collect_terms,
     merge_results,
+)
+from repro.repository.resilience import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
 )
 from repro.repository.versioning import Version
 
@@ -71,10 +77,20 @@ class ShardedBackend(StorageBackend):
         shards: Sequence[StorageBackend],
         *,
         max_workers: int | None = None,
+        shard_timeout: float | None = None,
     ) -> None:
         self.shards = tuple(shards)
         if not self.shards:
             raise StorageError("ShardedBackend needs at least one shard")
+        #: Per-shard *read* bound, in seconds (None: unbounded).  Reads
+        #: touching a shard that has browned out — slow, not dead, so
+        #: failover logic keyed on errors never fires — fail that
+        #: key-range fast with DeadlineExceeded instead of stalling the
+        #: whole fan-out behind the one slow child.  An ambient
+        #: resilience.Deadline tightens (never loosens) this bound.
+        #: Writes are never abandoned mid-flight; they only fail fast
+        #: when the deadline is already gone before they start.
+        self.shard_timeout = shard_timeout
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers or len(self.shards),
             thread_name_prefix="shard",
@@ -136,25 +152,33 @@ class ShardedBackend(StorageBackend):
         return sorted(merged)
 
     def versions(self, identifier: str) -> list[Version]:
-        return self.shard_for(identifier).versions(identifier)
+        shard = self.shard_for(identifier)
+        return self._bounded(
+            lambda: shard.versions(identifier), "sharded versions")
 
     def get(
         self,
         identifier: str,
         version: Version | None = None,
     ) -> ExampleEntry:
-        return self.shard_for(identifier).get(identifier, version)
+        shard = self.shard_for(identifier)
+        return self._bounded(
+            lambda: shard.get(identifier, version), "sharded get")
 
     def has(self, identifier: str) -> bool:
-        return self.shard_for(identifier).has(identifier)
+        shard = self.shard_for(identifier)
+        return self._bounded(lambda: shard.has(identifier), "sharded has")
 
     def add(self, entry: ExampleEntry) -> None:
+        self._write_check("sharded add")
         self.shard_for(entry.identifier).add(entry)
 
     def add_version(self, entry: ExampleEntry) -> None:
+        self._write_check("sharded add_version")
         self.shard_for(entry.identifier).add_version(entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
+        self._write_check("sharded replace_latest")
         self.shard_for(entry.identifier).replace_latest(entry)
 
     def entry_count(self) -> int:
@@ -165,6 +189,7 @@ class ShardedBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        self._write_check("sharded add_many")
         batch = list(entries)
         grouped: dict[int, list[ExampleEntry]] = {}
         for entry in batch:
@@ -174,7 +199,7 @@ class ShardedBackend(StorageBackend):
         def load(index: int) -> int:
             return self.shards[index].add_many(grouped[index])
 
-        return sum(self._fan_out(sorted(grouped), load))
+        return sum(self._fan_out(sorted(grouped), load, bounded=False))
 
     def get_many(self, requests: Sequence[GetRequest]) -> list[ExampleEntry]:
         split = [_split_request(request) for request in requests]
@@ -286,26 +311,110 @@ class ShardedBackend(StorageBackend):
     # Internals.
     # ------------------------------------------------------------------
 
+    def _read_deadline(self) -> Deadline | None:
+        """The bound on one read: the ambient deadline, tightened (never
+        loosened) by ``shard_timeout``."""
+        ambient = current_deadline()
+        if self.shard_timeout is None:
+            return ambient
+        local = Deadline.after(self.shard_timeout)
+        if ambient is None or local.remaining() < ambient.remaining():
+            return local
+        return ambient
+
+    def _write_check(self, label: str) -> None:
+        # Writes fail fast *before* touching a shard, never midway: an
+        # abandoned half-applied batch is worse than a late one.
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(label)
+
+    @staticmethod
+    def _scoped(
+        deadline: Deadline,
+        operation: Callable[..., _T],
+        *args: object,
+    ) -> _T:
+        # ContextVars do not cross into pool threads; re-bind the
+        # deadline so child backends (e.g. a nested fan-out) see it.
+        with deadline_scope(deadline):
+            return operation(*args)
+
+    def _bounded(self, operation: Callable[[], _T], label: str) -> _T:
+        """Run one point read under the effective deadline.
+
+        With no deadline active this is an inline call — zero overhead
+        beyond one ContextVar lookup.  Under a deadline the call runs on
+        the pool so the caller can stop waiting when time is up; the
+        worker may still finish late, but its result is discarded and
+        the operation is read-only, so a straggler is harmless.
+        """
+        deadline = self._read_deadline()
+        if deadline is None:
+            return operation()
+        deadline.check(label)
+        future = self._pool.submit(self._scoped, deadline, operation)
+        try:
+            return future.result(timeout=deadline.remaining())
+        except _FuturesTimeout:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"{label} exceeded its deadline; the shard may be "
+                "browned out") from None
+
     def _fan_out(
         self,
         items: Iterable[_T],
         operation: Callable[[_T], object],
+        *,
+        bounded: bool = True,
     ) -> list:
         """Run ``operation`` over items in parallel, preserving order.
 
-        A single-item fan-out runs inline (no pool round-trip).  All
-        futures are awaited even when one fails, so no child operation is
-        still running when the exception propagates.
+        A single-item fan-out runs inline (no pool round-trip) unless a
+        read deadline is active.  Without a deadline all futures are
+        awaited even when one fails, so no child operation is still
+        running when the exception propagates; under a deadline that
+        guarantee is deliberately traded away — the caller gets
+        :class:`DeadlineExceeded` on time and read-only stragglers are
+        left to finish on the pool.  ``bounded=False`` (the write path)
+        opts out of deadline enforcement entirely.
         """
         materialised = list(items)
-        if len(materialised) == 1:
-            return [operation(materialised[0])]
-        futures = [self._pool.submit(operation, item) for item in materialised]
+        deadline = self._read_deadline() if bounded else None
+        if deadline is None:
+            if len(materialised) == 1:
+                return [operation(materialised[0])]
+            futures = [
+                self._pool.submit(operation, item) for item in materialised
+            ]
+            results = []
+            first_error: BaseException | None = None
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+            return results
+        deadline.check("sharded fan-out")
+        futures = [
+            self._pool.submit(self._scoped, deadline, operation, item)
+            for item in materialised
+        ]
         results = []
-        first_error: BaseException | None = None
+        first_error = None
         for future in futures:
             try:
-                results.append(future.result())
+                results.append(future.result(timeout=deadline.remaining()))
+            except _FuturesTimeout:
+                for pending in futures:
+                    pending.cancel()
+                raise DeadlineExceeded(
+                    "sharded fan-out exceeded its deadline; a shard may "
+                    "be browned out") from None
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 if first_error is None:
                     first_error = error

@@ -28,13 +28,20 @@ per calling thread (the connection object is not thread-safe; a
 thread-local keeps the hot path allocation-free).  A connection idle
 past ``idle_reuse_limit`` is replaced *before* reuse — servers close
 idle connections, and that close often surfaces only at response time,
-where a write cannot be safely retried.  Residual failures retry once
-for *any* method when the send itself failed (the request never
-reached the server); once a response was owed, a retry happens for
-idempotent GETs and for a clean ``RemoteDisconnected`` (the stale
-keep-alive signature: the peer closed without sending so much as a
-status line, so the request was not processed).  Any other response
-failure on a write raises, because its fate is genuinely unknown.
+where a write cannot be safely retried.  Residual failures run under
+the sanctioned :class:`~repro.repository.resilience.RetryPolicy`
+(jittered backoff, a shared retry budget, ``Retry-After`` pacing, the
+ambient deadline as a hard stop); *which* failures retry stays
+phase-aware: a failed send retries for any method (the request never
+reached the server), a failed response only for idempotent GETs and
+for a clean ``RemoteDisconnected`` (the stale keep-alive signature:
+the peer closed without sending so much as a status line, so the
+request was not processed), and a 503 shed for any method (refused
+before admission).  Any other response failure on a write raises as
+:class:`~repro.core.errors.BackendUnavailableError`, because its fate
+is genuinely unknown.  An ambient
+:class:`~repro.repository.resilience.Deadline` caps every attempt's
+socket timeout and rides the wire as ``X-Deadline-Ms``.
 
 The wire itself is kept cheap in both directions (mirroring the
 server's side of the protocol):
@@ -74,7 +81,10 @@ from typing import Iterable, Iterator, Sequence
 from urllib.parse import quote, urlsplit
 
 from repro.core.errors import (
+    BackendUnavailableError,
+    CircuitOpenError,
     CurationError,
+    DeadlineExceeded,
     DuplicateEntry,
     EntryNotFound,
     StorageError,
@@ -106,6 +116,12 @@ from repro.repository.query import (
     stats_from_dict,
     stats_to_dict,
 )
+from repro.repository.resilience import (
+    Deadline,
+    RetryBudget,
+    RetryPolicy,
+    current_deadline,
+)
 from repro.repository.versioning import Version
 
 __all__ = ["HTTPBackend"]
@@ -120,9 +136,9 @@ _ERROR_CLASSES = {
         TemplateError,
         CurationError,
         WikiSyncError,
+        DeadlineExceeded,
     )
 }
-
 
 def _raise_remote_error(status: int, payload: object) -> None:
     """Re-raise a wire error as the class the server named."""
@@ -138,7 +154,68 @@ def _raise_remote_error(status: int, payload: object) -> None:
         )
     if name == "DuplicateEntry":
         raise DuplicateEntry(detail.get("identifier", "?"))
+    # Reconstructed with their ``retry_after`` pacing hint intact, so a
+    # retry policy on this side of the wire paces itself off the server's.
+    if name == "CircuitOpenError":
+        raise CircuitOpenError(message, retry_after=detail.get("retry_after"))
+    if name == "BackendUnavailableError":
+        raise BackendUnavailableError(
+            message, retry_after=detail.get("retry_after")
+        )
     raise _ERROR_CLASSES.get(name, StorageError)(message)
+
+
+def _transport_error(phase: str, base_url: str, error: Exception,
+                     deadline: Deadline | None) -> StorageError:
+    """Classify one connection-level failure into the typed taxonomy.
+
+    Raw ``ConnectionRefusedError`` / ``socket.timeout`` / HTTP protocol
+    errors all become :class:`BackendUnavailableError` (tagged with the
+    ``phase`` — send or response — that failed, which is what decides
+    retryability), except a timeout that fired because the *ambient
+    deadline* ran out: that is the caller's clock expiring, reported as
+    :class:`DeadlineExceeded` and never retried.
+    """
+    if (isinstance(error, TimeoutError)
+            and deadline is not None and deadline.expired):
+        return DeadlineExceeded(
+            f"deadline expired awaiting {base_url} ({phase}): {error}")
+    if phase == "send":
+        message = f"repository server unreachable at {base_url}: {error}"
+    else:
+        message = (f"no response from the repository server at "
+                   f"{base_url}: {error}")
+    wrapped = BackendUnavailableError(message)
+    wrapped.phase = phase
+    wrapped.disconnect = isinstance(error, http.client.RemoteDisconnected)
+    return wrapped
+
+
+def _shed_error(headers, raw: bytes) -> StorageError:
+    """A 503: the server refused admission *before* doing any work.
+
+    Safe to retry for any method (the request was never processed);
+    the ``Retry-After`` header (or the error payload's ``retry_after``)
+    becomes the policy's pacing hint.
+    """
+    retry_after: float | None = None
+    header = headers.get("Retry-After")
+    if header is not None:
+        try:
+            retry_after = float(header)
+        except ValueError:
+            retry_after = None
+    message = "server refused admission (HTTP 503)"
+    try:
+        detail = json.loads(raw).get("error", {})
+        message = detail.get("message", message)
+        if retry_after is None:
+            retry_after = detail.get("retry_after")
+    except (ValueError, AttributeError):
+        pass
+    error = BackendUnavailableError(message, retry_after=retry_after)
+    error.shed = True
+    return error
 
 
 class _ValidationCache(_KeyedLRU):
@@ -171,7 +248,8 @@ class HTTPBackend(StorageBackend):
 
     def __init__(self, base_url: str, *, timeout: float = 30.0,
                  idle_reuse_limit: float = 25.0,
-                 stream_batches: bool = True) -> None:
+                 stream_batches: bool = True,
+                 retry_policy: RetryPolicy | None = None) -> None:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.hostname:
             raise StorageError(
@@ -212,6 +290,19 @@ class HTTPBackend(StorageBackend):
         #: raw NDJSON line -> hydrated entry: the streamed-read decode
         #: fast path (byte-identical lines are the same snapshot).
         self._line_memo = LineMemo()
+        #: The sanctioned retry mechanism (replacing the bespoke
+        #: two-attempt loops this client used to carry): decorrelated
+        #: jitter so synchronized clients do not re-storm the server,
+        #: and a shared retry *budget* so a hard outage degrades to a
+        #: trickle of retries instead of tripling every caller's
+        #: traffic.  Which failures are retried at all stays
+        #: phase-aware (:meth:`_retryable`).
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_attempts=3, base_delay=0.02, max_delay=1.0,
+                budget=RetryBudget(capacity=16.0, refill_rate=0.2),
+            )
+        self.retry_policy = retry_policy
 
     # ------------------------------------------------------------------
     # The wire.
@@ -277,55 +368,88 @@ class HTTPBackend(StorageBackend):
     ) -> "tuple[int, http.client.HTTPMessage, bytes]":
         """One buffered exchange: (status, headers, inflated body).
 
-        Retry policy, phase by phase.  The idle-reuse refresh in
-        _connection() keeps the common idle-close race off this path
-        mostly (an idle FIN often lets the send *succeed* into the
-        socket buffer and only fails at response time); what remains
-        is decided by which phase failed:
+        Attempts run under :attr:`retry_policy` (jittered backoff, a
+        shared retry budget, ``Retry-After`` pacing, the ambient
+        deadline as a hard stop).  *Which* failures retry at all stays
+        phase-aware, decided by :meth:`_retryable`:
 
         * connect/*send* failed — the request never reached the
-          server, so ONE retry on a fresh connection is safe for any
+          server, so a retry on a fresh connection is safe for any
           method;
-        * *response* failed — idempotent GETs retry once, and so does
-          a clean ``RemoteDisconnected`` for any method: the peer
-          closed without emitting even a status line, which is the
-          signature of a keep-alive socket that went stale under us —
-          the request was never processed.  Anything else on a write
-          raises, because its fate is genuinely unknown.
+        * *response* failed — idempotent GETs retry, and so does a
+          clean ``RemoteDisconnected`` for any method: the peer closed
+          without emitting even a status line, which is the signature
+          of a keep-alive socket that went stale under us — the
+          request was never processed.  Anything else on a write
+          raises, because its fate is genuinely unknown;
+        * the server *shed* the request (503 before admission) — never
+          processed, so any method retries, paced by ``Retry-After``.
         """
         if self._closed:
             raise StorageError("HTTPBackend is closed")
         body, headers = self._prepare_body(payload)
         if extra_headers:
             headers.update(extra_headers)
-        for attempt in range(2):
-            try:
-                connection = self._connection()
-                connection.request(method, self._prefix + path,
-                                   body=body, headers=headers)
-            except (OSError, http.client.HTTPException) as error:
-                self._drop_connection()
-                if attempt == 0:
-                    continue
-                raise StorageError(
-                    f"repository server unreachable at "
-                    f"{self.base_url}: {error}") from error
-            try:
-                response = connection.getresponse()
-                raw = response.read()
-            except (OSError, http.client.HTTPException) as error:
-                self._drop_connection()
-                if attempt == 0 and (
-                    method == "GET"
-                    or isinstance(error, http.client.RemoteDisconnected)
-                ):
-                    continue
-                raise StorageError(
-                    f"no response from the repository server at "
-                    f"{self.base_url}: {error}") from error
-            return (response.status, response.headers,
-                    self._inflate(response, raw))
-        raise AssertionError("unreachable")  # pragma: no cover
+        return self.retry_policy.call(
+            lambda: self._exchange(method, path, body, headers),
+            classify=lambda error: self._retryable(method, error),
+        )
+
+    def _exchange(
+        self, method: str, path: str, body: "bytes | None", headers: dict,
+    ) -> "tuple[int, http.client.HTTPMessage, bytes]":
+        """One attempt: send, await the response, inflate the body.
+
+        The ambient deadline, when one is set, caps the socket timeout
+        for this attempt and rides the wire as ``X-Deadline-Ms`` so
+        the server (and anything behind it) inherits the same clock.
+        """
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"{method} {path}")
+            headers = dict(headers)
+            headers["X-Deadline-Ms"] = str(
+                max(1, int(deadline.remaining() * 1000)))
+        try:
+            connection = self._connection()
+            # Per-attempt timeout: the deadline's remaining time when
+            # one governs, the configured default otherwise (also
+            # resets any tighter cap a previous attempt left behind).
+            connection.sock.settimeout(
+                deadline.cap(self.timeout) if deadline is not None
+                else self.timeout)
+            connection.request(method, self._prefix + path,
+                               body=body, headers=headers)
+        except (OSError, http.client.HTTPException) as error:
+            self._drop_connection()
+            raise _transport_error(
+                "send", self.base_url, error, deadline) from error
+        try:
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            self._drop_connection()
+            raise _transport_error(
+                "response", self.base_url, error, deadline) from error
+        if response.status == 503:
+            raise _shed_error(response.headers,
+                              self._inflate(response, raw))
+        return (response.status, response.headers,
+                self._inflate(response, raw))
+
+    @staticmethod
+    def _retryable(method: str, error: BaseException) -> bool:
+        """Phase-aware retry decision (see :meth:`_round_trip`)."""
+        if not isinstance(error, BackendUnavailableError):
+            return False
+        if getattr(error, "shed", False):
+            return True  # refused before admission: never processed
+        phase = getattr(error, "phase", None)
+        if phase == "send":
+            return True
+        if phase == "response":
+            return method == "GET" or getattr(error, "disconnect", False)
+        return False
 
     @staticmethod
     def _inflate(response, raw: bytes) -> bytes:
@@ -520,29 +644,12 @@ class HTTPBackend(StorageBackend):
             raise StorageError("HTTPBackend is closed")
         body, headers = self._prepare_body(payload)
         headers["Accept"] = NDJSON_TYPE
-        for attempt in range(2):
-            try:
-                connection = self._connection()
-                connection.request("POST", self._prefix + path,
-                                   body=body, headers=headers)
-            except (OSError, http.client.HTTPException) as error:
-                self._drop_connection()
-                if attempt == 0:
-                    continue
-                raise StorageError(
-                    f"repository server unreachable at "
-                    f"{self.base_url}: {error}") from error
-            try:
-                response = connection.getresponse()
-            except (OSError, http.client.HTTPException) as error:
-                self._drop_connection()
-                if attempt == 0 and isinstance(
-                        error, http.client.RemoteDisconnected):
-                    continue
-                raise StorageError(
-                    f"no response from the repository server at "
-                    f"{self.base_url}: {error}") from error
-            break
+        # Only the prologue (send + status line) retries; once body
+        # chunks may have been consumed a retry could replay lines.
+        response = self.retry_policy.call(
+            lambda: self._open_stream(path, body, headers),
+            classify=lambda error: self._retryable("POST", error),
+        )
         if response.status >= 400:
             raw = self._inflate(response, response.read())
             self._decode(response.status, raw)  # raises the wire error
@@ -619,6 +726,37 @@ class HTTPBackend(StorageBackend):
             raise StorageError(
                 f"streamed batch response dropped lines: the end frame "
                 f"counted {end_count}, {lines_seen} arrived")
+
+    def _open_stream(self, path: str, body: "bytes | None",
+                     headers: dict) -> http.client.HTTPResponse:
+        """One streamed-POST attempt: send and await the status line."""
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"POST {path}")
+            headers = dict(headers)
+            headers["X-Deadline-Ms"] = str(
+                max(1, int(deadline.remaining() * 1000)))
+        try:
+            connection = self._connection()
+            connection.sock.settimeout(
+                deadline.cap(self.timeout) if deadline is not None
+                else self.timeout)
+            connection.request("POST", self._prefix + path,
+                               body=body, headers=headers)
+        except (OSError, http.client.HTTPException) as error:
+            self._drop_connection()
+            raise _transport_error(
+                "send", self.base_url, error, deadline) from error
+        try:
+            response = connection.getresponse()
+        except (OSError, http.client.HTTPException) as error:
+            self._drop_connection()
+            raise _transport_error(
+                "response", self.base_url, error, deadline) from error
+        if response.status == 503:
+            raw = self._inflate(response, response.read())
+            raise _shed_error(response.headers, raw)
+        return response
 
     # ------------------------------------------------------------------
     # Queries: executed server-side, results rehydrated.

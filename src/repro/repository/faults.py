@@ -33,6 +33,7 @@ The soak's file-crash fault arms an injector point there.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterable, Sequence
 
 from repro.repository.backends.base import GetRequest, StorageBackend
@@ -41,7 +42,7 @@ from repro.repository.entry import ExampleEntry
 from repro.repository.query import QueryPlan, QueryResult, QueryStats
 from repro.repository.versioning import Version
 
-__all__ = ["FaultInjector", "FlakyBackend", "InjectedFault"]
+__all__ = ["FaultInjector", "FlakyBackend", "InjectedFault", "SlowBackend"]
 
 
 class InjectedFault(ConnectionError):
@@ -99,6 +100,23 @@ class FaultInjector:
                 del self._armed[point]
         raise InjectedFault(point)
 
+    def observe(self, point: str) -> bool:
+        """Count a firing if ``point`` is armed, without raising.
+
+        The non-failing twin of :meth:`trip`, for faults that degrade
+        rather than break (a brownout slows calls down instead of
+        failing them — :class:`SlowBackend`).  One-shot arming still
+        disarms after the first observation.
+        """
+        with self._mutex:
+            mode = self._armed.get(point)
+            if mode is None:
+                return False
+            self._fired[point] = self._fired.get(point, 0) + 1
+            if mode == self._ONCE:
+                del self._armed[point]
+        return True
+
     def hook(self, point: str) -> Callable[[str], None]:
         """An adapter for single-callable seams (``FileBackend.fault_hook``).
 
@@ -141,6 +159,15 @@ class FlakyBackend(StorageBackend):
         self.injector = injector
         self.point = point
 
+    def _trip(self) -> None:
+        """The single seam every operation passes through.
+
+        Subclasses override this to change what an armed point *does*
+        (fail here; delay in :class:`SlowBackend`) without re-touching
+        the twenty delegating methods.
+        """
+        self.injector.trip(self.point)
+
     # -- convenience controls (sugar over the injector) ----------------
 
     def kill(self) -> None:
@@ -153,56 +180,56 @@ class FlakyBackend(StorageBackend):
     # -- reads ----------------------------------------------------------
 
     def identifiers(self) -> list[str]:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.identifiers()
 
     def versions(self, identifier: str) -> list[Version]:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.versions(identifier)
 
     def versions_many(
             self, identifiers: Sequence[str]) -> dict[str, list[Version]]:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.versions_many(identifiers)
 
     def has(self, identifier: str) -> bool:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.has(identifier)
 
     def entry_count(self) -> int:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.entry_count()
 
     def latest_version(self, identifier: str) -> Version:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.latest_version(identifier)
 
     def get(self, identifier: str,
             version: Version | None = None) -> ExampleEntry:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.get(identifier, version)
 
     def get_many(self,
                  requests: Sequence[GetRequest]) -> list[ExampleEntry]:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.get_many(requests)
 
     # -- writes ---------------------------------------------------------
 
     def add(self, entry: ExampleEntry) -> None:
-        self.injector.trip(self.point)
+        self._trip()
         self.inner.add(entry)
 
     def add_version(self, entry: ExampleEntry) -> None:
-        self.injector.trip(self.point)
+        self._trip()
         self.inner.add_version(entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
-        self.injector.trip(self.point)
+        self._trip()
         self.inner.replace_latest(entry)
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.add_many(entries)
 
     # -- queries / introspection ---------------------------------------
@@ -213,19 +240,19 @@ class FlakyBackend(StorageBackend):
 
     def execute_query(self, plan: QueryPlan,
                       stats: QueryStats | None = None) -> QueryResult:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.execute_query(plan, stats)
 
     def query_stats(self, terms: Sequence[str]) -> QueryStats:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.query_stats(terms)
 
     def change_counter(self) -> int | None:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.change_counter()
 
     def change_token(self) -> str | None:
-        self.injector.trip(self.point)
+        self._trip()
         return self.inner.change_token()
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
@@ -242,3 +269,36 @@ class FlakyBackend(StorageBackend):
         # Backend-specific extras (``anti_entropy``, ``shard_for``, ...)
         # pass straight through; only the storage interface is flaky.
         return getattr(self.inner, name)
+
+class SlowBackend(FlakyBackend):
+    """A delegating wrapper that models a *brownout*: slow, not dead.
+
+    The nastier cousin of :class:`FlakyBackend` — a browned-out node
+    still answers, just late, so failover logic keyed on errors never
+    triggers and only deadlines save the caller.  While the point is
+    armed every operation sleeps ``delay`` seconds before delegating
+    (and the firing is counted via :meth:`FaultInjector.observe`);
+    unarmed, the wrapper is observationally identical to the wrapped
+    backend.  ``sleep`` is injectable so unit tests can assert the
+    delay without paying it.
+    """
+
+    def __init__(self, inner: StorageBackend, injector: FaultInjector,
+                 point: str, *, delay: float = 0.2,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        super().__init__(inner, injector, point)
+        self.delay = delay
+        self._sleep = sleep
+
+    def _trip(self) -> None:
+        if self.injector.observe(self.point):
+            self._sleep(self.delay)
+
+    # -- convenience controls (sugar over the injector) ----------------
+
+    def brownout(self) -> None:
+        """Latch the slowdown: every operation delays until :meth:`restore`."""
+        self.injector.arm(self.point, mode="latched")
+
+    def restore(self) -> None:
+        self.injector.heal(self.point)

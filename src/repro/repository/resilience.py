@@ -1,0 +1,502 @@
+"""Resilience policies: deadlines, retry budgets, breakers, probes.
+
+A repository serving heavy shared traffic degrades in four well-known
+ways — a dependency goes away, a dependency slows down, the server
+itself is overloaded, and a recovered node rejoins with stale state —
+and each has one sanctioned mechanism here, shared by every layer so
+their interactions stay legible:
+
+* :class:`Deadline` — a monotonic point in time after which work is
+  worthless.  Deadlines are *cooperative*: layers check the ambient
+  deadline (``current_deadline()`` / ``deadline_scope()``) before and
+  during work and fail fast with
+  :class:`~repro.core.errors.DeadlineExceeded` instead of stalling the
+  caller.  The HTTP transport propagates the remaining time over the
+  wire as an ``X-Deadline-Ms`` header; the server re-establishes the
+  scope around the handler, so a deadline set by the outermost caller
+  bounds the whole distributed call tree.
+
+* :class:`RetryPolicy` — exponential backoff with *decorrelated jitter*
+  (AWS-style: each delay is drawn from ``[base, prev * 3]``, which
+  spreads synchronized retry storms better than equal-jitter) and a
+  per-operation retry *budget* (:class:`RetryBudget`): retries spend
+  from a token bucket that successes replenish, so a hard outage decays
+  to roughly ``refill_rate`` extra load instead of multiplying traffic
+  by ``max_attempts``.  A ``retry_after`` hint on the caught error
+  (the server's ``Retry-After``) overrides the computed delay.
+
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine.  ``failure_threshold`` consecutive failures open it; after
+  ``reset_timeout`` one trial call is admitted (half-open) and its
+  outcome closes or re-opens the circuit.  Callers that are refused get
+  :class:`~repro.core.errors.CircuitOpenError` without the dependency
+  being touched at all.
+
+* :class:`HealthProbe` — a background thread that runs a check at an
+  interval and reports transitions.  ``check_now()`` runs one probe
+  synchronously so tests and the soak harness can drive recovery
+  deterministically without real time passing.
+
+Everything takes injectable clocks/sleeps/rngs: the unit tests exercise
+backoff schedules and breaker timeouts without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+from repro.core.errors import (
+    BackendUnavailableError,
+    CircuitOpenError,
+    DeadlineExceeded,
+)
+from repro.repository.concurrency import Mutex
+
+__all__ = [
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "RetryBudget",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "HealthProbe",
+]
+
+T = TypeVar("T")
+
+# ----------------------------------------------------------------------
+# Deadlines.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the monotonic clock after which work is moot.
+
+    Immutable, so one deadline can be shared down a call tree; derive
+    per-attempt timeouts with :meth:`remaining`.  The ``clock`` is
+    injectable for tests (defaults to :func:`time.monotonic`).
+    """
+
+    expires_at: float
+    clock: Callable[[], float] = time.monotonic
+
+    @classmethod
+    def after(
+        cls, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        return cls(expires_at=clock() + seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left, clamped at zero."""
+        return max(0.0, self.expires_at - self.clock())
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self.expires_at
+
+    def check(self, operation: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired:
+            raise DeadlineExceeded(f"deadline expired before {operation}")
+
+    def cap(self, timeout: float | None) -> float:
+        """``timeout`` bounded by the time this deadline has left.
+
+        ``None`` means "no other bound": the remaining time stands
+        alone.  The result is floored at a small epsilon so socket
+        layers given an already-tight deadline still get a positive
+        timeout (the expiry check is the caller's job via
+        :meth:`check`).
+        """
+        remaining = self.remaining()
+        if timeout is not None:
+            remaining = min(timeout, remaining)
+        return max(0.001, remaining)
+
+
+#: The ambient deadline for the current logical operation.  A context
+#: variable rather than a parameter so the ``StorageBackend`` interface
+#: (and every conformance-tested implementation) keeps its signature;
+#: layers that hop threads (the sharded fan-out pool, the async
+#: executors) re-bind it explicitly on the far side.
+_DEADLINE: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the current operation, if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Bind ``deadline`` as the ambient deadline for the ``with`` body.
+
+    Passing ``None`` clears the scope (used by detached background work
+    that must not inherit a request deadline).  Scopes nest; the
+    innermost wins, which lets a layer tighten but also deliberately
+    shed an outer deadline.
+    """
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Retry budget + policy.
+# ----------------------------------------------------------------------
+
+
+class RetryBudget:
+    """A token bucket bounding retries to a fraction of real traffic.
+
+    Each retry spends one token; each *first-attempt success* deposits
+    ``refill_rate`` tokens (capped at ``capacity``).  Under a total
+    outage the bucket drains and retries stop, so the extra load a
+    client adds to a struggling server converges to ``refill_rate`` of
+    its organic request rate instead of multiplying it.
+    """
+
+    def __init__(self, capacity: float = 10.0, refill_rate: float = 0.1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._tokens = float(capacity)
+        self._mutex = Mutex()
+
+    def try_spend(self) -> bool:
+        """Take one token if available; False means "do not retry"."""
+        with self._mutex:
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._mutex:
+            self._tokens = min(self.capacity, self._tokens + self.refill_rate)
+
+    @property
+    def tokens(self) -> float:
+        with self._mutex:
+            return self._tokens
+
+
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter and a retry budget.
+
+    ``call`` runs ``operation`` up to ``max_attempts`` times.  Whether a
+    failure is retried is decided by ``classify`` (a predicate over the
+    exception; default: retry ``BackendUnavailableError`` and plain
+    ``ConnectionError``), then vetoed in turn by the budget, the ambient
+    (or explicit) deadline, and the attempt count.  A ``retry_after``
+    attribute on the error — the server's explicit pacing hint —
+    replaces the computed jittered delay.
+
+    The policy object is immutable-per-configuration and thread-safe:
+    per-call state lives on the stack, shared state (the budget) guards
+    itself.  ``rng``/``sleep`` are injectable so tests can pin the
+    jitter sequence and run without real time passing.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        budget: RetryBudget | None = None,
+        classify: Callable[[BaseException], bool] | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.budget = budget
+        self._classify = classify if classify is not None else _default_classify
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self.retries = 0  # total retries issued (observability)
+        self._mutex = Mutex()
+
+    def next_delay(self, previous: float | None) -> float:
+        """One step of the decorrelated-jitter schedule."""
+        if previous is None:
+            previous = self.base_delay
+        high = max(self.base_delay, previous * 3.0)
+        return min(self.max_delay, self._rng.uniform(self.base_delay, high))
+
+    def call(
+        self,
+        operation: Callable[[], T],
+        *,
+        classify: Callable[[BaseException], bool] | None = None,
+        deadline: Deadline | None = None,
+        on_retry: Callable[[BaseException, int], None] | None = None,
+    ) -> T:
+        """Run ``operation`` under this policy, returning its result.
+
+        ``classify`` overrides the policy default for this call (the
+        HTTP transport passes a phase-aware predicate: send-phase
+        failures retry for any method, response-phase only for
+        idempotent ones).  ``on_retry`` is an observability hook called
+        with (error, attempt) before each backoff sleep.
+        """
+        decide = classify if classify is not None else self._classify
+        if deadline is None:
+            deadline = current_deadline()
+        delay: float | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = operation()
+            except DeadlineExceeded:
+                raise  # the whole operation is out of time; never retry
+            except Exception as error:
+                if attempt >= self.max_attempts or not decide(error):
+                    raise
+                if self.budget is not None and not self.budget.try_spend():
+                    raise
+                delay = self.next_delay(delay)
+                hinted = getattr(error, "retry_after", None)
+                if hinted is not None:
+                    delay = min(self.max_delay, float(hinted))
+                if deadline is not None:
+                    if deadline.remaining() <= delay:
+                        raise  # cannot fit another attempt; fail now
+                with self._mutex:
+                    self.retries += 1
+                if on_retry is not None:
+                    on_retry(error, attempt)
+                if delay > 0:
+                    self._sleep(delay)
+            else:
+                if attempt == 1 and self.budget is not None:
+                    self.budget.record_success()
+                return result
+        raise AssertionError("unreachable: loop either returns or raises")
+
+
+def _default_classify(error: BaseException) -> bool:
+    return isinstance(error, (BackendUnavailableError, ConnectionError))
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker.
+# ----------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure isolation for one dependency.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip it open (a success resets the streak).
+    * **open** — :meth:`allow` refuses (and :meth:`guard` raises
+      :class:`CircuitOpenError`) until ``reset_timeout`` has elapsed.
+    * **half-open** — exactly one trial call is admitted; its success
+      closes the circuit, its failure re-opens it and restarts the
+      timer.
+
+    All transitions are mutex-guarded; ``clock`` is injectable so tests
+    step time explicitly.  ``on_open``/``on_close`` hooks let owners
+    (the replicated backend) react to state changes — they are called
+    outside the mutex to keep the breaker deadlock-free under reentrant
+    use.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+        on_open: Callable[["CircuitBreaker"], None] | None = None,
+        on_close: Callable[["CircuitBreaker"], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.name = name
+        self._clock = clock
+        self._on_open = on_open
+        self._on_close = on_close
+        self._mutex = Mutex()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._trial_inflight = False
+        self.opened_total = 0  # observability: times the circuit tripped
+
+    @property
+    def state(self) -> str:
+        with self._mutex:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state only the first caller gets True (the trial);
+        others are refused until the trial's outcome is recorded.
+        """
+        with self._mutex:
+            self._maybe_half_open()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._trial_inflight:
+                self._trial_inflight = True
+                return True
+            return False
+
+    def guard(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            label = f" {self.name!r}" if self.name else ""
+            raise CircuitOpenError(
+                f"circuit breaker{label} is {self._state}: failing fast",
+                retry_after=self.reset_timeout,
+            )
+
+    def record_success(self) -> None:
+        closed_now = False
+        with self._mutex:
+            self._maybe_half_open()
+            if self._state in (self.HALF_OPEN, self.OPEN):
+                closed_now = True
+            self._state = self.CLOSED
+            self._failures = 0
+            self._trial_inflight = False
+        if closed_now and self._on_close is not None:
+            self._on_close(self)
+
+    def record_failure(self) -> None:
+        opened_now = False
+        with self._mutex:
+            self._maybe_half_open()
+            if self._state == self.HALF_OPEN:
+                opened_now = True  # failed trial: straight back to open
+            else:
+                self._failures += 1
+                if self._state == self.CLOSED and (
+                    self._failures >= self.failure_threshold
+                ):
+                    opened_now = True
+            if opened_now:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._failures = 0
+                self._trial_inflight = False
+                self.opened_total += 1
+        if opened_now and self._on_open is not None:
+            self._on_open(self)
+
+    def force_open(self) -> None:
+        """Trip the breaker administratively (quarantine a child)."""
+        opened_now = False
+        with self._mutex:
+            if self._state != self.OPEN:
+                opened_now = True
+                self.opened_total += 1
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self._failures = 0
+            self._trial_inflight = False
+        if opened_now and self._on_open is not None:
+            self._on_open(self)
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the mutex.
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+            self._trial_inflight = False
+
+
+# ----------------------------------------------------------------------
+# Health probe.
+# ----------------------------------------------------------------------
+
+
+class HealthProbe:
+    """Background health checking with a deterministic manual trigger.
+
+    ``check`` returns True for healthy (raising counts as unhealthy).
+    ``on_recover`` fires on the unhealthy→healthy transition — that is
+    where the replicated backend hangs repair-then-reintegrate.  The
+    thread is a daemon and wakes every ``interval`` seconds; tests and
+    the soak harness skip the thread entirely and call
+    :meth:`check_now`.
+    """
+
+    def __init__(
+        self,
+        check: Callable[[], bool],
+        *,
+        interval: float = 1.0,
+        on_recover: Callable[[], None] | None = None,
+        name: str = "health-probe",
+    ) -> None:
+        self._check = check
+        self.interval = interval
+        self._on_recover = on_recover
+        self.name = name
+        self._healthy = True
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._mutex = Mutex()
+
+    @property
+    def healthy(self) -> bool:
+        return self._healthy
+
+    def check_now(self) -> bool:
+        """Run one probe synchronously; fires ``on_recover`` on a rise."""
+        try:
+            ok = bool(self._check())
+        except Exception:  # noqa: BLE001 - any probe failure means unhealthy
+            ok = False
+        with self._mutex:
+            recovered = ok and not self._healthy
+            self._healthy = ok
+        if recovered and self._on_recover is not None:
+            self._on_recover()
+        return ok
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=self.name, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check_now()

@@ -98,7 +98,9 @@ from pathlib import Path
 from urllib.parse import parse_qs, quote, unquote, urlsplit
 
 from repro.core.errors import (
+    BackendUnavailableError,
     BxError,
+    DeadlineExceeded,
     DuplicateEntry,
     EntryNotFound,
     StorageError,
@@ -120,6 +122,7 @@ from repro.repository.query import (
     stats_to_dict,
 )
 from repro.repository.render_cache import RenderCache
+from repro.repository.resilience import Deadline, deadline_scope
 from repro.repository.service import RepositoryService
 from repro.repository.versioning import Version
 
@@ -202,6 +205,10 @@ def _error_status(error: Exception) -> int:
         return 404
     if isinstance(error, DuplicateEntry):
         return 409
+    if isinstance(error, DeadlineExceeded):
+        return 504  # the caller's clock ran out, not a bad request
+    if isinstance(error, BackendUnavailableError):
+        return 503  # shed/drain/breaker: try again, with Retry-After
     if isinstance(error, BxError):
         return 400
     return 500
@@ -225,33 +232,76 @@ def _error_payload(error: Exception) -> dict:
     version = getattr(error, "version", None)
     if version is not None:
         detail["version"] = str(version)
+    retry_after = getattr(error, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        detail["retry_after"] = retry_after
     return {"error": detail}
 
 
 class _RequestTracker:
-    """Counts requests currently inside handlers.
+    """Admission control: counts, bounds and drains in-flight requests.
 
-    ``ThreadingHTTPServer`` runs handlers on *daemon* threads, which
-    ``server_close()`` does not join — so ``RepositoryServer.stop()``
-    uses this to wait (bounded) for in-flight requests to drain before
-    it tears down the render cache and, optionally, the service a
-    handler might still be reading from.
+    Three duties, one condition variable:
+
+    * **Counting** — ``ThreadingHTTPServer`` runs handlers on *daemon*
+      threads, which ``server_close()`` does not join — so
+      ``RepositoryServer.stop()`` uses :meth:`wait_idle` to wait
+      (bounded) for in-flight requests before tearing down the render
+      cache and, optionally, the service a handler might still be
+      reading from.
+    * **Load shedding** — :meth:`try_enter` refuses once ``limit``
+      requests are already inside handlers.  Refusing *early* is the
+      point: an overloaded server that queues unboundedly serves every
+      request late, one that sheds serves the admitted ones on time.
+    * **Graceful drain** — :meth:`begin_drain` refuses *all* new
+      requests while the in-flight ones finish normally, which is what
+      makes a stop/restart invisible to callers with a retry policy.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         self._cond = threading.Condition()
         self._active = 0
+        self._limit = limit
+        self._draining = False
 
-    def __enter__(self) -> "_RequestTracker":
+    def try_enter(self) -> bool:
+        """Admit one request, or refuse (over limit / draining)."""
         with self._cond:
+            if self._draining:
+                return False
+            if self._limit is not None and self._active >= self._limit:
+                return False
             self._active += 1
-        return self
+            return True
 
-    def __exit__(self, *exc_info: object) -> None:
+    def exit(self) -> None:
         with self._cond:
             self._active -= 1
             if self._active == 0:
                 self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        with self._cond:
+            self._draining = True
+
+    def end_drain(self) -> None:
+        with self._cond:
+            self._draining = False
+
+    def set_limit(self, limit: int | None) -> None:
+        """Change the in-flight bound (the soak's overload lever)."""
+        with self._cond:
+            self._limit = limit
+
+    @property
+    def limit(self) -> int | None:
+        with self._cond:
+            return self._limit
 
     def wait_idle(self, timeout: float) -> bool:
         """True once no request is in flight (or False on timeout)."""
@@ -280,6 +330,20 @@ class _ServerMetrics:
         self._gzip_bytes_sent = 0
         self._stream_responses = 0
         self._stream_lines = 0
+        self._shed_overload = 0
+        self._shed_draining = 0
+        self._deadline_rejected = 0
+
+    def count_shed(self, *, draining: bool) -> None:
+        with self._mutex:
+            if draining:
+                self._shed_draining += 1
+            else:
+                self._shed_overload += 1
+
+    def count_deadline_rejected(self) -> None:
+        with self._mutex:
+            self._deadline_rejected += 1
 
     def count_route(self, name: str) -> None:
         with self._mutex:
@@ -324,6 +388,11 @@ class _ServerMetrics:
                 "stream": {
                     "responses": self._stream_responses,
                     "lines": self._stream_lines,
+                },
+                "admission": {
+                    "shed_overload": self._shed_overload,
+                    "shed_draining": self._shed_draining,
+                    "deadline_rejected": self._deadline_rejected,
                 },
             }
 
@@ -406,8 +475,36 @@ class _Handler(BaseHTTPRequestHandler):
         self._dispatch("PUT")
 
     def _dispatch(self, method: str) -> None:
-        with self.server.request_tracker:
+        tracker = self.server.request_tracker
+        if not tracker.try_enter():
+            self._refuse(method, draining=tracker.draining)
+            return
+        try:
             self._routed_dispatch(method)
+        finally:
+            tracker.exit()
+
+    def _refuse(self, method: str, *, draining: bool) -> None:
+        """Shed one request: 503 + Retry-After, before any work.
+
+        Either the in-flight bound is hit (overload: admitting more
+        would serve *everyone* late) or the server is draining for
+        shutdown (in-flight requests finish; new ones go elsewhere).
+        The request was not processed, so clients may retry any method
+        — the client's retry policy knows a shed is replay-safe.
+        """
+        self._body_consumed = False
+        self._negotiated_encoding = "identity"
+        self.server.metrics.count_shed(draining=draining)
+        retry_after = self.server.shed_retry_after
+        reason = ("server is draining for shutdown"
+                  if draining else "server is at capacity")
+        error = BackendUnavailableError(
+            f"{reason}; retry after {retry_after:g}s",
+            retry_after=retry_after)
+        self._consume_body()
+        self._send_json(503, _error_payload(error),
+                        retry_after=retry_after)
 
     def _routed_dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
@@ -428,15 +525,29 @@ class _Handler(BaseHTTPRequestHandler):
                             for key, value in match.groupdict().items()}
                 try:
                     self._negotiated_encoding = self._response_encoding()
+                    # The client's clock, propagated over the wire: an
+                    # already-expired deadline is a fast 504 before any
+                    # handler work, and the scope re-establishes the
+                    # ambient deadline for everything the handler calls
+                    # (the sharded fan-out's per-shard bound, a nested
+                    # HTTPBackend in a proxy topology).
+                    deadline = self._request_deadline()
+                    if deadline is not None:
+                        deadline.check(f"{method} {split.path}")
                     handler = getattr(self, f"_handle_{name}")
-                    handler(query_string=split.query, **operands)
+                    with deadline_scope(deadline):
+                        handler(query_string=split.query, **operands)
                 except Exception as error:  # noqa: BLE001 - wire boundary
-                    if _error_status(error) >= 500:
+                    if isinstance(error, DeadlineExceeded):
+                        self.server.metrics.count_deadline_rejected()
+                    if _error_status(error) >= 500 and not isinstance(
+                            error, DeadlineExceeded):
                         _log.exception("internal error on %s %s",
                                        method, split.path)
                     self._consume_body()
-                    self._send_json(_error_status(error),
-                                    _error_payload(error))
+                    self._send_json(
+                        _error_status(error), _error_payload(error),
+                        retry_after=getattr(error, "retry_after", None))
                 else:
                     # A body the handler had no use for (e.g. a GET
                     # with one) still desyncs keep-alive framing if
@@ -530,6 +641,25 @@ class _Handler(BaseHTTPRequestHandler):
                 "Accept-Encoding rules out both gzip and identity; "
                 "this server supports no other content coding")
         return "gzip" if gzip_q >= identity_q and gzip_q > 0 else "identity"
+
+    def _request_deadline(self) -> Deadline | None:
+        """The ``X-Deadline-Ms`` header as a Deadline, or None.
+
+        The value is the *remaining* milliseconds on the caller's
+        clock when the request left — relative, not absolute, so no
+        cross-host clock agreement is needed (network transit eats
+        into the budget unobserved, which errs on the generous side).
+        """
+        header = self.headers.get("X-Deadline-Ms")
+        if header is None:
+            return None
+        try:
+            remaining_ms = float(header)
+        except ValueError:
+            raise _wire_error(
+                400, f"malformed X-Deadline-Ms header: {header!r}"
+            ) from None
+        return Deadline.after(remaining_ms / 1000.0)
 
     def _if_none_match(self) -> list[str] | None:
         """The If-None-Match tags, or None when the header is absent.
@@ -982,9 +1112,11 @@ class _Handler(BaseHTTPRequestHandler):
         return value
 
     def _send_json(self, status: int, payload: dict, *,
-                   etag: str | None = None) -> None:
+                   etag: str | None = None,
+                   retry_after: float | None = None) -> None:
         encoded = json.dumps(payload).encode("utf-8")
-        self._send_bytes(status, encoded, "application/json", etag=etag)
+        self._send_bytes(status, encoded, "application/json", etag=etag,
+                         retry_after=retry_after)
 
     def _send_text(self, status: int, text: str, *,
                    etag: str | None = None) -> None:
@@ -992,7 +1124,8 @@ class _Handler(BaseHTTPRequestHandler):
                          "text/plain; charset=utf-8", etag=etag)
 
     def _send_bytes(self, status: int, body: bytes, content_type: str,
-                    *, etag: str | None = None) -> None:
+                    *, etag: str | None = None,
+                    retry_after: float | None = None) -> None:
         encoding = None
         if (self._negotiated_encoding == "gzip"
                 and len(body) >= GZIP_MIN_BYTES):
@@ -1006,6 +1139,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         if etag is not None:
             self.send_header("ETag", etag)
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
         if encoding is not None:
             self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
@@ -1043,6 +1178,8 @@ class RepositoryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         close_service: bool = False,
+        max_inflight: int | None = 64,
+        shed_retry_after: float = 1.0,
     ) -> None:
         # Unwrap the async facade; wrap a bare backend.
         sync = getattr(service, "service", None)
@@ -1058,7 +1195,13 @@ class RepositoryServer:
         self.close_service = close_service
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
-        self._tracker = _RequestTracker()
+        #: Admission control: at most ``max_inflight`` requests inside
+        #: handlers at once; the excess is shed with 503 + Retry-After
+        #: (``shed_retry_after`` seconds) instead of queueing
+        #: unboundedly.  None disables the bound.  The same tracker
+        #: implements the graceful drain on stop().
+        self.shed_retry_after = shed_retry_after
+        self._tracker = _RequestTracker(limit=max_inflight)
         #: Wire-economics counters (per-route, 304 hit rate, gzip
         #: savings) — exposed under "server" in GET /stats, surviving
         #: stop/start cycles like the tracker does.
@@ -1097,6 +1240,8 @@ class RepositoryServer:
         httpd.request_tracker = self._tracker
         httpd.metrics = self.metrics
         httpd.wire_memo = self.wire_memo
+        httpd.shed_retry_after = self.shed_retry_after
+        self._tracker.end_drain()  # a restart serves again
         self._httpd = httpd
         self._thread = threading.Thread(
             target=httpd.serve_forever,
@@ -1120,6 +1265,11 @@ class RepositoryServer:
         """
         if self._httpd is None:
             return
+        # Drain first: requests arriving from here on get an immediate
+        # 503 + Retry-After (they would otherwise race the teardown),
+        # while requests already inside handlers finish normally and
+        # are waited for below.
+        self._tracker.begin_drain()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -1142,6 +1292,14 @@ class RepositoryServer:
     # ------------------------------------------------------------------
     # Introspection.
     # ------------------------------------------------------------------
+
+    @property
+    def max_inflight(self) -> int | None:
+        return self._tracker.limit
+
+    def set_max_inflight(self, limit: int | None) -> None:
+        """Retune the admission bound live (the soak's overload lever)."""
+        self._tracker.set_limit(limit)
 
     @property
     def port(self) -> int:

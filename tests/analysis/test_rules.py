@@ -468,3 +468,109 @@ class TestProtocolDrift:
     def test_silent_without_service_py(self, tmp_path):
         (tmp_path / "other.py").write_text("VALUE = 1\n", encoding="utf-8")
         assert drift_findings(tmp_path) == []
+
+
+class TestRetryDiscipline:
+    def test_fires_on_sleep_inside_while_loop(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            {
+                "client_helper.py": (
+                    "import time\n"
+                    "def wait_for_server(probe):\n"
+                    "    while not probe():\n"
+                    "        time.sleep(0.05)\n"
+                )
+            },
+            "retry-discipline",
+        )
+        assert [f.line for f in findings] == [4]
+        assert "RetryPolicy" in findings[0].message
+
+    def test_fires_on_sleep_alias_inside_for_loop(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            {
+                "poller.py": (
+                    "from time import sleep as snooze\n"
+                    "def drain(jobs):\n"
+                    "    for job in jobs:\n"
+                    "        snooze(0.1)\n"
+                    "        job.poke()\n"
+                )
+            },
+            "retry-discipline",
+        )
+        assert [f.line for f in findings] == [4]
+
+    def test_fires_on_range_attempt_loop_swallowing_errors(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            {
+                "uploader.py": (
+                    "def upload(send):\n"
+                    "    for _attempt in range(3):\n"
+                    "        try:\n"
+                    "            return send()\n"
+                    "        except ConnectionError:\n"
+                    "            continue\n"
+                )
+            },
+            "retry-discipline",
+        )
+        assert [f.line for f in findings] == [2]
+        assert "ad-hoc retry" in findings[0].message
+
+    def test_quiet_on_sanctioned_patterns(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            {
+                "worker.py": (
+                    "import time\n"
+                    "def pace(policy, operation):\n"
+                    "    time.sleep(0.5)\n"  # off-loop sleep: fine
+                    "    return policy.call(operation)\n"
+                    "def fanout(items):\n"
+                    "    for item in items:\n"  # plain data loop
+                    "        item.run()\n"
+                    "def retry_range_that_reraises(send):\n"
+                    "    for _ in range(3):\n"
+                    "        try:\n"
+                    "            return send()\n"
+                    "        except ConnectionError:\n"
+                    "            raise\n"  # re-raises: not a swallow
+                ),
+                "maker.py": (
+                    # An injectable-sleep default inside a loop-building
+                    # function is deferred, not an inline loop sleep.
+                    "import time\n"
+                    "def build_policies(count):\n"
+                    "    policies = []\n"
+                    "    for _ in range(count):\n"
+                    "        policies.append(lambda: time.sleep(1.0))\n"
+                    "    return policies\n"
+                ),
+            },
+            "retry-discipline",
+        )
+        assert findings == []
+
+    def test_resilience_module_is_exempt(self, tmp_path):
+        findings = scan(
+            tmp_path,
+            {
+                "resilience.py": (
+                    "import time\n"
+                    "def spin():\n"
+                    "    while True:\n"
+                    "        time.sleep(0.01)\n"
+                )
+            },
+            "retry-discipline",
+        )
+        assert findings == []
+
+    def test_real_tree_is_clean(self):
+        project = load_project([REPO_SRC])
+        findings = run_rules(project, [get_rule("retry-discipline")])
+        assert findings == []

@@ -1,0 +1,131 @@
+"""The soak trend gate: regression maths, bootstrap pass, CLI exits."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.harness.soak_gate import compare_reports, gate, main
+
+
+def report(*, throughput=500.0, violations=(), **recoveries_ms):
+    """A minimal soak report dict; fault names are kwargs in ms."""
+    return {
+        "throughput_ops": throughput,
+        "violations": list(violations),
+        "faults": [
+            {"name": name.replace("_", "-"),
+             "recovery_seconds": ms / 1e3}
+            for name, ms in recoveries_ms.items()
+        ],
+    }
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        current = report(shard_kill=200.0, brownout=600.0)
+        assert compare_reports(current, report(
+            shard_kill=200.0, brownout=600.0)) == []
+
+    def test_recovery_regression_over_2x_fails(self):
+        regressions = compare_reports(
+            report(shard_kill=900.0),
+            report(shard_kill=200.0))
+        assert len(regressions) == 1
+        assert "shard-kill" in regressions[0]
+        assert "900 ms" in regressions[0]
+
+    def test_recovery_within_2x_passes(self):
+        assert compare_reports(
+            report(shard_kill=390.0),
+            report(shard_kill=200.0)) == []
+
+    def test_noise_floor_ignores_fast_recoveries(self):
+        # 4 ms -> 9 ms is > 2x but both are scheduler jitter.
+        assert compare_reports(
+            report(replica_diverge=9.0),
+            report(replica_diverge=4.0)) == []
+
+    def test_noise_floor_anchors_tiny_baselines(self):
+        # Baseline under the floor: the threshold is floor * ratio,
+        # not baseline * ratio — 40 ms -> 95 ms stays green.
+        assert compare_reports(
+            report(file_crash=95.0),
+            report(file_crash=40.0)) == []
+        assert compare_reports(
+            report(file_crash=150.0),
+            report(file_crash=40.0)) != []
+
+    def test_new_and_removed_faults_are_not_compared(self):
+        assert compare_reports(
+            report(brand_new=5000.0),
+            report(old_gone=1.0)) == []
+
+    def test_throughput_collapse_fails(self):
+        regressions = compare_reports(
+            report(throughput=100.0, shard_kill=200.0),
+            report(throughput=500.0, shard_kill=200.0))
+        assert len(regressions) == 1
+        assert "throughput" in regressions[0]
+
+    def test_throughput_at_half_passes(self):
+        assert compare_reports(
+            report(throughput=250.0),
+            report(throughput=500.0)) == []
+
+
+class TestGate:
+    def write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_bootstrap_passes_without_baseline(self, tmp_path):
+        current = self.write(tmp_path, "soak.json", report(shard_kill=200.0))
+        out = io.StringIO()
+        assert gate(current, None, out=out) == 0
+        assert "bootstrap" in out.getvalue()
+
+    def test_missing_baseline_file_passes(self, tmp_path):
+        current = self.write(tmp_path, "soak.json", report(shard_kill=200.0))
+        assert gate(current, tmp_path / "absent.json",
+                    out=io.StringIO()) == 0
+
+    def test_red_report_fails_even_without_baseline(self, tmp_path):
+        current = self.write(
+            tmp_path, "soak.json",
+            report(shard_kill=200.0, violations=["stale read"]))
+        out = io.StringIO()
+        assert gate(current, None, out=out) == 1
+        assert "red" in out.getvalue()
+
+    def test_regression_fails_and_names_the_fault(self, tmp_path):
+        current = self.write(tmp_path, "now.json", report(brownout=2000.0))
+        baseline = self.write(tmp_path, "was.json", report(brownout=600.0))
+        out = io.StringIO()
+        assert gate(current, baseline, out=out) == 1
+        assert "brownout" in out.getvalue()
+
+    def test_clean_trend_passes_and_reports_comparison(self, tmp_path):
+        current = self.write(tmp_path, "now.json",
+                             report(brownout=650.0, shard_kill=210.0))
+        baseline = self.write(tmp_path, "was.json",
+                              report(brownout=600.0, shard_kill=200.0))
+        out = io.StringIO()
+        assert gate(current, baseline, out=out) == 0
+        assert "trend OK" in out.getvalue()
+        assert "2 fault(s) compared" in out.getvalue()
+
+
+class TestCli:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        current = tmp_path / "soak.json"
+        current.write_text(json.dumps(report(shard_kill=200.0)))
+        baseline = tmp_path / "previous.json"
+        baseline.write_text(json.dumps(report(shard_kill=50.0)))
+        assert main([str(current)]) == 0
+        assert main([str(current), "--baseline", str(baseline)]) == 1
+        assert main([str(current), "--baseline", str(baseline),
+                     "--max-recovery-ratio", "10"]) == 0
+        assert "REGRESSED" in capsys.readouterr().out

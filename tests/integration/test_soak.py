@@ -14,8 +14,11 @@ import json
 import pytest
 
 from repro.harness.soak import (
+    BrownoutFault,
     FileCrashFault,
+    OverloadFault,
     ReplicaDivergenceFault,
+    ReplicaRecoverFault,
     ServerBounceFault,
     ShardKillFault,
     SoakConfig,
@@ -55,9 +58,10 @@ class TestDirectSoak:
         report = runner.run()
         assert report.ok, report.violations
         assert report.fault_names() == [
-            "shard-kill-0", "replica-diverge-0", "file-crash"]
+            "shard-kill-0", "replica-diverge-0", "file-crash",
+            "brownout-0", "replica-recover-0"]
         assert report.ops_total > 100
-        assert report.invariant_checks == 4  # one per fault + final
+        assert report.invariant_checks == 6  # one per fault + final
         assert report.entries_final > report.preload
 
     def test_fault_observability(self, direct_stack):
@@ -71,6 +75,8 @@ class TestDirectSoak:
         assert by_name["file-crash"].fired == 1
         assert by_name["replica-diverge-0"].details[
             "payloads_replaced"] >= 1
+        assert by_name["brownout-0"].fired >= 1
+        assert by_name["replica-recover-0"].details["reintegrations"] >= 1
 
     def test_report_round_trips_and_extra_info_is_json_safe(
             self, direct_stack):
@@ -99,6 +105,7 @@ class TestHttpSoak:
         assert report.ok, report.violations
         assert report.fault_names() == [
             "shard-kill-0", "replica-diverge-0", "file-crash",
+            "brownout-0", "replica-recover-0", "overload",
             "server-bounce"]
         assert report.stack == "http"
         bounce = report.faults[-1]
@@ -148,6 +155,40 @@ class TestFaultUnits:
         fault.recover(runner)
         assert direct_stack.file_replica.has(injected["identifier"])
 
+    def test_brownout_fails_fast_then_recovers(self, direct_stack):
+        runner = SoakRunner(direct_stack, short_config())
+        runner.preload()
+        fault = BrownoutFault(0)
+        injected = fault.inject(runner)
+        # The probe failed faster than the injected delay.
+        assert injected["probe_ms"] < \
+            direct_stack.slow_primaries[0].delay * 1e3
+        details = fault.recover(runner)
+        assert details["fired"] >= 1
+        assert not direct_stack.injector.armed("shard0.brownout")
+
+    def test_replica_recover_repairs_before_rejoin(self, direct_stack):
+        runner = SoakRunner(direct_stack, short_config())
+        runner.preload()
+        fault = ReplicaRecoverFault(0)
+        injected = fault.inject(runner)
+        assert injected["suspended"] == 1
+        pair = direct_stack.replicated[0]
+        assert pair.suspended_replicas() == (0,)
+        details = fault.recover(runner)
+        assert details["reintegrations"] == 1
+        assert pair.suspended_replicas() == ()
+
+    def test_overload_sheds_with_retry_after(self, http_stack):
+        runner = SoakRunner(http_stack, short_config())
+        runner.preload()
+        fault = OverloadFault()
+        injected = fault.inject(runner)
+        assert injected["shed_total"] >= 1
+        assert injected["client_sheds"] >= 1
+        details = fault.recover(runner)
+        assert details["restored_limit"] == http_stack.server.max_inflight
+
     def test_server_bounce_same_port(self, http_stack):
         runner = SoakRunner(http_stack, short_config())
         runner.preload()
@@ -170,7 +211,7 @@ class TestCli:
         report = json.loads(json_path.read_text())
         assert report["ok"] is True
         assert report["violations"] == []
-        assert len(report["faults"]) == 3
+        assert len(report["faults"]) == 5
         assert "injecting shard-kill-0" in log_path.read_text()
         assert "soak OK" in capsys.readouterr().out
 
