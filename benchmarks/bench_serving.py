@@ -123,6 +123,51 @@ class ServingStack:
         assert not errors, errors
         return (threads * requests_per_thread) / elapsed
 
+    def run_readers_timed(
+        self, threads: int, requests_per_thread: int
+    ) -> tuple[float, list[float]]:
+        """Like :meth:`run_readers`, but records per-request latency.
+
+        Returns ``(requests/second, latencies)`` — the raw samples let
+        the caller take whichever percentile it is gating on.  Each
+        thread gets its own keep-alive :class:`HTTPBackend` (the shared
+        client's thread-local connection cache would serialise 64
+        threads through one socket dance on first touch).
+        """
+        stream = self.read_stream(threads * requests_per_thread)
+        barrier = threading.Barrier(threads + 1)
+        errors: list[Exception] = []
+        samples: list[list[float]] = [[] for _ in range(threads)]
+
+        def reader(slot: int) -> None:
+            client = HTTPBackend(self.server.url)
+            try:
+                client.get(self.identifiers[0])  # open the conn
+                barrier.wait()
+                offset = slot * requests_per_thread
+                for index in range(requests_per_thread):
+                    began = time.perf_counter()
+                    client.get(stream[offset + index])
+                    samples[slot].append(time.perf_counter() - began)
+            except Exception as error:  # pragma: no cover - fails below
+                errors.append(error)
+                raise
+            finally:
+                client.close()
+
+        workers = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(threads)]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - started
+        assert not errors, errors
+        flat = [value for per_thread in samples for value in per_thread]
+        return (threads * requests_per_thread) / elapsed, flat
+
     def close(self) -> None:
         self.client.close()
         self.server.stop()
@@ -159,6 +204,37 @@ def test_concurrent_read_sweep(benchmark, stack, threads):
     benchmark.extra_info["requests_per_second"] = round(rate, 1)
     benchmark.extra_info["storage_latency_ms"] = STORAGE_LATENCY * 1000
     assert rate > 0
+
+
+def test_64_client_p99_latency(benchmark, stack):
+    """The tail at heavy fan-in: 64 concurrent clients, p99 per read.
+
+    Four times the sweep's widest row — past the server's handler
+    comfort zone, where queueing (not storage latency) sets the tail.
+    The p99 rides into the trend so a regression in the accept/dispatch
+    path shows up as tail growth long before throughput moves, and the
+    bound keeps the tail an order of magnitude under a queueing
+    collapse.
+    """
+    clients = 64
+    requests_per_thread = 10
+
+    def run() -> tuple[float, list[float]]:
+        return stack.run_readers_timed(clients, requests_per_thread)
+
+    rate, samples = benchmark.pedantic(run, rounds=1)
+    ordered = sorted(samples)
+    p50 = ordered[int(len(ordered) * 0.50)]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    benchmark.extra_info["client_threads"] = clients
+    benchmark.extra_info["requests_per_second"] = round(rate, 1)
+    benchmark.extra_info["read_p50_ms"] = round(p50 * 1000, 3)
+    benchmark.extra_info["read_p99_ms"] = round(p99 * 1000, 3)
+    print(f"\n64-client reads: {rate:.0f} req/s, "
+          f"p50 {p50 * 1000:.1f}ms, p99 {p99 * 1000:.1f}ms")
+    assert p99 < 1.0, (
+        f"64-client read p99 {p99:.3f}s: the serving path is "
+        f"queueing toward collapse")
 
 
 def test_http_query_round_trip(benchmark, warm_stack):

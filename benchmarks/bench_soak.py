@@ -127,7 +127,7 @@ def test_soak_direct_stack(benchmark, tmp_path):
     report, _runner = benchmark.pedantic(soak, rounds=1)
     _assert_soak_ok(report, expect_faults={
         "shard-kill", "replica-diverge", "file-crash", "brownout",
-        "replica-recover"})
+        "replica-recover", "ingest-burst"})
     benchmark.extra_info.update(report.extra_info())
 
 
@@ -142,7 +142,8 @@ def test_soak_http_stack(benchmark, tmp_path):
     report, _runner = benchmark.pedantic(soak, rounds=1)
     _assert_soak_ok(report, expect_faults={
         "shard-kill", "replica-diverge", "file-crash", "brownout",
-        "replica-recover", "overload", "server-bounce"})
+        "replica-recover", "ingest-burst", "overload",
+        "server-bounce"})
     benchmark.extra_info.update(report.extra_info())
 
 
@@ -165,7 +166,7 @@ def test_soak_recovery_times(benchmark, tmp_path):
 
     report = benchmark.pedantic(soak, rounds=1)
     assert report.ok, f"soak violations: {report.violations}"
-    assert len(report.faults) == 7
+    assert len(report.faults) == 8
     for record in report.faults:
         benchmark.extra_info[f"recovery_ms_{record.name}"] = round(
             record.recovery_seconds * 1e3, 3)

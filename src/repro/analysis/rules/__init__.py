@@ -14,6 +14,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     locks,
     protocol,
     retries,
+    txn,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "locks",
     "protocol",
     "retries",
+    "txn",
 ]

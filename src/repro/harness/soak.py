@@ -41,7 +41,13 @@ The fault taxonomy (see :mod:`repro.repository.faults` for the seam):
   *before* it rejoins the read rotation;
 * ``overload`` — the server's admission bound is clamped and a burst of
   parallel clients drives ~2x capacity; the excess must be shed with
-  503 + Retry-After while accepted requests stay oracle-correct.
+  503 + Retry-After while accepted requests stay oracle-correct;
+* ``ingest-burst`` — a shard flips to streaming (async) replication,
+  takes a write burst, and its applier thread is killed mid-burst;
+  writes keep landing primary-first while replication lag accumulates,
+  and ``anti_entropy()`` must drain the lag — replica/oracle equality
+  is only asserted *after* the drain, and the drain time is the
+  recovery metric the soak gate trends.
 
 Soak rows (throughput, p50/p99, fault-recovery time, invariant-check
 count) flow through ``SoakReport.extra_info()`` into pytest-benchmark's
@@ -114,6 +120,7 @@ __all__ = [
     "BrownoutFault",
     "ReplicaRecoverFault",
     "OverloadFault",
+    "IngestBurstFault",
     "build_soak_stack",
     "default_faults",
     "run_soak",
@@ -753,6 +760,92 @@ class OverloadFault(SoakFault):
         return {"restored_limit": self._saved_limit}
 
 
+class IngestBurstFault(SoakFault):
+    """A shard flips to streaming (async) replication, takes a write
+    burst, and loses its applier thread mid-burst; ``anti_entropy()``
+    must converge the lagging replica, and oracle equality against the
+    replica is only asserted *after* the replication lag drains.
+
+    The recovery wall clock the runner records for this fault *is* the
+    lag-drain time (the backstop repair of every op still queued in the
+    trailing log), so the soak-gate trend catches a PR that makes
+    catching up slower.
+    """
+
+    window_ops = 24
+    BURST_WRITES = 12
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.name = f"ingest-burst-{shard}"
+
+    def inject(self, run: "SoakRunner") -> dict[str, Any]:
+        pair = run.stack.replicated[self.shard]
+        pair.set_replication_mode("async")
+        # First half of the burst streams normally — prove it by
+        # waiting for the applier to drain it...
+        for _ in range(self.BURST_WRITES // 2):
+            run.add_routed(self.shard)
+        assert pair.wait_for_replication(timeout=5.0), (
+            f"{self.name}: applier never drained the first half of "
+            f"the burst (lag {pair.replication_lag()[0]})")
+        applied = pair.async_applied
+        assert applied >= self.BURST_WRITES // 2, (
+            f"{self.name}: log drained but only {applied} ops were "
+            f"applied asynchronously")
+        # ...then the applier dies mid-burst and the rest of the burst
+        # (plus the fault window's ordinary traffic) piles up in the
+        # trailing log.  Writes keep succeeding primary-first: lag is
+        # allowed, silent loss is not.
+        killed = pair.kill_applier(0)
+        for _ in range(self.BURST_WRITES - self.BURST_WRITES // 2):
+            run.add_routed(self.shard)
+        lag = pair.replication_lag()[0]
+        assert lag >= 1, (
+            f"{self.name}: trailing log empty right after the applier "
+            f"was killed mid-burst")
+        return {"applier_killed": killed, "lag_at_kill": lag}
+
+    def recover(self, run: "SoakRunner") -> dict[str, Any]:
+        stack = run.stack
+        pair = stack.replicated[self.shard]
+        lag_before = pair.replication_lag()[0]
+        assert lag_before >= 1, (
+            f"{self.name}: lag drained itself with a dead applier — "
+            f"the log is leaking ops somewhere")
+        # The replica is *expected* to be behind here; equality checks
+        # against it would be wrong until the lag drains.  The primary
+        # (which serves all reads) must already hold the whole burst.
+        identifier = run.identifier_on_shard(self.shard)
+        assert identifier is not None
+        assert stack.target.get(identifier) == \
+            run.oracle.get(identifier), (
+                f"{self.name}: primary-side read went stale during "
+                f"the burst")
+        started = time.perf_counter()
+        report = pair.anti_entropy()
+        lag_drain_ms = round((time.perf_counter() - started) * 1e3, 3)
+        assert pair.replication_lag() == [0], (
+            f"{self.name}: anti_entropy left lag "
+            f"{pair.replication_lag()[0]}")
+        assert report.changed, (
+            f"{self.name}: anti_entropy repaired nothing despite "
+            f"{lag_before} logged ops")
+        # Only NOW, with the lag drained, is replica/oracle equality a
+        # valid invariant.
+        replica = stack.replicas[self.shard]
+        assert replica.get(identifier) == run.oracle.get(identifier), (
+            f"{self.name}: replica still behind after the lag drained")
+        # Back to the stack's steady-state synchronous mirroring (stops
+        # any surviving applier after a final drain).
+        pair.set_replication_mode("sync")
+        return {"lag_before_repair": lag_before,
+                "lag_drain_ms": lag_drain_ms,
+                "entries_copied": report.entries_copied,
+                "async_applied": pair.async_applied,
+                "backpressure_syncs": pair.backpressure_syncs}
+
+
 
 def default_faults(stack: SoakStack) -> list[SoakFault]:
     """One fault of every type the stack supports, spread over the run."""
@@ -762,6 +855,7 @@ def default_faults(stack: SoakStack) -> list[SoakFault]:
         FileCrashFault(),
         BrownoutFault(0),
         ReplicaRecoverFault(0),
+        IngestBurstFault(0),
     ]
     if stack.server is not None:
         faults.append(OverloadFault())

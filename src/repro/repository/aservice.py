@@ -51,12 +51,14 @@ Design decisions, and why:
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import BackendUnavailableError
 from repro.repository.backends import StorageBackend
 from repro.repository.backends.base import GetRequest
+from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import (
     Query,
@@ -71,6 +73,25 @@ from repro.repository.versioning import Version
 __all__ = ["AsyncRepositoryService"]
 
 _T = TypeVar("_T")
+
+
+class _QueuedWrite:
+    """One queued write op awaiting the writer thread.
+
+    ``kind`` selects the service call (``add`` / ``add_version`` /
+    ``replace_latest`` / ``add_chunk``), ``payload`` is its argument
+    (an entry, or a list for a chunk), and ``future`` is the
+    per-op :class:`concurrent.futures.Future` the submitting coroutine
+    awaits — resolved individually, so one invalid entry fails its own
+    caller and nobody else in the group.
+    """
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.future: Future = Future()
 
 
 class AsyncRepositoryService:
@@ -90,6 +111,8 @@ class AsyncRepositoryService:
         max_pending_reads: int | None = None,
         max_pending_writes: int | None = 64,
         shed_retry_after: float = 0.5,
+        max_coalesce: int = 128,
+        coalesce_chunk: int = 512,
     ) -> None:
         if service is None:
             service = RepositoryService()
@@ -124,6 +147,24 @@ class AsyncRepositoryService:
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
+        #: Write coalescing: ops queue here (on the loop thread) and
+        #: the single writer thread drains *runs* of them as one group
+        #: committed through ``service.write_group()`` — one backend
+        #: transaction, one change-counter bump, per-op futures.
+        if max_coalesce <= 0:
+            raise ValueError("max_coalesce must be positive")
+        if coalesce_chunk <= 0:
+            raise ValueError("coalesce_chunk must be positive")
+        self.max_coalesce = max_coalesce
+        self.coalesce_chunk = coalesce_chunk
+        self._write_queue: deque[_QueuedWrite] = deque()
+        self._queue_mutex = Mutex()
+        #: Coalescing accounting (written by the writer thread; read by
+        #: ``admission_stats`` — monotonic ints, torn reads impossible
+        #: under the GIL).
+        self._coalesced_groups = 0
+        self._coalesced_writes = 0
+        self._coalesce_high_water = 0
 
     # ------------------------------------------------------------------
     # Executor plumbing.
@@ -178,6 +219,105 @@ class AsyncRepositoryService:
     def _note_if_idle(self) -> None:
         if self._pending_reads == 0 and self._pending_writes == 0:
             self._idle.set()
+
+    # ------------------------------------------------------------------
+    # Write coalescing.  Each write coroutine appends one op to the
+    # queue and submits a drain job; the single writer thread pops a
+    # *run* of adjacent ops per drain and commits them as one group.
+    # A drain that finds the queue already emptied (a previous drain
+    # absorbed its op) returns immediately, so the invariant is cheap:
+    # every queued op has at least one drain job behind it.
+    # ------------------------------------------------------------------
+
+    async def _enqueue_write(self, kind: str, payload) -> object:
+        self._admit(self._pending_writes, self.max_pending_writes, "writer")
+        self._pending_writes += 1
+        self._idle.clear()
+        op = _QueuedWrite(kind, payload)
+        with self._queue_mutex:
+            self._write_queue.append(op)
+        try:
+            try:
+                self._writer.submit(self._drain_write_queue)
+            except RuntimeError:
+                # Writer executor already shut down: withdraw the op so
+                # no later drain can apply it against a closed backend.
+                with self._queue_mutex:
+                    if op in self._write_queue:
+                        self._write_queue.remove(op)
+                raise
+            return await asyncio.wrap_future(op.future)
+        finally:
+            self._pending_writes -= 1
+            self._note_if_idle()
+
+    def _drain_write_queue(self) -> None:
+        """Writer thread: pop one run of ops and commit it as a group.
+
+        At most ``max_coalesce`` ops per group (the coalescing
+        watermark) so one drain can never monopolise the write lock
+        unboundedly.  Per-op outcomes resolve individually: a write
+        that fails (duplicate identifier, non-increasing version) fails
+        its own future and the rest of the group still commits.
+        """
+        with self._queue_mutex:
+            ops: list[_QueuedWrite] = []
+            while self._write_queue and len(ops) < self.max_coalesce:
+                ops.append(self._write_queue.popleft())
+        live = [op for op in ops if op.future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        if len(live) == 1:
+            self._resolve(live[0], *self._apply_op(live[0]))
+            return
+        self._coalesced_groups += 1
+        self._coalesced_writes += len(live)
+        if len(live) > self._coalesce_high_water:
+            self._coalesce_high_water = len(live)
+        # Outcomes are staged and futures resolved only AFTER the group
+        # transaction commits: an awaiter must never see "added" while
+        # the commit is still in flight (or worse, about to roll back).
+        outcomes: list[tuple[bool, object]] = []
+        try:
+            with self.service.write_group():
+                for op in live:
+                    outcomes.append(self._apply_op(op))
+        except BaseException as exc:  # noqa: BLE001 - the rollback fans out to every op whose write is gone
+            for index, op in enumerate(live):
+                if index < len(outcomes) and not outcomes[index][0]:
+                    self._resolve(op, *outcomes[index])  # its own error
+                else:
+                    self._resolve(op, False, exc)
+            return
+        for op, outcome in zip(live, outcomes):
+            self._resolve(op, *outcome)
+
+    @staticmethod
+    def _resolve(op: _QueuedWrite, ok: bool, value: object) -> None:
+        if ok:
+            op.future.set_result(value)
+        else:
+            op.future.set_exception(value)  # type: ignore[arg-type]
+
+    def _apply_op(self, op: _QueuedWrite) -> tuple[bool, object]:
+        """Apply one op through the sync facade; never raises.
+
+        Returns ``(ok, result-or-exception)`` instead of touching the
+        future — the drain resolves futures once the op's commit unit
+        (its own, or the surrounding group's) is actually durable.
+        """
+        try:
+            if op.kind == "add":
+                result = self.service.add(op.payload)
+            elif op.kind == "add_version":
+                result = self.service.add_version(op.payload)
+            elif op.kind == "replace_latest":
+                result = self.service.replace_latest(op.payload)
+            else:  # "add_chunk"
+                result = self.service.add_many(op.payload)
+        except BaseException as exc:  # noqa: BLE001 - the op's outcome, good or bad, belongs to its own future
+            return False, exc
+        return True, result
 
     # ------------------------------------------------------------------
     # Reads (fanned out over the reader pool).
@@ -271,17 +411,33 @@ class AsyncRepositoryService:
     # ------------------------------------------------------------------
 
     async def add(self, entry: ExampleEntry) -> None:
-        await self._write(lambda: self.service.add(entry))
+        await self._enqueue_write("add", entry)
 
     async def add_version(self, entry: ExampleEntry) -> None:
-        await self._write(lambda: self.service.add_version(entry))
+        await self._enqueue_write("add_version", entry)
 
     async def replace_latest(self, entry: ExampleEntry) -> None:
-        await self._write(lambda: self.service.replace_latest(entry))
+        await self._enqueue_write("replace_latest", entry)
 
     async def add_many(self, entries: Iterable[ExampleEntry]) -> int:
+        """Bulk-load through the coalescing path, one chunk at a time.
+
+        The batch splits into ``coalesce_chunk``-sized chunks and each
+        chunk queues as one op, so a huge ingest (a 100k corpus) can
+        never starve queued point writes — they interleave between
+        chunks.  Each chunk keeps the backend's all-or-nothing
+        guarantee; across chunks the load is resumable, not atomic (a
+        failing chunk leaves earlier chunks committed and raises).
+        Batches at or under one chunk behave exactly as before.
+        """
         batch = list(entries)
-        return await self._write(lambda: self.service.add_many(batch))
+        if len(batch) <= self.coalesce_chunk:
+            return await self._enqueue_write("add_chunk", batch)  # type: ignore[return-value]
+        total = 0
+        for start in range(0, len(batch), self.coalesce_chunk):
+            chunk = batch[start:start + self.coalesce_chunk]
+            total += await self._enqueue_write("add_chunk", chunk)  # type: ignore[operator]
+        return total
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle.
@@ -291,12 +447,23 @@ class AsyncRepositoryService:
         return await self._read(self.service.cache_stats)
 
     def admission_stats(self) -> dict[str, int | bool]:
-        """Pending-job counts and how many calls were shed so far."""
+        """Pending-job counts, shed count, and coalescing accounting.
+
+        ``coalesced_groups``/``coalesced_writes`` count multi-op groups
+        and the ops they carried; ``coalesce_high_water`` is the
+        largest group committed so far and ``max_coalesce`` the
+        configured watermark it can never exceed.
+        """
         return {
             "pending_reads": self._pending_reads,
             "pending_writes": self._pending_writes,
+            "queued_writes": len(self._write_queue),
             "shed_total": self._shed_total,
             "draining": self._draining,
+            "coalesced_groups": self._coalesced_groups,
+            "coalesced_writes": self._coalesced_writes,
+            "coalesce_high_water": self._coalesce_high_water,
+            "max_coalesce": self.max_coalesce,
         }
 
     async def drain(self, timeout: float | None = None) -> bool:

@@ -33,7 +33,8 @@ stronger guarantees.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence, Union
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence, Union
 
 from repro.core.errors import EntryNotFound
 from repro.repository.entry import ExampleEntry
@@ -130,6 +131,34 @@ class StorageBackend(ABC):
             self.add(entry)
             count += 1
         return count
+
+    @contextmanager
+    def write_group(self) -> Iterator["StorageBackend"]:
+        """Group adjacent writes into one commit unit (group commit).
+
+        Writes issued inside the ``with`` block — by the *same* thread —
+        are allowed to share whatever per-write overhead the medium
+        charges: SQLite runs the whole group in a single transaction
+        with one deferred dirty-flush and bumps the change counter once
+        at commit; the file backend batches its counter-file writes the
+        same way (two durable counter updates per group instead of two
+        per entry).  Semantics that callers may rely on:
+
+        * a failing write inside the group raises at that write and
+          affects only itself — earlier writes in the group remain
+          staged (transactional backends commit them together at exit);
+        * the change counter / change token observed *after* the group
+          reflects exactly one logical change, so memo/cache
+          invalidation is per group, not per entry;
+        * nesting a group inside an active group on the same thread
+          joins the outer group.
+
+        The default is a no-op pass-through: backends with no per-write
+        commit cost (memory) inherit it unchanged, which keeps the
+        conformance suite uniform.  Groups are single-writer: the block
+        must not be shared across threads.
+        """
+        yield self
 
     def get_many(self, requests: Sequence[GetRequest]) -> list[ExampleEntry]:
         """Resolve many entries in request order.

@@ -36,8 +36,10 @@ committed snapshot, exactly as the old per-call scans did.
 from __future__ import annotations
 
 import bisect
+import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.errors import DuplicateEntry, EntryNotFound, StorageError
 from repro.repository.backends.base import StorageBackend, _split_request
@@ -70,6 +72,12 @@ class FileBackend(StorageBackend):
         self._listing_counter = -1
         self._listing_scans = 0
         self._listing_serves = 0
+        #: write_group state: the owning thread (None: no open group),
+        #: the entries renamed in so far, and the counter the group
+        #: opened at (its writes run under ``_group_base + 1``).
+        self._group_owner: int | None = None
+        self._group_entries: list[ExampleEntry] = []
+        self._group_base = -1
 
     # ------------------------------------------------------------------
     # Paths.
@@ -167,6 +175,51 @@ class FileBackend(StorageBackend):
     # Writes.
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def write_group(self) -> Iterator["FileBackend"]:
+        """Group commit: two counter-file writes for the whole group.
+
+        A standalone write costs two durable counter updates (the
+        crash-safe bump-write-bump sequence below); a group pays that
+        price once for all its writes — the leading bump opens the
+        crash window for the whole group, each write inside is just
+        temp-write + rename, and the trailing bump publishes
+        everything as one logical change.  A write that fails
+        mid-group raises at that write and affects only itself; the
+        trailing bump still lands (in ``finally``), so whatever *did*
+        rename in is published coherently and every cache keyed by the
+        counter revalidates.  Re-entering on the owning thread joins
+        the open group.
+        """
+        if self._group_owner == threading.get_ident():
+            yield self
+            return
+        previous = self.change_counter()
+        self._bump_counter(previous + 1)
+        if self._listing_map is not None and self._listing_counter == previous:
+            # The bump changed no content; carry the listing forward so
+            # in-group reads (duplicate checks) skip the rescan.
+            self._listing_counter = previous + 1
+        self._group_owner = threading.get_ident()
+        self._group_entries = []
+        self._group_base = previous
+        try:
+            yield self
+        finally:
+            entries, self._group_entries = self._group_entries, []
+            self._group_owner = None
+            counter = previous + 2
+            self._bump_counter(counter)
+            if self._listing_map is not None and (
+                self._listing_counter == previous + 1
+            ):
+                # _write maintained the map per entry; re-stamp it.
+                self._listing_counter = counter
+            else:
+                self._listing_map = None
+            for entry in entries:
+                self._memo.put(entry.identifier, str(entry.version), counter, entry)
+
     def add(self, entry: ExampleEntry) -> None:
         if self.has(entry.identifier):
             raise DuplicateEntry(entry.identifier)
@@ -226,6 +279,9 @@ class FileBackend(StorageBackend):
     # ------------------------------------------------------------------
 
     def _write(self, entry: ExampleEntry) -> None:
+        if self._group_owner == threading.get_ident():
+            self._write_in_group(entry)
+            return
         # The counter bumps on *both* sides of the snapshot rename.
         # Before: a crash between bump and rename leaves an advanced
         # counter and no new content, so a stamped index snapshot
@@ -262,6 +318,31 @@ class FileBackend(StorageBackend):
         # The bytes just written came from this very object: prime the
         # memo so the next read skips the decode entirely.
         self._memo.put(entry.identifier, str(entry.version), counter, entry)
+
+    def _write_in_group(self, entry: ExampleEntry) -> None:
+        """One write inside an open group: rename only, no counter I/O.
+
+        The group's leading bump already opened the crash window
+        (advanced counter, content trailing), so the per-write bumps
+        are skipped; the listing cache and decode memo are maintained
+        at the group's working counter so in-group reads (duplicate
+        and version checks) stay coherent without a rescan.
+        """
+        path = self._version_path(entry.identifier, entry.version)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(encode_entry(entry) + "\n", encoding="utf-8")
+        if self.fault_hook is not None:
+            self.fault_hook("pre-rename")
+        temp.replace(path)
+        working = self._group_base + 1
+        if self._listing_map is not None and self._listing_counter == working:
+            stored = self._listing_map.setdefault(entry.identifier, [])
+            if entry.version not in stored:
+                bisect.insort(stored, entry.version)
+        else:
+            self._listing_map = None
+        self._memo.put(entry.identifier, str(entry.version), working, entry)
+        self._group_entries.append(entry)
 
     def _bump_counter(self, counter: int) -> None:
         # Atomic per write (temp + rename), like the snapshots.

@@ -38,11 +38,32 @@ when the two disagree at the same version.  A replica history that is
 *not* an append-away from the primary's (it has versions the primary
 lacks) cannot be repaired through the append-only interface; it is
 reported as a conflict instead of silently rewritten.
+
+Streaming (async) replication — ``ReplicatedBackend(mode="async")``
+acknowledges a write as soon as the primary commits and enqueues the
+mirror op onto a bounded **per-replica trailing log**, drained in order
+by a background applier thread:
+
+* ``replication_lag()`` is the per-replica log depth (acknowledged but
+  not yet applied), surfaced in :meth:`resilience_stats`;
+* **backpressure, never drop**: when a log reaches ``max_lag`` the
+  writer falls back to draining that replica's log inline —
+  synchronously, in order — so an applier that stalls degrades the
+  write path to sync mirroring instead of silently losing ops;
+* an applier failure (or :meth:`kill_applier`, the fault seam) leaves
+  the log trailing; :meth:`anti_entropy` is the **documented backstop**
+  — it supersedes and clears the trailing log, reconciles the replica
+  from the primary, and the repair-before-rejoin invariant holds
+  exactly as in sync mode.  :meth:`wait_for_replication` blocks until
+  the lag drains, which is what consistency checks must do before
+  comparing replicas against an oracle.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -51,6 +72,7 @@ from repro.core.errors import (
     BxError,
     CircuitOpenError,
     DeadlineExceeded,
+    StorageError,
 )
 from repro.repository.backends.base import (
     GetRequest,
@@ -60,12 +82,47 @@ from repro.repository.backends.base import (
 from repro.repository.concurrency import Mutex
 from repro.repository.entry import ExampleEntry
 from repro.repository.query import QueryPlan, QueryResult, QueryStats
-from repro.repository.resilience import CircuitBreaker, HealthProbe
+from repro.repository.resilience import CircuitBreaker, HealthProbe, RetryPolicy
 from repro.repository.versioning import Version
 
 __all__ = ["AntiEntropyReport", "ReplicatedBackend"]
 
 _T = TypeVar("_T")
+
+#: The two mirroring disciplines (see the module docstring).
+_MODES = ("sync", "async")
+
+
+class _ReplicaApplier(threading.Thread):
+    """Background drainer of one replica's trailing log (async mode)."""
+
+    def __init__(self, owner: "ReplicatedBackend", index: int) -> None:
+        super().__init__(name=f"replica-applier-{index}", daemon=True)
+        self._owner = owner
+        self._index = index
+        self._stop_event = threading.Event()
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        cond = self._owner._log_conds[self._index]
+        with cond:
+            cond.notify_all()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop_event.is_set()
+
+    def run(self) -> None:
+        owner, index = self._owner, self._index
+        cond = owner._log_conds[index]
+        log = owner._logs[index]
+        while not self._stop_event.is_set():
+            with cond:
+                while not log and not self._stop_event.is_set():
+                    cond.wait(0.1)
+                if self._stop_event.is_set():
+                    return
+            owner._drain_log(index, stop=self._stop_event)
 
 
 def _is_outage(error: Exception) -> bool:
@@ -112,6 +169,8 @@ class ReplicatedBackend(StorageBackend):
         failure_threshold: int = 3,
         reset_timeout: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        mode: str = "sync",
+        max_lag: int = 512,
     ) -> None:
         self.primary = primary
         if isinstance(replicas, StorageBackend):
@@ -122,6 +181,28 @@ class ReplicatedBackend(StorageBackend):
         self._mutex = Mutex()
         self._suspended: set[int] = set()
         self._probe: HealthProbe | None = None
+        if mode not in _MODES:
+            raise StorageError(f"unknown replication mode {mode!r}")
+        if max_lag <= 0:
+            raise StorageError("max_lag must be positive")
+        #: Streaming replication state.  Built in both modes (a sync
+        #: backend just keeps empty logs) so the introspection and
+        #: repair paths never need mode checks.
+        self._mode = mode
+        self.max_lag = max_lag
+        self.backpressure_syncs = 0
+        self.async_applied = 0
+        self._logs = tuple(deque() for _ in self.replicas)
+        self._log_conds = tuple(
+            threading.Condition(Mutex()) for _ in self.replicas
+        )
+        #: One per replica: serialises whoever is applying log ops to
+        #: it (the applier thread, a backpressured writer, a repair).
+        self._apply_mutexes = tuple(Mutex() for _ in self.replicas)
+        self._appliers: list[_ReplicaApplier | None] = [None] * len(self.replicas)
+        self._applier_retry = RetryPolicy(
+            max_attempts=2, base_delay=0.01, max_delay=0.1
+        )
         self._primary_breaker = CircuitBreaker(
             failure_threshold=failure_threshold,
             reset_timeout=reset_timeout,
@@ -140,6 +221,162 @@ class ReplicatedBackend(StorageBackend):
             )
             for index in range(len(self.replicas))
         )
+        if self._mode == "async":
+            self.start_appliers()
+
+    # ------------------------------------------------------------------
+    # Streaming replication: trailing logs, appliers, lag.
+    # ------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The current mirroring discipline: ``"sync"`` or ``"async"``."""
+        return self._mode
+
+    def set_replication_mode(self, mode: str) -> None:
+        """Switch mirroring disciplines at runtime.
+
+        Switching to sync first drains every trailing log inline (in
+        order) and stops the appliers, so the switch itself can never
+        drop an acknowledged mirror op; switching to async starts an
+        applier per replica.
+        """
+        if mode not in _MODES:
+            raise StorageError(f"unknown replication mode {mode!r}")
+        if mode == self._mode:
+            return
+        if mode == "async":
+            self._mode = "async"
+            self.start_appliers()
+            return
+        self._mode = "sync"  # new mirror ops go synchronously from here
+        self._stop_appliers(drain=True)
+
+    def start_appliers(self) -> list[int]:
+        """(Re)start a drainer for every replica missing a live one.
+
+        The recovery seam after :meth:`kill_applier` or an applier
+        death; a no-op for replicas whose applier is already running,
+        and in sync mode.  Returns the indices started.
+        """
+        started: list[int] = []
+        if self._mode != "async":
+            return started
+        for index in range(len(self.replicas)):
+            applier = self._appliers[index]
+            if applier is not None and applier.is_alive() and not applier.stopped:
+                continue
+            applier = _ReplicaApplier(self, index)
+            self._appliers[index] = applier
+            applier.start()
+            started.append(index)
+        return started
+
+    def kill_applier(self, index: int) -> bool:
+        """Fault seam: stop one applier *without* draining its log.
+
+        Simulates an applier crash mid-stream: the trailing log keeps
+        accumulating (until backpressure degrades writes to inline
+        sync draining) and nothing applies it until
+        :meth:`start_appliers` — or :meth:`anti_entropy`, the
+        documented backstop, which supersedes and clears the log.
+        Returns whether an applier was actually running.
+        """
+        applier = self._appliers[index]
+        if applier is None:
+            return False
+        applier.stop()
+        applier.join(timeout=1.0)
+        self._appliers[index] = None
+        return True
+
+    def replication_lag(self) -> list[int]:
+        """Per-replica trailing-log depth: acknowledged, not yet applied.
+
+        All zeros in sync mode (and in a drained async backend).
+        """
+        return [len(log) for log in self._logs]
+
+    def wait_for_replication(self, timeout: float = 5.0) -> bool:
+        """Block until every trailing log drains; False on timeout.
+
+        The consistency gate for async mode: a write acknowledged by
+        the primary is only guaranteed visible on a replica once the
+        lag has drained, so oracle comparisons (tests, the soak
+        harness) call this first.
+        """
+        deadline = time.monotonic() + timeout
+        for index, cond in enumerate(self._log_conds):
+            with cond:
+                while self._logs[index]:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    cond.wait(min(remaining, 0.05))
+        return True
+
+    def _stop_appliers(self, drain: bool) -> None:
+        for applier in self._appliers:
+            if applier is not None:
+                applier.stop()
+        for index, applier in enumerate(self._appliers):
+            if applier is not None:
+                applier.join(timeout=1.0)
+                self._appliers[index] = None
+            if drain:
+                self._drain_log(index)
+
+    def _drain_log(
+        self, index: int, stop: threading.Event | None = None
+    ) -> None:
+        """Apply one replica's queued ops in order until its log empties.
+
+        Shared by the applier thread, backpressured writers and the
+        mode switch; the per-replica apply mutex serialises them.  An
+        op stays at the head of the log while it is being applied (so
+        ``replication_lag``/``wait_for_replication`` never undercount)
+        and is popped after, whatever the outcome — a failed op is
+        counted and left for anti-entropy, never retried forever.
+        """
+        cond = self._log_conds[index]
+        log = self._logs[index]
+        with self._apply_mutexes[index]:
+            while stop is None or not stop.is_set():
+                with cond:
+                    if not log:
+                        return
+                    operation = log[0]
+                self._apply_replica_op(index, operation)
+                with cond:
+                    # A concurrent repair may have cleared the log
+                    # (superseding this op) while we were applying it.
+                    if log and log[0] is operation:
+                        log.popleft()
+                    cond.notify_all()
+
+    def _apply_replica_op(
+        self, index: int, operation: Callable[[StorageBackend], object]
+    ) -> None:
+        """One trailing-log op against one replica, breaker-accounted.
+
+        Never raises: transient failures get one quick retry (the
+        resilience layer's jittered policy), then the op counts as a
+        replica write failure and is left for :meth:`anti_entropy`.
+        """
+        breaker = self._replica_breakers[index]
+        if not breaker.allow():
+            self.replica_write_failures += 1
+            return
+        replica = self.replicas[index]
+        try:
+            self._applier_retry.call(lambda: operation(replica))
+        except Exception as error:  # noqa: BLE001 - repaired by anti_entropy
+            self.replica_write_failures += 1
+            if _is_outage(error):
+                breaker.record_failure()
+        else:
+            breaker.record_success()
+            self.async_applied += 1
 
     # ------------------------------------------------------------------
     # Reads: primary, then failover.
@@ -253,13 +490,8 @@ class ReplicatedBackend(StorageBackend):
         deleted — the interface is append-only.
         """
         report = AntiEntropyReport()
-        primary_versions = self.primary.versions_many(
-            self.primary.identifiers()
-        )
         for index, replica in enumerate(self.replicas):
-            report.merge(
-                self._repair_replica(index, replica, primary_versions)
-            )
+            report.merge(self._repair_replica(index, replica))
             # The pass just reconciled this replica against the primary:
             # that is exactly the repair reintegration requires, so a
             # suspended replica may rejoin the read rotation here.
@@ -279,10 +511,7 @@ class ReplicatedBackend(StorageBackend):
         replica = self.replicas[index]
         breaker = self._replica_breakers[index]
         try:
-            primary_versions = self.primary.versions_many(
-                self.primary.identifiers()
-            )
-            report = self._repair_replica(index, replica, primary_versions)
+            report = self._repair_replica(index, replica)
         except Exception as error:
             if _is_outage(error):
                 breaker.record_failure()
@@ -351,9 +580,46 @@ class ReplicatedBackend(StorageBackend):
             ],
             "replica_write_failures": self.replica_write_failures,
             "reintegrations": self.reintegrations,
+            "replication": {
+                "mode": self._mode,
+                "lag": self.replication_lag(),
+                "max_lag": self.max_lag,
+                "backpressure_syncs": self.backpressure_syncs,
+                "async_applied": self.async_applied,
+                "appliers_alive": [
+                    applier is not None and applier.is_alive()
+                    for applier in self._appliers
+                ],
+            },
         }
 
     def _repair_replica(
+        self,
+        index: int,
+        replica: StorageBackend,
+    ) -> AntiEntropyReport:
+        """Reconcile one replica with the primary (the repair pass).
+
+        Holds the replica's apply mutex for the duration so the
+        applier (async mode) sits the repair out, and clears the
+        trailing log *before* snapshotting the primary: every queued
+        op is superseded by the snapshot taken after the clear
+        (replaying it would only raise duplicates), while an op
+        enqueued after the snapshot survives in the log for the
+        applier — so the clear can never lose a write.
+        """
+        with self._apply_mutexes[index]:
+            cond = self._log_conds[index]
+            with cond:
+                if self._logs[index]:
+                    self._logs[index].clear()
+                    cond.notify_all()
+            primary_versions = self.primary.versions_many(
+                self.primary.identifiers()
+            )
+            return self._repair_from(index, replica, primary_versions)
+
+    def _repair_from(
         self,
         index: int,
         replica: StorageBackend,
@@ -403,6 +669,10 @@ class ReplicatedBackend(StorageBackend):
     def close(self) -> None:
         if self._probe is not None:
             self._probe.stop()
+        # Stop appliers and flush what remains of the trailing logs
+        # (breaker-bounded: a dead replica fails fast, not per-op)
+        # before the copies close underneath them.
+        self._stop_appliers(drain=True)
         self.primary.close()
         for replica in self.replicas:
             replica.close()
@@ -498,6 +768,9 @@ class ReplicatedBackend(StorageBackend):
         return result
 
     def _mirror(self, operation: Callable[[StorageBackend], object]) -> None:
+        if self._mode == "async":
+            self._mirror_async(operation)
+            return
         for index, replica in enumerate(self.replicas):
             breaker = self._replica_breakers[index]
             if not breaker.allow():
@@ -513,3 +786,28 @@ class ReplicatedBackend(StorageBackend):
                     breaker.record_failure()
             else:
                 breaker.record_success()
+
+    def _mirror_async(
+        self, operation: Callable[[StorageBackend], object]
+    ) -> None:
+        """Enqueue one mirror op per replica; backpressure, never drop.
+
+        A replica whose breaker is open is skipped (as in sync mode —
+        anti-entropy repairs it before rejoin).  A log at ``max_lag``
+        means the applier is not keeping up: the op still enqueues (so
+        order is preserved) and the *writer* drains the log inline —
+        the degraded path is synchronous mirroring, never a lost op.
+        """
+        for index in range(len(self.replicas)):
+            breaker = self._replica_breakers[index]
+            if not breaker.allow():
+                self.replica_write_failures += 1
+                continue
+            cond = self._log_conds[index]
+            with cond:
+                full = len(self._logs[index]) >= self.max_lag
+                self._logs[index].append(operation)
+                cond.notify_all()
+            if full:
+                self.backpressure_syncs += 1
+                self._drain_log(index)

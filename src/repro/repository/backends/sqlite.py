@@ -57,8 +57,9 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import (
     DuplicateEntry,
@@ -93,6 +94,27 @@ from repro.repository.query import (
 from repro.repository.versioning import Version
 
 __all__ = ["SQLiteBackend"]
+
+
+class _WriteGroup:
+    """Mutable state of one open write group (or standalone write).
+
+    ``owner`` is the thread that opened it — writes from that thread
+    join the group's transaction; ``entries`` collects every snapshot
+    staged so the decode memo can be primed once, at the counter the
+    group commits under.  ``counter`` stays None until the commit-time
+    bump, which doubles as the committed/rolled-back flag.
+    """
+
+    __slots__ = ("owner", "entries", "counter")
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self.entries: list[ExampleEntry] = []
+        self.counter: int | None = None
+
+    def stage(self, entry: ExampleEntry) -> None:
+        self.entries.append(entry)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS entries (
@@ -161,10 +183,20 @@ class SQLiteBackend(StorageBackend):
 
     supports_native_query = True
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(self, path: str | Path = ":memory:",
+                 durability: str = "normal") -> None:
+        if durability not in ("normal", "full"):
+            raise StorageError(
+                f"durability must be 'normal' or 'full', not {durability!r}")
         self.path = str(path)
         self._memory = self.path == ":memory:"
+        #: ``"normal"`` rides WAL's synchronous=NORMAL (commits survive
+        #: application crashes, not power loss); ``"full"`` fsyncs every
+        #: commit — the configuration where group commit earns its keep,
+        #: because N grouped writes pay one fsync instead of N.
+        self.durability = durability
         self._lock = Mutex()
+        self._group: _WriteGroup | None = None
         self._closed = False
         self._memo = DecodeMemo()
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
@@ -173,7 +205,9 @@ class SQLiteBackend(StorageBackend):
         self._conns_lock = Mutex()
         if not self._memory:
             self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "PRAGMA synchronous=FULL" if durability == "full"
+                else "PRAGMA synchronous=NORMAL")
         with self._conn:
             self._conn.executescript(_SCHEMA)
             self._conn.execute(
@@ -219,6 +253,14 @@ class SQLiteBackend(StorageBackend):
         return conn
 
     def _run_read(self, operation):
+        group = self._group
+        if group is not None and group.owner == threading.get_ident():
+            # The thread owning an open write group already holds the
+            # lock; read on the open transaction (and see the group's
+            # own staged writes).  For durable databases the per-thread
+            # WAL reader could not see the uncommitted transaction; for
+            # ":memory:" taking the lock again would deadlock.
+            return operation(self._conn)
         if self._memory:
             with self._lock:
                 return operation(self._conn)
@@ -491,20 +533,71 @@ class SQLiteBackend(StorageBackend):
         return latest
 
     # ------------------------------------------------------------------
-    # Writes (serialised; each is one transaction).
+    # Writes (serialised; each is one transaction, unless an open
+    # write group on the same thread absorbs it — see write_group()).
     # ------------------------------------------------------------------
 
-    def add(self, entry: ExampleEntry) -> None:
+    @contextmanager
+    def _write_txn(self) -> Iterator[_WriteGroup]:
+        """One write's transactional context: standalone or grouped.
+
+        Standalone: take the writer lock, run the body in its own
+        transaction, bump the counter once, then prime the decode memo
+        for whatever the body staged.  Inside an open group owned by
+        the calling thread: just hand the body the group — the group
+        already holds the lock and the open transaction, and it bumps
+        the counter and primes the memo once, at commit.
+        """
+        group = self._group
+        if group is not None and group.owner == threading.get_ident():
+            yield group
+            return
+        staged = _WriteGroup(threading.get_ident())
         with self._lock, self._conn:
+            yield staged
+            staged.counter = self._bump_counter()
+        self._prime_memo(staged.entries, staged.counter)
+
+    @contextmanager
+    def write_group(self) -> Iterator["SQLiteBackend"]:
+        """Group commit: every write in the block shares one transaction.
+
+        The group takes the writer lock once, stages each write's
+        inserts and dirty marks in a single transaction, bumps the
+        change counter once at exit and primes the decode memo with
+        every staged snapshot at that one counter.  A write that fails
+        mid-group (duplicate identifier, non-increasing version) raises
+        before touching the database and poisons only itself — the
+        rest of the group still commits.  If the block itself raises,
+        the whole transaction rolls back and the memo is left unprimed.
+        Re-entering on the owning thread joins the open group.
+        """
+        existing = self._group
+        if existing is not None and existing.owner == threading.get_ident():
+            yield self
+            return
+        group = _WriteGroup(threading.get_ident())
+        with self._lock:
+            self._group = group
+            try:
+                with self._conn:
+                    yield self
+                    group.counter = self._bump_counter()
+            finally:
+                self._group = None
+        if group.counter is not None:
+            self._prime_memo(group.entries, group.counter)
+
+    def add(self, entry: ExampleEntry) -> None:
+        with self._write_txn() as txn:
             if self._has(self._conn, entry.identifier):
                 raise DuplicateEntry(entry.identifier)
             self._insert(entry)
             self._mark_dirty([entry.identifier])
-            counter = self._bump_counter()
-        self._prime_memo([entry], counter)
+            txn.stage(entry)
 
     def add_version(self, entry: ExampleEntry) -> None:
-        with self._lock, self._conn:
+        with self._write_txn() as txn:
             latest = self._latest_row(entry.identifier)
             if latest is None:
                 raise EntryNotFound(entry.identifier)
@@ -515,11 +608,10 @@ class SQLiteBackend(StorageBackend):
                 )
             self._insert(entry)
             self._mark_dirty([entry.identifier])
-            counter = self._bump_counter()
-        self._prime_memo([entry], counter)
+            txn.stage(entry)
 
     def replace_latest(self, entry: ExampleEntry) -> None:
-        with self._lock, self._conn:
+        with self._write_txn() as txn:
             latest = self._latest_row(entry.identifier)
             if latest is None:
                 raise EntryNotFound(entry.identifier)
@@ -539,17 +631,19 @@ class SQLiteBackend(StorageBackend):
                 ),
             )
             self._mark_dirty([entry.identifier])
-            counter = self._bump_counter()
-        self._prime_memo([entry], counter)
+            txn.stage(entry)
 
     def add_many(self, entries: Iterable[ExampleEntry]) -> int:
         """Bulk-load brand-new entries in a single transaction.
 
         All-or-nothing: if any entry's identifier already exists (in the
-        store or earlier in the batch), nothing is stored.
+        store or earlier in the batch), nothing is stored.  Inside an
+        open write group the batch joins the group's transaction
+        instead (and a clash then poisons only this batch, not the
+        group).
         """
         batch = list(entries)
-        with self._lock, self._conn:
+        with self._write_txn() as txn:
             seen: set[str] = set()
             for entry in batch:
                 if entry.identifier in seen:
@@ -580,8 +674,8 @@ class SQLiteBackend(StorageBackend):
                 ],
             )
             self._mark_dirty([entry.identifier for entry in batch])
-            counter = self._bump_counter()
-        self._prime_memo(batch, counter)
+            for entry in batch:
+                txn.stage(entry)
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -681,33 +775,45 @@ class SQLiteBackend(StorageBackend):
         commit before ours lands (a writer that is blocked on us will
         re-mark its identifier dirty when it proceeds).
         """
+        group = self._group
+        if group is not None and group.owner == threading.get_ident():
+            # A query issued by the thread owning an open write group:
+            # flush inside the group's transaction (the lock is already
+            # held; the marks commit or roll back with the group).
+            rows = self._conn.execute("SELECT identifier FROM dirty").fetchall()
+            self._flush_rows([identifier for (identifier,) in rows])
+            return
         with self._lock:
             rows = self._conn.execute("SELECT identifier FROM dirty").fetchall()
             dirty = [identifier for (identifier,) in rows]
             if not dirty:
                 return
             with self._conn:
-                for chunk in _chunks(dirty):
-                    marks = ",".join("?" * len(chunk))
-                    self._conn.execute(
-                        f"DELETE FROM dirty WHERE identifier IN ({marks})",
-                        chunk,
-                    )
-                    for table in _AUX_TABLES:
-                        self._conn.execute(
-                            f"DELETE FROM {table} WHERE identifier IN ({marks})",
-                            chunk,
-                        )
-                counter = self._counter_on(self._conn)
-                payloads = self._latest_payloads(self._conn, dirty)
-                self._index_latest_batch(
-                    [
-                        self._hydrate(
-                            identifier, Version(major, minor), payload, counter
-                        )
-                        for identifier, (major, minor, payload) in payloads.items()
-                    ]
+                self._flush_rows(dirty)
+
+    def _flush_rows(self, dirty: list) -> None:
+        """Re-index the given identifiers on the open write connection."""
+        if not dirty:
+            return
+        for chunk in _chunks(dirty):
+            marks = ",".join("?" * len(chunk))
+            self._conn.execute(
+                f"DELETE FROM dirty WHERE identifier IN ({marks})",
+                chunk,
+            )
+            for table in _AUX_TABLES:
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE identifier IN ({marks})",
+                    chunk,
                 )
+        counter = self._counter_on(self._conn)
+        payloads = self._latest_payloads(self._conn, dirty)
+        self._index_latest_batch(
+            [
+                self._hydrate(identifier, Version(major, minor), payload, counter)
+                for identifier, (major, minor, payload) in payloads.items()
+            ]
+        )
 
     def _index_latest_batch(self, batch: Sequence[ExampleEntry]) -> None:
         """Insert metadata rows for entries with no current rows —

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -367,6 +368,38 @@ class RepositoryService(StorageBackend):
             for entry in batch:
                 self._after_write("add", entry)
             return count
+
+    @contextmanager
+    def write_group(self):
+        """Group commit through the facade: one lock hold, one backend
+        transaction, per-entry events.
+
+        Writes issued inside the block (by this thread — the write
+        lock is writer-reentrant) share the backend's
+        :meth:`StorageBackend.write_group` commit unit, so a coalesced
+        group pays one transaction / one change-counter bump, while
+        every successful write still dispatches its own
+        :class:`RepositoryEvent` in order — subscribers (the search
+        index, replicas) see the same per-entry stream they would for
+        serial writes.  A write that fails inside the block raises at
+        that write; the caller decides whether the group continues.
+        If the block itself escapes with an exception, the backend
+        rolls the group back but per-entry write-through (cache fills,
+        event dispatch, index upserts) has already happened — so the
+        facade drops its snapshot cache and search index to restore
+        coherence before re-raising.
+        """
+        self._rwlock.acquire_write()
+        try:
+            try:
+                with self.backend.write_group():
+                    yield self
+            except Exception:
+                self.invalidate()
+                self.disable_search()
+                raise
+        finally:
+            self._rwlock.release_write()
 
     # ------------------------------------------------------------------
     # Events.

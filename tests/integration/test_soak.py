@@ -59,9 +59,9 @@ class TestDirectSoak:
         assert report.ok, report.violations
         assert report.fault_names() == [
             "shard-kill-0", "replica-diverge-0", "file-crash",
-            "brownout-0", "replica-recover-0"]
+            "brownout-0", "replica-recover-0", "ingest-burst-0"]
         assert report.ops_total > 100
-        assert report.invariant_checks == 6  # one per fault + final
+        assert report.invariant_checks == 7  # one per fault + final
         assert report.entries_final > report.preload
 
     def test_fault_observability(self, direct_stack):
@@ -77,6 +77,8 @@ class TestDirectSoak:
             "payloads_replaced"] >= 1
         assert by_name["brownout-0"].fired >= 1
         assert by_name["replica-recover-0"].details["reintegrations"] >= 1
+        assert by_name["ingest-burst-0"].details["lag_before_repair"] >= 1
+        assert by_name["ingest-burst-0"].details["async_applied"] >= 1
 
     def test_report_round_trips_and_extra_info_is_json_safe(
             self, direct_stack):
@@ -105,8 +107,8 @@ class TestHttpSoak:
         assert report.ok, report.violations
         assert report.fault_names() == [
             "shard-kill-0", "replica-diverge-0", "file-crash",
-            "brownout-0", "replica-recover-0", "overload",
-            "server-bounce"]
+            "brownout-0", "replica-recover-0", "ingest-burst-0",
+            "overload", "server-bounce"]
         assert report.stack == "http"
         bounce = report.faults[-1]
         assert bounce.details["probe_attempts"] >= 1
@@ -211,7 +213,7 @@ class TestCli:
         report = json.loads(json_path.read_text())
         assert report["ok"] is True
         assert report["violations"] == []
-        assert len(report["faults"]) == 5
+        assert len(report["faults"]) == 6
         assert "injecting shard-kill-0" in log_path.read_text()
         assert "soak OK" in capsys.readouterr().out
 

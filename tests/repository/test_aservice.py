@@ -295,3 +295,124 @@ class TestLifecycle:
                 await aservice.get("demo-example")
 
         asyncio.run(scenario())
+
+
+class TestWriteCoalescing:
+    """Adjacent queued writes drain as one group commit (PR 10)."""
+
+    def test_concurrent_writes_coalesce_into_fewer_commits(self):
+        from repro.repository.backends import SQLiteBackend
+
+        async def main():
+            backend = SQLiteBackend()
+            async with AsyncRepositoryService(backend) as service:
+                before = backend.change_counter()
+                await asyncio.gather(
+                    *[service.add(entry) for entry in entry_batch(40)])
+                commits = backend.change_counter() - before
+                stats = service.admission_stats()
+                count = await service.entry_count()
+                return commits, stats, count
+
+        commits, stats, count = asyncio.run(main())
+        assert count == 40
+        # 40 concurrent adds must land in far fewer commit units than
+        # writes (the first drain may run solo before the queue fills).
+        assert commits < 40
+        assert stats["coalesced_groups"] >= 1
+        assert stats["coalesced_writes"] >= 2
+        assert 2 <= stats["coalesce_high_water"] <= stats["max_coalesce"]
+
+    def test_events_fire_per_entry_in_submission_order(self):
+        events = []
+
+        async def main():
+            sync = RepositoryService(MemoryBackend())
+            sync.subscribe(lambda event: events.append(event))
+            entries = entry_batch(24)
+            async with AsyncRepositoryService(sync) as service:
+                await asyncio.gather(
+                    *[service.add(entry) for entry in entries])
+            return entries
+
+        entries = asyncio.run(main())
+        assert [event.kind for event in events] == ["add"] * len(entries)
+        # The queue is FIFO and the writer thread drains runs in order,
+        # so events replay the submission order exactly — grouped or not.
+        assert [event.entry.identifier for event in events] \
+            == [entry.identifier for entry in entries]
+
+    def test_invalid_entry_fails_alone_its_groupmates_commit(self):
+        async def main():
+            async with AsyncRepositoryService(MemoryBackend()) as service:
+                first = minimal_entry(title="ENTRY 0")
+                await service.add(first)
+                batch = entry_batch(12)[1:]  # ENTRY 1..11
+                results = await asyncio.gather(
+                    service.add(minimal_entry(title="ENTRY 0")),  # dup
+                    *[service.add(entry) for entry in batch],
+                    return_exceptions=True,
+                )
+                return results, await service.entry_count(), \
+                    service.admission_stats()
+
+        results, count, stats = asyncio.run(main())
+        failures = [r for r in results if isinstance(r, BaseException)]
+        assert len(failures) == 1
+        assert isinstance(failures[0], DuplicateEntry)
+        assert count == 12  # ENTRY 0..11: everyone else landed
+        assert stats["shed_total"] == 0
+
+    def test_futures_resolve_only_after_the_group_commits(self):
+        """An awaited add() is durable: the moment the coroutine
+        resumes, a fresh read connection must see the entry — the ack
+        comes after the group transaction, never inside it."""
+        from repro.repository.backends import SQLiteBackend
+
+        async def main(tmp):
+            backend = SQLiteBackend(tmp / "acks.db")
+            loop = asyncio.get_running_loop()
+            async with AsyncRepositoryService(backend) as service:
+                entries = entry_batch(32)
+
+                async def add_then_probe(entry):
+                    await service.add(entry)
+                    # Probe from a plain thread: a separate read-only
+                    # connection, no group-membership special cases.
+                    return await loop.run_in_executor(
+                        None, backend.has, entry.identifier)
+
+                probes = await asyncio.gather(
+                    *[add_then_probe(entry) for entry in entries])
+                stats = service.admission_stats()
+            return probes, stats
+
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as tmp:
+            probes, stats = asyncio.run(main(Path(tmp)))
+        assert all(probes), "an acked write was not yet readable"
+        assert stats["coalesced_groups"] >= 1
+
+    def test_add_many_chunks_are_atomic_and_resumable(self):
+        from repro.repository.backends import SQLiteBackend
+
+        async def main():
+            async with AsyncRepositoryService(
+                    SQLiteBackend(), coalesce_chunk=8) as service:
+                entries = entry_batch(20)
+                entries[12] = entries[3]  # duplicate inside chunk 2
+                with pytest.raises(DuplicateEntry):
+                    await service.add_many(entries)
+                return await service.entry_count()
+
+        # Chunk 1 (entries 0-7) committed; chunk 2 (8-15) hit the
+        # duplicate and rolled back whole (transactional backend);
+        # chunk 3 never ran — the load is resumable, not atomic.
+        assert asyncio.run(main()) == 8
+
+    def test_rejects_nonpositive_coalesce_parameters(self):
+        with pytest.raises(ValueError):
+            AsyncRepositoryService(MemoryBackend(), max_coalesce=0)
+        with pytest.raises(ValueError):
+            AsyncRepositoryService(MemoryBackend(), coalesce_chunk=0)

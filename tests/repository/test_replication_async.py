@@ -1,0 +1,288 @@
+"""Streaming (async) replication on ``ReplicatedBackend`` (PR 10).
+
+The trailing-log/applier machinery: writes acknowledged by the primary
+stream to replicas in the background, lag is observable and drainable,
+a full log backpressures into inline sync draining (never a dropped
+op), ``anti_entropy`` is the backstop after an applier death, and the
+PR-9 repair-before-rejoin invariant holds unchanged in async mode.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.repository import (
+    FaultInjector,
+    FlakyBackend,
+    MemoryBackend,
+    ReplicatedBackend,
+)
+from tests.repository.test_entry import minimal_entry
+
+
+def entry_batch(count: int, prefix: str = "STREAM"):
+    return [minimal_entry(title=f"{prefix} {index}")
+            for index in range(count)]
+
+
+def make_pair(*, mode: str = "async", max_lag: int = 512,
+              replicas: int = 1):
+    primary = MemoryBackend()
+    copies = [MemoryBackend() for _ in range(replicas)]
+    pair = ReplicatedBackend(primary, copies, mode=mode, max_lag=max_lag)
+    return pair, copies
+
+
+class TestStreamingReplication:
+    def test_writes_stream_to_the_replica_in_background(self):
+        pair, (replica,) = make_pair()
+        try:
+            entries = entry_batch(8)
+            for entry in entries:
+                pair.add(entry)
+            assert pair.wait_for_replication(timeout=5.0)
+            assert pair.replication_lag() == [0]
+            assert pair.async_applied == len(entries)
+            for entry in entries:
+                assert replica.get(entry.identifier) == entry
+        finally:
+            pair.close()
+
+    def test_sync_mode_keeps_empty_logs(self):
+        pair, (replica,) = make_pair(mode="sync")
+        try:
+            for entry in entry_batch(4):
+                pair.add(entry)
+            assert pair.replication_lag() == [0]
+            assert pair.async_applied == 0
+            assert replica.entry_count() == 4
+        finally:
+            pair.close()
+
+    def test_killed_applier_accumulates_lag_and_restart_drains_it(self):
+        pair, (replica,) = make_pair()
+        try:
+            assert pair.kill_applier(0)
+            entries = entry_batch(5)
+            for entry in entries:
+                pair.add(entry)
+            # Acknowledged on the primary, trailing on the replica.
+            assert pair.replication_lag() == [len(entries)]
+            assert pair.entry_count() == len(entries)
+            assert pair.start_appliers() == [0]
+            assert pair.wait_for_replication(timeout=5.0)
+            assert pair.replication_lag() == [0]
+            for entry in entries:
+                assert replica.get(entry.identifier) == entry
+        finally:
+            pair.close()
+
+    def test_backpressure_degrades_to_inline_sync_never_drops(self):
+        pair, (replica,) = make_pair(max_lag=3)
+        try:
+            assert pair.kill_applier(0)
+            entries = entry_batch(7)
+            for entry in entries:
+                pair.add(entry)
+            # Every op beyond the watermark enqueued *and* forced the
+            # writer to drain inline — order preserved, nothing lost.
+            assert pair.backpressure_syncs >= 1
+            assert pair.replication_lag()[0] <= 3
+            assert pair.start_appliers() == [0]
+            assert pair.wait_for_replication(timeout=5.0)
+            for entry in entries:
+                assert replica.get(entry.identifier) == entry
+        finally:
+            pair.close()
+
+    def test_anti_entropy_is_the_backstop_after_applier_death(self):
+        pair, (replica,) = make_pair()
+        try:
+            assert pair.kill_applier(0)
+            entries = entry_batch(6)
+            for entry in entries:
+                pair.add(entry)
+            assert pair.replication_lag() == [len(entries)]
+            report = pair.anti_entropy()
+            # The repair supersedes the trailing log: cleared, not
+            # replayed (replaying would only raise duplicates).
+            assert pair.replication_lag() == [0]
+            assert report.entries_copied == len(entries)
+            assert not report.conflicts
+            for entry in entries:
+                assert replica.get(entry.identifier) == entry
+        finally:
+            pair.close()
+
+    def test_lagging_replica_never_serves_stale_reads(self):
+        """Primary-first reads: while the primary is healthy a trailing
+        replica is never consulted, so lag cannot leak stale state."""
+        pair, (replica,) = make_pair()
+        try:
+            assert pair.kill_applier(0)
+            entry = minimal_entry(title="FRESH")
+            pair.add(entry)
+            assert pair.replication_lag() == [1]
+            assert replica.entry_count() == 0  # genuinely trailing
+            assert pair.get(entry.identifier) == entry
+            assert pair.has(entry.identifier)
+            assert entry.identifier in pair.identifiers()
+        finally:
+            pair.close()
+
+
+class TestModeSwitching:
+    def test_switch_to_sync_drains_then_stops_appliers(self):
+        pair, (replica,) = make_pair()
+        try:
+            assert pair.kill_applier(0)
+            entries = entry_batch(4)
+            for entry in entries:
+                pair.add(entry)
+            assert pair.replication_lag() == [len(entries)]
+            pair.set_replication_mode("sync")
+            assert pair.mode == "sync"
+            # The switch itself drained the trailing log inline.
+            assert pair.replication_lag() == [0]
+            for entry in entries:
+                assert replica.get(entry.identifier) == entry
+            stats = pair.resilience_stats()["replication"]
+            assert stats["appliers_alive"] == [False]
+        finally:
+            pair.close()
+
+    def test_switch_to_async_starts_appliers(self):
+        pair, (replica,) = make_pair(mode="sync")
+        try:
+            pair.set_replication_mode("async")
+            assert pair.mode == "async"
+            stats = pair.resilience_stats()["replication"]
+            assert stats["appliers_alive"] == [True]
+            entry = minimal_entry(title="AFTER SWITCH")
+            pair.add(entry)
+            assert pair.wait_for_replication(timeout=5.0)
+            assert replica.get(entry.identifier) == entry
+        finally:
+            pair.close()
+
+    def test_switching_to_the_current_mode_is_a_no_op(self):
+        pair, _ = make_pair(mode="sync")
+        try:
+            pair.set_replication_mode("sync")
+            assert pair.mode == "sync"
+            assert pair.resilience_stats()["replication"][
+                "appliers_alive"] == [False]
+        finally:
+            pair.close()
+
+    def test_validation_raises_storage_errors(self):
+        primary, replica = MemoryBackend(), MemoryBackend()
+        with pytest.raises(StorageError):
+            ReplicatedBackend(primary, [replica], mode="semi")
+        with pytest.raises(StorageError):
+            ReplicatedBackend(primary, [replica], max_lag=0)
+        pair, _ = make_pair(mode="sync")
+        try:
+            with pytest.raises(StorageError):
+                pair.set_replication_mode("eventual")
+        finally:
+            pair.close()
+
+
+class TestReplicationIntrospection:
+    def test_resilience_stats_carries_the_replication_block(self):
+        pair, _ = make_pair(replicas=2)
+        try:
+            for entry in entry_batch(3):
+                pair.add(entry)
+            assert pair.wait_for_replication(timeout=5.0)
+            stats = pair.resilience_stats()["replication"]
+            assert stats["mode"] == "async"
+            assert stats["lag"] == [0, 0]
+            assert stats["max_lag"] == 512
+            assert stats["backpressure_syncs"] == 0
+            assert stats["async_applied"] == 6  # 3 writes x 2 replicas
+            assert stats["appliers_alive"] == [True, True]
+        finally:
+            pair.close()
+
+    def test_wait_for_replication_times_out_honestly(self):
+        pair, _ = make_pair()
+        try:
+            assert pair.kill_applier(0)
+            pair.add(minimal_entry(title="STUCK"))
+            assert pair.wait_for_replication(timeout=0.1) is False
+            assert pair.replication_lag() == [1]
+        finally:
+            pair.close()
+
+    def test_close_drains_outstanding_log_ops(self):
+        pair, (replica,) = make_pair()
+        assert pair.kill_applier(0)
+        entries = entry_batch(3)
+        for entry in entries:
+            pair.add(entry)
+        assert pair.replication_lag() == [len(entries)]
+        pair.close()
+        for entry in entries:
+            assert replica.has(entry.identifier)
+
+
+class TestAsyncRepairBeforeRejoin:
+    def test_suspended_replica_is_repaired_before_rejoining(self):
+        """The PR-9 invariant survives async mode: a replica whose
+        breaker opened misses writes entirely (nothing is even queued
+        for it); reintegration repairs it from a primary snapshot
+        before it re-enters rotation."""
+        injector = FaultInjector()
+        primary = MemoryBackend()
+        raw_replica = MemoryBackend()
+        flaky = FlakyBackend(raw_replica, injector, "replica")
+        pair = ReplicatedBackend(primary, [flaky],
+                                 failure_threshold=3,
+                                 reset_timeout=60.0,
+                                 mode="async")
+        try:
+            flaky.kill()
+            entries = entry_batch(6)
+            for entry in entries:
+                pair.add(entry)
+            assert pair.wait_for_replication(timeout=5.0)
+            assert pair.suspended_replicas() == (0,)
+            # An open breaker means new writes skip the log entirely.
+            lag_while_dead = pair.replication_lag()[0]
+            pair.add(minimal_entry(title="SKIPPED"))
+            assert pair.replication_lag()[0] == lag_while_dead
+            assert raw_replica.entry_count() == 0
+            flaky.revive()
+            assert pair.check_health() == [0]
+            assert pair.suspended_replicas() == ()
+            # Repair-before-rejoin: back in rotation fully caught up.
+            assert raw_replica.entry_count() == pair.primary.entry_count()
+        finally:
+            pair.close()
+
+    def test_concurrent_writers_all_replicate(self):
+        pair, (replica,) = make_pair()
+        try:
+            batches = [entry_batch(10, prefix=f"W{index}")
+                       for index in range(4)]
+
+            def writer(batch):
+                for entry in batch:
+                    pair.add(entry)
+
+            threads = [threading.Thread(target=writer, args=(batch,))
+                       for batch in batches]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert pair.wait_for_replication(timeout=5.0)
+            assert replica.entry_count() == 40
+            assert pair.async_applied == 40
+        finally:
+            pair.close()
